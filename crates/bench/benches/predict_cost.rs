@@ -1,0 +1,77 @@
+//! Criterion micro-benchmark behind Table II: per-prediction cost of each
+//! prefetcher on CPU.
+//!
+//! The paper reports Bingo 32 µs, Domino 100 µs, Voyager 1521 µs,
+//! TransFetch 1052 µs, RecMG 92 µs. Absolute numbers differ on other
+//! hardware; the *ordering* (rule-based cheapest; RecMG an order of
+//! magnitude cheaper than the big ML baselines) is the reproducible claim.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use recmg_core::{train_recmg, RecMgConfig, TrainOptions};
+use recmg_prefetch::{
+    Bingo, Domino, Prefetcher, TransFetch, TransFetchConfig, Voyager, VoyagerConfig,
+};
+use recmg_trace::{SyntheticConfig, VectorKey};
+
+fn stream() -> Vec<VectorKey> {
+    SyntheticConfig::dataset_scaled(0, 0.02)
+        .generate()
+        .accesses()
+        .to_vec()
+}
+
+fn bench_predict_cost(c: &mut Criterion) {
+    let acc = stream();
+    let mut group = c.benchmark_group("table2_predict_cost");
+    group.sample_size(20);
+
+    group.bench_function("bingo", |b| {
+        let mut p = Bingo::new();
+        let mut i = 0usize;
+        b.iter(|| {
+            black_box(p.on_access(acc[i % acc.len()], false));
+            i += 1;
+        });
+    });
+
+    group.bench_function("domino", |b| {
+        let mut p = Domino::with_unique_budget(20_000, 5);
+        let mut i = 0usize;
+        b.iter(|| {
+            black_box(p.on_access(acc[i % acc.len()], false));
+            i += 1;
+        });
+    });
+
+    group.bench_function("voyager", |b| {
+        let mut p = Voyager::try_new(VoyagerConfig::default()).expect("buildable");
+        for &k in acc.iter().take(64) {
+            p.on_access(k, false);
+        }
+        b.iter(|| black_box(p.predict()));
+    });
+
+    group.bench_function("transfetch", |b| {
+        let mut p = TransFetch::new(TransFetchConfig::default());
+        p.train(&acc, 20, 15);
+        for &k in acc.iter().take(64) {
+            p.on_access(k, false);
+        }
+        b.iter(|| black_box(p.predict()));
+    });
+
+    group.bench_function("recmg_prefetch_model", |b| {
+        let cfg = RecMgConfig::default();
+        let trained = train_recmg(&acc[..acc.len() / 4], &cfg, 1_000, &TrainOptions::tiny());
+        let pm = trained.prefetch.compile();
+        let chunk: Vec<VectorKey> = acc.iter().copied().take(cfg.input_len).collect();
+        b.iter(|| black_box(pm.codes(&chunk)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_predict_cost);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion benchmark behind Fig. 7: model serving throughput as thread
+//! count grows (thread-per-request, read-only shared weights).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use recmg_core::serving::measure_throughput;
+use recmg_core::{CachingModel, PrefetchModel, RecMgConfig};
+
+fn bench_serving(c: &mut Criterion) {
+    let cfg = RecMgConfig::default();
+    let cm = CachingModel::new(&cfg).compile();
+    let pm = PrefetchModel::new(&cfg).compile();
+    let mut group = c.benchmark_group("fig07_serving");
+    group.sample_size(10);
+    let requests = 400usize;
+    for threads in [1usize, 2, 4, 8] {
+        group.throughput(Throughput::Elements((requests * cfg.input_len) as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    black_box(measure_throughput(
+                        &cm,
+                        &pm,
+                        cfg.input_len,
+                        threads,
+                        requests,
+                    ))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Substrate micro-benchmarks: the hot paths every experiment leans on
+//! (cache access, OPTgen labeling, reuse-distance analysis, buffer
+//! populate, and the fast model forward).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use recmg_cache::{optgen, CachePolicy, FullyAssocLru, GpuBuffer, SetAssocLru};
+use recmg_core::{CachingModel, RecMgConfig};
+use recmg_trace::{reuse_distances, RowId, SyntheticConfig, TableId, VectorKey};
+
+fn bench_substrate(c: &mut Criterion) {
+    let trace = SyntheticConfig::dataset_scaled(0, 0.02).generate();
+    let acc = trace.accesses();
+    let mut group = c.benchmark_group("substrate");
+    group.sample_size(15);
+
+    group.bench_function("lru_full_10k_accesses", |b| {
+        b.iter(|| {
+            let mut lru = FullyAssocLru::new(1024);
+            for &k in acc.iter().take(10_000) {
+                black_box(lru.access(k));
+            }
+        });
+    });
+
+    group.bench_function("lru_32way_10k_accesses", |b| {
+        b.iter(|| {
+            let mut lru = SetAssocLru::new(1024, 32);
+            for &k in acc.iter().take(10_000) {
+                black_box(lru.access(k));
+            }
+        });
+    });
+
+    group.bench_function("optgen_label_10k", |b| {
+        b.iter(|| black_box(optgen(&acc[..10_000.min(acc.len())], 1024)));
+    });
+
+    group.bench_function("reuse_distances_10k", |b| {
+        b.iter(|| black_box(reuse_distances(&acc[..10_000.min(acc.len())])));
+    });
+
+    group.bench_function("gpu_buffer_populate_cycle", |b| {
+        let keys: Vec<VectorKey> = (0..2_000u64)
+            .map(|r| VectorKey::new(TableId(0), RowId(r)))
+            .collect();
+        b.iter(|| {
+            let mut buf = GpuBuffer::new(1_000);
+            for &k in &keys {
+                if buf.is_full() {
+                    black_box(buf.populate());
+                }
+                buf.insert(k, 4, false);
+            }
+        });
+    });
+
+    group.bench_function("caching_model_fast_forward", |b| {
+        let cfg = RecMgConfig::default();
+        let cm = CachingModel::new(&cfg).compile();
+        let chunk: Vec<VectorKey> = acc.iter().copied().take(cfg.input_len).collect();
+        b.iter(|| black_box(cm.predict(&chunk)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrate);
+criterion_main!(benches);

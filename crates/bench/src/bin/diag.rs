@@ -1,0 +1,101 @@
+//! Diagnostic: separates caching-model quality from buffer-mechanism
+//! quality by driving Algorithm 1 with oracle (OPTgen) bits.
+
+use recmg_bench::{Bundle, ExpEnv};
+use recmg_cache::{optgen, simulate, BufferAccess, SetAssocLru};
+use recmg_core::RecMgBuffer;
+use recmg_dlrm::{BatchAccessStats, BufferManager};
+
+fn main() {
+    let env = ExpEnv::from_env();
+    let bundle = Bundle::new(env);
+    let cfg = bundle.config();
+    let eval = bundle.eval_accesses(0);
+    let capacity = bundle.capacity(0, 20.0);
+    let trained = bundle.trained(0, 20.0);
+
+    // Label statistics on the eval half.
+    let og = optgen(&eval, capacity);
+    let positives = og.labels.iter().filter(|&&l| l).count();
+    println!(
+        "eval: {} accesses, capacity {capacity}, OPT hit rate {:.3}, positive labels {:.1}%",
+        eval.len(),
+        og.stats.hit_rate(),
+        100.0 * positives as f64 / eval.len() as f64
+    );
+
+    // Confusion matrix of the trained model on eval chunks.
+    let fast = trained.caching.compile();
+    let (mut tp, mut fp, mut tn, mut fng) = (0u64, 0u64, 0u64, 0u64);
+    for (chunk, labels) in eval
+        .chunks(cfg.input_len)
+        .zip(og.labels.chunks(cfg.input_len))
+    {
+        if chunk.len() < cfg.input_len {
+            break;
+        }
+        for (p, &l) in fast.predict(chunk).iter().zip(labels) {
+            match (*p, l) {
+                (true, true) => tp += 1,
+                (true, false) => fp += 1,
+                (false, false) => tn += 1,
+                (false, true) => fng += 1,
+            }
+        }
+    }
+    println!(
+        "model: tp {tp} fp {fp} tn {tn} fn {fng} | acc {:.3} | keep-rate pred {:.3} vs true {:.3}",
+        (tp + tn) as f64 / (tp + fp + tn + fng) as f64,
+        (tp + fp) as f64 / (tp + fp + tn + fng) as f64,
+        (tp + fng) as f64 / (tp + fp + tn + fng) as f64,
+    );
+
+    // LRU baseline.
+    let mut lru = SetAssocLru::new(capacity, 32);
+    println!("LRU hit rate: {:.4}", simulate(&mut lru, &eval).hit_rate());
+
+    // Mechanism with oracle bits.
+    let mut buf = RecMgBuffer::new(capacity, cfg.eviction_speed);
+    let mut stats = BatchAccessStats::default();
+    let mut pos = 0usize;
+    while pos + cfg.input_len <= eval.len() {
+        let chunk = &eval[pos..pos + cfg.input_len];
+        for &k in chunk {
+            match buf.access(k) {
+                BufferAccess::Miss => stats.misses += 1,
+                _ => stats.cache_hits += 1,
+            }
+        }
+        buf.load_embeddings(chunk, &og.labels[pos..pos + cfg.input_len], &[]);
+        pos += cfg.input_len;
+    }
+    println!("oracle-bit system hit rate: {:.4}", stats.hit_rate());
+
+    // Learned system (CM only).
+    let mut sys = recmg_core::RecMgSystem::new(&trained.caching, None, trained.codec.clone(), capacity);
+    let mut s2 = BatchAccessStats::default();
+    for chunk in eval.chunks(256) {
+        s2.accumulate(sys.process_batch(chunk));
+    }
+    println!("learned CM system hit rate: {:.4}", s2.hit_rate());
+
+    // Full system.
+    let mut sys = recmg_core::RecMgSystem::from_trained(&trained, capacity);
+    let mut s3 = BatchAccessStats::default();
+    for chunk in eval.chunks(256) {
+        s3.accumulate(sys.process_batch(chunk));
+    }
+    println!(
+        "full RecMG hit rate: {:.4} (prefetch hits {}, issued {})",
+        s3.hit_rate(),
+        s3.prefetch_hits,
+        sys.prefetches_issued()
+    );
+
+    // Offline prefetch-model quality on held-out examples.
+    let held = recmg_core::build_training_data(&eval, &cfg, capacity);
+    let q = trained
+        .prefetch
+        .evaluate(&held.prefetch[..held.prefetch.len().min(300)], &trained.codec);
+    println!("PM offline: accuracy {:.3}, coverage {:.3}", q.accuracy, q.coverage);
+}

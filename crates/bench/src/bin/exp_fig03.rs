@@ -1,0 +1,12 @@
+//! Regenerates one paper artifact; see DESIGN.md's experiment index.
+
+use recmg_bench::{experiments, Bundle, ExpEnv};
+
+fn main() {
+    let env = ExpEnv::from_env();
+    println!("scale = {} (set RECMG_SCALE to change)", env.scale);
+    let bundle = Bundle::new(env.clone());
+    let result = experiments::characterization::fig03(&bundle);
+    result.print();
+    result.save(&env);
+}

@@ -1,0 +1,13 @@
+//! Regenerates paper artifacts; see DESIGN.md's experiment index.
+
+use recmg_bench::{experiments, Bundle, ExpEnv};
+
+fn main() {
+    let env = ExpEnv::from_env();
+    println!("scale = {} (set RECMG_SCALE to change)", env.scale);
+    let bundle = Bundle::new(env.clone());
+    for result in experiments::buffer::fig15_table4(&bundle) {
+        result.print();
+        result.save(&env);
+    }
+}

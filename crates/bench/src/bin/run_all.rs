@@ -1,0 +1,24 @@
+//! Runs every experiment at the configured scale, writing all CSVs.
+//!
+//! Usage: `RECMG_SCALE=0.05 cargo run --release -p recmg-bench --bin run_all`
+
+use std::time::Instant;
+
+use recmg_bench::{experiments, Bundle, ExpEnv};
+
+fn main() {
+    let env = ExpEnv::from_env();
+    println!("RecMG experiment suite — scale {} → {}", env.scale, env.out_dir.display());
+    let bundle = Bundle::new(env.clone());
+    let total = Instant::now();
+    for (name, runner) in experiments::all() {
+        let start = Instant::now();
+        println!("\n>>> running {name}");
+        for result in runner(&bundle) {
+            result.print();
+            result.save(&env);
+        }
+        println!("<<< {name} done in {:.1}s", start.elapsed().as_secs_f64());
+    }
+    println!("\nall experiments done in {:.1}s", total.elapsed().as_secs_f64());
+}

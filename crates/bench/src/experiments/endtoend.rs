@@ -1,0 +1,239 @@
+//! End-to-end DLRM inference experiments: Figs. 16–19.
+
+use recmg_cache::SetAssocLru;
+use recmg_core::RecMgSystem;
+use recmg_dlrm::{
+    BufferManager, DlrmConfig, DlrmModel, EmbeddingStore, InferenceEngine, PerfModel,
+    PolicyBufferManager, TimingConfig,
+};
+
+use crate::{fmt, geomean, Bundle, ExpResult};
+
+fn engine() -> InferenceEngine {
+    InferenceEngine::new(
+        DlrmModel::new(DlrmConfig::small(), 11),
+        EmbeddingStore::new(16),
+        TimingConfig::default_scaled(),
+    )
+}
+
+/// Queries per batch chosen so a batch carries roughly the paper's access
+/// volume after scaling (paper: 512 queries, >600K vectors per batch).
+fn batch_queries(bundle: &Bundle, ds: usize) -> usize {
+    let stats = bundle.stats(ds);
+    // target ~6000 accesses per batch at default scale
+    ((6_000.0 * bundle.env().scale / 0.05) / stats.mean_pooling.max(1.0))
+        .round()
+        .max(4.0) as usize
+}
+
+/// Fig. 16: per-batch inference-time breakdown for LRU, CM, and RecMG on
+/// the five datasets at an ~18% buffer.
+pub fn fig16(bundle: &Bundle) -> ExpResult {
+    let eng = engine();
+    let mut r = ExpResult::new(
+        "fig16",
+        "DLRM inference time breakdown per batch, ms (paper Fig. 16)",
+        &[
+            "dataset",
+            "strategy",
+            "copy",
+            "gpu_compute",
+            "buffer_mgmt",
+            "others",
+            "total",
+        ],
+    );
+    for ds in 0..5 {
+        let trace = bundle.trace(ds);
+        let capacity = bundle.capacity(ds, 18.0);
+        let trained = bundle.trained(ds, 18.0);
+        let qpb = batch_queries(bundle, ds);
+
+        let mut lru = PolicyBufferManager::new(SetAssocLru::new(capacity, 32));
+        let mut cm = RecMgSystem::new(&trained.caching, None, trained.codec.clone(), capacity);
+        let mut rec = RecMgSystem::from_trained(&trained, capacity);
+        for (name, mgr) in [
+            ("LRU", &mut lru as &mut dyn BufferManager),
+            ("CM", &mut cm),
+            ("RecMG", &mut rec),
+        ] {
+            let rep = eng.run(&trace, qpb, mgr);
+            let b = rep.mean_breakdown;
+            r.push_row(vec![
+                format!("dataset{ds}"),
+                name.to_string(),
+                fmt(b.copy_ms),
+                fmt(b.gpu_compute_ms),
+                fmt(b.buffer_mgmt_ms),
+                fmt(b.others_ms),
+                fmt(b.total_ms()),
+            ]);
+        }
+    }
+    r.note("paper: RecMG cuts inference time 31% on average (up to 43%) vs LRU; the saving comes from buffer management (on-demand fetches)");
+    r
+}
+
+/// Fig. 17: normalized inference time vs buffer size on dataset 0.
+pub fn fig17(bundle: &Bundle) -> ExpResult {
+    let eng = engine();
+    let trace = bundle.trace(0);
+    let qpb = batch_queries(bundle, 0);
+    let pcts = [0.5, 1.0, 5.0, 10.0, 15.0];
+    let mut rows: Vec<(f64, f64, f64, f64)> = Vec::new();
+    for &pct in &pcts {
+        let capacity = bundle.capacity(0, pct);
+        let trained = bundle.trained(0, pct);
+        let mut lru = PolicyBufferManager::new(SetAssocLru::new(capacity, 32));
+        let mut cm = RecMgSystem::new(&trained.caching, None, trained.codec.clone(), capacity);
+        let mut rec = RecMgSystem::from_trained(&trained, capacity);
+        let t_lru = eng.run(&trace, qpb, &mut lru).mean_batch_ms();
+        let t_cm = eng.run(&trace, qpb, &mut cm).mean_batch_ms();
+        let t_rec = eng.run(&trace, qpb, &mut rec).mean_batch_ms();
+        rows.push((pct, t_lru, t_cm, t_rec));
+    }
+    let norm = rows.last().map(|r| r.3).unwrap_or(1.0).max(1e-9);
+    let mut r = ExpResult::new(
+        "fig17",
+        "Normalized DLRM inference time vs buffer size (paper Fig. 17)",
+        &["buffer_pct", "LRU", "CM", "RecMG"],
+    );
+    for (pct, l, c, g) in rows {
+        r.push_row(vec![fmt(pct), fmt(l / norm), fmt(c / norm), fmt(g / norm)]);
+    }
+    r.note("paper: at tiny buffers the prefetch model contributes most of the benefit; at 15% the caching model dominates (72.3%)");
+    r
+}
+
+/// Fig. 18: the linear performance model (inference time vs hit rate) and
+/// its validation points.
+pub fn fig18(bundle: &Bundle) -> ExpResult {
+    let eng = engine();
+    let accesses_per_batch = (6_000.0 * bundle.env().scale / 0.05).round() as u64;
+    // "Measured" sweep: synthetic traces pinned to each hit rate, with a
+    // small deterministic perturbation standing in for measurement noise.
+    let mut points = Vec::new();
+    for i in 0..=10 {
+        let h = i as f64 / 10.0;
+        let hits = (accesses_per_batch as f64 * h).round() as u64;
+        let misses = accesses_per_batch - hits;
+        let t = eng.timing().batch_breakdown(hits, misses).total_ms();
+        let jitter = 1.0 + 0.01 * ((i * 2654435761_usize % 7) as f64 - 3.0) / 3.0;
+        points.push((h, t * jitter));
+    }
+    let model = PerfModel::fit(&points);
+    let rmse = model.rmse(&points);
+
+    let mut r = ExpResult::new(
+        "fig18",
+        "Linear performance model: time vs hit rate (paper Fig. 18)",
+        &["hit_rate", "measured_ms", "model_ms"],
+    );
+    for &(h, t) in &points {
+        r.push_row(vec![fmt(h), fmt(t), fmt(model.predict_ms(h))]);
+    }
+    r.note(format!(
+        "fit: {:.1}ms - {:.1}ms*hit_rate, RMSE {:.2}ms ({:.2}% of mean; paper: 3.75ms / 1.7%)",
+        model.intercept_ms,
+        model.slope_ms,
+        rmse,
+        100.0 * rmse / (points.iter().map(|p| p.1).sum::<f64>() / points.len() as f64)
+    ));
+    // Validation: LRU and RecMG on five datasets.
+    let mut max_dev = 0.0f64;
+    for ds in 0..5 {
+        let trace = bundle.trace(ds);
+        let qpb = batch_queries(bundle, ds);
+        let capacity = bundle.capacity(ds, 18.0);
+        let trained = bundle.trained(ds, 18.0);
+        let mut lru = PolicyBufferManager::new(SetAssocLru::new(capacity, 32));
+        let mut rec = RecMgSystem::from_trained(&trained, capacity);
+        for mgr in [&mut lru as &mut dyn BufferManager, &mut rec] {
+            let rep = eng.run(&trace, qpb, mgr);
+            // Per-batch access count differs from the sweep's; normalize.
+            let per_batch = rep.access.total() as f64 / rep.batches as f64;
+            let scale = per_batch / accesses_per_batch as f64;
+            let pred = (model.intercept_ms - model.slope_ms * rep.access.hit_rate()
+                - eng.timing().batch_breakdown(0, 0).total_ms())
+                * scale
+                + eng.timing().batch_breakdown(0, 0).total_ms();
+            let dev = (pred - rep.mean_batch_ms()).abs() / rep.mean_batch_ms();
+            max_dev = max_dev.max(dev);
+        }
+    }
+    r.note(format!(
+        "validation deviation across LRU/RecMG on 5 datasets: max {:.2}% (paper: <3.6%)",
+        max_dev * 100.0
+    ));
+    r.note("our 'measured' times come from the tiered-memory timing model itself (no GPU); this validates pipeline consistency, not silicon — see DESIGN.md");
+    r
+}
+
+/// Fig. 19: estimated inference latency across ten strategies via the
+/// performance model applied to measured hit rates at a 15% buffer.
+pub fn fig19(bundle: &Bundle) -> ExpResult {
+    let eng = engine();
+    let accesses_per_batch = (6_000.0 * bundle.env().scale / 0.05).round() as u64;
+    let model = PerfModel::from_timing(eng.timing(), accesses_per_batch);
+    let mut r = ExpResult::new(
+        "fig19",
+        "Estimated DLRM inference latency by strategy, ms (paper Fig. 19)",
+        &["strategy", "dataset0", "dataset1", "dataset2", "geomean_speedup_vs_LRU"],
+    );
+    // Reuse the Fig. 15 strategy sweep at 15%.
+    let mut lru_times = Vec::new();
+    let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
+    for ds in 0..3 {
+        let cells = super::buffer::strategy_hit_rates_public(bundle, ds, 15.0);
+        for (si, (name, hit, _)) in cells.into_iter().enumerate() {
+            let t = model.predict_ms(hit);
+            if si >= rows.len() {
+                rows.push((name.to_string(), Vec::new()));
+            }
+            rows[si].1.push(t);
+            if name == "LRU" {
+                lru_times.push(t);
+            }
+        }
+    }
+    for (name, times) in &rows {
+        let speedups: Vec<f64> = times
+            .iter()
+            .zip(&lru_times)
+            .map(|(&t, &l)| l / t)
+            .collect();
+        r.push_row(vec![
+            name.clone(),
+            fmt(times[0]),
+            fmt(times[1]),
+            fmt(times[2]),
+            fmt(geomean(&speedups)),
+        ]);
+    }
+    r.note("paper: SRRIP +7%, Hawkeye +5.8%, CM +24%, BOP+LRU +1.4%, RecMG +31% vs LRU; DRRIP/Mockingjay/Berti/Mab at or below LRU");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExpEnv;
+
+    #[test]
+    fn fig18_model_is_linear_and_tight() {
+        let b = Bundle::new(ExpEnv::test_env());
+        let r = fig18(&b);
+        assert_eq!(r.rows.len(), 11);
+        // Times decrease with hit rate.
+        let first: f64 = r.rows[0][1].parse().expect("t0");
+        let last: f64 = r.rows[10][1].parse().expect("t1");
+        assert!(first > last);
+    }
+
+    #[test]
+    fn batch_queries_positive() {
+        let b = Bundle::new(ExpEnv::test_env());
+        assert!(batch_queries(&b, 0) >= 4);
+    }
+}

@@ -1,0 +1,42 @@
+//! One module per paper artifact. See DESIGN.md's experiment index for the
+//! mapping from tables/figures to modules and binaries.
+
+pub mod ablation;
+pub mod buffer;
+pub mod characterization;
+pub mod endtoend;
+pub mod models;
+
+use crate::{Bundle, ExpResult};
+
+/// A runner regenerating one or more paper artifacts.
+pub type ExperimentFn = fn(&Bundle) -> Vec<ExpResult>;
+
+/// Every experiment, in paper order, as `(id, runner)`.
+///
+/// `run_all` iterates this list; each entry regenerates one table or
+/// figure (the combined fig09/fig10 runner appears once).
+pub fn all() -> Vec<(&'static str, ExperimentFn)> {
+    vec![
+        ("table1", |b| vec![characterization::table1(b)]),
+        ("fig03", |b| vec![characterization::fig03(b)]),
+        ("fig07", |b| vec![models::fig07(b)]),
+        ("fig08", |b| vec![models::fig08(b)]),
+        ("fig09+fig10", models::fig09_fig10),
+        ("table2", |b| vec![models::table2(b)]),
+        ("fig11", |b| vec![ablation::fig11(b)]),
+        ("fig12", |b| vec![ablation::fig12(b)]),
+        ("table3", |b| vec![ablation::table3(b)]),
+        ("fig13", |b| vec![buffer::fig13(b)]),
+        ("fig14", |b| vec![buffer::fig14(b)]),
+        ("fig15+table4", buffer::fig15_table4),
+        ("fig16", |b| vec![endtoend::fig16(b)]),
+        ("fig17", |b| vec![endtoend::fig17(b)]),
+        ("fig18", |b| vec![endtoend::fig18(b)]),
+        ("fig19", |b| vec![endtoend::fig19(b)]),
+        ("ablate_eviction_speed", |b| {
+            vec![ablation::eviction_speed(b)]
+        }),
+        ("ablate_codec", |b| vec![ablation::codec(b)]),
+    ]
+}

@@ -1,0 +1,263 @@
+//! Model-level evaluation: Figs. 7–10 and Table II.
+
+use std::time::Instant;
+
+use recmg_cache::{optgen, simulate, FullyAssocLfu, FullyAssocLru, SetAssocLfu, SetAssocLru};
+use recmg_core::{PrefetchEval, RecMgSystem};
+use recmg_dlrm::{BatchAccessStats, BufferManager};
+use recmg_prefetch::{
+    evaluate_quality, Bingo, Domino, Prefetcher, TransFetch, TransFetchConfig, Voyager,
+    VoyagerConfig,
+};
+use recmg_trace::VectorKey;
+
+use crate::{fmt, Bundle, ExpResult};
+
+/// Fig. 7: caching+prefetch model serving throughput vs thread count.
+pub fn fig07(bundle: &Bundle) -> ExpResult {
+    let cfg = bundle.config();
+    let cm = recmg_core::CachingModel::new(&cfg).compile();
+    let pm = recmg_core::PrefetchModel::new(&cfg).compile();
+    let threads = [1usize, 2, 4, 8, 16, 32, 48, 64];
+    let requests = if bundle.env().scale <= 0.03 { 600 } else { 3_000 };
+    let pts = recmg_core::serving::throughput_sweep(&cm, &pm, cfg.input_len, &threads, requests);
+    let mut r = ExpResult::new(
+        "fig07",
+        "Model serving throughput vs threads (paper Fig. 7)",
+        &["threads", "indices_per_sec"],
+    );
+    for p in pts {
+        r.push_row(vec![p.threads.to_string(), fmt(p.indices_per_sec)]);
+    }
+    r.note("paper shape: near-linear scaling up to the physical core count, then flat");
+    r
+}
+
+/// Fig. 8: cache hits under LRU-32, LFU-32, LRU-full, optgen, and RecMG at
+/// a 20%-of-unique buffer, plus the caching-model accuracy line.
+pub fn fig08(bundle: &Bundle) -> ExpResult {
+    let mut r = ExpResult::new(
+        "fig08",
+        "Cache hits: LRU/LFU/optgen/RecMG (paper Fig. 8)",
+        &[
+            "dataset",
+            "LRU-32way",
+            "LFU-32way",
+            "LRU-fully",
+            "optgen",
+            "RecMG",
+            "cm_accuracy",
+        ],
+    );
+    for ds in 0..5 {
+        let eval = bundle.eval_accesses(ds);
+        let capacity = bundle.capacity(ds, 20.0);
+        let trained = bundle.trained(ds, 20.0);
+
+        let mut lru32 = SetAssocLru::new(capacity, 32);
+        let mut lfu32 = SetAssocLfu::new(capacity, 32);
+        let mut lruf = FullyAssocLru::new(capacity);
+        let h_lru32 = simulate(&mut lru32, &eval).hits;
+        let h_lfu32 = simulate(&mut lfu32, &eval).hits;
+        let h_lruf = simulate(&mut lruf, &eval).hits;
+        let h_opt = optgen(&eval, capacity).stats.hits;
+        let mut system = RecMgSystem::from_trained(&trained, capacity);
+        let mut rec = BatchAccessStats::default();
+        for chunk in eval.chunks(256) {
+            rec.accumulate(system.process_batch(chunk));
+        }
+        r.push_row(vec![
+            format!("dataset{ds}"),
+            h_lru32.to_string(),
+            h_lfu32.to_string(),
+            h_lruf.to_string(),
+            h_opt.to_string(),
+            rec.hits().to_string(),
+            fmt(trained.caching_accuracy),
+        ]);
+    }
+    r.note("paper: optgen ≈ +67% over LRU/LFU; RecMG ≥ +38% over LRU/LFU; cm accuracy ≈ 0.83");
+    r.note("also check LFU-fully as an extra reference point below");
+    // Extra reference row (not in the paper's bars): fully associative LFU.
+    let eval = bundle.eval_accesses(0);
+    let capacity = bundle.capacity(0, 20.0);
+    let mut lfu = FullyAssocLfu::new(capacity);
+    let h = simulate(&mut lfu, &eval).hits;
+    r.note(format!("dataset0 LFU-fully hits = {h}"));
+    r
+}
+
+fn quality_rows(
+    bundle: &Bundle,
+    ds: usize,
+) -> (Vec<(String, f64, f64)>, PrefetchEval) {
+    let train = {
+        let trace = bundle.trace(ds);
+        trace.accesses()[..trace.len() / 2].to_vec()
+    };
+    let eval = bundle.eval_accesses(ds);
+    let cfg = bundle.config();
+    let window = cfg.window_len();
+
+    let mut rows = Vec::new();
+    let mut bingo = Bingo::new();
+    let q = evaluate_quality(&mut bingo, &eval, window);
+    rows.push(("Bingo".to_string(), q.correctness, q.coverage));
+
+    let unique = bundle.stats(ds).unique as usize;
+    let mut domino = Domino::with_unique_budget(unique, cfg.output_len);
+    let q = evaluate_quality(&mut domino, &eval, window);
+    rows.push(("Domino".to_string(), q.correctness, q.coverage));
+
+    let mut tf = TransFetch::new(TransFetchConfig {
+        predict_every: 4,
+        ..TransFetchConfig::default()
+    });
+    let steps = if bundle.env().scale <= 0.03 { 150 } else { 400 };
+    tf.train(&train, steps, window);
+    let q = evaluate_quality(&mut tf, &eval, window);
+    rows.push(("TransFetch".to_string(), q.correctness, q.coverage));
+
+    // RecMG: evaluate the trained prefetch model on held-out examples.
+    let trained = bundle.trained(ds, 20.0);
+    let td = recmg_core::build_training_data(&eval, &cfg, bundle.capacity(ds, 20.0));
+    let pe = trained.prefetch.evaluate(
+        &td.prefetch[..td.prefetch.len().min(400)],
+        &trained.codec,
+    );
+    rows.push(("RecMG".to_string(), pe.accuracy, pe.coverage));
+    (rows, pe)
+}
+
+/// Figs. 9 and 10: prefetch sequence prediction correctness and coverage
+/// for Bingo, Domino, TransFetch, and RecMG across the five datasets.
+pub fn fig09_fig10(bundle: &Bundle) -> Vec<ExpResult> {
+    let mut f9 = ExpResult::new(
+        "fig09",
+        "Prefetch sequence prediction correctness (paper Fig. 9)",
+        &["dataset", "Bingo", "Domino", "TransFetch", "RecMG"],
+    );
+    let mut f10 = ExpResult::new(
+        "fig10",
+        "Prefetch coverage, Eq. 2 (paper Fig. 10)",
+        &["dataset", "Bingo", "Domino", "TransFetch", "RecMG"],
+    );
+    for ds in 0..5 {
+        let (rows, _) = quality_rows(bundle, ds);
+        f9.push_row(vec![
+            format!("dataset{ds}"),
+            fmt(rows[0].1),
+            fmt(rows[1].1),
+            fmt(rows[2].1),
+            fmt(rows[3].1),
+        ]);
+        f10.push_row(vec![
+            format!("dataset{ds}"),
+            fmt(rows[0].2),
+            fmt(rows[1].2),
+            fmt(rows[2].2),
+            fmt(rows[3].2),
+        ]);
+    }
+    f9.note("paper: Bingo <0.1%, Domino ~0.3%, TransFetch ~10%, RecMG ~37% — expected ordering Bingo/Domino ≪ TransFetch < RecMG");
+    f10.note("paper: RecMG ≫ Bingo (400x) and Domino (190x); ~1.1x TransFetch");
+    vec![f9, f10]
+}
+
+/// Times `f` per call in microseconds over `iters` calls.
+fn time_us<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e6 / iters as f64
+}
+
+/// Table II: average cost of predicting the next embedding vector.
+pub fn table2(bundle: &Bundle) -> ExpResult {
+    let mut r = ExpResult::new(
+        "table2",
+        "Per-prediction cost on CPU (paper Table II)",
+        &["prefetcher", "cost_us"],
+    );
+    let eval = bundle.eval_accesses(0);
+    let stream: Vec<VectorKey> = eval.iter().copied().take(4_000).collect();
+    let iters = 2_000.min(stream.len());
+
+    let mut bingo = Bingo::new();
+    let mut i = 0usize;
+    let c_bingo = time_us(iters, || {
+        std::hint::black_box(bingo.on_access(stream[i % stream.len()], false));
+        i += 1;
+    });
+
+    let mut domino = Domino::with_unique_budget(bundle.stats(0).unique as usize, 5);
+    let mut j = 0usize;
+    let c_domino = time_us(iters, || {
+        std::hint::black_box(domino.on_access(stream[j % stream.len()], false));
+        j += 1;
+    });
+
+    // Voyager / TransFetch run their research-prototype (tape-based)
+    // inference; RecMG runs its deployed fast path — mirroring the paper's
+    // setup where RecMG is the production-engineered system.
+    let mut voyager = Voyager::try_new(VoyagerConfig::default()).expect("buildable config");
+    for &k in stream.iter().take(64) {
+        voyager.on_access(k, false);
+    }
+    let c_voyager = time_us(50, || {
+        std::hint::black_box(voyager.predict());
+    });
+
+    let mut tf = TransFetch::new(TransFetchConfig::default());
+    tf.train(&stream, 30, 15); // minimal training so prediction is active
+    for &k in stream.iter().take(64) {
+        tf.on_access(k, false);
+    }
+    let c_tf = time_us(50, || {
+        std::hint::black_box(tf.predict());
+    });
+
+    let trained = bundle.trained(0, 20.0);
+    let pm = trained.prefetch.compile();
+    let cfg = bundle.config();
+    let chunk: Vec<VectorKey> = stream.iter().copied().take(cfg.input_len).collect();
+    let c_recmg = time_us(500, || {
+        std::hint::black_box(pm.codes(&chunk));
+    });
+
+    for (name, cost) in [
+        ("Bingo", c_bingo),
+        ("Domino", c_domino),
+        ("Voyager", c_voyager),
+        ("TransFetch", c_tf),
+        ("RecMG", c_recmg),
+    ] {
+        r.push_row(vec![name.to_string(), fmt(cost)]);
+    }
+    r.note("paper: Bingo 32us, Domino 100us, Voyager 1521us, TransFetch 1052us, RecMG 92us — shape: rule-based cheapest, RecMG ~10x cheaper than Voyager/TransFetch");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExpEnv;
+
+    #[test]
+    fn table2_cost_ordering_holds() {
+        let b = Bundle::new(ExpEnv::test_env());
+        let r = table2(&b);
+        let get = |name: &str| -> f64 {
+            r.rows
+                .iter()
+                .find(|row| row[0] == name)
+                .map(|row| row[1].parse().expect("cost"))
+                .expect("row present")
+        };
+        // The paper's cost ordering: RecMG is much cheaper than the
+        // transformer/large-vocab ML baselines.
+        assert!(get("RecMG") < get("TransFetch"));
+        assert!(get("RecMG") < get("Voyager"));
+    }
+}

@@ -1,0 +1,312 @@
+//! Hawkeye (Jain & Lin, ISCA 2016): learns from OPT's past decisions.
+//!
+//! Hawkeye runs OPTgen over a window of recent per-set history to decide,
+//! for each "PC", whether its loads are cache-friendly, then inserts
+//! friendly lines with near RRPVs and averse lines as immediately
+//! evictable. Since DLRM inference has no program counters, the paper maps
+//! **embedding-table IDs to PCs** (§VII-A); we do the same here, which is
+//! precisely why Hawkeye underperforms on these traces — table identity
+//! carries little reuse signal when access patterns are driven by user
+//! behavior, as §VII-E observes.
+
+use std::collections::HashMap;
+
+use recmg_trace::VectorKey;
+
+use crate::policy::{AccessOutcome, CachePolicy};
+use crate::sets::Sets;
+
+const RRPV_MAX: u8 = 7;
+const COUNTER_MAX: i8 = 7;
+const FRIENDLY_THRESHOLD: i8 = 4;
+
+#[derive(Debug, Clone, Copy)]
+struct HistoryEntry {
+    key: VectorKey,
+    pc: u64,
+    reused: bool,
+}
+
+/// Training signals produced by one history observation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Observed {
+    /// `(pc_of_previous_load, opt_hit)` when the key was re-referenced
+    /// inside the window.
+    trained: Option<(u64, bool)>,
+    /// PC of an entry that aged out of the window without ever being
+    /// re-referenced (canonical Hawkeye detrains these).
+    expired_unused: Option<u64>,
+}
+
+/// Per-set OPTgen over a sliding window of the set's recent accesses.
+#[derive(Debug, Clone)]
+struct SetHistory {
+    entries: Vec<HistoryEntry>,
+    /// Occupancy per window position (parallel to `entries`).
+    occupancy: Vec<u16>,
+    window: usize,
+    ways: usize,
+}
+
+impl SetHistory {
+    fn new(ways: usize) -> Self {
+        SetHistory {
+            entries: Vec::new(),
+            occupancy: Vec::new(),
+            window: 8 * ways,
+            ways,
+        }
+    }
+
+    /// Records an access and reports any training signals.
+    fn observe(&mut self, key: VectorKey, pc: u64) -> Observed {
+        let mut out = Observed::default();
+        if let Some(p) = self.entries.iter().rposition(|e| e.key == key) {
+            let prev_pc = self.entries[p].pc;
+            self.entries[p].reused = true;
+            let fits = self.occupancy[p..]
+                .iter()
+                .all(|&o| (o as usize) < self.ways);
+            if fits {
+                for o in &mut self.occupancy[p..] {
+                    *o += 1;
+                }
+            }
+            out.trained = Some((prev_pc, fits));
+        }
+        self.entries.push(HistoryEntry {
+            key,
+            pc,
+            reused: false,
+        });
+        self.occupancy.push(0);
+        if self.entries.len() > self.window {
+            let old = self.entries.remove(0);
+            self.occupancy.remove(0);
+            if !old.reused {
+                out.expired_unused = Some(old.pc);
+            }
+        }
+        out
+    }
+}
+
+/// The Hawkeye replacement policy with table-ID-as-PC prediction.
+#[derive(Debug, Clone)]
+pub struct Hawkeye {
+    sets: Sets,
+    rrpv: Vec<u8>,
+    load_pc: Vec<u64>,
+    history: Vec<SetHistory>,
+    predictor: HashMap<u64, i8>,
+}
+
+impl Hawkeye {
+    /// Creates a Hawkeye cache of roughly `capacity` vectors with `ways`
+    /// associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `ways` is zero.
+    pub fn new(capacity: usize, ways: usize) -> Self {
+        let sets = Sets::new(capacity, ways);
+        let n = sets.capacity();
+        let n_sets = sets.n_sets();
+        let w = sets.ways();
+        Hawkeye {
+            sets,
+            rrpv: vec![RRPV_MAX; n],
+            load_pc: vec![0; n],
+            history: (0..n_sets).map(|_| SetHistory::new(w)).collect(),
+            predictor: HashMap::new(),
+        }
+    }
+
+    fn pc_of(key: VectorKey) -> u64 {
+        key.table().0 as u64
+    }
+
+    fn is_friendly(&self, pc: u64) -> bool {
+        self.predictor
+            .get(&pc)
+            .map(|&c| c >= FRIENDLY_THRESHOLD)
+            .unwrap_or(true)
+    }
+
+    fn train(&mut self, pc: u64, opt_hit: bool) {
+        let c = self.predictor.entry(pc).or_insert(FRIENDLY_THRESHOLD);
+        if opt_hit {
+            *c = (*c + 1).min(COUNTER_MAX);
+        } else {
+            *c = (*c - 1).max(0);
+        }
+    }
+
+    fn victim(&self, set: usize) -> usize {
+        let ways = self.sets.ways();
+        // Prefer an averse (RRPV_MAX) line; else the oldest friendly line.
+        for w in 0..ways {
+            if self.rrpv[set * ways + w] == RRPV_MAX {
+                return w;
+            }
+        }
+        (0..ways)
+            .max_by_key(|&w| self.rrpv[set * ways + w])
+            .expect("ways > 0")
+    }
+
+    fn insert(&mut self, key: VectorKey, pc: u64, friendly: bool) -> Option<VectorKey> {
+        let set = self.sets.set_of(key);
+        let ways = self.sets.ways();
+        let way = match self.sets.empty_way(set) {
+            Some(w) => w,
+            None => self.victim(set),
+        };
+        let evicted = self.sets.put(set, way, key);
+        if friendly {
+            // Age other friendly lines so older friendly lines eventually
+            // become evictable.
+            for w in 0..ways {
+                if w != way && self.rrpv[set * ways + w] < RRPV_MAX - 1 {
+                    self.rrpv[set * ways + w] += 1;
+                }
+            }
+            self.rrpv[set * ways + way] = 0;
+        } else {
+            self.rrpv[set * ways + way] = RRPV_MAX;
+        }
+        self.load_pc[set * ways + way] = pc;
+        evicted
+    }
+}
+
+impl CachePolicy for Hawkeye {
+    fn name(&self) -> String {
+        "Hawkeye".to_string()
+    }
+
+    fn capacity(&self) -> usize {
+        self.sets.capacity()
+    }
+
+    fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    fn contains(&self, key: VectorKey) -> bool {
+        self.sets.contains(key)
+    }
+
+    fn access(&mut self, key: VectorKey) -> AccessOutcome {
+        let pc = Self::pc_of(key);
+        let set = self.sets.set_of(key);
+        // Train from the set's OPTgen verdict on this access, and detrain
+        // PCs whose loads age out of the window without reuse.
+        let observed = self.history[set].observe(key, pc);
+        if let Some((prev_pc, opt_hit)) = observed.trained {
+            self.train(prev_pc, opt_hit);
+        }
+        if let Some(expired_pc) = observed.expired_unused {
+            self.train(expired_pc, false);
+        }
+        let ways = self.sets.ways();
+        if let Some(way) = self.sets.find(set, key) {
+            self.rrpv[set * ways + way] = if self.is_friendly(pc) { 0 } else { RRPV_MAX };
+            self.load_pc[set * ways + way] = pc;
+            AccessOutcome::Hit
+        } else {
+            let friendly = self.is_friendly(pc);
+            let evicted = self.insert(key, pc, friendly);
+            AccessOutcome::Miss { evicted }
+        }
+    }
+
+    fn prefetch_insert(&mut self, key: VectorKey) -> Option<VectorKey> {
+        if self.contains(key) {
+            None
+        } else {
+            let pc = Self::pc_of(key);
+            self.insert(key, pc, false)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::simulate;
+    use recmg_trace::{RowId, SyntheticConfig, TableId};
+
+    fn key(t: u32, r: u64) -> VectorKey {
+        VectorKey::new(TableId(t), RowId(r))
+    }
+
+    #[test]
+    fn set_history_detects_reuse_within_window() {
+        let mut h = SetHistory::new(4);
+        assert_eq!(h.observe(key(0, 1), 0).trained, None);
+        assert_eq!(h.observe(key(0, 2), 0).trained, None);
+        let r = h.observe(key(0, 1), 0);
+        assert_eq!(r.trained, Some((0, true)));
+    }
+
+    #[test]
+    fn set_history_window_expires_and_detrains() {
+        let mut h = SetHistory::new(1); // window = 8
+        h.observe(key(0, 42), 7);
+        let mut expired = Vec::new();
+        for r in 0..8 {
+            if let Some(pc) = h.observe(key(0, 100 + r), 0).expired_unused {
+                expired.push(pc);
+            }
+        }
+        // key 42 (pc 7) aged out unused
+        assert_eq!(expired.first(), Some(&7));
+        assert_eq!(h.observe(key(0, 42), 7).trained, None);
+    }
+
+    #[test]
+    fn set_history_capacity_limits_hits() {
+        let mut h = SetHistory::new(1); // 1-way: only one interval can live
+        h.observe(key(0, 1), 0);
+        h.observe(key(0, 2), 0);
+        let r1 = h.observe(key(0, 1), 0); // interval [0,2) fits (occ 0)
+        assert_eq!(r1.trained, Some((0, true)));
+        let r2 = h.observe(key(0, 2), 0); // interval [1,3) now occupied
+        assert_eq!(r2.trained, Some((0, false)));
+    }
+
+    #[test]
+    fn predictor_learns_averse_pc() {
+        let mut hk = Hawkeye::new(8, 4);
+        // Table 9 streams without reuse → becomes averse.
+        for r in 0..200 {
+            hk.access(key(9, r));
+        }
+        assert!(!hk.is_friendly(9));
+    }
+
+    #[test]
+    fn friendly_lines_survive_averse_stream() {
+        let mut hk = Hawkeye::new(8, 8);
+        // Train: table 1 reuses heavily, table 9 streams.
+        let mut trace = Vec::new();
+        for round in 0..300 {
+            trace.push(key(1, (round % 3) as u64));
+            trace.push(key(9, 1000 + round as u64));
+        }
+        let stats = simulate(&mut hk, &trace);
+        assert!(hk.is_friendly(1));
+        assert!(!hk.is_friendly(9));
+        // Hot keys of table 1 should be hitting by the end.
+        assert!(stats.hit_rate() > 0.3, "hit rate {}", stats.hit_rate());
+    }
+
+    #[test]
+    fn capacity_respected_on_synthetic_trace() {
+        let trace = SyntheticConfig::tiny(31).generate();
+        let mut hk = Hawkeye::new(64, 32);
+        simulate(&mut hk, trace.accesses());
+        assert!(hk.len() <= hk.capacity());
+    }
+}

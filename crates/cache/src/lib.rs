@@ -1,0 +1,50 @@
+//! # recmg-cache
+//!
+//! Cache replacement policies, offline-optimal analysis, and the GPU-buffer
+//! emulator for the RecMG reproduction ("Machine Learning-Guided Memory
+//! Optimization for DLRM Inference on Tiered Memory", HPCA 2025).
+//!
+//! Contents:
+//!
+//! * Baseline replacement policies evaluated by the paper —
+//!   fully-associative [`FullyAssocLru`]/[`FullyAssocLfu`], 32-way
+//!   [`SetAssocLru`]/[`SetAssocLfu`], [`Srrip`]/[`Drrip`] (Jaleel et al.),
+//!   [`Hawkeye`] (Jain & Lin), and a [`Mockingjay`] approximation — all
+//!   behind the [`CachePolicy`] trait with prefetch-fill support.
+//! * Offline-optimal machinery: exact [`belady`] MIN simulation and
+//!   [`optgen`] incremental OPT labeling (the training-data generator of
+//!   the paper's §VI-A).
+//! * [`GpuBuffer`] — the priority-metadata buffer co-managed by RecMG's two
+//!   models (Algorithms 1 and 2).
+//!
+//! # Examples
+//!
+//! ```
+//! use recmg_cache::{simulate, CachePolicy, FullyAssocLru};
+//! use recmg_trace::SyntheticConfig;
+//!
+//! let trace = SyntheticConfig::tiny(1).generate();
+//! let mut lru = FullyAssocLru::new(128);
+//! let stats = simulate(&mut lru, trace.accesses());
+//! assert!(stats.hit_rate() > 0.0);
+//! ```
+
+pub mod belady;
+mod buffer;
+mod hawkeye;
+mod lru;
+mod mockingjay;
+pub mod optgen;
+mod policy;
+mod rrip;
+mod set_assoc;
+mod sets;
+
+pub use buffer::{BufferAccess, GpuBuffer};
+pub use hawkeye::Hawkeye;
+pub use lru::{FullyAssocLfu, FullyAssocLru};
+pub use mockingjay::Mockingjay;
+pub use optgen::{optgen, OptgenResult};
+pub use policy::{simulate, AccessOutcome, CachePolicy, HitStats};
+pub use rrip::{Drrip, Srrip};
+pub use set_assoc::{SetAssocLfu, SetAssocLru, DEFAULT_WAYS};

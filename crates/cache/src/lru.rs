@@ -1,0 +1,366 @@
+//! Fully associative LRU and LFU caches.
+//!
+//! The fully associative LRU is the reuse-distance-faithful baseline of
+//! §III (Fig. 3) and §VII-B (Fig. 8, "LRU-fully"); LFU is the other
+//! production policy TorchRec offers (§VI-B mentions "LRU/LFU").
+//!
+//! The LRU uses the classic slab + intrusive doubly-linked list layout so
+//! that every operation is `O(1)` amortized.
+
+use std::collections::{BTreeSet, HashMap};
+
+use recmg_trace::VectorKey;
+
+use crate::policy::{AccessOutcome, CachePolicy};
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone)]
+struct LruNode {
+    key: VectorKey,
+    prev: usize,
+    next: usize,
+}
+
+/// Fully associative LRU cache.
+///
+/// # Examples
+///
+/// ```
+/// use recmg_cache::{CachePolicy, FullyAssocLru};
+/// use recmg_trace::{RowId, TableId, VectorKey};
+///
+/// let k = |r| VectorKey::new(TableId(0), RowId(r));
+/// let mut lru = FullyAssocLru::new(2);
+/// lru.access(k(1));
+/// lru.access(k(2));
+/// lru.access(k(3)); // evicts k(1), the least recently used
+/// assert!(!lru.contains(k(1)));
+/// assert!(lru.contains(k(2)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FullyAssocLru {
+    capacity: usize,
+    map: HashMap<VectorKey, usize>,
+    nodes: Vec<LruNode>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+}
+
+impl FullyAssocLru {
+    /// Creates an LRU cache holding up to `capacity` vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        FullyAssocLru {
+            capacity,
+            map: HashMap::with_capacity(capacity),
+            nodes: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = (self.nodes[idx].prev, self.nodes[idx].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn evict_lru(&mut self) -> Option<VectorKey> {
+        if self.tail == NIL {
+            return None;
+        }
+        let idx = self.tail;
+        let key = self.nodes[idx].key;
+        self.detach(idx);
+        self.map.remove(&key);
+        self.free.push(idx);
+        Some(key)
+    }
+
+    fn insert_new(&mut self, key: VectorKey) -> Option<VectorKey> {
+        let evicted = if self.map.len() >= self.capacity {
+            self.evict_lru()
+        } else {
+            None
+        };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i] = LruNode {
+                    key,
+                    prev: NIL,
+                    next: NIL,
+                };
+                i
+            }
+            None => {
+                self.nodes.push(LruNode {
+                    key,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.nodes.len() - 1
+            }
+        };
+        self.push_front(idx);
+        self.map.insert(key, idx);
+        evicted
+    }
+
+    /// Keys from most to least recently used (for tests and debugging).
+    pub fn keys_mru_order(&self) -> Vec<VectorKey> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut cur = self.head;
+        while cur != NIL {
+            out.push(self.nodes[cur].key);
+            cur = self.nodes[cur].next;
+        }
+        out
+    }
+}
+
+impl CachePolicy for FullyAssocLru {
+    fn name(&self) -> String {
+        "LRU-fully".to_string()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn contains(&self, key: VectorKey) -> bool {
+        self.map.contains_key(&key)
+    }
+
+    fn access(&mut self, key: VectorKey) -> AccessOutcome {
+        if let Some(&idx) = self.map.get(&key) {
+            self.detach(idx);
+            self.push_front(idx);
+            AccessOutcome::Hit
+        } else {
+            let evicted = self.insert_new(key);
+            AccessOutcome::Miss { evicted }
+        }
+    }
+
+    fn prefetch_insert(&mut self, key: VectorKey) -> Option<VectorKey> {
+        if self.map.contains_key(&key) {
+            None
+        } else {
+            self.insert_new(key)
+        }
+    }
+}
+
+/// Fully associative LFU cache with LRU tie-breaking.
+///
+/// Eviction removes the key with the smallest access count, breaking ties
+/// toward the least recently used, via an ordered set of
+/// `(count, last_used, key)` triples (`O(log n)` per operation).
+#[derive(Debug, Clone)]
+pub struct FullyAssocLfu {
+    capacity: usize,
+    clock: u64,
+    map: HashMap<VectorKey, (u64, u64)>, // key -> (count, last_used)
+    order: BTreeSet<(u64, u64, u64)>,    // (count, last_used, raw key)
+}
+
+impl FullyAssocLfu {
+    /// Creates an LFU cache holding up to `capacity` vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        FullyAssocLfu {
+            capacity,
+            clock: 0,
+            map: HashMap::with_capacity(capacity),
+            order: BTreeSet::new(),
+        }
+    }
+
+    fn insert_new(&mut self, key: VectorKey) -> Option<VectorKey> {
+        let mut evicted = None;
+        if self.map.len() >= self.capacity {
+            if let Some(&(c, t, raw)) = self.order.iter().next() {
+                self.order.remove(&(c, t, raw));
+                let victim = VectorKey::from_u64(raw);
+                self.map.remove(&victim);
+                evicted = Some(victim);
+            }
+        }
+        self.clock += 1;
+        self.map.insert(key, (1, self.clock));
+        self.order.insert((1, self.clock, key.as_u64()));
+        evicted
+    }
+}
+
+impl CachePolicy for FullyAssocLfu {
+    fn name(&self) -> String {
+        "LFU-fully".to_string()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn contains(&self, key: VectorKey) -> bool {
+        self.map.contains_key(&key)
+    }
+
+    fn access(&mut self, key: VectorKey) -> AccessOutcome {
+        if let Some(&(count, last)) = self.map.get(&key) {
+            self.order.remove(&(count, last, key.as_u64()));
+            self.clock += 1;
+            self.map.insert(key, (count + 1, self.clock));
+            self.order.insert((count + 1, self.clock, key.as_u64()));
+            AccessOutcome::Hit
+        } else {
+            let evicted = self.insert_new(key);
+            AccessOutcome::Miss { evicted }
+        }
+    }
+
+    fn prefetch_insert(&mut self, key: VectorKey) -> Option<VectorKey> {
+        if self.map.contains_key(&key) {
+            None
+        } else {
+            self.insert_new(key)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::simulate;
+    use recmg_trace::{RowId, TableId};
+
+    fn key(r: u64) -> VectorKey {
+        VectorKey::new(TableId(0), RowId(r))
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut lru = FullyAssocLru::new(3);
+        for r in 1..=3 {
+            lru.access(key(r));
+        }
+        lru.access(key(1)); // 1 becomes MRU; LRU order now 1,3,2
+        assert_eq!(lru.keys_mru_order(), vec![key(1), key(3), key(2)]);
+        let out = lru.access(key(4));
+        assert_eq!(out.evicted(), Some(key(2)));
+        assert_eq!(lru.len(), 3);
+    }
+
+    #[test]
+    fn lru_hit_rate_matches_reuse_distance_rule() {
+        // Cross-check against the reuse-distance derivation in recmg-trace.
+        let trace = recmg_trace::SyntheticConfig::tiny(3).generate();
+        let cap = 64u64;
+        let expected = recmg_trace::lru_hit_rates(trace.accesses(), &[cap])[0];
+        let mut lru = FullyAssocLru::new(cap as usize);
+        let got = simulate(&mut lru, trace.accesses()).hit_rate();
+        assert!(
+            (expected - got).abs() < 1e-12,
+            "reuse-distance {expected} vs simulation {got}"
+        );
+    }
+
+    #[test]
+    fn lru_prefetch_insert_counts_toward_capacity() {
+        let mut lru = FullyAssocLru::new(2);
+        assert_eq!(lru.prefetch_insert(key(1)), None);
+        assert_eq!(lru.prefetch_insert(key(2)), None);
+        let ev = lru.prefetch_insert(key(3));
+        assert_eq!(ev, Some(key(1)));
+        // re-inserting an existing key is a no-op
+        assert_eq!(lru.prefetch_insert(key(3)), None);
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn lru_slab_reuse_after_eviction() {
+        let mut lru = FullyAssocLru::new(2);
+        for r in 0..100 {
+            lru.access(key(r));
+        }
+        assert_eq!(lru.len(), 2);
+        assert!(lru.contains(key(99)));
+        assert!(lru.contains(key(98)));
+    }
+
+    #[test]
+    fn lfu_keeps_frequent_keys() {
+        let mut lfu = FullyAssocLfu::new(2);
+        lfu.access(key(1));
+        lfu.access(key(1));
+        lfu.access(key(1));
+        lfu.access(key(2));
+        // key(3) should evict key(2) (count 1) not key(1) (count 3)
+        let out = lfu.access(key(3));
+        assert_eq!(out.evicted(), Some(key(2)));
+        assert!(lfu.contains(key(1)));
+    }
+
+    #[test]
+    fn lfu_tie_breaks_toward_lru() {
+        let mut lfu = FullyAssocLfu::new(2);
+        lfu.access(key(1));
+        lfu.access(key(2));
+        // Both count 1; key(1) is older → evicted.
+        let out = lfu.access(key(3));
+        assert_eq!(out.evicted(), Some(key(1)));
+    }
+
+    #[test]
+    fn lfu_hit_updates_count() {
+        let mut lfu = FullyAssocLfu::new(4);
+        assert!(!lfu.access(key(7)).is_hit());
+        assert!(lfu.access(key(7)).is_hit());
+        assert_eq!(lfu.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = FullyAssocLru::new(0);
+    }
+}

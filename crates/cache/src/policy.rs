@@ -1,0 +1,144 @@
+//! The cache-policy abstraction shared by every replacement strategy.
+//!
+//! Each embedding vector is an atomic replacement unit, exactly as the
+//! paper configures ChampSim ("the embedding vectors ... are treated as
+//! atomic units for replacement decisions", §VII-E). Policies see demand
+//! accesses (which insert on miss) and prefetch inserts (which do not count
+//! as accesses), and report evictions so co-simulators can track
+//! prefetched-but-unused lines.
+
+use recmg_trace::VectorKey;
+
+/// Result of a demand access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The key was already cached.
+    Hit,
+    /// The key was not cached; it has been inserted, evicting `evicted` if
+    /// the cache was full.
+    Miss {
+        /// Key displaced by the insertion, if any.
+        evicted: Option<VectorKey>,
+    },
+}
+
+impl AccessOutcome {
+    /// Whether the access hit.
+    pub fn is_hit(self) -> bool {
+        matches!(self, AccessOutcome::Hit)
+    }
+
+    /// The evicted key, if this was a miss that displaced one.
+    pub fn evicted(self) -> Option<VectorKey> {
+        match self {
+            AccessOutcome::Hit => None,
+            AccessOutcome::Miss { evicted } => evicted,
+        }
+    }
+}
+
+/// A cache replacement policy over embedding-vector keys.
+pub trait CachePolicy {
+    /// Human-readable policy name (used in experiment output).
+    fn name(&self) -> String;
+
+    /// Maximum number of vectors the cache can hold.
+    fn capacity(&self) -> usize;
+
+    /// Current number of cached vectors.
+    fn len(&self) -> usize;
+
+    /// Whether the cache is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether `key` is currently cached.
+    fn contains(&self, key: VectorKey) -> bool;
+
+    /// Performs a demand access: updates replacement metadata on hit, or
+    /// inserts the key (evicting a victim if full) on miss.
+    fn access(&mut self, key: VectorKey) -> AccessOutcome;
+
+    /// Inserts `key` without counting a demand access (prefetch fill).
+    /// Returns the evicted victim, if any. Inserting an already-present key
+    /// is a no-op returning `None`.
+    fn prefetch_insert(&mut self, key: VectorKey) -> Option<VectorKey>;
+}
+
+/// Hit/miss counts from a simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HitStats {
+    /// Demand accesses that hit.
+    pub hits: u64,
+    /// Demand accesses that missed.
+    pub misses: u64,
+}
+
+impl HitStats {
+    /// Total demand accesses.
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in `[0, 1]` (0 for an empty run).
+    pub fn hit_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total() as f64
+        }
+    }
+}
+
+/// Replays `accesses` through `policy`, returning hit statistics.
+pub fn simulate<P: CachePolicy + ?Sized>(policy: &mut P, accesses: &[VectorKey]) -> HitStats {
+    let mut stats = HitStats::default();
+    for &key in accesses {
+        if policy.access(key).is_hit() {
+            stats.hits += 1;
+        } else {
+            stats.misses += 1;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lru::FullyAssocLru;
+    use recmg_trace::{RowId, TableId};
+
+    fn key(r: u64) -> VectorKey {
+        VectorKey::new(TableId(0), RowId(r))
+    }
+
+    #[test]
+    fn outcome_helpers() {
+        assert!(AccessOutcome::Hit.is_hit());
+        assert_eq!(AccessOutcome::Hit.evicted(), None);
+        let m = AccessOutcome::Miss {
+            evicted: Some(key(1)),
+        };
+        assert!(!m.is_hit());
+        assert_eq!(m.evicted(), Some(key(1)));
+    }
+
+    #[test]
+    fn hit_stats_rates() {
+        let s = HitStats { hits: 3, misses: 1 };
+        assert_eq!(s.total(), 4);
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(HitStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn simulate_counts() {
+        let mut lru = FullyAssocLru::new(2);
+        let acc = vec![key(1), key(2), key(1), key(3), key(1)];
+        let s = simulate(&mut lru, &acc);
+        assert_eq!(s.total(), 5);
+        assert_eq!(s.hits, 2); // second and third accesses of key 1
+    }
+}

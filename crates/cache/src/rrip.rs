@@ -1,0 +1,325 @@
+//! RRIP-family replacement: SRRIP, BRRIP, and DRRIP (Jaleel et al.,
+//! ISCA 2010), evaluated by the paper in Fig. 15 and Fig. 19.
+//!
+//! RRIP tracks a small "re-reference prediction value" (RRPV) per line:
+//! 0 means "re-referenced soon", the maximum means "re-referenced in the
+//! distant future" (evict me). The paper's own eviction-speed mechanism
+//! (§VI-B) is explicitly "inspired by the RRIP hardware prefetcher
+//! algorithm", which is why these baselines matter.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use recmg_trace::VectorKey;
+
+use crate::policy::{AccessOutcome, CachePolicy};
+use crate::sets::Sets;
+
+/// Width of the RRPV counter in bits (the canonical configuration is 2).
+const RRPV_BITS: u32 = 2;
+const RRPV_MAX: u8 = (1 << RRPV_BITS) - 1; // 3: distant future
+const RRPV_LONG: u8 = RRPV_MAX - 1; // 2: long re-reference interval
+
+/// Insertion flavor: SRRIP inserts with a long interval, BRRIP mostly with
+/// a distant interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum InsertionPolicy {
+    Srrip,
+    Brrip,
+}
+
+/// Static RRIP (SRRIP-HP): hit promotes to RRPV 0; insertion uses
+/// RRPV = max − 1.
+#[derive(Debug, Clone)]
+pub struct Srrip {
+    sets: Sets,
+    rrpv: Vec<u8>,
+}
+
+impl Srrip {
+    /// Creates an SRRIP cache of roughly `capacity` vectors with `ways`
+    /// associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `ways` is zero.
+    pub fn new(capacity: usize, ways: usize) -> Self {
+        let sets = Sets::new(capacity, ways);
+        let n = sets.capacity();
+        Srrip {
+            sets,
+            rrpv: vec![RRPV_MAX; n],
+        }
+    }
+}
+
+/// Finds the victim way in `set`: the first way with RRPV = max, aging all
+/// ways until one exists.
+fn rrip_victim(sets: &Sets, rrpv: &mut [u8], set: usize) -> usize {
+    let ways = sets.ways();
+    loop {
+        for w in 0..ways {
+            if rrpv[set * ways + w] == RRPV_MAX {
+                return w;
+            }
+        }
+        for w in 0..ways {
+            rrpv[set * ways + w] += 1;
+        }
+    }
+}
+
+fn rrip_insert(
+    sets: &mut Sets,
+    rrpv: &mut [u8],
+    key: VectorKey,
+    insert_rrpv: u8,
+) -> Option<VectorKey> {
+    let set = sets.set_of(key);
+    let ways = sets.ways();
+    let way = match sets.empty_way(set) {
+        Some(w) => w,
+        None => rrip_victim(sets, rrpv, set),
+    };
+    let evicted = sets.put(set, way, key);
+    rrpv[set * ways + way] = insert_rrpv;
+    evicted
+}
+
+impl CachePolicy for Srrip {
+    fn name(&self) -> String {
+        "SRRIP".to_string()
+    }
+
+    fn capacity(&self) -> usize {
+        self.sets.capacity()
+    }
+
+    fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    fn contains(&self, key: VectorKey) -> bool {
+        self.sets.contains(key)
+    }
+
+    fn access(&mut self, key: VectorKey) -> AccessOutcome {
+        let set = self.sets.set_of(key);
+        if let Some(way) = self.sets.find(set, key) {
+            self.rrpv[set * self.sets.ways() + way] = 0;
+            AccessOutcome::Hit
+        } else {
+            let evicted = rrip_insert(&mut self.sets, &mut self.rrpv, key, RRPV_LONG);
+            AccessOutcome::Miss { evicted }
+        }
+    }
+
+    fn prefetch_insert(&mut self, key: VectorKey) -> Option<VectorKey> {
+        if self.contains(key) {
+            None
+        } else {
+            // Prefetches enter with a distant prediction so that useless
+            // prefetches are evicted first (standard RRIP treatment).
+            rrip_insert(&mut self.sets, &mut self.rrpv, key, RRPV_MAX)
+        }
+    }
+}
+
+/// Dynamic RRIP: set-dueling between SRRIP and BRRIP insertion, with a
+/// saturating policy-selector (PSEL) counter.
+#[derive(Debug, Clone)]
+pub struct Drrip {
+    sets: Sets,
+    rrpv: Vec<u8>,
+    psel: i32,
+    rng: StdRng,
+}
+
+/// Every 32nd set is an SRRIP leader; the next one a BRRIP leader.
+const DUEL_PERIOD: usize = 32;
+const PSEL_MAX: i32 = 512;
+/// BRRIP inserts with long (rather than distant) interval 1/32 of the time.
+const BRRIP_LONG_ODDS: f64 = 1.0 / 32.0;
+
+impl Drrip {
+    /// Creates a DRRIP cache of roughly `capacity` vectors with `ways`
+    /// associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `ways` is zero.
+    pub fn new(capacity: usize, ways: usize) -> Self {
+        let sets = Sets::new(capacity, ways);
+        let n = sets.capacity();
+        Drrip {
+            sets,
+            rrpv: vec![RRPV_MAX; n],
+            psel: 0,
+            rng: StdRng::seed_from_u64(0xD221),
+        }
+    }
+
+    fn set_policy(&self, set: usize) -> Option<InsertionPolicy> {
+        match set % DUEL_PERIOD {
+            0 => Some(InsertionPolicy::Srrip),
+            1 => Some(InsertionPolicy::Brrip),
+            _ => None,
+        }
+    }
+
+    fn insertion_rrpv(&mut self, set: usize) -> u8 {
+        let policy = match self.set_policy(set) {
+            Some(p) => p,
+            // Follower sets obey the PSEL winner (PSEL counts SRRIP-leader
+            // misses up, BRRIP-leader misses down; lower is better for the
+            // corresponding leader).
+            None => {
+                if self.psel >= 0 {
+                    InsertionPolicy::Brrip
+                } else {
+                    InsertionPolicy::Srrip
+                }
+            }
+        };
+        match policy {
+            InsertionPolicy::Srrip => RRPV_LONG,
+            InsertionPolicy::Brrip => {
+                if self.rng.gen_bool(BRRIP_LONG_ODDS) {
+                    RRPV_LONG
+                } else {
+                    RRPV_MAX
+                }
+            }
+        }
+    }
+}
+
+impl CachePolicy for Drrip {
+    fn name(&self) -> String {
+        "DRRIP".to_string()
+    }
+
+    fn capacity(&self) -> usize {
+        self.sets.capacity()
+    }
+
+    fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    fn contains(&self, key: VectorKey) -> bool {
+        self.sets.contains(key)
+    }
+
+    fn access(&mut self, key: VectorKey) -> AccessOutcome {
+        let set = self.sets.set_of(key);
+        if let Some(way) = self.sets.find(set, key) {
+            self.rrpv[set * self.sets.ways() + way] = 0;
+            AccessOutcome::Hit
+        } else {
+            match self.set_policy(set) {
+                Some(InsertionPolicy::Srrip) => {
+                    self.psel = (self.psel + 1).min(PSEL_MAX);
+                }
+                Some(InsertionPolicy::Brrip) => {
+                    self.psel = (self.psel - 1).max(-PSEL_MAX);
+                }
+                None => {}
+            }
+            let ins = self.insertion_rrpv(set);
+            let evicted = rrip_insert(&mut self.sets, &mut self.rrpv, key, ins);
+            AccessOutcome::Miss { evicted }
+        }
+    }
+
+    fn prefetch_insert(&mut self, key: VectorKey) -> Option<VectorKey> {
+        if self.contains(key) {
+            None
+        } else {
+            rrip_insert(&mut self.sets, &mut self.rrpv, key, RRPV_MAX)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::simulate;
+    use recmg_trace::{RowId, SyntheticConfig, TableId};
+
+    fn key(r: u64) -> VectorKey {
+        VectorKey::new(TableId(0), RowId(r))
+    }
+
+    #[test]
+    fn srrip_hit_promotes() {
+        let mut c = Srrip::new(4, 4);
+        c.access(key(1));
+        assert!(c.access(key(1)).is_hit());
+        // fill the set
+        for r in 2..=4 {
+            c.access(key(r));
+        }
+        // key(1) has RRPV 0, the others RRPV 2: a new insert should evict
+        // one of the RRPV-2 lines, never key(1).
+        let out = c.access(key(9));
+        assert_ne!(out.evicted(), Some(key(1)));
+        assert!(c.contains(key(1)));
+    }
+
+    #[test]
+    fn srrip_prefetch_evicted_first() {
+        let mut c = Srrip::new(4, 4);
+        c.access(key(1));
+        c.access(key(2));
+        c.access(key(3));
+        c.prefetch_insert(key(4)); // RRPV 3 (distant)
+        let out = c.access(key(5));
+        assert_eq!(out.evicted(), Some(key(4)));
+    }
+
+    #[test]
+    fn srrip_scan_resistance_beats_lru() {
+        // Mixed workload: a hot working set plus a long one-shot scan.
+        // SRRIP should retain the hot lines better than LRU.
+        let mut trace: Vec<VectorKey> = Vec::new();
+        let mut scan_id = 1_000u64;
+        for round in 0..200 {
+            for r in 0..24 {
+                trace.push(key(r));
+            }
+            if round % 2 == 0 {
+                for _ in 0..48 {
+                    trace.push(key(scan_id));
+                    scan_id += 1;
+                }
+            }
+        }
+        let mut srrip = Srrip::new(32, 32);
+        let mut lru = crate::set_assoc::SetAssocLru::new(32, 32);
+        let s = simulate(&mut srrip, &trace).hit_rate();
+        let l = simulate(&mut lru, &trace).hit_rate();
+        assert!(s > l, "SRRIP {s} should beat LRU {l} on scans");
+    }
+
+    #[test]
+    fn drrip_tracks_better_leader() {
+        let trace = SyntheticConfig::tiny(4).generate();
+        let mut d = Drrip::new(256, 32);
+        let stats = simulate(&mut d, trace.accesses());
+        assert!(stats.total() > 0);
+        // DRRIP must stay within the envelope of its two components on a
+        // skewed trace (sanity, not a strict theorem at small scale).
+        let mut s = Srrip::new(256, 32);
+        let s_rate = simulate(&mut s, trace.accesses()).hit_rate();
+        assert!((stats.hit_rate() - s_rate).abs() < 0.25);
+    }
+
+    #[test]
+    fn drrip_capacity_respected() {
+        let mut d = Drrip::new(64, 32);
+        for r in 0..1000 {
+            d.access(key(r));
+        }
+        assert!(d.len() <= d.capacity());
+    }
+}

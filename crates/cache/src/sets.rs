@@ -1,0 +1,142 @@
+//! Shared set-associative storage used by the 32-way policies.
+//!
+//! The paper evaluates production-style caches as 32-way set-associative
+//! (§VII-B "Both 32-way LRU and LFU are commonly used in production DLRM
+//! embedding vector caching policies"; §VII-E "ChampSim configured with a
+//! 32-way set-associative cache"). This module provides the key array and
+//! set indexing; each policy layers its own per-way metadata on top.
+
+use recmg_trace::VectorKey;
+
+/// Key storage for a set-associative cache.
+#[derive(Debug, Clone)]
+pub(crate) struct Sets {
+    ways: usize,
+    n_sets: usize,
+    keys: Vec<Option<VectorKey>>,
+    len: usize,
+}
+
+impl Sets {
+    /// Creates storage with roughly `capacity` total slots arranged as
+    /// `ways`-way sets (at least one set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `ways` is zero.
+    pub(crate) fn new(capacity: usize, ways: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        assert!(ways > 0, "associativity must be positive");
+        let ways = ways.min(capacity);
+        let n_sets = (capacity / ways).max(1);
+        Sets {
+            ways,
+            n_sets,
+            keys: vec![None; ways * n_sets],
+            len: 0,
+        }
+    }
+
+    pub(crate) fn ways(&self) -> usize {
+        self.ways
+    }
+
+    pub(crate) fn n_sets(&self) -> usize {
+        self.n_sets
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.ways * self.n_sets
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// The set a key maps to (Fibonacci hash of the packed key).
+    pub(crate) fn set_of(&self, key: VectorKey) -> usize {
+        let h = key.as_u64().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((h >> 17) % self.n_sets as u64) as usize
+    }
+
+    fn slot(&self, set: usize, way: usize) -> usize {
+        set * self.ways + way
+    }
+
+    /// The way holding `key` within `set`, if present.
+    pub(crate) fn find(&self, set: usize, key: VectorKey) -> Option<usize> {
+        (0..self.ways).find(|&w| self.keys[self.slot(set, w)] == Some(key))
+    }
+
+    /// An unoccupied way within `set`, if any.
+    pub(crate) fn empty_way(&self, set: usize) -> Option<usize> {
+        (0..self.ways).find(|&w| self.keys[self.slot(set, w)].is_none())
+    }
+
+    /// Writes `key` into `(set, way)`, returning the displaced key (if the
+    /// slot was occupied).
+    pub(crate) fn put(&mut self, set: usize, way: usize, key: VectorKey) -> Option<VectorKey> {
+        let idx = self.slot(set, way);
+        let old = self.keys[idx];
+        self.keys[idx] = Some(key);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Whether `key` is present anywhere.
+    pub(crate) fn contains(&self, key: VectorKey) -> bool {
+        self.find(self.set_of(key), key).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recmg_trace::{RowId, TableId};
+
+    fn key(r: u64) -> VectorKey {
+        VectorKey::new(TableId(0), RowId(r))
+    }
+
+    #[test]
+    fn geometry() {
+        let s = Sets::new(64, 32);
+        assert_eq!(s.ways(), 32);
+        assert_eq!(s.n_sets(), 2);
+        assert_eq!(s.capacity(), 64);
+        // small capacity shrinks associativity
+        let t = Sets::new(8, 32);
+        assert_eq!(t.ways(), 8);
+        assert_eq!(t.n_sets(), 1);
+    }
+
+    #[test]
+    fn put_find_displace() {
+        let mut s = Sets::new(4, 2);
+        let k = key(7);
+        let set = s.set_of(k);
+        assert_eq!(s.find(set, k), None);
+        let way = s.empty_way(set).expect("empty set has room");
+        assert_eq!(s.put(set, way, k), None);
+        assert_eq!(s.find(set, k), Some(way));
+        assert!(s.contains(k));
+        assert_eq!(s.len(), 1);
+        // displace
+        let k2 = key(1 << 20);
+        let old = s.put(set, way, k2);
+        assert_eq!(old, Some(k));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn set_of_is_stable_and_in_range() {
+        let s = Sets::new(1024, 32);
+        for r in 0..1000u64 {
+            let set = s.set_of(key(r));
+            assert!(set < s.n_sets());
+            assert_eq!(set, s.set_of(key(r)));
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Algorithms 1 and 2: model-guided GPU-buffer management (paper §VI-B).
+//!
+//! * **Algorithm 1** (`load_embeddings`): after each chunk of accesses, the
+//!   caching model's bit `C[i]` sets the priority of trunk entry `T[i]` to
+//!   `C[i] + eviction_speed`, and every prefetch-model output is fetched
+//!   into the buffer at priority `eviction_speed` (protected from premature
+//!   eviction).
+//! * **Algorithm 2** (`gpu_buffer_populate`): when space is needed, every
+//!   resident entry's priority decays by one and the minimum-priority entry
+//!   is evicted — realized lazily by [`GpuBuffer::populate`].
+//!
+//! A larger `eviction_speed` keeps prefetched embeddings resident longer
+//! relative to model-demoted entries; the default of 4 follows the paper
+//! ("inspired by the RRIP hardware prefetcher algorithm").
+
+use recmg_cache::{BufferAccess, GpuBuffer};
+use recmg_trace::VectorKey;
+
+/// The RecMG-managed GPU buffer.
+#[derive(Debug, Clone)]
+pub struct RecMgBuffer {
+    buffer: GpuBuffer,
+    eviction_speed: u64,
+}
+
+impl RecMgBuffer {
+    /// Creates a buffer of `capacity` vectors with the given eviction
+    /// speed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, eviction_speed: u64) -> Self {
+        RecMgBuffer {
+            buffer: GpuBuffer::new(capacity),
+            eviction_speed,
+        }
+    }
+
+    /// The configured eviction speed.
+    pub fn eviction_speed(&self) -> u64 {
+        self.eviction_speed
+    }
+
+    /// Demand access on the critical path: classifies the access and, on a
+    /// miss, fetches the vector on demand (evicting via Algorithm 2 if
+    /// full). Newly fetched vectors enter at neutral priority
+    /// `eviction_speed`; their final priority arrives with the next
+    /// caching-model output (Algorithm 1).
+    pub fn access(&mut self, key: VectorKey) -> BufferAccess {
+        let outcome = self.buffer.lookup(key);
+        if outcome == BufferAccess::Miss {
+            if self.buffer.is_full() {
+                self.buffer.populate();
+            }
+            self.buffer.insert(key, self.eviction_speed, false);
+        }
+        outcome
+    }
+
+    /// Algorithm 1: applies the caching model's bits `c` to the trunk `t`
+    /// and fetches the prefetch model's outputs `p`.
+    ///
+    /// The 1-bit priority maps to the buffer's priority scale as
+    /// keep → `eviction_speed + 1`, evict → `0`. The paper's literal
+    /// `C[i] + eviction_speed` encodes the same one-unit relative gap on a
+    /// per-eviction decay scale; with this buffer's per-pass decay
+    /// (see [`recmg_cache::GpuBuffer`]) the gap must span the full scale,
+    /// otherwise model-rejected vectors — which OPTgen labels precisely
+    /// because the optimal policy would *bypass* them — would pollute the
+    /// buffer for a pass and the system could not approach the optgen
+    /// hit rates of Fig. 8.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` and `c` differ in length.
+    pub fn load_embeddings(&mut self, t: &[VectorKey], c: &[bool], p: &[VectorKey]) {
+        assert_eq!(t.len(), c.len(), "one caching bit per trunk entry");
+        // Lines 4-6: keep-labeled trunk entries are protected, evict-labeled
+        // ones drop to the eviction floor (OPT-bypass approximation).
+        for (&key, &bit) in t.iter().zip(c) {
+            let prio = if bit { self.eviction_speed + 1 } else { 0 };
+            self.buffer.set_priority(key, prio);
+        }
+        // Lines 9-14: prefetch P[i] and protect it. A prefetch is dropped
+        // rather than inserted when every resident entry is still
+        // protected (min priority ≥ eviction_speed): evicting a
+        // model-endorsed or not-yet-classified vector for a speculative
+        // one inverts the system's own priority order and, at moderate
+        // prefetch accuracy, pollutes the buffer (the failure mode
+        // Table IV attributes to Berti/MAB).
+        for &key in p {
+            if self.buffer.contains(key) {
+                // Already resident: just refresh its protection.
+                self.buffer.set_priority(key, self.eviction_speed);
+                continue;
+            }
+            if self.buffer.is_full() {
+                if self.buffer.min_priority().unwrap_or(0) >= self.eviction_speed {
+                    continue;
+                }
+                self.buffer.evict_min();
+            }
+            // Speculative entries start with one decay period of
+            // protection; a prefetch hit upgrades them through the normal
+            // Algorithm-1 path on their first demand touch. Holding them at
+            // full `eviction_speed` protection would let mispredictions
+            // occupy ~eviction_speed passes of capacity.
+            self.buffer.insert_prefetch(key, 1);
+        }
+    }
+
+    /// Read access to the underlying buffer.
+    pub fn buffer(&self) -> &GpuBuffer {
+        &self.buffer
+    }
+
+    /// Buffer capacity in vectors.
+    pub fn capacity(&self) -> usize {
+        self.buffer.capacity()
+    }
+
+    /// Current residency.
+    pub fn len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buffer.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recmg_trace::{RowId, TableId};
+
+    fn key(r: u64) -> VectorKey {
+        VectorKey::new(TableId(0), RowId(r))
+    }
+
+    #[test]
+    fn demand_miss_inserts() {
+        let mut b = RecMgBuffer::new(2, 4);
+        assert_eq!(b.access(key(1)), BufferAccess::Miss);
+        assert_eq!(b.access(key(1)), BufferAccess::CacheHit);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn prefetched_vectors_classified_on_first_touch() {
+        let mut b = RecMgBuffer::new(4, 4);
+        b.load_embeddings(&[], &[], &[key(9)]);
+        assert_eq!(b.access(key(9)), BufferAccess::PrefetchHit);
+        assert_eq!(b.access(key(9)), BufferAccess::CacheHit);
+    }
+
+    #[test]
+    fn caching_bits_bias_eviction() {
+        let mut b = RecMgBuffer::new(3, 4);
+        for r in 1..=3 {
+            b.access(key(r));
+        }
+        // Model says: keep 1 and 3 (bit 1), demote 2 (bit 0).
+        b.load_embeddings(&[key(1), key(2), key(3)], &[true, false, true], &[]);
+        // Next demand miss must evict key(2).
+        b.access(key(4));
+        assert!(!b.buffer().contains(key(2)));
+        assert!(b.buffer().contains(key(1)));
+        assert!(b.buffer().contains(key(3)));
+    }
+
+    #[test]
+    fn prefetches_outlive_demoted_entries() {
+        let mut b = RecMgBuffer::new(3, 4);
+        b.access(key(1));
+        b.access(key(2));
+        b.load_embeddings(&[key(1), key(2)], &[false, false], &[key(7)]);
+        assert!(b.buffer().contains(key(7)));
+        // Two more demand misses: the demoted 1 and 2 go first.
+        b.access(key(8));
+        b.access(key(9));
+        assert!(b.buffer().contains(key(7)), "prefetch evicted early");
+    }
+
+    #[test]
+    fn algorithm1_full_buffer_populates_before_prefetch() {
+        let mut b = RecMgBuffer::new(2, 4);
+        b.access(key(1));
+        b.access(key(2));
+        assert_eq!(b.len(), 2);
+        // Both entries demoted: the prefetch may displace one.
+        b.load_embeddings(&[key(1), key(2)], &[false, false], &[key(3)]);
+        assert_eq!(b.len(), 2); // one was evicted to make room
+        assert!(b.buffer().contains(key(3)));
+    }
+
+    #[test]
+    fn prefetch_never_displaces_protected_entries() {
+        let mut b = RecMgBuffer::new(2, 4);
+        b.access(key(1));
+        b.access(key(2));
+        b.load_embeddings(&[key(1), key(2)], &[true, true], &[key(3)]);
+        // Everything resident is protected: the speculative insert is
+        // dropped instead of displacing an endorsed vector.
+        assert!(!b.buffer().contains(key(3)));
+        assert!(b.buffer().contains(key(1)));
+        assert!(b.buffer().contains(key(2)));
+    }
+
+    #[test]
+    fn eviction_speed_accessor() {
+        let b = RecMgBuffer::new(2, 7);
+        assert_eq!(b.eviction_speed(), 7);
+        assert!(b.is_empty());
+        assert_eq!(b.capacity(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "one caching bit per trunk entry")]
+    fn mismatched_bits_panic() {
+        let mut b = RecMgBuffer::new(2, 4);
+        b.load_embeddings(&[key(1)], &[], &[]);
+    }
+}

@@ -1,0 +1,208 @@
+//! Index codecs: mapping embedding-vector keys to a continuous code space.
+//!
+//! The prefetch model's head emits *continuous* values so that the Chamfer
+//! loss (Eq. 5) is differentiable; a codec defines the correspondence
+//! between those values and concrete vector indices. Encoding compresses
+//! billions of discrete indices into `[0, 1]`; decoding snaps a predicted
+//! code to the nearest known vector.
+//!
+//! Two codecs are provided, ablated by `exp_ablate_codec`:
+//!
+//! * [`FrequencyRankCodec`] (default) — orders vectors by access frequency,
+//!   so popular vectors occupy the low end of the code space. Nearby codes
+//!   then mean "similar popularity", which concentrates model mass and is
+//!   the search-space-reduction device that makes prediction tractable.
+//! * [`GlobalIdCodec`] — orders vectors by `(table, row)`; nearby codes
+//!   mean "same table, nearby rows".
+
+use std::collections::HashMap;
+
+use recmg_trace::{TraceStats, VectorKey};
+
+/// Encodes keys to `[0, 1]` codes and decodes codes back to keys.
+pub trait IndexCodec {
+    /// The code of `key`, if the key is in the codec's vocabulary.
+    fn encode(&self, key: VectorKey) -> Option<f32>;
+
+    /// The known key nearest to `code`.
+    fn decode(&self, code: f32) -> Option<VectorKey>;
+
+    /// Vocabulary size.
+    fn len(&self) -> usize;
+
+    /// Whether the vocabulary is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn code_of(rank: usize, n: usize) -> f32 {
+    if n <= 1 {
+        0.0
+    } else {
+        rank as f32 / (n - 1) as f32
+    }
+}
+
+fn rank_of_code(code: f32, n: usize) -> usize {
+    if n <= 1 {
+        0
+    } else {
+        ((code.clamp(0.0, 1.0) * (n - 1) as f32).round()) as usize
+    }
+}
+
+/// Frequency-ordered codec (rank 0 = most accessed vector).
+#[derive(Debug, Clone)]
+pub struct FrequencyRankCodec {
+    by_rank: Vec<VectorKey>,
+    rank: HashMap<VectorKey, usize>,
+}
+
+impl FrequencyRankCodec {
+    /// Builds the codec from trace statistics (vocabulary = every vector
+    /// the training trace touched, ordered by popularity).
+    pub fn from_stats(stats: &TraceStats) -> Self {
+        let by_rank: Vec<VectorKey> = stats.by_popularity().iter().map(|&(k, _)| k).collect();
+        let rank = by_rank
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (k, i))
+            .collect();
+        FrequencyRankCodec { by_rank, rank }
+    }
+
+    /// Builds directly from an access slice.
+    pub fn from_accesses(accesses: &[VectorKey]) -> Self {
+        let trace =
+            recmg_trace::Trace::from_parts(accesses.to_vec(), vec![accesses.len()], u16::MAX as u32);
+        Self::from_stats(&TraceStats::compute(&trace))
+    }
+}
+
+impl IndexCodec for FrequencyRankCodec {
+    fn encode(&self, key: VectorKey) -> Option<f32> {
+        self.rank.get(&key).map(|&r| code_of(r, self.by_rank.len()))
+    }
+
+    fn decode(&self, code: f32) -> Option<VectorKey> {
+        if self.by_rank.is_empty() {
+            return None;
+        }
+        Some(self.by_rank[rank_of_code(code, self.by_rank.len())])
+    }
+
+    fn len(&self) -> usize {
+        self.by_rank.len()
+    }
+}
+
+/// Key-ordered codec (rank = position in sorted `(table, row)` order).
+#[derive(Debug, Clone)]
+pub struct GlobalIdCodec {
+    sorted: Vec<VectorKey>,
+    rank: HashMap<VectorKey, usize>,
+}
+
+impl GlobalIdCodec {
+    /// Builds the codec from the unique keys of an access slice.
+    pub fn from_accesses(accesses: &[VectorKey]) -> Self {
+        let mut sorted: Vec<VectorKey> = accesses.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let rank = sorted.iter().enumerate().map(|(i, &k)| (k, i)).collect();
+        GlobalIdCodec { sorted, rank }
+    }
+}
+
+impl IndexCodec for GlobalIdCodec {
+    fn encode(&self, key: VectorKey) -> Option<f32> {
+        self.rank.get(&key).map(|&r| code_of(r, self.sorted.len()))
+    }
+
+    fn decode(&self, code: f32) -> Option<VectorKey> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        Some(self.sorted[rank_of_code(code, self.sorted.len())])
+    }
+
+    fn len(&self) -> usize {
+        self.sorted.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recmg_trace::{RowId, TableId};
+
+    fn key(t: u32, r: u64) -> VectorKey {
+        VectorKey::new(TableId(t), RowId(r))
+    }
+
+    fn sample_accesses() -> Vec<VectorKey> {
+        // key(0,1) ×3, key(1,5) ×2, key(0,9) ×1
+        vec![
+            key(0, 1),
+            key(1, 5),
+            key(0, 1),
+            key(0, 9),
+            key(1, 5),
+            key(0, 1),
+        ]
+    }
+
+    #[test]
+    fn frequency_codec_roundtrip() {
+        let c = FrequencyRankCodec::from_accesses(&sample_accesses());
+        assert_eq!(c.len(), 3);
+        for k in [key(0, 1), key(1, 5), key(0, 9)] {
+            let code = c.encode(k).expect("in vocab");
+            assert_eq!(c.decode(code), Some(k));
+        }
+    }
+
+    #[test]
+    fn frequency_codec_orders_by_popularity() {
+        let c = FrequencyRankCodec::from_accesses(&sample_accesses());
+        let hot = c.encode(key(0, 1)).expect("hot");
+        let cold = c.encode(key(0, 9)).expect("cold");
+        assert!(hot < cold, "hot {hot} should precede cold {cold}");
+        assert_eq!(hot, 0.0);
+        assert_eq!(cold, 1.0);
+    }
+
+    #[test]
+    fn decode_snaps_to_nearest() {
+        let c = FrequencyRankCodec::from_accesses(&sample_accesses());
+        // ranks: 0, 0.5, 1.0 → 0.3 snaps to rank ~0.6 → rank 1
+        assert_eq!(c.decode(0.3), Some(key(1, 5)));
+        assert_eq!(c.decode(-5.0), c.decode(0.0)); // clamped
+        assert_eq!(c.decode(9.0), c.decode(1.0));
+    }
+
+    #[test]
+    fn global_codec_orders_by_key() {
+        let c = GlobalIdCodec::from_accesses(&sample_accesses());
+        let a = c.encode(key(0, 1)).expect("present");
+        let b = c.encode(key(0, 9)).expect("present");
+        let d = c.encode(key(1, 5)).expect("present");
+        assert!(a < b && b < d);
+    }
+
+    #[test]
+    fn unknown_key_encodes_none() {
+        let c = FrequencyRankCodec::from_accesses(&sample_accesses());
+        assert_eq!(c.encode(key(7, 7)), None);
+    }
+
+    #[test]
+    fn single_key_codec() {
+        let c = GlobalIdCodec::from_accesses(&[key(0, 1)]);
+        assert_eq!(c.encode(key(0, 1)), Some(0.0));
+        assert_eq!(c.decode(0.7), Some(key(0, 1)));
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+    }
+}

@@ -1,0 +1,140 @@
+//! RecMG configuration.
+//!
+//! Defaults follow the paper's §VII-A configuration: input length 15,
+//! output length 5, evaluation window 15 (3× the output), one LSTM stack
+//! for the caching model, two for the prefetch model, α = 0.7, eviction
+//! speed 4.
+
+/// Configuration shared by both models and the buffer manager.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecMgConfig {
+    /// Input-sequence (chunk) length.
+    pub input_len: usize,
+    /// Prefetch-model output-sequence length `|PO|`.
+    pub output_len: usize,
+    /// Evaluation-window multiplier: `|W| = window_ratio × output_len`.
+    pub window_ratio: usize,
+    /// Chamfer loss weighting α (Eq. 5).
+    pub alpha: f32,
+    /// The `eviction_speed` constant of Algorithms 1–2.
+    pub eviction_speed: u64,
+    /// Hash vocabulary of the model input tokens.
+    pub vocab: usize,
+    /// Token-embedding dimensionality.
+    pub embed_dim: usize,
+    /// Caching-model hidden size.
+    pub caching_hidden: usize,
+    /// Caching-model LSTM stack count (paper default 1).
+    pub caching_stacks: usize,
+    /// Prefetch-model hidden size.
+    pub prefetch_hidden: usize,
+    /// Prefetch-model LSTM stack count (paper default 2).
+    pub prefetch_stacks: usize,
+    /// Adam learning rate for both models.
+    pub lr: f32,
+    /// OPTgen labeling runs at this fraction of the GPU buffer ("80% of
+    /// the GPU buffer capacity to ensure sufficient space for placing
+    /// prefetched embedding vectors", §VI-A).
+    pub optgen_buffer_fraction: f64,
+    /// Initialisation seed.
+    pub seed: u64,
+}
+
+impl Default for RecMgConfig {
+    fn default() -> Self {
+        RecMgConfig {
+            input_len: 15,
+            output_len: 5,
+            window_ratio: 3,
+            alpha: 0.7,
+            eviction_speed: 4,
+            vocab: 2048,
+            embed_dim: 12,
+            caching_hidden: 32,
+            caching_stacks: 1,
+            prefetch_hidden: 40,
+            prefetch_stacks: 2,
+            lr: 2e-3,
+            optgen_buffer_fraction: 0.8,
+            seed: 0x9EC,
+        }
+    }
+}
+
+impl RecMgConfig {
+    /// The evaluation-window length `|W|`.
+    pub fn window_len(&self) -> usize {
+        self.window_ratio * self.output_len
+    }
+
+    /// A scaled-down configuration for unit tests (short sequences, tiny
+    /// models).
+    pub fn tiny() -> Self {
+        RecMgConfig {
+            input_len: 8,
+            output_len: 3,
+            window_ratio: 3,
+            vocab: 128,
+            embed_dim: 12,
+            caching_hidden: 12,
+            prefetch_hidden: 12,
+            lr: 5e-3,
+            ..Self::default()
+        }
+    }
+
+    /// Validates invariant relationships.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any length is zero, `alpha` is outside `(0, 1)`, or the
+    /// OPTgen fraction is outside `(0, 1]`.
+    pub fn validate(&self) {
+        assert!(self.input_len > 0, "input_len must be positive");
+        assert!(self.output_len > 0, "output_len must be positive");
+        assert!(self.window_ratio > 0, "window_ratio must be positive");
+        assert!(
+            self.alpha > 0.0 && self.alpha < 1.0,
+            "alpha must be in (0, 1)"
+        );
+        assert!(
+            self.optgen_buffer_fraction > 0.0 && self.optgen_buffer_fraction <= 1.0,
+            "optgen fraction must be in (0, 1]"
+        );
+        assert!(self.caching_stacks > 0, "caching model needs a stack");
+        assert!(self.prefetch_stacks > 0, "prefetch model needs a stack");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = RecMgConfig::default();
+        assert_eq!(c.input_len, 15);
+        assert_eq!(c.output_len, 5);
+        assert_eq!(c.window_len(), 15);
+        assert_eq!(c.eviction_speed, 4);
+        assert_eq!(c.caching_stacks, 1);
+        assert_eq!(c.prefetch_stacks, 2);
+        assert!((c.alpha - 0.7).abs() < 1e-6);
+        c.validate();
+    }
+
+    #[test]
+    fn tiny_is_valid() {
+        RecMgConfig::tiny().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0, 1)")]
+    fn bad_alpha_rejected() {
+        let c = RecMgConfig {
+            alpha: 1.5,
+            ..RecMgConfig::default()
+        };
+        c.validate();
+    }
+}

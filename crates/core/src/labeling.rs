@@ -1,0 +1,190 @@
+//! Offline training-data generation (paper §VI-A).
+//!
+//! "To generate the ground-truth labels, we first collect traces of
+//! embedding-vector accesses from DLRM inferences. Each trace is then fed
+//! into optgen, which determines what would have been cached if Belady's
+//! algorithm were used ... The caching trace serves as the ground-truth for
+//! training the caching model. The prefetch trace, derived from the caching
+//! trace, consists of embedding vectors leading to cache misses, which
+//! serves as the ground-truth for prefetch model training."
+//!
+//! The access stream is cut into fixed-size [`Chunk`]s ("RecMG truncates
+//! the sequence of prior vector accesses into a set of fix-sized shorter
+//! sequences", §V-A) without regard to query boundaries, so chunks can
+//! carry cross-query correlation.
+
+use recmg_cache::optgen;
+use recmg_trace::VectorKey;
+
+use crate::config::RecMgConfig;
+
+/// One caching-model training example: a chunk of accesses and the OPT
+/// keep/evict label of each.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chunk {
+    /// The accessed vectors, in order.
+    pub keys: Vec<VectorKey>,
+    /// `labels[i]` is true iff OPT keeps `keys[i]` until its next reuse.
+    pub labels: Vec<bool>,
+}
+
+/// One prefetch-model training example.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefetchExample {
+    /// The input chunk (same input as the caching model, §V-B).
+    pub input: Vec<VectorKey>,
+    /// The next `|W|` OPT-missing vectors after the chunk — the accesses
+    /// prefetching must cover.
+    pub window: Vec<VectorKey>,
+}
+
+/// The assembled training set.
+#[derive(Debug, Clone)]
+pub struct TrainingData {
+    /// Caching-model examples.
+    pub chunks: Vec<Chunk>,
+    /// Prefetch-model examples.
+    pub prefetch: Vec<PrefetchExample>,
+    /// OPT hit rate at the labeling capacity (diagnostic).
+    pub opt_hit_rate: f64,
+    /// Capacity OPTgen labeled at (80% of the buffer by default).
+    pub label_capacity: usize,
+}
+
+/// Builds training data from an access stream for a GPU buffer of
+/// `buffer_capacity` vectors.
+///
+/// # Panics
+///
+/// Panics if `buffer_capacity` is zero or the stream is shorter than one
+/// chunk.
+pub fn build_training_data(
+    accesses: &[VectorKey],
+    cfg: &RecMgConfig,
+    buffer_capacity: usize,
+) -> TrainingData {
+    cfg.validate();
+    assert!(buffer_capacity > 0, "buffer capacity must be positive");
+    assert!(
+        accesses.len() >= cfg.input_len,
+        "trace shorter than one chunk"
+    );
+    let label_capacity =
+        ((buffer_capacity as f64) * cfg.optgen_buffer_fraction).round().max(1.0) as usize;
+    let og = optgen(accesses, label_capacity);
+
+    // Caching chunks.
+    let mut chunks = Vec::new();
+    let mut pos = 0;
+    while pos + cfg.input_len <= accesses.len() {
+        chunks.push(Chunk {
+            keys: accesses[pos..pos + cfg.input_len].to_vec(),
+            labels: og.labels[pos..pos + cfg.input_len].to_vec(),
+        });
+        pos += cfg.input_len;
+    }
+
+    // Prefetch examples: window over the *miss* subsequence.
+    let miss_positions = og.miss_positions();
+    let w = cfg.window_len();
+    let mut prefetch = Vec::new();
+    let mut chunk_end = cfg.input_len;
+    let mut mp = 0usize; // first miss position >= chunk_end
+    while chunk_end <= accesses.len() {
+        while mp < miss_positions.len() && miss_positions[mp] < chunk_end {
+            mp += 1;
+        }
+        if mp + w <= miss_positions.len() {
+            prefetch.push(PrefetchExample {
+                input: accesses[chunk_end - cfg.input_len..chunk_end].to_vec(),
+                window: miss_positions[mp..mp + w]
+                    .iter()
+                    .map(|&p| accesses[p])
+                    .collect(),
+            });
+        }
+        chunk_end += cfg.input_len;
+    }
+
+    TrainingData {
+        chunks,
+        prefetch,
+        opt_hit_rate: og.stats.hit_rate(),
+        label_capacity,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recmg_trace::{RowId, SyntheticConfig, TableId};
+
+    fn key(r: u64) -> VectorKey {
+        VectorKey::new(TableId(0), RowId(r))
+    }
+
+    #[test]
+    fn chunk_sizes_and_counts() {
+        let cfg = RecMgConfig::tiny(); // input_len 8
+        let acc: Vec<VectorKey> = (0..100).map(|i| key(i % 10)).collect();
+        let td = build_training_data(&acc, &cfg, 10);
+        assert_eq!(td.chunks.len(), 100 / 8);
+        assert!(td.chunks.iter().all(|c| c.keys.len() == 8));
+        assert!(td.chunks.iter().all(|c| c.labels.len() == 8));
+    }
+
+    #[test]
+    fn label_capacity_is_80_percent() {
+        let cfg = RecMgConfig::tiny();
+        let acc: Vec<VectorKey> = (0..50).map(|i| key(i % 5)).collect();
+        let td = build_training_data(&acc, &cfg, 10);
+        assert_eq!(td.label_capacity, 8);
+    }
+
+    #[test]
+    fn hot_keys_get_positive_labels() {
+        // With a small working set and ample capacity, every re-referenced
+        // access should be labeled "keep".
+        let cfg = RecMgConfig::tiny();
+        let acc: Vec<VectorKey> = (0..64).map(|i| key(i % 4)).collect();
+        let td = build_training_data(&acc, &cfg, 8);
+        let positives: usize = td
+            .chunks
+            .iter()
+            .flat_map(|c| &c.labels)
+            .filter(|&&l| l)
+            .count();
+        assert!(positives > 50, "positives {positives}");
+        assert!(td.opt_hit_rate > 0.9);
+    }
+
+    #[test]
+    fn prefetch_windows_are_opt_misses() {
+        let cfg = RecMgConfig::tiny();
+        let trace = SyntheticConfig::tiny(61).generate();
+        let td = build_training_data(trace.accesses(), &cfg, 32);
+        assert!(!td.prefetch.is_empty());
+        let w = cfg.window_len();
+        for ex in &td.prefetch {
+            assert_eq!(ex.input.len(), cfg.input_len);
+            assert_eq!(ex.window.len(), w);
+        }
+    }
+
+    #[test]
+    fn streaming_trace_labels_all_negative() {
+        // No key ever repeats → OPT keeps nothing.
+        let cfg = RecMgConfig::tiny();
+        let acc: Vec<VectorKey> = (0..80).map(key).collect();
+        let td = build_training_data(&acc, &cfg, 16);
+        assert!(td.chunks.iter().all(|c| c.labels.iter().all(|&l| !l)));
+        assert_eq!(td.opt_hit_rate, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than one chunk")]
+    fn tiny_trace_rejected() {
+        let cfg = RecMgConfig::default();
+        let _ = build_training_data(&[key(1)], &cfg, 10);
+    }
+}

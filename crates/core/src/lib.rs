@@ -1,0 +1,63 @@
+//! # recmg-core
+//!
+//! RecMG: machine-learning-guided caching and prefetching of DLRM embedding
+//! vectors on tiered memory — the primary contribution of "Machine
+//! Learning-Guided Memory Optimization for DLRM Inference on Tiered Memory"
+//! (HPCA 2025), reproduced in Rust.
+//!
+//! The system (paper Fig. 4):
+//!
+//! 1. **Offline** ([`labeling`], [`train_recmg`]): DLRM access traces are
+//!    labeled by OPTgen (Belady-optimal decisions); the caching trace
+//!    trains the [`CachingModel`], and the OPT-miss subsequence trains the
+//!    [`PrefetchModel`] under the symmetric Chamfer loss (Eq. 5) with a
+//!    decoupled evaluation window.
+//! 2. **Online** ([`RecMgSystem`]): the GPU buffer is co-managed by both
+//!    models via Algorithms 1–2 ([`RecMgBuffer`]): the caching model emits
+//!    a 1-bit priority per accessed vector, the prefetch model fetches
+//!    predicted vectors, and eviction decays priorities and removes the
+//!    minimum.
+//! 3. **Serving** ([`serving`], [`FastCachingModel`],
+//!    [`FastPrefetchModel`]): compiled, tape-free model snapshots run on
+//!    CPU threads with near-linear scaling (Fig. 7).
+//!
+//! # Examples
+//!
+//! Train RecMG on a trace prefix and serve the rest:
+//!
+//! ```
+//! use recmg_core::{train_recmg, RecMgConfig, RecMgSystem, TrainOptions};
+//! use recmg_dlrm::{BatchAccessStats, BufferManager};
+//! use recmg_trace::{SyntheticConfig, TraceStats};
+//!
+//! let cfg = RecMgConfig::tiny();
+//! let trace = SyntheticConfig::tiny(1).generate();
+//! let capacity = TraceStats::compute(&trace).buffer_capacity(20.0);
+//! let trained = train_recmg(&trace.accesses()[..2000], &cfg, capacity, &TrainOptions::tiny());
+//! let mut system = RecMgSystem::from_trained(&trained, capacity);
+//! let mut stats = BatchAccessStats::default();
+//! for batch in trace.batches(20) {
+//!     stats.accumulate(system.process_batch(batch));
+//! }
+//! assert!(stats.hits() > 0);
+//! ```
+
+mod buffer_mgmt;
+mod caching_model;
+mod codec;
+mod config;
+mod fast;
+pub mod labeling;
+mod prefetch_model;
+pub mod serving;
+mod system;
+
+pub use buffer_mgmt::RecMgBuffer;
+pub use caching_model::{CachingModel, FastCachingModel, TrainingReport};
+pub use codec::{FrequencyRankCodec, GlobalIdCodec, IndexCodec};
+pub use config::RecMgConfig;
+pub use labeling::{build_training_data, Chunk, PrefetchExample, TrainingData};
+pub use prefetch_model::{
+    FastPrefetchModel, PrefetchEval, PrefetchLoss, PrefetchModel, PrefetchTrainingReport,
+};
+pub use system::{train_recmg, CmPolicy, PmPrefetcher, RecMgSystem, TrainOptions, TrainedRecMg};

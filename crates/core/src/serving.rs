@@ -1,0 +1,154 @@
+//! Multi-threaded CPU model serving (paper §VI-C, Fig. 7).
+//!
+//! The paper maximizes thread-level parallelism by "wrapping up a batch of
+//! DLRM inference requests into n inference requests, and sending them to
+//! CPU (where n is the number of idle CPU cores). Each request is served by
+//! one thread" — one thread per request, not many threads per request.
+//! Fig. 7 shows near-linear throughput scaling, which is what justifies
+//! that choice; [`measure_throughput`] reproduces that measurement with
+//! compiled (tape-free) model snapshots shared read-only across threads.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use recmg_trace::{RowId, TableId, VectorKey};
+
+use crate::caching_model::FastCachingModel;
+use crate::prefetch_model::FastPrefetchModel;
+
+/// One point of the Fig. 7 curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThroughputPoint {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Model-inference throughput in indices (input tokens) per second.
+    pub indices_per_sec: f64,
+    /// Requests served.
+    pub requests: usize,
+}
+
+/// Measures joint caching+prefetch model serving throughput with
+/// `threads` workers, each serving whole requests (chunks) from a shared
+/// queue.
+///
+/// # Panics
+///
+/// Panics if `threads` or `requests` is zero or `input_len` is zero.
+pub fn measure_throughput(
+    caching: &FastCachingModel,
+    prefetch: &FastPrefetchModel,
+    input_len: usize,
+    threads: usize,
+    requests: usize,
+) -> ThroughputPoint {
+    assert!(threads > 0, "need at least one thread");
+    assert!(requests > 0, "need at least one request");
+    assert!(input_len > 0, "input_len must be positive");
+    // Pre-generate request inputs (excluded from timing).
+    let inputs: Vec<Vec<VectorKey>> = (0..requests)
+        .map(|r| {
+            (0..input_len)
+                .map(|i| {
+                    VectorKey::new(
+                        TableId((r % 13) as u32),
+                        RowId(((r * 31 + i * 7) % 997) as u64),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    let next = AtomicUsize::new(0);
+    let start = Instant::now();
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= inputs.len() {
+                    break;
+                }
+                let keys = &inputs[i];
+                let bits = caching.predict(keys);
+                let codes = prefetch.codes(keys);
+                // Keep results observable so the work cannot be elided.
+                std::hint::black_box((bits, codes));
+            });
+        }
+    })
+    .expect("serving threads do not panic");
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    ThroughputPoint {
+        threads,
+        indices_per_sec: (requests * input_len) as f64 / secs,
+        requests,
+    }
+}
+
+/// Sweeps thread counts, producing the Fig. 7 series.
+pub fn throughput_sweep(
+    caching: &FastCachingModel,
+    prefetch: &FastPrefetchModel,
+    input_len: usize,
+    thread_counts: &[usize],
+    requests_per_point: usize,
+) -> Vec<ThroughputPoint> {
+    thread_counts
+        .iter()
+        .map(|&t| measure_throughput(caching, prefetch, input_len, t, requests_per_point))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::caching_model::CachingModel;
+    use crate::config::RecMgConfig;
+    use crate::prefetch_model::PrefetchModel;
+
+    fn compiled() -> (FastCachingModel, FastPrefetchModel) {
+        let cfg = RecMgConfig::tiny();
+        (
+            CachingModel::new(&cfg).compile(),
+            PrefetchModel::new(&cfg).compile(),
+        )
+    }
+
+    #[test]
+    fn throughput_is_positive() {
+        let (cm, pm) = compiled();
+        let p = measure_throughput(&cm, &pm, 8, 1, 50);
+        assert!(p.indices_per_sec > 0.0);
+        assert_eq!(p.requests, 50);
+        assert_eq!(p.threads, 1);
+    }
+
+    #[test]
+    fn more_threads_not_catastrophically_slower() {
+        // CI machines vary; we only assert that 4 threads achieve at least
+        // the single-thread throughput (Fig. 7 shows ~linear gains).
+        let (cm, pm) = compiled();
+        let one = measure_throughput(&cm, &pm, 15, 1, 1500);
+        let four = measure_throughput(&cm, &pm, 15, 4, 1500);
+        assert!(
+            four.indices_per_sec > one.indices_per_sec * 0.7,
+            "1t {} vs 4t {}",
+            one.indices_per_sec,
+            four.indices_per_sec
+        );
+    }
+
+    #[test]
+    fn sweep_covers_requested_counts() {
+        let (cm, pm) = compiled();
+        let pts = throughput_sweep(&cm, &pm, 8, &[1, 2], 40);
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].threads, 1);
+        assert_eq!(pts[1].threads, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let (cm, pm) = compiled();
+        let _ = measure_throughput(&cm, &pm, 8, 0, 1);
+    }
+}

@@ -1,0 +1,163 @@
+//! Embedding-table storage and feature pooling.
+//!
+//! Embedding tables are the data-intensive half of a DLRM (paper §II,
+//! Fig. 2): each row is the latent vector of one category; a query's
+//! active categories gather rows which are *pooled* (summed) per feature.
+//!
+//! Production tables are hundreds of GB. This store materializes vectors
+//! lazily and deterministically from the key (a hash-seeded generator), so
+//! that a multi-TB logical table costs nothing until touched — the values
+//! themselves only need to be stable and well-distributed for the compute
+//! path to be realistic.
+
+use recmg_trace::VectorKey;
+
+/// Lazily materialized embedding tables on the "host memory" tier.
+///
+/// # Examples
+///
+/// ```
+/// use recmg_dlrm::EmbeddingStore;
+/// use recmg_trace::{RowId, TableId, VectorKey};
+///
+/// let store = EmbeddingStore::new(16);
+/// let k = VectorKey::new(TableId(0), RowId(7));
+/// let v1 = store.vector(k);
+/// let v2 = store.vector(k);
+/// assert_eq!(v1, v2); // deterministic
+/// assert_eq!(v1.len(), 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EmbeddingStore {
+    dim: usize,
+    seed: u64,
+}
+
+impl EmbeddingStore {
+    /// Creates a store of `dim`-dimensional vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero.
+    pub fn new(dim: usize) -> Self {
+        Self::with_seed(dim, 0x5EED)
+    }
+
+    /// Creates a store with an explicit value seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero.
+    pub fn with_seed(dim: usize, seed: u64) -> Self {
+        assert!(dim > 0, "embedding dimension must be positive");
+        EmbeddingStore { dim, seed }
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Materializes the embedding vector for `key` (values in ~N(0, 0.1)).
+    pub fn vector(&self, key: VectorKey) -> Vec<f32> {
+        let mut state = key
+            .as_u64()
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(self.seed);
+        (0..self.dim)
+            .map(|_| {
+                // splitmix64 step
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                // map to ~[-0.3, 0.3]
+                ((z >> 40) as f32 / (1u64 << 24) as f32 - 0.5) * 0.6
+            })
+            .collect()
+    }
+
+    /// Sum-pools the vectors of `keys` (the paper's "feature pooling").
+    /// Returns a zero vector for an empty key set.
+    pub fn pool_sum(&self, keys: &[VectorKey]) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.dim];
+        for &k in keys {
+            for (o, v) in out.iter_mut().zip(self.vector(k)) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Per-table pooled representation of a query: groups `keys` by table
+    /// and sum-pools each group, returning `(table_id, pooled)` pairs
+    /// sorted by table.
+    pub fn pool_per_table(&self, keys: &[VectorKey]) -> Vec<(u32, Vec<f32>)> {
+        let mut by_table: std::collections::BTreeMap<u32, Vec<VectorKey>> =
+            std::collections::BTreeMap::new();
+        for &k in keys {
+            by_table.entry(k.table().0).or_default().push(k);
+        }
+        by_table
+            .into_iter()
+            .map(|(t, ks)| (t, self.pool_sum(&ks)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recmg_trace::{RowId, TableId};
+
+    fn key(t: u32, r: u64) -> VectorKey {
+        VectorKey::new(TableId(t), RowId(r))
+    }
+
+    #[test]
+    fn deterministic_and_distinct() {
+        let s = EmbeddingStore::new(8);
+        assert_eq!(s.vector(key(0, 1)), s.vector(key(0, 1)));
+        assert_ne!(s.vector(key(0, 1)), s.vector(key(0, 2)));
+        assert_ne!(s.vector(key(0, 1)), s.vector(key(1, 1)));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = EmbeddingStore::with_seed(8, 1);
+        let b = EmbeddingStore::with_seed(8, 2);
+        assert_ne!(a.vector(key(0, 1)), b.vector(key(0, 1)));
+    }
+
+    #[test]
+    fn values_bounded() {
+        let s = EmbeddingStore::new(64);
+        for r in 0..100 {
+            assert!(s.vector(key(0, r)).iter().all(|v| v.abs() <= 0.31));
+        }
+    }
+
+    #[test]
+    fn pool_sum_is_additive() {
+        let s = EmbeddingStore::new(4);
+        let a = s.vector(key(0, 1));
+        let b = s.vector(key(0, 2));
+        let p = s.pool_sum(&[key(0, 1), key(0, 2)]);
+        for i in 0..4 {
+            assert!((p[i] - (a[i] + b[i])).abs() < 1e-6);
+        }
+        assert_eq!(s.pool_sum(&[]), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn pool_per_table_groups() {
+        let s = EmbeddingStore::new(4);
+        let pooled = s.pool_per_table(&[key(1, 5), key(0, 2), key(1, 6)]);
+        assert_eq!(pooled.len(), 2);
+        assert_eq!(pooled[0].0, 0);
+        assert_eq!(pooled[1].0, 1);
+        let direct = s.pool_sum(&[key(1, 5), key(1, 6)]);
+        assert_eq!(pooled[1].1, direct);
+    }
+}

@@ -1,0 +1,55 @@
+//! # recmg-dlrm
+//!
+//! DLRM inference simulation on tiered memory for the RecMG reproduction
+//! ("Machine Learning-Guided Memory Optimization for DLRM Inference on
+//! Tiered Memory", HPCA 2025).
+//!
+//! Provides the substrate the paper's end-to-end experiments run on:
+//!
+//! * [`DlrmModel`] — the bottom-MLP / interaction / top-MLP network of the
+//!   paper's Fig. 1.
+//! * [`EmbeddingStore`] — lazily materialized embedding tables with
+//!   per-feature sum pooling (Fig. 2).
+//! * [`TimingConfig`] / [`PerfModel`] — the tiered-memory timing model,
+//!   calibrated to the paper's validated linear latency–hit-rate
+//!   relationship (Fig. 18); see DESIGN.md for the hardware substitution
+//!   argument.
+//! * [`InferenceEngine`] + [`BufferManager`] — batched end-to-end runs
+//!   with pluggable GPU-buffer management (Fig. 16).
+//! * [`simulate_pipeline`] — the non-blocking CPU/GPU overlap of §VI-C.
+//!
+//! # Examples
+//!
+//! ```
+//! use recmg_cache::FullyAssocLru;
+//! use recmg_dlrm::{
+//!     DlrmConfig, DlrmModel, EmbeddingStore, InferenceEngine, PolicyBufferManager,
+//!     TimingConfig,
+//! };
+//! use recmg_trace::SyntheticConfig;
+//!
+//! let trace = SyntheticConfig::tiny(3).generate();
+//! let engine = InferenceEngine::new(
+//!     DlrmModel::new(DlrmConfig::small(), 1),
+//!     EmbeddingStore::new(16),
+//!     TimingConfig::default_scaled(),
+//! );
+//! let mut mgr = PolicyBufferManager::new(FullyAssocLru::new(128));
+//! let report = engine.run(&trace, 10, &mut mgr);
+//! assert!(report.total_ms > 0.0);
+//! ```
+
+mod embedding;
+mod inference;
+mod model;
+mod pipeline;
+mod timing;
+
+pub use embedding::EmbeddingStore;
+pub use inference::{
+    BatchAccessStats, BufferManager, InferenceEngine, InferenceReport, LruGpuBufferManager,
+    PolicyBufferManager,
+};
+pub use model::{DlrmConfig, DlrmModel};
+pub use pipeline::{simulate_pipeline, PipelineReport};
+pub use timing::{BatchBreakdown, PerfModel, TimingConfig};

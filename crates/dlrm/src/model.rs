@@ -1,0 +1,258 @@
+//! The DLRM network: bottom MLP, feature interaction, top MLP.
+//!
+//! Implements the architecture of the paper's Fig. 1 (Naumov et al. 2019):
+//! continuous features pass through a bottom MLP; categorical features
+//! become pooled embedding vectors; the interaction layer takes pairwise
+//! dot products among all dense representations; the top MLP maps the
+//! interactions to a click-through-rate (CTR).
+//!
+//! Inference-only and allocation-light: weights are plain [`Tensor`]s and
+//! the forward pass uses direct matrix products (no autograd tape), since
+//! the paper never trains the DLRM itself — only the two RecMG models.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use recmg_tensor::Tensor;
+
+/// Shape configuration of the DLRM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DlrmConfig {
+    /// Number of continuous (dense) input features.
+    pub dense_dim: usize,
+    /// Embedding dimensionality (shared across tables, as in the paper).
+    pub emb_dim: usize,
+    /// Number of sparse features (pooled embedding inputs) per query.
+    pub num_sparse: usize,
+    /// Bottom-MLP hidden sizes; the last must equal `emb_dim`.
+    pub bottom_mlp: Vec<usize>,
+    /// Top-MLP hidden sizes; a final size-1 CTR layer is appended.
+    pub top_mlp: Vec<usize>,
+}
+
+impl DlrmConfig {
+    /// A small default configuration.
+    pub fn small() -> Self {
+        DlrmConfig {
+            dense_dim: 13,
+            emb_dim: 16,
+            num_sparse: 8,
+            bottom_mlp: vec![32, 16],
+            top_mlp: vec![32, 16],
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct DenseLayer {
+    w: Tensor,
+    b: Tensor,
+}
+
+impl DenseLayer {
+    fn new(rng: &mut StdRng, in_dim: usize, out_dim: usize) -> Self {
+        DenseLayer {
+            w: Tensor::xavier_uniform(rng, in_dim, out_dim),
+            b: Tensor::zeros(&[1, out_dim]),
+        }
+    }
+
+    fn forward(&self, x: &Tensor, relu: bool) -> Tensor {
+        let mut y = x.matmul(&self.w);
+        let out_dim = self.b.cols();
+        for r in 0..y.rows() {
+            for c in 0..out_dim {
+                let v = y.at(r, c) + self.b.at(0, c);
+                y.set(r, c, if relu { v.max(0.0) } else { v });
+            }
+        }
+        y
+    }
+}
+
+/// The DLRM inference network.
+#[derive(Debug, Clone)]
+pub struct DlrmModel {
+    cfg: DlrmConfig,
+    bottom: Vec<DenseLayer>,
+    top: Vec<DenseLayer>,
+}
+
+impl DlrmModel {
+    /// Builds a model with random weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bottom MLP's last layer does not equal `emb_dim`, or
+    /// any layer list is empty.
+    pub fn new(cfg: DlrmConfig, seed: u64) -> Self {
+        assert!(!cfg.bottom_mlp.is_empty(), "bottom MLP must have layers");
+        assert!(!cfg.top_mlp.is_empty(), "top MLP must have layers");
+        assert_eq!(
+            *cfg.bottom_mlp.last().expect("non-empty"),
+            cfg.emb_dim,
+            "bottom MLP must project dense features to emb_dim"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut bottom = Vec::new();
+        let mut prev = cfg.dense_dim;
+        for &h in &cfg.bottom_mlp {
+            bottom.push(DenseLayer::new(&mut rng, prev, h));
+            prev = h;
+        }
+        // Interaction output: pairwise dot products among (num_sparse + 1)
+        // dense vectors, concatenated with the bottom-MLP output.
+        let n_vec = cfg.num_sparse + 1;
+        let inter_dim = n_vec * (n_vec - 1) / 2 + cfg.emb_dim;
+        let mut top = Vec::new();
+        prev = inter_dim;
+        for &h in &cfg.top_mlp {
+            top.push(DenseLayer::new(&mut rng, prev, h));
+            prev = h;
+        }
+        top.push(DenseLayer::new(&mut rng, prev, 1));
+        DlrmModel { cfg, bottom, top }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DlrmConfig {
+        &self.cfg
+    }
+
+    /// Runs one query: `dense` has `dense_dim` values, `pooled` holds one
+    /// `emb_dim` vector per sparse feature. Returns the CTR in `(0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if input sizes disagree with the configuration.
+    pub fn forward(&self, dense: &[f32], pooled: &[Vec<f32>]) -> f32 {
+        assert_eq!(dense.len(), self.cfg.dense_dim, "dense feature size");
+        assert_eq!(pooled.len(), self.cfg.num_sparse, "sparse feature count");
+        for p in pooled {
+            assert_eq!(p.len(), self.cfg.emb_dim, "pooled vector size");
+        }
+        // Bottom MLP.
+        let mut x = Tensor::from_vec(dense.to_vec(), &[1, dense.len()]);
+        for layer in &self.bottom {
+            x = layer.forward(&x, true);
+        }
+        // Interaction: pairwise dots among [bottom_out, pooled...].
+        let mut vectors: Vec<&[f32]> = Vec::with_capacity(pooled.len() + 1);
+        let bottom_out = x.data().to_vec();
+        vectors.push(&bottom_out);
+        for p in pooled {
+            vectors.push(p);
+        }
+        let mut feats: Vec<f32> = Vec::new();
+        for i in 0..vectors.len() {
+            for j in (i + 1)..vectors.len() {
+                let dot: f32 = vectors[i]
+                    .iter()
+                    .zip(vectors[j].iter())
+                    .map(|(a, b)| a * b)
+                    .sum();
+                feats.push(dot);
+            }
+        }
+        feats.extend_from_slice(&bottom_out);
+        // Top MLP + sigmoid.
+        let mut y = Tensor::from_vec(feats.clone(), &[1, feats.len()]);
+        let last = self.top.len() - 1;
+        for (i, layer) in self.top.iter().enumerate() {
+            y = layer.forward(&y, i < last);
+        }
+        recmg_tensor::stable_sigmoid(y.data()[0])
+    }
+
+    /// Approximate floating-point operations per query, used by the timing
+    /// model's GPU-compute component.
+    pub fn flops_per_query(&self) -> u64 {
+        let mut f = 0u64;
+        let mut prev = self.cfg.dense_dim as u64;
+        for &h in &self.cfg.bottom_mlp {
+            f += 2 * prev * h as u64;
+            prev = h as u64;
+        }
+        let n_vec = (self.cfg.num_sparse + 1) as u64;
+        f += n_vec * (n_vec - 1) / 2 * 2 * self.cfg.emb_dim as u64;
+        let inter = n_vec * (n_vec - 1) / 2 + self.cfg.emb_dim as u64;
+        prev = inter;
+        for &h in &self.cfg.top_mlp {
+            f += 2 * prev * h as u64;
+            prev = h as u64;
+        }
+        f + 2 * prev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> DlrmModel {
+        DlrmModel::new(DlrmConfig::small(), 42)
+    }
+
+    fn inputs(m: &DlrmModel, v: f32) -> (Vec<f32>, Vec<Vec<f32>>) {
+        let dense = vec![v; m.config().dense_dim];
+        let pooled = (0..m.config().num_sparse)
+            .map(|i| vec![0.1 * (i as f32 + 1.0) * v; m.config().emb_dim])
+            .collect();
+        (dense, pooled)
+    }
+
+    #[test]
+    fn ctr_in_unit_interval() {
+        let m = model();
+        let (d, p) = inputs(&m, 0.5);
+        let ctr = m.forward(&d, &p);
+        assert!(ctr > 0.0 && ctr < 1.0);
+    }
+
+    #[test]
+    fn deterministic_forward() {
+        let m = model();
+        let (d, p) = inputs(&m, 0.3);
+        assert_eq!(m.forward(&d, &p), m.forward(&d, &p));
+    }
+
+    #[test]
+    fn different_inputs_different_ctr() {
+        let m = model();
+        let (d1, p1) = inputs(&m, 0.1);
+        let (d2, p2) = inputs(&m, 0.9);
+        assert_ne!(m.forward(&d1, &p1), m.forward(&d2, &p2));
+    }
+
+    #[test]
+    #[should_panic(expected = "sparse feature count")]
+    fn wrong_sparse_count_panics() {
+        let m = model();
+        let (d, _) = inputs(&m, 0.5);
+        let _ = m.forward(&d, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bottom MLP must project")]
+    fn bad_bottom_mlp_panics() {
+        let cfg = DlrmConfig {
+            bottom_mlp: vec![32, 8], // != emb_dim 16
+            ..DlrmConfig::small()
+        };
+        let _ = DlrmModel::new(cfg, 1);
+    }
+
+    #[test]
+    fn flops_positive_and_scale_with_width() {
+        let small = model().flops_per_query();
+        let big = DlrmModel::new(
+            DlrmConfig {
+                top_mlp: vec![128, 64],
+                ..DlrmConfig::small()
+            },
+            1,
+        )
+        .flops_per_query();
+        assert!(small > 0);
+        assert!(big > small);
+    }
+}

@@ -1,0 +1,143 @@
+//! Pipelined CPU/GPU execution model (paper §VI-C, Fig. 6).
+//!
+//! RecMG's two models run on CPU for batch `i + 1` while the GPU serves
+//! batch `i`. If the CPU is still busy when the GPU finishes, "the DLRM
+//! inference does not wait for the CPU completion. Instead, GPU moves on to
+//! the next DLRM inference batch, and CPU moves on to infer for the future
+//! batch" — i.e. the GPU never blocks and some batches simply run with
+//! stale buffer guidance.
+
+/// Result of a pipeline simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineReport {
+    /// End-to-end time when CPU model inference and GPU batches serialize.
+    pub serial_ms: f64,
+    /// End-to-end time with the paper's non-blocking overlap (the GPU
+    /// critical path).
+    pub pipelined_ms: f64,
+    /// Batches that received fresh model guidance in time.
+    pub guided_batches: usize,
+    /// Total batches.
+    pub total_batches: usize,
+}
+
+impl PipelineReport {
+    /// Fraction of batches with fresh guidance.
+    pub fn guided_fraction(&self) -> f64 {
+        if self.total_batches == 0 {
+            0.0
+        } else {
+            self.guided_batches as f64 / self.total_batches as f64
+        }
+    }
+
+    /// Speedup of pipelining over serialized execution.
+    pub fn speedup(&self) -> f64 {
+        if self.pipelined_ms == 0.0 {
+            1.0
+        } else {
+            self.serial_ms / self.pipelined_ms
+        }
+    }
+}
+
+/// Simulates the overlap of per-batch CPU guidance times (`cpu_ms[i]` is
+/// the model-inference time for batch `i`) with GPU batch times.
+///
+/// Batch 0 never has guidance (there is no previous batch to compute it
+/// under). The CPU abandons a guidance job that cannot finish before its
+/// batch starts and moves on (the paper's skip-ahead rule).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn simulate_pipeline(cpu_ms: &[f64], gpu_ms: &[f64]) -> PipelineReport {
+    assert_eq!(cpu_ms.len(), gpu_ms.len(), "one CPU job per batch");
+    let n = gpu_ms.len();
+    let serial: f64 = cpu_ms.iter().sum::<f64>() + gpu_ms.iter().sum::<f64>();
+    // GPU never waits: batch i runs during [start[i], start[i] + gpu[i]).
+    let mut start = vec![0.0f64; n];
+    for i in 1..n {
+        start[i] = start[i - 1] + gpu_ms[i - 1];
+    }
+    let pipelined = if n == 0 {
+        0.0
+    } else {
+        start[n - 1] + gpu_ms[n - 1]
+    };
+    // CPU computes guidance for batch i during batch i-1's window; it may
+    // start as soon as both the previous job finished and batch i-1 began.
+    let mut guided = 0usize;
+    let mut cpu_free = 0.0f64;
+    for i in 1..n {
+        let job_start = cpu_free.max(start[i - 1]);
+        let ready = job_start + cpu_ms[i];
+        if ready <= start[i] {
+            guided += 1;
+            cpu_free = ready;
+        } else {
+            // Abandon and move on to the next batch's job.
+            cpu_free = start[i];
+        }
+    }
+    PipelineReport {
+        serial_ms: serial,
+        pipelined_ms: pipelined,
+        guided_batches: guided,
+        total_batches: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_cpu_guides_everything() {
+        let cpu = vec![1.0; 10];
+        let gpu = vec![10.0; 10];
+        let r = simulate_pipeline(&cpu, &gpu);
+        assert_eq!(r.guided_batches, 9); // batch 0 can never be guided
+        assert_eq!(r.pipelined_ms, 100.0);
+        assert_eq!(r.serial_ms, 110.0);
+        assert!(r.speedup() > 1.0);
+    }
+
+    #[test]
+    fn slow_cpu_never_blocks_gpu() {
+        let cpu = vec![50.0; 10];
+        let gpu = vec![10.0; 10];
+        let r = simulate_pipeline(&cpu, &gpu);
+        // GPU total is unchanged — the defining property of §VI-C.
+        assert_eq!(r.pipelined_ms, 100.0);
+        assert_eq!(r.guided_batches, 0);
+    }
+
+    #[test]
+    fn borderline_cpu_guides_some() {
+        // Alternating CPU cost: cheap jobs fit, expensive ones are dropped.
+        let cpu: Vec<f64> = (0..10).map(|i| if i % 2 == 0 { 2.0 } else { 30.0 }).collect();
+        let gpu = vec![10.0; 10];
+        let r = simulate_pipeline(&cpu, &gpu);
+        assert!(r.guided_batches > 0);
+        assert!(r.guided_batches < 9);
+        assert_eq!(r.pipelined_ms, 100.0);
+    }
+
+    #[test]
+    fn empty_pipeline() {
+        let r = simulate_pipeline(&[], &[]);
+        assert_eq!(r.pipelined_ms, 0.0);
+        assert_eq!(r.guided_fraction(), 0.0);
+        assert_eq!(r.speedup(), 1.0);
+    }
+
+    #[test]
+    fn guided_fraction_bounds() {
+        let cpu = vec![0.1; 5];
+        let gpu = vec![1.0; 5];
+        let r = simulate_pipeline(&cpu, &gpu);
+        assert!(r.guided_fraction() <= 1.0);
+        assert!((r.guided_fraction() - 0.8).abs() < 1e-9); // 4 of 5
+    }
+}

@@ -1,0 +1,232 @@
+//! Tiered-memory timing model for DLRM inference batches.
+//!
+//! Substitutes the paper's A100 + host-DDR testbed (see DESIGN.md). The
+//! substitution is justified by the paper's own Fig. 18: DLRM inference
+//! time is *linear* in the GPU-buffer hit rate (their linear model fits
+//! measured times with RMSE < 3.75 ms / 1.7%), so a calibrated linear model
+//! reproduces all end-to-end results by construction.
+//!
+//! Per-batch time decomposes into the four components of Fig. 16:
+//! embedding copy to GPU, GPU computation, GPU buffer management (dominated
+//! by on-demand fetches), and others (synchronization etc.).
+
+/// Timing constants (all microseconds).
+///
+/// The defaults are calibrated so that a paper-scale batch (512 queries,
+/// ~600K vector accesses, ~18% buffer) lands in the paper's 100–300 ms
+/// range once the trace `scale` factor is applied: our synthetic batches
+/// are ~100× smaller, so per-access costs are scaled up by the same factor
+/// to keep the reported numbers on the paper's axes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingConfig {
+    /// Amortized cost of one on-demand fetch from host memory. The raw
+    /// fetch latency is O(10 µs) (paper §I) but production fetches are
+    /// batched and overlapped; the *marginal* cost implied by Fig. 18's
+    /// slope is ~0.33 µs per missing vector at paper scale.
+    pub miss_us: f64,
+    /// Per-vector cost of a buffer hit (gather on GPU).
+    pub hit_us: f64,
+    /// Per-vector cost of copying fetched embeddings + 1-bit priorities to
+    /// the GPU ("Embedding copy to GPU").
+    pub copy_us: f64,
+    /// Fixed per-batch GPU computation (dense + interaction MLPs).
+    pub gpu_compute_us: f64,
+    /// Fixed per-batch other overheads (synchronization within FBGEMM).
+    pub others_us: f64,
+}
+
+impl TimingConfig {
+    /// Calibration matching the paper's figures for traces scaled down by
+    /// `scale` (e.g. 100.0 when batches have ~6K accesses instead of
+    /// ~600K).
+    pub fn paper_calibrated(scale: f64) -> Self {
+        TimingConfig {
+            miss_us: 0.40 * scale,
+            hit_us: 0.008 * scale,
+            copy_us: 0.030 * scale,
+            gpu_compute_us: 55_000.0,
+            others_us: 12_000.0,
+        }
+    }
+
+    /// Default calibration for the workspace's ~100×-scaled traces.
+    pub fn default_scaled() -> Self {
+        Self::paper_calibrated(100.0)
+    }
+}
+
+/// Per-batch time breakdown (the stacked bars of Fig. 16), milliseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BatchBreakdown {
+    /// Embedding (and priority metadata) copy to GPU.
+    pub copy_ms: f64,
+    /// Dense GPU computation.
+    pub gpu_compute_ms: f64,
+    /// GPU buffer management including on-demand fetches.
+    pub buffer_mgmt_ms: f64,
+    /// Other overheads.
+    pub others_ms: f64,
+}
+
+impl BatchBreakdown {
+    /// Total batch latency.
+    pub fn total_ms(&self) -> f64 {
+        self.copy_ms + self.gpu_compute_ms + self.buffer_mgmt_ms + self.others_ms
+    }
+}
+
+impl TimingConfig {
+    /// Computes the breakdown for a batch with the given access outcome
+    /// counts.
+    pub fn batch_breakdown(&self, hits: u64, misses: u64) -> BatchBreakdown {
+        let accesses = hits + misses;
+        BatchBreakdown {
+            copy_ms: (accesses as f64 * self.copy_us) / 1_000.0,
+            gpu_compute_ms: self.gpu_compute_us / 1_000.0,
+            buffer_mgmt_ms: (misses as f64 * self.miss_us + hits as f64 * self.hit_us) / 1_000.0,
+            others_ms: self.others_us / 1_000.0,
+        }
+    }
+}
+
+/// The linear performance model of Fig. 18:
+/// `time_ms = intercept − slope × hit_rate`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfModel {
+    /// Predicted latency at 0% hit rate.
+    pub intercept_ms: f64,
+    /// Latency reduction from 0% to 100% hit rate.
+    pub slope_ms: f64,
+}
+
+impl PerfModel {
+    /// Least-squares fit of `(hit_rate, time_ms)` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two points are given or all hit rates are
+    /// equal.
+    pub fn fit(points: &[(f64, f64)]) -> Self {
+        assert!(points.len() >= 2, "need at least two points to fit");
+        let n = points.len() as f64;
+        let sx: f64 = points.iter().map(|p| p.0).sum();
+        let sy: f64 = points.iter().map(|p| p.1).sum();
+        let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+        let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+        let denom = n * sxx - sx * sx;
+        assert!(denom.abs() > 1e-12, "degenerate fit: all hit rates equal");
+        let b = (n * sxy - sx * sy) / denom; // slope (negative)
+        let a = (sy - b * sx) / n;
+        PerfModel {
+            intercept_ms: a,
+            slope_ms: -b,
+        }
+    }
+
+    /// Builds the model directly from a [`TimingConfig`] and a batch size
+    /// (the analytic equivalent of fitting synthetic sweeps).
+    pub fn from_timing(cfg: &TimingConfig, accesses_per_batch: u64) -> Self {
+        let at0 = cfg.batch_breakdown(0, accesses_per_batch).total_ms();
+        let at1 = cfg.batch_breakdown(accesses_per_batch, 0).total_ms();
+        PerfModel {
+            intercept_ms: at0,
+            slope_ms: at0 - at1,
+        }
+    }
+
+    /// Predicted latency at `hit_rate ∈ [0, 1]`.
+    pub fn predict_ms(&self, hit_rate: f64) -> f64 {
+        self.intercept_ms - self.slope_ms * hit_rate
+    }
+
+    /// Root-mean-square error against measured points.
+    pub fn rmse(&self, points: &[(f64, f64)]) -> f64 {
+        if points.is_empty() {
+            return 0.0;
+        }
+        let se: f64 = points
+            .iter()
+            .map(|&(h, t)| {
+                let e = self.predict_ms(h) - t;
+                e * e
+            })
+            .sum();
+        (se / points.len() as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_components_sum() {
+        let cfg = TimingConfig::default_scaled();
+        let b = cfg.batch_breakdown(4000, 2000);
+        let total = b.copy_ms + b.gpu_compute_ms + b.buffer_mgmt_ms + b.others_ms;
+        assert!((b.total_ms() - total).abs() < 1e-12);
+        assert!(b.buffer_mgmt_ms > 0.0);
+    }
+
+    #[test]
+    fn more_misses_cost_more() {
+        let cfg = TimingConfig::default_scaled();
+        let lo = cfg.batch_breakdown(5000, 1000).total_ms();
+        let hi = cfg.batch_breakdown(1000, 5000).total_ms();
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn paper_scale_batch_lands_in_paper_range() {
+        // A ~6K-access batch (our 100×-scaled stand-in for the paper's
+        // 600K) should cost 100–300 ms across the hit-rate range, matching
+        // Figs. 16/18 axes.
+        let cfg = TimingConfig::default_scaled();
+        let worst = cfg.batch_breakdown(0, 6000).total_ms();
+        let best = cfg.batch_breakdown(6000, 0).total_ms();
+        assert!((250.0..350.0).contains(&worst), "worst {worst}");
+        assert!((60.0..130.0).contains(&best), "best {best}");
+    }
+
+    #[test]
+    fn fit_recovers_linear_data() {
+        let m0 = PerfModel {
+            intercept_ms: 300.0,
+            slope_ms: 200.0,
+        };
+        let pts: Vec<(f64, f64)> = (0..=10)
+            .map(|i| {
+                let h = i as f64 / 10.0;
+                (h, m0.predict_ms(h))
+            })
+            .collect();
+        let m = PerfModel::fit(&pts);
+        assert!((m.intercept_ms - 300.0).abs() < 1e-6);
+        assert!((m.slope_ms - 200.0).abs() < 1e-6);
+        assert!(m.rmse(&pts) < 1e-6);
+    }
+
+    #[test]
+    fn from_timing_matches_breakdown_extremes() {
+        let cfg = TimingConfig::default_scaled();
+        let m = PerfModel::from_timing(&cfg, 6000);
+        assert!((m.predict_ms(0.0) - cfg.batch_breakdown(0, 6000).total_ms()).abs() < 1e-9);
+        assert!((m.predict_ms(1.0) - cfg.batch_breakdown(6000, 0).total_ms()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rmse_detects_noise() {
+        let m = PerfModel {
+            intercept_ms: 100.0,
+            slope_ms: 50.0,
+        };
+        let pts = vec![(0.0, 110.0), (1.0, 40.0)];
+        assert!(m.rmse(&pts) > 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn fit_needs_points() {
+        let _ = PerfModel::fit(&[(0.5, 100.0)]);
+    }
+}

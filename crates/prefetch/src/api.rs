@@ -1,0 +1,152 @@
+//! The prefetcher abstraction and quality metrics.
+//!
+//! Prefetchers observe the demand-access stream (embedding-vector indices
+//! standing in for memory addresses, with the table ID as the PC proxy —
+//! the mapping the paper uses in §VII-A) and emit candidate vectors to
+//! insert into the GPU buffer ahead of use.
+
+use std::collections::HashSet;
+
+use recmg_trace::VectorKey;
+
+/// A prefetcher over embedding-vector keys.
+pub trait Prefetcher {
+    /// Human-readable name (used in experiment output).
+    fn name(&self) -> String;
+
+    /// Observes a demand access and returns the keys to prefetch.
+    ///
+    /// `was_hit` tells the prefetcher whether the access hit the buffer
+    /// (temporal prefetchers such as Domino train on misses only).
+    fn on_access(&mut self, key: VectorKey, was_hit: bool) -> Vec<VectorKey>;
+
+    /// Approximate metadata footprint in bytes (history tables, index
+    /// tables, model weights). Used for the resource comparisons of
+    /// §VII-E.
+    fn metadata_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// A prefetcher that never prefetches (the no-prefetch baseline and the
+/// "off" arm of the micro-armed bandit).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoPrefetcher;
+
+impl Prefetcher for NoPrefetcher {
+    fn name(&self) -> String {
+        "none".to_string()
+    }
+
+    fn on_access(&mut self, _key: VectorKey, _was_hit: bool) -> Vec<VectorKey> {
+        Vec::new()
+    }
+}
+
+/// Sequence-prediction quality of a prefetcher (paper Figs. 9 and 10).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PrefetchQuality {
+    /// Fraction of predicted vectors that are demanded within the
+    /// evaluation window following the prediction ("prefetch sequence
+    /// prediction correctness", Fig. 9).
+    pub correctness: f64,
+    /// Coverage per Eq. 2: `|unique(out ∩ gt)| / |unique(gt)|`, averaged
+    /// over prediction points (Fig. 10).
+    pub coverage: f64,
+    /// Number of prediction points evaluated.
+    pub evaluations: u64,
+    /// Total vectors predicted.
+    pub predicted: u64,
+}
+
+/// Replays `accesses` through `prefetcher` (reporting every access as a
+/// miss) and scores each non-empty prediction against the next `window`
+/// accesses.
+pub fn evaluate_quality<P: Prefetcher + ?Sized>(
+    prefetcher: &mut P,
+    accesses: &[VectorKey],
+    window: usize,
+) -> PrefetchQuality {
+    let mut q = PrefetchQuality::default();
+    let mut correct_sum = 0.0f64;
+    let mut coverage_sum = 0.0f64;
+    for (t, &key) in accesses.iter().enumerate() {
+        let out = prefetcher.on_access(key, false);
+        // Only score predictions with a full evaluation window ahead.
+        if out.is_empty() || t + 1 + window > accesses.len() {
+            continue;
+        }
+        let gt = &accesses[t + 1..t + 1 + window];
+        let gt_set: HashSet<VectorKey> = gt.iter().copied().collect();
+        let hit = out.iter().filter(|k| gt_set.contains(k)).count();
+        correct_sum += hit as f64 / out.len() as f64;
+        let out_set: HashSet<VectorKey> = out.iter().copied().collect();
+        let inter = out_set.intersection(&gt_set).count();
+        coverage_sum += inter as f64 / gt_set.len() as f64;
+        q.evaluations += 1;
+        q.predicted += out.len() as u64;
+    }
+    if q.evaluations > 0 {
+        q.correctness = correct_sum / q.evaluations as f64;
+        q.coverage = coverage_sum / q.evaluations as f64;
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recmg_trace::{RowId, TableId};
+
+    fn key(r: u64) -> VectorKey {
+        VectorKey::new(TableId(0), RowId(r))
+    }
+
+    /// Predicts the same fixed keys at every access.
+    struct FixedPrefetcher(Vec<VectorKey>);
+
+    impl Prefetcher for FixedPrefetcher {
+        fn name(&self) -> String {
+            "fixed".into()
+        }
+        fn on_access(&mut self, _k: VectorKey, _h: bool) -> Vec<VectorKey> {
+            self.0.clone()
+        }
+    }
+
+    #[test]
+    fn no_prefetcher_is_silent() {
+        let mut p = NoPrefetcher;
+        assert!(p.on_access(key(1), false).is_empty());
+        assert_eq!(p.metadata_bytes(), 0);
+    }
+
+    #[test]
+    fn perfect_predictor_scores_one() {
+        // Trace cycles 1,2; predicting {1,2} always is fully correct with
+        // window 2.
+        let acc: Vec<VectorKey> = (0..20).map(|i| key(i % 2)).collect();
+        let mut p = FixedPrefetcher(vec![key(0), key(1)]);
+        let q = evaluate_quality(&mut p, &acc, 2);
+        assert!((q.correctness - 1.0).abs() < 1e-9);
+        assert!((q.coverage - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn useless_predictor_scores_zero() {
+        let acc: Vec<VectorKey> = (0..20).map(key).collect();
+        let mut p = FixedPrefetcher(vec![key(999)]);
+        let q = evaluate_quality(&mut p, &acc, 5);
+        assert_eq!(q.correctness, 0.0);
+        assert_eq!(q.coverage, 0.0);
+        assert!(q.evaluations > 0);
+    }
+
+    #[test]
+    fn half_right_predictor() {
+        let acc: Vec<VectorKey> = (0..20).map(|i| key(i % 2)).collect();
+        let mut p = FixedPrefetcher(vec![key(0), key(777)]);
+        let q = evaluate_quality(&mut p, &acc, 2);
+        assert!((q.correctness - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,188 @@
+//! Berti local-delta prefetcher (Navarro-Torres et al., MICRO 2022).
+//!
+//! Berti learns, per PC, the set of *timely* local deltas: for each access
+//! it checks which previous accesses by the same PC would have been early
+//! enough to prefetch the current one, scores those deltas, and issues the
+//! highest-coverage deltas. PC is the table ID here (paper §VII-A); deltas
+//! are row differences.
+//!
+//! The paper finds Berti ineffective on DLRM traces ("Berti's delta-based
+//! prefetching ... designed for regular program patterns", §VII-E): with
+//! user-driven rows there is no stable per-table delta. We keep the
+//! timeliness window and per-PC scoring that define the design.
+
+use std::collections::HashMap;
+
+use recmg_trace::{RowId, TableId, VectorKey};
+
+use crate::api::Prefetcher;
+
+/// Per-PC history length used for delta extraction.
+const HISTORY: usize = 16;
+/// Accesses after which a delta observation is considered timely.
+const TIMELY_LAG: usize = 4;
+/// Score table size per PC.
+const MAX_DELTAS: usize = 16;
+/// Minimum normalized coverage for a delta to be issued.
+const COVERAGE_THRESHOLD: f64 = 0.35;
+/// Observations per evaluation round.
+const ROUND: u32 = 128;
+
+#[derive(Debug, Clone, Default)]
+struct PcState {
+    /// Recent (row, logical time) pairs.
+    recent: Vec<(u64, u64)>,
+    /// delta → hits this round.
+    scores: HashMap<i64, u32>,
+    observations: u32,
+    /// Deltas selected at the end of the last round.
+    active: Vec<i64>,
+}
+
+/// The Berti local-delta prefetcher.
+#[derive(Debug, Clone, Default)]
+pub struct Berti {
+    pcs: HashMap<TableId, PcState>,
+    clock: u64,
+    degree: usize,
+}
+
+impl Berti {
+    /// Creates a Berti prefetcher issuing at most `degree` deltas per
+    /// access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree` is zero.
+    pub fn new(degree: usize) -> Self {
+        assert!(degree > 0, "degree must be positive");
+        Berti {
+            pcs: HashMap::new(),
+            clock: 0,
+            degree,
+        }
+    }
+
+    /// The active deltas currently selected for `table` (for tests).
+    pub fn active_deltas(&self, table: TableId) -> Vec<i64> {
+        self.pcs
+            .get(&table)
+            .map(|s| s.active.clone())
+            .unwrap_or_default()
+    }
+}
+
+impl Prefetcher for Berti {
+    fn name(&self) -> String {
+        "Berti".to_string()
+    }
+
+    fn on_access(&mut self, key: VectorKey, _was_hit: bool) -> Vec<VectorKey> {
+        self.clock += 1;
+        let now = self.clock;
+        let degree = self.degree;
+        let st = self.pcs.entry(key.table()).or_default();
+        let row = key.row().0;
+
+        // --- Learning: which past accesses were timely predictors? ---
+        for &(prev_row, t) in &st.recent {
+            if now - t >= TIMELY_LAG as u64 {
+                let delta = row as i64 - prev_row as i64;
+                let tracked = st.scores.len() < MAX_DELTAS || st.scores.contains_key(&delta);
+                if delta != 0 && tracked {
+                    *st.scores.entry(delta).or_insert(0) += 1;
+                }
+            }
+        }
+        st.observations += 1;
+        if st.observations >= ROUND {
+            let denom = st.observations as f64;
+            let mut ranked: Vec<(i64, u32)> =
+                st.scores.iter().map(|(&d, &s)| (d, s)).collect();
+            ranked.sort_by_key(|&(_, s)| std::cmp::Reverse(s));
+            st.active = ranked
+                .into_iter()
+                .filter(|&(_, s)| s as f64 / denom >= COVERAGE_THRESHOLD)
+                .take(degree)
+                .map(|(d, _)| d)
+                .collect();
+            st.scores.clear();
+            st.observations = 0;
+        }
+
+        st.recent.push((row, now));
+        if st.recent.len() > HISTORY {
+            st.recent.remove(0);
+        }
+
+        // --- Prediction with the active deltas. ---
+        st.active
+            .iter()
+            .filter_map(|&d| {
+                let target = row as i64 + d;
+                (target >= 0).then(|| VectorKey::new(key.table(), RowId(target as u64)))
+            })
+            .collect()
+    }
+
+    fn metadata_bytes(&self) -> usize {
+        self.pcs.len() * (HISTORY * 16 + MAX_DELTAS * 12 + 64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(t: u32, r: u64) -> VectorKey {
+        VectorKey::new(TableId(t), RowId(r))
+    }
+
+    #[test]
+    fn learns_regular_delta() {
+        let mut b = Berti::new(2);
+        let mut row = 0u64;
+        for _ in 0..600 {
+            b.on_access(key(0, row), false);
+            row += 8;
+        }
+        let active = b.active_deltas(TableId(0));
+        assert!(!active.is_empty(), "no deltas learned");
+        // With stride 8 and timeliness lag 4, the timely deltas are
+        // multiples of 8 (8·4 .. 8·16 depending on history position).
+        assert!(active.iter().all(|d| d % 8 == 0), "deltas {active:?}");
+        let out = b.on_access(key(0, row), false);
+        assert!(!out.is_empty());
+        assert!(out.iter().all(|k| (k.row().0 - row).is_multiple_of(8)));
+    }
+
+    #[test]
+    fn random_rows_produce_no_active_deltas() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut b = Berti::new(2);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..2_000 {
+            b.on_access(key(0, rng.gen_range(0..1_000_000)), false);
+        }
+        assert!(b.active_deltas(TableId(0)).is_empty());
+    }
+
+    #[test]
+    fn per_pc_isolation() {
+        let mut b = Berti::new(1);
+        let mut r0 = 0u64;
+        let mut r1 = 0u64;
+        for _ in 0..600 {
+            b.on_access(key(0, r0), false);
+            b.on_access(key(1, r1), false);
+            r0 += 2;
+            r1 += 16;
+        }
+        let d0 = b.active_deltas(TableId(0));
+        let d1 = b.active_deltas(TableId(1));
+        assert!(d0.iter().all(|d| d % 2 == 0), "table0 deltas {d0:?}");
+        assert!(!d1.is_empty());
+        assert!(d1.iter().all(|d| d % 16 == 0), "table1 deltas {d1:?}");
+    }
+}

@@ -1,0 +1,237 @@
+//! Domino temporal prefetcher (Bakhshalipour et al., HPCA 2018).
+//!
+//! Domino records the miss stream in a circular *history buffer* and
+//! indexes it by the last one and last two miss addresses. On a miss it
+//! looks up the two-address index (falling back to one) and streams the
+//! next few recorded addresses as prefetches.
+//!
+//! Following the paper's evaluation (§VII-B), the index capacity is bounded
+//! to a fraction of the unique indices ("we set the metadata memory
+//! overhead as 10% of the unique indices accessed").
+
+use std::collections::HashMap;
+
+use recmg_trace::VectorKey;
+
+use crate::api::Prefetcher;
+
+/// The Domino temporal prefetcher.
+#[derive(Debug, Clone)]
+pub struct Domino {
+    history: Vec<VectorKey>,
+    head: usize,
+    capacity: usize,
+    index_capacity: usize,
+    /// last miss address → history position of its successor
+    index1: HashMap<VectorKey, usize>,
+    /// (second-to-last, last) → history position of the successor
+    index2: HashMap<(VectorKey, VectorKey), usize>,
+    prev: Option<VectorKey>,
+    degree: usize,
+}
+
+impl Domino {
+    /// Creates a Domino prefetcher.
+    ///
+    /// `history_capacity` bounds the circular miss-history buffer;
+    /// `index_capacity` bounds each index table (the paper's 10%-of-unique
+    /// budget); `degree` is the number of successors streamed per lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is zero.
+    pub fn new(history_capacity: usize, index_capacity: usize, degree: usize) -> Self {
+        assert!(history_capacity > 0, "history capacity must be positive");
+        assert!(index_capacity > 0, "index capacity must be positive");
+        assert!(degree > 0, "degree must be positive");
+        Domino {
+            history: Vec::with_capacity(history_capacity),
+            head: 0,
+            capacity: history_capacity,
+            index_capacity,
+            index1: HashMap::new(),
+            index2: HashMap::new(),
+            prev: None,
+            degree,
+        }
+    }
+
+    /// Convenience constructor using the paper's 10%-of-unique metadata
+    /// budget.
+    pub fn with_unique_budget(unique_indices: usize, degree: usize) -> Self {
+        let idx = (unique_indices / 10).max(16);
+        Self::new(unique_indices.max(64), idx, degree)
+    }
+
+    fn push_history(&mut self, key: VectorKey) {
+        if self.history.len() < self.capacity {
+            self.history.push(key);
+            self.head = self.history.len() % self.capacity;
+        } else {
+            self.history[self.head] = key;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    fn stream_from(&self, pos: usize) -> Vec<VectorKey> {
+        let n = self.history.len();
+        (0..self.degree)
+            .filter_map(|i| {
+                let p = pos + i;
+                if n < self.capacity {
+                    (p < n).then(|| self.history[p])
+                } else if p % self.capacity == self.head {
+                    None // would wrap past the write head
+                } else {
+                    Some(self.history[p % self.capacity])
+                }
+            })
+            .collect()
+    }
+}
+
+impl Prefetcher for Domino {
+    fn name(&self) -> String {
+        "Domino".to_string()
+    }
+
+    fn on_access(&mut self, key: VectorKey, was_hit: bool) -> Vec<VectorKey> {
+        if was_hit {
+            return Vec::new(); // temporal prefetchers train on the miss stream
+        }
+        // Predict before recording, using the freshest indices.
+        let mut out = Vec::new();
+        if let Some(prev) = self.prev {
+            if let Some(&pos) = self.index2.get(&(prev, key)) {
+                out = self.stream_from(pos);
+            }
+        }
+        if out.is_empty() {
+            if let Some(&pos) = self.index1.get(&key) {
+                out = self.stream_from(pos);
+            }
+        }
+        // Record: the successor of `key` will live at the next write slot.
+        let next_pos = if self.history.len() < self.capacity {
+            self.history.len() + 1
+        } else {
+            (self.head + 1) % self.capacity
+        };
+        if self.index1.len() >= self.index_capacity {
+            self.index1.clear();
+        }
+        self.index1.insert(key, next_pos % self.capacity.max(1));
+        if let Some(prev) = self.prev {
+            if self.index2.len() >= self.index_capacity {
+                self.index2.clear();
+            }
+            self.index2
+                .insert((prev, key), next_pos % self.capacity.max(1));
+        }
+        self.push_history(key);
+        self.prev = Some(key);
+        out
+    }
+
+    fn metadata_bytes(&self) -> usize {
+        self.history.len() * 8 + self.index1.len() * 16 + self.index2.len() * 24
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recmg_trace::{RowId, TableId};
+
+    fn key(r: u64) -> VectorKey {
+        VectorKey::new(TableId(0), RowId(r))
+    }
+
+    #[test]
+    fn learns_repeating_miss_sequence() {
+        let mut d = Domino::new(1024, 1024, 2);
+        // Two passes over the same miss sequence: the second pass should
+        // predict successors.
+        let seq: Vec<VectorKey> = (0..20).map(key).collect();
+        for &k in &seq {
+            d.on_access(k, false);
+        }
+        let mut predicted_any = false;
+        for (i, &k) in seq.iter().enumerate().take(10) {
+            let out = d.on_access(k, false);
+            if !out.is_empty() {
+                predicted_any = true;
+                // Successor of key(i) in history is key(i+1).
+                assert_eq!(out[0], key(i as u64 + 1), "at position {i}");
+            }
+        }
+        assert!(predicted_any);
+    }
+
+    #[test]
+    fn hits_do_not_train_or_predict() {
+        let mut d = Domino::new(64, 64, 2);
+        for r in 0..10 {
+            assert!(d.on_access(key(r), true).is_empty());
+        }
+        assert_eq!(d.metadata_bytes(), 0);
+    }
+
+    #[test]
+    fn pair_index_disambiguates() {
+        let mut d = Domino::new(1024, 1024, 1);
+        // Sequence: a x b ... c x d — after (a,x) comes b, after (c,x)
+        // comes d; single index on x would confuse them.
+        let (a, x, b, c, dd) = (key(1), key(2), key(3), key(4), key(5));
+        for &k in &[a, x, b, c, x, dd] {
+            d.on_access(k, false);
+        }
+        // Replay context (a, x): expect b.
+        d.on_access(a, false);
+        let out = d.on_access(x, false);
+        assert_eq!(out, vec![b]);
+    }
+
+    #[test]
+    fn index_capacity_bounded() {
+        let mut d = Domino::new(256, 32, 1);
+        for r in 0..10_000 {
+            d.on_access(key(r), false);
+        }
+        assert!(d.index1.len() <= 32);
+        assert!(d.index2.len() <= 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "degree must be positive")]
+    fn zero_degree_panics() {
+        let _ = Domino::new(1, 1, 0);
+    }
+
+    #[test]
+    fn session_interleaving_degrades_domino() {
+        // The property behind the paper's Fig. 9 (Domino at 0.3%):
+        // production traces interleave many users, destroying the pairwise
+        // temporal adjacency Domino indexes. Sequential bundles (one
+        // session) are its best case; interleaving many sessions must cut
+        // its prediction correctness sharply.
+        use crate::api::evaluate_quality;
+        let mut solo_cfg = recmg_trace::SyntheticConfig::tiny(99);
+        solo_cfg.num_accesses = 8_000;
+        let solo = solo_cfg.generate();
+        let mut inter_cfg = solo_cfg.clone();
+        inter_cfg.num_sessions = 16;
+        let inter = inter_cfg.generate();
+
+        let mut d1 = Domino::new(8_192, 8_192, 2);
+        let q_solo = evaluate_quality(&mut d1, solo.accesses(), 15);
+        let mut d2 = Domino::new(8_192, 8_192, 2);
+        let q_inter = evaluate_quality(&mut d2, inter.accesses(), 15);
+        assert!(
+            q_inter.correctness < q_solo.correctness * 0.7,
+            "interleaving did not hurt Domino: solo {:.3} vs interleaved {:.3}",
+            q_solo.correctness,
+            q_inter.correctness
+        );
+    }
+}

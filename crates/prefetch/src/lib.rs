@@ -1,0 +1,59 @@
+//! # recmg-prefetch
+//!
+//! Baseline prefetchers and cache+prefetcher co-simulation for the RecMG
+//! reproduction ("Machine Learning-Guided Memory Optimization for DLRM
+//! Inference on Tiered Memory", HPCA 2025).
+//!
+//! The paper compares RecMG against seven prefetchers (§VII-A); each has a
+//! native implementation here, driven by embedding-vector indices as
+//! addresses with the table ID as the PC proxy:
+//!
+//! * [`Bingo`] — spatial footprints (Bakhshalipour et al., HPCA 2019).
+//! * [`Domino`] — temporal miss-stream indexing (HPCA 2018).
+//! * [`BestOffset`] — global best offset (Michaud, HPCA 2016).
+//! * [`Berti`] — timely local deltas (MICRO 2022).
+//! * [`MicroArmedBandit`] — RL coordination of simple arms (MICRO 2023).
+//! * [`TransFetch`] — attention + delta-bitmap classification (CF 2022).
+//! * [`Voyager`] — hierarchical LSTM with the DLRM-scale OOM wall
+//!   (ASPLOS 2021).
+//!
+//! [`cosimulate`] produces the cache-hit / prefetch-hit / on-demand
+//! breakdown of Fig. 14 and the prefetcher statistics of Table IV;
+//! [`evaluate_quality`] produces the correctness/coverage metrics of
+//! Figs. 9–10.
+//!
+//! # Examples
+//!
+//! ```
+//! use recmg_cache::FullyAssocLru;
+//! use recmg_prefetch::{cosimulate, BestOffset};
+//! use recmg_trace::SyntheticConfig;
+//!
+//! let trace = SyntheticConfig::tiny(5).generate();
+//! let mut cache = FullyAssocLru::new(128);
+//! let mut bop = BestOffset::new();
+//! let result = cosimulate(&mut cache, &mut bop, trace.accesses());
+//! assert_eq!(result.total(), trace.len() as u64);
+//! ```
+
+mod api;
+mod berti;
+mod bingo;
+mod bop;
+mod cosim;
+mod domino;
+mod mab;
+mod simple;
+mod transfetch;
+mod voyager;
+
+pub use api::{evaluate_quality, NoPrefetcher, PrefetchQuality, Prefetcher};
+pub use berti::Berti;
+pub use bingo::Bingo;
+pub use bop::BestOffset;
+pub use cosim::{cosimulate, CosimResult};
+pub use domino::Domino;
+pub use mab::MicroArmedBandit;
+pub use simple::{NextLine, Stride};
+pub use transfetch::{TransFetch, TransFetchConfig};
+pub use voyager::{Voyager, VoyagerBuildError, VoyagerConfig};

@@ -1,0 +1,165 @@
+//! Next-line and stride prefetchers — the classic building blocks, used
+//! standalone and as arms of the micro-armed bandit coordinator.
+
+use std::collections::HashMap;
+
+use recmg_trace::{RowId, TableId, VectorKey};
+
+use crate::api::Prefetcher;
+
+/// Prefetches the next `degree` rows of the same table.
+///
+/// Embedding accesses have "extremely low spatial locality" (paper §II), so
+/// this is expected to perform poorly — it exists as a baseline arm.
+#[derive(Debug, Clone)]
+pub struct NextLine {
+    degree: usize,
+    max_row: u64,
+}
+
+impl NextLine {
+    /// Creates a next-line prefetcher of the given degree; predictions are
+    /// clamped to `max_row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree` is zero.
+    pub fn new(degree: usize, max_row: u64) -> Self {
+        assert!(degree > 0, "degree must be positive");
+        NextLine { degree, max_row }
+    }
+}
+
+impl Prefetcher for NextLine {
+    fn name(&self) -> String {
+        format!("next-line×{}", self.degree)
+    }
+
+    fn on_access(&mut self, key: VectorKey, _was_hit: bool) -> Vec<VectorKey> {
+        (1..=self.degree as u64)
+            .filter_map(|d| {
+                let row = key.row().0 + d;
+                (row <= self.max_row).then(|| VectorKey::new(key.table(), RowId(row)))
+            })
+            .collect()
+    }
+}
+
+/// Per-table stride detection: two consecutive equal deltas arm the
+/// prefetcher.
+#[derive(Debug, Clone, Default)]
+pub struct Stride {
+    state: HashMap<TableId, StrideState>,
+    degree: usize,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct StrideState {
+    last_row: u64,
+    last_delta: i64,
+    confirmed: bool,
+    seen: bool,
+}
+
+impl Stride {
+    /// Creates a stride prefetcher of the given degree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree` is zero.
+    pub fn new(degree: usize) -> Self {
+        assert!(degree > 0, "degree must be positive");
+        Stride {
+            state: HashMap::new(),
+            degree,
+        }
+    }
+}
+
+impl Prefetcher for Stride {
+    fn name(&self) -> String {
+        format!("stride×{}", self.degree)
+    }
+
+    fn on_access(&mut self, key: VectorKey, _was_hit: bool) -> Vec<VectorKey> {
+        let st = self.state.entry(key.table()).or_default();
+        let row = key.row().0;
+        let mut out = Vec::new();
+        if st.seen {
+            let delta = row as i64 - st.last_row as i64;
+            if delta != 0 {
+                st.confirmed = delta == st.last_delta && st.last_delta != 0;
+                st.last_delta = delta;
+            }
+            if st.confirmed {
+                for d in 1..=self.degree as i64 {
+                    let target = row as i64 + st.last_delta * d;
+                    if target >= 0 {
+                        out.push(VectorKey::new(key.table(), RowId(target as u64)));
+                    }
+                }
+            }
+        }
+        st.last_row = row;
+        st.seen = true;
+        out
+    }
+
+    fn metadata_bytes(&self) -> usize {
+        self.state.len() * std::mem::size_of::<(TableId, StrideState)>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(t: u32, r: u64) -> VectorKey {
+        VectorKey::new(TableId(t), RowId(r))
+    }
+
+    #[test]
+    fn next_line_prefetches_sequential_rows() {
+        let mut p = NextLine::new(2, 100);
+        let out = p.on_access(key(3, 10), false);
+        assert_eq!(out, vec![key(3, 11), key(3, 12)]);
+    }
+
+    #[test]
+    fn next_line_respects_max_row() {
+        let mut p = NextLine::new(4, 11);
+        let out = p.on_access(key(0, 10), false);
+        assert_eq!(out, vec![key(0, 11)]);
+    }
+
+    #[test]
+    fn stride_requires_confirmation() {
+        let mut p = Stride::new(1);
+        assert!(p.on_access(key(0, 10), false).is_empty()); // first
+        assert!(p.on_access(key(0, 13), false).is_empty()); // delta 3 unconfirmed
+        let out = p.on_access(key(0, 16), false); // delta 3 confirmed
+        assert_eq!(out, vec![key(0, 19)]);
+    }
+
+    #[test]
+    fn stride_resets_on_break() {
+        let mut p = Stride::new(1);
+        p.on_access(key(0, 10), false);
+        p.on_access(key(0, 13), false);
+        p.on_access(key(0, 16), false);
+        assert!(p.on_access(key(0, 99), false).is_empty()); // broken
+    }
+
+    #[test]
+    fn stride_is_per_table() {
+        let mut p = Stride::new(1);
+        p.on_access(key(0, 0), false);
+        p.on_access(key(1, 50), false);
+        p.on_access(key(0, 2), false);
+        p.on_access(key(1, 55), false);
+        let a = p.on_access(key(0, 4), false);
+        let b = p.on_access(key(1, 60), false);
+        assert_eq!(a, vec![key(0, 6)]);
+        assert_eq!(b, vec![key(1, 65)]);
+    }
+}

@@ -1,0 +1,385 @@
+//! Voyager-style hierarchical neural prefetcher (Shi et al., ASPLOS 2021).
+//!
+//! Voyager decomposes an address into a *page* and an *offset* and predicts
+//! them with two LSTM-fed softmax heads. Mapped to DLRM (paper §VII-B):
+//! page → embedding-table ID, offset → row ID. The paper's key observation
+//! is that this decomposition **fails at DLRM scale**: the per-table row
+//! space has millions of values, so the one-hot output layer alone
+//! out-grows memory ("training Voyager using this vector as output leads
+//! to out-of-memory, even on CPU with 512GB DDR").
+//!
+//! This implementation mirrors both behaviours:
+//! * [`Voyager::try_new`] refuses configurations whose row vocabulary
+//!   exceeds [`VoyagerConfig::max_row_vocab`], modelling the OOM wall; the
+//!   estimated output-layer size is reported in the error.
+//! * For tractable configurations, rows are bucketed, and a bucket→row
+//!   candidate map resolves predictions back to concrete vectors.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use recmg_tensor::nn::{Embedding, Linear, LstmCell, Module};
+use recmg_tensor::optim::{Adam, Optimizer};
+use recmg_tensor::{ParamStore, Tape, Var};
+use recmg_trace::{TableId, VectorKey};
+
+use crate::api::Prefetcher;
+
+/// Configuration of the Voyager-style model.
+#[derive(Debug, Clone)]
+pub struct VoyagerConfig {
+    /// Number of embedding tables ("pages").
+    pub num_tables: usize,
+    /// Row ("offset") vocabulary requested.
+    pub row_vocab: usize,
+    /// Hard ceiling on the row vocabulary, above which construction fails —
+    /// the OOM wall of §VII-B.
+    pub max_row_vocab: usize,
+    /// Token-embedding / LSTM width.
+    pub hidden: usize,
+    /// Input window length.
+    pub seq_len: usize,
+    /// Predictions emitted per inference.
+    pub degree: usize,
+    /// Run the model every `predict_every` accesses.
+    pub predict_every: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Seed for initialisation.
+    pub seed: u64,
+}
+
+impl Default for VoyagerConfig {
+    fn default() -> Self {
+        VoyagerConfig {
+            num_tables: 64,
+            row_vocab: 2048,
+            max_row_vocab: 1 << 16,
+            hidden: 64,
+            seq_len: 16,
+            degree: 2,
+            predict_every: 8,
+            lr: 1e-3,
+            seed: 0x0707,
+        }
+    }
+}
+
+/// Why a Voyager model could not be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VoyagerBuildError {
+    /// The requested row vocabulary would need an output layer of
+    /// `estimated_bytes`, exceeding the configured memory wall.
+    VocabTooLarge {
+        /// Rows requested.
+        requested: usize,
+        /// Configured ceiling.
+        ceiling: usize,
+        /// Estimated bytes for the one-hot output layer alone.
+        estimated_bytes: usize,
+    },
+}
+
+impl fmt::Display for VoyagerBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VoyagerBuildError::VocabTooLarge {
+                requested,
+                ceiling,
+                estimated_bytes,
+            } => write!(
+                f,
+                "voyager row vocabulary {requested} exceeds ceiling {ceiling} \
+                 (output layer alone would need {estimated_bytes} bytes)"
+            ),
+        }
+    }
+}
+
+impl Error for VoyagerBuildError {}
+
+/// The Voyager-style prefetcher.
+#[derive(Debug)]
+pub struct Voyager {
+    cfg: VoyagerConfig,
+    store: ParamStore,
+    emb: Embedding,
+    lstm: LstmCell,
+    table_head: Linear,
+    row_head: Linear,
+    /// (table, row-bucket) → most recently seen concrete key.
+    bucket_rep: HashMap<(u32, usize), VectorKey>,
+    recent: Vec<VectorKey>,
+    since_predict: usize,
+}
+
+impl Voyager {
+    /// Builds the model, enforcing the output-vocabulary memory wall.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VoyagerBuildError::VocabTooLarge`] when
+    /// `row_vocab > max_row_vocab` — the DLRM-scale failure mode the paper
+    /// demonstrates.
+    pub fn try_new(cfg: VoyagerConfig) -> Result<Self, VoyagerBuildError> {
+        if cfg.row_vocab > cfg.max_row_vocab {
+            return Err(VoyagerBuildError::VocabTooLarge {
+                requested: cfg.row_vocab,
+                ceiling: cfg.max_row_vocab,
+                estimated_bytes: cfg
+                    .row_vocab
+                    .saturating_mul(cfg.hidden)
+                    .saturating_mul(4),
+            });
+        }
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let vocab = cfg.num_tables * 31 + cfg.row_vocab; // joint token space
+        let emb = Embedding::new(&mut store, &mut rng, "vy.emb", vocab, cfg.hidden);
+        let lstm = LstmCell::new(&mut store, &mut rng, "vy.lstm", cfg.hidden, cfg.hidden);
+        let table_head = Linear::new(&mut store, &mut rng, "vy.table", cfg.hidden, cfg.num_tables);
+        let row_head = Linear::new(&mut store, &mut rng, "vy.row", cfg.hidden, cfg.row_vocab);
+        Ok(Voyager {
+            cfg,
+            store,
+            emb,
+            lstm,
+            table_head,
+            row_head,
+            bucket_rep: HashMap::new(),
+            recent: Vec::new(),
+            since_predict: 0,
+        })
+    }
+
+    /// Total learnable parameters.
+    pub fn num_params(&self) -> usize {
+        self.store.num_scalars()
+    }
+
+    fn token_of(&self, key: VectorKey) -> usize {
+        let t = (key.table().0 as usize % self.cfg.num_tables) * 31;
+        let r = key.bucket(self.cfg.row_vocab);
+        (t + r) % (self.cfg.num_tables * 31 + self.cfg.row_vocab)
+    }
+
+    fn row_bucket(&self, key: VectorKey) -> usize {
+        key.bucket(self.cfg.row_vocab)
+    }
+
+    /// Runs the shared trunk, returning the final hidden state `[1, h]`.
+    fn trunk(&self, tape: &mut Tape, window: &[VectorKey]) -> Var {
+        let tokens: Vec<usize> = window.iter().map(|&k| self.token_of(k)).collect();
+        let x = self.emb.forward(tape, &self.store, &tokens);
+        let (mut h, mut c) = self.lstm.zero_state(tape);
+        for i in 0..tokens.len() {
+            let xi = tape.gather_rows(x, &[i]);
+            let (h2, c2) = self.lstm.step(tape, &self.store, xi, h, c);
+            h = h2;
+            c = c2;
+        }
+        h
+    }
+
+    /// Offline training: next-access (table, row-bucket) prediction with
+    /// two cross-entropy heads. Returns the mean loss over the final
+    /// quarter of steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is shorter than one training window.
+    pub fn train(&mut self, accesses: &[VectorKey], steps: usize) -> f32 {
+        let need = self.cfg.seq_len + 1;
+        assert!(accesses.len() > need, "trace too short to train on");
+        for &k in accesses {
+            self.bucket_rep
+                .insert((k.table().0, self.row_bucket(k)), k);
+        }
+        let params: Vec<_> = self
+            .emb
+            .params()
+            .into_iter()
+            .chain(self.lstm.params())
+            .chain(self.table_head.params())
+            .chain(self.row_head.params())
+            .collect();
+        let mut opt = Adam::new(params, self.cfg.lr);
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x55AA);
+        let mut tail = Vec::new();
+        for step in 0..steps {
+            let start = rng.gen_range(0..accesses.len() - need);
+            let window = &accesses[start..start + self.cfg.seq_len];
+            let target = accesses[start + self.cfg.seq_len];
+            let mut tape = Tape::new(&self.store);
+            let h = self.trunk(&mut tape, window);
+            let t_logits = self.table_head.forward(&mut tape, &self.store, h);
+            let r_logits = self.row_head.forward(&mut tape, &self.store, h);
+            let t_loss = tape.softmax_cross_entropy(
+                t_logits,
+                vec![target.table().0 as usize % self.cfg.num_tables],
+            );
+            let r_loss = tape.softmax_cross_entropy(r_logits, vec![self.row_bucket(target)]);
+            let loss = tape.add(t_loss, r_loss);
+            let loss = tape.sum(loss);
+            let lv = tape.value(loss).data()[0];
+            tape.backward(loss, &mut self.store);
+            self.store.clip_grad_norm(5.0);
+            opt.step(&mut self.store);
+            if step * 4 >= steps * 3 {
+                tail.push(lv);
+            }
+        }
+        tail.iter().sum::<f32>() / tail.len().max(1) as f32
+    }
+
+    /// Runs one prediction from the recent window (public for the Table II
+    /// cost benchmark).
+    pub fn predict(&self) -> Vec<VectorKey> {
+        if self.recent.len() < self.cfg.seq_len {
+            return Vec::new();
+        }
+        let window = &self.recent[self.recent.len() - self.cfg.seq_len..];
+        let mut tape = Tape::new(&self.store);
+        let h = self.trunk(&mut tape, window);
+        let t_logits = self.table_head.forward(&mut tape, &self.store, h);
+        let r_logits = self.row_head.forward(&mut tape, &self.store, h);
+        let table = tape.value(t_logits).argmax() as u32;
+        let rows = tape.value(r_logits).clone();
+        let mut ranked: Vec<(usize, f32)> = rows.data().iter().copied().enumerate().collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite logits"));
+        ranked
+            .into_iter()
+            .take(self.cfg.degree)
+            .filter_map(|(bucket, _)| self.bucket_rep.get(&(table, bucket)).copied())
+            .collect()
+    }
+
+    /// Tables the model predicts over (for tests).
+    pub fn predicts_table(&self, t: TableId) -> bool {
+        (t.0 as usize) < self.cfg.num_tables
+    }
+}
+
+impl Prefetcher for Voyager {
+    fn name(&self) -> String {
+        "Voyager".to_string()
+    }
+
+    fn on_access(&mut self, key: VectorKey, _was_hit: bool) -> Vec<VectorKey> {
+        self.bucket_rep
+            .insert((key.table().0, self.row_bucket(key)), key);
+        self.recent.push(key);
+        if self.recent.len() > 4 * self.cfg.seq_len {
+            self.recent.drain(..self.cfg.seq_len);
+        }
+        self.since_predict += 1;
+        if self.since_predict < self.cfg.predict_every {
+            return Vec::new();
+        }
+        self.since_predict = 0;
+        self.predict()
+    }
+
+    fn metadata_bytes(&self) -> usize {
+        self.store.num_scalars() * 4 + self.bucket_rep.len() * 24
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recmg_trace::RowId;
+
+    fn key(t: u32, r: u64) -> VectorKey {
+        VectorKey::new(TableId(t), RowId(r))
+    }
+
+    fn small_cfg() -> VoyagerConfig {
+        VoyagerConfig {
+            num_tables: 4,
+            row_vocab: 64,
+            max_row_vocab: 1 << 16,
+            hidden: 16,
+            seq_len: 5,
+            degree: 2,
+            predict_every: 1,
+            lr: 5e-3,
+            seed: 2,
+        }
+    }
+
+    #[test]
+    fn oom_wall_refuses_dlrm_scale_vocab() {
+        // 62M unique vectors (the paper's dataset scale) must be rejected.
+        let cfg = VoyagerConfig {
+            row_vocab: 62_000_000,
+            ..VoyagerConfig::default()
+        };
+        let err = Voyager::try_new(cfg).expect_err("must refuse DLRM-scale vocab");
+        match err {
+            VoyagerBuildError::VocabTooLarge {
+                requested,
+                estimated_bytes,
+                ..
+            } => {
+                assert_eq!(requested, 62_000_000);
+                // 62M × 64 hidden × 4 bytes ≈ 15.9 GB for one layer.
+                assert!(estimated_bytes > 10_000_000_000);
+            }
+        }
+    }
+
+    #[test]
+    fn small_vocab_builds() {
+        let v = Voyager::try_new(small_cfg()).expect("small config builds");
+        assert!(v.num_params() > 0);
+        assert!(v.predicts_table(TableId(0)));
+    }
+
+    #[test]
+    fn learns_cyclic_sequence() {
+        // Deterministic cycle over 6 keys: after training, the model should
+        // often predict the actual successor.
+        let cycle: Vec<VectorKey> = vec![
+            key(0, 5),
+            key(1, 9),
+            key(2, 14),
+            key(3, 3),
+            key(0, 40),
+            key(1, 27),
+        ];
+        let trace: Vec<VectorKey> = (0..600).map(|i| cycle[i % cycle.len()]).collect();
+        let mut v = Voyager::try_new(small_cfg()).expect("builds");
+        v.train(&trace, 250);
+        let mut hits = 0;
+        let mut evals = 0;
+        for start in 100..130 {
+            v.recent = trace[start..start + 5].to_vec();
+            let preds = v.predict();
+            if !preds.is_empty() {
+                evals += 1;
+                if preds.contains(&trace[start + 5]) {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(evals > 0);
+        assert!(hits * 3 >= evals, "hits {hits}/{evals}");
+    }
+
+    #[test]
+    fn error_formats_bytes() {
+        let e = VoyagerBuildError::VocabTooLarge {
+            requested: 100,
+            ceiling: 10,
+            estimated_bytes: 4_000,
+        };
+        let s = e.to_string();
+        assert!(s.contains("100"));
+        assert!(s.contains("4000"));
+    }
+}

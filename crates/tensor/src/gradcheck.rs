@@ -1,0 +1,205 @@
+//! Finite-difference gradient checking.
+//!
+//! Used by the test suites of this crate and of `recmg-core` to validate
+//! that the analytic gradients produced by [`Tape::backward`] match
+//! numerical differentiation — the standard correctness oracle for a
+//! from-scratch autograd engine.
+
+use crate::tape::{ParamId, ParamStore, Tape};
+
+/// Result of a gradient check for one parameter.
+#[derive(Debug, Clone)]
+pub struct GradCheckReport {
+    /// Parameter that was checked.
+    pub param: ParamId,
+    /// Largest absolute difference between analytic and numeric gradient.
+    pub max_abs_err: f32,
+    /// Largest relative difference (guarded against tiny denominators).
+    pub max_rel_err: f32,
+}
+
+/// Checks the analytic gradient of `loss_fn` with respect to `param` using
+/// central finite differences.
+///
+/// `loss_fn` must build a fresh tape from the store and return the scalar
+/// loss **without** calling `backward` — this function drives both the
+/// analytic and the numeric passes.
+///
+/// # Panics
+///
+/// Panics if `loss_fn` produces a non-finite loss.
+pub fn check_param<F>(
+    store: &mut ParamStore,
+    param: ParamId,
+    eps: f32,
+    mut loss_fn: F,
+) -> GradCheckReport
+where
+    F: FnMut(&mut Tape, &ParamStore) -> crate::tape::Var,
+{
+    // Analytic gradient.
+    store.zero_grad();
+    let mut tape = Tape::new(store);
+    let loss = loss_fn(&mut tape, store);
+    tape.backward(loss, store);
+    let analytic = store.grad(param).clone();
+
+    // Numeric gradient, one coordinate at a time.
+    let n = store.value(param).len();
+    let mut max_abs_err = 0.0f32;
+    let mut max_rel_err = 0.0f32;
+    for i in 0..n {
+        let orig = store.value(param).data()[i];
+
+        store.value_mut(param).data_mut()[i] = orig + eps;
+        let mut t_up = Tape::new(store);
+        let l_up = loss_fn(&mut t_up, store);
+        let up = t_up.value(l_up).data()[0];
+
+        store.value_mut(param).data_mut()[i] = orig - eps;
+        let mut t_dn = Tape::new(store);
+        let l_dn = loss_fn(&mut t_dn, store);
+        let dn = t_dn.value(l_dn).data()[0];
+
+        store.value_mut(param).data_mut()[i] = orig;
+        assert!(up.is_finite() && dn.is_finite(), "non-finite loss");
+
+        let numeric = (up - dn) / (2.0 * eps);
+        let a = analytic.data()[i];
+        let abs_err = (a - numeric).abs();
+        let rel_err = abs_err / a.abs().max(numeric.abs()).max(1e-3);
+        max_abs_err = max_abs_err.max(abs_err);
+        max_rel_err = max_rel_err.max(rel_err);
+    }
+    store.zero_grad();
+    GradCheckReport {
+        param,
+        max_abs_err,
+        max_rel_err,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn::{Attention, DecoderFeed, Embedding, Linear, LstmCell, Module, Seq2SeqStack};
+    use crate::tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const TOL: f32 = 2e-2;
+
+    #[test]
+    fn gradcheck_linear_chain() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(101);
+        let l1 = Linear::new(&mut store, &mut rng, "l1", 3, 4);
+        let l2 = Linear::new(&mut store, &mut rng, "l2", 4, 1);
+        let params: Vec<_> = l1.params().into_iter().chain(l2.params()).collect();
+        for p in params {
+            let l1c = l1.clone();
+            let l2c = l2.clone();
+            let r = check_param(&mut store, p, 1e-2, move |tape, store| {
+                let x = tape.constant(Tensor::from_vec(vec![0.3, -0.7, 1.1], &[1, 3]));
+                let h = l1c.forward(tape, store, x);
+                let h = tape.tanh(h);
+                let y = l2c.forward(tape, store, h);
+                tape.sum(y)
+            });
+            assert!(
+                r.max_rel_err < TOL,
+                "param {:?}: rel err {}",
+                store.name(p),
+                r.max_rel_err
+            );
+        }
+    }
+
+    #[test]
+    fn gradcheck_lstm_cell() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(102);
+        let cell = LstmCell::new(&mut store, &mut rng, "c", 2, 3);
+        for p in cell.params() {
+            let cc = cell.clone();
+            let r = check_param(&mut store, p, 1e-2, move |tape, store| {
+                let (mut h, mut c) = cc.zero_state(tape);
+                for s in 0..2 {
+                    let x = tape.constant(Tensor::full(&[1, 2], 0.4 + 0.2 * s as f32));
+                    let (h2, c2) = cc.step(tape, store, x, h, c);
+                    h = h2;
+                    c = c2;
+                }
+                tape.sum(h)
+            });
+            assert!(
+                r.max_rel_err < TOL,
+                "param {:?}: rel err {}",
+                store.name(p),
+                r.max_rel_err
+            );
+        }
+    }
+
+    #[test]
+    fn gradcheck_attention() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(103);
+        let attn = Attention::new(&mut store, &mut rng, "a", 3);
+        let keys = Tensor::rand_uniform(&mut rng, &[4, 3], -0.5, 0.5);
+        for p in attn.params() {
+            let ac = attn.clone();
+            let kc = keys.clone();
+            let r = check_param(&mut store, p, 1e-2, move |tape, store| {
+                let q = tape.constant(Tensor::from_vec(vec![0.1, -0.2, 0.3], &[1, 3]));
+                let k = tape.constant(kc.clone());
+                let out = ac.apply(tape, store, q, k);
+                tape.sum(out)
+            });
+            assert!(
+                r.max_rel_err < TOL,
+                "param {:?}: rel err {}",
+                store.name(p),
+                r.max_rel_err
+            );
+        }
+    }
+
+    #[test]
+    fn gradcheck_embedding_through_stack_with_chamfer() {
+        // End-to-end mini prefetch model: embedding → stack → projection →
+        // chamfer loss. This exercises every op the real model uses.
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(104);
+        let emb = Embedding::new(&mut store, &mut rng, "e", 8, 3);
+        let stack = Seq2SeqStack::new(&mut store, &mut rng, "s", 3, 3);
+        let proj = Linear::new(&mut store, &mut rng, "p", 3, 1);
+        let all: Vec<_> = emb
+            .params()
+            .into_iter()
+            .chain(stack.params())
+            .chain(proj.params())
+            .collect();
+        // Check a subset (first of each module) for test speed.
+        for &p in &[all[0], all[1], all[all.len() - 2]] {
+            let (ec, sc, pc) = (emb.clone(), stack.clone(), proj.clone());
+            let r = check_param(&mut store, p, 1e-2, move |tape, store| {
+                let x = ec.forward(tape, store, &[1, 5, 2, 7]);
+                let xs: Vec<_> = (0..4).map(|i| tape.gather_rows(x, &[i])).collect();
+                let outs = sc.forward(tape, store, &xs, DecoderFeed::Autoregressive(2));
+                let mut preds = Vec::new();
+                for o in outs {
+                    preds.push(pc.forward(tape, store, o));
+                }
+                let cat = tape.concat_rows(&preds);
+                tape.chamfer(cat, Tensor::from_slice(&[0.2, 0.9, 0.5]), 0.7)
+            });
+            assert!(
+                r.max_rel_err < 5e-2,
+                "param {:?}: rel err {}",
+                store.name(p),
+                r.max_rel_err
+            );
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! # recmg-tensor
+//!
+//! A small, CPU-only deep-learning substrate built from scratch for the
+//! RecMG reproduction ("Machine Learning-Guided Memory Optimization for
+//! DLRM Inference on Tiered Memory", HPCA 2025).
+//!
+//! The paper's models are deliberately tiny (≈37K parameters for the caching
+//! model, ≈74K for the prefetch model) and run on spare CPU cores during
+//! DLRM inference; this crate provides exactly the machinery they need:
+//!
+//! * [`Tensor`] — dense row-major `f32` tensors with the usual linear
+//!   algebra.
+//! * [`Tape`] / [`ParamStore`] — reverse-mode autodiff over a Wengert list,
+//!   with gradient accumulation for minibatching.
+//! * [`nn`] — `Linear`, `Embedding`, `LstmCell`, Luong [`nn::Attention`],
+//!   and the paper's encoder/decoder [`nn::Seq2SeqStack`].
+//! * [`optim`] — SGD and Adam.
+//! * Losses — binary cross-entropy with logits, softmax cross-entropy, MSE,
+//!   and the paper's symmetric normalized **Chamfer measure** (Eq. 5),
+//!   available both as tape ops and as free functions
+//!   ([`chamfer_forward`], [`chamfer_backward`]).
+//! * [`quant`] — int8 weight quantization used by the CPU serving path.
+//! * [`gradcheck`] — finite-difference gradient checking.
+//!
+//! # Examples
+//!
+//! Train a one-parameter model to minimise `(w - 3)^2`:
+//!
+//! ```
+//! use recmg_tensor::optim::{Adam, Optimizer};
+//! use recmg_tensor::{ParamStore, Tape, Tensor};
+//!
+//! let mut store = ParamStore::new();
+//! let w = store.add_param("w", Tensor::from_slice(&[0.0]));
+//! let mut opt = Adam::new(vec![w], 0.1);
+//! for _ in 0..200 {
+//!     let mut tape = Tape::new(&store);
+//!     let wv = tape.param_from(&store, w);
+//!     let d = tape.add_scalar(wv, -3.0);
+//!     let sq = tape.mul(d, d);
+//!     let loss = tape.sum(sq);
+//!     tape.backward(loss, &mut store);
+//!     opt.step(&mut store);
+//! }
+//! assert!((store.value(w).data()[0] - 3.0).abs() < 0.05);
+//! ```
+
+#![allow(clippy::needless_range_loop)] // index-heavy numeric kernels
+
+pub mod gradcheck;
+pub mod nn;
+pub mod optim;
+pub mod quant;
+mod tape;
+mod tensor;
+
+pub use tape::{
+    chamfer_backward, chamfer_forward, stable_sigmoid, ParamId, ParamStore, Tape, Var,
+};
+pub use tensor::Tensor;

@@ -1,0 +1,693 @@
+//! Neural-network layers built on the autograd [`Tape`].
+//!
+//! These are the building blocks of both RecMG models (paper §V, Fig. 5):
+//! an [`Embedding`] of hashed `(table ID, row ID)` tokens, sequence-to-
+//! sequence LSTM stacks ([`Seq2SeqStack`] = encoder + decoder pair, the
+//! dashed rectangle in the paper's Fig. 5), Luong-style [`Attention`], and
+//! [`Linear`] heads.
+//!
+//! All layers register their parameters in a shared [`ParamStore`] at
+//! construction and replay them onto a fresh [`Tape`] each forward pass.
+
+use rand::Rng;
+
+use crate::tape::{ParamId, ParamStore, Tape, Var};
+use crate::tensor::Tensor;
+
+/// A trainable component that owns parameters in a [`ParamStore`].
+pub trait Module {
+    /// The ids of every parameter owned by this module (and submodules).
+    fn params(&self) -> Vec<ParamId>;
+
+    /// Total learnable scalar count of this module.
+    fn num_scalars(&self, store: &ParamStore) -> usize {
+        self.params()
+            .iter()
+            .map(|&id| store.value(id).len())
+            .sum()
+    }
+}
+
+/// Fully-connected layer `y = x W + b`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+/// use recmg_tensor::nn::{Linear, Module};
+/// use recmg_tensor::{ParamStore, Tape, Tensor};
+///
+/// let mut store = ParamStore::new();
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let layer = Linear::new(&mut store, &mut rng, "fc", 4, 2);
+/// let mut tape = Tape::new(&store);
+/// let x = tape.constant(Tensor::zeros(&[3, 4]));
+/// let y = layer.forward(&mut tape, &store, x);
+/// assert_eq!(tape.value(y).shape(), &[3, 2]);
+/// assert_eq!(layer.num_scalars(&store), 4 * 2 + 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Linear {
+    w: ParamId,
+    b: ParamId,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Creates a layer with Xavier-uniform weights and zero bias.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        rng: &mut R,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+    ) -> Self {
+        let w = store.add_param(
+            format!("{name}.w"),
+            Tensor::xavier_uniform(rng, in_dim, out_dim),
+        );
+        let b = store.add_param(format!("{name}.b"), Tensor::zeros(&[out_dim]));
+        Linear {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Applies the layer to `x` of shape `[n, in_dim]`.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        let w = tape.param_from(store, self.w);
+        let b = tape.param_from(store, self.b);
+        let xw = tape.matmul(x, w);
+        tape.add_bias(xw, b)
+    }
+
+    /// Input feature count.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output feature count.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// The weight parameter id (for quantization and inspection).
+    pub fn weight_id(&self) -> ParamId {
+        self.w
+    }
+
+    /// The bias parameter id.
+    pub fn bias_id(&self) -> ParamId {
+        self.b
+    }
+}
+
+impl Module for Linear {
+    fn params(&self) -> Vec<ParamId> {
+        vec![self.w, self.b]
+    }
+}
+
+/// Token-embedding lookup table of shape `[vocab, dim]`.
+///
+/// In RecMG the vocabulary is a hash space over `(table ID, row ID)` pairs —
+/// the "Hashing" box in the paper's Fig. 5 — which bounds the model input
+/// space regardless of how many unique embedding vectors the DLRM has.
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    table: ParamId,
+    vocab: usize,
+    dim: usize,
+}
+
+impl Embedding {
+    /// Creates an embedding with small random normal initialisation.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        rng: &mut R,
+        name: &str,
+        vocab: usize,
+        dim: usize,
+    ) -> Self {
+        let table = store.add_param(
+            format!("{name}.table"),
+            Tensor::rand_normal(rng, &[vocab, dim], 0.0, 0.1),
+        );
+        Embedding { table, vocab, dim }
+    }
+
+    /// Looks up `tokens`, producing a `[tokens.len(), dim]` variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any token is `>= vocab`.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, tokens: &[usize]) -> Var {
+        let t = tape.param_from(store, self.table);
+        tape.gather_rows(t, tokens)
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+impl Module for Embedding {
+    fn params(&self) -> Vec<ParamId> {
+        vec![self.table]
+    }
+}
+
+/// A single LSTM cell with fused gate weights.
+///
+/// Gate layout in the `4h` columns is `[input, forget, cell, output]`.
+/// The forget-gate bias is initialised to 1.0 (standard practice for
+/// stable training of small LSTMs).
+#[derive(Debug, Clone)]
+pub struct LstmCell {
+    wx: ParamId,
+    wh: ParamId,
+    b: ParamId,
+    input_dim: usize,
+    hidden_dim: usize,
+}
+
+impl LstmCell {
+    /// Creates a cell mapping `input_dim` features to `hidden_dim` state.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        rng: &mut R,
+        name: &str,
+        input_dim: usize,
+        hidden_dim: usize,
+    ) -> Self {
+        let wx = store.add_param(
+            format!("{name}.wx"),
+            Tensor::xavier_uniform(rng, input_dim, 4 * hidden_dim),
+        );
+        let wh = store.add_param(
+            format!("{name}.wh"),
+            Tensor::xavier_uniform(rng, hidden_dim, 4 * hidden_dim),
+        );
+        let mut bias = Tensor::zeros(&[4 * hidden_dim]);
+        for j in hidden_dim..2 * hidden_dim {
+            bias.data_mut()[j] = 1.0; // forget gate bias
+        }
+        let b = store.add_param(format!("{name}.b"), bias);
+        LstmCell {
+            wx,
+            wh,
+            b,
+            input_dim,
+            hidden_dim,
+        }
+    }
+
+    /// One step: consumes `x` (`[1, input_dim]`) and previous `(h, c)`
+    /// (`[1, hidden_dim]` each), returning the next `(h, c)`.
+    pub fn step(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        x: Var,
+        h: Var,
+        c: Var,
+    ) -> (Var, Var) {
+        let hd = self.hidden_dim;
+        let wx = tape.param_from(store, self.wx);
+        let wh = tape.param_from(store, self.wh);
+        let b = tape.param_from(store, self.b);
+        let xg = tape.matmul(x, wx);
+        let hg = tape.matmul(h, wh);
+        let gsum = tape.add(xg, hg);
+        let gates = tape.add_bias(gsum, b);
+        let i_raw = tape.slice_cols(gates, 0, hd);
+        let f_raw = tape.slice_cols(gates, hd, hd);
+        let g_raw = tape.slice_cols(gates, 2 * hd, hd);
+        let o_raw = tape.slice_cols(gates, 3 * hd, hd);
+        let i = tape.sigmoid(i_raw);
+        let f = tape.sigmoid(f_raw);
+        let g = tape.tanh(g_raw);
+        let o = tape.sigmoid(o_raw);
+        let fc = tape.mul(f, c);
+        let ig = tape.mul(i, g);
+        let c_next = tape.add(fc, ig);
+        let c_act = tape.tanh(c_next);
+        let h_next = tape.mul(o, c_act);
+        (h_next, c_next)
+    }
+
+    /// Zero-initialised `(h, c)` state as tape constants.
+    pub fn zero_state(&self, tape: &mut Tape) -> (Var, Var) {
+        let h = tape.constant(Tensor::zeros(&[1, self.hidden_dim]));
+        let c = tape.constant(Tensor::zeros(&[1, self.hidden_dim]));
+        (h, c)
+    }
+
+    /// Input feature count.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Hidden state size.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+}
+
+impl Module for LstmCell {
+    fn params(&self) -> Vec<ParamId> {
+        vec![self.wx, self.wh, self.b]
+    }
+}
+
+/// Luong-style attention: dot-product scores over encoder states, softmax,
+/// context, then a `tanh(W [ctx; query])` combination.
+///
+/// This is the attention mechanism the paper adds to both models so they can
+/// "capture long-range dependencies" between embedding-vector accesses
+/// (§V).
+#[derive(Debug, Clone)]
+pub struct Attention {
+    combine: Linear,
+    hidden_dim: usize,
+}
+
+impl Attention {
+    /// Creates an attention block over `hidden_dim`-sized states.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        rng: &mut R,
+        name: &str,
+        hidden_dim: usize,
+    ) -> Self {
+        let combine = Linear::new(
+            store,
+            rng,
+            &format!("{name}.combine"),
+            2 * hidden_dim,
+            hidden_dim,
+        );
+        Attention {
+            combine,
+            hidden_dim,
+        }
+    }
+
+    /// Attends from `query` (`[1, h]`) over `keys` (`[T, h]`), returning the
+    /// combined attended representation (`[1, h]`).
+    pub fn apply(&self, tape: &mut Tape, store: &ParamStore, query: Var, keys: Var) -> Var {
+        let keys_t = tape.transpose(keys);
+        let scores = tape.matmul(query, keys_t); // [1, T]
+        let attn = tape.softmax_rows(scores);
+        let ctx = tape.matmul(attn, keys); // [1, h]
+        let cat = tape.concat_cols(ctx, query); // [1, 2h]
+        let lin = self.combine.forward(tape, store, cat);
+        tape.tanh(lin)
+    }
+
+    /// Hidden size this block operates over.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+}
+
+impl Module for Attention {
+    fn params(&self) -> Vec<ParamId> {
+        self.combine.params()
+    }
+}
+
+/// How the decoder of a [`Seq2SeqStack`] is fed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecoderFeed {
+    /// One decoder step per encoder step, fed with the encoder hidden state
+    /// at the same position. Used by the caching model, whose output is a
+    /// binary decision *per input element* (§V-A).
+    Aligned,
+    /// A fixed number of decoder steps, each fed with the previous attended
+    /// output (the first step gets the final encoder state). Used by the
+    /// prefetch model, whose output sequence is *shorter* than the input
+    /// (§V-B).
+    Autoregressive(usize),
+}
+
+/// One "LSTM stack" from the paper's Fig. 5: an encoder LSTM, a decoder
+/// LSTM, and an attention block over the encoder states.
+#[derive(Debug, Clone)]
+pub struct Seq2SeqStack {
+    encoder: LstmCell,
+    decoder: LstmCell,
+    attention: Attention,
+    hidden_dim: usize,
+}
+
+impl Seq2SeqStack {
+    /// Creates a stack mapping `input_dim` features to `hidden_dim` outputs.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        rng: &mut R,
+        name: &str,
+        input_dim: usize,
+        hidden_dim: usize,
+    ) -> Self {
+        Seq2SeqStack {
+            encoder: LstmCell::new(store, rng, &format!("{name}.enc"), input_dim, hidden_dim),
+            decoder: LstmCell::new(store, rng, &format!("{name}.dec"), hidden_dim, hidden_dim),
+            attention: Attention::new(store, rng, &format!("{name}.attn"), hidden_dim),
+            hidden_dim,
+        }
+    }
+
+    /// Runs the stack over `inputs` (each `[1, input_dim]`), producing
+    /// attended decoder outputs (each `[1, hidden_dim]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty or `Autoregressive(0)` is requested.
+    pub fn forward(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        inputs: &[Var],
+        feed: DecoderFeed,
+    ) -> Vec<Var> {
+        assert!(!inputs.is_empty(), "seq2seq stack requires inputs");
+        // Encoder pass.
+        let (mut h, mut c) = self.encoder.zero_state(tape);
+        let mut enc_states = Vec::with_capacity(inputs.len());
+        for &x in inputs {
+            let (h2, c2) = self.encoder.step(tape, store, x, h, c);
+            h = h2;
+            c = c2;
+            enc_states.push(h);
+        }
+        let enc_keys = tape.concat_rows(&enc_states); // [T, h]
+        let enc_final_h = h;
+        let enc_final_c = c;
+
+        // Decoder pass with attention.
+        let (mut dh, mut dc) = (enc_final_h, enc_final_c);
+        let mut outputs = Vec::new();
+        match feed {
+            DecoderFeed::Aligned => {
+                for &e in &enc_states {
+                    let (h2, c2) = self.decoder.step(tape, store, e, dh, dc);
+                    dh = h2;
+                    dc = c2;
+                    let attended = self.attention.apply(tape, store, dh, enc_keys);
+                    outputs.push(attended);
+                }
+            }
+            DecoderFeed::Autoregressive(len) => {
+                assert!(len > 0, "autoregressive length must be positive");
+                let mut feed_in = enc_final_h;
+                for _ in 0..len {
+                    let (h2, c2) = self.decoder.step(tape, store, feed_in, dh, dc);
+                    dh = h2;
+                    dc = c2;
+                    let attended = self.attention.apply(tape, store, dh, enc_keys);
+                    outputs.push(attended);
+                    feed_in = attended;
+                }
+            }
+        }
+        outputs
+    }
+
+    /// Hidden size of the stack's outputs.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+}
+
+impl Module for Seq2SeqStack {
+    fn params(&self) -> Vec<ParamId> {
+        let mut p = self.encoder.params();
+        p.extend(self.decoder.params());
+        p.extend(self.attention.params());
+        p
+    }
+}
+
+/// A pipeline of [`Seq2SeqStack`]s: stack `i`'s outputs feed stack `i + 1`.
+///
+/// The paper uses one stack for the caching model and two for the prefetch
+/// model, and studies sensitivity to the stack count in Table III.
+#[derive(Debug, Clone)]
+pub struct StackedSeq2Seq {
+    stacks: Vec<Seq2SeqStack>,
+}
+
+impl StackedSeq2Seq {
+    /// Creates `n_stacks` stacks; the first maps `input_dim → hidden_dim`,
+    /// the rest map `hidden_dim → hidden_dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_stacks` is zero.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        rng: &mut R,
+        name: &str,
+        input_dim: usize,
+        hidden_dim: usize,
+        n_stacks: usize,
+    ) -> Self {
+        assert!(n_stacks > 0, "at least one LSTM stack is required");
+        let mut stacks = Vec::with_capacity(n_stacks);
+        for s in 0..n_stacks {
+            let in_dim = if s == 0 { input_dim } else { hidden_dim };
+            stacks.push(Seq2SeqStack::new(
+                store,
+                rng,
+                &format!("{name}.stack{s}"),
+                in_dim,
+                hidden_dim,
+            ));
+        }
+        StackedSeq2Seq { stacks }
+    }
+
+    /// Runs the pipeline. Intermediate stacks always run `Aligned`; only the
+    /// final stack uses `feed` (so an autoregressive head can shorten the
+    /// sequence).
+    pub fn forward(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        inputs: &[Var],
+        feed: DecoderFeed,
+    ) -> Vec<Var> {
+        let mut seq: Vec<Var> = inputs.to_vec();
+        let last = self.stacks.len() - 1;
+        for (i, stack) in self.stacks.iter().enumerate() {
+            let f = if i == last { feed } else { DecoderFeed::Aligned };
+            seq = stack.forward(tape, store, &seq, f);
+        }
+        seq
+    }
+
+    /// Number of stacks.
+    pub fn n_stacks(&self) -> usize {
+        self.stacks.len()
+    }
+
+    /// Hidden size of the final stack.
+    pub fn hidden_dim(&self) -> usize {
+        self.stacks[self.stacks.len() - 1].hidden_dim()
+    }
+}
+
+impl Module for StackedSeq2Seq {
+    fn params(&self) -> Vec<ParamId> {
+        self.stacks.iter().flat_map(Seq2SeqStack::params).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_shapes_and_params() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let l = Linear::new(&mut store, &mut rng, "l", 8, 3);
+        assert_eq!(l.num_scalars(&store), 8 * 3 + 3);
+        let mut tape = Tape::new(&store);
+        let x = tape.constant(Tensor::ones(&[2, 8]));
+        let y = l.forward(&mut tape, &store, x);
+        assert_eq!(tape.value(y).shape(), &[2, 3]);
+    }
+
+    #[test]
+    fn linear_learns_identity_direction() {
+        // One gradient step on y = Wx should reduce MSE toward target.
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let l = Linear::new(&mut store, &mut rng, "l", 2, 1);
+        let target = Tensor::from_vec(vec![1.0], &[1, 1]);
+        let losses: Vec<f32> = (0..30)
+            .map(|_| {
+                let mut tape = Tape::new(&store);
+                let x = tape.constant(Tensor::from_vec(vec![1.0, -0.5], &[1, 2]));
+                let y = l.forward(&mut tape, &store, x);
+                let loss = tape.mse(y, target.clone());
+                let lv = tape.value(loss).data()[0];
+                tape.backward(loss, &mut store);
+                // manual SGD
+                for id in l.params() {
+                    let g = store.grad(id).clone();
+                    store.value_mut(id).axpy(-0.1, &g);
+                }
+                store.zero_grad();
+                lv
+            })
+            .collect();
+        assert!(
+            losses[29] < losses[0] * 0.05,
+            "loss did not drop: {:?}",
+            &losses[..3]
+        );
+    }
+
+    #[test]
+    fn embedding_lookup_shape() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let e = Embedding::new(&mut store, &mut rng, "e", 16, 4);
+        assert_eq!(e.vocab(), 16);
+        let mut tape = Tape::new(&store);
+        let v = e.forward(&mut tape, &store, &[0, 5, 15]);
+        assert_eq!(tape.value(v).shape(), &[3, 4]);
+    }
+
+    #[test]
+    fn lstm_step_shapes_and_state_change() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let cell = LstmCell::new(&mut store, &mut rng, "lstm", 6, 5);
+        assert_eq!(cell.num_scalars(&store), 6 * 20 + 5 * 20 + 20);
+        let mut tape = Tape::new(&store);
+        let (h0, c0) = cell.zero_state(&mut tape);
+        let x = tape.constant(Tensor::ones(&[1, 6]));
+        let (h1, c1) = cell.step(&mut tape, &store, x, h0, c0);
+        assert_eq!(tape.value(h1).shape(), &[1, 5]);
+        assert_eq!(tape.value(c1).shape(), &[1, 5]);
+        // A nonzero input must perturb the state away from zero.
+        assert!(tape.value(h1).norm() > 0.0);
+    }
+
+    #[test]
+    fn lstm_gradients_flow_to_all_params() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let cell = LstmCell::new(&mut store, &mut rng, "lstm", 3, 4);
+        let mut tape = Tape::new(&store);
+        let (mut h, mut c) = cell.zero_state(&mut tape);
+        for step in 0..3 {
+            let x = tape.constant(Tensor::full(&[1, 3], 0.3 + step as f32 * 0.1));
+            let (h2, c2) = cell.step(&mut tape, &store, x, h, c);
+            h = h2;
+            c = c2;
+        }
+        let loss = tape.sum(h);
+        tape.backward(loss, &mut store);
+        for id in cell.params() {
+            assert!(
+                store.grad(id).norm() > 0.0,
+                "no gradient for {}",
+                store.name(id)
+            );
+        }
+    }
+
+    #[test]
+    fn attention_output_shape() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(6);
+        let attn = Attention::new(&mut store, &mut rng, "a", 8);
+        let mut tape = Tape::new(&store);
+        let q = tape.constant(Tensor::ones(&[1, 8]));
+        let keys = tape.constant(Tensor::rand_uniform(&mut rng, &[5, 8], -1.0, 1.0));
+        let out = attn.apply(&mut tape, &store, q, keys);
+        assert_eq!(tape.value(out).shape(), &[1, 8]);
+        // tanh output bounded
+        assert!(tape.value(out).data().iter().all(|&x| x.abs() <= 1.0));
+    }
+
+    #[test]
+    fn stack_aligned_output_length_matches_input() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let stack = Seq2SeqStack::new(&mut store, &mut rng, "s", 4, 6);
+        let mut tape = Tape::new(&store);
+        let inputs: Vec<Var> = (0..5)
+            .map(|i| tape.constant(Tensor::full(&[1, 4], i as f32 * 0.1)))
+            .collect();
+        let out = stack.forward(&mut tape, &store, &inputs, DecoderFeed::Aligned);
+        assert_eq!(out.len(), 5);
+        assert_eq!(tape.value(out[0]).shape(), &[1, 6]);
+    }
+
+    #[test]
+    fn stack_autoregressive_output_length() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(8);
+        let stack = Seq2SeqStack::new(&mut store, &mut rng, "s", 4, 6);
+        let mut tape = Tape::new(&store);
+        let inputs: Vec<Var> = (0..15)
+            .map(|i| tape.constant(Tensor::full(&[1, 4], (i % 3) as f32 * 0.2)))
+            .collect();
+        let out = stack.forward(&mut tape, &store, &inputs, DecoderFeed::Autoregressive(5));
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn stacked_pipeline_composes() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        let model = StackedSeq2Seq::new(&mut store, &mut rng, "m", 4, 6, 2);
+        assert_eq!(model.n_stacks(), 2);
+        let mut tape = Tape::new(&store);
+        let inputs: Vec<Var> = (0..8)
+            .map(|_| tape.constant(Tensor::ones(&[1, 4])))
+            .collect();
+        let out = model.forward(&mut tape, &store, &inputs, DecoderFeed::Autoregressive(3));
+        assert_eq!(out.len(), 3);
+        assert_eq!(tape.value(out[0]).shape(), &[1, 6]);
+    }
+
+    #[test]
+    fn caching_model_sized_param_count_near_paper() {
+        // Paper Table III: caching model with 1 stack = 37,055 params.
+        // Our configuration: vocab 2048 × dim 12 embedding + 1 stack
+        // (h=32) + sigmoid head ≈ 41K. Assert we are within 20% of the
+        // paper.
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(10);
+        let emb = Embedding::new(&mut store, &mut rng, "emb", 2048, 12);
+        let stack = Seq2SeqStack::new(&mut store, &mut rng, "s", 12, 32);
+        let head = Linear::new(&mut store, &mut rng, "head", 32, 1);
+        let total =
+            emb.num_scalars(&store) + stack.num_scalars(&store) + head.num_scalars(&store);
+        let paper = 37_055.0;
+        let ratio = total as f32 / paper;
+        assert!(
+            (0.8..1.2).contains(&ratio),
+            "caching-model params {total} not within 20% of paper {paper}"
+        );
+    }
+}

@@ -1,0 +1,277 @@
+//! Optimizers operating on a [`ParamStore`].
+//!
+//! Both RecMG models are trained offline with minibatch gradient descent
+//! (paper §VI-A); [`Adam`] is the default in this reproduction, with
+//! [`Sgd`] available for ablations and tests.
+
+use crate::tape::{ParamId, ParamStore};
+use crate::tensor::Tensor;
+
+/// A gradient-based optimizer over a fixed set of parameters.
+pub trait Optimizer {
+    /// Applies one update using the gradients accumulated in `store`, then
+    /// clears them.
+    fn step(&mut self, store: &mut ParamStore);
+
+    /// The parameters this optimizer updates.
+    fn param_ids(&self) -> &[ParamId];
+}
+
+/// Plain stochastic gradient descent with optional momentum.
+///
+/// # Examples
+///
+/// ```
+/// use recmg_tensor::optim::{Optimizer, Sgd};
+/// use recmg_tensor::{ParamStore, Tape, Tensor};
+///
+/// let mut store = ParamStore::new();
+/// let w = store.add_param("w", Tensor::from_slice(&[4.0]));
+/// let mut opt = Sgd::new(vec![w], 0.5, 0.0);
+/// // minimise w^2: gradient is 2w
+/// for _ in 0..20 {
+///     let mut tape = Tape::new(&store);
+///     let wv = tape.param_from(&store, w);
+///     let sq = tape.mul(wv, wv);
+///     let loss = tape.sum(sq);
+///     tape.backward(loss, &mut store);
+///     opt.step(&mut store);
+/// }
+/// assert!(store.value(w).data()[0].abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    ids: Vec<ParamId>,
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer for `ids` with learning rate `lr`.
+    pub fn new(ids: Vec<ParamId>, lr: f32, momentum: f32) -> Self {
+        Sgd {
+            ids,
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Replaces the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, store: &mut ParamStore) {
+        if self.velocity.is_empty() {
+            self.velocity = self
+                .ids
+                .iter()
+                .map(|&id| Tensor::zeros(store.value(id).shape()))
+                .collect();
+        }
+        for (slot, &id) in self.ids.iter().enumerate() {
+            let g = store.grad(id).clone();
+            let v = &mut self.velocity[slot];
+            for (vi, &gi) in v.data_mut().iter_mut().zip(g.data().iter()) {
+                *vi = self.momentum * *vi + gi;
+            }
+            let vclone = v.clone();
+            store.value_mut(id).axpy(-self.lr, &vclone);
+        }
+        store.zero_grad();
+    }
+
+    fn param_ids(&self) -> &[ParamId] {
+        &self.ids
+    }
+}
+
+/// Adam optimizer (Kingma & Ba, 2015) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    ids: Vec<ParamId>,
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the conventional defaults
+    /// (`beta1 = 0.9`, `beta2 = 0.999`, `eps = 1e-8`).
+    pub fn new(ids: Vec<ParamId>, lr: f32) -> Self {
+        Adam {
+            ids,
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Creates an Adam optimizer with explicit hyperparameters.
+    pub fn with_betas(ids: Vec<ParamId>, lr: f32, beta1: f32, beta2: f32, eps: f32) -> Self {
+        Adam {
+            ids,
+            lr,
+            beta1,
+            beta2,
+            eps,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Replaces the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, store: &mut ParamStore) {
+        if self.m.is_empty() {
+            self.m = self
+                .ids
+                .iter()
+                .map(|&id| Tensor::zeros(store.value(id).shape()))
+                .collect();
+            self.v = self.m.clone();
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (slot, &id) in self.ids.iter().enumerate() {
+            let g = store.grad(id).clone();
+            let m = &mut self.m[slot];
+            for (mi, &gi) in m.data_mut().iter_mut().zip(g.data().iter()) {
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
+            }
+            let v = &mut self.v[slot];
+            for (vi, &gi) in v.data_mut().iter_mut().zip(g.data().iter()) {
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
+            }
+            let mhat = self.m[slot].scale(1.0 / bc1);
+            let vhat = self.v[slot].scale(1.0 / bc2);
+            let value = store.value_mut(id);
+            for ((w, &mh), &vh) in value
+                .data_mut()
+                .iter_mut()
+                .zip(mhat.data().iter())
+                .zip(vhat.data().iter())
+            {
+                *w -= self.lr * mh / (vh.sqrt() + self.eps);
+            }
+        }
+        store.zero_grad();
+    }
+
+    fn param_ids(&self) -> &[ParamId] {
+        &self.ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::Tape;
+
+    fn quadratic_loss(store: &mut ParamStore, w: ParamId) -> f32 {
+        let mut tape = Tape::new(store);
+        let wv = tape.param_from(store, w);
+        let shifted = tape.add_scalar(wv, -3.0); // minimise (w - 3)^2
+        let sq = tape.mul(shifted, shifted);
+        let loss = tape.sum(sq);
+        let lv = tape.value(loss).data()[0];
+        tape.backward(loss, store);
+        lv
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut store = ParamStore::new();
+        let w = store.add_param("w", Tensor::from_slice(&[0.0]));
+        let mut opt = Sgd::new(vec![w], 0.1, 0.0);
+        for _ in 0..100 {
+            quadratic_loss(&mut store, w);
+            opt.step(&mut store);
+        }
+        assert!((store.value(w).data()[0] - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let mut store = ParamStore::new();
+        let w = store.add_param("w", Tensor::from_slice(&[-5.0]));
+        let mut opt = Sgd::new(vec![w], 0.05, 0.9);
+        for _ in 0..200 {
+            quadratic_loss(&mut store, w);
+            opt.step(&mut store);
+        }
+        assert!((store.value(w).data()[0] - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut store = ParamStore::new();
+        let w = store.add_param("w", Tensor::from_slice(&[10.0]));
+        let mut opt = Adam::new(vec![w], 0.2);
+        for _ in 0..300 {
+            quadratic_loss(&mut store, w);
+            opt.step(&mut store);
+        }
+        assert!(
+            (store.value(w).data()[0] - 3.0).abs() < 1e-2,
+            "w = {}",
+            store.value(w).data()[0]
+        );
+        assert_eq!(opt.steps(), 300);
+    }
+
+    #[test]
+    fn step_clears_gradients() {
+        let mut store = ParamStore::new();
+        let w = store.add_param("w", Tensor::from_slice(&[1.0]));
+        let mut opt = Adam::new(vec![w], 0.01);
+        quadratic_loss(&mut store, w);
+        assert!(store.grad(w).norm() > 0.0);
+        opt.step(&mut store);
+        assert_eq!(store.grad(w).norm(), 0.0);
+    }
+
+    #[test]
+    fn lr_setters() {
+        let mut sgd = Sgd::new(vec![], 0.1, 0.0);
+        sgd.set_lr(0.5);
+        assert_eq!(sgd.lr(), 0.5);
+        let mut adam = Adam::new(vec![], 0.1);
+        adam.set_lr(0.01);
+        assert_eq!(adam.lr(), 0.01);
+    }
+}

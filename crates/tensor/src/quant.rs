@@ -1,0 +1,178 @@
+//! Symmetric int8 weight quantization.
+//!
+//! §VI-C of the paper lists quantization among the optimizations used to
+//! keep RecMG's model inference cheap enough to run on spare CPU cores
+//! ("(3) quantization ... we get more than 10× performance improvement,
+//! compared with no optimization"). This module provides the per-tensor
+//! symmetric scheme used by the serving path: weights are stored as `i8`
+//! with one `f32` scale, and matrix-vector products run in integer domain
+//! with a single rescale at the end.
+
+use crate::tensor::Tensor;
+
+/// A per-tensor symmetric int8 quantized matrix.
+///
+/// # Examples
+///
+/// ```
+/// use recmg_tensor::quant::QuantizedMatrix;
+/// use recmg_tensor::Tensor;
+///
+/// let w = Tensor::from_vec(vec![0.5, -1.0, 0.25, 1.0], &[2, 2]);
+/// let q = QuantizedMatrix::quantize(&w);
+/// let back = q.dequantize();
+/// for (a, b) in w.data().iter().zip(back.data().iter()) {
+///     assert!((a - b).abs() < 0.02);
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedMatrix {
+    rows: usize,
+    cols: usize,
+    scale: f32,
+    values: Vec<i8>,
+}
+
+impl QuantizedMatrix {
+    /// Quantizes a 2-D tensor with a symmetric per-tensor scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not 2-D.
+    pub fn quantize(w: &Tensor) -> Self {
+        let (rows, cols) = (w.rows(), w.cols());
+        let max_abs = w
+            .data()
+            .iter()
+            .fold(0.0f32, |acc, &x| acc.max(x.abs()))
+            .max(f32::MIN_POSITIVE);
+        let scale = max_abs / 127.0;
+        let values = w
+            .data()
+            .iter()
+            .map(|&x| (x / scale).round().clamp(-127.0, 127.0) as i8)
+            .collect();
+        QuantizedMatrix {
+            rows,
+            cols,
+            scale,
+            values,
+        }
+    }
+
+    /// Reconstructs an `f32` tensor (lossy).
+    pub fn dequantize(&self) -> Tensor {
+        let data = self.values.iter().map(|&q| q as f32 * self.scale).collect();
+        Tensor::from_vec(data, &[self.rows, self.cols])
+    }
+
+    /// Computes `x @ W` where `x` is a row vector of length `rows`.
+    ///
+    /// The multiply-accumulate runs in `i32`, matching how an AVX-512 VNNI
+    /// kernel would execute it; the result is rescaled once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows`.
+    pub fn vecmul(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.rows, "input length must match matrix rows");
+        // Quantize the activation on the fly (per-call dynamic quantization).
+        let x_max = x
+            .iter()
+            .fold(0.0f32, |acc, &v| acc.max(v.abs()))
+            .max(f32::MIN_POSITIVE);
+        let x_scale = x_max / 127.0;
+        let xq: Vec<i32> = x
+            .iter()
+            .map(|&v| (v / x_scale).round().clamp(-127.0, 127.0) as i32)
+            .collect();
+        let mut out = vec![0i32; self.cols];
+        for (r, &xv) in xq.iter().enumerate() {
+            if xv == 0 {
+                continue;
+            }
+            let row = &self.values[r * self.cols..(r + 1) * self.cols];
+            for (o, &wv) in out.iter_mut().zip(row.iter()) {
+                *o += xv * wv as i32;
+            }
+        }
+        let rescale = self.scale * x_scale;
+        out.into_iter().map(|acc| acc as f32 * rescale).collect()
+    }
+
+    /// Matrix row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Matrix column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The quantization scale.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Memory footprint in bytes (weights only).
+    pub fn size_bytes(&self) -> usize {
+        self.values.len() + std::mem::size_of::<f32>()
+    }
+}
+
+/// Maximum absolute elementwise error introduced by quantizing `w`.
+pub fn quantization_error(w: &Tensor) -> f32 {
+    let q = QuantizedMatrix::quantize(w);
+    let back = q.dequantize();
+    w.data()
+        .iter()
+        .zip(back.data().iter())
+        .map(|(&a, &b)| (a - b).abs())
+        .fold(0.0, f32::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip_error_bounded_by_half_step() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let w = Tensor::rand_uniform(&mut rng, &[16, 16], -2.0, 2.0);
+        let q = QuantizedMatrix::quantize(&w);
+        let err = quantization_error(&w);
+        assert!(err <= q.scale() * 0.5 + 1e-6, "err {err}, scale {}", q.scale());
+    }
+
+    #[test]
+    fn vecmul_close_to_float() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let w = Tensor::rand_uniform(&mut rng, &[32, 8], -1.0, 1.0);
+        let x: Vec<f32> = (0..32).map(|i| ((i as f32) * 0.1).sin()).collect();
+        let q = QuantizedMatrix::quantize(&w);
+        let got = q.vecmul(&x);
+        let exact = Tensor::from_vec(x.clone(), &[1, 32]).matmul(&w);
+        for (g, e) in got.iter().zip(exact.data().iter()) {
+            assert!((g - e).abs() < 0.15, "quantized {g} vs exact {e}");
+        }
+    }
+
+    #[test]
+    fn zero_matrix_quantizes_safely() {
+        let w = Tensor::zeros(&[4, 4]);
+        let q = QuantizedMatrix::quantize(&w);
+        assert!(q.dequantize().data().iter().all(|&x| x == 0.0));
+        let out = q.vecmul(&[0.0; 4]);
+        assert!(out.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn size_is_quarter_of_f32() {
+        let w = Tensor::zeros(&[100, 100]);
+        let q = QuantizedMatrix::quantize(&w);
+        assert!(q.size_bytes() < 100 * 100 * 4 / 3);
+    }
+}

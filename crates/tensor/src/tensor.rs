@@ -1,0 +1,597 @@
+//! Dense, row-major `f32` tensors.
+//!
+//! [`Tensor`] is the storage type used throughout the workspace: model
+//! parameters, activations, and gradients are all `Tensor`s. The type is
+//! deliberately simple — a shape plus a contiguous `Vec<f32>` — because every
+//! model in the paper is small (tens of thousands of parameters) and runs on
+//! CPU, matching the paper's deployment constraint (§V: "LSTMs are more
+//! CPU-friendly").
+
+use std::fmt;
+
+use rand::Rng;
+
+/// A dense, row-major tensor of `f32` values.
+///
+/// # Examples
+///
+/// ```
+/// use recmg_tensor::Tensor;
+///
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+/// let b = Tensor::eye(2);
+/// let c = a.matmul(&b);
+/// assert_eq!(c.data(), a.data());
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.data.len() <= 16 {
+            write!(f, "Tensor{:?} {:?}", self.shape, self.data)
+        } else {
+            write!(
+                f,
+                "Tensor{:?} [{:.4}, {:.4}, .., {:.4}] ({} values)",
+                self.shape,
+                self.data[0],
+                self.data[1],
+                self.data[self.data.len() - 1],
+                self.data.len()
+            )
+        }
+    }
+}
+
+impl Tensor {
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let n = shape.iter().product();
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; n],
+        }
+    }
+
+    /// Creates a tensor filled with ones.
+    pub fn ones(shape: &[usize]) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        let n = shape.iter().product();
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![value; n],
+        }
+    }
+
+    /// Creates an identity matrix of size `n × n`.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Creates a tensor from a flat vector and a shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the product of `shape`.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
+        let n: usize = shape.iter().product();
+        assert_eq!(
+            data.len(),
+            n,
+            "data length {} does not match shape {:?}",
+            data.len(),
+            shape
+        );
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// Creates a 1-D tensor from a slice.
+    pub fn from_slice(data: &[f32]) -> Self {
+        Tensor {
+            shape: vec![data.len()],
+            data: data.to_vec(),
+        }
+    }
+
+    /// Creates a tensor with values drawn uniformly from `[lo, hi)`.
+    pub fn rand_uniform<R: Rng + ?Sized>(rng: &mut R, shape: &[usize], lo: f32, hi: f32) -> Self {
+        let n: usize = shape.iter().product();
+        let data = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// Creates a tensor with values drawn from a normal distribution using the
+    /// Box–Muller transform (mean `mu`, standard deviation `sigma`).
+    pub fn rand_normal<R: Rng + ?Sized>(rng: &mut R, shape: &[usize], mu: f32, sigma: f32) -> Self {
+        let n: usize = shape.iter().product();
+        let mut data = Vec::with_capacity(n);
+        while data.len() < n {
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f32::consts::PI * u2;
+            data.push(mu + sigma * r * theta.cos());
+            if data.len() < n {
+                data.push(mu + sigma * r * theta.sin());
+            }
+        }
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// Xavier/Glorot uniform initialisation for a weight matrix of shape
+    /// `[fan_in, fan_out]`.
+    pub fn xavier_uniform<R: Rng + ?Sized>(rng: &mut R, fan_in: usize, fan_out: usize) -> Self {
+        let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+        Self::rand_uniform(rng, &[fan_in, fan_out], -bound, bound)
+    }
+
+    /// The shape of the tensor.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of rows, treating the tensor as a matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-dimensional.
+    pub fn rows(&self) -> usize {
+        assert_eq!(self.shape.len(), 2, "rows() requires a 2-D tensor");
+        self.shape[0]
+    }
+
+    /// Number of columns, treating the tensor as a matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-dimensional.
+    pub fn cols(&self) -> usize {
+        assert_eq!(self.shape.len(), 2, "cols() requires a 2-D tensor");
+        self.shape[1]
+    }
+
+    /// A view of the underlying data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// A mutable view of the underlying data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the underlying data vector.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at `(r, c)` of a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D or the index is out of bounds.
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        assert_eq!(self.shape.len(), 2, "at() requires a 2-D tensor");
+        assert!(r < self.shape[0] && c < self.shape[1], "index out of bounds");
+        self.data[r * self.shape[1] + c]
+    }
+
+    /// Sets element `(r, c)` of a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D or the index is out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        assert_eq!(self.shape.len(), 2, "set() requires a 2-D tensor");
+        assert!(r < self.shape[0] && c < self.shape[1], "index out of bounds");
+        self.data[r * self.shape[1] + c] = v;
+    }
+
+    /// Returns a copy with a new shape; the element count must be unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new shape has a different element count.
+    pub fn reshape(&self, shape: &[usize]) -> Self {
+        let n: usize = shape.iter().product();
+        assert_eq!(n, self.data.len(), "reshape cannot change element count");
+        Tensor {
+            shape: shape.to_vec(),
+            data: self.data.clone(),
+        }
+    }
+
+    /// Matrix multiplication `self @ rhs` for 2-D tensors.
+    ///
+    /// Uses a cache-friendly ikj loop order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are not `[n, k]` and `[k, m]`.
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "matmul lhs must be 2-D");
+        assert_eq!(rhs.shape.len(), 2, "matmul rhs must be 2-D");
+        let (n, k) = (self.shape[0], self.shape[1]);
+        let (k2, m) = (rhs.shape[0], rhs.shape[1]);
+        assert_eq!(k, k2, "matmul inner dimensions differ: {k} vs {k2}");
+        let mut out = vec![0.0f32; n * m];
+        for i in 0..n {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let o_row = &mut out[i * m..(i + 1) * m];
+            for (p, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &rhs.data[p * m..(p + 1) * m];
+                for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor {
+            shape: vec![n, m],
+            data: out,
+        }
+    }
+
+    /// Transpose of a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D.
+    pub fn transpose(&self) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "transpose requires a 2-D tensor");
+        let (n, m) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0f32; n * m];
+        for i in 0..n {
+            for j in 0..m {
+                out[j * n + i] = self.data[i * m + j];
+            }
+        }
+        Tensor {
+            shape: vec![m, n],
+            data: out,
+        }
+    }
+
+    /// Elementwise addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add(&self, rhs: &Tensor) -> Tensor {
+        self.zip_with(rhs, |a, b| a + b)
+    }
+
+    /// Elementwise subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn sub(&self, rhs: &Tensor) -> Tensor {
+        self.zip_with(rhs, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn mul(&self, rhs: &Tensor) -> Tensor {
+        self.zip_with(rhs, |a, b| a * b)
+    }
+
+    /// Elementwise combination of two tensors of identical shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn zip_with<F: Fn(f32, f32) -> f32>(&self, rhs: &Tensor, f: F) -> Tensor {
+        assert_eq!(self.shape, rhs.shape, "shape mismatch in elementwise op");
+        let data = self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
+    }
+
+    /// Applies `f` to every element, returning a new tensor.
+    pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// In-place accumulation `self += rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add_assign(&mut self, rhs: &Tensor) {
+        assert_eq!(self.shape, rhs.shape, "shape mismatch in add_assign");
+        for (a, &b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// In-place scaled accumulation `self += alpha * rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn axpy(&mut self, alpha: f32, rhs: &Tensor) {
+        assert_eq!(self.shape, rhs.shape, "shape mismatch in axpy");
+        for (a, &b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Multiplies every element by `s`, returning a new tensor.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|x| x * s)
+    }
+
+    /// Sets every element to zero.
+    pub fn fill_zero(&mut self) {
+        for v in &mut self.data {
+            *v = 0.0;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0.0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Index of the maximum element (first occurrence).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is empty.
+    pub fn argmax(&self) -> usize {
+        assert!(!self.data.is_empty(), "argmax of empty tensor");
+        let mut best = 0;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// L2 norm of the tensor viewed as a flat vector.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Extracts row `r` of a 2-D tensor as a new `[1, cols]` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D or `r` is out of bounds.
+    pub fn row(&self, r: usize) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "row() requires a 2-D tensor");
+        let m = self.shape[1];
+        assert!(r < self.shape[0], "row index out of bounds");
+        Tensor {
+            shape: vec![1, m],
+            data: self.data[r * m..(r + 1) * m].to_vec(),
+        }
+    }
+
+    /// Stacks 2-D tensors with equal column counts along the row axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or column counts differ.
+    pub fn concat_rows(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "concat_rows of empty slice");
+        let cols = parts[0].cols();
+        let mut data = Vec::new();
+        let mut rows = 0;
+        for p in parts {
+            assert_eq!(p.cols(), cols, "column mismatch in concat_rows");
+            rows += p.rows();
+            data.extend_from_slice(&p.data);
+        }
+        Tensor {
+            shape: vec![rows, cols],
+            data,
+        }
+    }
+
+    /// Clamps every element into `[lo, hi]`, returning a new tensor.
+    pub fn clamp(&self, lo: f32, hi: f32) -> Tensor {
+        self.map(|x| x.clamp(lo, hi))
+    }
+
+    /// True if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|x| !x.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_ones_full() {
+        let z = Tensor::zeros(&[2, 3]);
+        assert_eq!(z.shape(), &[2, 3]);
+        assert!(z.data().iter().all(|&x| x == 0.0));
+        let o = Tensor::ones(&[4]);
+        assert_eq!(o.sum(), 4.0);
+        let f = Tensor::full(&[2, 2], 2.5);
+        assert_eq!(f.mean(), 2.5);
+    }
+
+    #[test]
+    fn from_vec_roundtrip() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        assert_eq!(t.at(0, 0), 1.0);
+        assert_eq!(t.at(1, 2), 6.0);
+        assert_eq!(t.into_data(), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_bad_shape_panics() {
+        let _ = Tensor::from_vec(vec![1.0, 2.0], &[3]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = Tensor::rand_uniform(&mut rng, &[3, 3], -1.0, 1.0);
+        let i = Tensor::eye(3);
+        let b = a.matmul(&i);
+        for (x, y) in a.data().iter().zip(b.data().iter()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = Tensor::from_vec(vec![1.0, 0.0, 2.0, -1.0, 3.0, 1.0], &[2, 3]);
+        let b = Tensor::from_vec(vec![3.0, 1.0, 2.0, 1.0, 1.0, 0.0], &[3, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[5.0, 1.0, 4.0, 2.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Tensor::rand_uniform(&mut rng, &[4, 7], -1.0, 1.0);
+        let b = a.transpose().transpose();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let b = Tensor::from_slice(&[4.0, 5.0, 6.0]);
+        assert_eq!(a.add(&b).data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).data(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).data(), &[4.0, 10.0, 18.0]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::from_slice(&[1.0, 1.0]);
+        let b = Tensor::from_slice(&[2.0, 3.0]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.data(), &[2.0, 2.5]);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Tensor::from_slice(&[1.0, 2.0, 3.0, 10.0]);
+        assert_eq!(a.sum(), 16.0);
+        assert_eq!(a.mean(), 4.0);
+        assert_eq!(a.argmax(), 3);
+        assert!((a.norm() - (1.0f32 + 4.0 + 9.0 + 100.0).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rand_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let t = Tensor::rand_normal(&mut rng, &[10_000], 2.0, 0.5);
+        let mean = t.mean();
+        let var = t.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / t.len() as f32;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 0.25).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn xavier_bound() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = Tensor::xavier_uniform(&mut rng, 32, 32);
+        let bound = (6.0f32 / 64.0).sqrt();
+        assert!(t.data().iter().all(|&x| x.abs() <= bound));
+    }
+
+    #[test]
+    fn concat_rows_and_row() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]);
+        let b = Tensor::from_vec(vec![3.0, 4.0, 5.0, 6.0], &[2, 2]);
+        let c = Tensor::concat_rows(&[&a, &b]);
+        assert_eq!(c.shape(), &[3, 2]);
+        assert_eq!(c.row(2).data(), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn clamp_and_finite() {
+        let a = Tensor::from_slice(&[-2.0, 0.5, 9.0]);
+        assert_eq!(a.clamp(-1.0, 1.0).data(), &[-1.0, 0.5, 1.0]);
+        assert!(!a.has_non_finite());
+        let b = Tensor::from_slice(&[f32::NAN]);
+        assert!(b.has_non_finite());
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = a.reshape(&[4]);
+        assert_eq!(b.shape(), &[4]);
+        assert_eq!(b.data(), a.data());
+    }
+}

@@ -1,0 +1,208 @@
+//! Sampling distributions used by the synthetic trace generator.
+//!
+//! Implemented locally (rather than pulling `rand_distr`) to keep the
+//! dependency set to the approved offline crates; see DESIGN.md.
+
+use rand::Rng;
+
+/// Zipf distribution over ranks `0..n` with exponent `alpha`, sampled by
+/// inverse-CDF lookup over a precomputed table.
+///
+/// Embedding-vector accesses in production DLRM traces follow a power law —
+/// "about 20% of embedding vectors take about 80% of accesses" (paper §I) —
+/// and this sampler is the source of that skew in the synthetic traces.
+///
+/// # Examples
+///
+/// ```
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+/// use recmg_trace::dist::Zipf;
+///
+/// let z = Zipf::new(1000, 1.1);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let r = z.sample(&mut rng);
+/// assert!(r < 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+    alpha: f64,
+}
+
+impl Zipf {
+    /// Creates a Zipf sampler over `n` ranks with exponent `alpha > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `alpha` is not positive and finite.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "zipf requires n > 0");
+        assert!(
+            alpha > 0.0 && alpha.is_finite(),
+            "zipf exponent must be positive and finite"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf, alpha }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// The exponent.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Draws a rank in `0..n` (0 is the most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Probability mass of rank `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= n`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        assert!(k < self.cdf.len(), "rank out of range");
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+}
+
+/// Log-normal distribution, sampled with the Box–Muller transform.
+///
+/// Used for pooling factors: the paper reports per-query pooling factors
+/// ranging "from 1 to hundreds" (§III), which a log-normal with a heavy
+/// right tail reproduces.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal with location `mu` and scale `sigma` (of the
+    /// underlying normal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be >= 0");
+        LogNormal { mu, sigma }
+    }
+
+    /// Draws a sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+
+    /// Draws a sample clamped to `[lo, hi]` and rounded to an integer.
+    pub fn sample_clamped_int<R: Rng + ?Sized>(&self, rng: &mut R, lo: u64, hi: u64) -> u64 {
+        (self.sample(rng).round() as u64).clamp(lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_head_dominates() {
+        let z = Zipf::new(10_000, 1.05);
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 100_000;
+        let mut head = 0usize;
+        for _ in 0..n {
+            if z.sample(&mut rng) < 2_000 {
+                head += 1;
+            }
+        }
+        // Top 20% of ranks should capture the large majority of draws
+        // (the 80/20 regime of §I).
+        let share = head as f64 / n as f64;
+        assert!(share > 0.70, "head share too small: {share}");
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one() {
+        let z = Zipf::new(500, 0.9);
+        let total: f64 = (0..500).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipf_pmf_monotone_decreasing() {
+        let z = Zipf::new(100, 1.2);
+        for k in 1..100 {
+            assert!(z.pmf(k) <= z.pmf(k - 1) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_sample_in_range() {
+        let z = Zipf::new(3, 2.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "n > 0")]
+    fn zipf_zero_n_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn lognormal_median_near_exp_mu() {
+        let d = LogNormal::new(2.0, 0.5);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut samples: Vec<f64> = (0..20_001).map(|_| d.sample(&mut rng)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median = samples[10_000];
+        let expected = 2.0f64.exp();
+        assert!(
+            (median - expected).abs() / expected < 0.1,
+            "median {median} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn lognormal_clamped_int_bounds() {
+        let d = LogNormal::new(3.0, 2.0);
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..1000 {
+            let v = d.sample_clamped_int(&mut rng, 1, 200);
+            assert!((1..=200).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # recmg-trace
+//!
+//! Synthetic DLRM embedding-access traces and trace analysis for the RecMG
+//! reproduction ("Machine Learning-Guided Memory Optimization for DLRM
+//! Inference on Tiered Memory", HPCA 2025).
+//!
+//! The paper's evaluation drives every cache, prefetcher, and model with
+//! production embedding-access traces from Meta. This crate substitutes a
+//! parameterized generator ([`SyntheticConfig`]) that reproduces the
+//! properties those conclusions depend on — power-law popularity, learnable
+//! co-occurrence structure, a long-reuse-distance tail, and wide pooling
+//! factors — plus the analysis tooling used by §III of the paper
+//! ([`reuse`], [`stats`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use recmg_trace::{ReuseHistogram, SyntheticConfig, TraceStats};
+//!
+//! let trace = SyntheticConfig::tiny(7).generate();
+//! let stats = TraceStats::compute(&trace);
+//! assert!(stats.unique > 0);
+//! let hist = ReuseHistogram::compute(trace.accesses());
+//! assert_eq!(hist.total, trace.len() as u64);
+//! ```
+
+pub mod dist;
+pub mod reuse;
+pub mod stats;
+mod synthetic;
+mod types;
+
+pub use reuse::{lru_hit_rates, reuse_distances, ReuseDistance, ReuseHistogram};
+pub use stats::TraceStats;
+pub use synthetic::{overhead_presets, OverheadPreset, SyntheticConfig};
+pub use types::{RowId, TableId, Trace, VectorKey};

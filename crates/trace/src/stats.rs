@@ -1,0 +1,153 @@
+//! Trace statistics: unique counts, popularity shares, per-table summaries.
+//!
+//! Used to validate that generated traces land in the regimes the paper
+//! reports (§I power law, §III pooling factors) and to size GPU buffers as
+//! a percentage of unique vectors, the convention every figure in §VII
+//! uses.
+
+use std::collections::HashMap;
+
+use crate::types::{Trace, VectorKey};
+
+/// Aggregate statistics of a trace.
+#[derive(Debug, Clone)]
+pub struct TraceStats {
+    /// Total number of accesses.
+    pub accesses: u64,
+    /// Number of distinct vectors referenced.
+    pub unique: u64,
+    /// Number of distinct tables referenced.
+    pub tables_touched: u64,
+    /// Mean pooling factor across queries.
+    pub mean_pooling: f64,
+    /// Maximum pooling factor.
+    pub max_pooling: u64,
+    counts: Vec<(VectorKey, u64)>,
+}
+
+impl TraceStats {
+    /// Computes statistics for `trace`.
+    pub fn compute(trace: &Trace) -> Self {
+        let mut freq: HashMap<VectorKey, u64> = HashMap::new();
+        let mut tables: HashMap<u32, u64> = HashMap::new();
+        for &k in trace.accesses() {
+            *freq.entry(k).or_insert(0) += 1;
+            *tables.entry(k.table().0).or_insert(0) += 1;
+        }
+        let mut counts: Vec<(VectorKey, u64)> = freq.into_iter().collect();
+        counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let pf = trace.pooling_factors();
+        let mean_pooling = if pf.is_empty() {
+            0.0
+        } else {
+            pf.iter().sum::<usize>() as f64 / pf.len() as f64
+        };
+        TraceStats {
+            accesses: trace.len() as u64,
+            unique: counts.len() as u64,
+            tables_touched: tables.len() as u64,
+            mean_pooling,
+            max_pooling: pf.iter().copied().max().unwrap_or(0) as u64,
+            counts,
+        }
+    }
+
+    /// Vectors sorted by descending access count.
+    pub fn by_popularity(&self) -> &[(VectorKey, u64)] {
+        &self.counts
+    }
+
+    /// Fraction of all accesses captured by the most popular
+    /// `fraction_of_unique` share of vectors (e.g. `top_share(0.2)` is the
+    /// "80/20" check from §I).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction_of_unique` is outside `[0, 1]`.
+    pub fn top_share(&self, fraction_of_unique: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&fraction_of_unique),
+            "fraction must be in [0, 1]"
+        );
+        if self.accesses == 0 {
+            return 0.0;
+        }
+        let k = ((self.unique as f64) * fraction_of_unique).round() as usize;
+        let captured: u64 = self.counts.iter().take(k).map(|&(_, c)| c).sum();
+        captured as f64 / self.accesses as f64
+    }
+
+    /// Buffer capacity (in vectors) corresponding to a percentage of unique
+    /// vectors — the sizing convention of §VII ("GPU buffer size to 20% of
+    /// the unique embedding vectors").
+    pub fn buffer_capacity(&self, percent_of_unique: f64) -> usize {
+        ((self.unique as f64) * percent_of_unique / 100.0).round().max(1.0) as usize
+    }
+
+    /// The `n` most popular vector keys.
+    pub fn hot_keys(&self, n: usize) -> Vec<VectorKey> {
+        self.counts.iter().take(n).map(|&(k, _)| k).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{RowId, TableId};
+
+    fn key(t: u32, r: u64) -> VectorKey {
+        VectorKey::new(TableId(t), RowId(r))
+    }
+
+    fn toy_trace() -> Trace {
+        // key(0,1) × 4, key(0,2) × 2, key(1,3) × 1
+        let acc = vec![
+            key(0, 1),
+            key(0, 1),
+            key(0, 2),
+            key(0, 1),
+            key(1, 3),
+            key(0, 2),
+            key(0, 1),
+        ];
+        Trace::from_parts(acc, vec![3, 7], 2)
+    }
+
+    #[test]
+    fn counts_and_unique() {
+        let s = TraceStats::compute(&toy_trace());
+        assert_eq!(s.accesses, 7);
+        assert_eq!(s.unique, 3);
+        assert_eq!(s.tables_touched, 2);
+        assert_eq!(s.by_popularity()[0], (key(0, 1), 4));
+    }
+
+    #[test]
+    fn top_share_monotone() {
+        let s = TraceStats::compute(&toy_trace());
+        assert!(s.top_share(0.34) >= 4.0 / 7.0 - 1e-9);
+        assert!(s.top_share(1.0) > 0.99);
+        assert_eq!(s.top_share(0.0), 0.0);
+    }
+
+    #[test]
+    fn pooling_stats() {
+        let s = TraceStats::compute(&toy_trace());
+        assert!((s.mean_pooling - 3.5).abs() < 1e-9);
+        assert_eq!(s.max_pooling, 4);
+    }
+
+    #[test]
+    fn buffer_capacity_rounds() {
+        let s = TraceStats::compute(&toy_trace());
+        assert_eq!(s.buffer_capacity(100.0), 3);
+        assert_eq!(s.buffer_capacity(50.0), 2);
+        assert_eq!(s.buffer_capacity(0.001), 1); // never zero
+    }
+
+    #[test]
+    fn hot_keys_ordering() {
+        let s = TraceStats::compute(&toy_trace());
+        assert_eq!(s.hot_keys(2), vec![key(0, 1), key(0, 2)]);
+    }
+}

@@ -1,0 +1,439 @@
+//! Synthetic DLRM embedding-access trace generation.
+//!
+//! The paper evaluates on Meta production datasets
+//! (`facebookresearch/dlrm_datasets`: 856 sparse features, 400M+ accesses,
+//! 62M unique vectors). Those traces are not redistributable at that scale,
+//! so this module generates traces that reproduce the *distributional
+//! properties* the paper's conclusions rest on (see DESIGN.md):
+//!
+//! 1. **Power-law popularity** — a Zipf head where ~20% of vectors receive
+//!    ~80% of accesses (§I), supplied by per-table [`Zipf`] row sampling.
+//! 2. **Learnable correlation** — "strong correlation in user access
+//!    behaviors, both across users and for individual users" (§I). Modeled
+//!    with *co-occurrence bundles*: small sets of `(table, row)` vectors
+//!    that are always referenced together (a user interest), chained by a
+//!    sparse Markov process (interest A tends to be followed by interest
+//!    B). This is the structure the RecMG models learn.
+//! 3. **A long-reuse-distance tail** — "the reuse distance of 20% accesses
+//!    is larger than 2^20" (§III). Modeled by occasionally resurrecting a
+//!    *cold* bundle drawn uniformly from the whole bundle population: cold
+//!    bundles recur rarely, so their members have very long reuse
+//!    distances, yet remain predictable from their first member.
+//! 4. **Wide pooling factors** — per-query access counts drawn log-normally
+//!    ("in the range of 1 to hundreds", §III).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dist::{LogNormal, Zipf};
+use crate::types::{RowId, TableId, Trace, VectorKey};
+
+/// Configuration of the synthetic trace generator.
+///
+/// # Examples
+///
+/// ```
+/// use recmg_trace::SyntheticConfig;
+///
+/// let trace = SyntheticConfig::tiny(42).generate();
+/// assert!(!trace.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyntheticConfig {
+    /// Number of embedding tables (sparse features).
+    pub num_tables: u32,
+    /// Rows (unique vectors) per table.
+    pub rows_per_table: u64,
+    /// Total accesses to generate.
+    pub num_accesses: usize,
+    /// Zipf exponent for row popularity within a table.
+    pub zipf_alpha: f64,
+    /// Number of co-occurrence bundles.
+    pub num_bundles: usize,
+    /// Inclusive range of bundle sizes.
+    pub bundle_len: (usize, usize),
+    /// Likely successors per bundle in the Markov chain.
+    pub markov_fanout: usize,
+    /// Probability of following the Markov chain at a bundle boundary
+    /// (otherwise a fresh popular bundle is drawn).
+    pub p_markov: f64,
+    /// Probability that a single access is uncorrelated Zipf noise.
+    pub p_noise: f64,
+    /// Probability of resurrecting a cold bundle at a bundle boundary
+    /// (drives the long-reuse-distance tail).
+    pub p_cold: f64,
+    /// Location of the log-normal pooling-factor distribution.
+    pub pooling_mu: f64,
+    /// Scale of the log-normal pooling-factor distribution.
+    pub pooling_sigma: f64,
+    /// Maximum pooling factor.
+    pub pooling_max: u64,
+    /// RNG seed; different datasets use different seeds so that "table IDs
+    /// and row IDs which are most frequently accessed" differ, as in the
+    /// paper's five datasets (§VII-A).
+    pub seed: u64,
+    /// Concurrent user sessions interleaved into one stream. With 1, each
+    /// bundle's members appear back to back (pairwise-predictable — a
+    /// best case for temporal prefetchers like Domino); production traces
+    /// interleave thousands of users, which destroys pairwise adjacency
+    /// while preserving the longer-range correlation sequence models can
+    /// exploit. See EXPERIMENTS.md (Fig. 9 discussion).
+    pub num_sessions: usize,
+}
+
+impl SyntheticConfig {
+    /// A laptop-scale preset mirroring one of the paper's five evaluation
+    /// datasets (`i` in `0..=4`). Datasets share structure but differ in
+    /// seed, so hot tables/rows differ across them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > 4`.
+    pub fn dataset(i: usize) -> Self {
+        assert!(i <= 4, "the paper evaluates datasets 0..=4");
+        SyntheticConfig {
+            num_tables: 64,
+            rows_per_table: 1_500,
+            num_accesses: 400_000,
+            zipf_alpha: 1.05,
+            num_bundles: 6_000,
+            bundle_len: (3, 10),
+            markov_fanout: 3,
+            p_markov: 0.80,
+            p_noise: 0.08,
+            p_cold: 0.04,
+            pooling_mu: 2.2,
+            pooling_sigma: 0.9,
+            pooling_max: 400,
+            seed: 0xC0FFEE + 7919 * i as u64,
+            num_sessions: 1,
+        }
+    }
+
+    /// Like [`SyntheticConfig::dataset`] but scaled by `scale` in both
+    /// access count and unique-vector count (used to trade fidelity for
+    /// runtime in tests and quick experiment runs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > 4` or `scale` is not in `(0, 1]`.
+    pub fn dataset_scaled(i: usize, scale: f64) -> Self {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        let mut c = Self::dataset(i);
+        c.num_accesses = ((c.num_accesses as f64 * scale) as usize).max(1_000);
+        c.rows_per_table = ((c.rows_per_table as f64 * scale.sqrt()) as u64).max(50);
+        c.num_bundles = ((c.num_bundles as f64 * scale.sqrt()) as usize).max(50);
+        c
+    }
+
+    /// A tiny configuration for unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        SyntheticConfig {
+            num_tables: 8,
+            rows_per_table: 64,
+            num_accesses: 4_000,
+            zipf_alpha: 1.05,
+            num_bundles: 60,
+            bundle_len: (2, 5),
+            markov_fanout: 2,
+            p_markov: 0.8,
+            p_noise: 0.1,
+            p_cold: 0.05,
+            pooling_mu: 1.5,
+            pooling_sigma: 0.6,
+            pooling_max: 40,
+            seed,
+            num_sessions: 1,
+        }
+    }
+
+    /// Upper bound on unique vectors the configuration can reference.
+    pub fn universe_size(&self) -> u64 {
+        self.num_tables as u64 * self.rows_per_table
+    }
+
+    /// Generates the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (no tables, rows, bundles,
+    /// or accesses, or an empty bundle-length range).
+    pub fn generate(&self) -> Trace {
+        assert!(self.num_tables > 0, "need at least one table");
+        assert!(self.rows_per_table > 0, "need at least one row per table");
+        assert!(self.num_bundles > 0, "need at least one bundle");
+        assert!(self.num_accesses > 0, "need at least one access");
+        assert!(
+            self.bundle_len.0 >= 1 && self.bundle_len.0 <= self.bundle_len.1,
+            "bundle length range is empty"
+        );
+        assert!(self.num_sessions > 0, "need at least one session");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let row_zipf = Zipf::new(self.rows_per_table as usize, self.zipf_alpha);
+        let bundle_zipf = Zipf::new(self.num_bundles, self.zipf_alpha);
+        let pooling = LogNormal::new(self.pooling_mu, self.pooling_sigma);
+
+        // --- Setup: bundles and their Markov successors. ---
+        let bundles: Vec<Vec<VectorKey>> = (0..self.num_bundles)
+            .map(|_| {
+                let len = rng.gen_range(self.bundle_len.0..=self.bundle_len.1);
+                (0..len).map(|_| self.draw_vector(&mut rng, &row_zipf)).collect()
+            })
+            .collect();
+        let successors: Vec<Vec<usize>> = (0..self.num_bundles)
+            .map(|_| {
+                (0..self.markov_fanout)
+                    .map(|_| bundle_zipf.sample(&mut rng))
+                    .collect()
+            })
+            .collect();
+
+        // --- Emission loop over interleaved sessions. ---
+        let mut accesses = Vec::with_capacity(self.num_accesses);
+        let mut sessions: Vec<(usize, usize)> = (0..self.num_sessions)
+            .map(|_| (bundle_zipf.sample(&mut rng), 0usize))
+            .collect();
+        while accesses.len() < self.num_accesses {
+            if rng.gen_bool(self.p_noise) {
+                accesses.push(self.draw_vector(&mut rng, &row_zipf));
+                continue;
+            }
+            // Single-session generation must not consume an RNG draw, so
+            // pre-interleaving traces (and all recorded experiment results)
+            // remain bit-identical.
+            let si = if sessions.len() == 1 {
+                0
+            } else {
+                rng.gen_range(0..sessions.len())
+            };
+            let (current, member) = &mut sessions[si];
+            if *member >= bundles[*current].len() {
+                *member = 0;
+                *current = if rng.gen_bool(self.p_cold) {
+                    // Resurrect a uniformly random (likely cold) bundle:
+                    // long reuse distance, but learnable from its first
+                    // member.
+                    rng.gen_range(0..self.num_bundles)
+                } else if rng.gen_bool(self.p_markov) {
+                    let succ = &successors[*current];
+                    succ[rng.gen_range(0..succ.len())]
+                } else {
+                    bundle_zipf.sample(&mut rng)
+                };
+            }
+            accesses.push(bundles[*current][*member]);
+            *member += 1;
+        }
+
+        // --- Group into queries by pooling factor. ---
+        let mut query_ends = Vec::new();
+        let mut pos = 0usize;
+        while pos < accesses.len() {
+            let pf = pooling.sample_clamped_int(&mut rng, 1, self.pooling_max) as usize;
+            pos = (pos + pf).min(accesses.len());
+            query_ends.push(pos);
+        }
+        Trace::from_parts(accesses, query_ends, self.num_tables)
+    }
+
+    /// Draws one vector: a uniform table and a Zipf-popular row, mixed per
+    /// table so each table has its own hot set.
+    fn draw_vector(&self, rng: &mut StdRng, row_zipf: &Zipf) -> VectorKey {
+        let table = rng.gen_range(0..self.num_tables);
+        let rank = row_zipf.sample(rng) as u64;
+        let row = mix_rank(rank, table as u64, self.seed) % self.rows_per_table;
+        VectorKey::new(TableId(table), RowId(row))
+    }
+}
+
+/// Bijective-ish per-table mixing of a popularity rank into a row id, so
+/// that the hot rows of different tables (and different seeds) differ.
+fn mix_rank(rank: u64, table: u64, seed: u64) -> u64 {
+    let mut x = rank
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(table.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(seed.wrapping_mul(0x94D0_49BB_1331_11EB));
+    x ^= x >> 31;
+    // Keep the mapping mostly rank-ordered for small ranks so popularity is
+    // preserved: hot ranks map to a per-table offset region.
+    let base = (table.wrapping_mul(seed | 1)) % 1024;
+    if rank < 64 {
+        base.wrapping_add(rank)
+    } else {
+        x
+    }
+}
+
+/// Presets for Table I of the paper (embedding-access overhead study):
+/// DS1–DS4 differ in table count, access volume, batch size, and caching
+/// ratio. Scaled down ~100× from the paper's sizes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverheadPreset {
+    /// Preset name as in Table I ("DS1".."DS4").
+    pub name: &'static str,
+    /// Number of embedding tables.
+    pub num_tables: u32,
+    /// Total accesses (scaled).
+    pub num_accesses: usize,
+    /// Queries per inference batch (scaled).
+    pub batch_queries: usize,
+    /// Fraction of unique vectors held in the GPU buffer.
+    pub caching_ratio: f64,
+}
+
+/// The four Table I presets.
+pub fn overhead_presets() -> [OverheadPreset; 4] {
+    [
+        OverheadPreset {
+            name: "DS1",
+            num_tables: 24,
+            num_accesses: 201_000,
+            batch_queries: 60,
+            caching_ratio: 1.00,
+        },
+        OverheadPreset {
+            name: "DS2",
+            num_tables: 24,
+            num_accesses: 201_000,
+            batch_queries: 60,
+            caching_ratio: 0.20,
+        },
+        OverheadPreset {
+            name: "DS3",
+            num_tables: 192,
+            num_accesses: 400_000,
+            batch_queries: 60,
+            caching_ratio: 0.07,
+        },
+        OverheadPreset {
+            name: "DS4",
+            num_tables: 192,
+            num_accesses: 400_000,
+            batch_queries: 180,
+            caching_ratio: 0.07,
+        },
+    ]
+}
+
+impl OverheadPreset {
+    /// Builds the generator configuration for this preset.
+    pub fn config(&self) -> SyntheticConfig {
+        let mut c = SyntheticConfig::dataset(0);
+        c.num_tables = self.num_tables;
+        c.num_accesses = self.num_accesses;
+        c.rows_per_table = 900;
+        c.seed = 0xD5 + self.num_tables as u64;
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::TraceStats;
+    use std::collections::HashSet;
+
+    #[test]
+    fn generates_requested_length() {
+        let t = SyntheticConfig::tiny(1).generate();
+        assert!(t.len() >= 4_000);
+        assert!(t.len() < 4_100); // may slightly overshoot mid-bundle
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = SyntheticConfig::tiny(5).generate();
+        let b = SyntheticConfig::tiny(5).generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SyntheticConfig::tiny(5).generate();
+        let b = SyntheticConfig::tiny(6).generate();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn keys_within_universe() {
+        let cfg = SyntheticConfig::tiny(2);
+        let t = cfg.generate();
+        for &k in t.accesses() {
+            assert!(k.table().0 < cfg.num_tables);
+            assert!(k.row().0 < cfg.rows_per_table);
+        }
+    }
+
+    #[test]
+    fn popularity_is_skewed() {
+        // The top 20% of unique vectors should take well over half the
+        // accesses (power-law regime of §I).
+        let cfg = SyntheticConfig::dataset_scaled(0, 0.05);
+        let t = cfg.generate();
+        let stats = TraceStats::compute(&t);
+        let share = stats.top_share(0.2);
+        assert!(share > 0.6, "top-20% share = {share}");
+    }
+
+    #[test]
+    fn pooling_factors_vary_widely() {
+        let t = SyntheticConfig::dataset_scaled(0, 0.05).generate();
+        let pf = t.pooling_factors();
+        let min = pf.iter().copied().min().expect("non-empty");
+        let max = pf.iter().copied().max().expect("non-empty");
+        assert!(min <= 2, "min pooling factor {min}");
+        assert!(max >= 30, "max pooling factor {max}");
+    }
+
+    #[test]
+    fn datasets_have_distinct_hot_sets() {
+        let a = SyntheticConfig::dataset_scaled(0, 0.02).generate();
+        let b = SyntheticConfig::dataset_scaled(1, 0.02).generate();
+        let hot = |t: &crate::Trace| {
+            let stats = TraceStats::compute(t);
+            stats
+                .by_popularity()
+                .iter()
+                .take(50)
+                .map(|&(k, _)| k)
+                .collect::<HashSet<_>>()
+        };
+        let ha = hot(&a);
+        let hb = hot(&b);
+        let overlap = ha.intersection(&hb).count();
+        assert!(overlap < 40, "hot sets nearly identical: overlap {overlap}");
+    }
+
+    #[test]
+    fn overhead_presets_shape() {
+        let p = overhead_presets();
+        assert_eq!(p[0].name, "DS1");
+        assert_eq!(p[3].batch_queries, 3 * p[2].batch_queries);
+        let t = OverheadPreset {
+            num_accesses: 5_000,
+            ..p[0]
+        }
+        .config()
+        .generate();
+        assert_eq!(t.num_tables(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "datasets 0..=4")]
+    fn dataset_out_of_range_panics() {
+        let _ = SyntheticConfig::dataset(9);
+    }
+
+    #[test]
+    fn interleaving_preserves_volume_and_universe() {
+        let mut cfg = SyntheticConfig::tiny(5);
+        cfg.num_sessions = 8;
+        let t = cfg.generate();
+        assert!(t.len() >= cfg.num_accesses);
+        for &k in t.accesses() {
+            assert!(k.table().0 < cfg.num_tables);
+        }
+        // Interleaved stream still deterministic per seed.
+        assert_eq!(t, cfg.generate());
+    }
+}

@@ -1,0 +1,309 @@
+//! Core types for embedding-access traces.
+//!
+//! A DLRM inference query activates categories across many sparse features;
+//! each activation is an access to one *embedding vector*, identified by a
+//! `(table ID, row ID)` pair (paper §II, Fig. 2). Traces are flat sequences
+//! of such accesses with query boundaries recorded so that pooling factors
+//! and batching can be reconstructed.
+
+use std::fmt;
+
+/// Identifier of an embedding table (sparse feature).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct TableId(pub u32);
+
+impl fmt::Display for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Identifier of a row (embedding vector) within a table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct RowId(pub u64);
+
+impl fmt::Display for RowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// Globally unique identifier of an embedding vector: a `(table, row)` pair
+/// packed into a single `u64` (table in the top 16 bits, row in the lower
+/// 48).
+///
+/// This is the "memory address" analogue used by every cache and prefetcher
+/// in the workspace — the paper maps embedding-vector indices to addresses
+/// the same way when driving ChampSim-style baselines (§VII-A).
+///
+/// # Examples
+///
+/// ```
+/// use recmg_trace::{RowId, TableId, VectorKey};
+///
+/// let k = VectorKey::new(TableId(3), RowId(42));
+/// assert_eq!(k.table(), TableId(3));
+/// assert_eq!(k.row(), RowId(42));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct VectorKey(u64);
+
+impl VectorKey {
+    const ROW_BITS: u32 = 48;
+    const ROW_MASK: u64 = (1 << Self::ROW_BITS) - 1;
+
+    /// Packs a `(table, row)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table id does not fit in 16 bits or the row id in 48.
+    pub fn new(table: TableId, row: RowId) -> Self {
+        assert!(table.0 < (1 << 16), "table id {} exceeds 16 bits", table.0);
+        assert!(
+            row.0 <= Self::ROW_MASK,
+            "row id {} exceeds 48 bits",
+            row.0
+        );
+        VectorKey(((table.0 as u64) << Self::ROW_BITS) | row.0)
+    }
+
+    /// The table component.
+    pub fn table(self) -> TableId {
+        TableId((self.0 >> Self::ROW_BITS) as u32)
+    }
+
+    /// The row component.
+    pub fn row(self) -> RowId {
+        RowId(self.0 & Self::ROW_MASK)
+    }
+
+    /// The raw packed representation.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a key from its packed representation.
+    pub fn from_u64(raw: u64) -> Self {
+        VectorKey(raw)
+    }
+
+    /// Hashes the key into one of `vocab` buckets (multiplicative hashing).
+    ///
+    /// This is the "Hashing" stage of the paper's model input pipeline
+    /// (Fig. 5): it bounds the ML input vocabulary regardless of how many
+    /// unique vectors exist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vocab` is zero.
+    pub fn bucket(self, vocab: usize) -> usize {
+        assert!(vocab > 0, "vocab must be positive");
+        let h = self.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((h >> 16) % vocab as u64) as usize
+    }
+}
+
+impl fmt::Display for VectorKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.table(), self.row())
+    }
+}
+
+/// A complete embedding-access trace: a flat access sequence plus query
+/// boundaries.
+///
+/// `query_ends[i]` is the exclusive end offset of query `i` in `accesses`,
+/// so query `i` spans `accesses[query_ends[i-1]..query_ends[i]]` (with
+/// `query_ends[-1]` taken as 0). The length of a query is its *pooling
+/// factor* summed over features.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    accesses: Vec<VectorKey>,
+    query_ends: Vec<usize>,
+    num_tables: u32,
+}
+
+impl Trace {
+    /// Creates a trace from raw parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query_ends` is not non-decreasing or its last element
+    /// differs from `accesses.len()`.
+    pub fn from_parts(accesses: Vec<VectorKey>, query_ends: Vec<usize>, num_tables: u32) -> Self {
+        if let Some(&last) = query_ends.last() {
+            assert_eq!(last, accesses.len(), "query_ends must cover all accesses");
+        } else {
+            assert!(accesses.is_empty(), "accesses without query boundaries");
+        }
+        assert!(
+            query_ends.windows(2).all(|w| w[0] <= w[1]),
+            "query_ends must be non-decreasing"
+        );
+        Trace {
+            accesses,
+            query_ends,
+            num_tables,
+        }
+    }
+
+    /// The flat access sequence.
+    pub fn accesses(&self) -> &[VectorKey] {
+        &self.accesses
+    }
+
+    /// Number of accesses in the trace.
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+
+    /// Number of inference queries.
+    pub fn num_queries(&self) -> usize {
+        self.query_ends.len()
+    }
+
+    /// Number of embedding tables the trace refers to.
+    pub fn num_tables(&self) -> u32 {
+        self.num_tables
+    }
+
+    /// The accesses of query `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_queries()`.
+    pub fn query(&self, i: usize) -> &[VectorKey] {
+        let start = if i == 0 { 0 } else { self.query_ends[i - 1] };
+        &self.accesses[start..self.query_ends[i]]
+    }
+
+    /// Iterates over queries.
+    pub fn queries(&self) -> impl Iterator<Item = &[VectorKey]> + '_ {
+        (0..self.num_queries()).map(move |i| self.query(i))
+    }
+
+    /// Pooling factor (access count) of each query.
+    pub fn pooling_factors(&self) -> Vec<usize> {
+        (0..self.num_queries())
+            .map(|i| self.query(i).len())
+            .collect()
+    }
+
+    /// Returns the first `n` accesses as a new trace, keeping whole queries
+    /// (the boundary is rounded down to the nearest query end).
+    pub fn prefix(&self, n: usize) -> Trace {
+        let n = n.min(self.len());
+        let mut ends = Vec::new();
+        for &e in &self.query_ends {
+            if e <= n {
+                ends.push(e);
+            } else {
+                break;
+            }
+        }
+        let cut = ends.last().copied().unwrap_or(0);
+        Trace {
+            accesses: self.accesses[..cut].to_vec(),
+            query_ends: ends,
+            num_tables: self.num_tables,
+        }
+    }
+
+    /// Groups consecutive queries into inference batches of `queries_per_batch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queries_per_batch` is zero.
+    pub fn batches(&self, queries_per_batch: usize) -> Vec<&[VectorKey]> {
+        assert!(queries_per_batch > 0, "batch size must be positive");
+        let mut out = Vec::new();
+        let mut qi = 0;
+        while qi < self.num_queries() {
+            let start = if qi == 0 { 0 } else { self.query_ends[qi - 1] };
+            let last_q = (qi + queries_per_batch).min(self.num_queries());
+            let end = self.query_ends[last_q - 1];
+            out.push(&self.accesses[start..end]);
+            qi = last_q;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(t: u32, r: u64) -> VectorKey {
+        VectorKey::new(TableId(t), RowId(r))
+    }
+
+    #[test]
+    fn key_pack_unpack() {
+        let k = key(65_535, (1 << 48) - 1);
+        assert_eq!(k.table().0, 65_535);
+        assert_eq!(k.row().0, (1 << 48) - 1);
+        let k2 = VectorKey::from_u64(k.as_u64());
+        assert_eq!(k, k2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 16 bits")]
+    fn key_table_overflow_panics() {
+        let _ = key(1 << 16, 0);
+    }
+
+    #[test]
+    fn key_ordering_groups_by_table() {
+        assert!(key(0, 100) < key(1, 0));
+        assert!(key(2, 5) < key(2, 6));
+    }
+
+    #[test]
+    fn trace_query_access() {
+        let acc = vec![key(0, 1), key(0, 2), key(1, 7), key(0, 1)];
+        let t = Trace::from_parts(acc, vec![2, 4], 2);
+        assert_eq!(t.num_queries(), 2);
+        assert_eq!(t.query(0), &[key(0, 1), key(0, 2)]);
+        assert_eq!(t.query(1), &[key(1, 7), key(0, 1)]);
+        assert_eq!(t.pooling_factors(), vec![2, 2]);
+    }
+
+    #[test]
+    fn trace_prefix_respects_query_boundaries() {
+        let acc = vec![key(0, 1), key(0, 2), key(1, 7), key(0, 1), key(0, 9)];
+        let t = Trace::from_parts(acc, vec![2, 4, 5], 2);
+        let p = t.prefix(3);
+        assert_eq!(p.len(), 2); // rounded down to query end 2
+        assert_eq!(p.num_queries(), 1);
+        let full = t.prefix(100);
+        assert_eq!(full.len(), 5);
+    }
+
+    #[test]
+    fn trace_batches() {
+        let acc: Vec<VectorKey> = (0..10).map(|i| key(0, i)).collect();
+        let t = Trace::from_parts(acc, vec![2, 4, 6, 8, 10], 1);
+        let b = t.batches(2);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b[0].len(), 4);
+        assert_eq!(b[2].len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover all accesses")]
+    fn trace_bad_boundaries_panics() {
+        let _ = Trace::from_parts(vec![key(0, 1)], vec![2], 1);
+    }
+
+    #[test]
+    fn trace_display_types() {
+        assert_eq!(format!("{}", key(3, 42)), "T3:R42");
+        assert_eq!(format!("{}", TableId(1)), "T1");
+        assert_eq!(format!("{}", RowId(2)), "R2");
+    }
+}

@@ -1,0 +1,85 @@
+//! Production-style end-to-end DLRM inference (paper §VII-F): batched
+//! queries, tiered-memory timing, pipelined CPU model guidance, and the
+//! per-batch time breakdown of Fig. 16.
+//!
+//! Run with: `cargo run --release --example production_inference`
+
+use recmg_repro::cache::SetAssocLru;
+use recmg_repro::core::{train_recmg, RecMgConfig, RecMgSystem, TrainOptions};
+use recmg_repro::dlrm::{
+    simulate_pipeline, BufferManager, DlrmConfig, DlrmModel, EmbeddingStore, InferenceEngine,
+    PolicyBufferManager, TimingConfig,
+};
+use recmg_repro::trace::{SyntheticConfig, TraceStats};
+
+fn main() {
+    let trace = SyntheticConfig::dataset_scaled(0, 0.05).generate();
+    let stats = TraceStats::compute(&trace);
+    let capacity = stats.buffer_capacity(18.0);
+    let half = trace.len() / 2;
+    println!("training RecMG models on {half} accesses...");
+    let trained = train_recmg(
+        &trace.accesses()[..half],
+        &RecMgConfig::default(),
+        capacity,
+        &TrainOptions::default(),
+    );
+
+    let engine = InferenceEngine::new(
+        DlrmModel::new(DlrmConfig::small(), 7),
+        EmbeddingStore::new(16),
+        TimingConfig::default_scaled(),
+    );
+    let queries_per_batch = (6_000.0 / stats.mean_pooling.max(1.0)).round() as usize;
+
+    let mut lru = PolicyBufferManager::new(SetAssocLru::new(capacity, 32));
+    let mut cm = RecMgSystem::new(&trained.caching, None, trained.codec.clone(), capacity);
+    let mut rec = RecMgSystem::from_trained(&trained, capacity);
+
+    println!(
+        "\n{:<8} {:>9} {:>8} {:>12} {:>13} {:>8} {:>10}",
+        "strategy", "hit rate", "copy", "gpu compute", "buffer mgmt", "others", "total(ms)"
+    );
+    let mut lru_total = 0.0;
+    for (name, mgr) in [
+        ("LRU", &mut lru as &mut dyn BufferManager),
+        ("CM", &mut cm),
+        ("RecMG", &mut rec),
+    ] {
+        let r = engine.run(&trace, queries_per_batch, mgr);
+        let b = r.mean_breakdown;
+        if name == "LRU" {
+            lru_total = b.total_ms();
+        }
+        println!(
+            "{:<8} {:>8.2}% {:>8.1} {:>12.1} {:>13.1} {:>8.1} {:>10.1}",
+            name,
+            r.access.hit_rate() * 100.0,
+            b.copy_ms,
+            b.gpu_compute_ms,
+            b.buffer_mgmt_ms,
+            b.others_ms,
+            b.total_ms()
+        );
+        if name == "RecMG" {
+            println!(
+                "\nRecMG end-to-end inference time reduction vs LRU: {:.1}% (paper: 31% avg, up to 43%)",
+                (1.0 - b.total_ms() / lru_total) * 100.0
+            );
+        }
+    }
+
+    // Pipeline overlap (paper §VI-C): CPU guidance for batch i+1 overlaps
+    // GPU batch i; the GPU never waits.
+    let batches = 40;
+    let gpu_ms = vec![150.0; batches];
+    let cpu_ms = vec![35.0; batches];
+    let p = simulate_pipeline(&cpu_ms, &gpu_ms);
+    println!(
+        "\npipeline: serial {:.0}ms vs overlapped {:.0}ms ({:.2}x), {:.0}% of batches freshly guided",
+        p.serial_ms,
+        p.pipelined_ms,
+        p.speedup(),
+        p.guided_fraction() * 100.0
+    );
+}

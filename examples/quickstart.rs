@@ -1,0 +1,69 @@
+//! Quickstart: train RecMG on a synthetic DLRM trace and compare its GPU
+//! buffer hit rate against production-style LRU.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use recmg_repro::cache::{simulate, SetAssocLru};
+use recmg_repro::core::{train_recmg, RecMgConfig, RecMgSystem, TrainOptions};
+use recmg_repro::dlrm::{BatchAccessStats, BufferManager};
+use recmg_repro::trace::{SyntheticConfig, TraceStats};
+
+fn main() {
+    // 1. Generate a production-like embedding-access trace (power-law
+    //    popularity, co-occurrence structure, long-reuse tail).
+    let trace = SyntheticConfig::dataset_scaled(0, 0.05).generate();
+    let stats = TraceStats::compute(&trace);
+    println!(
+        "trace: {} accesses, {} unique vectors, {} tables, mean pooling {:.1}",
+        stats.accesses, stats.unique, stats.tables_touched, stats.mean_pooling
+    );
+
+    // 2. Size the GPU buffer at 20% of unique vectors (the paper's
+    //    convention) and train both models on the first half of the trace.
+    let capacity = stats.buffer_capacity(20.0);
+    let half = trace.len() / 2;
+    println!("buffer: {capacity} vectors (20% of unique); training on {half} accesses...");
+    let trained = train_recmg(
+        &trace.accesses()[..half],
+        &RecMgConfig::default(),
+        capacity,
+        &TrainOptions::default(),
+    );
+    println!(
+        "caching model accuracy vs OPT labels: {:.1}% (OPT hit rate {:.1}%)",
+        trained.caching_accuracy * 100.0,
+        trained.opt_hit_rate * 100.0
+    );
+
+    // 3. Serve the held-out second half.
+    let eval = &trace.accesses()[half..];
+    let mut system = RecMgSystem::from_trained(&trained, capacity);
+    let mut rec = BatchAccessStats::default();
+    for chunk in eval.chunks(256) {
+        rec.accumulate(system.process_batch(chunk));
+    }
+
+    let mut lru = SetAssocLru::new(capacity, 32);
+    let lru_stats = simulate(&mut lru, eval);
+
+    println!("\n                 hit rate   cache hits   prefetch hits   on-demand");
+    println!(
+        "32-way LRU        {:>6.2}%   {:>10}   {:>13}   {:>9}",
+        lru_stats.hit_rate() * 100.0,
+        lru_stats.hits,
+        0,
+        lru_stats.misses
+    );
+    println!(
+        "RecMG             {:>6.2}%   {:>10}   {:>13}   {:>9}",
+        rec.hit_rate() * 100.0,
+        rec.cache_hits,
+        rec.prefetch_hits,
+        rec.misses
+    );
+    let reduction = 1.0 - rec.misses as f64 / lru_stats.misses.max(1) as f64;
+    println!(
+        "\nRecMG reduced on-demand fetches by {:.1}% vs LRU",
+        reduction * 100.0
+    );
+}

@@ -1,0 +1,20 @@
+//! Workspace root crate for the RecMG reproduction.
+//!
+//! This crate re-exports the public API of every workspace member so that the
+//! runnable examples under `examples/` and the integration tests under
+//! `tests/` can exercise the whole system through one import. The actual
+//! implementation lives in the `crates/` members:
+//!
+//! * [`recmg_tensor`] — tensors, autograd, LSTM/attention layers, losses.
+//! * [`recmg_trace`] — synthetic DLRM embedding-access traces and analysis.
+//! * [`recmg_cache`] — replacement policies, Belady/OPTgen, GPU buffer.
+//! * [`recmg_prefetch`] — baseline prefetchers and co-simulation.
+//! * [`recmg_dlrm`] — DLRM inference simulator and tiered-memory timing.
+//! * [`recmg_core`] — the RecMG caching/prefetch models and buffer manager.
+
+pub use recmg_cache as cache;
+pub use recmg_core as core;
+pub use recmg_dlrm as dlrm;
+pub use recmg_prefetch as prefetch;
+pub use recmg_tensor as tensor;
+pub use recmg_trace as trace;

@@ -1,0 +1,126 @@
+//! Cross-crate consistency checks among the baseline implementations.
+
+use recmg_repro::cache::{
+    belady, optgen, simulate, CachePolicy, Drrip, FullyAssocLfu, FullyAssocLru, Hawkeye,
+    Mockingjay, SetAssocLfu, SetAssocLru, Srrip,
+};
+use recmg_repro::prefetch::{cosimulate, BestOffset, Bingo, Domino, NoPrefetcher};
+use recmg_repro::trace::{lru_hit_rates, SyntheticConfig, TraceStats};
+
+fn policies(capacity: usize) -> Vec<Box<dyn CachePolicy>> {
+    vec![
+        Box::new(FullyAssocLru::new(capacity)),
+        Box::new(FullyAssocLfu::new(capacity)),
+        Box::new(SetAssocLru::new(capacity, 32)),
+        Box::new(SetAssocLfu::new(capacity, 32)),
+        Box::new(Srrip::new(capacity, 32)),
+        Box::new(Drrip::new(capacity, 32)),
+        Box::new(Hawkeye::new(capacity, 32)),
+        Box::new(Mockingjay::new(capacity, 32)),
+    ]
+}
+
+#[test]
+fn optimal_dominates_every_policy() {
+    let trace = SyntheticConfig::dataset_scaled(1, 0.02).generate();
+    let acc = trace.accesses();
+    let capacity = TraceStats::compute(&trace).buffer_capacity(10.0);
+    let opt = belady::belady_hit_stats(acc, capacity).hit_rate();
+    for mut p in policies(capacity) {
+        let rate = simulate(p.as_mut(), acc).hit_rate();
+        assert!(
+            opt >= rate - 1e-9,
+            "{} ({rate:.4}) beat OPT ({opt:.4})",
+            p.name()
+        );
+        assert!(p.len() <= p.capacity(), "{} overfilled", p.name());
+    }
+}
+
+#[test]
+fn optgen_and_belady_agree_across_datasets() {
+    for ds in 0..3 {
+        let trace = SyntheticConfig::dataset_scaled(ds, 0.01).generate();
+        let acc = trace.accesses();
+        for capacity in [64usize, 512] {
+            let a = optgen(acc, capacity).stats.hits;
+            let b = belady::belady_hit_stats(acc, capacity).hits;
+            assert_eq!(a, b, "dataset {ds} capacity {capacity}");
+        }
+    }
+}
+
+#[test]
+fn reuse_distance_rule_matches_lru_simulation() {
+    let trace = SyntheticConfig::dataset_scaled(2, 0.02).generate();
+    let acc = trace.accesses();
+    for capacity in [32u64, 256, 2048] {
+        let analytical = lru_hit_rates(acc, &[capacity])[0];
+        let mut lru = FullyAssocLru::new(capacity as usize);
+        let simulated = simulate(&mut lru, acc).hit_rate();
+        assert!(
+            (analytical - simulated).abs() < 1e-12,
+            "capacity {capacity}: {analytical} vs {simulated}"
+        );
+    }
+}
+
+#[test]
+fn cosim_with_no_prefetcher_equals_plain_simulation() {
+    let trace = SyntheticConfig::dataset_scaled(0, 0.02).generate();
+    let acc = trace.accesses();
+    let capacity = 512;
+    for mut p in policies(capacity) {
+        let direct = {
+            let mut q = policies(capacity)
+                .into_iter()
+                .find(|q| q.name() == p.name())
+                .expect("same policy");
+            simulate(q.as_mut(), acc)
+        };
+        let co = cosimulate(p.as_mut(), &mut NoPrefetcher, acc);
+        assert_eq!(co.cache_hits, direct.hits, "{}", p.name());
+        assert_eq!(co.on_demand, direct.misses, "{}", p.name());
+    }
+}
+
+#[test]
+fn prefetchers_never_break_capacity_or_accounting() {
+    let trace = SyntheticConfig::dataset_scaled(0, 0.02).generate();
+    let acc = trace.accesses();
+    let capacity = 512;
+    let unique = TraceStats::compute(&trace).unique as usize;
+    let mut lru = SetAssocLru::new(capacity, 32);
+    let mut bingo = Bingo::new();
+    let r1 = cosimulate(&mut lru, &mut bingo, acc);
+    assert_eq!(r1.total(), acc.len() as u64);
+    assert!(r1.useful <= r1.issued);
+
+    let mut lru = SetAssocLru::new(capacity, 32);
+    let mut domino = Domino::with_unique_budget(unique, 5);
+    let r2 = cosimulate(&mut lru, &mut domino, acc);
+    assert_eq!(r2.total(), acc.len() as u64);
+    assert!(lru.len() <= lru.capacity());
+
+    let mut lru = SetAssocLru::new(capacity, 32);
+    let mut bop = BestOffset::with_degree(2);
+    let r3 = cosimulate(&mut lru, &mut bop, acc);
+    assert!(r3.prefetch_accuracy() <= 1.0);
+}
+
+#[test]
+fn spatial_prefetcher_is_useless_on_embedding_traces() {
+    // The §VII-B observation that motivates RecMG: Bingo's spatial
+    // footprints find (almost) nothing in user-driven embedding accesses.
+    let trace = SyntheticConfig::dataset_scaled(0, 0.03).generate();
+    let acc = trace.accesses();
+    let capacity = TraceStats::compute(&trace).buffer_capacity(20.0);
+    let mut with = SetAssocLru::new(capacity, 32);
+    let mut bingo = Bingo::new();
+    let r = cosimulate(&mut with, &mut bingo, acc);
+    let prefetch_share = r.prefetch_hits as f64 / r.total() as f64;
+    assert!(
+        prefetch_share < 0.05,
+        "Bingo unexpectedly effective: {prefetch_share}"
+    );
+}

@@ -1,0 +1,118 @@
+//! Integration test spanning every crate: trace generation → OPTgen
+//! labeling → model training → online buffer management → end-to-end DLRM
+//! inference timing.
+
+use recmg_repro::cache::{simulate, SetAssocLru};
+use recmg_repro::core::{train_recmg, RecMgConfig, RecMgSystem, TrainOptions};
+use recmg_repro::dlrm::{
+    BatchAccessStats, BufferManager, DlrmConfig, DlrmModel, EmbeddingStore, InferenceEngine,
+    PolicyBufferManager, TimingConfig,
+};
+use recmg_repro::trace::{SyntheticConfig, TraceStats};
+
+struct Setup {
+    trace: recmg_repro::trace::Trace,
+    trained: recmg_repro::core::TrainedRecMg,
+    capacity: usize,
+}
+
+fn setup() -> Setup {
+    let trace = SyntheticConfig::dataset_scaled(0, 0.02).generate();
+    let stats = TraceStats::compute(&trace);
+    let capacity = stats.buffer_capacity(20.0);
+    let half = trace.len() / 2;
+    let trained = train_recmg(
+        &trace.accesses()[..half],
+        &RecMgConfig::default(),
+        capacity,
+        &TrainOptions::tiny(),
+    );
+    Setup {
+        trace,
+        trained,
+        capacity,
+    }
+}
+
+#[test]
+fn full_pipeline_beats_or_matches_lru_and_speeds_up_inference() {
+    let s = setup();
+    let eval = &s.trace.accesses()[s.trace.len() / 2..];
+
+    // Buffer-level comparison.
+    let mut system = RecMgSystem::from_trained(&s.trained, s.capacity);
+    let mut rec = BatchAccessStats::default();
+    for chunk in eval.chunks(256) {
+        rec.accumulate(system.process_batch(chunk));
+    }
+    let mut lru = SetAssocLru::new(s.capacity, 32);
+    let lru_stats = simulate(&mut lru, eval);
+    assert!(
+        rec.hit_rate() >= lru_stats.hit_rate() - 0.02,
+        "RecMG {:.3} well below LRU {:.3}",
+        rec.hit_rate(),
+        lru_stats.hit_rate()
+    );
+    assert!(rec.prefetch_hits > 0, "prefetch model contributed nothing");
+
+    // End-to-end timing via the inference engine.
+    let engine = InferenceEngine::new(
+        DlrmModel::new(DlrmConfig::small(), 1),
+        EmbeddingStore::new(16),
+        TimingConfig::default_scaled(),
+    );
+    let mut rec_mgr = RecMgSystem::from_trained(&s.trained, s.capacity);
+    let mut lru_mgr = PolicyBufferManager::new(SetAssocLru::new(s.capacity, 32));
+    let t_rec = engine.run(&s.trace, 16, &mut rec_mgr);
+    let t_lru = engine.run(&s.trace, 16, &mut lru_mgr);
+    assert!(
+        t_rec.total_ms <= t_lru.total_ms * 1.05,
+        "RecMG {:.1}ms much slower than LRU {:.1}ms",
+        t_rec.total_ms,
+        t_lru.total_ms
+    );
+    // The dense DLRM path really ran.
+    assert!(t_rec.mean_ctr > 0.0 && t_rec.mean_ctr < 1.0);
+}
+
+#[test]
+fn caching_model_tracks_optgen_labels_out_of_sample() {
+    let s = setup();
+    let cfg = RecMgConfig::default();
+    let eval = &s.trace.accesses()[s.trace.len() / 2..];
+    let held = recmg_repro::core::build_training_data(eval, &cfg, s.capacity);
+    let acc = s.trained.caching.accuracy(&held.chunks);
+    // Out-of-sample accuracy must clearly beat coin flipping (paper: 83%).
+    assert!(acc > 0.6, "held-out caching accuracy {acc}");
+}
+
+#[test]
+fn trained_prefetcher_has_nonzero_quality() {
+    let s = setup();
+    let cfg = RecMgConfig::default();
+    let eval = &s.trace.accesses()[s.trace.len() / 2..];
+    let held = recmg_repro::core::build_training_data(eval, &cfg, s.capacity);
+    let sample = &held.prefetch[..held.prefetch.len().min(200)];
+    let q = s.trained.prefetch.evaluate(sample, &s.trained.codec);
+    assert!(q.accuracy > 0.0, "prefetch accuracy is zero");
+    assert!(q.coverage > 0.0, "prefetch coverage is zero");
+}
+
+#[test]
+fn cm_only_never_uses_prefetch_path() {
+    let s = setup();
+    let eval = &s.trace.accesses()[s.trace.len() / 2..];
+    let mut cm = RecMgSystem::new(
+        &s.trained.caching,
+        None,
+        s.trained.codec.clone(),
+        s.capacity,
+    );
+    let mut stats = BatchAccessStats::default();
+    for chunk in eval.chunks(256) {
+        stats.accumulate(cm.process_batch(chunk));
+    }
+    assert_eq!(stats.prefetch_hits, 0);
+    assert_eq!(cm.prefetches_issued(), 0);
+    assert_eq!(stats.total(), eval.len() as u64);
+}
