@@ -1,11 +1,22 @@
-//! Criterion benchmark behind Fig. 7: model serving throughput as thread
-//! count grows (thread-per-request, read-only shared weights).
+//! Criterion benchmarks behind Fig. 7 (model serving throughput as thread
+//! count grows) and the sharded serving engine (throughput as shard count
+//! grows, with the non-blocking background guidance plane).
+//!
+//! Besides the Criterion timings, `serving_sharded` writes a JSON summary
+//! (`BENCH_serving.json` at the workspace root, or under `RECMG_OUT`) with
+//! keys/sec, speedup over the single-thread inline engine, and the guided
+//! fraction per shard count, so the perf trajectory is machine-readable.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
+use std::path::PathBuf;
 
 use recmg_core::serving::measure_throughput;
-use recmg_core::{CachingModel, PrefetchModel, RecMgConfig};
+use recmg_core::{
+    CachingModel, FrequencyRankCodec, GuidanceMode, PrefetchModel, RecMgConfig, ServeOptions,
+    ShardedRecMgSystem,
+};
+use recmg_trace::SyntheticConfig;
 
 fn bench_serving(c: &mut Criterion) {
     let cfg = RecMgConfig::default();
@@ -35,5 +46,117 @@ fn bench_serving(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_serving);
+/// Builds a fresh sharded system over untrained compiled models (the model
+/// forward cost is identical to a trained one; only the weights differ).
+fn sharded_system(
+    cfg: &RecMgConfig,
+    trace: &recmg_trace::Trace,
+    capacity: usize,
+    shards: usize,
+) -> ShardedRecMgSystem {
+    let caching = CachingModel::new(cfg);
+    let prefetch = PrefetchModel::new(cfg);
+    let codec = FrequencyRankCodec::from_accesses(&trace.accesses()[..2_000]);
+    ShardedRecMgSystem::new(&caching, Some(&prefetch), codec, capacity, shards)
+}
+
+fn serve_opts(shards: usize) -> ServeOptions {
+    if shards == 1 {
+        // The single-thread reference engine: inline guidance at every
+        // chunk, exactly the sequential RecMgSystem control flow.
+        ServeOptions {
+            workers: 1,
+            guidance: GuidanceMode::Inline,
+        }
+    } else {
+        ServeOptions {
+            workers: shards,
+            guidance: GuidanceMode::Background {
+                threads: 2,
+                max_lag: 1,
+            },
+        }
+    }
+}
+
+fn bench_serving_sharded(c: &mut Criterion) {
+    let cfg = RecMgConfig::default();
+    let trace = SyntheticConfig::tiny(1207).generate();
+    let capacity = 256usize;
+    let batches = trace.batches(20);
+    let shard_counts = [1usize, 2, 4, 8];
+
+    // Single-shot measured sweep for the JSON summary (fresh system per
+    // point; serve covers the whole trace).
+    let mut rows = Vec::new();
+    let mut single_thread_kps = 0.0f64;
+    for &shards in &shard_counts {
+        let mut sys = sharded_system(&cfg, &trace, capacity, shards);
+        let report = sys.serve(&batches, &serve_opts(shards));
+        if shards == 1 {
+            single_thread_kps = report.keys_per_sec();
+        }
+        rows.push((shards, report));
+    }
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|(shards, r)| {
+            format!(
+                concat!(
+                    "    {{\"shards\": {}, \"workers\": {}, \"keys_per_sec\": {:.1}, ",
+                    "\"speedup_vs_single_thread\": {:.3}, \"guided_fraction\": {:.4}, ",
+                    "\"hit_rate\": {:.4}}}"
+                ),
+                shards,
+                serve_opts(*shards).workers,
+                r.keys_per_sec(),
+                r.keys_per_sec() / single_thread_kps.max(1e-9),
+                r.guided_fraction(),
+                r.stats.hit_rate(),
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"serving_sharded\",\n  \"accesses\": {},\n  \"batches\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        trace.len(),
+        batches.len(),
+        json_rows.join(",\n")
+    );
+    let out_dir = std::env::var("RECMG_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."));
+    let path = out_dir.join("BENCH_serving.json");
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("could not write {}: {e}", path.display());
+    } else {
+        println!("wrote {}", path.display());
+    }
+    for (shards, r) in &rows {
+        println!(
+            "serving_sharded/{shards}: {:.0} keys/s ({:.2}x vs single-thread, {:.0}% guided)",
+            r.keys_per_sec(),
+            r.keys_per_sec() / single_thread_kps.max(1e-9),
+            r.guided_fraction() * 100.0
+        );
+    }
+
+    // Criterion timings over warm systems (steady-state serving).
+    let mut group = c.benchmark_group("serving_sharded");
+    group.sample_size(10);
+    for &shards in &shard_counts {
+        let mut sys = sharded_system(&cfg, &trace, capacity, shards);
+        group.throughput(Throughput::Elements(trace.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(shards),
+            &shards,
+            |b, &shards| {
+                let opts = serve_opts(shards);
+                b.iter(|| black_box(sys.serve(&batches, &opts)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serving, bench_serving_sharded);
 criterion_main!(benches);

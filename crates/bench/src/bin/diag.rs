@@ -72,7 +72,8 @@ fn main() {
     println!("oracle-bit system hit rate: {:.4}", stats.hit_rate());
 
     // Learned system (CM only).
-    let mut sys = recmg_core::RecMgSystem::new(&trained.caching, None, trained.codec.clone(), capacity);
+    let mut sys =
+        recmg_core::RecMgSystem::new(&trained.caching, None, trained.codec.clone(), capacity);
     let mut s2 = BatchAccessStats::default();
     for chunk in eval.chunks(256) {
         s2.accumulate(sys.process_batch(chunk));
@@ -94,8 +95,12 @@ fn main() {
 
     // Offline prefetch-model quality on held-out examples.
     let held = recmg_core::build_training_data(&eval, &cfg, capacity);
-    let q = trained
-        .prefetch
-        .evaluate(&held.prefetch[..held.prefetch.len().min(300)], &trained.codec);
-    println!("PM offline: accuracy {:.3}, coverage {:.3}", q.accuracy, q.coverage);
+    let q = trained.prefetch.evaluate(
+        &held.prefetch[..held.prefetch.len().min(300)],
+        &trained.codec,
+    );
+    println!(
+        "PM offline: accuracy {:.3}, coverage {:.3}",
+        q.accuracy, q.coverage
+    );
 }

@@ -8,7 +8,11 @@ use recmg_bench::{experiments, Bundle, ExpEnv};
 
 fn main() {
     let env = ExpEnv::from_env();
-    println!("RecMG experiment suite — scale {} → {}", env.scale, env.out_dir.display());
+    println!(
+        "RecMG experiment suite — scale {} → {}",
+        env.scale,
+        env.out_dir.display()
+    );
     let bundle = Bundle::new(env.clone());
     let total = Instant::now();
     for (name, runner) in experiments::all() {
@@ -20,5 +24,8 @@ fn main() {
         }
         println!("<<< {name} done in {:.1}s", start.elapsed().as_secs_f64());
     }
-    println!("\nall experiments done in {:.1}s", total.elapsed().as_secs_f64());
+    println!(
+        "\nall experiments done in {:.1}s",
+        total.elapsed().as_secs_f64()
+    );
 }

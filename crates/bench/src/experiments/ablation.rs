@@ -89,17 +89,16 @@ pub fn fig12(bundle: &Bundle) -> ExpResult {
             8,
         );
         let held = build_training_data(&trace.accesses()[half..], &cfg, capacity);
-        let eval = pm.evaluate(
-            &held.prefetch[..held.prefetch.len().min(300)],
-            &codec,
-        );
+        let eval = pm.evaluate(&held.prefetch[..held.prefetch.len().min(300)], &codec);
         r.push_row(vec![
             ratio.to_string(),
             fmt(eval.accuracy),
             fmt(eval.coverage),
         ]);
     }
-    r.note("paper: accuracy rises ≥39% from ratio 1 to 3, coverage flat beyond 3 → RecMG uses ratio 3");
+    r.note(
+        "paper: accuracy rises ≥39% from ratio 1 to 3, coverage flat beyond 3 → RecMG uses ratio 3",
+    );
     r
 }
 
@@ -118,13 +117,7 @@ pub fn table3(bundle: &Bundle) -> ExpResult {
     let mut r = ExpResult::new(
         "table3",
         "Training time / model size / accuracy vs #LSTM stacks (paper Table III)",
-        &[
-            "model",
-            "stacks",
-            "train_time_s",
-            "params",
-            "accuracy",
-        ],
+        &["model", "stacks", "train_time_s", "params", "accuracy"],
     );
     let chunks: Vec<_> = td.chunks.iter().take(opts.max_chunks).cloned().collect();
     let held_chunks: Vec<_> = held.chunks.iter().take(400).cloned().collect();
@@ -234,13 +227,29 @@ pub fn codec(bundle: &Bundle) -> ExpResult {
     );
     let freq = FrequencyRankCodec::from_accesses(&trace.accesses()[..half]);
     let mut pm = PrefetchModel::new(&cfg);
-    pm.train(&examples, &freq, PrefetchLoss::Chamfer { alpha: cfg.alpha }, epochs, 8);
+    pm.train(
+        &examples,
+        &freq,
+        PrefetchLoss::Chamfer { alpha: cfg.alpha },
+        epochs,
+        8,
+    );
     let e = pm.evaluate(&held_ex, &freq);
-    r.push_row(vec!["frequency-rank".into(), fmt(e.accuracy), fmt(e.coverage)]);
+    r.push_row(vec![
+        "frequency-rank".into(),
+        fmt(e.accuracy),
+        fmt(e.coverage),
+    ]);
 
     let gid = GlobalIdCodec::from_accesses(&trace.accesses()[..half]);
     let mut pm2 = PrefetchModel::new(&cfg);
-    pm2.train(&examples, &gid, PrefetchLoss::Chamfer { alpha: cfg.alpha }, epochs, 8);
+    pm2.train(
+        &examples,
+        &gid,
+        PrefetchLoss::Chamfer { alpha: cfg.alpha },
+        epochs,
+        8,
+    );
     let e2 = pm2.evaluate(&held_ex, &gid);
     r.push_row(vec!["global-id".into(), fmt(e2.accuracy), fmt(e2.coverage)]);
     r.note("frequency-rank concentrates hot vectors at one end of the code space; expected to beat raw id ordering");

@@ -91,7 +91,11 @@ pub fn fig14(bundle: &Bundle) -> ExpResult {
         let unique = bundle.stats(ds).unique as usize;
         let mut lru = SetAssocLru::new(capacity, 32);
         let mut domino = Domino::with_unique_budget(unique, cfg.output_len);
-        push_cosim("Domino", cosimulate(&mut lru, &mut domino, &eval), &mut rows);
+        push_cosim(
+            "Domino",
+            cosimulate(&mut lru, &mut domino, &eval),
+            &mut rows,
+        );
 
         let mut lru = SetAssocLru::new(capacity, 32);
         let mut bingo = Bingo::new();
@@ -108,7 +112,11 @@ pub fn fig14(bundle: &Bundle) -> ExpResult {
             if bundle.env().scale <= 0.03 { 120 } else { 300 },
             cfg.window_len(),
         );
-        push_cosim("TransFetch", cosimulate(&mut lru, &mut tf, &eval), &mut rows);
+        push_cosim(
+            "TransFetch",
+            cosimulate(&mut lru, &mut tf, &eval),
+            &mut rows,
+        );
 
         let mut lru = FullyAssocLru::new(capacity);
         let mut pf = PmPrefetcher::new(&trained.prefetch, &cfg, trained.codec.clone());
@@ -234,12 +242,12 @@ pub fn fig15_table4(bundle: &Bundle) -> Vec<ExpResult> {
     let mut f15 = ExpResult::new(
         "fig15",
         "Geomean GPU-buffer hit rate across strategies and buffer sizes (paper Fig. 15)",
-        &[
-            "strategy", "1%", "5%", "10%", "15%", "GEOMEAN",
-        ],
+        &["strategy", "1%", "5%", "10%", "15%", "GEOMEAN"],
     );
     for (si, name) in names.iter().enumerate() {
-        let per_pct: Vec<f64> = (0..pcts.len()).map(|pi| geomean(&per_cell[pi][si])).collect();
+        let per_pct: Vec<f64> = (0..pcts.len())
+            .map(|pi| geomean(&per_cell[pi][si]))
+            .collect();
         let overall = geomean(&per_pct);
         let mut row = vec![name.to_string()];
         row.extend(per_pct.iter().map(|&v| fmt(v)));
@@ -251,7 +259,11 @@ pub fn fig15_table4(bundle: &Bundle) -> Vec<ExpResult> {
     let mut t4 = ExpResult::new(
         "table4",
         "Prefetcher statistics at 15% buffer (paper Table IV)",
-        &["strategy", "prefetch_accuracy_geomean", "total_prefetches_mean"],
+        &[
+            "strategy",
+            "prefetch_accuracy_geomean",
+            "total_prefetches_mean",
+        ],
     );
     for (si, name) in names.iter().enumerate() {
         if t4_acc[si].is_empty() {

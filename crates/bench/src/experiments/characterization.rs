@@ -1,7 +1,9 @@
 //! Workload characterization: Table I and Fig. 3.
 
 use recmg_cache::belady;
-use recmg_dlrm::{DlrmConfig, DlrmModel, EmbeddingStore, InferenceEngine, PolicyBufferManager, TimingConfig};
+use recmg_dlrm::{
+    DlrmConfig, DlrmModel, EmbeddingStore, InferenceEngine, PolicyBufferManager, TimingConfig,
+};
 use recmg_trace::{lru_hit_rates, overhead_presets, ReuseHistogram, TraceStats};
 
 use crate::{fmt, Bundle, ExpResult};
@@ -37,13 +39,14 @@ pub fn table1(bundle: &Bundle) -> ExpResult {
         cfg.num_accesses = cfg.num_accesses.max(5_000);
         let trace = cfg.generate();
         let stats = TraceStats::compute(&trace);
-        let capacity = ((stats.unique as f64) * preset.caching_ratio).round().max(1.0) as usize;
+        let capacity = ((stats.unique as f64) * preset.caching_ratio)
+            .round()
+            .max(1.0) as usize;
         let mut mgr = PolicyBufferManager::new(recmg_cache::SetAssocLru::new(capacity, 32));
         let report = engine.run(&trace, preset.batch_queries, &mut mgr);
         // Baseline: everything resident (misses only on first touch).
-        let mut full = PolicyBufferManager::new(recmg_cache::FullyAssocLru::new(
-            stats.unique as usize,
-        ));
+        let mut full =
+            PolicyBufferManager::new(recmg_cache::FullyAssocLru::new(stats.unique as usize));
         let base = engine.run(&trace, preset.batch_queries, &mut full);
         let overhead = ((report.total_ms - base.total_ms) / report.total_ms).max(0.0);
         r.push_row(vec![

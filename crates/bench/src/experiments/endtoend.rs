@@ -154,7 +154,8 @@ pub fn fig18(bundle: &Bundle) -> ExpResult {
             // Per-batch access count differs from the sweep's; normalize.
             let per_batch = rep.access.total() as f64 / rep.batches as f64;
             let scale = per_batch / accesses_per_batch as f64;
-            let pred = (model.intercept_ms - model.slope_ms * rep.access.hit_rate()
+            let pred = (model.intercept_ms
+                - model.slope_ms * rep.access.hit_rate()
                 - eng.timing().batch_breakdown(0, 0).total_ms())
                 * scale
                 + eng.timing().batch_breakdown(0, 0).total_ms();
@@ -179,7 +180,13 @@ pub fn fig19(bundle: &Bundle) -> ExpResult {
     let mut r = ExpResult::new(
         "fig19",
         "Estimated DLRM inference latency by strategy, ms (paper Fig. 19)",
-        &["strategy", "dataset0", "dataset1", "dataset2", "geomean_speedup_vs_LRU"],
+        &[
+            "strategy",
+            "dataset0",
+            "dataset1",
+            "dataset2",
+            "geomean_speedup_vs_LRU",
+        ],
     );
     // Reuse the Fig. 15 strategy sweep at 15%.
     let mut lru_times = Vec::new();
@@ -198,11 +205,7 @@ pub fn fig19(bundle: &Bundle) -> ExpResult {
         }
     }
     for (name, times) in &rows {
-        let speedups: Vec<f64> = times
-            .iter()
-            .zip(&lru_times)
-            .map(|(&t, &l)| l / t)
-            .collect();
+        let speedups: Vec<f64> = times.iter().zip(&lru_times).map(|(&t, &l)| l / t).collect();
         r.push_row(vec![
             name.clone(),
             fmt(times[0]),

@@ -19,7 +19,11 @@ pub fn fig07(bundle: &Bundle) -> ExpResult {
     let cm = recmg_core::CachingModel::new(&cfg).compile();
     let pm = recmg_core::PrefetchModel::new(&cfg).compile();
     let threads = [1usize, 2, 4, 8, 16, 32, 48, 64];
-    let requests = if bundle.env().scale <= 0.03 { 600 } else { 3_000 };
+    let requests = if bundle.env().scale <= 0.03 {
+        600
+    } else {
+        3_000
+    };
     let pts = recmg_core::serving::throughput_sweep(&cm, &pm, cfg.input_len, &threads, requests);
     let mut r = ExpResult::new(
         "fig07",
@@ -87,10 +91,7 @@ pub fn fig08(bundle: &Bundle) -> ExpResult {
     r
 }
 
-fn quality_rows(
-    bundle: &Bundle,
-    ds: usize,
-) -> (Vec<(String, f64, f64)>, PrefetchEval) {
+fn quality_rows(bundle: &Bundle, ds: usize) -> (Vec<(String, f64, f64)>, PrefetchEval) {
     let train = {
         let trace = bundle.trace(ds);
         trace.accesses()[..trace.len() / 2].to_vec()
@@ -121,10 +122,9 @@ fn quality_rows(
     // RecMG: evaluate the trained prefetch model on held-out examples.
     let trained = bundle.trained(ds, 20.0);
     let td = recmg_core::build_training_data(&eval, &cfg, bundle.capacity(ds, 20.0));
-    let pe = trained.prefetch.evaluate(
-        &td.prefetch[..td.prefetch.len().min(400)],
-        &trained.codec,
-    );
+    let pe = trained
+        .prefetch
+        .evaluate(&td.prefetch[..td.prefetch.len().min(400)], &trained.codec);
     rows.push(("RecMG".to_string(), pe.accuracy, pe.coverage));
     (rows, pe)
 }

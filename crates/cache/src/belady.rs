@@ -80,10 +80,7 @@ pub fn belady_hit_rates(accesses: &[VectorKey], capacities: &[usize]) -> Vec<f64
 /// Smallest capacity (by doubling + binary search) at which Belady reaches
 /// `target_hit_rate`. Returns `None` if even caching every unique vector
 /// falls short (compulsory misses dominate).
-pub fn belady_capacity_for_hit_rate(
-    accesses: &[VectorKey],
-    target_hit_rate: f64,
-) -> Option<usize> {
+pub fn belady_capacity_for_hit_rate(accesses: &[VectorKey], target_hit_rate: f64) -> Option<usize> {
     let unique = accesses
         .iter()
         .collect::<std::collections::HashSet<_>>()

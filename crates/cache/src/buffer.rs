@@ -182,10 +182,7 @@ impl GpuBuffer {
             None => false,
             Some(old) => {
                 self.unlink(key, old);
-                self.entries
-                    .get_mut(&key)
-                    .expect("entry present")
-                    .stamp = stamp;
+                self.entries.get_mut(&key).expect("entry present").stamp = stamp;
                 self.by_stamp.entry(stamp).or_default().push_back(key);
                 true
             }
@@ -203,13 +200,7 @@ impl GpuBuffer {
         assert!(!self.is_full(), "insert into full buffer; call populate()");
         assert!(!self.contains(key), "key already resident");
         let stamp = self.decay + priority;
-        self.entries.insert(
-            key,
-            Entry {
-                stamp,
-                prefetched,
-            },
-        );
+        self.entries.insert(key, Entry { stamp, prefetched });
         self.by_stamp.entry(stamp).or_default().push_back(key);
     }
 

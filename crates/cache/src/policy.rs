@@ -89,6 +89,13 @@ impl HitStats {
             self.hits as f64 / self.total() as f64
         }
     }
+
+    /// Merges another run's counts (lossless: per-shard simulations over a
+    /// partitioned key space sum to the unsharded totals).
+    pub fn merge(&mut self, other: &HitStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
 }
 
 /// Replays `accesses` through `policy`, returning hit statistics.
@@ -140,5 +147,27 @@ mod tests {
         let s = simulate(&mut lru, &acc);
         assert_eq!(s.total(), 5);
         assert_eq!(s.hits, 2); // second and third accesses of key 1
+    }
+
+    #[test]
+    fn per_shard_stats_merge_losslessly() {
+        // Partition a stream by key parity, simulate each shard with its
+        // own (large-enough) cache, and merge: totals must equal the
+        // unsharded run because every access lands in exactly one shard.
+        let acc: Vec<VectorKey> = (0..200).map(|i| key(i % 17)).collect();
+        let parts: [Vec<VectorKey>; 2] = [
+            acc.iter().copied().filter(|k| k.row().0 % 2 == 0).collect(),
+            acc.iter().copied().filter(|k| k.row().0 % 2 == 1).collect(),
+        ];
+        let mut merged = HitStats::default();
+        for part in &parts {
+            let mut lru = FullyAssocLru::new(32);
+            merged.merge(&simulate(&mut lru, part));
+        }
+        let mut whole = FullyAssocLru::new(32);
+        let unsharded = simulate(&mut whole, &acc);
+        assert_eq!(merged.total(), unsharded.total());
+        assert_eq!(merged.hits, unsharded.hits);
+        assert_eq!(merged.hit_rate(), unsharded.hit_rate());
     }
 }

@@ -108,7 +108,10 @@ impl CachingModel {
     pub fn set_config(&mut self, cfg: RecMgConfig) {
         cfg.validate();
         assert_eq!(cfg.vocab, self.cfg.vocab, "vocab is architectural");
-        assert_eq!(cfg.embed_dim, self.cfg.embed_dim, "embed_dim is architectural");
+        assert_eq!(
+            cfg.embed_dim, self.cfg.embed_dim,
+            "embed_dim is architectural"
+        );
         assert_eq!(
             cfg.caching_hidden, self.cfg.caching_hidden,
             "hidden size is architectural"
@@ -218,14 +221,15 @@ impl CachingModel {
             let mut in_batch = 0usize;
             for &ci in &order {
                 let c = &chunks[ci];
-                let target: Vec<f32> =
-                    c.labels.iter().map(|&l| if l { 1.0 } else { 0.0 }).collect();
+                let target: Vec<f32> = c
+                    .labels
+                    .iter()
+                    .map(|&l| if l { 1.0 } else { 0.0 })
+                    .collect();
                 let mut tape = Tape::new(&self.store);
                 let logits = self.forward(&mut tape, &c.keys);
-                let loss = tape.bce_with_logits(
-                    logits,
-                    Tensor::from_vec(target, &[c.keys.len(), 1]),
-                );
+                let loss =
+                    tape.bce_with_logits(logits, Tensor::from_vec(target, &[c.keys.len(), 1]));
                 sum += tape.value(loss).data()[0];
                 tape.backward(loss, &mut self.store);
                 in_batch += 1;
@@ -357,8 +361,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         (0..n)
             .map(|_| {
-                let keys: Vec<VectorKey> =
-                    (0..len).map(|_| key(rng.gen_range(0..40))).collect();
+                let keys: Vec<VectorKey> = (0..len).map(|_| key(rng.gen_range(0..40))).collect();
                 let labels = keys.iter().map(|k| k.row().0 % 2 == 0).collect();
                 Chunk { keys, labels }
             })

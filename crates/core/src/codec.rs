@@ -64,18 +64,17 @@ impl FrequencyRankCodec {
     /// the training trace touched, ordered by popularity).
     pub fn from_stats(stats: &TraceStats) -> Self {
         let by_rank: Vec<VectorKey> = stats.by_popularity().iter().map(|&(k, _)| k).collect();
-        let rank = by_rank
-            .iter()
-            .enumerate()
-            .map(|(i, &k)| (k, i))
-            .collect();
+        let rank = by_rank.iter().enumerate().map(|(i, &k)| (k, i)).collect();
         FrequencyRankCodec { by_rank, rank }
     }
 
     /// Builds directly from an access slice.
     pub fn from_accesses(accesses: &[VectorKey]) -> Self {
-        let trace =
-            recmg_trace::Trace::from_parts(accesses.to_vec(), vec![accesses.len()], u16::MAX as u32);
+        let trace = recmg_trace::Trace::from_parts(
+            accesses.to_vec(),
+            vec![accesses.len()],
+            u16::MAX as u32,
+        );
         Self::from_stats(&TraceStats::compute(&trace))
     }
 }

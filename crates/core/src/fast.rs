@@ -224,7 +224,11 @@ mod tests {
 
     fn inputs(e: usize, t: usize) -> Vec<Vec<f32>> {
         (0..t)
-            .map(|i| (0..e).map(|j| ((i * e + j) as f32 * 0.13).sin() * 0.5).collect())
+            .map(|i| {
+                (0..e)
+                    .map(|j| ((i * e + j) as f32 * 0.13).sin() * 0.5)
+                    .collect()
+            })
             .collect()
     }
 
@@ -265,8 +269,8 @@ mod tests {
         let mut out = vec![0.0; 3];
         fast_linear(&w, &b, &x, &mut out);
         let exact = Tensor::from_vec(x, &[1, 5]).matmul(&w);
-        for j in 0..3 {
-            assert!((out[j] - (exact.at(0, j) + b.data()[j])).abs() < 1e-6);
+        for (j, &o) in out.iter().enumerate() {
+            assert!((o - (exact.at(0, j) + b.data()[j])).abs() < 1e-6);
         }
     }
 }

@@ -69,8 +69,9 @@ pub fn build_training_data(
         accesses.len() >= cfg.input_len,
         "trace shorter than one chunk"
     );
-    let label_capacity =
-        ((buffer_capacity as f64) * cfg.optgen_buffer_fraction).round().max(1.0) as usize;
+    let label_capacity = ((buffer_capacity as f64) * cfg.optgen_buffer_fraction)
+        .round()
+        .max(1.0) as usize;
     let og = optgen(accesses, label_capacity);
 
     // Caching chunks.

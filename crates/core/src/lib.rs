@@ -20,6 +20,11 @@
 //! 3. **Serving** ([`serving`], [`FastCachingModel`],
 //!    [`FastPrefetchModel`]): compiled, tape-free model snapshots run on
 //!    CPU threads with near-linear scaling (Fig. 7).
+//! 4. **Scale-out** ([`ShardedRecMgSystem`], [`engine`]): the buffer is
+//!    partitioned into hash-routed shards served by concurrent workers,
+//!    with model guidance on a non-blocking background plane implementing
+//!    the paper's §VI-C skip-ahead rule (one shard reproduces
+//!    [`RecMgSystem`] exactly).
 //!
 //! # Examples
 //!
@@ -46,18 +51,22 @@ mod buffer_mgmt;
 mod caching_model;
 mod codec;
 mod config;
+pub mod engine;
 mod fast;
 pub mod labeling;
 mod prefetch_model;
 pub mod serving;
+mod sharding;
 mod system;
 
 pub use buffer_mgmt::RecMgBuffer;
 pub use caching_model::{CachingModel, FastCachingModel, TrainingReport};
 pub use codec::{FrequencyRankCodec, GlobalIdCodec, IndexCodec};
 pub use config::RecMgConfig;
+pub use engine::{EngineReport, GuidanceMode, ServeOptions};
 pub use labeling::{build_training_data, Chunk, PrefetchExample, TrainingData};
 pub use prefetch_model::{
     FastPrefetchModel, PrefetchEval, PrefetchLoss, PrefetchModel, PrefetchTrainingReport,
 };
+pub use sharding::{ShardRouter, ShardedRecMgSystem};
 pub use system::{train_recmg, CmPolicy, PmPrefetcher, RecMgSystem, TrainOptions, TrainedRecMg};

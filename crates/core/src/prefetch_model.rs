@@ -504,7 +504,10 @@ mod tests {
         // comparison (L2 stalling on realistic traces) is regenerated by
         // the exp_fig11 harness — here we pin down that the Chamfer loss
         // optimizes robustly.
-        assert!(chamfer_drop > 1.2, "chamfer did not train: drop {chamfer_drop}");
+        assert!(
+            chamfer_drop > 1.2,
+            "chamfer did not train: drop {chamfer_drop}"
+        );
         assert!(l2_drop.is_finite());
     }
 

@@ -27,9 +27,75 @@ pub struct ThroughputPoint {
     pub requests: usize,
 }
 
+/// Shape of the synthetic request stream used by the throughput
+/// measurements (previously hard-coded to 13 tables × 997 rows).
+///
+/// `skew` concentrates rows toward low row-ids: `0.0` keeps the uniform
+/// stride pattern, larger values map the row space through `x^(1+skew)`,
+/// approximating the paper's power-law access popularity so sweeps can vary
+/// both table count and key skew.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// Number of embedding tables keys are drawn from.
+    pub num_tables: u32,
+    /// Rows per table.
+    pub rows_per_table: u64,
+    /// Row-popularity skew exponent (`>= 0`).
+    pub skew: f64,
+}
+
+impl Default for WorkloadSpec {
+    /// The historical workload: 13 tables, 997 rows, no skew.
+    fn default() -> Self {
+        WorkloadSpec {
+            num_tables: 13,
+            rows_per_table: 997,
+            skew: 0.0,
+        }
+    }
+}
+
+impl WorkloadSpec {
+    /// Validates the spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension is zero or `skew` is negative/non-finite.
+    pub fn validate(&self) {
+        assert!(self.num_tables > 0, "need at least one table");
+        assert!(self.rows_per_table > 0, "need at least one row");
+        assert!(
+            self.skew >= 0.0 && self.skew.is_finite(),
+            "skew must be non-negative and finite"
+        );
+    }
+
+    /// Deterministic key for position `i` of request `r`.
+    pub fn key(&self, r: usize, i: usize) -> VectorKey {
+        let table = TableId((r % self.num_tables as usize) as u32);
+        let raw = ((r as u64) * 31 + (i as u64) * 7) % self.rows_per_table;
+        let row = if self.skew == 0.0 {
+            raw
+        } else {
+            // Power-map the unit interval: mass concentrates at low rows.
+            let u = raw as f64 / self.rows_per_table as f64;
+            let mapped = u.powf(1.0 + self.skew);
+            ((mapped * self.rows_per_table as f64) as u64).min(self.rows_per_table - 1)
+        };
+        VectorKey::new(table, RowId(row))
+    }
+
+    /// Pre-generates `requests` request inputs of `input_len` keys each.
+    pub fn requests(&self, requests: usize, input_len: usize) -> Vec<Vec<VectorKey>> {
+        (0..requests)
+            .map(|r| (0..input_len).map(|i| self.key(r, i)).collect())
+            .collect()
+    }
+}
+
 /// Measures joint caching+prefetch model serving throughput with
 /// `threads` workers, each serving whole requests (chunks) from a shared
-/// queue.
+/// queue, over the default [`WorkloadSpec`].
 ///
 /// # Panics
 ///
@@ -41,22 +107,36 @@ pub fn measure_throughput(
     threads: usize,
     requests: usize,
 ) -> ThroughputPoint {
+    measure_throughput_with(
+        caching,
+        prefetch,
+        input_len,
+        threads,
+        requests,
+        &WorkloadSpec::default(),
+    )
+}
+
+/// [`measure_throughput`] over an explicit [`WorkloadSpec`].
+///
+/// # Panics
+///
+/// Panics if `threads` or `requests` is zero, `input_len` is zero, or the
+/// spec is invalid.
+pub fn measure_throughput_with(
+    caching: &FastCachingModel,
+    prefetch: &FastPrefetchModel,
+    input_len: usize,
+    threads: usize,
+    requests: usize,
+    workload: &WorkloadSpec,
+) -> ThroughputPoint {
     assert!(threads > 0, "need at least one thread");
     assert!(requests > 0, "need at least one request");
     assert!(input_len > 0, "input_len must be positive");
+    workload.validate();
     // Pre-generate request inputs (excluded from timing).
-    let inputs: Vec<Vec<VectorKey>> = (0..requests)
-        .map(|r| {
-            (0..input_len)
-                .map(|i| {
-                    VectorKey::new(
-                        TableId((r % 13) as u32),
-                        RowId(((r * 31 + i * 7) % 997) as u64),
-                    )
-                })
-                .collect()
-        })
-        .collect();
+    let inputs = workload.requests(requests, input_len);
     let next = AtomicUsize::new(0);
     let start = Instant::now();
     crossbeam::thread::scope(|scope| {
@@ -150,5 +230,67 @@ mod tests {
     fn zero_threads_panics() {
         let (cm, pm) = compiled();
         let _ = measure_throughput(&cm, &pm, 8, 0, 1);
+    }
+
+    #[test]
+    fn workload_spec_respects_dimensions() {
+        let spec = WorkloadSpec {
+            num_tables: 3,
+            rows_per_table: 50,
+            skew: 0.0,
+        };
+        for r in 0..40 {
+            for i in 0..8 {
+                let k = spec.key(r, i);
+                assert!(k.table().0 < 3);
+                assert!(k.row().0 < 50);
+            }
+        }
+    }
+
+    #[test]
+    fn workload_skew_concentrates_rows() {
+        let flat = WorkloadSpec {
+            num_tables: 2,
+            rows_per_table: 1000,
+            skew: 0.0,
+        };
+        let skewed = WorkloadSpec { skew: 2.0, ..flat };
+        let mean = |s: &WorkloadSpec| {
+            let ks = s.requests(200, 10);
+            let (sum, n) = ks
+                .iter()
+                .flatten()
+                .fold((0u64, 0u64), |(s, n), k| (s + k.row().0, n + 1));
+            sum as f64 / n as f64
+        };
+        assert!(
+            mean(&skewed) < mean(&flat),
+            "skew should lower the mean row id"
+        );
+    }
+
+    #[test]
+    fn custom_workload_throughput_runs() {
+        let (cm, pm) = compiled();
+        let spec = WorkloadSpec {
+            num_tables: 4,
+            rows_per_table: 64,
+            skew: 1.0,
+        };
+        let p = measure_throughput_with(&cm, &pm, 8, 1, 30, &spec);
+        assert!(p.indices_per_sec > 0.0);
+        assert_eq!(p.requests, 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one table")]
+    fn zero_tables_panics() {
+        let spec = WorkloadSpec {
+            num_tables: 0,
+            rows_per_table: 1,
+            skew: 0.0,
+        };
+        spec.validate();
     }
 }

@@ -1,0 +1,541 @@
+//! Sharded model-guided buffer management.
+//!
+//! The paper's deployment serves DLRM batches against one logical GPU
+//! buffer. To scale the online path across CPU workers (the ROADMAP's
+//! production target, and the direction RecShard / SDM take for the same
+//! bottleneck), the buffer is partitioned into N independent *shards*, each
+//! a full [`RecMgBuffer`] with its own pending-chunk state, keyed by a hash
+//! of [`VectorKey`]. Because shards are disjoint (the router is a
+//! partition), per-shard hit/miss accounting merges losslessly, and with a
+//! single shard the system is byte-for-byte the sequential [`RecMgSystem`]
+//! — the reference oracle the integration tests pin it against.
+//!
+//! Concurrency lives one layer up in [`crate::engine`]: this module's
+//! [`ShardedRecMgSystem::process_batch`] is deterministic and synchronous
+//! (inline guidance at every chunk boundary, exactly like
+//! [`RecMgSystem`]), which is what makes the parity guarantee testable.
+//!
+//! [`RecMgSystem`]: crate::RecMgSystem
+
+use std::sync::Arc;
+
+use recmg_cache::{BufferAccess, GpuBuffer};
+use recmg_dlrm::{BatchAccessStats, BufferManager};
+use recmg_trace::VectorKey;
+
+use crate::buffer_mgmt::RecMgBuffer;
+use crate::caching_model::{CachingModel, FastCachingModel};
+use crate::codec::FrequencyRankCodec;
+use crate::config::RecMgConfig;
+use crate::prefetch_model::{FastPrefetchModel, PrefetchModel};
+use crate::system::{RecMgSystem, TrainedRecMg};
+
+/// Maps embedding-vector keys onto shards.
+///
+/// The mapping is a pure function of the key (multiplicative hashing over
+/// the packed `u64`), so every key has exactly one home shard and routing
+/// needs no shared state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRouter {
+    num_shards: usize,
+}
+
+impl ShardRouter {
+    /// Creates a router over `num_shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards` is zero.
+    pub fn new(num_shards: usize) -> Self {
+        assert!(num_shards > 0, "need at least one shard");
+        ShardRouter { num_shards }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// The home shard of `key`.
+    pub fn shard_of(&self, key: VectorKey) -> usize {
+        if self.num_shards == 1 {
+            return 0;
+        }
+        // Fibonacci-style multiplicative hash with an extra fold so both
+        // table and row bits spread across shards.
+        let h = key.as_u64().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((h ^ (h >> 32)) % self.num_shards as u64) as usize
+    }
+
+    /// Splits a batch into per-shard key sequences, preserving the relative
+    /// order of keys within each shard.
+    pub fn split(&self, batch: &[VectorKey]) -> Vec<Vec<VectorKey>> {
+        let mut parts: Vec<Vec<VectorKey>> = vec![Vec::new(); self.num_shards];
+        if self.num_shards == 1 {
+            parts[0].extend_from_slice(batch);
+            return parts;
+        }
+        for &key in batch {
+            parts[self.shard_of(key)].push(key);
+        }
+        parts
+    }
+}
+
+/// Immutable guidance context shared by every shard (and, in background
+/// mode, by the guidance plane's threads): the compiled models, the codec,
+/// and the serving knobs.
+#[derive(Debug, Clone)]
+pub(crate) struct GuidanceCtx {
+    pub(crate) cfg: RecMgConfig,
+    pub(crate) caching: Arc<FastCachingModel>,
+    pub(crate) prefetch: Option<Arc<FastPrefetchModel>>,
+    pub(crate) codec: Arc<FrequencyRankCodec>,
+    pub(crate) guidance_stride: usize,
+    pub(crate) prefetch_gate: f64,
+}
+
+/// One shard: an independent RecMG buffer plus the per-stream state the
+/// sequential system keeps ([`RecMgSystem`]'s pending chunk, chunk counter,
+/// and prefetch-gate counters), replicated per shard so shards never share
+/// mutable state.
+#[derive(Debug)]
+pub(crate) struct Shard {
+    pub(crate) id: usize,
+    pub(crate) buffer: RecMgBuffer,
+    pub(crate) pending: Vec<VectorKey>,
+    pub(crate) chunk_counter: usize,
+    pub(crate) prefetches_issued: u64,
+    pub(crate) prefetch_hits_seen: u64,
+    /// Chunks that received model guidance.
+    pub(crate) guided_chunks: u64,
+    /// Chunks skipped by the stride (inline) or the lagging guidance plane
+    /// (background) — they ran with stale guidance, the paper's §VI-C case.
+    pub(crate) unguided_chunks: u64,
+}
+
+impl Shard {
+    pub(crate) fn new(id: usize, capacity: usize, eviction_speed: u64) -> Self {
+        Shard {
+            id,
+            buffer: RecMgBuffer::new(capacity, eviction_speed),
+            pending: Vec::new(),
+            chunk_counter: 0,
+            prefetches_issued: 0,
+            prefetch_hits_seen: 0,
+            guided_chunks: 0,
+            unguided_chunks: 0,
+        }
+    }
+
+    /// Demand access bookkeeping shared by the inline and background paths.
+    pub(crate) fn record_access(&mut self, key: VectorKey, stats: &mut BatchAccessStats) {
+        match self.buffer.access(key) {
+            BufferAccess::CacheHit => stats.cache_hits += 1,
+            BufferAccess::PrefetchHit => {
+                stats.prefetch_hits += 1;
+                self.prefetch_hits_seen += 1;
+            }
+            BufferAccess::Miss => stats.misses += 1,
+        }
+    }
+
+    /// Mirror of [`RecMgSystem`]'s `prefetch_armed`, evaluated against this
+    /// shard's own counters.
+    pub(crate) fn prefetch_armed(&self, ctx: &GuidanceCtx) -> bool {
+        if self.prefetches_issued < RecMgSystem::PREFETCH_WARMUP {
+            return true;
+        }
+        let ratio = self.prefetch_hits_seen as f64 / self.prefetches_issued as f64;
+        ratio >= ctx.prefetch_gate
+            || self
+                .chunk_counter
+                .is_multiple_of(RecMgSystem::PREFETCH_PROBE_PERIOD)
+    }
+
+    /// Computes guidance for `chunk` (caching bits + prefetch predictions,
+    /// with predictions filtered to this shard's key space so the partition
+    /// invariant holds) — the CPU-side model work.
+    pub(crate) fn compute_guidance(
+        chunk: &[VectorKey],
+        armed: bool,
+        shard_id: usize,
+        ctx: &GuidanceCtx,
+        router: &ShardRouter,
+    ) -> (Vec<bool>, Vec<VectorKey>) {
+        let bits = ctx.caching.predict(chunk);
+        let prefetched: Vec<VectorKey> = match &ctx.prefetch {
+            Some(pm) if armed => pm
+                .predict(chunk, ctx.codec.as_ref())
+                .into_iter()
+                .filter(|&k| router.shard_of(k) == shard_id)
+                .collect(),
+            _ => Vec::new(),
+        };
+        (bits, prefetched)
+    }
+
+    /// Applies computed guidance to the buffer — the GPU-side update.
+    pub(crate) fn apply_guidance(
+        &mut self,
+        chunk: &[VectorKey],
+        bits: &[bool],
+        prefetched: &[VectorKey],
+    ) {
+        self.prefetches_issued += prefetched.len() as u64;
+        self.buffer.load_embeddings(chunk, bits, prefetched);
+        self.guided_chunks += 1;
+    }
+
+    /// Inline guidance at every completed chunk — the exact control flow of
+    /// [`RecMgSystem::process_batch`], applied to this shard's sub-stream.
+    pub(crate) fn run_guidance_inline(&mut self, ctx: &GuidanceCtx, router: &ShardRouter) {
+        while self.pending.len() >= ctx.cfg.input_len {
+            let chunk: Vec<VectorKey> = self.pending.drain(..ctx.cfg.input_len).collect();
+            self.chunk_counter += 1;
+            if !(self.chunk_counter - 1).is_multiple_of(ctx.guidance_stride) {
+                self.unguided_chunks += 1;
+                continue;
+            }
+            let armed = self.prefetch_armed(ctx);
+            let (bits, prefetched) = Self::compute_guidance(&chunk, armed, self.id, ctx, router);
+            self.apply_guidance(&chunk, &bits, &prefetched);
+        }
+    }
+
+    /// Serves a sub-stream of keys with inline (synchronous) guidance.
+    pub(crate) fn process_keys(
+        &mut self,
+        keys: &[VectorKey],
+        ctx: &GuidanceCtx,
+        router: &ShardRouter,
+    ) -> BatchAccessStats {
+        let mut stats = BatchAccessStats::default();
+        for &key in keys {
+            self.record_access(key, &mut stats);
+            self.pending.push(key);
+            if self.pending.len() >= ctx.cfg.input_len {
+                self.run_guidance_inline(ctx, router);
+            }
+        }
+        stats
+    }
+}
+
+/// The sharded online RecMG system: N disjoint model-guided buffers.
+///
+/// With `num_shards == 1` this is behaviourally identical to
+/// [`RecMgSystem`] (same hit/miss/prefetch counts on any access stream);
+/// with more shards, the total buffer capacity is divided across shards and
+/// each shard serves only its home keys. [`crate::engine`] drives the
+/// shards from concurrent worker threads.
+#[derive(Debug)]
+pub struct ShardedRecMgSystem {
+    pub(crate) ctx: GuidanceCtx,
+    pub(crate) router: ShardRouter,
+    pub(crate) shards: Vec<Shard>,
+}
+
+impl ShardedRecMgSystem {
+    /// Assembles the sharded system from trained parts; total buffer
+    /// `capacity` is split evenly across `num_shards`. Pass
+    /// `prefetch: None` for the caching-model-only configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `num_shards` is zero.
+    pub fn new(
+        caching: &CachingModel,
+        prefetch: Option<&PrefetchModel>,
+        codec: FrequencyRankCodec,
+        capacity: usize,
+        num_shards: usize,
+    ) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        let router = ShardRouter::new(num_shards);
+        let cfg = caching.config().clone();
+        let per_shard = capacity.div_ceil(num_shards).max(1);
+        let shards = (0..num_shards)
+            .map(|id| Shard::new(id, per_shard, cfg.eviction_speed))
+            .collect();
+        ShardedRecMgSystem {
+            ctx: GuidanceCtx {
+                caching: Arc::new(caching.compile()),
+                prefetch: prefetch.map(|p| Arc::new(p.compile())),
+                codec: Arc::new(codec),
+                cfg,
+                guidance_stride: 1,
+                prefetch_gate: 0.10,
+            },
+            router,
+            shards,
+        }
+    }
+
+    /// Assembles the full sharded system from training artifacts.
+    pub fn from_trained(trained: &TrainedRecMg, capacity: usize, num_shards: usize) -> Self {
+        Self::new(
+            &trained.caching,
+            Some(&trained.prefetch),
+            trained.codec.clone(),
+            capacity,
+            num_shards,
+        )
+    }
+
+    /// The shard router.
+    pub fn router(&self) -> ShardRouter {
+        self.router
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.router.num_shards()
+    }
+
+    /// Whether the prefetch model is active.
+    pub fn has_prefetch(&self) -> bool {
+        self.ctx.prefetch.is_some()
+    }
+
+    /// Runs inline guidance only on every `stride`-th chunk per shard
+    /// (mirrors [`RecMgSystem::set_guidance_stride`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero.
+    pub fn set_guidance_stride(&mut self, stride: usize) {
+        assert!(stride > 0, "stride must be positive");
+        self.ctx.guidance_stride = stride;
+    }
+
+    /// Sets the prefetch usefulness gate (mirrors
+    /// [`RecMgSystem::set_prefetch_gate`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_accuracy` is not in `[0, 1]`.
+    pub fn set_prefetch_gate(&mut self, min_accuracy: f64) {
+        assert!(
+            (0.0..=1.0).contains(&min_accuracy),
+            "gate must be in [0, 1]"
+        );
+        self.ctx.prefetch_gate = min_accuracy;
+    }
+
+    /// Read access to shard `i`'s buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn shard_buffer(&self, i: usize) -> &GpuBuffer {
+        self.shards[i].buffer.buffer()
+    }
+
+    /// Total resident vectors across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.buffer.len()).sum()
+    }
+
+    /// Whether every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.buffer.is_empty())
+    }
+
+    /// Total capacity across shards (≥ the constructor capacity because of
+    /// even splitting).
+    pub fn capacity(&self) -> usize {
+        self.shards.iter().map(|s| s.buffer.capacity()).sum()
+    }
+
+    /// Prefetches issued across shards.
+    pub fn prefetches_issued(&self) -> u64 {
+        self.shards.iter().map(|s| s.prefetches_issued).sum()
+    }
+
+    /// Chunks that received model guidance, across shards.
+    pub fn guided_chunks(&self) -> u64 {
+        self.shards.iter().map(|s| s.guided_chunks).sum()
+    }
+
+    /// Chunks that ran on stale guidance (stride-skipped inline, or
+    /// skipped by a lagging guidance plane), across shards. Chunks whose
+    /// background guidance was still in flight when a run ended are counted
+    /// in neither bucket, so `guided + unguided <= total`.
+    pub fn unguided_chunks(&self) -> u64 {
+        self.shards.iter().map(|s| s.unguided_chunks).sum()
+    }
+
+    /// Chunks formed so far, across shards.
+    pub fn total_chunks(&self) -> u64 {
+        self.shards.iter().map(|s| s.chunk_counter as u64).sum()
+    }
+
+    /// Fraction of chunks that ran with fresh model guidance
+    /// ([`recmg_dlrm::PipelineReport`] semantics).
+    pub fn guided_fraction(&self) -> f64 {
+        let total = self.total_chunks();
+        if total == 0 {
+            0.0
+        } else {
+            self.guided_chunks() as f64 / total as f64
+        }
+    }
+
+    /// Processes one batch with shard-level parallelism (one scoped thread
+    /// per non-empty shard). Hit/miss totals are identical to
+    /// [`ShardedRecMgSystem::process_batch`]; only wall-clock differs.
+    pub fn process_batch_parallel(&mut self, batch: &[VectorKey]) -> BatchAccessStats {
+        if self.router.num_shards() == 1 {
+            return self.process_batch(batch);
+        }
+        let parts = self.router.split(batch);
+        let ctx = &self.ctx;
+        let router = self.router;
+        let mut stats = BatchAccessStats::default();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (shard, keys) in self.shards.iter_mut().zip(&parts) {
+                if keys.is_empty() {
+                    continue;
+                }
+                handles.push(scope.spawn(move || shard.process_keys(keys, ctx, &router)));
+            }
+            for h in handles {
+                stats.accumulate(h.join().expect("shard worker does not panic"));
+            }
+        });
+        stats
+    }
+}
+
+impl BufferManager for ShardedRecMgSystem {
+    fn name(&self) -> String {
+        let base = if self.has_prefetch() { "RecMG" } else { "CM" };
+        if self.num_shards() == 1 {
+            base.to_string()
+        } else {
+            format!("{base}x{}", self.num_shards())
+        }
+    }
+
+    fn process_batch(&mut self, batch: &[VectorKey]) -> BatchAccessStats {
+        // Deterministic sequential path: shards are disjoint, so serving
+        // them one after another produces the same counts as any
+        // interleaving that preserves per-shard order.
+        if self.router.num_shards() == 1 {
+            return self.shards[0].process_keys(batch, &self.ctx, &self.router);
+        }
+        let parts = self.router.split(batch);
+        let mut stats = BatchAccessStats::default();
+        for (shard, keys) in self.shards.iter_mut().zip(&parts) {
+            if !keys.is_empty() {
+                stats.accumulate(shard.process_keys(keys, &self.ctx, &self.router));
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recmg_trace::{RowId, SyntheticConfig, TableId};
+
+    fn key(t: u32, r: u64) -> VectorKey {
+        VectorKey::new(TableId(t), RowId(r))
+    }
+
+    fn untrained_system(num_shards: usize, capacity: usize) -> ShardedRecMgSystem {
+        let cfg = RecMgConfig::tiny();
+        let caching = CachingModel::new(&cfg);
+        let prefetch = PrefetchModel::new(&cfg);
+        let codec = FrequencyRankCodec::from_accesses(&[key(0, 1), key(0, 2), key(1, 3)]);
+        ShardedRecMgSystem::new(&caching, Some(&prefetch), codec, capacity, num_shards)
+    }
+
+    #[test]
+    fn router_is_a_partition() {
+        let router = ShardRouter::new(4);
+        for t in 0..8u32 {
+            for r in 0..64u64 {
+                let s = router.shard_of(key(t, r));
+                assert!(s < 4);
+                // Routing is a pure function.
+                assert_eq!(s, router.shard_of(key(t, r)));
+            }
+        }
+    }
+
+    #[test]
+    fn split_preserves_every_key_once() {
+        let router = ShardRouter::new(3);
+        let batch: Vec<VectorKey> = (0..100).map(|i| key(i % 5, i as u64)).collect();
+        let parts = router.split(&batch);
+        assert_eq!(parts.len(), 3);
+        let total: usize = parts.iter().map(Vec::len).sum();
+        assert_eq!(total, batch.len());
+        for (sid, part) in parts.iter().enumerate() {
+            for &k in part {
+                assert_eq!(router.shard_of(k), sid);
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_split_is_identity() {
+        let router = ShardRouter::new(1);
+        let batch: Vec<VectorKey> = (0..20).map(|i| key(0, i)).collect();
+        let parts = router.split(&batch);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0], batch);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _ = ShardRouter::new(0);
+    }
+
+    #[test]
+    fn sharded_totals_cover_the_trace() {
+        let trace = SyntheticConfig::tiny(33).generate();
+        let mut sys = untrained_system(4, 64);
+        let mut stats = BatchAccessStats::default();
+        for batch in trace.batches(10) {
+            stats.accumulate(sys.process_batch(batch));
+        }
+        assert_eq!(stats.total(), trace.len() as u64);
+        assert!(sys.len() <= sys.capacity());
+        assert!(sys.total_chunks() > 0);
+        assert!(sys.guided_fraction() > 0.0);
+        assert_eq!(sys.name(), "RecMGx4");
+    }
+
+    #[test]
+    fn parallel_batches_match_sequential() {
+        let trace = SyntheticConfig::tiny(34).generate();
+        let mut seq = untrained_system(4, 64);
+        let mut par = untrained_system(4, 64);
+        let mut a = BatchAccessStats::default();
+        let mut b = BatchAccessStats::default();
+        for batch in trace.batches(10) {
+            a.accumulate(seq.process_batch(batch));
+        }
+        for batch in trace.batches(10) {
+            b.accumulate(par.process_batch_parallel(batch));
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn capacity_splits_evenly() {
+        let sys = untrained_system(4, 10);
+        // ceil(10 / 4) = 3 per shard.
+        for i in 0..4 {
+            assert_eq!(sys.shard_buffer(i).capacity(), 3);
+        }
+        assert_eq!(sys.capacity(), 12);
+        assert!(sys.is_empty());
+    }
+}

@@ -20,12 +20,12 @@ use recmg_dlrm::{BatchAccessStats, BufferManager};
 use recmg_prefetch::Prefetcher;
 use recmg_trace::VectorKey;
 
+use crate::buffer_mgmt::RecMgBuffer;
 use crate::caching_model::{CachingModel, FastCachingModel};
 use crate::codec::{FrequencyRankCodec, IndexCodec};
 use crate::config::RecMgConfig;
 use crate::labeling::build_training_data;
 use crate::prefetch_model::{FastPrefetchModel, PrefetchLoss, PrefetchModel};
-use crate::buffer_mgmt::RecMgBuffer;
 
 /// Training knobs for [`train_recmg`].
 #[derive(Debug, Clone, Copy)]
@@ -227,8 +227,8 @@ impl RecMgSystem {
         self.prefetch_gate = min_accuracy;
     }
 
-    const PREFETCH_WARMUP: u64 = 500;
-    const PREFETCH_PROBE_PERIOD: usize = 16;
+    pub(crate) const PREFETCH_WARMUP: u64 = 500;
+    pub(crate) const PREFETCH_PROBE_PERIOD: usize = 16;
 
     fn prefetch_armed(&self) -> bool {
         if self.prefetches_issued < Self::PREFETCH_WARMUP {
@@ -236,7 +236,9 @@ impl RecMgSystem {
         }
         let ratio = self.prefetch_hits_seen as f64 / self.prefetches_issued as f64;
         ratio >= self.prefetch_gate
-            || self.chunk_counter.is_multiple_of(Self::PREFETCH_PROBE_PERIOD)
+            || self
+                .chunk_counter
+                .is_multiple_of(Self::PREFETCH_PROBE_PERIOD)
     }
 
     /// The managed buffer.
@@ -438,7 +440,11 @@ mod tests {
     #[test]
     fn end_to_end_training_and_serving() {
         let (trace, trained, capacity) = trained_setup();
-        assert!(trained.caching_accuracy > 0.5, "cm acc {}", trained.caching_accuracy);
+        assert!(
+            trained.caching_accuracy > 0.5,
+            "cm acc {}",
+            trained.caching_accuracy
+        );
         assert!(trained.opt_hit_rate > 0.0);
 
         let mut system = RecMgSystem::from_trained(&trained, capacity);
@@ -502,7 +508,9 @@ mod tests {
         // Unguided system degenerates to neutral-priority FIFO-ish
         // behaviour; guided should not be worse.
         assert!(d.hit_rate() >= s.hit_rate() - 0.05);
-        assert_eq!(s.prefetch_hits, 0);
+        // The very first chunk is always guided (stride skips start after
+        // it), so at most one chunk's worth of prefetches can ever hit.
+        assert!(s.prefetch_hits <= trained.caching.config().output_len as u64);
     }
 
     #[test]

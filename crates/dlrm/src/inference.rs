@@ -50,13 +50,31 @@ impl BatchAccessStats {
         self.prefetch_hits += other.prefetch_hits;
         self.misses += other.misses;
     }
+
+    /// By-reference form of [`BatchAccessStats::accumulate`], for folding
+    /// borrowed per-shard counters (see [`BatchAccessStats::merged`]). The
+    /// merge is lossless: each access is counted in exactly one operand.
+    pub fn merge(&mut self, other: &BatchAccessStats) {
+        self.accumulate(*other);
+    }
+
+    /// Merges an iterator of per-shard stats into one total.
+    pub fn merged<'a>(parts: impl IntoIterator<Item = &'a BatchAccessStats>) -> BatchAccessStats {
+        let mut total = BatchAccessStats::default();
+        for p in parts {
+            total.merge(p);
+        }
+        total
+    }
 }
 
 /// A GPU-buffer management strategy driving embedding residency.
 ///
-/// Implemented by the plain cache policies here, and by `RecMgSystem` in
-/// `recmg-core`.
-pub trait BufferManager {
+/// Implemented by the plain cache policies here, and by `RecMgSystem` /
+/// `ShardedRecMgSystem` in `recmg-core`. The `Send` supertrait lets
+/// managers move across serving threads (the trait stays object-safe:
+/// `&mut dyn BufferManager` is how the engine consumes it).
+pub trait BufferManager: Send {
     /// Strategy name for reports.
     fn name(&self) -> String;
 
@@ -82,7 +100,7 @@ impl<P: CachePolicy> PolicyBufferManager<P> {
     }
 }
 
-impl<P: CachePolicy> BufferManager for PolicyBufferManager<P> {
+impl<P: CachePolicy + Send> BufferManager for PolicyBufferManager<P> {
     fn name(&self) -> String {
         self.policy.name()
     }
@@ -258,7 +276,11 @@ impl InferenceEngine {
                 others_ms: sum.others_ms / nb,
             },
             total_ms,
-            mean_ctr: if ctr_n == 0 { 0.0 } else { ctr_sum / ctr_n as f64 },
+            mean_ctr: if ctr_n == 0 {
+                0.0
+            } else {
+                ctr_sum / ctr_n as f64
+            },
         }
     }
 }

@@ -116,7 +116,9 @@ mod tests {
     #[test]
     fn borderline_cpu_guides_some() {
         // Alternating CPU cost: cheap jobs fit, expensive ones are dropped.
-        let cpu: Vec<f64> = (0..10).map(|i| if i % 2 == 0 { 2.0 } else { 30.0 }).collect();
+        let cpu: Vec<f64> = (0..10)
+            .map(|i| if i % 2 == 0 { 2.0 } else { 30.0 })
+            .collect();
         let gpu = vec![10.0; 10];
         let r = simulate_pipeline(&cpu, &gpu);
         assert!(r.guided_batches > 0);

@@ -97,8 +97,7 @@ impl Prefetcher for Berti {
         st.observations += 1;
         if st.observations >= ROUND {
             let denom = st.observations as f64;
-            let mut ranked: Vec<(i64, u32)> =
-                st.scores.iter().map(|(&d, &s)| (d, s)).collect();
+            let mut ranked: Vec<(i64, u32)> = st.scores.iter().map(|(&d, &s)| (d, s)).collect();
             ranked.sort_by_key(|&(_, s)| std::cmp::Reverse(s));
             st.active = ranked
                 .into_iter()

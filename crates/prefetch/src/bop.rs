@@ -201,9 +201,6 @@ mod tests {
         }
         assert_eq!(b.best_offset(), Some(1));
         let out = b.on_access(key(0, 500_000), false);
-        assert_eq!(
-            out,
-            vec![key(0, 500_001), key(0, 500_002), key(0, 500_003)]
-        );
+        assert_eq!(out, vec![key(0, 500_001), key(0, 500_002), key(0, 500_003)]);
     }
 }

@@ -90,9 +90,27 @@ impl TransFetch {
         let layers = (0..2)
             .map(|l| {
                 (
-                    Linear::new(&mut store, &mut rng, &format!("tf.{l}.wq"), cfg.d_model, cfg.d_model),
-                    Linear::new(&mut store, &mut rng, &format!("tf.{l}.wk"), cfg.d_model, cfg.d_model),
-                    Linear::new(&mut store, &mut rng, &format!("tf.{l}.wv"), cfg.d_model, cfg.d_model),
+                    Linear::new(
+                        &mut store,
+                        &mut rng,
+                        &format!("tf.{l}.wq"),
+                        cfg.d_model,
+                        cfg.d_model,
+                    ),
+                    Linear::new(
+                        &mut store,
+                        &mut rng,
+                        &format!("tf.{l}.wk"),
+                        cfg.d_model,
+                        cfg.d_model,
+                    ),
+                    Linear::new(
+                        &mut store,
+                        &mut rng,
+                        &format!("tf.{l}.wv"),
+                        cfg.d_model,
+                        cfg.d_model,
+                    ),
                 )
             })
             .collect();
@@ -155,7 +173,7 @@ impl TransFetch {
             let scaled = tape.scale(scores, 1.0 / (self.cfg.d_model as f32).sqrt());
             let attn = tape.softmax_rows(scaled);
             let ctx = tape.matmul(attn, v); // [T, d]
-            // Residual connection keeps the stack trainable.
+                                            // Residual connection keeps the stack trainable.
             x = tape.add(ctx, x);
         }
         // Mean-pool over positions.

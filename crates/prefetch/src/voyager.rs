@@ -129,10 +129,7 @@ impl Voyager {
             return Err(VoyagerBuildError::VocabTooLarge {
                 requested: cfg.row_vocab,
                 ceiling: cfg.max_row_vocab,
-                estimated_bytes: cfg
-                    .row_vocab
-                    .saturating_mul(cfg.hidden)
-                    .saturating_mul(4),
+                estimated_bytes: cfg.row_vocab.saturating_mul(cfg.hidden).saturating_mul(4),
             });
         }
         let mut store = ParamStore::new();
@@ -195,8 +192,7 @@ impl Voyager {
         let need = self.cfg.seq_len + 1;
         assert!(accesses.len() > need, "trace too short to train on");
         for &k in accesses {
-            self.bucket_rep
-                .insert((k.table().0, self.row_bucket(k)), k);
+            self.bucket_rep.insert((k.table().0, self.row_bucket(k)), k);
         }
         let params: Vec<_> = self
             .emb

@@ -54,7 +54,5 @@ pub mod quant;
 mod tape;
 mod tensor;
 
-pub use tape::{
-    chamfer_backward, chamfer_forward, stable_sigmoid, ParamId, ParamStore, Tape, Var,
-};
+pub use tape::{chamfer_backward, chamfer_forward, stable_sigmoid, ParamId, ParamStore, Tape, Var};
 pub use tensor::Tensor;

@@ -21,10 +21,7 @@ pub trait Module {
 
     /// Total learnable scalar count of this module.
     fn num_scalars(&self, store: &ParamStore) -> usize {
-        self.params()
-            .iter()
-            .map(|&id| store.value(id).len())
-            .sum()
+        self.params().iter().map(|&id| store.value(id).len()).sum()
     }
 }
 
@@ -214,14 +211,7 @@ impl LstmCell {
 
     /// One step: consumes `x` (`[1, input_dim]`) and previous `(h, c)`
     /// (`[1, hidden_dim]` each), returning the next `(h, c)`.
-    pub fn step(
-        &self,
-        tape: &mut Tape,
-        store: &ParamStore,
-        x: Var,
-        h: Var,
-        c: Var,
-    ) -> (Var, Var) {
+    pub fn step(&self, tape: &mut Tape, store: &ParamStore, x: Var, h: Var, c: Var) -> (Var, Var) {
         let hd = self.hidden_dim;
         let wx = tape.param_from(store, self.wx);
         let wh = tape.param_from(store, self.wh);
@@ -491,7 +481,11 @@ impl StackedSeq2Seq {
         let mut seq: Vec<Var> = inputs.to_vec();
         let last = self.stacks.len() - 1;
         for (i, stack) in self.stacks.iter().enumerate() {
-            let f = if i == last { feed } else { DecoderFeed::Aligned };
+            let f = if i == last {
+                feed
+            } else {
+                DecoderFeed::Aligned
+            };
             seq = stack.forward(tape, store, &seq, f);
         }
         seq
@@ -681,8 +675,7 @@ mod tests {
         let emb = Embedding::new(&mut store, &mut rng, "emb", 2048, 12);
         let stack = Seq2SeqStack::new(&mut store, &mut rng, "s", 12, 32);
         let head = Linear::new(&mut store, &mut rng, "head", 32, 1);
-        let total =
-            emb.num_scalars(&store) + stack.num_scalars(&store) + head.num_scalars(&store);
+        let total = emb.num_scalars(&store) + stack.num_scalars(&store) + head.num_scalars(&store);
         let paper = 37_055.0;
         let ratio = total as f32 / paper;
         assert!(

@@ -144,7 +144,11 @@ mod tests {
         let w = Tensor::rand_uniform(&mut rng, &[16, 16], -2.0, 2.0);
         let q = QuantizedMatrix::quantize(&w);
         let err = quantization_error(&w);
-        assert!(err <= q.scale() * 0.5 + 1e-6, "err {err}, scale {}", q.scale());
+        assert!(
+            err <= q.scale() * 0.5 + 1e-6,
+            "err {err}, scale {}",
+            q.scale()
+        );
     }
 
     #[test]

@@ -913,7 +913,10 @@ mod tests {
     fn softmax_rows_sums_to_one() {
         let store = ParamStore::new();
         let mut tape = Tape::new(&store);
-        let x = tape.constant(Tensor::from_vec(vec![1.0, 2.0, 3.0, 1.0, 1.0, 1.0], &[2, 3]));
+        let x = tape.constant(Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 1.0, 1.0, 1.0],
+            &[2, 3],
+        ));
         let y = tape.softmax_rows(x);
         let v = tape.value(y);
         let s0: f32 = v.data()[0..3].iter().sum();
@@ -1056,7 +1059,10 @@ mod tests {
         let mut store = ParamStore::new();
         let b = store.add_param("b", Tensor::from_slice(&[1.0, -1.0]));
         let mut tape = Tape::new(&store);
-        let x = tape.constant(Tensor::from_vec(vec![0.0, 0.0, 0.0, 0.0, 0.0, 0.0], &[3, 2]));
+        let x = tape.constant(Tensor::from_vec(
+            vec![0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            &[3, 2],
+        ));
         let bv = tape.param_from(&store, b);
         let y = tape.add_bias(x, bv);
         assert_eq!(tape.value(y).at(2, 1), -1.0);

@@ -203,7 +203,10 @@ impl Tensor {
     /// Panics if the tensor is not 2-D or the index is out of bounds.
     pub fn at(&self, r: usize, c: usize) -> f32 {
         assert_eq!(self.shape.len(), 2, "at() requires a 2-D tensor");
-        assert!(r < self.shape[0] && c < self.shape[1], "index out of bounds");
+        assert!(
+            r < self.shape[0] && c < self.shape[1],
+            "index out of bounds"
+        );
         self.data[r * self.shape[1] + c]
     }
 
@@ -214,7 +217,10 @@ impl Tensor {
     /// Panics if the tensor is not 2-D or the index is out of bounds.
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
         assert_eq!(self.shape.len(), 2, "set() requires a 2-D tensor");
-        assert!(r < self.shape[0] && c < self.shape[1], "index out of bounds");
+        assert!(
+            r < self.shape[0] && c < self.shape[1],
+            "index out of bounds"
+        );
         self.data[r * self.shape[1] + c] = v;
     }
 
@@ -556,7 +562,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let t = Tensor::rand_normal(&mut rng, &[10_000], 2.0, 0.5);
         let mean = t.mean();
-        let var = t.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / t.len() as f32;
+        let var = t
+            .data()
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / t.len() as f32;
         assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
         assert!((var - 0.25).abs() < 0.05, "var {var}");
     }

@@ -111,7 +111,11 @@ impl ReuseHistogram {
             match d {
                 ReuseDistance::Cold => h.cold += 1,
                 ReuseDistance::Finite(d) => {
-                    let b = if d < 2 { 0 } else { 63 - d.leading_zeros() as usize };
+                    let b = if d < 2 {
+                        0
+                    } else {
+                        63 - d.leading_zeros() as usize
+                    };
                     if h.buckets.len() <= b {
                         h.buckets.resize(b + 1, 0);
                     }

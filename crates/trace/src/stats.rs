@@ -81,7 +81,9 @@ impl TraceStats {
     /// vectors — the sizing convention of §VII ("GPU buffer size to 20% of
     /// the unique embedding vectors").
     pub fn buffer_capacity(&self, percent_of_unique: f64) -> usize {
-        ((self.unique as f64) * percent_of_unique / 100.0).round().max(1.0) as usize
+        ((self.unique as f64) * percent_of_unique / 100.0)
+            .round()
+            .max(1.0) as usize
     }
 
     /// The `n` most popular vector keys.

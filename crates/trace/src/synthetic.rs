@@ -177,7 +177,9 @@ impl SyntheticConfig {
         let bundles: Vec<Vec<VectorKey>> = (0..self.num_bundles)
             .map(|_| {
                 let len = rng.gen_range(self.bundle_len.0..=self.bundle_len.1);
-                (0..len).map(|_| self.draw_vector(&mut rng, &row_zipf)).collect()
+                (0..len)
+                    .map(|_| self.draw_vector(&mut rng, &row_zipf))
+                    .collect()
             })
             .collect();
         let successors: Vec<Vec<usize>> = (0..self.num_bundles)

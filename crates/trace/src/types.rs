@@ -59,11 +59,7 @@ impl VectorKey {
     /// Panics if the table id does not fit in 16 bits or the row id in 48.
     pub fn new(table: TableId, row: RowId) -> Self {
         assert!(table.0 < (1 << 16), "table id {} exceeds 16 bits", table.0);
-        assert!(
-            row.0 <= Self::ROW_MASK,
-            "row id {} exceeds 48 bits",
-            row.0
-        );
+        assert!(row.0 <= Self::ROW_MASK, "row id {} exceeds 48 bits", row.0);
         VectorKey(((table.0 as u64) << Self::ROW_BITS) | row.0)
     }
 

@@ -60,7 +60,9 @@ fn main() {
                 lc,
                 lc as f64 / opt_cap as f64
             ),
-            None => println!("\n80% hits need OPT capacity {opt_cap}; LRU never reaches 80% in range"),
+            None => {
+                println!("\n80% hits need OPT capacity {opt_cap}; LRU never reaches 80% in range")
+            }
         }
     }
 }

@@ -1,0 +1,91 @@
+//! Offline, API-compatible subset of the `crossbeam` crate.
+//!
+//! Only [`thread::scope`] is provided, implemented over `std::thread::scope`
+//! (stable since Rust 1.63, which post-dates crossbeam's scoped threads and
+//! makes them redundant). Panic semantics differ slightly from upstream:
+//! a panicking child re-panics on join inside `std::thread::scope`, so the
+//! `Result` returned here is always `Ok` — callers that `.expect()` the
+//! result observe identical behaviour either way.
+
+pub mod thread {
+    //! Scoped threads.
+
+    /// Handle to a spawned scoped thread.
+    pub type ScopedJoinHandle<'scope, T> = std::thread::ScopedJoinHandle<'scope, T>;
+
+    /// A scope for spawning borrowing threads, mirroring
+    /// `crossbeam::thread::Scope` (spawn closures receive `&Scope`).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives this scope, so
+        /// threads can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            self.inner.spawn(move || f(&scope))
+        }
+    }
+
+    /// Creates a scope in which threads may borrow from the enclosing stack
+    /// frame; all spawned threads are joined before this returns.
+    ///
+    /// # Errors
+    ///
+    /// Never returns `Err` in this subset: a panicking child thread
+    /// propagates its panic directly (std scoped-thread semantics).
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let counter = AtomicUsize::new(0);
+        let out = super::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            7
+        })
+        .expect("no panics");
+        assert_eq!(out, 7);
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_argument() {
+        let counter = AtomicUsize::new(0);
+        super::thread::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        })
+        .expect("no panics");
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+}
