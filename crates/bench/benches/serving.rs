@@ -1,20 +1,32 @@
 //! Criterion benchmarks behind Fig. 7 (model serving throughput as thread
-//! count grows) and the sharded serving engine (throughput as shard count
-//! grows, with the non-blocking background guidance plane).
+//! count grows), the sharded serving engine (throughput as shard count
+//! grows), and the streaming session (per-request latency percentiles
+//! under a Poisson arrival source).
 //!
-//! Besides the Criterion timings, `serving_sharded` writes a JSON summary
+//! Besides the Criterion timings, the sharded bench writes a JSON summary
 //! (`BENCH_serving.json` at the workspace root, or under `RECMG_OUT`) with
-//! keys/sec, speedup over the single-thread inline engine, and the guided
-//! fraction per shard count, so the perf trajectory is machine-readable.
+//! three sections, so the perf trajectory is machine-readable:
+//!
+//! * `sharded` — keys/sec, speedup over the single-thread inline engine,
+//!   and the full [`EngineReport`] per shard count (serialized by the one
+//!   `EngineReport::to_json` helper — field names are fixed, nothing is
+//!   re-derived ad hoc here);
+//! * `workload_grid` — model-serving throughput over a small
+//!   [`WorkloadSpec`] matrix (2 skews × 2 table counts), not a single
+//!   point;
+//! * `streaming` — `SessionReport::to_json` rows for shards {1, 4} under
+//!   a Poisson arrival source calibrated to ~70% of the measured batch
+//!   service rate: p50/p95/p99 latency, shed rate, and SLA attainment.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use std::path::PathBuf;
+use std::time::Duration;
 
-use recmg_core::serving::measure_throughput;
+use recmg_core::serving::{measure_throughput, measure_throughput_with, WorkloadSpec};
 use recmg_core::{
-    CachingModel, FrequencyRankCodec, GuidanceMode, PrefetchModel, RecMgConfig, ServeOptions,
-    ShardedRecMgSystem,
+    AdmissionPolicy, ArrivalProcess, CachingModel, FrequencyRankCodec, GuidanceMode, PrefetchModel,
+    RecMgConfig, ServeOptions, SessionBuilder, ShardedRecMgSystem, SlaBudget, TraceReplaySource,
 };
 use recmg_trace::SyntheticConfig;
 
@@ -79,6 +91,86 @@ fn serve_opts(shards: usize) -> ServeOptions {
     }
 }
 
+/// Model-serving throughput over the workload matrix (2 skews × 2 table
+/// counts) — the bench records a grid, not a single point.
+fn workload_grid_rows(cfg: &RecMgConfig) -> Vec<String> {
+    let cm = CachingModel::new(cfg).compile();
+    let pm = PrefetchModel::new(cfg).compile();
+    WorkloadSpec::grid(&[4, 13], &[0.0, 2.0], 997)
+        .iter()
+        .map(|spec| {
+            let p = measure_throughput_with(&cm, &pm, cfg.input_len, 1, 200, spec);
+            format!(
+                concat!(
+                    "    {{\"num_tables\": {}, \"skew\": {:.1}, \"threads\": {}, ",
+                    "\"requests\": {}, \"indices_per_sec\": {:.1}}}"
+                ),
+                spec.num_tables, spec.skew, p.threads, p.requests, p.indices_per_sec
+            )
+        })
+        .collect()
+}
+
+/// Streaming rows: a Poisson replay of the same trace the systems are
+/// built from (so the buffer actually hits, like the `sharded` section),
+/// offered at ~70% of the measured 1-shard batch service rate, served
+/// through a session with admission control and an SLA budget.
+fn streaming_rows(
+    cfg: &RecMgConfig,
+    trace: &recmg_trace::Trace,
+    capacity: usize,
+) -> (f64, usize, usize, Vec<String>) {
+    let queries_per_request = 5usize;
+    let requests = trace.batches(queries_per_request).len();
+
+    // Calibrate the arrival rate against this machine: serve the same
+    // request stream once batch-backed and take 70% of the observed
+    // request rate.
+    let calib_batches = trace.batches(queries_per_request);
+    let mut calib = sharded_system(cfg, trace, capacity, 1);
+    let calib_report = calib.serve(&calib_batches, &serve_opts(1));
+    let service_rate = calib_report.batches as f64 / calib_report.elapsed_secs.max(1e-9);
+    let rate_hz = (service_rate * 0.7).max(50.0);
+    let mean_service = Duration::from_secs_f64(1.0 / service_rate.max(1e-9));
+
+    let mut rows = Vec::new();
+    for shards in [1usize, 4] {
+        let opts = serve_opts(shards);
+        let session = SessionBuilder::new()
+            .workers(opts.workers)
+            .guidance(opts.guidance)
+            .admission(AdmissionPolicy {
+                queue_depth: 64,
+                ..AdmissionPolicy::default()
+            })
+            .sla(SlaBudget::new(mean_service * 5))
+            .build(sharded_system(cfg, trace, capacity, shards));
+        let mut source = TraceReplaySource::new(
+            trace,
+            queries_per_request,
+            ArrivalProcess::Poisson { rate_hz },
+            0xBEEF + shards as u64,
+        )
+        .with_deadline(mean_service * 20);
+        session.ingest(&mut source);
+        let (_sys, report) = session.drain();
+        println!(
+            "serving_streaming/{shards}: p50 {:.2}ms p95 {:.2}ms p99 {:.2}ms, shed {:.1}%",
+            report.latency.p50.as_secs_f64() * 1e3,
+            report.latency.p95.as_secs_f64() * 1e3,
+            report.latency.p99.as_secs_f64() * 1e3,
+            report.shed_rate() * 100.0
+        );
+        rows.push(format!(
+            "    {{\"shards\": {}, \"workers\": {}, \"session\": {}}}",
+            shards,
+            opts.workers,
+            report.to_json()
+        ));
+    }
+    (rate_hz, requests, queries_per_request, rows)
+}
+
 fn bench_serving_sharded(c: &mut Criterion) {
     let cfg = RecMgConfig::default();
     let trace = SyntheticConfig::tiny(1207).generate();
@@ -98,29 +190,50 @@ fn bench_serving_sharded(c: &mut Criterion) {
         }
         rows.push((shards, report));
     }
-    let json_rows: Vec<String> = rows
+    let sharded_rows: Vec<String> = rows
         .iter()
         .map(|(shards, r)| {
             format!(
                 concat!(
-                    "    {{\"shards\": {}, \"workers\": {}, \"keys_per_sec\": {:.1}, ",
-                    "\"speedup_vs_single_thread\": {:.3}, \"guided_fraction\": {:.4}, ",
-                    "\"hit_rate\": {:.4}}}"
+                    "    {{\"shards\": {}, \"workers\": {}, ",
+                    "\"speedup_vs_single_thread\": {:.3}, \"report\": {}}}"
                 ),
                 shards,
                 serve_opts(*shards).workers,
-                r.keys_per_sec(),
                 r.keys_per_sec() / single_thread_kps.max(1e-9),
-                r.guided_fraction(),
-                r.stats.hit_rate(),
+                r.to_json(),
             )
         })
         .collect();
+    for (shards, r) in &rows {
+        println!(
+            "serving_sharded/{shards}: {:.0} keys/s ({:.2}x vs single-thread, {:.0}% guided)",
+            r.keys_per_sec(),
+            r.keys_per_sec() / single_thread_kps.max(1e-9),
+            r.guided_fraction() * 100.0
+        );
+    }
+
+    let grid_rows = workload_grid_rows(&cfg);
+    let (rate_hz, stream_requests, queries_per_request, stream_rows) =
+        streaming_rows(&cfg, &trace, capacity);
+
     let json = format!(
-        "{{\n  \"bench\": \"serving_sharded\",\n  \"accesses\": {},\n  \"batches\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        concat!(
+            "{{\n  \"bench\": \"serving\",\n",
+            "  \"sharded\": {{\n    \"accesses\": {}, \"batches\": {},\n    \"results\": [\n{}\n    ]\n  }},\n",
+            "  \"workload_grid\": [\n{}\n  ],\n",
+            "  \"streaming\": {{\n    \"arrival_process\": \"poisson\", \"rate_hz\": {:.1}, ",
+            "\"requests\": {}, \"queries_per_request\": {},\n    \"results\": [\n{}\n    ]\n  }}\n}}\n"
+        ),
         trace.len(),
         batches.len(),
-        json_rows.join(",\n")
+        sharded_rows.join(",\n"),
+        grid_rows.join(",\n"),
+        rate_hz,
+        stream_requests,
+        queries_per_request,
+        stream_rows.join(",\n"),
     );
     let out_dir = std::env::var("RECMG_OUT")
         .map(PathBuf::from)
@@ -131,16 +244,9 @@ fn bench_serving_sharded(c: &mut Criterion) {
     } else {
         println!("wrote {}", path.display());
     }
-    for (shards, r) in &rows {
-        println!(
-            "serving_sharded/{shards}: {:.0} keys/s ({:.2}x vs single-thread, {:.0}% guided)",
-            r.keys_per_sec(),
-            r.keys_per_sec() / single_thread_kps.max(1e-9),
-            r.guided_fraction() * 100.0
-        );
-    }
 
-    // Criterion timings over warm systems (steady-state serving).
+    // Criterion timings over warm systems (steady-state serving through
+    // the session-backed engine path).
     let mut group = c.benchmark_group("serving_sharded");
     group.sample_size(10);
     for &shards in &shard_counts {

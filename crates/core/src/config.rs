@@ -4,6 +4,15 @@
 //! output length 5, evaluation window 15 (3× the output), one LSTM stack
 //! for the caching model, two for the prefetch model, α = 0.7, eviction
 //! speed 4.
+//!
+//! Besides the model/buffer configuration, this module holds the serving
+//! policies of the streaming session API ([`crate::session`]): the
+//! [`AdmissionPolicy`] bounding the request queue and the [`SlaBudget`]
+//! driving latency-pressure degradation (skip-ahead first, then
+//! prefetch-off — the Software-Defined-Memory direction over the paper's
+//! §VI-C machinery).
+
+use std::time::Duration;
 
 /// Configuration shared by both models and the buffer manager.
 #[derive(Debug, Clone, PartialEq)]
@@ -106,6 +115,127 @@ impl RecMgConfig {
     }
 }
 
+/// Admission control for a [`crate::session::ServingSession`]'s request
+/// queue: how many requests may wait, and what happens to requests whose
+/// deadline cannot be met.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionPolicy {
+    /// Maximum requests waiting in the queue (not yet picked up by a
+    /// worker); a submit beyond this depth is rejected (load shedding).
+    pub queue_depth: usize,
+    /// Reject a request at submission when its deadline is already blown.
+    pub reject_blown: bool,
+    /// Shed a queued request at dequeue when its deadline expired while it
+    /// waited (serving it would only burn capacity on a guaranteed miss).
+    pub shed_blown: bool,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        AdmissionPolicy {
+            queue_depth: 1024,
+            reject_blown: true,
+            shed_blown: true,
+        }
+    }
+}
+
+impl AdmissionPolicy {
+    /// No admission control at all: unbounded queue, nothing rejected or
+    /// shed. This is the policy behind the batch-mode
+    /// [`ShardedRecMgSystem::serve`](crate::ShardedRecMgSystem::serve)
+    /// wrapper, which must serve every submitted batch.
+    pub fn unbounded() -> Self {
+        AdmissionPolicy {
+            queue_depth: usize::MAX,
+            reject_blown: false,
+            shed_blown: false,
+        }
+    }
+}
+
+/// How far a request may be degraded to protect latency.
+///
+/// Ordered by severity: [`DegradeLevel::SkipAhead`] drops fresh model
+/// guidance for the request's chunks (they run on stale buffer priorities,
+/// the paper's §VI-C skip-ahead rule — saves the CPU model forwards);
+/// [`DegradeLevel::PrefetchOff`] additionally stops applying prefetch
+/// predictions (saves tier bandwidth and buffer slots on top).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum DegradeLevel {
+    /// Full guidance: caching bits and prefetches as configured.
+    #[default]
+    None,
+    /// Skip fresh guidance for this request (stale bits, no new model
+    /// work); already-computed background guidance still applies.
+    SkipAhead,
+    /// [`DegradeLevel::SkipAhead`] plus prefetch application suppressed.
+    PrefetchOff,
+}
+
+/// Per-request latency budget with pressure thresholds.
+///
+/// Workers compare each request's queueing delay against `target`: at
+/// `skip_ahead_at × target` the request is served with
+/// [`DegradeLevel::SkipAhead`], at `prefetch_off_at × target` with
+/// [`DegradeLevel::PrefetchOff`]. The session reports how many requests
+/// met the budget and how many ran degraded.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlaBudget {
+    /// Target end-to-end (arrival → completion) latency.
+    pub target: Duration,
+    /// Queue-wait fraction of `target` that triggers skip-ahead.
+    pub skip_ahead_at: f64,
+    /// Queue-wait fraction of `target` that additionally turns prefetch
+    /// application off. Must be at least `skip_ahead_at`.
+    pub prefetch_off_at: f64,
+}
+
+impl SlaBudget {
+    /// A budget with the default pressure thresholds: skip-ahead at half
+    /// the budget spent queueing, prefetch-off once the whole budget is
+    /// gone.
+    pub fn new(target: Duration) -> Self {
+        SlaBudget {
+            target,
+            skip_ahead_at: 0.5,
+            prefetch_off_at: 1.0,
+        }
+    }
+
+    /// Validates the thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is zero, a threshold is negative or non-finite,
+    /// or `prefetch_off_at < skip_ahead_at`.
+    pub fn validate(&self) {
+        assert!(!self.target.is_zero(), "SLA target must be positive");
+        assert!(
+            self.skip_ahead_at >= 0.0 && self.skip_ahead_at.is_finite(),
+            "skip_ahead_at must be non-negative and finite"
+        );
+        assert!(
+            self.prefetch_off_at >= self.skip_ahead_at && self.prefetch_off_at.is_finite(),
+            "prefetch_off_at must be finite and at least skip_ahead_at"
+        );
+    }
+
+    /// The degradation level for a request that waited `queue_wait` before
+    /// a worker picked it up.
+    pub fn level(&self, queue_wait: Duration) -> DegradeLevel {
+        let budget = self.target.as_secs_f64();
+        let wait = queue_wait.as_secs_f64();
+        if wait >= budget * self.prefetch_off_at {
+            DegradeLevel::PrefetchOff
+        } else if wait >= budget * self.skip_ahead_at {
+            DegradeLevel::SkipAhead
+        } else {
+            DegradeLevel::None
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,5 +266,42 @@ mod tests {
             ..RecMgConfig::default()
         };
         c.validate();
+    }
+
+    #[test]
+    fn sla_levels_escalate_with_wait() {
+        let sla = SlaBudget::new(Duration::from_millis(10));
+        sla.validate();
+        assert_eq!(sla.level(Duration::ZERO), DegradeLevel::None);
+        assert_eq!(sla.level(Duration::from_millis(4)), DegradeLevel::None);
+        assert_eq!(sla.level(Duration::from_millis(5)), DegradeLevel::SkipAhead);
+        assert_eq!(
+            sla.level(Duration::from_millis(10)),
+            DegradeLevel::PrefetchOff
+        );
+        assert!(DegradeLevel::None < DegradeLevel::SkipAhead);
+        assert!(DegradeLevel::SkipAhead < DegradeLevel::PrefetchOff);
+    }
+
+    #[test]
+    #[should_panic(expected = "prefetch_off_at must be finite")]
+    fn sla_thresholds_must_order() {
+        let sla = SlaBudget {
+            target: Duration::from_millis(1),
+            skip_ahead_at: 0.9,
+            prefetch_off_at: 0.5,
+        };
+        sla.validate();
+    }
+
+    #[test]
+    fn unbounded_admission_never_rejects() {
+        let p = AdmissionPolicy::unbounded();
+        assert_eq!(p.queue_depth, usize::MAX);
+        assert!(!p.reject_blown);
+        assert!(!p.shed_blown);
+        let d = AdmissionPolicy::default();
+        assert!(d.queue_depth > 0);
+        assert!(d.reject_blown && d.shed_blown);
     }
 }

@@ -1,39 +1,29 @@
-//! Concurrent sharded serving: worker threads, an atomic-counter request
-//! queue, and the non-blocking background guidance plane of §VI-C.
+//! Batch-mode serving API over the streaming session.
 //!
 //! The paper's deployment overlaps CPU model inference with GPU batch
 //! execution and never blocks the GPU: "the DLRM inference does not wait
 //! for the CPU completion. Instead, GPU moves on to the next DLRM inference
-//! batch, and CPU moves on to infer for the future batch". The sequential
-//! [`RecMgSystem`](crate::RecMgSystem) approximates that with a
-//! `guidance_stride`; [`ShardedRecMgSystem::serve`] implements it for real:
-//!
-//! * **Serving workers** pull request batches from a shared queue via an
-//!   atomic counter (the same pattern as [`crate::serving`]), split each
-//!   batch by shard, and serve sub-batches under per-shard locks — the
-//!   GPU-analogous critical path of demand accesses and buffer updates.
-//! * **The guidance plane** ([`GuidanceMode::Background`]) is a pool of
-//!   threads running the compiled models. At each chunk boundary a serving
-//!   worker *offers* the chunk to the plane; if the plane is already
-//!   `max_lag` chunks behind on that shard, the chunk is skipped — it
-//!   simply runs with stale guidance (the paper's skip-ahead rule) and the
-//!   skip is counted. Completed guidance is applied by whichever worker
-//!   next holds the shard lock.
+//! batch, and CPU moves on to infer for the future batch". That
+//! non-blocking skip-ahead rule (§VI-C) is implemented by the streaming
+//! [`ServingSession`](crate::session::ServingSession); this module keeps
+//! the batch-shaped entry point: [`ShardedRecMgSystem::serve`] wraps the
+//! given batches in a [`BatchSource`](crate::session::BatchSource), runs
+//! them through a session with an unbounded queue (nothing is shed — every
+//! batch is served), and returns the session's [`EngineReport`]. There is
+//! exactly one serving path; the batch API is a thin adapter over it.
 //!
 //! [`EngineReport::guided_fraction`] reports the fraction of chunks that
 //! received model guidance, matching
 //! [`recmg_dlrm::PipelineReport::guided_fraction`] semantics.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Mutex};
-use std::time::Instant;
-
 use recmg_dlrm::BatchAccessStats;
 use recmg_trace::VectorKey;
 
-use crate::sharding::{Shard, ShardedRecMgSystem};
+use crate::config::AdmissionPolicy;
+use crate::session::{BatchSource, SessionBuilder};
+use crate::sharding::ShardedRecMgSystem;
 
-/// How model guidance is scheduled during [`ShardedRecMgSystem::serve`].
+/// How model guidance is scheduled during serving.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GuidanceMode {
     /// Guidance runs synchronously on the serving worker at every chunk
@@ -80,7 +70,8 @@ impl Default for ServeOptions {
     }
 }
 
-/// Outcome of one [`ShardedRecMgSystem::serve`] run.
+/// Outcome of one batch-mode serve run (also embedded in
+/// [`SessionReport`](crate::session::SessionReport) for streaming runs).
 #[derive(Debug, Clone, Copy)]
 pub struct EngineReport {
     /// Merged access outcomes across all batches and shards.
@@ -110,26 +101,38 @@ impl EngineReport {
     pub fn keys_per_sec(&self) -> f64 {
         self.stats.total() as f64 / self.elapsed_secs.max(1e-9)
     }
-}
 
-/// A chunk handed to the guidance plane.
-struct GuidanceJob {
-    shard: usize,
-    chunk: Vec<VectorKey>,
-    armed: bool,
-}
-
-/// Computed guidance waiting to be applied to a shard.
-struct GuidanceUpdate {
-    chunk: Vec<VectorKey>,
-    bits: Vec<bool>,
-    prefetched: Vec<VectorKey>,
+    /// Machine-readable summary with fixed field names — the single
+    /// serializer used by every bench that emits an engine report, so
+    /// `guided_fraction` / `keys_per_sec` are never re-derived ad hoc.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"batches\": {}, \"keys\": {}, \"hit_rate\": {:.4}, ",
+                "\"guided_fraction\": {:.4}, \"keys_per_sec\": {:.1}, ",
+                "\"elapsed_secs\": {:.4}}}"
+            ),
+            self.batches,
+            self.stats.total(),
+            self.stats.hit_rate(),
+            self.guided_fraction(),
+            self.keys_per_sec(),
+            self.elapsed_secs,
+        )
+    }
 }
 
 impl ShardedRecMgSystem {
-    /// Serves `batches` with `opts.workers` threads pulling requests from a
-    /// shared atomic-counter queue. Returns merged stats plus guidance
-    /// accounting for this run.
+    /// Serves `batches` with `opts.workers` threads — a thin wrapper over
+    /// a batch-backed [`ServingSession`](crate::session::ServingSession)
+    /// with an unbounded admission queue (every batch is served; nothing
+    /// is rejected or shed). Returns merged stats plus guidance accounting
+    /// for this run.
+    ///
+    /// Queued requests own their keys, so each call copies the batch
+    /// slices once on ingestion; callers that already hold owned batches
+    /// can skip the copy by driving a session directly with
+    /// [`BatchSource::from_vecs`](crate::session::BatchSource::from_vecs).
     ///
     /// Per-shard access order follows the order workers acquire each shard,
     /// so multi-worker hit counts can vary slightly between runs; totals
@@ -143,188 +146,23 @@ impl ShardedRecMgSystem {
     /// configured with zero threads.
     pub fn serve(&mut self, batches: &[&[VectorKey]], opts: &ServeOptions) -> EngineReport {
         assert!(opts.workers > 0, "need at least one serving worker");
-        let guided_before = self.guided_chunks();
-        let chunks_before = self.total_chunks();
-        let start = Instant::now();
-        let stats = match opts.guidance {
-            GuidanceMode::Inline => self.serve_with_plane(batches, opts.workers, None),
-            GuidanceMode::Background { threads, max_lag } => {
-                assert!(threads > 0, "need at least one guidance thread");
-                self.serve_with_plane(batches, opts.workers, Some((threads, max_lag)))
-            }
+        if let GuidanceMode::Background { threads, .. } = opts.guidance {
+            assert!(threads > 0, "need at least one guidance thread");
+        }
+        let system = ShardedRecMgSystem {
+            ctx: self.ctx.clone(),
+            router: self.router,
+            shards: std::mem::take(&mut self.shards),
         };
-        let elapsed_secs = start.elapsed().as_secs_f64();
-        EngineReport {
-            stats,
-            batches: batches.len(),
-            guided_chunks: self.guided_chunks() - guided_before,
-            total_chunks: self.total_chunks() - chunks_before,
-            elapsed_secs,
-        }
-    }
-
-    /// Shared serve loop; `plane` is `Some((threads, max_lag))` for
-    /// background guidance, `None` for inline.
-    fn serve_with_plane(
-        &mut self,
-        batches: &[&[VectorKey]],
-        workers: usize,
-        plane: Option<(usize, usize)>,
-    ) -> BatchAccessStats {
-        let router = self.router;
-        let ctx = &self.ctx;
-        let num_shards = router.num_shards();
-        let shard_locks: Vec<Mutex<&mut Shard>> = self.shards.iter_mut().map(Mutex::new).collect();
-        let next = AtomicUsize::new(0);
-        let total = Mutex::new(BatchAccessStats::default());
-
-        // Guidance-plane plumbing (unused in inline mode).
-        let (tx, rx) = mpsc::channel::<GuidanceJob>();
-        let rx = Mutex::new(rx);
-        let completed: Vec<Mutex<Vec<GuidanceUpdate>>> =
-            (0..num_shards).map(|_| Mutex::new(Vec::new())).collect();
-        let in_flight: Vec<AtomicUsize> = (0..num_shards).map(|_| AtomicUsize::new(0)).collect();
-
-        std::thread::scope(|scope| {
-            if let Some((threads, _)) = plane {
-                for _ in 0..threads {
-                    let rx = &rx;
-                    let completed = &completed;
-                    let in_flight = &in_flight;
-                    scope.spawn(move || loop {
-                        let job = match rx.lock().expect("rx lock").recv() {
-                            Ok(job) => job,
-                            Err(_) => break, // all serving workers done
-                        };
-                        let (bits, prefetched) =
-                            Shard::compute_guidance(&job.chunk, job.armed, job.shard, ctx, &router);
-                        completed[job.shard]
-                            .lock()
-                            .expect("completed lock")
-                            .push(GuidanceUpdate {
-                                chunk: job.chunk,
-                                bits,
-                                prefetched,
-                            });
-                        in_flight[job.shard].fetch_sub(1, Ordering::AcqRel);
-                    });
-                }
-            }
-
-            for _ in 0..workers {
-                let tx = tx.clone();
-                let next = &next;
-                let total = &total;
-                let shard_locks = &shard_locks;
-                let completed = &completed;
-                let in_flight = &in_flight;
-                scope.spawn(move || {
-                    let mut local = BatchAccessStats::default();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= batches.len() {
-                            break;
-                        }
-                        let parts = router.split(batches[i]);
-                        for (sid, keys) in parts.iter().enumerate() {
-                            if keys.is_empty() {
-                                continue;
-                            }
-                            let mut shard = shard_locks[sid].lock().expect("shard lock");
-                            match plane {
-                                None => local.accumulate(shard.process_keys(keys, ctx, &router)),
-                                Some((_, max_lag)) => serve_shard_background(
-                                    &mut shard,
-                                    keys,
-                                    &mut local,
-                                    ctx,
-                                    &tx,
-                                    &completed[sid],
-                                    &in_flight[sid],
-                                    max_lag,
-                                ),
-                            }
-                        }
-                    }
-                    drop(tx); // closing the channel lets the plane exit
-                    total.lock().expect("total lock").accumulate(local);
-                });
-            }
-            drop(tx);
-        });
-
-        drop(shard_locks);
-        // Guidance computed after its shard went idle is still valid buffer
-        // reprioritization — apply it so a subsequent serve() starts warm.
-        // It arrived too late to guide any chunk of *this* run, so it is
-        // intentionally not counted in guided_chunks.
-        for (sid, slot) in completed.iter().enumerate() {
-            for u in slot.lock().expect("completed lock").drain(..) {
-                let shard = &mut self.shards[sid];
-                shard.prefetches_issued += u.prefetched.len() as u64;
-                shard
-                    .buffer
-                    .load_embeddings(&u.chunk, &u.bits, &u.prefetched);
-            }
-        }
-
-        total.into_inner().expect("total lock")
-    }
-}
-
-/// Serves one shard sub-batch under the background guidance plane: demand
-/// accesses never wait; completed guidance is applied at chunk boundaries;
-/// new chunks are offered to the plane unless it lags more than `max_lag`.
-#[allow(clippy::too_many_arguments)]
-fn serve_shard_background(
-    shard: &mut Shard,
-    keys: &[VectorKey],
-    stats: &mut BatchAccessStats,
-    ctx: &crate::sharding::GuidanceCtx,
-    tx: &mpsc::Sender<GuidanceJob>,
-    completed: &Mutex<Vec<GuidanceUpdate>>,
-    in_flight: &AtomicUsize,
-    max_lag: usize,
-) {
-    let input_len = ctx.cfg.input_len;
-    for &key in keys {
-        shard.record_access(key, stats);
-        shard.pending.push(key);
-        while shard.pending.len() >= input_len {
-            // Apply whatever the plane has finished before deciding about
-            // the new chunk (bounded staleness, never blocking).
-            for u in completed.lock().expect("completed lock").drain(..) {
-                shard.apply_guidance(&u.chunk, &u.bits, &u.prefetched);
-            }
-            let chunk: Vec<VectorKey> = shard.pending.drain(..input_len).collect();
-            shard.chunk_counter += 1;
-            if in_flight.load(Ordering::Acquire) >= max_lag {
-                // The CPU plane is behind: skip ahead, run on stale
-                // guidance (§VI-C).
-                shard.unguided_chunks += 1;
-                continue;
-            }
-            let armed = shard.prefetch_armed(ctx);
-            in_flight.fetch_add(1, Ordering::AcqRel);
-            if tx
-                .send(GuidanceJob {
-                    shard: shard.id,
-                    chunk,
-                    armed,
-                })
-                .is_err()
-            {
-                // Plane already shut down (can only happen at teardown).
-                in_flight.fetch_sub(1, Ordering::AcqRel);
-                shard.unguided_chunks += 1;
-            } else {
-                // Give the plane a scheduling slot. On a loaded or
-                // single-core host the serving workers would otherwise
-                // starve the guidance threads into pure skip-ahead; on idle
-                // multicore hosts this is a near no-op.
-                std::thread::yield_now();
-            }
-        }
+        let session = SessionBuilder::new()
+            .workers(opts.workers)
+            .guidance(opts.guidance)
+            .admission(AdmissionPolicy::unbounded())
+            .build(system);
+        session.ingest(&mut BatchSource::new(batches));
+        let (system, report) = session.drain();
+        self.shards = system.shards;
+        report.engine
     }
 }
 
@@ -425,6 +263,31 @@ mod tests {
         );
         assert_eq!(report.stats.total(), trace.len() as u64);
         assert!(report.stats.hits() > 0);
+    }
+
+    #[test]
+    fn report_json_has_fixed_field_names() {
+        let trace = SyntheticConfig::tiny(45).generate();
+        let batches = trace.batches(10);
+        let mut sys = system(1);
+        let report = sys.serve(
+            &batches,
+            &ServeOptions {
+                workers: 1,
+                guidance: GuidanceMode::Inline,
+            },
+        );
+        let json = report.to_json();
+        for field in [
+            "\"batches\"",
+            "\"keys\"",
+            "\"hit_rate\"",
+            "\"guided_fraction\"",
+            "\"keys_per_sec\"",
+            "\"elapsed_secs\"",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
     }
 
     #[test]

@@ -25,6 +25,12 @@
 //!    with model guidance on a non-blocking background plane implementing
 //!    the paper's §VI-C skip-ahead rule (one shard reproduces
 //!    [`RecMgSystem`] exactly).
+//! 5. **Streaming** ([`session`]): a [`RequestSource`] (batches, Poisson /
+//!    uniform synthetic arrivals, or trace replay) feeds a
+//!    [`ServingSession`] with admission control, per-request latency
+//!    percentiles, and SLA-pressure degradation (skip-ahead first, then
+//!    prefetch-off). The batch `serve()` above is a thin wrapper over a
+//!    batch-backed session.
 //!
 //! # Examples
 //!
@@ -56,17 +62,22 @@ mod fast;
 pub mod labeling;
 mod prefetch_model;
 pub mod serving;
+pub mod session;
 mod sharding;
 mod system;
 
 pub use buffer_mgmt::RecMgBuffer;
 pub use caching_model::{CachingModel, FastCachingModel, TrainingReport};
 pub use codec::{FrequencyRankCodec, GlobalIdCodec, IndexCodec};
-pub use config::RecMgConfig;
+pub use config::{AdmissionPolicy, DegradeLevel, RecMgConfig, SlaBudget};
 pub use engine::{EngineReport, GuidanceMode, ServeOptions};
 pub use labeling::{build_training_data, Chunk, PrefetchExample, TrainingData};
 pub use prefetch_model::{
     FastPrefetchModel, PrefetchEval, PrefetchLoss, PrefetchModel, PrefetchTrainingReport,
+};
+pub use session::{
+    ArrivalProcess, BatchSource, LatencySummary, Rejection, Request, RequestSample, RequestSource,
+    ServingSession, SessionBuilder, SessionReport, SlaOutcome, SyntheticSource, TraceReplaySource,
 };
 pub use sharding::{ShardRouter, ShardedRecMgSystem};
 pub use system::{train_recmg, CmPolicy, PmPrefetcher, RecMgSystem, TrainOptions, TrainedRecMg};

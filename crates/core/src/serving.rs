@@ -91,6 +91,22 @@ impl WorkloadSpec {
             .map(|r| (0..input_len).map(|i| self.key(r, i)).collect())
             .collect()
     }
+
+    /// Cartesian sweep grid over table counts × skews (at a fixed
+    /// `rows_per_table`) — the workload matrix the serving bench records
+    /// instead of a single point.
+    pub fn grid(table_counts: &[u32], skews: &[f64], rows_per_table: u64) -> Vec<WorkloadSpec> {
+        table_counts
+            .iter()
+            .flat_map(|&num_tables| {
+                skews.iter().map(move |&skew| WorkloadSpec {
+                    num_tables,
+                    rows_per_table,
+                    skew,
+                })
+            })
+            .collect()
+    }
 }
 
 /// Measures joint caching+prefetch model serving throughput with
@@ -281,6 +297,18 @@ mod tests {
         let p = measure_throughput_with(&cm, &pm, 8, 1, 30, &spec);
         assert!(p.indices_per_sec > 0.0);
         assert_eq!(p.requests, 30);
+    }
+
+    #[test]
+    fn grid_is_a_cartesian_product() {
+        let grid = WorkloadSpec::grid(&[4, 13], &[0.0, 2.0], 997);
+        assert_eq!(grid.len(), 4);
+        for spec in &grid {
+            spec.validate();
+            assert_eq!(spec.rows_per_table, 997);
+        }
+        assert!(grid.iter().any(|s| s.num_tables == 4 && s.skew == 0.0));
+        assert!(grid.iter().any(|s| s.num_tables == 13 && s.skew == 2.0));
     }
 
     #[test]

@@ -1,0 +1,1336 @@
+//! Streaming request serving: [`RequestSource`] → [`ServingSession`] →
+//! [`SessionReport`].
+//!
+//! The paper's online pipeline serves a continuous inference stream; DLRM
+//! serving is judged on *per-request latency* under an SLA, not only on
+//! throughput (the framing of the Software-Defined-Memory line of work).
+//! This module replaces the blocking batch-slice entry point with a
+//! streaming API:
+//!
+//! * a [`RequestSource`] produces timestamped [`Request`]s — from
+//!   pre-materialized batches ([`BatchSource`], the back-compat path), a
+//!   synthetic arrival process ([`SyntheticSource`], Poisson or uniform
+//!   inter-arrivals over a [`WorkloadSpec`]), or an external-trace replay
+//!   ([`TraceReplaySource`]);
+//! * a [`ServingSession`] (built by [`SessionBuilder`]) owns the shards
+//!   and worker threads of a [`ShardedRecMgSystem`] and exposes
+//!   non-blocking [`submit`](ServingSession::submit) /
+//!   [`drain`](ServingSession::drain) over a bounded queue with admission
+//!   control ([`AdmissionPolicy`]): requests are rejected when the queue is
+//!   full or their deadline is already blown, and shed at dequeue when the
+//!   deadline expired while queueing;
+//! * a [`SessionReport`] extends [`EngineReport`] with per-request latency
+//!   percentiles (p50/p95/p99, from per-worker sample logs that take no
+//!   locks on the serving path and are merged at drain) and an SLA section:
+//!   under latency pressure the guidance plane degrades per request —
+//!   skip-ahead first, then prefetch-off — reusing the paper's §VI-C
+//!   skip machinery ([`SlaBudget`], [`DegradeLevel`]).
+//!
+//! The batch API is a thin wrapper:
+//! [`ShardedRecMgSystem::serve`](crate::ShardedRecMgSystem::serve) builds a
+//! 1:1 batch-backed session, so there is exactly one serving path. With one
+//! worker, inline guidance, and an unbounded queue, a session reproduces
+//! the sequential [`RecMgSystem`](crate::RecMgSystem) counts exactly — the
+//! parity oracle of `tests/integration_streaming.rs`.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use recmg_dlrm::BatchAccessStats;
+use recmg_trace::{Trace, VectorKey};
+
+use crate::config::{AdmissionPolicy, DegradeLevel, SlaBudget};
+use crate::engine::{EngineReport, GuidanceMode};
+use crate::serving::WorkloadSpec;
+use crate::sharding::{GuidanceCtx, Shard, ShardRouter, ShardedRecMgSystem};
+
+// ---------------------------------------------------------------------------
+// Requests and sources
+// ---------------------------------------------------------------------------
+
+/// One inference request: a batch of embedding-vector keys with a stream
+/// timestamp and an optional latency deadline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Caller-assigned identifier, echoed in [`RequestSample`].
+    pub id: u64,
+    /// The embedding accesses of this request, in access order.
+    pub keys: Vec<VectorKey>,
+    /// Arrival offset from the start of the stream. [`ServingSession::ingest`]
+    /// paces submission to this schedule; a direct
+    /// [`submit`](ServingSession::submit) treats "now" as the arrival.
+    pub arrival: Duration,
+    /// Latency budget relative to arrival; `None` means best-effort.
+    pub deadline: Option<Duration>,
+}
+
+/// A stream of timestamped requests.
+///
+/// Sources are pull-based iterators so replay, synthesis, and
+/// pre-materialized batches share one ingestion path
+/// ([`ServingSession::ingest`]).
+pub trait RequestSource {
+    /// The next request, or `None` when the stream is exhausted.
+    fn next_request(&mut self) -> Option<Request>;
+
+    /// Requests still to come, when known (used for sizing logs).
+    fn remaining_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Inter-arrival process of a synthetic or replayed request stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals at `rate_hz` requests per second (exponential
+    /// inter-arrival gaps — a Poisson process).
+    Poisson {
+        /// Mean arrival rate in requests per second.
+        rate_hz: f64,
+    },
+    /// Fixed inter-arrival interval.
+    Uniform {
+        /// Gap between consecutive arrivals.
+        interval: Duration,
+    },
+    /// All requests arrive immediately (no pacing) — an offered load far
+    /// above capacity, useful for exercising admission control.
+    Immediate,
+}
+
+impl ArrivalProcess {
+    fn validate(&self) {
+        if let ArrivalProcess::Poisson { rate_hz } = *self {
+            assert!(
+                rate_hz > 0.0 && rate_hz.is_finite(),
+                "Poisson rate must be positive and finite"
+            );
+        }
+    }
+
+    fn next_gap(&self, rng: &mut StdRng) -> Duration {
+        match *self {
+            ArrivalProcess::Poisson { rate_hz } => {
+                // Inverse-CDF sample of Exp(rate): u ∈ [0, 1) keeps the
+                // argument of ln strictly positive.
+                let u: f64 = rng.gen_range(0.0..1.0);
+                Duration::from_secs_f64(-(1.0 - u).ln() / rate_hz)
+            }
+            ArrivalProcess::Uniform { interval } => interval,
+            ArrivalProcess::Immediate => Duration::ZERO,
+        }
+    }
+}
+
+/// Shared pacing state of the generated sources: a virtual clock advanced
+/// by the arrival process.
+#[derive(Debug)]
+struct Pacer {
+    clock: Duration,
+    arrivals: ArrivalProcess,
+    rng: StdRng,
+}
+
+impl Pacer {
+    fn new(arrivals: ArrivalProcess, seed: u64) -> Self {
+        arrivals.validate();
+        Pacer {
+            clock: Duration::ZERO,
+            arrivals,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn next_arrival(&mut self) -> Duration {
+        self.clock += self.arrivals.next_gap(&mut self.rng);
+        self.clock
+    }
+}
+
+/// Back-compat source over pre-materialized batches: every batch is a
+/// request arriving at stream start (offset zero), so ingestion never
+/// sleeps and the session serves exactly like the old blocking `serve()`.
+#[derive(Debug)]
+pub struct BatchSource {
+    batches: Vec<Vec<VectorKey>>,
+    next: usize,
+    deadline: Option<Duration>,
+}
+
+impl BatchSource {
+    /// Wraps borrowed batch slices (the historical `serve` signature).
+    pub fn new(batches: &[&[VectorKey]]) -> Self {
+        Self::from_vecs(batches.iter().map(|b| b.to_vec()).collect())
+    }
+
+    /// Wraps owned batches.
+    pub fn from_vecs(batches: Vec<Vec<VectorKey>>) -> Self {
+        BatchSource {
+            batches,
+            next: 0,
+            deadline: None,
+        }
+    }
+
+    /// Attaches a deadline (relative to arrival) to every batch.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+impl RequestSource for BatchSource {
+    fn next_request(&mut self) -> Option<Request> {
+        let i = self.next;
+        if i >= self.batches.len() {
+            return None;
+        }
+        self.next += 1;
+        Some(Request {
+            id: i as u64,
+            keys: std::mem::take(&mut self.batches[i]),
+            arrival: Duration::ZERO,
+            deadline: self.deadline,
+        })
+    }
+
+    fn remaining_hint(&self) -> Option<usize> {
+        Some(self.batches.len() - self.next)
+    }
+}
+
+/// Synthetic open-loop arrival stream: request keys come from a
+/// [`WorkloadSpec`] (tables × rows × skew), arrival times from an
+/// [`ArrivalProcess`].
+#[derive(Debug)]
+pub struct SyntheticSource {
+    spec: WorkloadSpec,
+    input_len: usize,
+    remaining: usize,
+    next_id: u64,
+    pacer: Pacer,
+    deadline: Option<Duration>,
+}
+
+impl SyntheticSource {
+    /// A stream of `requests` requests of `input_len` keys each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec or arrival process is invalid, or `input_len`
+    /// is zero.
+    pub fn new(
+        spec: WorkloadSpec,
+        input_len: usize,
+        requests: usize,
+        arrivals: ArrivalProcess,
+        seed: u64,
+    ) -> Self {
+        spec.validate();
+        assert!(input_len > 0, "input_len must be positive");
+        SyntheticSource {
+            spec,
+            input_len,
+            remaining: requests,
+            next_id: 0,
+            pacer: Pacer::new(arrivals, seed),
+            deadline: None,
+        }
+    }
+
+    /// Attaches a deadline (relative to arrival) to every request.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+impl RequestSource for SyntheticSource {
+    fn next_request(&mut self) -> Option<Request> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let id = self.next_id;
+        self.next_id += 1;
+        let keys = (0..self.input_len)
+            .map(|i| self.spec.key(id as usize, i))
+            .collect();
+        Some(Request {
+            id,
+            keys,
+            arrival: self.pacer.next_arrival(),
+            deadline: self.deadline,
+        })
+    }
+
+    fn remaining_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+/// Replays a recorded [`Trace`] as a request stream: each request is
+/// `queries_per_request` consecutive queries, paced by an
+/// [`ArrivalProcess`] (external DLRM traces rarely carry wall-clock
+/// timestamps, so the arrival process is supplied).
+#[derive(Debug)]
+pub struct TraceReplaySource {
+    requests: Vec<Vec<VectorKey>>,
+    next: usize,
+    pacer: Pacer,
+    deadline: Option<Duration>,
+}
+
+impl TraceReplaySource {
+    /// Builds the replay stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queries_per_request` is zero or the arrival process is
+    /// invalid.
+    pub fn new(
+        trace: &Trace,
+        queries_per_request: usize,
+        arrivals: ArrivalProcess,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            queries_per_request > 0,
+            "queries_per_request must be positive"
+        );
+        TraceReplaySource {
+            requests: trace
+                .batches(queries_per_request)
+                .into_iter()
+                .map(|b| b.to_vec())
+                .collect(),
+            next: 0,
+            pacer: Pacer::new(arrivals, seed),
+            deadline: None,
+        }
+    }
+
+    /// Attaches a deadline (relative to arrival) to every request.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+impl RequestSource for TraceReplaySource {
+    fn next_request(&mut self) -> Option<Request> {
+        let i = self.next;
+        if i >= self.requests.len() {
+            return None;
+        }
+        self.next += 1;
+        Some(Request {
+            id: i as u64,
+            keys: std::mem::take(&mut self.requests[i]),
+            arrival: self.pacer.next_arrival(),
+            deadline: self.deadline,
+        })
+    }
+
+    fn remaining_hint(&self) -> Option<usize> {
+        Some(self.requests.len() - self.next)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Session internals
+// ---------------------------------------------------------------------------
+
+/// A chunk handed to the background guidance plane.
+pub(crate) struct GuidanceJob {
+    shard: usize,
+    chunk: Vec<VectorKey>,
+    armed: bool,
+}
+
+/// Computed guidance waiting to be applied to a shard.
+pub(crate) struct GuidanceUpdate {
+    chunk: Vec<VectorKey>,
+    bits: Vec<bool>,
+    prefetched: Vec<VectorKey>,
+}
+
+/// Background guidance plane state shared by workers and plane threads.
+struct PlaneState {
+    rx: Mutex<mpsc::Receiver<GuidanceJob>>,
+    completed: Vec<Mutex<Vec<GuidanceUpdate>>>,
+    in_flight: Vec<AtomicUsize>,
+    max_lag: usize,
+}
+
+/// An admitted request waiting in the session queue.
+struct Admitted {
+    id: u64,
+    keys: Vec<VectorKey>,
+    arrival_at: Instant,
+    deadline_at: Option<Instant>,
+}
+
+/// State shared between the submitting side, serving workers, and the
+/// guidance plane.
+struct SessionShared {
+    ctx: GuidanceCtx,
+    router: ShardRouter,
+    shards: Vec<Mutex<Shard>>,
+    queue: Mutex<VecDeque<Admitted>>,
+    available: Condvar,
+    closed: AtomicBool,
+    admission: AdmissionPolicy,
+    sla: Option<SlaBudget>,
+    plane: Option<PlaneState>,
+    submitted: AtomicU64,
+    rejected_queue_full: AtomicU64,
+    rejected_deadline: AtomicU64,
+    shed_in_queue: AtomicU64,
+}
+
+/// Per-worker serving log. Workers append to their own log without taking
+/// any lock on the serving path; logs are merged once at drain.
+#[derive(Default)]
+struct WorkerLog {
+    stats: BatchAccessStats,
+    samples: Vec<RequestSample>,
+}
+
+/// Why [`ServingSession::submit`] refused a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rejection {
+    /// The bounded queue is at [`AdmissionPolicy::queue_depth`].
+    QueueFull,
+    /// The request's deadline had already passed at submission.
+    DeadlineBlown,
+}
+
+impl std::fmt::Display for Rejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejection::QueueFull => write!(f, "request queue is full"),
+            Rejection::DeadlineBlown => write!(f, "deadline already blown at submission"),
+        }
+    }
+}
+
+impl std::error::Error for Rejection {}
+
+/// Latency record of one completed request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestSample {
+    /// The request's caller-assigned id.
+    pub id: u64,
+    /// Time spent queued before a worker picked the request up.
+    pub queue_wait: Duration,
+    /// Time a worker spent serving the request.
+    pub service: Duration,
+    /// End-to-end latency (arrival → completion).
+    pub latency: Duration,
+    /// Whether the request's own deadline was met (`None` if it had none).
+    pub deadline_met: Option<bool>,
+    /// The degradation level the request was served at.
+    pub degrade: DegradeLevel,
+}
+
+/// Order statistics over a set of durations (nearest-rank percentiles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencySummary {
+    /// Samples summarized.
+    pub count: usize,
+    /// Median.
+    pub p50: Duration,
+    /// 95th percentile.
+    pub p95: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
+    /// Arithmetic mean.
+    pub mean: Duration,
+    /// Maximum.
+    pub max: Duration,
+}
+
+impl LatencySummary {
+    /// Summarizes `samples` (empty input yields an all-zero summary).
+    pub fn from_durations(mut samples: Vec<Duration>) -> Self {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        samples.sort_unstable();
+        let n = samples.len();
+        let rank = |q: f64| samples[((q * n as f64).ceil() as usize).clamp(1, n) - 1];
+        let total: Duration = samples.iter().sum();
+        LatencySummary {
+            count: n,
+            p50: rank(0.50),
+            p95: rank(0.95),
+            p99: rank(0.99),
+            mean: total / n as u32,
+            max: samples[n - 1],
+        }
+    }
+
+    fn to_json_ms(self) -> String {
+        format!(
+            concat!(
+                "{{\"count\": {}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, ",
+                "\"p99_ms\": {:.3}, \"mean_ms\": {:.3}, \"max_ms\": {:.3}}}"
+            ),
+            self.count,
+            self.p50.as_secs_f64() * 1e3,
+            self.p95.as_secs_f64() * 1e3,
+            self.p99.as_secs_f64() * 1e3,
+            self.mean.as_secs_f64() * 1e3,
+            self.max.as_secs_f64() * 1e3,
+        )
+    }
+}
+
+/// SLA section of a [`SessionReport`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlaOutcome {
+    /// The configured latency budget.
+    pub budget: Duration,
+    /// Completed requests whose end-to-end latency met the budget.
+    pub met: u64,
+    /// Completed requests over budget.
+    pub missed: u64,
+    /// Requests served at [`DegradeLevel::SkipAhead`].
+    pub degraded_skip_ahead: u64,
+    /// Requests served at [`DegradeLevel::PrefetchOff`].
+    pub degraded_prefetch_off: u64,
+}
+
+impl SlaOutcome {
+    /// Fraction of completed requests within budget.
+    pub fn attainment(&self) -> f64 {
+        let total = self.met + self.missed;
+        if total == 0 {
+            1.0
+        } else {
+            self.met as f64 / total as f64
+        }
+    }
+}
+
+/// Outcome of a drained [`ServingSession`]: the batch-mode
+/// [`EngineReport`] plus admission accounting, latency percentiles, and
+/// the SLA section.
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// Merged access stats, guidance accounting, and wall-clock — the
+    /// fields the batch API reported (`batches` counts completed
+    /// requests).
+    pub engine: EngineReport,
+    /// Requests offered to [`ServingSession::submit`].
+    pub submitted: u64,
+    /// Requests rejected because the queue was at capacity.
+    pub rejected_queue_full: u64,
+    /// Requests rejected because their deadline was blown at submission.
+    pub rejected_deadline: u64,
+    /// Admitted requests shed at dequeue (deadline expired while queued).
+    pub shed_in_queue: u64,
+    /// Requests served to completion.
+    pub completed: u64,
+    /// End-to-end latency percentiles over completed requests.
+    pub latency: LatencySummary,
+    /// Queueing-delay percentiles over completed requests.
+    pub queue_wait: LatencySummary,
+    /// SLA accounting, when the session had a budget.
+    pub sla: Option<SlaOutcome>,
+}
+
+impl SessionReport {
+    /// Fraction of submitted requests that were not served (rejected or
+    /// shed).
+    pub fn shed_rate(&self) -> f64 {
+        if self.submitted == 0 {
+            0.0
+        } else {
+            (self.rejected_queue_full + self.rejected_deadline + self.shed_in_queue) as f64
+                / self.submitted as f64
+        }
+    }
+
+    /// Machine-readable summary with fixed field names; embeds
+    /// [`EngineReport::to_json`] under `"engine"`.
+    pub fn to_json(&self) -> String {
+        let sla = match &self.sla {
+            None => "null".to_string(),
+            Some(s) => format!(
+                concat!(
+                    "{{\"budget_ms\": {:.3}, \"met\": {}, \"missed\": {}, ",
+                    "\"attainment\": {:.4}, \"degraded_skip_ahead\": {}, ",
+                    "\"degraded_prefetch_off\": {}}}"
+                ),
+                s.budget.as_secs_f64() * 1e3,
+                s.met,
+                s.missed,
+                s.attainment(),
+                s.degraded_skip_ahead,
+                s.degraded_prefetch_off,
+            ),
+        };
+        format!(
+            concat!(
+                "{{\"engine\": {}, \"submitted\": {}, \"completed\": {}, ",
+                "\"rejected_queue_full\": {}, \"rejected_deadline\": {}, ",
+                "\"shed_in_queue\": {}, \"shed_rate\": {:.4}, ",
+                "\"latency\": {}, \"queue_wait\": {}, \"sla\": {}}}"
+            ),
+            self.engine.to_json(),
+            self.submitted,
+            self.completed,
+            self.rejected_queue_full,
+            self.rejected_deadline,
+            self.shed_in_queue,
+            self.shed_rate(),
+            self.latency.to_json_ms(),
+            self.queue_wait.to_json_ms(),
+            sla,
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Builder and session
+// ---------------------------------------------------------------------------
+
+/// Configures and starts a [`ServingSession`] over a
+/// [`ShardedRecMgSystem`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionBuilder {
+    workers: usize,
+    guidance: GuidanceMode,
+    admission: AdmissionPolicy,
+    sla: Option<SlaBudget>,
+}
+
+impl Default for SessionBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SessionBuilder {
+    /// One worker, default guidance, default admission, no SLA.
+    pub fn new() -> Self {
+        SessionBuilder {
+            workers: 1,
+            guidance: GuidanceMode::default(),
+            admission: AdmissionPolicy::default(),
+            sla: None,
+        }
+    }
+
+    /// Serving worker threads.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Guidance scheduling ([`GuidanceMode`]).
+    pub fn guidance(mut self, guidance: GuidanceMode) -> Self {
+        self.guidance = guidance;
+        self
+    }
+
+    /// Admission control for the request queue.
+    pub fn admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.admission = admission;
+        self
+    }
+
+    /// Latency budget; enables the SLA section of the report and
+    /// pressure degradation.
+    pub fn sla(mut self, sla: SlaBudget) -> Self {
+        self.sla = Some(sla);
+        self
+    }
+
+    /// Consumes `system` and starts the session's worker (and, in
+    /// background guidance mode, plane) threads. [`ServingSession::drain`]
+    /// returns the system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero, background guidance is configured with
+    /// zero threads, or the SLA budget is invalid.
+    pub fn build(self, system: ShardedRecMgSystem) -> ServingSession {
+        assert!(self.workers > 0, "need at least one serving worker");
+        if let Some(sla) = &self.sla {
+            sla.validate();
+        }
+        let ShardedRecMgSystem {
+            ctx,
+            router,
+            shards,
+        } = system;
+        let num_shards = router.num_shards();
+        let guided_before: u64 = shards.iter().map(|s| s.guided_chunks).sum();
+        let chunks_before: u64 = shards.iter().map(|s| s.chunk_counter as u64).sum();
+
+        let (plane, proto_tx, plane_cfg) = match self.guidance {
+            GuidanceMode::Inline => (None, None, None),
+            GuidanceMode::Background { threads, max_lag } => {
+                assert!(threads > 0, "need at least one guidance thread");
+                let (tx, rx) = mpsc::channel::<GuidanceJob>();
+                let plane = PlaneState {
+                    rx: Mutex::new(rx),
+                    completed: (0..num_shards).map(|_| Mutex::new(Vec::new())).collect(),
+                    in_flight: (0..num_shards).map(|_| AtomicUsize::new(0)).collect(),
+                    max_lag,
+                };
+                (Some(plane), Some(tx), Some(threads))
+            }
+        };
+
+        let shared = Arc::new(SessionShared {
+            ctx,
+            router,
+            shards: shards.into_iter().map(Mutex::new).collect(),
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            closed: AtomicBool::new(false),
+            admission: self.admission,
+            sla: self.sla,
+            plane,
+            submitted: AtomicU64::new(0),
+            rejected_queue_full: AtomicU64::new(0),
+            rejected_deadline: AtomicU64::new(0),
+            shed_in_queue: AtomicU64::new(0),
+        });
+
+        let plane_threads = plane_cfg
+            .map(|threads| {
+                (0..threads)
+                    .map(|_| {
+                        let shared = Arc::clone(&shared);
+                        std::thread::spawn(move || plane_loop(&shared))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+
+        let workers = (0..self.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let tx = proto_tx.clone();
+                std::thread::spawn(move || worker_loop(&shared, tx))
+            })
+            .collect();
+
+        ServingSession {
+            shared,
+            workers,
+            plane_threads,
+            proto_tx,
+            epoch: Instant::now(),
+            guided_before,
+            chunks_before,
+        }
+    }
+}
+
+/// A running streaming-serving instance: owns the shards and threads of a
+/// [`ShardedRecMgSystem`] between [`SessionBuilder::build`] and
+/// [`ServingSession::drain`].
+pub struct ServingSession {
+    shared: Arc<SessionShared>,
+    workers: Vec<JoinHandle<WorkerLog>>,
+    plane_threads: Vec<JoinHandle<()>>,
+    proto_tx: Option<mpsc::Sender<GuidanceJob>>,
+    epoch: Instant,
+    guided_before: u64,
+    chunks_before: u64,
+}
+
+impl std::fmt::Debug for ServingSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServingSession")
+            .field("workers", &self.workers.len())
+            .field("plane_threads", &self.plane_threads.len())
+            .field("queue_len", &self.queue_len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServingSession {
+    /// Offers one request; returns immediately. The request is admitted to
+    /// the bounded queue or rejected per the [`AdmissionPolicy`].
+    pub fn submit(&self, request: Request) -> Result<(), Rejection> {
+        self.submit_at(request, Instant::now())
+    }
+
+    /// Admission with an explicit arrival instant (ingest passes the
+    /// scheduled arrival so queueing delay is measured from when the
+    /// request *arrived*, not from when the submission loop got to it).
+    fn submit_at(&self, request: Request, arrival_at: Instant) -> Result<(), Rejection> {
+        let shared = &*self.shared;
+        shared.submitted.fetch_add(1, Ordering::Relaxed);
+        let deadline_at = request.deadline.map(|d| arrival_at + d);
+        if shared.admission.reject_blown {
+            if let Some(d) = deadline_at {
+                if Instant::now() > d {
+                    shared.rejected_deadline.fetch_add(1, Ordering::Relaxed);
+                    return Err(Rejection::DeadlineBlown);
+                }
+            }
+        }
+        {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            if queue.len() >= shared.admission.queue_depth {
+                shared.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+                return Err(Rejection::QueueFull);
+            }
+            queue.push_back(Admitted {
+                id: request.id,
+                keys: request.keys,
+                arrival_at,
+                deadline_at,
+            });
+        }
+        shared.available.notify_one();
+        Ok(())
+    }
+
+    /// Pulls `source` dry, pacing submissions to each request's arrival
+    /// offset (sleeping until `start + arrival`). Returns the number of
+    /// requests pulled; admission outcomes land in the final
+    /// [`SessionReport`].
+    pub fn ingest<S: RequestSource + ?Sized>(&self, source: &mut S) -> usize {
+        let start = Instant::now();
+        let mut pulled = 0usize;
+        while let Some(request) = source.next_request() {
+            pulled += 1;
+            let arrival_at = start + request.arrival;
+            let now = Instant::now();
+            if arrival_at > now {
+                std::thread::sleep(arrival_at - now);
+            }
+            let _ = self.submit_at(request, arrival_at);
+        }
+        pulled
+    }
+
+    /// Requests currently waiting in the queue.
+    pub fn queue_len(&self) -> usize {
+        self.shared.queue.lock().expect("queue lock").len()
+    }
+
+    /// Closes the queue, serves everything already admitted, joins all
+    /// threads, and returns the (warm) system together with the session
+    /// report.
+    pub fn drain(mut self) -> (ShardedRecMgSystem, SessionReport) {
+        {
+            // Set `closed` under the queue lock: a worker holds that lock
+            // from its empty-check to its condvar wait, so the flag cannot
+            // slip into that window and lose the wakeup.
+            let _queue = self.shared.queue.lock().expect("queue lock");
+            self.shared.closed.store(true, Ordering::Release);
+        }
+        self.shared.available.notify_all();
+
+        let mut stats = BatchAccessStats::default();
+        let mut samples: Vec<RequestSample> = Vec::new();
+        for handle in self.workers.drain(..) {
+            let log = handle.join().expect("session worker does not panic");
+            stats.accumulate(log.stats);
+            samples.extend(log.samples);
+        }
+        // All worker-held senders are dropped; dropping the prototype
+        // closes the channel and lets the plane exit.
+        drop(self.proto_tx.take());
+        for handle in self.plane_threads.drain(..) {
+            handle.join().expect("guidance plane does not panic");
+        }
+        let elapsed_secs = self.epoch.elapsed().as_secs_f64();
+
+        let shared = match Arc::try_unwrap(self.shared) {
+            Ok(shared) => shared,
+            Err(_) => unreachable!("all session threads joined"),
+        };
+        let SessionShared {
+            ctx,
+            router,
+            shards,
+            plane,
+            submitted,
+            rejected_queue_full,
+            rejected_deadline,
+            shed_in_queue,
+            sla,
+            ..
+        } = shared;
+        let mut shards: Vec<Shard> = shards
+            .into_iter()
+            .map(|m| m.into_inner().expect("shard lock"))
+            .collect();
+        // Guidance computed after its shard went idle is still valid
+        // buffer reprioritization — apply it so the returned system starts
+        // warm. It arrived too late to guide any chunk of *this* session,
+        // so it is intentionally not counted in guided_chunks.
+        if let Some(plane) = plane {
+            for (sid, slot) in plane.completed.into_iter().enumerate() {
+                for u in slot.into_inner().expect("completed lock") {
+                    let shard = &mut shards[sid];
+                    shard.prefetches_issued += u.prefetched.len() as u64;
+                    shard
+                        .buffer
+                        .load_embeddings(&u.chunk, &u.bits, &u.prefetched);
+                }
+            }
+        }
+        let system = ShardedRecMgSystem {
+            ctx,
+            router,
+            shards,
+        };
+
+        let latency = LatencySummary::from_durations(samples.iter().map(|s| s.latency).collect());
+        let queue_wait =
+            LatencySummary::from_durations(samples.iter().map(|s| s.queue_wait).collect());
+        let sla_outcome = sla.map(|budget| {
+            let met = samples
+                .iter()
+                .filter(|s| s.latency <= budget.target)
+                .count() as u64;
+            SlaOutcome {
+                budget: budget.target,
+                met,
+                missed: samples.len() as u64 - met,
+                degraded_skip_ahead: samples
+                    .iter()
+                    .filter(|s| s.degrade == DegradeLevel::SkipAhead)
+                    .count() as u64,
+                degraded_prefetch_off: samples
+                    .iter()
+                    .filter(|s| s.degrade == DegradeLevel::PrefetchOff)
+                    .count() as u64,
+            }
+        });
+        let report = SessionReport {
+            engine: EngineReport {
+                stats,
+                batches: samples.len(),
+                guided_chunks: system.guided_chunks() - self.guided_before,
+                total_chunks: system.total_chunks() - self.chunks_before,
+                elapsed_secs,
+            },
+            submitted: submitted.into_inner(),
+            rejected_queue_full: rejected_queue_full.into_inner(),
+            rejected_deadline: rejected_deadline.into_inner(),
+            shed_in_queue: shed_in_queue.into_inner(),
+            completed: samples.len() as u64,
+            latency,
+            queue_wait,
+            sla: sla_outcome,
+        };
+        (system, report)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker and plane loops
+// ---------------------------------------------------------------------------
+
+/// Blocks until a request is available or the session is closed and the
+/// queue is empty.
+fn pop_request(shared: &SessionShared) -> Option<Admitted> {
+    let mut queue = shared.queue.lock().expect("queue lock");
+    loop {
+        if let Some(request) = queue.pop_front() {
+            return Some(request);
+        }
+        if shared.closed.load(Ordering::Acquire) {
+            return None;
+        }
+        queue = shared.available.wait(queue).expect("queue lock");
+    }
+}
+
+fn worker_loop(shared: &SessionShared, tx: Option<mpsc::Sender<GuidanceJob>>) -> WorkerLog {
+    let mut log = WorkerLog::default();
+    while let Some(request) = pop_request(shared) {
+        let dequeued = Instant::now();
+        if shared.admission.shed_blown {
+            if let Some(d) = request.deadline_at {
+                if dequeued > d {
+                    shared.shed_in_queue.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+            }
+        }
+        let queue_wait = dequeued.saturating_duration_since(request.arrival_at);
+        let degrade = shared
+            .sla
+            .map_or(DegradeLevel::None, |sla| sla.level(queue_wait));
+        serve_request(shared, &request.keys, degrade, tx.as_ref(), &mut log.stats);
+        let finished = Instant::now();
+        log.samples.push(RequestSample {
+            id: request.id,
+            queue_wait,
+            service: finished.saturating_duration_since(dequeued),
+            latency: finished.saturating_duration_since(request.arrival_at),
+            deadline_met: request.deadline_at.map(|d| finished <= d),
+            degrade,
+        });
+    }
+    // Dropping `tx` here (worker exit) releases the plane channel.
+    log
+}
+
+/// Serves one request's keys across its home shards at the chosen
+/// degradation level.
+fn serve_request(
+    shared: &SessionShared,
+    keys: &[VectorKey],
+    degrade: DegradeLevel,
+    tx: Option<&mpsc::Sender<GuidanceJob>>,
+    stats: &mut BatchAccessStats,
+) {
+    let parts = shared.router.split(keys);
+    for (sid, part) in parts.iter().enumerate() {
+        if part.is_empty() {
+            continue;
+        }
+        let mut shard = shared.shards[sid].lock().expect("shard lock");
+        match degrade {
+            DegradeLevel::None => match (&shared.plane, tx) {
+                (Some(plane), Some(tx)) => serve_shard_background(
+                    &mut shard,
+                    part,
+                    stats,
+                    &shared.ctx,
+                    tx,
+                    &plane.completed[sid],
+                    &plane.in_flight[sid],
+                    plane.max_lag,
+                ),
+                _ => stats.accumulate(shard.process_keys(part, &shared.ctx, &shared.router)),
+            },
+            DegradeLevel::SkipAhead | DegradeLevel::PrefetchOff => {
+                // Degraded: no fresh guidance for this request (§VI-C
+                // skip-ahead on purpose). Background guidance that already
+                // finished is still applied — with its prefetch list
+                // stripped at PrefetchOff.
+                if let Some(plane) = &shared.plane {
+                    let keep_prefetch = degrade == DegradeLevel::SkipAhead;
+                    for u in plane.completed[sid]
+                        .lock()
+                        .expect("completed lock")
+                        .drain(..)
+                    {
+                        let prefetched: &[VectorKey] =
+                            if keep_prefetch { &u.prefetched } else { &[] };
+                        shard.apply_guidance(&u.chunk, &u.bits, prefetched);
+                    }
+                }
+                shard.process_keys_unguided(part, shared.ctx.cfg.input_len, stats);
+            }
+        }
+    }
+}
+
+/// Guidance-plane thread body: compute guidance for offered chunks until
+/// every sender (worker) is gone.
+fn plane_loop(shared: &SessionShared) {
+    let plane = shared
+        .plane
+        .as_ref()
+        .expect("plane threads only run in background mode");
+    loop {
+        let job = match plane.rx.lock().expect("rx lock").recv() {
+            Ok(job) => job,
+            Err(_) => break, // all workers done
+        };
+        let (bits, prefetched) = Shard::compute_guidance(
+            &job.chunk,
+            job.armed,
+            job.shard,
+            &shared.ctx,
+            &shared.router,
+        );
+        plane.completed[job.shard]
+            .lock()
+            .expect("completed lock")
+            .push(GuidanceUpdate {
+                chunk: job.chunk,
+                bits,
+                prefetched,
+            });
+        plane.in_flight[job.shard].fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Serves one shard sub-batch under the background guidance plane: demand
+/// accesses never wait; completed guidance is applied at chunk boundaries;
+/// new chunks are offered to the plane unless it lags more than `max_lag`
+/// (the paper's §VI-C skip-ahead rule).
+#[allow(clippy::too_many_arguments)]
+fn serve_shard_background(
+    shard: &mut Shard,
+    keys: &[VectorKey],
+    stats: &mut BatchAccessStats,
+    ctx: &GuidanceCtx,
+    tx: &mpsc::Sender<GuidanceJob>,
+    completed: &Mutex<Vec<GuidanceUpdate>>,
+    in_flight: &AtomicUsize,
+    max_lag: usize,
+) {
+    let input_len = ctx.cfg.input_len;
+    for &key in keys {
+        shard.record_access(key, stats);
+        shard.pending.push(key);
+        while shard.pending.len() >= input_len {
+            // Apply whatever the plane has finished before deciding about
+            // the new chunk (bounded staleness, never blocking).
+            for u in completed.lock().expect("completed lock").drain(..) {
+                shard.apply_guidance(&u.chunk, &u.bits, &u.prefetched);
+            }
+            let chunk: Vec<VectorKey> = shard.pending.drain(..input_len).collect();
+            shard.chunk_counter += 1;
+            if in_flight.load(Ordering::Acquire) >= max_lag {
+                // The CPU plane is behind: skip ahead, run on stale
+                // guidance (§VI-C).
+                shard.unguided_chunks += 1;
+                continue;
+            }
+            let armed = shard.prefetch_armed(ctx);
+            in_flight.fetch_add(1, Ordering::AcqRel);
+            if tx
+                .send(GuidanceJob {
+                    shard: shard.id,
+                    chunk,
+                    armed,
+                })
+                .is_err()
+            {
+                // Plane already shut down (can only happen at teardown).
+                in_flight.fetch_sub(1, Ordering::AcqRel);
+                shard.unguided_chunks += 1;
+            } else {
+                // Give the plane a scheduling slot. On a loaded or
+                // single-core host the serving workers would otherwise
+                // starve the guidance threads into pure skip-ahead; on idle
+                // multicore hosts this is a near no-op.
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::caching_model::CachingModel;
+    use crate::codec::FrequencyRankCodec;
+    use crate::config::RecMgConfig;
+    use crate::prefetch_model::PrefetchModel;
+    use recmg_trace::SyntheticConfig;
+
+    fn system(num_shards: usize) -> ShardedRecMgSystem {
+        let cfg = RecMgConfig::tiny();
+        let caching = CachingModel::new(&cfg);
+        let prefetch = PrefetchModel::new(&cfg);
+        let trace = SyntheticConfig::tiny(5).generate();
+        let codec = FrequencyRankCodec::from_accesses(&trace.accesses()[..500]);
+        ShardedRecMgSystem::new(&caching, Some(&prefetch), codec, 64, num_shards)
+    }
+
+    #[test]
+    fn batch_source_yields_every_batch_at_time_zero() {
+        let trace = SyntheticConfig::tiny(7).generate();
+        let batches = trace.batches(10);
+        let mut src = BatchSource::new(&batches);
+        assert_eq!(src.remaining_hint(), Some(batches.len()));
+        let mut total = 0usize;
+        let mut count = 0usize;
+        while let Some(req) = src.next_request() {
+            assert_eq!(req.id, count as u64);
+            assert_eq!(req.arrival, Duration::ZERO);
+            assert_eq!(req.deadline, None);
+            total += req.keys.len();
+            count += 1;
+        }
+        assert_eq!(count, batches.len());
+        assert_eq!(total, trace.len());
+        assert_eq!(src.remaining_hint(), Some(0));
+    }
+
+    #[test]
+    fn synthetic_poisson_arrivals_are_monotone() {
+        let spec = WorkloadSpec::default();
+        let mut src = SyntheticSource::new(
+            spec,
+            8,
+            50,
+            ArrivalProcess::Poisson { rate_hz: 10_000.0 },
+            42,
+        )
+        .with_deadline(Duration::from_millis(5));
+        let mut last = Duration::ZERO;
+        let mut n = 0usize;
+        while let Some(req) = src.next_request() {
+            assert_eq!(req.keys.len(), 8);
+            assert!(req.arrival >= last, "arrivals must be non-decreasing");
+            assert_eq!(req.deadline, Some(Duration::from_millis(5)));
+            last = req.arrival;
+            n += 1;
+        }
+        assert_eq!(n, 50);
+        assert!(last > Duration::ZERO, "Poisson gaps are a.s. positive");
+    }
+
+    #[test]
+    fn trace_replay_covers_the_trace() {
+        let trace = SyntheticConfig::tiny(9).generate();
+        let mut src = TraceReplaySource::new(
+            &trace,
+            5,
+            ArrivalProcess::Uniform {
+                interval: Duration::from_micros(3),
+            },
+            0,
+        );
+        let mut total = 0usize;
+        let mut i = 0usize;
+        while let Some(req) = src.next_request() {
+            total += req.keys.len();
+            assert_eq!(req.arrival, Duration::from_micros(3) * (i as u32 + 1));
+            i += 1;
+        }
+        assert_eq!(total, trace.len());
+    }
+
+    #[test]
+    fn batch_backed_session_serves_everything() {
+        let trace = SyntheticConfig::tiny(11).generate();
+        let batches = trace.batches(10);
+        let session = SessionBuilder::new()
+            .workers(2)
+            .guidance(GuidanceMode::Background {
+                threads: 1,
+                max_lag: 1,
+            })
+            .admission(AdmissionPolicy::unbounded())
+            .build(system(4));
+        session.ingest(&mut BatchSource::new(&batches));
+        let (sys, report) = session.drain();
+        assert_eq!(report.submitted, batches.len() as u64);
+        assert_eq!(report.completed, batches.len() as u64);
+        assert_eq!(report.engine.stats.total(), trace.len() as u64);
+        assert_eq!(report.shed_rate(), 0.0);
+        assert_eq!(report.latency.count, batches.len());
+        assert!(report.latency.p50 <= report.latency.p95);
+        assert!(report.latency.p95 <= report.latency.p99);
+        assert!(report.latency.p99 <= report.latency.max);
+        assert!(sys.total_chunks() > 0);
+        assert!(report.to_json().contains("\"shed_rate\": 0.0000"));
+    }
+
+    #[test]
+    fn zero_depth_queue_rejects_every_submit() {
+        let session = SessionBuilder::new()
+            .admission(AdmissionPolicy {
+                queue_depth: 0,
+                ..AdmissionPolicy::default()
+            })
+            .guidance(GuidanceMode::Inline)
+            .build(system(1));
+        for i in 0..5u64 {
+            let got = session.submit(Request {
+                id: i,
+                keys: vec![],
+                arrival: Duration::ZERO,
+                deadline: None,
+            });
+            assert_eq!(got, Err(Rejection::QueueFull));
+        }
+        let (_sys, report) = session.drain();
+        assert_eq!(report.submitted, 5);
+        assert_eq!(report.rejected_queue_full, 5);
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.shed_rate(), 1.0);
+    }
+
+    #[test]
+    fn blown_deadline_is_rejected_at_submit() {
+        let session = SessionBuilder::new()
+            .guidance(GuidanceMode::Inline)
+            .build(system(1));
+        // An arrival far enough in the past that its deadline has expired.
+        let Some(past) = Instant::now().checked_sub(Duration::from_millis(50)) else {
+            return; // process younger than 50ms; cannot construct the case
+        };
+        let got = session.submit_at(
+            Request {
+                id: 0,
+                keys: vec![],
+                arrival: Duration::ZERO,
+                deadline: Some(Duration::from_millis(1)),
+            },
+            past,
+        );
+        assert_eq!(got, Err(Rejection::DeadlineBlown));
+        let (_sys, report) = session.drain();
+        assert_eq!(report.rejected_deadline, 1);
+    }
+
+    #[test]
+    fn forced_sla_pressure_degrades_to_prefetch_off() {
+        let trace = SyntheticConfig::tiny(13).generate();
+        let batches = trace.batches(10);
+        let session = SessionBuilder::new()
+            .guidance(GuidanceMode::Inline)
+            .admission(AdmissionPolicy::unbounded())
+            .sla(SlaBudget {
+                target: Duration::from_nanos(1),
+                skip_ahead_at: 0.0,
+                prefetch_off_at: 0.0,
+            })
+            .build(system(2));
+        session.ingest(&mut BatchSource::new(&batches));
+        let (sys, report) = session.drain();
+        // Zero queue-wait already exceeds both thresholds: every request
+        // runs at PrefetchOff, so no chunk ever receives fresh guidance.
+        assert_eq!(report.engine.guided_chunks, 0);
+        assert!(report.engine.total_chunks > 0);
+        assert_eq!(sys.prefetches_issued(), 0);
+        let sla = report.sla.expect("sla configured");
+        assert_eq!(sla.degraded_prefetch_off, report.completed);
+        assert_eq!(sla.met, 0);
+        assert!((sla.attainment() - 0.0).abs() < 1e-9);
+        // Every access is still served — degradation sheds model work,
+        // never demand accesses.
+        assert_eq!(report.engine.stats.total(), trace.len() as u64);
+    }
+
+    #[test]
+    fn latency_summary_nearest_rank() {
+        let ms = Duration::from_millis;
+        let s = LatencySummary::from_durations((1..=100).map(ms).collect());
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50, ms(50));
+        assert_eq!(s.p95, ms(95));
+        assert_eq!(s.p99, ms(99));
+        assert_eq!(s.max, ms(100));
+        assert_eq!(LatencySummary::from_durations(vec![]).count, 0);
+        let one = LatencySummary::from_durations(vec![ms(7)]);
+        assert_eq!(one.p50, ms(7));
+        assert_eq!(one.p99, ms(7));
+        assert_eq!(one.mean, ms(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one serving worker")]
+    fn zero_worker_builder_panics() {
+        let _ = SessionBuilder::new().workers(0).build(system(1));
+    }
+}

@@ -203,6 +203,27 @@ impl Shard {
         }
     }
 
+    /// Serves a sub-stream of keys with *no* fresh guidance: chunks are
+    /// still formed and counted, but run on stale buffer priorities — the
+    /// §VI-C skip-ahead applied deliberately, which is how an SLA-pressured
+    /// session degrades a request ([`crate::config::DegradeLevel`]).
+    pub(crate) fn process_keys_unguided(
+        &mut self,
+        keys: &[VectorKey],
+        input_len: usize,
+        stats: &mut BatchAccessStats,
+    ) {
+        for &key in keys {
+            self.record_access(key, stats);
+            self.pending.push(key);
+            while self.pending.len() >= input_len {
+                self.pending.drain(..input_len);
+                self.chunk_counter += 1;
+                self.unguided_chunks += 1;
+            }
+        }
+    }
+
     /// Serves a sub-stream of keys with inline (synchronous) guidance.
     pub(crate) fn process_keys(
         &mut self,
@@ -386,6 +407,11 @@ impl ShardedRecMgSystem {
     /// per non-empty shard). Hit/miss totals are identical to
     /// [`ShardedRecMgSystem::process_batch`]; only wall-clock differs.
     pub fn process_batch_parallel(&mut self, batch: &[VectorKey]) -> BatchAccessStats {
+        assert_eq!(
+            self.shards.len(),
+            self.router.num_shards(),
+            "shard count must match the router (was a serving session abandoned mid-panic?)"
+        );
         if self.router.num_shards() == 1 {
             return self.process_batch(batch);
         }
@@ -420,6 +446,14 @@ impl BufferManager for ShardedRecMgSystem {
     }
 
     fn process_batch(&mut self, batch: &[VectorKey]) -> BatchAccessStats {
+        // A system whose shards were moved into a session that panicked
+        // mid-serve has no shards; zipping against the empty vec would
+        // silently drop every key, so fail loudly instead.
+        assert_eq!(
+            self.shards.len(),
+            self.router.num_shards(),
+            "shard count must match the router (was a serving session abandoned mid-panic?)"
+        );
         // Deterministic sequential path: shards are disjoint, so serving
         // them one after another produces the same counts as any
         // interleaving that preserves per-shard order.

@@ -1,0 +1,122 @@
+//! Streaming request serving with admission control and SLA budgets.
+//!
+//! Trains RecMG on half a synthetic trace, then serves a Poisson request
+//! stream through a `ServingSession` at three offered loads: comfortable
+//! (~50% of measured capacity), saturated (~95%), and overloaded (~200%).
+//! The report shows what throughput numbers hide — per-request latency
+//! percentiles, shed rate, and how the SLA machinery degrades guidance
+//! (skip-ahead first, then prefetch-off) instead of letting the queue grow
+//! without bound.
+//!
+//! Run with: `cargo run --release --example streaming_serving`
+
+use std::time::Duration;
+
+use recmg_repro::core::serving::WorkloadSpec;
+use recmg_repro::core::{
+    train_recmg, AdmissionPolicy, ArrivalProcess, BatchSource, GuidanceMode, RecMgConfig,
+    SessionBuilder, ShardedRecMgSystem, SlaBudget, SyntheticSource, TrainOptions,
+};
+use recmg_repro::trace::{SyntheticConfig, TraceStats};
+
+fn main() {
+    let cfg = RecMgConfig::default();
+    let trace = SyntheticConfig::dataset_scaled(0, 0.01).generate();
+    let stats = TraceStats::compute(&trace);
+    let capacity = stats.buffer_capacity(20.0);
+    let half = trace.len() / 2;
+    println!(
+        "trace: {} accesses, {} unique vectors, buffer capacity {capacity}",
+        trace.len(),
+        stats.unique
+    );
+    println!("training RecMG models on {half} accesses...");
+    let trained = train_recmg(
+        &trace.accesses()[..half],
+        &cfg,
+        capacity,
+        &TrainOptions::tiny(),
+    );
+
+    // Calibrate this machine's service rate with a batch-backed session
+    // (the back-compat path: all requests arrive at once, nothing is shed)
+    // in the same 4-shard/4-worker configuration the load runs use, so
+    // "capacity" below means *this* serving configuration's capacity.
+    let spec = WorkloadSpec::default();
+    let requests = 300usize;
+    let session = SessionBuilder::new()
+        .workers(4)
+        .guidance(GuidanceMode::Background {
+            threads: 2,
+            max_lag: 1,
+        })
+        .admission(AdmissionPolicy::unbounded())
+        .build(ShardedRecMgSystem::from_trained(&trained, capacity, 4));
+    session.ingest(&mut BatchSource::from_vecs(
+        spec.requests(requests, cfg.input_len),
+    ));
+    let (_sys, calib) = session.drain();
+    let service_rate = calib.completed as f64 / calib.engine.elapsed_secs.max(1e-9);
+    let sla = SlaBudget::new(Duration::from_secs_f64(5.0 / service_rate));
+    println!(
+        "calibration: {:.0} req/s batch-backed, SLA budget {:.2}ms\n",
+        service_rate,
+        sla.target.as_secs_f64() * 1e3
+    );
+
+    println!(
+        "{:<22} {:>9} {:>9} {:>9} {:>7} {:>7} {:>9} {:>9}",
+        "offered load", "p50 ms", "p95 ms", "p99 ms", "shed", "SLA", "skip-ahd", "pf-off"
+    );
+    for (label, fraction) in [
+        ("0.5x capacity", 0.5),
+        ("0.95x capacity", 0.95),
+        ("2x capacity", 2.0),
+    ] {
+        let session = SessionBuilder::new()
+            .workers(4)
+            .guidance(GuidanceMode::Background {
+                threads: 2,
+                max_lag: 1,
+            })
+            .admission(AdmissionPolicy {
+                queue_depth: 32,
+                ..AdmissionPolicy::default()
+            })
+            .sla(sla)
+            .build(ShardedRecMgSystem::from_trained(&trained, capacity, 4));
+        let mut source = SyntheticSource::new(
+            spec,
+            cfg.input_len,
+            requests,
+            ArrivalProcess::Poisson {
+                rate_hz: service_rate * fraction,
+            },
+            0xD1CE,
+        )
+        .with_deadline(sla.target * 4);
+        session.ingest(&mut source);
+        let (_sys, report) = session.drain();
+        let s = report.sla.expect("sla configured");
+        println!(
+            "{:<22} {:>9.3} {:>9.3} {:>9.3} {:>6.1}% {:>6.1}% {:>9} {:>9}",
+            label,
+            report.latency.p50.as_secs_f64() * 1e3,
+            report.latency.p95.as_secs_f64() * 1e3,
+            report.latency.p99.as_secs_f64() * 1e3,
+            report.shed_rate() * 100.0,
+            s.attainment() * 100.0,
+            s.degraded_skip_ahead,
+            s.degraded_prefetch_off,
+        );
+    }
+
+    println!(
+        "\nUnder pressure the session sheds what it cannot serve in time\n\
+         (bounded queue + blown-deadline rejection) and degrades the rest:\n\
+         requests whose queueing delay eats into the SLA budget run with\n\
+         stale guidance (the paper's §VI-C skip-ahead), and past the budget\n\
+         prefetch application is suppressed too. Latency percentiles stay\n\
+         bounded instead of diverging with the queue."
+    );
+}

@@ -1,0 +1,165 @@
+//! Streaming-session correctness: the session against its sequential
+//! oracle, and admission-control safety.
+//!
+//! Extends the parity oracle of `integration_sharding.rs` to the streaming
+//! path: a 1-shard batch-backed `ServingSession` (one worker, inline
+//! guidance, unbounded queue) runs the exact control flow of the
+//! sequential `RecMgSystem`, so its hit/miss/prefetch counts must match
+//! *exactly*. The property test pins the admission-control guarantee the
+//! SLA machinery rests on: a request whose deadline is satisfiable at zero
+//! load is never rejected or shed.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use recmg_repro::core::{
+    train_recmg, AdmissionPolicy, ArrivalProcess, BatchSource, GuidanceMode, RecMgConfig,
+    RecMgSystem, Request, RequestSource, SessionBuilder, ShardedRecMgSystem, SlaBudget,
+    TraceReplaySource, TrainOptions,
+};
+use recmg_repro::dlrm::{BatchAccessStats, BufferManager};
+use recmg_repro::trace::{RowId, SyntheticConfig, TableId, TraceStats, VectorKey};
+
+fn trained_setup() -> (
+    recmg_repro::trace::Trace,
+    recmg_repro::core::TrainedRecMg,
+    usize,
+) {
+    let cfg = RecMgConfig::tiny();
+    let trace = SyntheticConfig::tiny(101).generate();
+    let capacity = TraceStats::compute(&trace).buffer_capacity(20.0);
+    let trained = train_recmg(
+        &trace.accesses()[..trace.len() / 2],
+        &cfg,
+        capacity,
+        &TrainOptions::tiny(),
+    );
+    (trace, trained, capacity)
+}
+
+#[test]
+fn one_shard_batch_backed_session_matches_recmg_system_exactly() {
+    let (trace, trained, capacity) = trained_setup();
+    let mut reference = RecMgSystem::from_trained(&trained, capacity);
+    let mut ref_stats = BatchAccessStats::default();
+    for batch in trace.batches(10) {
+        ref_stats.accumulate(reference.process_batch(batch));
+    }
+
+    let session = SessionBuilder::new()
+        .workers(1)
+        .guidance(GuidanceMode::Inline)
+        .admission(AdmissionPolicy::unbounded())
+        .build(ShardedRecMgSystem::from_trained(&trained, capacity, 1));
+    let batches = trace.batches(10);
+    session.ingest(&mut BatchSource::new(&batches));
+    let (sharded, report) = session.drain();
+
+    // Exact parity, not approximate: same cache hits, same prefetch hits,
+    // same misses, same prefetch volume — the streaming path serves the
+    // identical control flow.
+    assert_eq!(report.engine.stats, ref_stats);
+    assert_eq!(reference.prefetches_issued(), sharded.prefetches_issued());
+    assert_eq!(report.completed, batches.len() as u64);
+    assert_eq!(report.submitted, batches.len() as u64);
+    assert_eq!(report.shed_rate(), 0.0);
+    assert_eq!(report.latency.count, batches.len());
+}
+
+#[test]
+fn trace_replay_session_covers_the_trace() {
+    let (trace, trained, capacity) = trained_setup();
+    let session = SessionBuilder::new()
+        .workers(2)
+        .guidance(GuidanceMode::Background {
+            threads: 1,
+            max_lag: 1,
+        })
+        .admission(AdmissionPolicy::unbounded())
+        .sla(SlaBudget::new(Duration::from_secs(30)))
+        .build(ShardedRecMgSystem::from_trained(&trained, capacity, 4));
+    let mut source = TraceReplaySource::new(&trace, 10, ArrivalProcess::Immediate, 7);
+    let pulled = session.ingest(&mut source);
+    let (sys, report) = session.drain();
+    assert_eq!(report.completed, pulled as u64);
+    assert_eq!(report.engine.stats.total(), trace.len() as u64);
+    assert!(sys.total_chunks() > 0);
+    let sla = report.sla.expect("sla configured");
+    // A 30s budget at zero offered-load pressure is always met.
+    assert_eq!(sla.missed, 0);
+    assert!((sla.attainment() - 1.0).abs() < 1e-9);
+}
+
+fn key_strategy() -> impl Strategy<Value = VectorKey> {
+    (0u32..16, 0u64..512).prop_map(|(t, r)| VectorKey::new(TableId(t), RowId(r)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Admission control never drops a request whose deadline is
+    /// satisfiable at zero load: with an empty queue, enough queue depth,
+    /// and a deadline far beyond the service time, every request must be
+    /// admitted, served, and completed within its deadline.
+    #[test]
+    fn zero_load_satisfiable_deadlines_are_never_dropped(
+        requests in prop::collection::vec(
+            prop::collection::vec(key_strategy(), 1..60),
+            1..12,
+        ),
+        num_shards in 1usize..5,
+    ) {
+        let cfg = RecMgConfig::tiny();
+        let caching = recmg_repro::core::CachingModel::new(&cfg);
+        let codec = recmg_repro::core::FrequencyRankCodec::from_accesses(
+            &[VectorKey::new(TableId(0), RowId(1))],
+        );
+        let system = ShardedRecMgSystem::new(&caching, None, codec, 64, num_shards);
+        let session = SessionBuilder::new()
+            .workers(1)
+            .guidance(GuidanceMode::Inline)
+            .admission(AdmissionPolicy {
+                queue_depth: 64, // >= the request count: zero-load queue never fills
+                ..AdmissionPolicy::default()
+            })
+            .build(system);
+        let total_keys: usize = requests.iter().map(Vec::len).sum();
+        for (i, keys) in requests.iter().enumerate() {
+            let got = session.submit(Request {
+                id: i as u64,
+                keys: keys.clone(),
+                arrival: Duration::ZERO,
+                deadline: Some(Duration::from_secs(60)),
+            });
+            prop_assert_eq!(got, Ok(()), "zero-load submit {} must be admitted", i);
+        }
+        let (_sys, report) = session.drain();
+        prop_assert_eq!(report.submitted, requests.len() as u64);
+        prop_assert_eq!(report.completed, requests.len() as u64);
+        prop_assert_eq!(report.rejected_queue_full, 0);
+        prop_assert_eq!(report.rejected_deadline, 0);
+        prop_assert_eq!(report.shed_in_queue, 0);
+        prop_assert_eq!(report.shed_rate(), 0.0);
+        prop_assert_eq!(report.engine.stats.total(), total_keys as u64);
+    }
+
+    /// The batch-backed source is lossless: every key of every batch comes
+    /// back out, in order, with arrival offset zero.
+    #[test]
+    fn batch_source_is_lossless(
+        batches in prop::collection::vec(
+            prop::collection::vec(key_strategy(), 0..40),
+            0..10,
+        ),
+    ) {
+        let refs: Vec<&[VectorKey]> = batches.iter().map(Vec::as_slice).collect();
+        let mut src = BatchSource::new(&refs);
+        let mut seen = Vec::new();
+        while let Some(req) = src.next_request() {
+            prop_assert_eq!(req.arrival, Duration::ZERO);
+            seen.push(req.keys);
+        }
+        prop_assert_eq!(seen, batches);
+    }
+}
