@@ -1,0 +1,162 @@
+//! Criterion microbench for the guidance-plane model forwards: per-item
+//! versus batched inference for both guidance models at B ∈ {1, 4, 16}.
+//!
+//! This is the kernel-level evidence behind the coalescing guidance plane
+//! (`ServingSession` in background mode): the batched kernels read each
+//! weight matrix once per batch instead of once per chunk and keep every
+//! intermediate in a reused [`FastScratch`], so the per-chunk cost of
+//! guidance falls as the plane drains deeper backlogs.
+//!
+//! Besides the Criterion timings, a single-shot measured sweep writes
+//! `BENCH_guidance.json` (workspace root, or under `RECMG_OUT`) with
+//! per-chunk microseconds for the single and batched paths and the
+//! resulting speedup, per model and batch size. Set `RECMG_SMOKE=1` to run
+//! a reduced-repetition smoke pass (CI uses this to keep the bench target
+//! exercised without burning minutes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use recmg_core::{CachingModel, FastScratch, PrefetchModel, RecMgConfig};
+use recmg_trace::{RowId, TableId, VectorKey};
+
+/// Deterministic chunks of `input_len` keys each.
+fn chunks(cfg: &RecMgConfig, n: usize) -> Vec<Vec<VectorKey>> {
+    (0..n)
+        .map(|c| {
+            (0..cfg.input_len)
+                .map(|i| {
+                    VectorKey::new(
+                        TableId((c % 13) as u32),
+                        RowId(((c * 31 + i * 7) % 997) as u64),
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Mean microseconds per chunk over `reps` runs of `f` (which processes
+/// `batch` chunks per run).
+fn us_per_chunk<F: FnMut()>(reps: usize, batch: usize, mut f: F) -> f64 {
+    f(); // warmup
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e6 / (reps * batch) as f64
+}
+
+fn bench_guidance_forward(c: &mut Criterion) {
+    let smoke = std::env::var("RECMG_SMOKE").is_ok();
+    let reps = if smoke { 3 } else { 40 };
+    let cfg = RecMgConfig::default();
+    let cm = CachingModel::new(&cfg).compile();
+    let pm = PrefetchModel::new(&cfg).compile();
+    let mut scratch = FastScratch::default();
+
+    let mut rows = Vec::new();
+    let mut group = c.benchmark_group("guidance_forward");
+    group.sample_size(if smoke { 2 } else { 10 });
+    for &batch in &[1usize, 4, 16] {
+        let data = chunks(&cfg, batch);
+        let refs: Vec<&[VectorKey]> = data.iter().map(Vec::as_slice).collect();
+        group.throughput(Throughput::Elements((batch * cfg.input_len) as u64));
+
+        group.bench_with_input(BenchmarkId::new("caching_single", batch), &batch, |b, _| {
+            b.iter(|| {
+                for chunk in &refs {
+                    black_box(cm.probs(chunk));
+                }
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("caching_batched", batch),
+            &batch,
+            |b, _| b.iter(|| black_box(cm.probs_batch_with(&refs, &mut scratch))),
+        );
+        let cm_single = us_per_chunk(reps, batch, || {
+            for chunk in &refs {
+                black_box(cm.probs(chunk));
+            }
+        });
+        let cm_batched = us_per_chunk(reps, batch, || {
+            black_box(cm.probs_batch_with(&refs, &mut scratch));
+        });
+
+        group.bench_with_input(
+            BenchmarkId::new("prefetch_single", batch),
+            &batch,
+            |b, _| {
+                b.iter(|| {
+                    for chunk in &refs {
+                        black_box(pm.codes(chunk));
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("prefetch_batched", batch),
+            &batch,
+            |b, _| b.iter(|| black_box(pm.codes_batch_with(&refs, &mut scratch))),
+        );
+        let pm_single = us_per_chunk(reps, batch, || {
+            for chunk in &refs {
+                black_box(pm.codes(chunk));
+            }
+        });
+        let pm_batched = us_per_chunk(reps, batch, || {
+            black_box(pm.codes_batch_with(&refs, &mut scratch));
+        });
+
+        for (model, single, batched) in [
+            ("caching", cm_single, cm_batched),
+            ("prefetch", pm_single, pm_batched),
+        ] {
+            println!(
+                "guidance_forward/{model}/B{batch}: single {single:.1} us/chunk, \
+                 batched {batched:.1} us/chunk ({:.2}x)",
+                single / batched.max(1e-9)
+            );
+            rows.push(format!(
+                concat!(
+                    "    {{\"model\": \"{}\", \"batch\": {}, ",
+                    "\"single_us_per_chunk\": {:.2}, \"batched_us_per_chunk\": {:.2}, ",
+                    "\"speedup\": {:.3}}}"
+                ),
+                model,
+                batch,
+                single,
+                batched,
+                single / batched.max(1e-9),
+            ));
+        }
+    }
+    group.finish();
+
+    let json = format!(
+        concat!(
+            "{{\n  \"bench\": \"guidance_forward\",\n",
+            "  \"input_len\": {}, \"output_len\": {}, \"smoke\": {},\n",
+            "  \"results\": [\n{}\n  ]\n}}\n"
+        ),
+        cfg.input_len,
+        cfg.output_len,
+        smoke,
+        rows.join(",\n"),
+    );
+    let out_dir = std::env::var("RECMG_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."));
+    let path = out_dir.join("BENCH_guidance.json");
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("could not write {}: {e}", path.display());
+    } else {
+        println!("wrote {}", path.display());
+    }
+}
+
+criterion_group!(benches, bench_guidance_forward);
+criterion_main!(benches);

@@ -17,7 +17,7 @@ use recmg_tensor::{ParamStore, Tape, Tensor, Var};
 use recmg_trace::VectorKey;
 
 use crate::config::RecMgConfig;
-use crate::fast::{FastLstm, FastStack};
+use crate::fast::{FastLstm, FastScratch, FastStack};
 use crate::labeling::Chunk;
 
 /// Outcome of a training run.
@@ -313,35 +313,80 @@ pub struct FastCachingModel {
 
 impl FastCachingModel {
     /// Per-position keep probabilities (matches
-    /// [`CachingModel::predict_probs`] to ≤1e-5).
+    /// [`CachingModel::predict_probs`] to ≤1e-5) — the batch-of-one case
+    /// of [`FastCachingModel::probs_batch`].
     pub fn probs(&self, keys: &[VectorKey]) -> Vec<f32> {
-        if keys.is_empty() {
-            return Vec::new();
-        }
-        let d = self.emb.cols();
-        let mut seq: Vec<Vec<f32>> = keys
-            .iter()
-            .map(|k| {
-                let b = k.bucket(self.vocab);
-                self.emb.data()[b * d..(b + 1) * d].to_vec()
-            })
-            .collect();
-        for stack in &self.stacks {
-            seq = stack.forward(&seq, None);
-        }
-        let mut logit = [0.0f32];
-        seq.iter()
-            .map(|h| {
-                crate::fast::fast_linear(&self.head_w, &self.head_b, h, &mut logit);
-                recmg_tensor::stable_sigmoid(logit[0])
-            })
-            .collect()
+        self.probs_batch(&[keys]).pop().unwrap_or_default()
     }
 
     /// The 1-bit priorities (probability above the calibrated threshold).
     pub fn predict(&self, keys: &[VectorKey]) -> Vec<bool> {
         let t = self.threshold;
         self.probs(keys).iter().map(|&p| p > t).collect()
+    }
+
+    /// Per-position keep probabilities for many chunks in one batched
+    /// forward (allocating a fresh [`FastScratch`]; hot loops should hold
+    /// one and call [`FastCachingModel::probs_batch_with`]).
+    pub fn probs_batch(&self, chunks: &[&[VectorKey]]) -> Vec<Vec<f32>> {
+        let mut scratch = FastScratch::default();
+        self.probs_batch_with(chunks, &mut scratch)
+    }
+
+    /// Per-position keep probabilities for many chunks, batched and
+    /// allocation-light: chunks are bucketed by length, each bucket runs
+    /// one time-major `[t, bsz, d]` forward through the LSTM stacks (one
+    /// pass over the weights per bucket, not per chunk), and the head runs
+    /// as a single `[t·bsz]`-row dense batch. Per chunk, the result is
+    /// bit-identical to [`FastCachingModel::probs`]: lanes are independent
+    /// and each lane's f32 operation sequence matches the single-item
+    /// path.
+    pub fn probs_batch_with(
+        &self,
+        chunks: &[&[VectorKey]],
+        scratch: &mut FastScratch,
+    ) -> Vec<Vec<f32>> {
+        let mut out: Vec<Vec<f32>> = chunks.iter().map(|c| vec![0.0f32; c.len()]).collect();
+        crate::fast::forward_buckets(
+            &self.emb,
+            self.vocab,
+            &self.stacks,
+            None,
+            chunks,
+            scratch,
+            |bucket, t, bsz, cur, spare| {
+                // Head over all positions at once: [t·bsz, h] → [t·bsz, 1].
+                spare.clear();
+                spare.resize(t * bsz, 0.0);
+                crate::fast::fast_linear_batch(&self.head_w, &self.head_b, t * bsz, cur, spare);
+                for (b, &ci) in bucket.iter().enumerate() {
+                    for ti in 0..t {
+                        out[ci][ti] = recmg_tensor::stable_sigmoid(spare[ti * bsz + b]);
+                    }
+                }
+            },
+        );
+        out
+    }
+
+    /// Batched 1-bit priorities (allocating a fresh scratch).
+    pub fn predict_batch(&self, chunks: &[&[VectorKey]]) -> Vec<Vec<bool>> {
+        let mut scratch = FastScratch::default();
+        self.predict_batch_with(chunks, &mut scratch)
+    }
+
+    /// Batched 1-bit priorities over a caller-held scratch — the guidance
+    /// plane's entry point ([`crate::session`]).
+    pub fn predict_batch_with(
+        &self,
+        chunks: &[&[VectorKey]],
+        scratch: &mut FastScratch,
+    ) -> Vec<Vec<bool>> {
+        let t = self.threshold;
+        self.probs_batch_with(chunks, scratch)
+            .into_iter()
+            .map(|probs| probs.into_iter().map(|p| p > t).collect())
+            .collect()
     }
 }
 
@@ -423,6 +468,57 @@ mod tests {
             assert!((x - y).abs() < 1e-5, "tape {x} vs fast {y}");
         }
         assert_eq!(m.predict(&keys), fast.predict(&keys));
+    }
+
+    #[test]
+    fn probs_batch_handles_empty_and_mixed_lengths() {
+        let cfg = RecMgConfig::tiny();
+        let fast = CachingModel::new(&cfg).compile();
+        let a: Vec<VectorKey> = (0..5).map(key).collect();
+        let b: Vec<VectorKey> = Vec::new();
+        let c: Vec<VectorKey> = (0..9).map(|r| key(r * 7 % 23)).collect();
+        let got = fast.probs_batch(&[&a, &b, &c]);
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].len(), 5);
+        assert!(got[1].is_empty());
+        assert_eq!(got[2].len(), 9);
+        assert_eq!(got[0], fast.probs(&a));
+        assert_eq!(got[2], fast.probs(&c));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(12))]
+
+        /// `probs_batch` / `predict_batch` match the per-item path across
+        /// random batch sizes and sequence lengths (mixed lengths exercise
+        /// the bucketing).
+        #[test]
+        fn probs_batch_matches_per_item(
+            seed in 0u64..500,
+            lens in proptest::prelude::prop::collection::vec(1usize..20, 1..7),
+        ) {
+            use rand::Rng;
+            let cfg = RecMgConfig::tiny();
+            let fast = CachingModel::new(&cfg).compile();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let chunks: Vec<Vec<VectorKey>> = lens
+                .iter()
+                .map(|&n| (0..n).map(|_| key(rng.gen_range(0..200))).collect())
+                .collect();
+            let refs: Vec<&[VectorKey]> = chunks.iter().map(Vec::as_slice).collect();
+            let batched = fast.probs_batch(&refs);
+            for (chunk, got) in chunks.iter().zip(&batched) {
+                let single = fast.probs(chunk);
+                proptest::prop_assert_eq!(single.len(), got.len());
+                for (x, y) in got.iter().zip(&single) {
+                    proptest::prop_assert!((x - y).abs() < 1e-5, "batched {} vs single {}", x, y);
+                }
+            }
+            let bits = fast.predict_batch(&refs);
+            for (chunk, got) in chunks.iter().zip(&bits) {
+                proptest::prop_assert_eq!(got, &fast.predict(chunk));
+            }
+        }
     }
 
     #[test]

@@ -30,16 +30,28 @@ pub enum GuidanceMode {
     /// boundary (the sequential system's behaviour; fully deterministic
     /// with one worker).
     Inline,
-    /// Guidance runs on a background thread pool; serving never waits. A
-    /// shard with `max_lag` or more chunks already in flight skips new
-    /// guidance requests (the paper's non-blocking skip-ahead rule), so
-    /// `max_lag: 0` disables guidance entirely.
+    /// Guidance runs on a background thread pool; serving never waits *on
+    /// a guidance result* — demand accesses always proceed on whatever
+    /// priorities the buffer currently holds. A shard with `max_lag` or
+    /// more chunks already in flight skips fresh guidance for the
+    /// arriving chunk (the paper's non-blocking skip-ahead rule), so
+    /// `max_lag: 0` disables guidance entirely; after such a skip the
+    /// producing worker pauses briefly (bounded, ~tens of ms worst case,
+    /// while holding that shard's lock) so the plane can drain the
+    /// backlog as one coalesced batch instead of every following chunk
+    /// skipping too. Each plane thread drains up to `max_batch` pending
+    /// chunks per wakeup and runs them as *one* batched model forward per
+    /// model, amortizing weight traffic across shards — which is why
+    /// `max_lag` tolerates a deeper backlog than the pre-batching plane
+    /// did: a backlog of N chunks costs one coalesced forward, not N.
     Background {
         /// Guidance-plane threads.
         threads: usize,
         /// In-flight guidance chunks tolerated per shard; at or above this
         /// count, new chunks are skipped.
         max_lag: usize,
+        /// Maximum chunks coalesced into one batched model forward.
+        max_batch: usize,
     },
 }
 
@@ -47,8 +59,59 @@ impl Default for GuidanceMode {
     fn default() -> Self {
         GuidanceMode::Background {
             threads: 1,
-            max_lag: 1,
+            max_lag: 8,
+            max_batch: 16,
         }
+    }
+}
+
+/// Guidance-plane accounting of one serve run: how hard the background
+/// plane worked and whether it kept up. All zeros under
+/// [`GuidanceMode::Inline`] (inline guidance is counted by
+/// `guided_chunks`, not here).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GuidancePlaneReport {
+    /// Batched model forwards run (caching and prefetch invocations each
+    /// count once, regardless of batch size).
+    pub model_forwards: u64,
+    /// Plane wakeups that drained at least one chunk.
+    pub drains: u64,
+    /// Chunks the plane computed guidance for.
+    pub chunks: u64,
+    /// Largest number of chunks coalesced into one drain.
+    pub max_batch: u64,
+    /// Plane lag at teardown: chunks whose guidance landed only at drain,
+    /// after the last access of the run. They count as guided (the model
+    /// ran and the update was applied, warming the returned system exactly
+    /// like an inline apply between batches), but a plane that keeps up
+    /// holds this near `shards × max_lag` or below — it is the lag signal
+    /// a capacity planner should watch.
+    pub late_chunks: u64,
+}
+
+impl GuidancePlaneReport {
+    /// Mean chunks per drained batch (0 when the plane never ran).
+    pub fn mean_batch(&self) -> f64 {
+        if self.drains == 0 {
+            0.0
+        } else {
+            self.chunks as f64 / self.drains as f64
+        }
+    }
+
+    fn to_json(self) -> String {
+        format!(
+            concat!(
+                "{{\"model_forwards\": {}, \"drains\": {}, \"chunks\": {}, ",
+                "\"mean_batch\": {:.2}, \"max_batch\": {}, \"late_chunks\": {}}}"
+            ),
+            self.model_forwards,
+            self.drains,
+            self.chunks,
+            self.mean_batch(),
+            self.max_batch,
+            self.late_chunks,
+        )
     }
 }
 
@@ -84,6 +147,8 @@ pub struct EngineReport {
     pub total_chunks: u64,
     /// Wall-clock serving time.
     pub elapsed_secs: f64,
+    /// Background guidance-plane accounting (zeros under inline guidance).
+    pub plane: GuidancePlaneReport,
 }
 
 impl EngineReport {
@@ -110,7 +175,7 @@ impl EngineReport {
             concat!(
                 "{{\"batches\": {}, \"keys\": {}, \"hit_rate\": {:.4}, ",
                 "\"guided_fraction\": {:.4}, \"keys_per_sec\": {:.1}, ",
-                "\"elapsed_secs\": {:.4}}}"
+                "\"elapsed_secs\": {:.4}, \"plane\": {}}}"
             ),
             self.batches,
             self.stats.total(),
@@ -118,6 +183,7 @@ impl EngineReport {
             self.guided_fraction(),
             self.keys_per_sec(),
             self.elapsed_secs,
+            self.plane.to_json(),
         )
     }
 }
@@ -218,7 +284,8 @@ mod tests {
                 workers: 2,
                 guidance: GuidanceMode::Background {
                     threads: 1,
-                    max_lag: 1,
+                    max_lag: 8,
+                    max_batch: 4,
                 },
             },
         );
@@ -227,6 +294,13 @@ mod tests {
         assert!(report.guided_fraction() <= 1.0);
         assert!(report.keys_per_sec() > 0.0);
         assert!(report.elapsed_secs > 0.0);
+        // Plane accounting: every guided chunk went through the plane
+        // (late ones included), and no drained batch exceeded the knob.
+        assert_eq!(report.plane.chunks, report.guided_chunks);
+        assert!(report.plane.late_chunks <= report.plane.chunks);
+        assert!(report.plane.max_batch <= 4);
+        assert!(report.plane.model_forwards > 0);
+        assert!(report.plane.mean_batch() >= 1.0);
     }
 
     #[test]
@@ -241,12 +315,15 @@ mod tests {
                 guidance: GuidanceMode::Background {
                     threads: 1,
                     max_lag: 0, // plane can never accept work
+                    max_batch: 16,
                 },
             },
         );
         assert_eq!(report.guided_chunks, 0);
         assert_eq!(report.guided_fraction(), 0.0);
         assert_eq!(report.stats.total(), trace.len() as u64);
+        assert_eq!(report.plane.chunks, 0);
+        assert_eq!(report.plane.model_forwards, 0);
     }
 
     #[test]
@@ -285,6 +362,10 @@ mod tests {
             "\"guided_fraction\"",
             "\"keys_per_sec\"",
             "\"elapsed_secs\"",
+            "\"plane\"",
+            "\"model_forwards\"",
+            "\"mean_batch\"",
+            "\"late_chunks\"",
         ] {
             assert!(json.contains(field), "missing {field} in {json}");
         }

@@ -9,6 +9,19 @@
 //! autograd tape entirely. Tests assert bit-for-bit-practical equivalence
 //! (≤1e-5) with the tape forward.
 //!
+//! Every kernel is *batched*: it advances `bsz` independent sequences per
+//! pass over the weights, so a guidance plane serving many shards reads
+//! each weight matrix once per drained batch instead of once per chunk
+//! (the Software-Defined-Memory move applied to model weights instead of
+//! embedding tiers). The single-item entry points are the `bsz == 1` case
+//! of the same code path, which is what makes batched-vs-single parity a
+//! structural property rather than a numerical accident: per item, the
+//! sequence of f32 operations is identical regardless of batch size.
+//!
+//! Batched tensors are flat row-major slices. Sequence inputs/outputs are
+//! *time-major*: `[t, bsz, dim]`, so one step's lanes are contiguous and a
+//! step kernel can walk `bsz` lanes per weight row.
+//!
 //! Weight layout is taken from the owning model's parameter order, which is
 //! fixed by construction: embedding table, then per stack
 //! `(enc.wx, enc.wh, enc.b, dec.wx, dec.wh, dec.b, attn.w, attn.b)`, then
@@ -16,7 +29,26 @@
 
 use recmg_tensor::{stable_sigmoid, Tensor};
 
-/// One LSTM cell's weights plus scratch state.
+/// Reusable buffers for batched fast-model forwards
+/// ([`FastCachingModel::probs_batch_with`] /
+/// [`FastPrefetchModel::codes_batch_with`]).
+///
+/// One `FastScratch` per serving thread removes every per-forward heap
+/// allocation from the guidance hot loop: the stack-level scratch
+/// (`gates`/`enc`/`scores`/`cat`) plus the two ping-pong sequence buffers
+/// that carry activations between LSTM stacks. Buffers grow to the largest
+/// batch seen and are reused verbatim afterwards.
+///
+/// [`FastCachingModel::probs_batch_with`]: crate::FastCachingModel::probs_batch_with
+/// [`FastPrefetchModel::codes_batch_with`]: crate::FastPrefetchModel::codes_batch_with
+#[derive(Debug, Clone, Default)]
+pub struct FastScratch {
+    pub(crate) stack: Scratch,
+    pub(crate) seq_a: Vec<f32>,
+    pub(crate) seq_b: Vec<f32>,
+}
+
+/// One LSTM cell's weights.
 #[derive(Debug, Clone)]
 pub(crate) struct FastLstm {
     wx: Tensor, // [e, 4h]
@@ -35,37 +67,76 @@ impl FastLstm {
         FastLstm { wx, wh, b, e, h }
     }
 
-    /// One step: consumes `x` (len `e`), updates `h`/`c` (len `h`) in
-    /// place, using `gates` (len `4h`) as scratch.
-    pub(crate) fn step(&self, x: &[f32], h: &mut [f32], c: &mut [f32], gates: &mut [f32]) {
+    /// One step over `bsz` independent lanes: consumes `x` (`[bsz, e]`),
+    /// updates `h`/`c` (`[bsz, h]`) in place, using `gates` (`[bsz, 4h]`)
+    /// as scratch. Each weight row is read once and applied to every lane,
+    /// so the weight traffic of a step is independent of `bsz`.
+    pub(crate) fn step_batch(
+        &self,
+        bsz: usize,
+        x: &[f32],
+        h: &mut [f32],
+        c: &mut [f32],
+        gates: &mut [f32],
+    ) {
         let hd = self.h;
-        gates.copy_from_slice(self.b.data());
-        for (e_i, &xv) in x.iter().enumerate().take(self.e) {
-            if xv == 0.0 {
-                continue;
-            }
-            let row = &self.wx.data()[e_i * 4 * hd..(e_i + 1) * 4 * hd];
-            for (g, &w) in gates.iter_mut().zip(row) {
-                *g += xv * w;
+        let e = self.e;
+        let g4 = 4 * hd;
+        debug_assert_eq!(x.len(), bsz * e);
+        debug_assert_eq!(h.len(), bsz * hd);
+        debug_assert_eq!(c.len(), bsz * hd);
+        debug_assert_eq!(gates.len(), bsz * g4);
+        for lane in gates.chunks_exact_mut(g4) {
+            lane.copy_from_slice(self.b.data());
+        }
+        let wx = self.wx.data();
+        for (e_i, row) in wx.chunks_exact(g4).enumerate().take(e) {
+            for b in 0..bsz {
+                let xv = x[b * e + e_i];
+                if xv == 0.0 {
+                    continue;
+                }
+                let lane = &mut gates[b * g4..(b + 1) * g4];
+                for (g, &w) in lane.iter_mut().zip(row) {
+                    *g += xv * w;
+                }
             }
         }
-        for (h_i, &hv) in h.iter().enumerate().take(hd) {
-            if hv == 0.0 {
-                continue;
-            }
-            let row = &self.wh.data()[h_i * 4 * hd..(h_i + 1) * 4 * hd];
-            for (g, &w) in gates.iter_mut().zip(row) {
-                *g += hv * w;
+        let wh = self.wh.data();
+        for (h_i, row) in wh.chunks_exact(g4).enumerate().take(hd) {
+            for b in 0..bsz {
+                let hv = h[b * hd + h_i];
+                if hv == 0.0 {
+                    continue;
+                }
+                let lane = &mut gates[b * g4..(b + 1) * g4];
+                for (g, &w) in lane.iter_mut().zip(row) {
+                    *g += hv * w;
+                }
             }
         }
-        for j in 0..hd {
-            let i = stable_sigmoid(gates[j]);
-            let f = stable_sigmoid(gates[hd + j]);
-            let g = gates[2 * hd + j].tanh();
-            let o = stable_sigmoid(gates[3 * hd + j]);
-            c[j] = f * c[j] + i * g;
-            h[j] = o * c[j].tanh();
+        for b in 0..bsz {
+            let lane = &gates[b * g4..(b + 1) * g4];
+            let h = &mut h[b * hd..(b + 1) * hd];
+            let c = &mut c[b * hd..(b + 1) * hd];
+            for j in 0..hd {
+                let i = stable_sigmoid(lane[j]);
+                let f = stable_sigmoid(lane[hd + j]);
+                let g = lane[2 * hd + j].tanh();
+                let o = stable_sigmoid(lane[3 * hd + j]);
+                c[j] = f * c[j] + i * g;
+                h[j] = o * c[j].tanh();
+            }
         }
+    }
+
+    /// One step of a single sequence — the `bsz == 1` case of
+    /// [`FastLstm::step_batch`], kept as the per-item reference for the
+    /// parity proptests (production code always goes through the batched
+    /// entry points).
+    #[cfg(test)]
+    pub(crate) fn step(&self, x: &[f32], h: &mut [f32], c: &mut [f32], gates: &mut [f32]) {
+        self.step_batch(1, x, h, c, gates);
     }
 
     pub(crate) fn hidden(&self) -> usize {
@@ -73,24 +144,132 @@ impl FastLstm {
     }
 }
 
-/// Dense layer `y = x W + b` over slices.
-pub(crate) fn fast_linear(w: &Tensor, b: &Tensor, x: &[f32], out: &mut [f32]) {
+/// Batched dense layer `Y = X W + b`: `xs` is `[bsz, in]`, `out` is
+/// `[bsz, out]`. One pass over the weight matrix serves all `bsz` rows.
+pub(crate) fn fast_linear_batch(w: &Tensor, b: &Tensor, bsz: usize, xs: &[f32], out: &mut [f32]) {
     let (in_dim, out_dim) = (w.rows(), w.cols());
-    debug_assert_eq!(x.len(), in_dim);
-    debug_assert_eq!(out.len(), out_dim);
-    out.copy_from_slice(&b.data()[..out_dim]);
-    for (i, &xv) in x.iter().enumerate() {
-        if xv == 0.0 {
-            continue;
-        }
-        let row = &w.data()[i * out_dim..(i + 1) * out_dim];
-        for (o, &wv) in out.iter_mut().zip(row) {
-            *o += xv * wv;
+    debug_assert_eq!(xs.len(), bsz * in_dim);
+    debug_assert_eq!(out.len(), bsz * out_dim);
+    for row in out.chunks_exact_mut(out_dim) {
+        row.copy_from_slice(&b.data()[..out_dim]);
+    }
+    let wd = w.data();
+    for (i, row) in wd.chunks_exact(out_dim).enumerate().take(in_dim) {
+        for bi in 0..bsz {
+            let xv = xs[bi * in_dim + i];
+            if xv == 0.0 {
+                continue;
+            }
+            let lane = &mut out[bi * out_dim..(bi + 1) * out_dim];
+            for (o, &wv) in lane.iter_mut().zip(row) {
+                *o += xv * wv;
+            }
         }
     }
 }
 
-/// One seq2seq stack (encoder + decoder + attention) with scratch buffers.
+/// Dense layer `y = x W + b` over slices — the `bsz == 1` case of
+/// [`fast_linear_batch`], kept as the per-item reference for the parity
+/// tests.
+#[cfg(test)]
+pub(crate) fn fast_linear(w: &Tensor, b: &Tensor, x: &[f32], out: &mut [f32]) {
+    fast_linear_batch(w, b, 1, x, out);
+}
+
+/// Shared driver for the batched model forwards: buckets non-empty
+/// `chunks` by length, and per bucket gathers the time-major
+/// `[t, bsz, d]` embedding batch from `emb`/`vocab` and runs it through
+/// `stacks` (all aligned when `out_len` is `None`; the final stack
+/// autoregressive for `Some(n)`). For each finished bucket, `emit`
+/// receives `(bucket chunk indices, t, bsz, activations, spare)` — the
+/// final time-major activations plus a reusable spare buffer for the head
+/// computation — and scatters into the model's output. Both fast models
+/// run their forwards through this one path, so bucketing, gathering, and
+/// stack chaining cannot drift apart between them.
+pub(crate) fn forward_buckets(
+    emb: &Tensor,
+    vocab: usize,
+    stacks: &[FastStack],
+    out_len: Option<usize>,
+    chunks: &[&[recmg_trace::VectorKey]],
+    scratch: &mut FastScratch,
+    mut emit: impl FnMut(&[usize], usize, usize, &mut Vec<f32>, &mut Vec<f32>),
+) {
+    let d = emb.cols();
+    let mut by_len: std::collections::BTreeMap<usize, Vec<usize>> =
+        std::collections::BTreeMap::new();
+    for (i, c) in chunks.iter().enumerate() {
+        if !c.is_empty() {
+            by_len.entry(c.len()).or_default().push(i);
+        }
+    }
+    let FastScratch {
+        stack,
+        seq_a,
+        seq_b,
+    } = scratch;
+    for (t, bucket) in by_len {
+        let bsz = bucket.len();
+        seq_a.clear();
+        seq_a.resize(t * bsz * d, 0.0);
+        for (b, &ci) in bucket.iter().enumerate() {
+            for (ti, key) in chunks[ci].iter().enumerate() {
+                let row = key.bucket(vocab);
+                seq_a[(ti * bsz + b) * d..(ti * bsz + b + 1) * d]
+                    .copy_from_slice(&emb.data()[row * d..(row + 1) * d]);
+            }
+        }
+        let (mut cur, mut next) = (&mut *seq_a, &mut *seq_b);
+        let last = stacks.len() - 1;
+        for (i, s) in stacks.iter().enumerate() {
+            let mode = if i == last { out_len } else { None };
+            s.forward_batch(bsz, t, cur, mode, stack, next);
+            std::mem::swap(&mut cur, &mut next);
+        }
+        emit(&bucket, t, bsz, cur, next);
+    }
+}
+
+/// Stack-level scratch for [`FastStack::forward_batch`]: encoder/decoder
+/// state, gate buffers, the time-major encoder-state tape, and the
+/// attention workspace. Reused across forwards so the hot loop allocates
+/// nothing.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Scratch {
+    gates: Vec<f32>,  // [bsz, 4h]
+    hs: Vec<f32>,     // [bsz, h] encoder hidden
+    cs: Vec<f32>,     // [bsz, h] encoder cell
+    dh: Vec<f32>,     // [bsz, h] decoder hidden
+    dc: Vec<f32>,     // [bsz, h] decoder cell
+    enc: Vec<f32>,    // [t_in, bsz, h] encoder states
+    scores: Vec<f32>, // [bsz, t_in] attention scores
+    cat: Vec<f32>,    // [bsz, 2h] context ++ query
+    feed: Vec<f32>,   // [bsz, h] autoregressive feed
+}
+
+impl Scratch {
+    fn prepare(&mut self, bsz: usize, t_in: usize, h: usize) {
+        // Only the encoder state (`hs`/`cs`) must start at zero; every
+        // other buffer is fully overwritten before its first read, so a
+        // plain resize — which zeroes growth only — keeps the lengths
+        // exact without re-memsetting the (large) tape and gate buffers
+        // on every forward.
+        let fit = |v: &mut Vec<f32>, n: usize| v.resize(n, 0.0);
+        fit(&mut self.gates, bsz * 4 * h);
+        fit(&mut self.dh, bsz * h);
+        fit(&mut self.dc, bsz * h);
+        fit(&mut self.enc, t_in * bsz * h);
+        fit(&mut self.scores, bsz * t_in);
+        fit(&mut self.cat, bsz * 2 * h);
+        fit(&mut self.feed, bsz * h);
+        self.hs.clear();
+        self.hs.resize(bsz * h, 0.0);
+        self.cs.clear();
+        self.cs.resize(bsz * h, 0.0);
+    }
+}
+
+/// One seq2seq stack (encoder + decoder + attention).
 #[derive(Debug, Clone)]
 pub(crate) struct FastStack {
     pub(crate) enc: FastLstm,
@@ -111,81 +290,145 @@ impl FastStack {
         }
     }
 
-    /// Luong attention over `enc_states` (T rows of width h) from `query`;
-    /// writes the combined tanh output into `out` (len h).
-    fn attend(&self, query: &[f32], enc_states: &[Vec<f32>], out: &mut [f32]) {
+    /// Batched Luong attention: for every lane `b`, scores `query[b]`
+    /// against the `t_in` encoder states of that lane (`enc` is
+    /// `[t_in, bsz, h]` time-major), softmaxes, builds the context ++
+    /// query concatenation in `cat`, and writes the combined tanh output
+    /// into `out` (`[bsz, h]`). Per lane the operation order matches the
+    /// historical single-item path exactly.
+    #[allow(clippy::too_many_arguments)]
+    fn attend_batch(
+        &self,
+        bsz: usize,
+        t_in: usize,
+        query: &[f32],
+        enc: &[f32],
+        scores: &mut [f32],
+        cat: &mut [f32],
+        out: &mut [f32],
+    ) {
         let h = self.enc.hidden();
-        // scores + softmax
-        let mut scores: Vec<f32> = enc_states
-            .iter()
-            .map(|s| s.iter().zip(query).map(|(a, b)| a * b).sum::<f32>())
-            .collect();
-        let mx = scores.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-        let mut denom = 0.0;
-        for s in &mut scores {
-            *s = (*s - mx).exp();
-            denom += *s;
-        }
-        // context
-        let mut cat = vec![0.0f32; 2 * h];
-        for (t, s) in enc_states.iter().enumerate() {
-            let w = scores[t] / denom;
-            for j in 0..h {
-                cat[j] += w * s[j];
+        for b in 0..bsz {
+            let q = &query[b * h..(b + 1) * h];
+            let sc = &mut scores[b * t_in..(b + 1) * t_in];
+            for (t, s) in sc.iter_mut().enumerate() {
+                let state = &enc[(t * bsz + b) * h..(t * bsz + b + 1) * h];
+                *s = state.iter().zip(q).map(|(a, b)| a * b).sum::<f32>();
             }
+            let mx = sc.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0;
+            for s in sc.iter_mut() {
+                *s = (*s - mx).exp();
+                denom += *s;
+            }
+            let lane = &mut cat[b * 2 * h..(b + 1) * 2 * h];
+            lane[..h].fill(0.0);
+            for t in 0..t_in {
+                let w = sc[t] / denom;
+                let state = &enc[(t * bsz + b) * h..(t * bsz + b + 1) * h];
+                for j in 0..h {
+                    lane[j] += w * state[j];
+                }
+            }
+            lane[h..2 * h].copy_from_slice(q);
         }
-        cat[h..2 * h].copy_from_slice(query);
-        fast_linear(&self.attn_w, &self.attn_b, &cat, out);
+        fast_linear_batch(&self.attn_w, &self.attn_b, bsz, cat, out);
         for o in out.iter_mut() {
             *o = o.tanh();
         }
     }
 
-    /// Runs the stack over `inputs` (each of width `enc.e`). `out_len =
-    /// None` runs aligned (one output per input); `Some(n)` runs
-    /// autoregressive.
-    pub(crate) fn forward(&self, inputs: &[Vec<f32>], out_len: Option<usize>) -> Vec<Vec<f32>> {
+    /// Runs the stack over `bsz` same-length sequences. `inputs` is
+    /// time-major `[t_in, bsz, e]`; the output written to `out` is
+    /// time-major `[t_out, bsz, h]`. `out_len = None` runs aligned (one
+    /// output per input); `Some(n)` runs autoregressive. All intermediate
+    /// state lives in `s` — the forward allocates nothing beyond growing
+    /// `out`/`s` on first use.
+    pub(crate) fn forward_batch(
+        &self,
+        bsz: usize,
+        t_in: usize,
+        inputs: &[f32],
+        out_len: Option<usize>,
+        s: &mut Scratch,
+        out: &mut Vec<f32>,
+    ) {
         let h = self.enc.hidden();
-        let mut gates = vec![0.0f32; 4 * h];
-        let mut hs = vec![0.0f32; h];
-        let mut cs = vec![0.0f32; h];
-        let mut enc_states = Vec::with_capacity(inputs.len());
-        for x in inputs {
-            self.enc.step(x, &mut hs, &mut cs, &mut gates);
-            enc_states.push(hs.clone());
+        let e = self.enc.e;
+        debug_assert_eq!(inputs.len(), t_in * bsz * e);
+        s.prepare(bsz, t_in, h);
+        for t in 0..t_in {
+            self.enc.step_batch(
+                bsz,
+                &inputs[t * bsz * e..(t + 1) * bsz * e],
+                &mut s.hs,
+                &mut s.cs,
+                &mut s.gates,
+            );
+            s.enc[t * bsz * h..(t + 1) * bsz * h].copy_from_slice(&s.hs);
         }
-        let mut dh = hs.clone();
-        let mut dc = cs.clone();
-        let mut outputs = Vec::new();
+        s.dh.copy_from_slice(&s.hs);
+        s.dc.copy_from_slice(&s.cs);
+        let t_out = out_len.unwrap_or(t_in);
+        out.clear();
+        out.resize(t_out * bsz * h, 0.0);
         match out_len {
             None => {
-                for e in &enc_states {
-                    self.dec.step(e, &mut dh, &mut dc, &mut gates);
-                    let mut out = vec![0.0f32; h];
-                    self.attend(&dh, &enc_states, &mut out);
-                    outputs.push(out);
+                for t in 0..t_in {
+                    self.dec.step_batch(
+                        bsz,
+                        &s.enc[t * bsz * h..(t + 1) * bsz * h],
+                        &mut s.dh,
+                        &mut s.dc,
+                        &mut s.gates,
+                    );
+                    self.attend_batch(
+                        bsz,
+                        t_in,
+                        &s.dh,
+                        &s.enc,
+                        &mut s.scores,
+                        &mut s.cat,
+                        &mut out[t * bsz * h..(t + 1) * bsz * h],
+                    );
                 }
             }
             Some(n) => {
-                let mut feed = hs;
-                for _ in 0..n {
-                    self.dec.step(&feed, &mut dh, &mut dc, &mut gates);
-                    let mut out = vec![0.0f32; h];
-                    self.attend(&dh, &enc_states, &mut out);
-                    feed = out.clone();
-                    outputs.push(out);
+                s.feed.copy_from_slice(&s.hs);
+                for t in 0..n {
+                    self.dec
+                        .step_batch(bsz, &s.feed, &mut s.dh, &mut s.dc, &mut s.gates);
+                    let slot = &mut out[t * bsz * h..(t + 1) * bsz * h];
+                    self.attend_batch(bsz, t_in, &s.dh, &s.enc, &mut s.scores, &mut s.cat, slot);
+                    s.feed.copy_from_slice(slot);
                 }
             }
         }
-        outputs
+    }
+
+    /// Runs the stack over a single sequence — the `bsz == 1` case of
+    /// [`FastStack::forward_batch`], kept as the per-item reference for
+    /// the parity proptests and tape-equivalence tests.
+    #[cfg(test)]
+    pub(crate) fn forward(&self, inputs: &[Vec<f32>], out_len: Option<usize>) -> Vec<Vec<f32>> {
+        let h = self.enc.hidden();
+        let mut flat = Vec::with_capacity(inputs.len() * self.enc.e);
+        for x in inputs {
+            flat.extend_from_slice(x);
+        }
+        let mut scratch = Scratch::default();
+        let mut out = Vec::new();
+        self.forward_batch(1, inputs.len(), &flat, out_len, &mut scratch, &mut out);
+        out.chunks(h).map(|c| c.to_vec()).collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rand::{Rng, SeedableRng};
     use recmg_tensor::nn::{DecoderFeed, Module, Seq2SeqStack};
     use recmg_tensor::{ParamStore, Tape, Tensor};
 
@@ -271,6 +514,120 @@ mod tests {
         let exact = Tensor::from_vec(x, &[1, 5]).matmul(&w);
         for (j, &o) in out.iter().enumerate() {
             assert!((o - (exact.at(0, j) + b.data()[j])).abs() < 1e-6);
+        }
+    }
+
+    /// Random batched input, time-major `[t, bsz, e]`.
+    fn batch_inputs(rng: &mut StdRng, t: usize, bsz: usize, e: usize) -> Vec<f32> {
+        (0..t * bsz * e).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    }
+
+    /// Lane `b` of a time-major batch, as the per-item `Vec<Vec<f32>>`.
+    fn lane(flat: &[f32], t: usize, bsz: usize, dim: usize, b: usize) -> Vec<Vec<f32>> {
+        (0..t)
+            .map(|ti| flat[(ti * bsz + b) * dim..(ti * bsz + b + 1) * dim].to_vec())
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// `fast_linear_batch` over B rows matches B single-row calls.
+        #[test]
+        fn fast_linear_batch_matches_single(
+            seed in 0u64..1_000,
+            bsz in 1usize..9,
+            in_dim in 1usize..12,
+            out_dim in 1usize..10,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let w = Tensor::rand_uniform(&mut rng, &[in_dim, out_dim], -1.0, 1.0);
+            let b = Tensor::rand_uniform(&mut rng, &[out_dim], -1.0, 1.0);
+            let xs: Vec<f32> = (0..bsz * in_dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let mut batched = vec![0.0f32; bsz * out_dim];
+            fast_linear_batch(&w, &b, bsz, &xs, &mut batched);
+            let mut single = vec![0.0f32; out_dim];
+            for bi in 0..bsz {
+                fast_linear(&w, &b, &xs[bi * in_dim..(bi + 1) * in_dim], &mut single);
+                for (j, &y) in single.iter().enumerate() {
+                    let x = batched[bi * out_dim + j];
+                    prop_assert!((x - y).abs() < 1e-5, "lane {} col {}: {} vs {}", bi, j, x, y);
+                }
+            }
+        }
+
+        /// `step_batch` over B lanes matches B single-lane steps.
+        #[test]
+        fn step_batch_matches_single(
+            seed in 0u64..1_000,
+            bsz in 1usize..9,
+            e in 1usize..8,
+            h in 1usize..8,
+            steps in 1usize..5,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let cell = FastLstm::new(
+                Tensor::rand_uniform(&mut rng, &[e, 4 * h], -0.5, 0.5),
+                Tensor::rand_uniform(&mut rng, &[h, 4 * h], -0.5, 0.5),
+                Tensor::rand_uniform(&mut rng, &[4 * h], -0.5, 0.5),
+            );
+            let mut bh = vec![0.0f32; bsz * h];
+            let mut bc = vec![0.0f32; bsz * h];
+            let mut bg = vec![0.0f32; bsz * 4 * h];
+            let mut sh = vec![vec![0.0f32; h]; bsz];
+            let mut sc = vec![vec![0.0f32; h]; bsz];
+            let mut sg = vec![0.0f32; 4 * h];
+            for _ in 0..steps {
+                let x = batch_inputs(&mut rng, 1, bsz, e);
+                cell.step_batch(bsz, &x, &mut bh, &mut bc, &mut bg);
+                for b in 0..bsz {
+                    cell.step(&x[b * e..(b + 1) * e], &mut sh[b], &mut sc[b], &mut sg);
+                }
+            }
+            for b in 0..bsz {
+                for j in 0..h {
+                    prop_assert!((bh[b * h + j] - sh[b][j]).abs() < 1e-5);
+                    prop_assert!((bc[b * h + j] - sc[b][j]).abs() < 1e-5);
+                }
+            }
+        }
+
+        /// `forward_batch` over B same-length sequences matches B per-item
+        /// forwards, aligned and autoregressive, with a reused scratch.
+        #[test]
+        fn forward_batch_matches_per_item(
+            seed in 0u64..1_000,
+            bsz in 1usize..7,
+            t in 1usize..9,
+            out_n in 1usize..5,
+            aligned in 0u32..2,
+        ) {
+            let (_store, _stack, fast) = paired_stack(seed, 5, 6);
+            let h = 6usize;
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xBA7C);
+            let flat = batch_inputs(&mut rng, t, bsz, 5);
+            let out_len = if aligned == 0 { None } else { Some(out_n) };
+            let mut scratch = Scratch::default();
+            let mut out = Vec::new();
+            // Run twice through the same scratch: reuse must not change
+            // results.
+            fast.forward_batch(bsz, t, &flat, out_len, &mut scratch, &mut out);
+            fast.forward_batch(bsz, t, &flat, out_len, &mut scratch, &mut out);
+            let t_out = out_len.unwrap_or(t);
+            prop_assert_eq!(out.len(), t_out * bsz * h);
+            for b in 0..bsz {
+                let single = fast.forward(&lane(&flat, t, bsz, 5, b), out_len);
+                prop_assert_eq!(single.len(), t_out);
+                for (ti, row) in single.iter().enumerate() {
+                    for (j, &y) in row.iter().enumerate() {
+                        let x = out[(ti * bsz + b) * h + j];
+                        prop_assert!(
+                            (x - y).abs() < 1e-5,
+                            "lane {} t {} j {}: {} vs {}", b, ti, j, x, y
+                        );
+                    }
+                }
+            }
         }
     }
 }

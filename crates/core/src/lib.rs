@@ -71,6 +71,7 @@ pub use caching_model::{CachingModel, FastCachingModel, TrainingReport};
 pub use codec::{FrequencyRankCodec, GlobalIdCodec, IndexCodec};
 pub use config::{AdmissionPolicy, DegradeLevel, RecMgConfig, SlaBudget};
 pub use engine::{EngineReport, GuidanceMode, ServeOptions};
+pub use fast::FastScratch;
 pub use labeling::{build_training_data, Chunk, PrefetchExample, TrainingData};
 pub use prefetch_model::{
     FastPrefetchModel, PrefetchEval, PrefetchLoss, PrefetchModel, PrefetchTrainingReport,

@@ -22,7 +22,7 @@ use recmg_trace::VectorKey;
 
 use crate::codec::IndexCodec;
 use crate::config::RecMgConfig;
-use crate::fast::{fast_linear, FastLstm, FastStack};
+use crate::fast::{fast_linear_batch, FastLstm, FastScratch, FastStack};
 use crate::labeling::PrefetchExample;
 
 /// Loss used for prefetch training.
@@ -357,41 +357,10 @@ pub struct FastPrefetchModel {
 
 impl FastPrefetchModel {
     /// Raw predicted codes (matches [`PrefetchModel::predict_codes`] to
-    /// ≤1e-5).
+    /// ≤1e-5) — the batch-of-one case of
+    /// [`FastPrefetchModel::codes_batch`].
     pub fn codes(&self, keys: &[VectorKey]) -> Vec<f32> {
-        if keys.is_empty() {
-            return Vec::new();
-        }
-        let d = self.emb.cols();
-        let mut seq: Vec<Vec<f32>> = keys
-            .iter()
-            .map(|k| {
-                let b = k.bucket(self.vocab);
-                self.emb.data()[b * d..(b + 1) * d].to_vec()
-            })
-            .collect();
-        let last = self.stacks.len() - 1;
-        for (i, stack) in self.stacks.iter().enumerate() {
-            let mode = if i == last {
-                Some(self.output_len)
-            } else {
-                None
-            };
-            seq = stack.forward(&seq, mode);
-        }
-        let h = self.fc_w.cols();
-        let mut hidden = vec![0.0f32; h];
-        let mut z = [0.0f32];
-        seq.iter()
-            .map(|o| {
-                fast_linear(&self.fc_w, &self.fc_b, o, &mut hidden);
-                for v in &mut hidden {
-                    *v = v.tanh();
-                }
-                fast_linear(&self.proj_w, &self.proj_b, &hidden, &mut z);
-                recmg_tensor::stable_sigmoid(z[0])
-            })
-            .collect()
+        self.codes_batch(&[keys]).pop().unwrap_or_default()
     }
 
     /// Decoded, deduplicated prefetch predictions.
@@ -405,6 +374,103 @@ impl FastPrefetchModel {
             }
         }
         out
+    }
+
+    /// Raw predicted codes for many chunks in one batched forward
+    /// (allocating a fresh [`FastScratch`]; hot loops should hold one and
+    /// call [`FastPrefetchModel::codes_batch_with`]).
+    pub fn codes_batch(&self, chunks: &[&[VectorKey]]) -> Vec<Vec<f32>> {
+        let mut scratch = FastScratch::default();
+        self.codes_batch_with(chunks, &mut scratch)
+    }
+
+    /// Raw predicted codes for many chunks, batched and allocation-light:
+    /// chunks are bucketed by input length, each bucket runs the aligned
+    /// stacks plus the final autoregressive stack as one time-major
+    /// forward (one pass over the weights per bucket), and the
+    /// fully-connected + projection head runs as a single
+    /// `[|PO|·bsz]`-row dense batch. Per chunk, the result is
+    /// bit-identical to [`FastPrefetchModel::codes`].
+    pub fn codes_batch_with(
+        &self,
+        chunks: &[&[VectorKey]],
+        scratch: &mut FastScratch,
+    ) -> Vec<Vec<f32>> {
+        let mut out: Vec<Vec<f32>> = chunks
+            .iter()
+            .map(|c| {
+                if c.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![0.0f32; self.output_len]
+                }
+            })
+            .collect();
+        let n = self.output_len;
+        crate::fast::forward_buckets(
+            &self.emb,
+            self.vocab,
+            &self.stacks,
+            Some(n),
+            chunks,
+            scratch,
+            |bucket, _t, bsz, cur, spare| {
+                // Output head over all |PO|·bsz positions at once: fc +
+                // tanh, then the scalar projection.
+                let h = self.fc_w.cols();
+                spare.clear();
+                spare.resize(n * bsz * h, 0.0);
+                fast_linear_batch(&self.fc_w, &self.fc_b, n * bsz, cur, spare);
+                for v in spare.iter_mut() {
+                    *v = v.tanh();
+                }
+                cur.clear();
+                cur.resize(n * bsz, 0.0);
+                fast_linear_batch(&self.proj_w, &self.proj_b, n * bsz, spare, cur);
+                for (b, &ci) in bucket.iter().enumerate() {
+                    for oi in 0..n {
+                        out[ci][oi] = recmg_tensor::stable_sigmoid(cur[oi * bsz + b]);
+                    }
+                }
+            },
+        );
+        out
+    }
+
+    /// Batched decoded, deduplicated prefetch predictions (allocating a
+    /// fresh scratch).
+    pub fn predict_batch(
+        &self,
+        chunks: &[&[VectorKey]],
+        codec: &dyn IndexCodec,
+    ) -> Vec<Vec<VectorKey>> {
+        let mut scratch = FastScratch::default();
+        self.predict_batch_with(chunks, codec, &mut scratch)
+    }
+
+    /// Batched decoded, deduplicated prefetch predictions over a
+    /// caller-held scratch — the guidance plane's entry point
+    /// ([`crate::session`]).
+    pub fn predict_batch_with(
+        &self,
+        chunks: &[&[VectorKey]],
+        codec: &dyn IndexCodec,
+        scratch: &mut FastScratch,
+    ) -> Vec<Vec<VectorKey>> {
+        self.codes_batch_with(chunks, scratch)
+            .into_iter()
+            .map(|codes| {
+                let mut preds = Vec::with_capacity(self.output_len);
+                for code in codes {
+                    if let Some(k) = codec.decode(code) {
+                        if !preds.contains(&k) {
+                            preds.push(k);
+                        }
+                    }
+                }
+                preds
+            })
+            .collect()
     }
 }
 
@@ -549,6 +615,57 @@ mod tests {
         }
         let codec = ring_codec();
         assert_eq!(m.predict(&keys, &codec), fast.predict(&keys, &codec));
+    }
+
+    #[test]
+    fn codes_batch_handles_empty_and_mixed_lengths() {
+        let cfg = RecMgConfig::tiny();
+        let fast = PrefetchModel::new(&cfg).compile();
+        let a: Vec<VectorKey> = (0..cfg.input_len as u64).map(key).collect();
+        let b: Vec<VectorKey> = Vec::new();
+        let c: Vec<VectorKey> = (0..4).map(|r| key(r * 3 % 11)).collect();
+        let got = fast.codes_batch(&[&a, &b, &c]);
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].len(), cfg.output_len);
+        assert!(got[1].is_empty());
+        assert_eq!(got[2].len(), cfg.output_len);
+        assert_eq!(got[0], fast.codes(&a));
+        assert_eq!(got[2], fast.codes(&c));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(10))]
+
+        /// `codes_batch` / `predict_batch` match the per-item path across
+        /// random batch sizes and sequence lengths.
+        #[test]
+        fn codes_batch_matches_per_item(
+            seed in 0u64..500,
+            lens in proptest::prelude::prop::collection::vec(1usize..16, 1..6),
+        ) {
+            use rand::Rng;
+            let cfg = RecMgConfig::tiny();
+            let fast = PrefetchModel::new(&cfg).compile();
+            let codec = ring_codec();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let chunks: Vec<Vec<VectorKey>> = lens
+                .iter()
+                .map(|&n| (0..n).map(|_| key(rng.gen_range(0..100))).collect())
+                .collect();
+            let refs: Vec<&[VectorKey]> = chunks.iter().map(Vec::as_slice).collect();
+            let batched = fast.codes_batch(&refs);
+            for (chunk, got) in chunks.iter().zip(&batched) {
+                let single = fast.codes(chunk);
+                proptest::prop_assert_eq!(single.len(), got.len());
+                for (x, y) in got.iter().zip(&single) {
+                    proptest::prop_assert!((x - y).abs() < 1e-5, "batched {} vs single {}", x, y);
+                }
+            }
+            let preds = fast.predict_batch(&refs, &codec);
+            for (chunk, got) in chunks.iter().zip(&preds) {
+                proptest::prop_assert_eq!(got, &fast.predict(chunk, &codec));
+            }
+        }
     }
 
     #[test]

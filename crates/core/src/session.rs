@@ -45,7 +45,8 @@ use recmg_dlrm::BatchAccessStats;
 use recmg_trace::{Trace, VectorKey};
 
 use crate::config::{AdmissionPolicy, DegradeLevel, SlaBudget};
-use crate::engine::{EngineReport, GuidanceMode};
+use crate::engine::{EngineReport, GuidanceMode, GuidancePlaneReport};
+use crate::fast::FastScratch;
 use crate::serving::WorkloadSpec;
 use crate::sharding::{GuidanceCtx, Shard, ShardRouter, ShardedRecMgSystem};
 
@@ -355,17 +356,66 @@ pub(crate) struct GuidanceJob {
 
 /// Computed guidance waiting to be applied to a shard.
 pub(crate) struct GuidanceUpdate {
-    chunk: Vec<VectorKey>,
-    bits: Vec<bool>,
-    prefetched: Vec<VectorKey>,
+    pub(crate) chunk: Vec<VectorKey>,
+    pub(crate) bits: Vec<bool>,
+    pub(crate) prefetched: Vec<VectorKey>,
+}
+
+/// Per-shard mailbox of computed guidance. `len` mirrors the vector length
+/// (both only change under the mutex) so the serving fast path can check
+/// "anything to apply?" with one atomic load instead of taking the lock on
+/// every access.
+#[derive(Default)]
+struct CompletedSlot {
+    updates: Mutex<Vec<GuidanceUpdate>>,
+    len: AtomicUsize,
+}
+
+impl CompletedSlot {
+    /// Applies (and clears) every parked update. `keep_prefetch: false`
+    /// strips prefetch lists (the [`DegradeLevel::PrefetchOff`] case).
+    fn apply_to(&self, shard: &mut Shard, keep_prefetch: bool) {
+        let mut updates = self.updates.lock().expect("completed lock");
+        for u in updates.drain(..) {
+            let prefetched: &[VectorKey] = if keep_prefetch { &u.prefetched } else { &[] };
+            shard.apply_guidance(&u.chunk, &u.bits, prefetched);
+        }
+        self.len.store(0, Ordering::Release);
+    }
 }
 
 /// Background guidance plane state shared by workers and plane threads.
 struct PlaneState {
     rx: Mutex<mpsc::Receiver<GuidanceJob>>,
-    completed: Vec<Mutex<Vec<GuidanceUpdate>>>,
+    completed: Vec<CompletedSlot>,
     in_flight: Vec<AtomicUsize>,
+    /// Exact-wakeup gate for producer pacing: the plane notifies after
+    /// every drained batch; a worker whose shard is at the lag limit waits
+    /// here instead of sleeping blind, so it resumes the moment the
+    /// backlog clears rather than a sleep-quantum later.
+    lag_gate: Mutex<()>,
+    lag_cv: Condvar,
     max_lag: usize,
+    max_batch: usize,
+    /// Batched model forwards run (one per model invocation per drain).
+    model_forwards: AtomicU64,
+    /// Drain iterations that processed at least one chunk.
+    drains: AtomicU64,
+    /// Chunks computed by the plane.
+    chunks: AtomicU64,
+    /// Largest coalesced batch observed.
+    max_batch_seen: AtomicU64,
+}
+
+impl PlaneState {
+    /// Chunks offered to the plane whose guidance has not been computed
+    /// yet, across shards.
+    fn pending(&self) -> usize {
+        self.in_flight
+            .iter()
+            .map(|c| c.load(Ordering::Acquire))
+            .sum()
+    }
 }
 
 /// An admitted request waiting in the session queue.
@@ -392,6 +442,7 @@ struct SessionShared {
     rejected_queue_full: AtomicU64,
     rejected_deadline: AtomicU64,
     shed_in_queue: AtomicU64,
+    completed_requests: AtomicU64,
 }
 
 /// Per-worker serving log. Workers append to their own log without taking
@@ -678,14 +729,26 @@ impl SessionBuilder {
 
         let (plane, proto_tx, plane_cfg) = match self.guidance {
             GuidanceMode::Inline => (None, None, None),
-            GuidanceMode::Background { threads, max_lag } => {
+            GuidanceMode::Background {
+                threads,
+                max_lag,
+                max_batch,
+            } => {
                 assert!(threads > 0, "need at least one guidance thread");
+                assert!(max_batch > 0, "need a positive guidance batch size");
                 let (tx, rx) = mpsc::channel::<GuidanceJob>();
                 let plane = PlaneState {
                     rx: Mutex::new(rx),
-                    completed: (0..num_shards).map(|_| Mutex::new(Vec::new())).collect(),
+                    completed: (0..num_shards).map(|_| CompletedSlot::default()).collect(),
                     in_flight: (0..num_shards).map(|_| AtomicUsize::new(0)).collect(),
+                    lag_gate: Mutex::new(()),
+                    lag_cv: Condvar::new(),
                     max_lag,
+                    max_batch,
+                    model_forwards: AtomicU64::new(0),
+                    drains: AtomicU64::new(0),
+                    chunks: AtomicU64::new(0),
+                    max_batch_seen: AtomicU64::new(0),
                 };
                 (Some(plane), Some(tx), Some(threads))
             }
@@ -705,6 +768,7 @@ impl SessionBuilder {
             rejected_queue_full: AtomicU64::new(0),
             rejected_deadline: AtomicU64::new(0),
             shed_in_queue: AtomicU64::new(0),
+            completed_requests: AtomicU64::new(0),
         });
 
         let plane_threads = plane_cfg
@@ -824,6 +888,20 @@ impl ServingSession {
         self.shared.queue.lock().expect("queue lock").len()
     }
 
+    /// Requests served to completion so far.
+    pub fn completed_requests(&self) -> u64 {
+        self.shared.completed_requests.load(Ordering::Acquire)
+    }
+
+    /// Chunks offered to the background guidance plane whose guidance has
+    /// not been computed yet (0 in inline mode). Together with
+    /// [`completed_requests`](ServingSession::completed_requests) this lets
+    /// a caller wait for full guidance quiescence — the lockstep oracle of
+    /// `tests/integration_streaming.rs`.
+    pub fn plane_pending(&self) -> usize {
+        self.shared.plane.as_ref().map_or(0, PlaneState::pending)
+    }
+
     /// Closes the queue, serves everything already admitted, joins all
     /// threads, and returns the (warm) system together with the session
     /// report.
@@ -874,16 +952,24 @@ impl ServingSession {
             .collect();
         // Guidance computed after its shard went idle is still valid
         // buffer reprioritization — apply it so the returned system starts
-        // warm. It arrived too late to guide any chunk of *this* session,
-        // so it is intentionally not counted in guided_chunks.
+        // warm. The model ran and the update lands exactly as an inline
+        // apply between batches would, so it counts as guided; it is
+        // *also* tallied as plane lag (`late_chunks`: it landed after the
+        // last access of this session), which is the metric a capacity
+        // planner should watch.
+        let mut plane_report = GuidancePlaneReport::default();
         if let Some(plane) = plane {
+            plane_report = GuidancePlaneReport {
+                model_forwards: plane.model_forwards.into_inner(),
+                drains: plane.drains.into_inner(),
+                chunks: plane.chunks.into_inner(),
+                max_batch: plane.max_batch_seen.into_inner(),
+                late_chunks: 0,
+            };
             for (sid, slot) in plane.completed.into_iter().enumerate() {
-                for u in slot.into_inner().expect("completed lock") {
-                    let shard = &mut shards[sid];
-                    shard.prefetches_issued += u.prefetched.len() as u64;
-                    shard
-                        .buffer
-                        .load_embeddings(&u.chunk, &u.bits, &u.prefetched);
+                for u in slot.updates.into_inner().expect("completed lock") {
+                    plane_report.late_chunks += 1;
+                    shards[sid].apply_guidance(&u.chunk, &u.bits, &u.prefetched);
                 }
             }
         }
@@ -922,6 +1008,7 @@ impl ServingSession {
                 guided_chunks: system.guided_chunks() - self.guided_before,
                 total_chunks: system.total_chunks() - self.chunks_before,
                 elapsed_secs,
+                plane: plane_report,
             },
             submitted: submitted.into_inner(),
             rejected_queue_full: rejected_queue_full.into_inner(),
@@ -981,6 +1068,7 @@ fn worker_loop(shared: &SessionShared, tx: Option<mpsc::Sender<GuidanceJob>>) ->
             deadline_met: request.deadline_at.map(|d| finished <= d),
             degrade,
         });
+        shared.completed_requests.fetch_add(1, Ordering::AcqRel);
     }
     // Dropping `tx` here (worker exit) releases the plane channel.
     log
@@ -1003,16 +1091,9 @@ fn serve_request(
         let mut shard = shared.shards[sid].lock().expect("shard lock");
         match degrade {
             DegradeLevel::None => match (&shared.plane, tx) {
-                (Some(plane), Some(tx)) => serve_shard_background(
-                    &mut shard,
-                    part,
-                    stats,
-                    &shared.ctx,
-                    tx,
-                    &plane.completed[sid],
-                    &plane.in_flight[sid],
-                    plane.max_lag,
-                ),
+                (Some(plane), Some(tx)) => {
+                    serve_shard_background(&mut shard, part, stats, &shared.ctx, tx, plane, sid)
+                }
                 _ => stats.accumulate(shard.process_keys(part, &shared.ctx, &shared.router)),
             },
             DegradeLevel::SkipAhead | DegradeLevel::PrefetchOff => {
@@ -1022,14 +1103,8 @@ fn serve_request(
                 // stripped at PrefetchOff.
                 if let Some(plane) = &shared.plane {
                     let keep_prefetch = degrade == DegradeLevel::SkipAhead;
-                    for u in plane.completed[sid]
-                        .lock()
-                        .expect("completed lock")
-                        .drain(..)
-                    {
-                        let prefetched: &[VectorKey] =
-                            if keep_prefetch { &u.prefetched } else { &[] };
-                        shard.apply_guidance(&u.chunk, &u.bits, prefetched);
+                    if plane.completed[sid].len.load(Ordering::Acquire) > 0 {
+                        plane.completed[sid].apply_to(&mut shard, keep_prefetch);
                     }
                 }
                 shard.process_keys_unguided(part, shared.ctx.cfg.input_len, stats);
@@ -1038,71 +1113,166 @@ fn serve_request(
     }
 }
 
-/// Guidance-plane thread body: compute guidance for offered chunks until
-/// every sender (worker) is gone.
+/// Guidance-plane thread body: coalesce every pending chunk (up to
+/// `max_batch`) into one batched model forward per model, then scatter the
+/// per-shard updates. Exits when every sender (worker) is gone.
+///
+/// This is the tentpole of the batched plane: under multi-shard load the
+/// plane's weight traffic is O(drained batches), not O(chunks) — while a
+/// drain is being computed, workers keep appending jobs to the channel, so
+/// the next drain naturally coalesces the backlog.
 fn plane_loop(shared: &SessionShared) {
     let plane = shared
         .plane
         .as_ref()
         .expect("plane threads only run in background mode");
+    let mut jobs: Vec<GuidanceJob> = Vec::with_capacity(plane.max_batch);
+    let mut scratch = FastScratch::default();
     loop {
-        let job = match plane.rx.lock().expect("rx lock").recv() {
-            Ok(job) => job,
-            Err(_) => break, // all workers done
-        };
-        let (bits, prefetched) = Shard::compute_guidance(
-            &job.chunk,
-            job.armed,
-            job.shard,
-            &shared.ctx,
-            &shared.router,
-        );
-        plane.completed[job.shard]
-            .lock()
-            .expect("completed lock")
-            .push(GuidanceUpdate {
-                chunk: job.chunk,
-                bits,
-                prefetched,
-            });
-        plane.in_flight[job.shard].fetch_sub(1, Ordering::AcqRel);
+        jobs.clear();
+        {
+            // Hold the receiver only while draining; the batched forward
+            // below runs lock-free so sibling plane threads can drain the
+            // next backlog concurrently.
+            let rx = plane.rx.lock().expect("rx lock");
+            match rx.recv() {
+                Ok(job) => jobs.push(job),
+                Err(_) => break, // all workers done
+            }
+            while jobs.len() < plane.max_batch {
+                match rx.try_recv() {
+                    Ok(job) => jobs.push(job),
+                    Err(_) => break,
+                }
+            }
+        }
+        plane.drains.fetch_add(1, Ordering::Relaxed);
+        plane.chunks.fetch_add(jobs.len() as u64, Ordering::Relaxed);
+        plane
+            .max_batch_seen
+            .fetch_max(jobs.len() as u64, Ordering::Relaxed);
+
+        let batch: Vec<(&[VectorKey], bool, usize)> = jobs
+            .iter()
+            .map(|j| (j.chunk.as_slice(), j.armed, j.shard))
+            .collect();
+        let (guidance, forwards) =
+            Shard::compute_guidance_batch(&batch, &shared.ctx, &shared.router, &mut scratch);
+        plane.model_forwards.fetch_add(forwards, Ordering::Relaxed);
+
+        for (job, (bits, prefetched)) in jobs.drain(..).zip(guidance) {
+            let slot = &plane.completed[job.shard];
+            {
+                let mut updates = slot.updates.lock().expect("completed lock");
+                updates.push(GuidanceUpdate {
+                    chunk: job.chunk,
+                    bits,
+                    prefetched,
+                });
+                slot.len.store(updates.len(), Ordering::Release);
+            }
+            // Decrement only after the update is visible, so a shard never
+            // sees "plane idle" with its guidance still un-parked.
+            plane.in_flight[job.shard].fetch_sub(1, Ordering::AcqRel);
+        }
+        // Wake producers pacing on the lag gate. Taking (and dropping) the
+        // gate lock orders this notify after any in-flight check a waiter
+        // made before blocking, so the wakeup cannot be missed.
+        drop(plane.lag_gate.lock().expect("lag gate lock"));
+        plane.lag_cv.notify_all();
     }
 }
 
 /// Serves one shard sub-batch under the background guidance plane: demand
-/// accesses never wait; completed guidance is applied at chunk boundaries;
-/// new chunks are offered to the plane unless it lags more than `max_lag`
-/// (the paper's §VI-C skip-ahead rule).
-#[allow(clippy::too_many_arguments)]
+/// accesses never wait; completed guidance is applied as soon as it is
+/// available (one atomic load on the fast path); new chunks are offered to
+/// the plane unless it lags more than `max_lag` (the paper's §VI-C
+/// skip-ahead rule).
 fn serve_shard_background(
     shard: &mut Shard,
     keys: &[VectorKey],
     stats: &mut BatchAccessStats,
     ctx: &GuidanceCtx,
     tx: &mpsc::Sender<GuidanceJob>,
-    completed: &Mutex<Vec<GuidanceUpdate>>,
-    in_flight: &AtomicUsize,
-    max_lag: usize,
+    plane: &PlaneState,
+    sid: usize,
 ) {
     let input_len = ctx.cfg.input_len;
+    let slot = &plane.completed[sid];
+    let in_flight = &plane.in_flight[sid];
     for &key in keys {
+        if slot.len.load(Ordering::Acquire) > 0 {
+            // Apply whatever the plane has finished before this access
+            // (bounded staleness, never blocking).
+            slot.apply_to(shard, true);
+        }
         shard.record_access(key, stats);
         shard.pending.push(key);
         while shard.pending.len() >= input_len {
-            // Apply whatever the plane has finished before deciding about
-            // the new chunk (bounded staleness, never blocking).
-            for u in completed.lock().expect("completed lock").drain(..) {
-                shard.apply_guidance(&u.chunk, &u.bits, &u.prefetched);
-            }
             let chunk: Vec<VectorKey> = shard.pending.drain(..input_len).collect();
             shard.chunk_counter += 1;
-            if in_flight.load(Ordering::Acquire) >= max_lag {
-                // The CPU plane is behind: skip ahead, run on stale
-                // guidance (§VI-C).
+            if in_flight.load(Ordering::Acquire) >= plane.max_lag {
+                // The shard is at the plane's lag limit: this chunk runs
+                // on stale guidance (the §VI-C skip, verbatim). What
+                // changes with the coalescing plane is what happens
+                // *next*: instead of racing further ahead and converting
+                // every following chunk into a skip too (which is how
+                // `guided_fraction` collapsed under multi-shard load), the
+                // producer paces itself on the lag gate until the plane
+                // has drained the backlog to a low-water mark. The
+                // hysteresis makes production bursty on purpose — one
+                // wake/sleep cycle per `max_lag - low_water` chunks, so
+                // context switches amortize over the burst and the plane
+                // always wakes to a full coalescing batch. Under sustained
+                // saturation the steady state is one skipped chunk per
+                // burst (guided fraction ≈ 1 - 1/burst); when the plane
+                // keeps up nothing is skipped at all.
                 shard.unguided_chunks += 1;
+                if plane.max_lag == 0 {
+                    // The plane accepts no work: plain skip-ahead.
+                    continue;
+                }
+                let low_water = plane.max_lag / 4;
+                let mut gate = plane.lag_gate.lock().expect("lag gate lock");
+                let mut waits = 0u32;
+                // The pacing wait runs with this shard's mutex held, so it
+                // must stay short: a healthy plane drains a batch in well
+                // under a timeout quantum (the notify is what actually
+                // wakes the producer), and if it has made no progress
+                // after a few quanta we fall back to racing ahead (more
+                // §VI-C skips) rather than stalling sibling workers' —
+                // including SLA-degraded — demand accesses on the lock.
+                while in_flight.load(Ordering::Acquire) > low_water && waits < 5 {
+                    let (g, _) = plane
+                        .lag_cv
+                        .wait_timeout(gate, Duration::from_millis(5))
+                        .expect("lag gate lock");
+                    gate = g;
+                    waits += 1;
+                }
+                drop(gate);
                 continue;
             }
-            let armed = shard.prefetch_armed(ctx);
+            if slot.len.load(Ordering::Acquire) > 0 {
+                slot.apply_to(shard, true);
+            }
+            // Plane-pressure degradation, mirroring the SLA ladder
+            // ([`DegradeLevel::PrefetchOff`]): when the plane's total
+            // backlog has built past an eighth of its aggregate lag budget
+            // (`shards × max_lag`, so the threshold scales with the shard
+            // count instead of choking prefetch at high shard counts),
+            // send the chunk for caching guidance only. The autoregressive
+            // prefetch forward is ~2× the caching forward; shedding it
+            // first keeps the plane's priority signal fresh for everyone
+            // instead of letting speculative work starve it. With an idle
+            // plane (backlog 0) arming is exactly the sequential system's
+            // rule, which is what the 1-shard lockstep oracle pins.
+            // `.max(1)` guards the integer-division cliff: with a tiny
+            // aggregate budget (e.g. 1 shard × max_lag 1) the threshold
+            // would otherwise be 0 and prefetch would be shed on *any*
+            // in-flight chunk, starving the warmup counter forever.
+            let shed_at = (plane.completed.len() * plane.max_lag / 8).max(1);
+            let armed = shard.prefetch_armed(ctx) && plane.pending() <= shed_at;
             in_flight.fetch_add(1, Ordering::AcqRel);
             if tx
                 .send(GuidanceJob {
@@ -1115,12 +1285,6 @@ fn serve_shard_background(
                 // Plane already shut down (can only happen at teardown).
                 in_flight.fetch_sub(1, Ordering::AcqRel);
                 shard.unguided_chunks += 1;
-            } else {
-                // Give the plane a scheduling slot. On a loaded or
-                // single-core host the serving workers would otherwise
-                // starve the guidance threads into pure skip-ahead; on idle
-                // multicore hosts this is a near no-op.
-                std::thread::yield_now();
             }
         }
     }
@@ -1217,7 +1381,8 @@ mod tests {
             .workers(2)
             .guidance(GuidanceMode::Background {
                 threads: 1,
-                max_lag: 1,
+                max_lag: 4,
+                max_batch: 8,
             })
             .admission(AdmissionPolicy::unbounded())
             .build(system(4));

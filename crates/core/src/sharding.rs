@@ -27,6 +27,7 @@ use crate::buffer_mgmt::RecMgBuffer;
 use crate::caching_model::{CachingModel, FastCachingModel};
 use crate::codec::FrequencyRankCodec;
 use crate::config::RecMgConfig;
+use crate::fast::FastScratch;
 use crate::prefetch_model::{FastPrefetchModel, PrefetchModel};
 use crate::system::{RecMgSystem, TrainedRecMg};
 
@@ -93,7 +94,19 @@ pub(crate) struct GuidanceCtx {
     pub(crate) codec: Arc<FrequencyRankCodec>,
     pub(crate) guidance_stride: usize,
     pub(crate) prefetch_gate: f64,
+    /// Per-shard prefetch warmup threshold:
+    /// [`RecMgSystem::PREFETCH_WARMUP`] divided by the shard count. Each
+    /// shard only issues the (shard-filtered) ~1/N share of predictions,
+    /// so holding every shard to the global constant would keep the whole
+    /// system in always-armed warmup ~N× longer than the sequential
+    /// system — and the guidance plane paying the prefetch model on every
+    /// chunk for the duration.
+    pub(crate) prefetch_warmup: u64,
 }
+
+/// Guidance computed for one chunk: the caching model's keep bits plus the
+/// shard-filtered prefetch predictions.
+pub(crate) type ChunkGuidance = (Vec<bool>, Vec<VectorKey>);
 
 /// One shard: an independent RecMG buffer plus the per-stream state the
 /// sequential system keeps ([`RecMgSystem`]'s pending chunk, chunk counter,
@@ -112,6 +125,10 @@ pub(crate) struct Shard {
     /// Chunks skipped by the stride (inline) or the lagging guidance plane
     /// (background) — they ran with stale guidance, the paper's §VI-C case.
     pub(crate) unguided_chunks: u64,
+    /// Reused model-forward buffers for this shard's inline guidance, so
+    /// the inline hot path allocates nothing per chunk (the background
+    /// plane holds its own per-thread scratch).
+    scratch: FastScratch,
 }
 
 impl Shard {
@@ -125,6 +142,7 @@ impl Shard {
             prefetch_hits_seen: 0,
             guided_chunks: 0,
             unguided_chunks: 0,
+            scratch: FastScratch::default(),
         }
     }
 
@@ -141,9 +159,10 @@ impl Shard {
     }
 
     /// Mirror of [`RecMgSystem`]'s `prefetch_armed`, evaluated against this
-    /// shard's own counters.
+    /// shard's own counters (warmup scaled to the shard's share of the
+    /// prediction stream — see [`GuidanceCtx::prefetch_warmup`]).
     pub(crate) fn prefetch_armed(&self, ctx: &GuidanceCtx) -> bool {
-        if self.prefetches_issued < RecMgSystem::PREFETCH_WARMUP {
+        if self.prefetches_issued < ctx.prefetch_warmup {
             return true;
         }
         let ratio = self.prefetch_hits_seen as f64 / self.prefetches_issued as f64;
@@ -155,24 +174,63 @@ impl Shard {
 
     /// Computes guidance for `chunk` (caching bits + prefetch predictions,
     /// with predictions filtered to this shard's key space so the partition
-    /// invariant holds) — the CPU-side model work.
+    /// invariant holds) — the CPU-side model work, over a caller-held
+    /// scratch so the inline hot path allocates nothing per chunk.
     pub(crate) fn compute_guidance(
         chunk: &[VectorKey],
         armed: bool,
         shard_id: usize,
         ctx: &GuidanceCtx,
         router: &ShardRouter,
-    ) -> (Vec<bool>, Vec<VectorKey>) {
-        let bits = ctx.caching.predict(chunk);
-        let prefetched: Vec<VectorKey> = match &ctx.prefetch {
-            Some(pm) if armed => pm
-                .predict(chunk, ctx.codec.as_ref())
-                .into_iter()
-                .filter(|&k| router.shard_of(k) == shard_id)
-                .collect(),
-            _ => Vec::new(),
-        };
-        (bits, prefetched)
+        scratch: &mut FastScratch,
+    ) -> ChunkGuidance {
+        let mut out =
+            Self::compute_guidance_batch(&[(chunk, armed, shard_id)], ctx, router, scratch).0;
+        out.pop().expect("one chunk in, one guidance out")
+    }
+
+    /// Batched counterpart of [`Shard::compute_guidance`]: computes
+    /// caching bits for every chunk and prefetch predictions for the armed
+    /// ones with *one* batched forward per model instead of one per chunk,
+    /// amortizing weight traffic across shards. Entries are
+    /// `(chunk, armed, home shard)`; predictions are filtered to each
+    /// chunk's home shard. Returns per-chunk `(bits, prefetched)` in input
+    /// order plus the number of model forwards run (for plane accounting).
+    ///
+    /// Per chunk the results are identical to [`Shard::compute_guidance`]:
+    /// the batched kernels are lane-independent ([`crate::fast`]).
+    pub(crate) fn compute_guidance_batch(
+        batch: &[(&[VectorKey], bool, usize)],
+        ctx: &GuidanceCtx,
+        router: &ShardRouter,
+        scratch: &mut FastScratch,
+    ) -> (Vec<ChunkGuidance>, u64) {
+        let chunks: Vec<&[VectorKey]> = batch.iter().map(|&(c, _, _)| c).collect();
+        let bits = ctx.caching.predict_batch_with(&chunks, scratch);
+        let mut forwards = 1u64;
+        let mut prefetched: Vec<Vec<VectorKey>> = vec![Vec::new(); batch.len()];
+        if let Some(pm) = &ctx.prefetch {
+            let armed_idx: Vec<usize> = batch
+                .iter()
+                .enumerate()
+                .filter(|&(_, &(_, armed, _))| armed)
+                .map(|(i, _)| i)
+                .collect();
+            if !armed_idx.is_empty() {
+                let armed_chunks: Vec<&[VectorKey]> =
+                    armed_idx.iter().map(|&i| batch[i].0).collect();
+                let preds = pm.predict_batch_with(&armed_chunks, ctx.codec.as_ref(), scratch);
+                forwards += 1;
+                for (&i, pred) in armed_idx.iter().zip(preds) {
+                    let home = batch[i].2;
+                    prefetched[i] = pred
+                        .into_iter()
+                        .filter(|&k| router.shard_of(k) == home)
+                        .collect();
+                }
+            }
+        }
+        (bits.into_iter().zip(prefetched).collect(), forwards)
     }
 
     /// Applies computed guidance to the buffer — the GPU-side update.
@@ -198,7 +256,9 @@ impl Shard {
                 continue;
             }
             let armed = self.prefetch_armed(ctx);
-            let (bits, prefetched) = Self::compute_guidance(&chunk, armed, self.id, ctx, router);
+            let sid = self.id;
+            let (bits, prefetched) =
+                Self::compute_guidance(&chunk, armed, sid, ctx, router, &mut self.scratch);
             self.apply_guidance(&chunk, &bits, &prefetched);
         }
     }
@@ -287,6 +347,7 @@ impl ShardedRecMgSystem {
                 cfg,
                 guidance_stride: 1,
                 prefetch_gate: 0.10,
+                prefetch_warmup: RecMgSystem::PREFETCH_WARMUP.div_ceil(num_shards as u64),
             },
             router,
             shards,
@@ -380,9 +441,10 @@ impl ShardedRecMgSystem {
     }
 
     /// Chunks that ran on stale guidance (stride-skipped inline, or
-    /// skipped by a lagging guidance plane), across shards. Chunks whose
-    /// background guidance was still in flight when a run ended are counted
-    /// in neither bucket, so `guided + unguided <= total`.
+    /// skipped by a lagging guidance plane), across shards. Background
+    /// guidance still in flight at session teardown is computed and
+    /// applied during drain (counted guided, reported as plane lag), so
+    /// after a drained session `guided + unguided == total`.
     pub fn unguided_chunks(&self) -> u64 {
         self.shards.iter().map(|s| s.unguided_chunks).sum()
     }

@@ -84,7 +84,8 @@ fn main() {
                 workers: shards,
                 guidance: GuidanceMode::Background {
                     threads: 2,
-                    max_lag: 1,
+                    max_lag: 8,
+                    max_batch: 16,
                 },
             },
         );

@@ -48,7 +48,8 @@ fn main() {
         .workers(4)
         .guidance(GuidanceMode::Background {
             threads: 2,
-            max_lag: 1,
+            max_lag: 8,
+            max_batch: 16,
         })
         .admission(AdmissionPolicy::unbounded())
         .build(ShardedRecMgSystem::from_trained(&trained, capacity, 4));
@@ -77,7 +78,8 @@ fn main() {
             .workers(4)
             .guidance(GuidanceMode::Background {
                 threads: 2,
-                max_lag: 1,
+                max_lag: 8,
+                max_batch: 16,
             })
             .admission(AdmissionPolicy {
                 queue_depth: 32,

@@ -108,7 +108,8 @@ fn concurrent_engine_matches_totals_and_reports_guidance() {
             workers: 4,
             guidance: GuidanceMode::Background {
                 threads: 2,
-                max_lag: 1,
+                max_lag: 4,
+                max_batch: 8,
             },
         },
     );

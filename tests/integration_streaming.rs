@@ -67,6 +67,63 @@ fn one_shard_batch_backed_session_matches_recmg_system_exactly() {
     assert_eq!(report.latency.count, batches.len());
 }
 
+/// The batched background guidance plane reproduces inline-guidance
+/// hit/miss/prefetch counts on one shard when driven in lockstep.
+///
+/// Requests are exactly one chunk (`input_len` *keys* each — not
+/// `Trace::batches`, which groups by query), and the driver waits for both
+/// the worker and the plane to go quiescent between requests. Under that
+/// schedule the background plane applies chunk k's guidance before any
+/// access of chunk k+1 — the same effective ordering as inline guidance —
+/// so every count must match *exactly*: the batched kernels are
+/// lane-independent and bit-identical to the per-item path.
+#[test]
+fn batched_background_session_matches_inline_counts_on_one_shard() {
+    let (trace, trained, capacity) = trained_setup();
+    let input_len = trained.caching.config().input_len;
+
+    let mut reference = ShardedRecMgSystem::from_trained(&trained, capacity, 1);
+    let mut ref_stats = BatchAccessStats::default();
+    for chunk in trace.accesses().chunks(input_len) {
+        ref_stats.accumulate(reference.process_batch(chunk));
+    }
+
+    let session = SessionBuilder::new()
+        .workers(1)
+        .guidance(GuidanceMode::Background {
+            threads: 1,
+            max_lag: 64,
+            max_batch: 16,
+        })
+        .admission(AdmissionPolicy::unbounded())
+        .build(ShardedRecMgSystem::from_trained(&trained, capacity, 1));
+    for (i, chunk) in trace.accesses().chunks(input_len).enumerate() {
+        session
+            .submit(Request {
+                id: i as u64,
+                keys: chunk.to_vec(),
+                arrival: Duration::ZERO,
+                deadline: None,
+            })
+            .expect("unbounded admission");
+        while session.completed_requests() < (i + 1) as u64 || session.plane_pending() > 0 {
+            std::thread::yield_now();
+        }
+    }
+    let (sys, report) = session.drain();
+
+    assert_eq!(report.engine.stats, ref_stats);
+    assert_eq!(sys.prefetches_issued(), reference.prefetches_issued());
+    assert_eq!(report.engine.total_chunks, reference.total_chunks());
+    // Every chunk went through the plane and was applied; only the final
+    // chunk's guidance lands at drain (late), every other chunk was
+    // guided before its successor's accesses.
+    assert_eq!(report.engine.guided_chunks, report.engine.total_chunks);
+    assert_eq!(report.engine.plane.chunks, report.engine.guided_chunks);
+    assert!(report.engine.plane.late_chunks <= 1);
+    assert!(report.engine.plane.model_forwards > 0);
+}
+
 #[test]
 fn trace_replay_session_covers_the_trace() {
     let (trace, trained, capacity) = trained_setup();
@@ -74,7 +131,8 @@ fn trace_replay_session_covers_the_trace() {
         .workers(2)
         .guidance(GuidanceMode::Background {
             threads: 1,
-            max_lag: 1,
+            max_lag: 4,
+            max_batch: 8,
         })
         .admission(AdmissionPolicy::unbounded())
         .sla(SlaBudget::new(Duration::from_secs(30)))
