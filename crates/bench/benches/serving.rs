@@ -5,7 +5,7 @@
 //!
 //! Besides the Criterion timings, the sharded bench writes a JSON summary
 //! (`BENCH_serving.json` at the workspace root, or under `RECMG_OUT`) with
-//! four sections, so the perf trajectory is machine-readable:
+//! five sections, so the perf trajectory is machine-readable:
 //!
 //! * `sharded` — keys/sec, speedup over the single-thread inline engine,
 //!   and the full [`EngineReport`] per shard count (one warmup pass, then
@@ -18,9 +18,18 @@
 //! * `workload_grid` — model-serving throughput over a small
 //!   [`WorkloadSpec`] matrix (2 skews × 2 table counts), not a single
 //!   point;
+//! * `tier_placement` — even-split vs working-set vs hot-first placement
+//!   on a skewed workload over a DRAM + penalized-CXL topology, compared
+//!   on per-tier hit-weighted access cost (CI asserts hot-first never
+//!   costs more than even-split);
 //! * `streaming` — `SessionReport::to_json` rows for shards {1, 4} under
 //!   a Poisson arrival source calibrated to ~70% of the measured batch
-//!   service rate: p50/p95/p99 latency, shed rate, and SLA attainment.
+//!   service rate (p50/p95/p99 latency, shed rate, SLA attainment), plus
+//!   a closed-loop row (8 outstanding requests, next arrival on
+//!   completion).
+//!
+//! `RECMG_SMOKE=1` shrinks the measured sections and skips the Criterion
+//! loops so CI can regenerate and validate the JSON in seconds.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
@@ -29,12 +38,24 @@ use std::time::Duration;
 
 use recmg_core::serving::{measure_throughput, measure_throughput_with, WorkloadSpec};
 use recmg_core::{
-    AdmissionPolicy, ArrivalProcess, CachingModel, FrequencyRankCodec, GuidanceMode, PrefetchModel,
-    RecMgConfig, ServeOptions, SessionBuilder, ShardedRecMgSystem, SlaBudget, TraceReplaySource,
+    AdmissionPolicy, ArrivalProcess, CachingModel, ClosedLoopSource, EvenSplit, FrequencyRankCodec,
+    GuidanceMode, HotFirst, MemoryTier, PrefetchModel, RecMgConfig, ServeOptions, SessionBuilder,
+    ShardedRecMgSystem, SlaBudget, SystemBuilder, TierCost, TierTopology, TraceReplaySource,
+    WorkingSet,
 };
 use recmg_trace::SyntheticConfig;
 
+/// `RECMG_SMOKE=1` shrinks every measured section (and skips the
+/// Criterion timing loops) so CI can validate the bench JSON — including
+/// the tier-placement comparison — in seconds.
+fn smoke() -> bool {
+    std::env::var("RECMG_SMOKE").is_ok_and(|v| v == "1")
+}
+
 fn bench_serving(c: &mut Criterion) {
+    if smoke() {
+        return;
+    }
     let cfg = RecMgConfig::default();
     let cm = CachingModel::new(&cfg).compile();
     let pm = PrefetchModel::new(&cfg).compile();
@@ -73,7 +94,10 @@ fn sharded_system(
     let caching = CachingModel::new(cfg);
     let prefetch = PrefetchModel::new(cfg);
     let codec = FrequencyRankCodec::from_accesses(&trace.accesses()[..2_000]);
-    ShardedRecMgSystem::new(&caching, Some(&prefetch), codec, capacity, shards)
+    ShardedRecMgSystem::builder(&caching, Some(&prefetch), codec)
+        .shards(shards)
+        .capacity(capacity)
+        .build()
 }
 
 fn serve_opts(shards: usize) -> ServeOptions {
@@ -105,10 +129,11 @@ fn serve_opts(shards: usize) -> ServeOptions {
 fn workload_grid_rows(cfg: &RecMgConfig) -> Vec<String> {
     let cm = CachingModel::new(cfg).compile();
     let pm = PrefetchModel::new(cfg).compile();
+    let requests = if smoke() { 50 } else { 200 };
     WorkloadSpec::grid(&[4, 13], &[0.0, 2.0], 997)
         .iter()
         .map(|spec| {
-            let p = measure_throughput_with(&cm, &pm, cfg.input_len, 1, 200, spec);
+            let p = measure_throughput_with(&cm, &pm, cfg.input_len, 1, requests, spec);
             format!(
                 concat!(
                     "    {{\"num_tables\": {}, \"skew\": {:.1}, \"threads\": {}, ",
@@ -120,10 +145,112 @@ fn workload_grid_rows(cfg: &RecMgConfig) -> Vec<String> {
         .collect()
 }
 
+/// Tier-placement sweep: a skewed workload over an 8-shard system on a
+/// DRAM + slow-CXL topology (slow-tier penalty on), served under each
+/// placement policy. Per policy: a deterministic warm pass observes
+/// per-shard mass, one rebalance applies the policy to the observations,
+/// and a measured pass produces the per-tier traffic deltas whose
+/// hit-weighted cost the policies compete on. `HotFirst` keeps EvenSplit's
+/// capacities (identical hit/miss counts) and must therefore never cost
+/// more; `WorkingSet` additionally re-sizes shares toward the hot shards.
+fn tier_placement_rows(cfg: &RecMgConfig) -> (f64, usize, Vec<String>) {
+    let shards = 8usize;
+    let requests = if smoke() { 200 } else { 1000 };
+    let skew = 4.0f64;
+    // Few tables + strong row skew: the hot rows hash into an uneven
+    // per-shard mass, and at 400 rows/table the 256-vector budget covers
+    // enough of the working set that capacity re-sizing actually moves
+    // hit rates (at paper-scale sparsity the even split is off the
+    // capacity cliff everywhere and only tier routing matters).
+    let spec = WorkloadSpec {
+        num_tables: 2,
+        rows_per_table: 400,
+        skew,
+    };
+    let batches = spec.requests(requests, cfg.input_len);
+    let refs: Vec<&[recmg_trace::VectorKey]> = batches.iter().map(Vec::as_slice).collect();
+    let keys = batches.concat();
+    let capacity = 256usize;
+    // Half the budget in DRAM (four of the eight even shard shares — and
+    // enough headroom that a working-set-swollen hot shard still fits),
+    // half in the penalized slow tier.
+    let fast = capacity / 2;
+    let slow = capacity - fast;
+    let topology = || {
+        TierTopology::new(vec![
+            MemoryTier::dram(fast),
+            MemoryTier::new(
+                "cxl",
+                slow,
+                TierCost::cxl_like().with_penalty(Duration::from_nanos(400)),
+            ),
+        ])
+    };
+    // Deterministic serving (1 worker, inline guidance): the cost metric
+    // comes from exact per-tier counters, so policy rows differ only by
+    // placement, never by thread interleaving.
+    let opts = ServeOptions {
+        workers: 1,
+        guidance: GuidanceMode::Inline,
+    };
+    let rows = ["even_split", "working_set", "hot_first"]
+        .iter()
+        .map(|&policy| {
+            let caching = CachingModel::new(cfg);
+            let prefetch = PrefetchModel::new(cfg);
+            let codec = FrequencyRankCodec::from_accesses(&keys[..2_000.min(keys.len())]);
+            let builder = SystemBuilder::new(&caching, Some(&prefetch), codec)
+                .shards(shards)
+                .topology(topology());
+            let mut sys = match policy {
+                "even_split" => builder.placement(EvenSplit).build(),
+                "working_set" => builder.placement(WorkingSet::default()).build(),
+                _ => builder.placement(HotFirst).build(),
+            };
+            sys.serve(&refs, &opts); // observation pass
+            // Migration churn is charged to the cumulative counters at
+            // rebalance time, between report snapshots — surface it as
+            // its own field by snapshotting *per shard* around the
+            // rebalance. (Per-tier snapshots would not work here: a moved
+            // shard's whole traffic history follows it to its new tier,
+            // so per-tier deltas around a rebalance measure reshuffled
+            // history, not churn.)
+            let before_rebalance: Vec<u64> =
+                (0..shards).map(|i| sys.shard_traffic(i).cost_ns).collect();
+            let moved = sys.rebalance();
+            let migration_cost_ns: u64 = (0..shards)
+                .map(|i| sys.shard_traffic(i).cost_ns - before_rebalance[i])
+                .sum();
+            let report = sys.serve(&refs, &opts); // measured pass
+            println!(
+                "tier_placement/{policy}: {:.2}% hits, cost {:.3}ms (+{:.3}ms migration), rebalanced={moved}",
+                report.stats.hit_rate() * 100.0,
+                report.access_cost_ns() as f64 / 1e6,
+                migration_cost_ns as f64 / 1e6,
+            );
+            format!(
+                concat!(
+                    "    {{\"policy\": \"{}\", \"rebalanced\": {}, ",
+                    "\"hit_weighted_cost_ns\": {}, \"migration_cost_ns\": {}, ",
+                    "\"report\": {}}}"
+                ),
+                policy,
+                moved,
+                report.access_cost_ns(),
+                migration_cost_ns,
+                report.to_json(),
+            )
+        })
+        .collect();
+    (skew, requests, rows)
+}
+
 /// Streaming rows: a Poisson replay of the same trace the systems are
 /// built from (so the buffer actually hits, like the `sharded` section),
 /// offered at ~70% of the measured 1-shard batch service rate, served
-/// through a session with admission control and an SLA budget.
+/// through a session with admission control and an SLA budget — plus one
+/// closed-loop row (N outstanding requests, next arrival on completion)
+/// over the same trace.
 fn streaming_rows(
     cfg: &RecMgConfig,
     trace: &recmg_trace::Trace,
@@ -171,9 +298,50 @@ fn streaming_rows(
             report.shed_rate() * 100.0
         );
         rows.push(format!(
-            "    {{\"shards\": {}, \"workers\": {}, \"session\": {}}}",
+            "    {{\"shards\": {}, \"workers\": {}, \"mode\": \"open_loop\", \"session\": {}}}",
             shards,
             opts.workers,
+            report.to_json()
+        ));
+    }
+
+    // Closed-loop row: 8 clients, each issuing its next request the
+    // moment a slot frees up — offered load self-limits to the server's
+    // pace instead of following an external clock.
+    let outstanding = 8usize;
+    {
+        let opts = serve_opts(4);
+        let session = SessionBuilder::new()
+            .workers(opts.workers)
+            .guidance(opts.guidance)
+            .admission(AdmissionPolicy {
+                queue_depth: 64,
+                ..AdmissionPolicy::default()
+            })
+            .sla(SlaBudget::new(mean_service * 8 * outstanding as u32))
+            .build(sharded_system(cfg, trace, capacity, 4));
+        let inner = TraceReplaySource::new(
+            trace,
+            queries_per_request,
+            ArrivalProcess::Immediate,
+            0xC105ED,
+        );
+        let mut source = ClosedLoopSource::new(inner, outstanding, session.progress());
+        session.ingest(&mut source);
+        let (_sys, report) = session.drain();
+        println!(
+            "serving_streaming/closed-loop x{outstanding}: p50 {:.2}ms p95 {:.2}ms, {:.0} req/s",
+            report.latency.p50.as_secs_f64() * 1e3,
+            report.latency.p95.as_secs_f64() * 1e3,
+            report.completed as f64 / report.engine.elapsed_secs.max(1e-9),
+        );
+        rows.push(format!(
+            concat!(
+                "    {{\"shards\": 4, \"workers\": {}, \"mode\": \"closed_loop\", ",
+                "\"outstanding\": {}, \"session\": {}}}"
+            ),
+            opts.workers,
+            outstanding,
             report.to_json()
         ));
     }
@@ -181,7 +349,8 @@ fn streaming_rows(
 }
 
 /// Accumulates `b` into `a` (stats, chunk accounting, wall-clock, plane
-/// counters) so a row can aggregate several serve passes.
+/// counters, per-tier traffic) so a row can aggregate several serve
+/// passes.
 fn merge_reports(a: &mut recmg_core::EngineReport, b: &recmg_core::EngineReport) {
     a.stats.accumulate(b.stats);
     a.batches += b.batches;
@@ -193,6 +362,12 @@ fn merge_reports(a: &mut recmg_core::EngineReport, b: &recmg_core::EngineReport)
     a.plane.chunks += b.plane.chunks;
     a.plane.max_batch = a.plane.max_batch.max(b.plane.max_batch);
     a.plane.late_chunks += b.plane.late_chunks;
+    for (ta, tb) in a.tiers.iter_mut().zip(&b.tiers) {
+        ta.traffic.accumulate(tb.traffic);
+        // Occupancy is point-in-time: keep the latest pass's view.
+        ta.resident = tb.resident;
+        ta.capacity = tb.capacity;
+    }
 }
 
 /// One measured row: a warmup pass over the trace (excluded), then
@@ -241,7 +416,8 @@ fn guidance_batching_rows(
                     max_batch,
                 },
             };
-            let report = measure_row(cfg, trace, capacity, 8, 3, &opts);
+            let passes = if smoke() { 1 } else { 3 };
+            let report = measure_row(cfg, trace, capacity, 8, passes, &opts);
             println!(
                 "guidance_batching/8-shards/max_batch={max_batch}: {:.0} keys/s, {:.0}% guided, mean batch {:.1}",
                 report.keys_per_sec(),
@@ -262,14 +438,15 @@ fn bench_serving_sharded(c: &mut Criterion) {
     let trace = SyntheticConfig::tiny(1207).generate();
     let capacity = 256usize;
     let batches = trace.batches(20);
-    let shard_counts = [1usize, 2, 4, 8];
+    let shard_counts: &[usize] = if smoke() { &[1, 4] } else { &[1, 2, 4, 8] };
+    let passes = if smoke() { 1 } else { 3 };
 
     // Measured sweep for the JSON summary: per shard count, one warmup
-    // pass then three aggregated serve passes over the whole trace.
+    // pass then `passes` aggregated serve passes over the whole trace.
     let mut rows = Vec::new();
     let mut single_thread_kps = 0.0f64;
-    for &shards in &shard_counts {
-        let report = measure_row(&cfg, &trace, capacity, shards, 3, &serve_opts(shards));
+    for &shards in shard_counts {
+        let report = measure_row(&cfg, &trace, capacity, shards, passes, &serve_opts(shards));
         if shards == 1 {
             single_thread_kps = report.keys_per_sec();
         }
@@ -301,6 +478,7 @@ fn bench_serving_sharded(c: &mut Criterion) {
 
     let batching_rows = guidance_batching_rows(&cfg, &trace, capacity);
     let grid_rows = workload_grid_rows(&cfg);
+    let (tier_skew, tier_requests, tier_rows) = tier_placement_rows(&cfg);
     let (rate_hz, stream_requests, queries_per_request, stream_rows) =
         streaming_rows(&cfg, &trace, capacity);
 
@@ -314,6 +492,13 @@ fn bench_serving_sharded(c: &mut Criterion) {
             "    \"results\": [\n{}\n    ]\n  }},\n",
             "  \"guidance_batching\": {{\n    \"shards\": 8,\n    \"results\": [\n{}\n    ]\n  }},\n",
             "  \"workload_grid\": [\n{}\n  ],\n",
+            "  \"tier_placement\": {{\n    \"shards\": 8, \"skew\": {:.1}, \"requests\": {}, ",
+            "\"topology\": \"dram + penalized cxl\",\n",
+            "    \"methodology\": \"deterministic inline serving; per policy: observation pass, ",
+            "one rebalance, measured pass; hit_weighted_cost_ns = per-tier hit-weighted access ",
+            "cost of the measured pass (serving only); migration_cost_ns = one-time rebalance ",
+            "churn, reported separately\",\n",
+            "    \"results\": [\n{}\n    ]\n  }},\n",
             "  \"streaming\": {{\n    \"arrival_process\": \"poisson\", \"rate_hz\": {:.1}, ",
             "\"requests\": {}, \"queries_per_request\": {},\n    \"results\": [\n{}\n    ]\n  }}\n}}\n"
         ),
@@ -322,6 +507,9 @@ fn bench_serving_sharded(c: &mut Criterion) {
         sharded_rows.join(",\n"),
         batching_rows.join(",\n"),
         grid_rows.join(",\n"),
+        tier_skew,
+        tier_requests,
+        tier_rows.join(",\n"),
         rate_hz,
         stream_requests,
         queries_per_request,
@@ -338,10 +526,14 @@ fn bench_serving_sharded(c: &mut Criterion) {
     }
 
     // Criterion timings over warm systems (steady-state serving through
-    // the session-backed engine path).
+    // the session-backed engine path). Skipped in smoke mode — the JSON
+    // summary above is what CI validates.
+    if smoke() {
+        return;
+    }
     let mut group = c.benchmark_group("serving_sharded");
     group.sample_size(10);
-    for &shards in &shard_counts {
+    for &shards in shard_counts {
         let mut sys = sharded_system(&cfg, &trace, capacity, shards);
         group.throughput(Throughput::Elements(trace.len() as u64));
         group.bench_with_input(

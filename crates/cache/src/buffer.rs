@@ -248,6 +248,26 @@ impl GpuBuffer {
         Some(key)
     }
 
+    /// Changes the buffer's capacity in place, evicting minimum-priority
+    /// entries (without charging decay passes — this is a management
+    /// operation, not a demand fill) until the residency fits. The decay
+    /// period is re-derived from the new capacity exactly as
+    /// [`GpuBuffer::new`] would, so a resized buffer decays like a
+    /// fresh buffer of the same size. Used by tier rebalancing, which
+    /// re-sizes per-shard buffer shares from observed working sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        assert!(capacity > 0, "capacity must be positive");
+        while self.entries.len() > capacity {
+            self.evict_min();
+        }
+        self.capacity = capacity;
+        self.decay_period = ((capacity / 8) as u64).max(1);
+    }
+
     /// Removes a specific key (used by tests and ablations). Returns true
     /// if it was resident.
     pub fn evict(&mut self, key: VectorKey) -> bool {
@@ -360,6 +380,31 @@ mod tests {
         // stamp structure stays consistent afterwards
         b.insert(key(2), 1, false);
         assert_eq!(b.populate(), Some(key(2)));
+    }
+
+    #[test]
+    fn set_capacity_shrinks_by_evicting_min() {
+        let mut b = GpuBuffer::new(4);
+        b.insert(key(1), 9, false);
+        b.insert(key(2), 1, false);
+        b.insert(key(3), 5, false);
+        b.set_capacity(2);
+        assert_eq!(b.capacity(), 2);
+        assert_eq!(b.len(), 2);
+        assert!(!b.contains(key(2)), "minimum-priority entry leaves first");
+        assert!(b.contains(key(1)));
+        // Growing never evicts.
+        b.set_capacity(8);
+        assert_eq!(b.capacity(), 8);
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_full());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn set_capacity_zero_panics() {
+        let mut b = GpuBuffer::new(2);
+        b.set_capacity(0);
     }
 
     #[test]

@@ -13,27 +13,107 @@
 //! relative to model-demoted entries; the default of 4 follows the paper
 //! ("inspired by the RRIP hardware prefetcher algorithm").
 
+use std::time::{Duration, Instant};
+
 use recmg_cache::{BufferAccess, GpuBuffer};
 use recmg_trace::VectorKey;
+
+use crate::config::TierCost;
+
+/// Cumulative tier-traffic accounting of one [`RecMgBuffer`]: how many
+/// buffer events the backing memory tier served and what they cost under
+/// that tier's [`TierCost`] model. Counters merge losslessly across shards
+/// (per-tier aggregation in [`crate::TierUsage`]) and subtract cleanly
+/// between snapshots (per-run deltas in engine/session reports).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierTraffic {
+    /// Resident accesses served from the tier (cache + prefetch hits).
+    pub hits: u64,
+    /// On-demand fetches into the tier.
+    pub misses: u64,
+    /// Speculative (prefetch) fills into the tier.
+    pub prefetch_fills: u64,
+    /// Accumulated hit-weighted access cost in nanoseconds
+    /// (`hits × hit_ns + misses × miss_ns + fills × fill_ns`, plus any
+    /// rebalance migration charges).
+    pub cost_ns: u64,
+}
+
+impl TierTraffic {
+    /// Demand accesses observed (hits + misses) — the access-mass signal
+    /// working-set placement sizes shard buffers from.
+    pub fn demand(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Adds `other` into `self` (lossless merge across shards).
+    pub fn accumulate(&mut self, other: TierTraffic) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.prefetch_fills += other.prefetch_fills;
+        self.cost_ns += other.cost_ns;
+    }
+
+    /// Counter-wise `self - before` (both cumulative snapshots of the same
+    /// buffers; saturating so a rebalanced/rebuilt shard never underflows).
+    pub fn delta_since(&self, before: &TierTraffic) -> TierTraffic {
+        TierTraffic {
+            hits: self.hits.saturating_sub(before.hits),
+            misses: self.misses.saturating_sub(before.misses),
+            prefetch_fills: self.prefetch_fills.saturating_sub(before.prefetch_fills),
+            cost_ns: self.cost_ns.saturating_sub(before.cost_ns),
+        }
+    }
+}
+
+/// Spin until `penalty` has elapsed — the injected bandwidth penalty of a
+/// slow tier. Spinning (not sleeping) because realistic penalties are
+/// sub-microsecond, far below a sleep quantum.
+fn inject_penalty(penalty: Duration) {
+    if penalty.is_zero() {
+        return;
+    }
+    let start = Instant::now();
+    while start.elapsed() < penalty {
+        std::hint::spin_loop();
+    }
+}
 
 /// The RecMG-managed GPU buffer.
 #[derive(Debug, Clone)]
 pub struct RecMgBuffer {
     buffer: GpuBuffer,
     eviction_speed: u64,
+    /// Access-cost model of the memory tier backing this buffer.
+    cost: TierCost,
+    traffic: TierTraffic,
 }
 
 impl RecMgBuffer {
     /// Creates a buffer of `capacity` vectors with the given eviction
-    /// speed.
+    /// speed, backed by an implicit free tier ([`TierCost::FREE`]: events
+    /// are counted but cost nothing and nothing is injected).
     ///
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize, eviction_speed: u64) -> Self {
+        Self::with_cost(capacity, eviction_speed, TierCost::FREE)
+    }
+
+    /// Creates a buffer backed by a memory tier with the given access-cost
+    /// model (tier-topology systems route every shard buffer through
+    /// here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_cost(capacity: usize, eviction_speed: u64, cost: TierCost) -> Self {
         RecMgBuffer {
             buffer: GpuBuffer::new(capacity),
             eviction_speed,
+            cost,
+            traffic: TierTraffic::default(),
         }
     }
 
@@ -42,18 +122,71 @@ impl RecMgBuffer {
         self.eviction_speed
     }
 
+    /// The tier access-cost model currently applied.
+    pub fn cost(&self) -> TierCost {
+        self.cost
+    }
+
+    /// Cumulative tier traffic of this buffer.
+    pub fn traffic(&self) -> TierTraffic {
+        self.traffic
+    }
+
+    /// Swaps the tier cost model (a rebalance moved this buffer to another
+    /// tier). Traffic counters are cumulative and keep running.
+    pub fn set_cost(&mut self, cost: TierCost) {
+        self.cost = cost;
+    }
+
+    /// Charges the one-time cost of migrating the resident working set
+    /// into a new tier (`len × fill_ns` under the *destination* tier's
+    /// model) — called by the rebalancer when a shard changes tiers. The
+    /// charge lands in the *cumulative* counters: per-run report deltas
+    /// (which snapshot at session build, after any rebalance) deliberately
+    /// exclude it, so serving cost and placement-churn cost stay
+    /// separable. Callers that want churn in their metric snapshot
+    /// *per-shard* traffic
+    /// ([`ShardedRecMgSystem::shard_traffic`](crate::ShardedRecMgSystem::shard_traffic))
+    /// around the rebalance, as the serving bench's `migration_cost_ns`
+    /// field does — per-*tier* snapshots would be wrong across a
+    /// rebalance, because a moved shard's whole traffic history follows
+    /// it to its new tier.
+    pub fn charge_migration(&mut self, into: TierCost) {
+        self.traffic.cost_ns += self.buffer.len() as u64 * into.fill_ns;
+    }
+
+    /// Re-sizes the buffer in place (shrinking evicts minimum-priority
+    /// entries first), keeping traffic counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn resize(&mut self, capacity: usize) {
+        self.buffer.set_capacity(capacity);
+    }
+
     /// Demand access on the critical path: classifies the access and, on a
     /// miss, fetches the vector on demand (evicting via Algorithm 2 if
     /// full). Newly fetched vectors enter at neutral priority
     /// `eviction_speed`; their final priority arrives with the next
     /// caching-model output (Algorithm 1).
+    ///
+    /// Tier accounting: hits charge `hit_ns`, misses charge `miss_ns` and
+    /// suffer the tier's injected penalty (the on-demand fetch crosses the
+    /// slow tier's bandwidth bottleneck).
     pub fn access(&mut self, key: VectorKey) -> BufferAccess {
         let outcome = self.buffer.lookup(key);
         if outcome == BufferAccess::Miss {
+            self.traffic.misses += 1;
+            self.traffic.cost_ns += self.cost.miss_ns;
+            inject_penalty(self.cost.miss_penalty);
             if self.buffer.is_full() {
                 self.buffer.populate();
             }
             self.buffer.insert(key, self.eviction_speed, false);
+        } else {
+            self.traffic.hits += 1;
+            self.traffic.cost_ns += self.cost.hit_ns;
         }
         outcome
     }
@@ -107,6 +240,12 @@ impl RecMgBuffer {
             // full `eviction_speed` protection would let mispredictions
             // occupy ~eviction_speed passes of capacity.
             self.buffer.insert_prefetch(key, 1);
+            // A real fill into the tier: charge it and pay the tier's
+            // bandwidth penalty (speculative traffic competes for the same
+            // slow-tier bandwidth as demand fetches).
+            self.traffic.prefetch_fills += 1;
+            self.traffic.cost_ns += self.cost.fill_ns;
+            inject_penalty(self.cost.miss_penalty);
         }
     }
 
@@ -222,5 +361,89 @@ mod tests {
     fn mismatched_bits_panic() {
         let mut b = RecMgBuffer::new(2, 4);
         b.load_embeddings(&[key(1)], &[], &[]);
+    }
+
+    #[test]
+    fn tier_traffic_accounts_hits_misses_and_fills() {
+        let cost = TierCost {
+            hit_ns: 10,
+            miss_ns: 100,
+            fill_ns: 40,
+            miss_penalty: std::time::Duration::ZERO,
+        };
+        let mut b = RecMgBuffer::with_cost(8, 4, cost);
+        assert_eq!(b.cost(), cost);
+        b.access(key(1)); // miss
+        b.access(key(1)); // hit
+        b.load_embeddings(&[key(1)], &[true], &[key(2), key(1)]); // 1 fill (key 1 resident)
+        b.access(key(2)); // prefetch hit
+        let t = b.traffic();
+        assert_eq!(t.misses, 1);
+        assert_eq!(t.hits, 2);
+        assert_eq!(t.prefetch_fills, 1);
+        assert_eq!(t.cost_ns, 100 + 2 * 10 + 40);
+        assert_eq!(t.demand(), 3);
+    }
+
+    #[test]
+    fn free_tier_counts_but_costs_nothing() {
+        let mut b = RecMgBuffer::new(4, 4);
+        b.access(key(1));
+        b.access(key(1));
+        let t = b.traffic();
+        assert_eq!(t.misses, 1);
+        assert_eq!(t.hits, 1);
+        assert_eq!(t.cost_ns, 0);
+    }
+
+    #[test]
+    fn traffic_merge_and_delta_are_lossless() {
+        let a = TierTraffic {
+            hits: 5,
+            misses: 2,
+            prefetch_fills: 1,
+            cost_ns: 70,
+        };
+        let mut m = a;
+        m.accumulate(TierTraffic {
+            hits: 1,
+            misses: 1,
+            prefetch_fills: 0,
+            cost_ns: 30,
+        });
+        assert_eq!(m.hits, 6);
+        assert_eq!(m.cost_ns, 100);
+        let d = m.delta_since(&a);
+        assert_eq!(d.hits, 1);
+        assert_eq!(d.misses, 1);
+        assert_eq!(d.cost_ns, 30);
+        // Saturation guard.
+        assert_eq!(a.delta_since(&m), TierTraffic::default());
+    }
+
+    #[test]
+    fn resize_and_migration_charge() {
+        let mut b = RecMgBuffer::with_cost(
+            4,
+            4,
+            TierCost {
+                hit_ns: 0,
+                miss_ns: 0,
+                fill_ns: 0,
+                miss_penalty: std::time::Duration::ZERO,
+            },
+        );
+        for r in 1..=4 {
+            b.access(key(r));
+        }
+        assert_eq!(b.len(), 4);
+        b.resize(2);
+        assert_eq!(b.capacity(), 2);
+        assert_eq!(b.len(), 2);
+        let slow = TierCost::cxl_like();
+        b.charge_migration(slow);
+        b.set_cost(slow);
+        assert_eq!(b.traffic().cost_ns, 2 * slow.fill_ns);
+        assert_eq!(b.cost(), slow);
     }
 }

@@ -1,0 +1,256 @@
+//! Fluent construction of tier-aware sharded systems.
+//!
+//! [`SystemBuilder`] replaces the positional
+//! `ShardedRecMgSystem::new(caching, prefetch, codec, capacity, shards)`
+//! constructors: the memory hierarchy ([`TierTopology`]), the shard
+//! placement ([`PlacementPolicy`]), and the default guidance scheduling
+//! ([`GuidanceMode`]) are explicit, named, and individually defaultable.
+//!
+//! ```
+//! use recmg_core::{
+//!     CachingModel, FrequencyRankCodec, HotFirst, RecMgConfig, SystemBuilder, TierTopology,
+//! };
+//! use recmg_trace::{RowId, TableId, VectorKey};
+//!
+//! let cfg = RecMgConfig::tiny();
+//! let caching = CachingModel::new(&cfg);
+//! let codec =
+//!     FrequencyRankCodec::from_accesses(&[VectorKey::new(TableId(0), RowId(1))]);
+//! let system = SystemBuilder::new(&caching, None, codec)
+//!     .shards(4)
+//!     .topology(TierTopology::two_tier(32, 96))
+//!     .placement(HotFirst)
+//!     .build();
+//! assert_eq!(system.num_shards(), 4);
+//! assert_eq!(system.capacity(), 128);
+//! ```
+
+use std::sync::Arc;
+
+use crate::caching_model::CachingModel;
+use crate::codec::FrequencyRankCodec;
+use crate::engine::GuidanceMode;
+use crate::prefetch_model::PrefetchModel;
+use crate::sharding::{GuidanceCtx, Shard, ShardRouter, ShardedRecMgSystem};
+use crate::system::{RecMgSystem, TrainedRecMg};
+use crate::tier::{EvenSplit, PlacementPolicy, TierTopology};
+
+/// Configures and assembles a [`ShardedRecMgSystem`] over an explicit
+/// memory hierarchy.
+///
+/// Defaults: 1 shard, [`EvenSplit`] placement, the default
+/// [`GuidanceMode`]. The topology is mandatory — set it with
+/// [`topology`](SystemBuilder::topology), or use
+/// [`capacity`](SystemBuilder::capacity) for the historical single-tier
+/// layout.
+#[derive(Debug)]
+pub struct SystemBuilder<'a> {
+    caching: &'a CachingModel,
+    prefetch: Option<&'a PrefetchModel>,
+    codec: FrequencyRankCodec,
+    shards: usize,
+    topology: Option<TierTopology>,
+    placement: Arc<dyn PlacementPolicy>,
+    guidance: GuidanceMode,
+}
+
+impl<'a> SystemBuilder<'a> {
+    /// Starts a builder from trained (or untrained) model parts. Pass
+    /// `prefetch: None` for the caching-model-only configuration.
+    pub fn new(
+        caching: &'a CachingModel,
+        prefetch: Option<&'a PrefetchModel>,
+        codec: FrequencyRankCodec,
+    ) -> Self {
+        SystemBuilder {
+            caching,
+            prefetch,
+            codec,
+            shards: 1,
+            topology: None,
+            placement: Arc::new(EvenSplit),
+            guidance: GuidanceMode::default(),
+        }
+    }
+
+    /// Starts a builder from full training artifacts.
+    pub fn from_trained(trained: &'a TrainedRecMg) -> Self {
+        Self::new(
+            &trained.caching,
+            Some(&trained.prefetch),
+            trained.codec.clone(),
+        )
+    }
+
+    /// Number of shards (default 1).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// The memory hierarchy the system is placed onto.
+    pub fn topology(mut self, topology: TierTopology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// Shorthand for the historical flat layout:
+    /// `.topology(TierTopology::uniform(capacity))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn capacity(self, capacity: usize) -> Self {
+        self.topology(TierTopology::uniform(capacity))
+    }
+
+    /// The placement policy sizing shard buffers and routing them to
+    /// tiers (default [`EvenSplit`]). The policy stays with the system:
+    /// [`ShardedRecMgSystem::rebalance`] re-applies it against live
+    /// per-shard stats.
+    pub fn placement(mut self, placement: impl PlacementPolicy + 'static) -> Self {
+        self.placement = Arc::new(placement);
+        self
+    }
+
+    /// Default guidance scheduling for sessions built over this system
+    /// (a [`SessionBuilder`](crate::SessionBuilder) without an explicit
+    /// guidance mode inherits it).
+    pub fn guidance(mut self, guidance: GuidanceMode) -> Self {
+        self.guidance = guidance;
+        self
+    }
+
+    /// The configured default guidance mode.
+    pub fn guidance_mode(&self) -> GuidanceMode {
+        self.guidance
+    }
+
+    /// Assembles the system: the placement policy runs once with no
+    /// observed mass (its deterministic cold-start placement), and each
+    /// shard's buffer is created in its assigned tier with that tier's
+    /// cost model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no topology was set, or `shards` is zero.
+    pub fn build(self) -> ShardedRecMgSystem {
+        let topology = self
+            .topology
+            .expect("SystemBuilder needs a topology: call .topology(..) or .capacity(..)");
+        let router = ShardRouter::new(self.shards);
+        let cfg = self.caching.config().clone();
+        let placements = self.placement.place(self.shards, &topology, &[]);
+        assert_eq!(
+            placements.len(),
+            self.shards,
+            "placement policy must return one placement per shard"
+        );
+        let topology = Arc::new(topology);
+        let shards = placements
+            .iter()
+            .enumerate()
+            .map(|(id, p)| Shard::placed(id, cfg.eviction_speed, p, &topology))
+            .collect();
+        ShardedRecMgSystem {
+            ctx: GuidanceCtx {
+                caching: Arc::new(self.caching.compile()),
+                prefetch: self.prefetch.map(|p| Arc::new(p.compile())),
+                codec: Arc::new(self.codec),
+                prefetch_warmup: RecMgSystem::PREFETCH_WARMUP.div_ceil(self.shards as u64),
+                cfg,
+                guidance_stride: 1,
+                prefetch_gate: 0.10,
+                topology,
+                placement: self.placement,
+                guidance_default: self.guidance,
+            },
+            router,
+            shards,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RecMgConfig;
+    use crate::tier::{HotFirst, WorkingSet};
+    use recmg_trace::{RowId, TableId, VectorKey};
+
+    fn parts() -> (CachingModel, PrefetchModel, FrequencyRankCodec) {
+        let cfg = RecMgConfig::tiny();
+        (
+            CachingModel::new(&cfg),
+            PrefetchModel::new(&cfg),
+            FrequencyRankCodec::from_accesses(&[VectorKey::new(TableId(0), RowId(1))]),
+        )
+    }
+
+    #[test]
+    fn builder_defaults_reproduce_historical_layout() {
+        let (cm, pm, codec) = parts();
+        let sys = SystemBuilder::new(&cm, Some(&pm), codec)
+            .shards(4)
+            .capacity(10)
+            .build();
+        assert_eq!(sys.num_shards(), 4);
+        // ceil(10/4) = 3 per shard, all in the single DRAM tier.
+        assert_eq!(sys.capacity(), 12);
+        for i in 0..4 {
+            assert_eq!(sys.shard_buffer(i).capacity(), 3);
+            assert_eq!(sys.shard_tier(i), 0);
+        }
+        assert_eq!(sys.topology().num_tiers(), 1);
+        assert!(sys.has_prefetch());
+    }
+
+    #[test]
+    fn builder_places_across_tiers() {
+        let (cm, _pm, codec) = parts();
+        let sys = SystemBuilder::new(&cm, None, codec)
+            .shards(4)
+            .topology(TierTopology::two_tier(16, 48))
+            .placement(HotFirst)
+            .build();
+        // Cold start: even 16-vector shards, shard 0 in the fast tier.
+        assert_eq!(sys.shard_tier(0), 0);
+        for i in 1..4 {
+            assert_eq!(sys.shard_tier(i), 1);
+        }
+        let usage = sys.tier_usage();
+        assert_eq!(usage.len(), 2);
+        assert_eq!(usage[0].shards, 1);
+        assert_eq!(usage[1].shards, 3);
+        assert_eq!(usage[0].capacity + usage[1].capacity, sys.capacity());
+    }
+
+    #[test]
+    fn builder_threads_guidance_default() {
+        let (cm, _pm, codec) = parts();
+        let b = SystemBuilder::new(&cm, None, codec)
+            .capacity(8)
+            .guidance(GuidanceMode::Inline);
+        assert_eq!(b.guidance_mode(), GuidanceMode::Inline);
+        let sys = b.build();
+        assert_eq!(sys.default_guidance(), GuidanceMode::Inline);
+    }
+
+    #[test]
+    fn builder_keeps_placement_for_rebalance() {
+        let (cm, _pm, codec) = parts();
+        let sys = SystemBuilder::new(&cm, None, codec)
+            .shards(2)
+            .capacity(64)
+            .placement(WorkingSet::default())
+            .build();
+        assert_eq!(sys.placement_name(), "working_set");
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a topology")]
+    fn builder_without_topology_panics() {
+        let (cm, _pm, codec) = parts();
+        let _ = SystemBuilder::new(&cm, None, codec).shards(2).build();
+    }
+}

@@ -115,6 +115,79 @@ impl RecMgConfig {
     }
 }
 
+/// Access-cost model of one memory tier, in nanoseconds per buffer event.
+///
+/// The costs parameterize the hit/miss/prefetch-fill accounting of
+/// [`crate::RecMgBuffer`]: a buffer placed in a tier charges `hit_ns` per
+/// resident access, `miss_ns` per on-demand fetch into the tier, and
+/// `fill_ns` per speculative (prefetch) fill. The accumulated
+/// hit-weighted cost is what [`crate::PlacementPolicy`] implementations
+/// compete on — RecShard-style placement wins exactly when it moves access
+/// mass onto cheaper tiers.
+///
+/// `miss_penalty` is *injected*, not just accounted: a non-zero penalty
+/// spin-waits on every demand miss and prefetch fill, emulating a
+/// bandwidth-constrained slow tier (CXL / far NUMA) in wall-clock terms so
+/// throughput benches feel tier placement, not only the cost counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierCost {
+    /// Cost of serving one resident access from this tier.
+    pub hit_ns: u64,
+    /// Cost of one on-demand fetch into this tier.
+    pub miss_ns: u64,
+    /// Cost of one speculative (prefetch) fill into this tier.
+    pub fill_ns: u64,
+    /// Wall-clock delay injected on each miss/fill (zero = accounting
+    /// only).
+    pub miss_penalty: Duration,
+}
+
+impl TierCost {
+    /// All-zero cost: pure counting, no latency model. The implicit tier
+    /// of pre-topology buffers.
+    pub const FREE: TierCost = TierCost {
+        hit_ns: 0,
+        miss_ns: 0,
+        fill_ns: 0,
+        miss_penalty: Duration::ZERO,
+    };
+
+    /// Local-DRAM-like tier: fast access, on-demand fetches dominated by
+    /// the host-side copy.
+    pub fn dram() -> Self {
+        TierCost {
+            hit_ns: 80,
+            miss_ns: 900,
+            fill_ns: 300,
+            miss_penalty: Duration::ZERO,
+        }
+    }
+
+    /// CXL-/far-NUMA-like slow tier: ~4× the load latency of local DRAM
+    /// and costlier fills (the regime of the Software-Defined-Memory
+    /// measurements).
+    pub fn cxl_like() -> Self {
+        TierCost {
+            hit_ns: 350,
+            miss_ns: 1800,
+            fill_ns: 900,
+            miss_penalty: Duration::ZERO,
+        }
+    }
+
+    /// Sets the injected miss/fill penalty.
+    pub fn with_penalty(mut self, penalty: Duration) -> Self {
+        self.miss_penalty = penalty;
+        self
+    }
+}
+
+impl Default for TierCost {
+    fn default() -> Self {
+        TierCost::FREE
+    }
+}
+
 /// Admission control for a [`crate::session::ServingSession`]'s request
 /// queue: how many requests may wait, and what happens to requests whose
 /// deadline cannot be met.
@@ -292,6 +365,19 @@ mod tests {
             prefetch_off_at: 0.5,
         };
         sla.validate();
+    }
+
+    #[test]
+    fn tier_cost_presets_order_sensibly() {
+        let dram = TierCost::dram();
+        let cxl = TierCost::cxl_like();
+        assert!(dram.hit_ns < cxl.hit_ns);
+        assert!(dram.miss_ns < cxl.miss_ns);
+        assert!(dram.fill_ns < cxl.fill_ns);
+        assert_eq!(TierCost::default(), TierCost::FREE);
+        let pen = cxl.with_penalty(Duration::from_nanos(500));
+        assert_eq!(pen.miss_penalty, Duration::from_nanos(500));
+        assert_eq!(pen.hit_ns, cxl.hit_ns);
     }
 
     #[test]

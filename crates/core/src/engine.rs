@@ -22,6 +22,7 @@ use recmg_trace::VectorKey;
 use crate::config::AdmissionPolicy;
 use crate::session::{BatchSource, SessionBuilder};
 use crate::sharding::ShardedRecMgSystem;
+use crate::tier::TierUsage;
 
 /// How model guidance is scheduled during serving.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -135,7 +136,7 @@ impl Default for ServeOptions {
 
 /// Outcome of one batch-mode serve run (also embedded in
 /// [`SessionReport`](crate::session::SessionReport) for streaming runs).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct EngineReport {
     /// Merged access outcomes across all batches and shards.
     pub stats: BatchAccessStats,
@@ -149,6 +150,9 @@ pub struct EngineReport {
     pub elapsed_secs: f64,
     /// Background guidance-plane accounting (zeros under inline guidance).
     pub plane: GuidancePlaneReport,
+    /// Per-tier occupancy (end of run) and traffic/cost (delta over this
+    /// run), one entry per [`crate::MemoryTier`] of the system's topology.
+    pub tiers: Vec<TierUsage>,
 }
 
 impl EngineReport {
@@ -167,15 +171,23 @@ impl EngineReport {
         self.stats.total() as f64 / self.elapsed_secs.max(1e-9)
     }
 
+    /// Total hit-weighted access cost across tiers for this run, in
+    /// nanoseconds — the metric placement policies compete on.
+    pub fn access_cost_ns(&self) -> u64 {
+        TierUsage::total_cost_ns(&self.tiers)
+    }
+
     /// Machine-readable summary with fixed field names — the single
     /// serializer used by every bench that emits an engine report, so
     /// `guided_fraction` / `keys_per_sec` are never re-derived ad hoc.
     pub fn to_json(&self) -> String {
+        let tiers: Vec<String> = self.tiers.iter().map(TierUsage::to_json).collect();
         format!(
             concat!(
                 "{{\"batches\": {}, \"keys\": {}, \"hit_rate\": {:.4}, ",
                 "\"guided_fraction\": {:.4}, \"keys_per_sec\": {:.1}, ",
-                "\"elapsed_secs\": {:.4}, \"plane\": {}}}"
+                "\"elapsed_secs\": {:.4}, \"plane\": {}, ",
+                "\"access_cost_ns\": {}, \"tiers\": [{}]}}"
             ),
             self.batches,
             self.stats.total(),
@@ -184,6 +196,8 @@ impl EngineReport {
             self.keys_per_sec(),
             self.elapsed_secs,
             self.plane.to_json(),
+            self.access_cost_ns(),
+            tiers.join(", "),
         )
     }
 }
@@ -248,7 +262,10 @@ mod tests {
         let prefetch = PrefetchModel::new(&cfg);
         let trace = SyntheticConfig::tiny(5).generate();
         let codec = FrequencyRankCodec::from_accesses(&trace.accesses()[..500]);
-        ShardedRecMgSystem::new(&caching, Some(&prefetch), codec, 64, num_shards)
+        ShardedRecMgSystem::builder(&caching, Some(&prefetch), codec)
+            .shards(num_shards)
+            .capacity(64)
+            .build()
     }
 
     #[test]
@@ -366,6 +383,9 @@ mod tests {
             "\"model_forwards\"",
             "\"mean_batch\"",
             "\"late_chunks\"",
+            "\"access_cost_ns\"",
+            "\"tiers\"",
+            "\"tier\": \"dram\"",
         ] {
             assert!(json.contains(field), "missing {field} in {json}");
         }

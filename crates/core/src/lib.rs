@@ -26,11 +26,18 @@
 //!    the paper's §VI-C skip-ahead rule (one shard reproduces
 //!    [`RecMgSystem`] exactly).
 //! 5. **Streaming** ([`session`]): a [`RequestSource`] (batches, Poisson /
-//!    uniform synthetic arrivals, or trace replay) feeds a
-//!    [`ServingSession`] with admission control, per-request latency
-//!    percentiles, and SLA-pressure degradation (skip-ahead first, then
-//!    prefetch-off). The batch `serve()` above is a thin wrapper over a
-//!    batch-backed session.
+//!    uniform synthetic arrivals, trace replay, or a closed loop over any
+//!    of them) feeds a [`ServingSession`] with admission control,
+//!    per-request latency percentiles, and SLA-pressure degradation
+//!    (skip-ahead first, then prefetch-off). The batch `serve()` above is
+//!    a thin wrapper over a batch-backed session.
+//! 6. **Tiered memory** ([`tier`], [`SystemBuilder`]): systems are built
+//!    against an explicit [`TierTopology`] (fast → slow [`MemoryTier`]s
+//!    with access-cost models); a [`PlacementPolicy`] ([`EvenSplit`],
+//!    RecShard-style [`WorkingSet`], [`HotFirst`]) sizes per-shard buffer
+//!    shares and routes them to tiers, a [`Rebalancer`] re-places live
+//!    systems from observed per-shard mass, and per-tier occupancy /
+//!    traffic / hit-weighted cost surfaces in every report.
 //!
 //! # Examples
 //!
@@ -54,6 +61,7 @@
 //! ```
 
 mod buffer_mgmt;
+mod builder;
 mod caching_model;
 mod codec;
 mod config;
@@ -65,11 +73,13 @@ pub mod serving;
 pub mod session;
 mod sharding;
 mod system;
+pub mod tier;
 
-pub use buffer_mgmt::RecMgBuffer;
+pub use buffer_mgmt::{RecMgBuffer, TierTraffic};
+pub use builder::SystemBuilder;
 pub use caching_model::{CachingModel, FastCachingModel, TrainingReport};
 pub use codec::{FrequencyRankCodec, GlobalIdCodec, IndexCodec};
-pub use config::{AdmissionPolicy, DegradeLevel, RecMgConfig, SlaBudget};
+pub use config::{AdmissionPolicy, DegradeLevel, RecMgConfig, SlaBudget, TierCost};
 pub use engine::{EngineReport, GuidanceMode, ServeOptions};
 pub use fast::FastScratch;
 pub use labeling::{build_training_data, Chunk, PrefetchExample, TrainingData};
@@ -77,8 +87,13 @@ pub use prefetch_model::{
     FastPrefetchModel, PrefetchEval, PrefetchLoss, PrefetchModel, PrefetchTrainingReport,
 };
 pub use session::{
-    ArrivalProcess, BatchSource, LatencySummary, Rejection, Request, RequestSample, RequestSource,
-    ServingSession, SessionBuilder, SessionReport, SlaOutcome, SyntheticSource, TraceReplaySource,
+    ArrivalProcess, BatchSource, ClosedLoopSource, LatencySummary, Rejection, Request,
+    RequestSample, RequestSource, ServingSession, SessionBuilder, SessionProgress, SessionReport,
+    SlaOutcome, SyntheticSource, TraceReplaySource,
 };
 pub use sharding::{ShardRouter, ShardedRecMgSystem};
 pub use system::{train_recmg, CmPolicy, PmPrefetcher, RecMgSystem, TrainOptions, TrainedRecMg};
+pub use tier::{
+    EvenSplit, HotFirst, MemoryTier, PlacementPolicy, Rebalancer, ShardPlacement, TierTopology,
+    TierUsage, WorkingSet,
+};

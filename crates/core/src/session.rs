@@ -35,7 +35,7 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -44,11 +44,13 @@ use rand::{Rng, SeedableRng};
 use recmg_dlrm::BatchAccessStats;
 use recmg_trace::{Trace, VectorKey};
 
+use crate::builder::SystemBuilder;
 use crate::config::{AdmissionPolicy, DegradeLevel, SlaBudget};
 use crate::engine::{EngineReport, GuidanceMode, GuidancePlaneReport};
 use crate::fast::FastScratch;
 use crate::serving::WorkloadSpec;
 use crate::sharding::{GuidanceCtx, Shard, ShardRouter, ShardedRecMgSystem};
+use crate::tier::TierUsage;
 
 // ---------------------------------------------------------------------------
 // Requests and sources
@@ -340,6 +342,101 @@ impl RequestSource for TraceReplaySource {
 
     fn remaining_hint(&self) -> Option<usize> {
         Some(self.requests.len() - self.next)
+    }
+}
+
+/// Cheap, clonable view of a running session's progress counters. Holds a
+/// weak reference: it never keeps the session's shared state alive past
+/// [`ServingSession::drain`], and reads against a drained session saturate
+/// (every request counts as finished) so a [`ClosedLoopSource`] can never
+/// deadlock on a session that went away.
+#[derive(Debug, Clone)]
+pub struct SessionProgress {
+    shared: Weak<SessionShared>,
+}
+
+impl SessionProgress {
+    /// Requests served to completion so far.
+    pub fn completed(&self) -> u64 {
+        self.shared
+            .upgrade()
+            .map_or(u64::MAX, |s| s.completed_requests.load(Ordering::Acquire))
+    }
+
+    /// Requests whose lifecycle is over: completed, rejected at submit
+    /// (queue full / blown deadline), or shed in queue. This is the
+    /// closed-loop "a slot freed up" signal — rejections free a slot just
+    /// like completions, otherwise an overloaded closed loop would hang.
+    pub fn finished(&self) -> u64 {
+        self.shared.upgrade().map_or(u64::MAX, |s| {
+            s.completed_requests.load(Ordering::Acquire)
+                + s.rejected_queue_full.load(Ordering::Relaxed)
+                + s.rejected_deadline.load(Ordering::Relaxed)
+                + s.shed_in_queue.load(Ordering::Relaxed)
+        })
+    }
+}
+
+/// Closed-loop arrival process over any inner source: at most
+/// `outstanding` requests are in flight, and the next request "arrives"
+/// the moment a slot frees up (completion, rejection, or shed) — the
+/// classic N-client closed loop, versus the open-loop sources above whose
+/// arrivals ignore the server entirely.
+///
+/// The inner source's arrival offsets are ignored; each emitted request's
+/// arrival is the instant its slot opened, so latency percentiles measure
+/// service + queueing under self-limiting load.
+#[derive(Debug)]
+pub struct ClosedLoopSource<S> {
+    inner: S,
+    outstanding: u64,
+    progress: SessionProgress,
+    issued: u64,
+    epoch: Option<Instant>,
+}
+
+impl<S: RequestSource> ClosedLoopSource<S> {
+    /// Wraps `inner`, keeping at most `outstanding` requests in flight in
+    /// the session observed through `progress`
+    /// ([`ServingSession::progress`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outstanding` is zero.
+    pub fn new(inner: S, outstanding: usize, progress: SessionProgress) -> Self {
+        assert!(outstanding > 0, "need at least one outstanding request");
+        ClosedLoopSource {
+            inner,
+            outstanding: outstanding as u64,
+            progress,
+            issued: 0,
+            epoch: None,
+        }
+    }
+}
+
+impl<S: RequestSource> RequestSource for ClosedLoopSource<S> {
+    fn next_request(&mut self) -> Option<Request> {
+        let epoch = *self.epoch.get_or_insert_with(Instant::now);
+        // Wait for a free slot. `finished()` saturates to u64::MAX if the
+        // session is gone, so this cannot hang on a drained session.
+        let mut spins = 0u32;
+        while self.issued.saturating_sub(self.progress.finished()) >= self.outstanding {
+            spins += 1;
+            if spins < 64 {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        }
+        let mut request = self.inner.next_request()?;
+        request.arrival = epoch.elapsed();
+        self.issued += 1;
+        Some(request)
+    }
+
+    fn remaining_hint(&self) -> Option<usize> {
+        self.inner.remaining_hint()
     }
 }
 
@@ -658,7 +755,7 @@ impl SessionReport {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SessionBuilder {
     workers: usize,
-    guidance: GuidanceMode,
+    guidance: Option<GuidanceMode>,
     admission: AdmissionPolicy,
     sla: Option<SlaBudget>,
 }
@@ -670,11 +767,12 @@ impl Default for SessionBuilder {
 }
 
 impl SessionBuilder {
-    /// One worker, default guidance, default admission, no SLA.
+    /// One worker, guidance inherited from the system
+    /// ([`SystemBuilder::guidance`]), default admission, no SLA.
     pub fn new() -> Self {
         SessionBuilder {
             workers: 1,
-            guidance: GuidanceMode::default(),
+            guidance: None,
             admission: AdmissionPolicy::default(),
             sla: None,
         }
@@ -686,9 +784,10 @@ impl SessionBuilder {
         self
     }
 
-    /// Guidance scheduling ([`GuidanceMode`]).
+    /// Guidance scheduling ([`GuidanceMode`]), overriding the system's
+    /// default ([`SystemBuilder::guidance`]).
     pub fn guidance(mut self, guidance: GuidanceMode) -> Self {
-        self.guidance = guidance;
+        self.guidance = Some(guidance);
         self
     }
 
@@ -705,9 +804,22 @@ impl SessionBuilder {
         self
     }
 
+    /// Builds the system from a [`SystemBuilder`] and starts the session
+    /// over it — the fluent end-to-end construction path. The session
+    /// inherits the system builder's guidance mode unless
+    /// [`guidance`](SessionBuilder::guidance) set one explicitly.
+    ///
+    /// # Panics
+    ///
+    /// As [`SessionBuilder::build`] and [`SystemBuilder::build`].
+    pub fn build_system(self, system: SystemBuilder<'_>) -> ServingSession {
+        self.build(system.build())
+    }
+
     /// Consumes `system` and starts the session's worker (and, in
     /// background guidance mode, plane) threads. [`ServingSession::drain`]
-    /// returns the system.
+    /// returns the system. Guidance scheduling falls back to the system's
+    /// build-time default when not set on this builder.
     ///
     /// # Panics
     ///
@@ -718,6 +830,8 @@ impl SessionBuilder {
         if let Some(sla) = &self.sla {
             sla.validate();
         }
+        let guidance = self.guidance.unwrap_or(system.default_guidance());
+        let tiers_before = system.tier_usage();
         let ShardedRecMgSystem {
             ctx,
             router,
@@ -727,7 +841,7 @@ impl SessionBuilder {
         let guided_before: u64 = shards.iter().map(|s| s.guided_chunks).sum();
         let chunks_before: u64 = shards.iter().map(|s| s.chunk_counter as u64).sum();
 
-        let (plane, proto_tx, plane_cfg) = match self.guidance {
+        let (plane, proto_tx, plane_cfg) = match guidance {
             GuidanceMode::Inline => (None, None, None),
             GuidanceMode::Background {
                 threads,
@@ -798,6 +912,7 @@ impl SessionBuilder {
             epoch: Instant::now(),
             guided_before,
             chunks_before,
+            tiers_before,
         }
     }
 }
@@ -813,6 +928,7 @@ pub struct ServingSession {
     epoch: Instant,
     guided_before: u64,
     chunks_before: u64,
+    tiers_before: Vec<TierUsage>,
 }
 
 impl std::fmt::Debug for ServingSession {
@@ -891,6 +1007,15 @@ impl ServingSession {
     /// Requests served to completion so far.
     pub fn completed_requests(&self) -> u64 {
         self.shared.completed_requests.load(Ordering::Acquire)
+    }
+
+    /// A clonable progress view for feedback-driven sources
+    /// ([`ClosedLoopSource`]). The view is weak: it never keeps session
+    /// state alive, and saturates once the session is drained.
+    pub fn progress(&self) -> SessionProgress {
+        SessionProgress {
+            shared: Arc::downgrade(&self.shared),
+        }
     }
 
     /// Chunks offered to the background guidance plane whose guidance has
@@ -978,6 +1103,14 @@ impl ServingSession {
             router,
             shards,
         };
+        // Per-tier report: occupancy at drain, traffic as the delta over
+        // this session (tier counters are cumulative on the buffers).
+        let tiers: Vec<TierUsage> = system
+            .tier_usage()
+            .iter()
+            .zip(&self.tiers_before)
+            .map(|(now, before)| now.delta_since(before))
+            .collect();
 
         let latency = LatencySummary::from_durations(samples.iter().map(|s| s.latency).collect());
         let queue_wait =
@@ -1009,6 +1142,7 @@ impl ServingSession {
                 total_chunks: system.total_chunks() - self.chunks_before,
                 elapsed_secs,
                 plane: plane_report,
+                tiers,
             },
             submitted: submitted.into_inner(),
             rejected_queue_full: rejected_queue_full.into_inner(),
@@ -1044,6 +1178,10 @@ fn pop_request(shared: &SessionShared) -> Option<Admitted> {
 
 fn worker_loop(shared: &SessionShared, tx: Option<mpsc::Sender<GuidanceJob>>) -> WorkerLog {
     let mut log = WorkerLog::default();
+    // Per-worker shard-split scratch: the router refills these vectors on
+    // every request, so the per-request path allocates nothing once the
+    // per-shard capacities have warmed up.
+    let mut parts: Vec<Vec<VectorKey>> = Vec::new();
     while let Some(request) = pop_request(shared) {
         let dequeued = Instant::now();
         if shared.admission.shed_blown {
@@ -1058,7 +1196,14 @@ fn worker_loop(shared: &SessionShared, tx: Option<mpsc::Sender<GuidanceJob>>) ->
         let degrade = shared
             .sla
             .map_or(DegradeLevel::None, |sla| sla.level(queue_wait));
-        serve_request(shared, &request.keys, degrade, tx.as_ref(), &mut log.stats);
+        serve_request(
+            shared,
+            &request.keys,
+            degrade,
+            tx.as_ref(),
+            &mut log.stats,
+            &mut parts,
+        );
         let finished = Instant::now();
         log.samples.push(RequestSample {
             id: request.id,
@@ -1075,15 +1220,17 @@ fn worker_loop(shared: &SessionShared, tx: Option<mpsc::Sender<GuidanceJob>>) ->
 }
 
 /// Serves one request's keys across its home shards at the chosen
-/// degradation level.
+/// degradation level. `parts` is the worker's reusable split scratch
+/// ([`ShardRouter::split_into`]).
 fn serve_request(
     shared: &SessionShared,
     keys: &[VectorKey],
     degrade: DegradeLevel,
     tx: Option<&mpsc::Sender<GuidanceJob>>,
     stats: &mut BatchAccessStats,
+    parts: &mut Vec<Vec<VectorKey>>,
 ) {
-    let parts = shared.router.split(keys);
+    shared.router.split_into(keys, parts);
     for (sid, part) in parts.iter().enumerate() {
         if part.is_empty() {
             continue;
@@ -1305,7 +1452,10 @@ mod tests {
         let prefetch = PrefetchModel::new(&cfg);
         let trace = SyntheticConfig::tiny(5).generate();
         let codec = FrequencyRankCodec::from_accesses(&trace.accesses()[..500]);
-        ShardedRecMgSystem::new(&caching, Some(&prefetch), codec, 64, num_shards)
+        ShardedRecMgSystem::builder(&caching, Some(&prefetch), codec)
+            .shards(num_shards)
+            .capacity(64)
+            .build()
     }
 
     #[test]
@@ -1497,5 +1647,103 @@ mod tests {
     #[should_panic(expected = "at least one serving worker")]
     fn zero_worker_builder_panics() {
         let _ = SessionBuilder::new().workers(0).build(system(1));
+    }
+
+    #[test]
+    fn closed_loop_source_bounds_outstanding_and_serves_all() {
+        let trace = SyntheticConfig::tiny(17).generate();
+        let batches = trace.batches(10);
+        let requests = batches.len();
+        let session = SessionBuilder::new()
+            .workers(1)
+            .guidance(GuidanceMode::Inline)
+            .admission(AdmissionPolicy {
+                // Queue depth below the request count: only the closed
+                // loop's self-limiting keeps everything admitted.
+                queue_depth: 2,
+                ..AdmissionPolicy::default()
+            })
+            .build(system(2));
+        let mut source = ClosedLoopSource::new(BatchSource::new(&batches), 2, session.progress());
+        let pulled = session.ingest(&mut source);
+        let (_sys, report) = session.drain();
+        assert_eq!(pulled, requests);
+        assert_eq!(report.submitted, requests as u64);
+        // With 2 outstanding and 1 worker, at most 1 request queues at a
+        // time — nothing is ever rejected despite the tiny queue.
+        assert_eq!(report.rejected_queue_full, 0);
+        assert_eq!(report.completed, requests as u64);
+        assert_eq!(report.engine.stats.total(), trace.len() as u64);
+    }
+
+    #[test]
+    fn closed_loop_arrivals_are_monotone() {
+        let session = SessionBuilder::new()
+            .guidance(GuidanceMode::Inline)
+            .build(system(1));
+        let inner =
+            SyntheticSource::new(WorkloadSpec::default(), 4, 10, ArrivalProcess::Immediate, 3);
+        let mut src = ClosedLoopSource::new(inner, 4, session.progress());
+        assert_eq!(src.remaining_hint(), Some(10));
+        let mut last = Duration::ZERO;
+        let mut n = 0usize;
+        while let Some(req) = src.next_request() {
+            assert!(req.arrival >= last, "closed-loop arrivals move forward");
+            last = req.arrival;
+            n += 1;
+            session.submit(req).expect("admitted");
+        }
+        assert_eq!(n, 10);
+        let (_sys, report) = session.drain();
+        assert_eq!(report.completed, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one outstanding")]
+    fn closed_loop_zero_outstanding_panics() {
+        let session = SessionBuilder::new()
+            .guidance(GuidanceMode::Inline)
+            .build(system(1));
+        let _ = ClosedLoopSource::new(BatchSource::from_vecs(vec![]), 0, session.progress());
+    }
+
+    #[test]
+    fn progress_saturates_after_drain() {
+        let session = SessionBuilder::new()
+            .guidance(GuidanceMode::Inline)
+            .build(system(1));
+        let progress = session.progress();
+        assert_eq!(progress.completed(), 0);
+        assert_eq!(progress.finished(), 0);
+        let (_sys, _report) = session.drain();
+        // The weak view saturates: a closed loop can never hang on it.
+        assert_eq!(progress.completed(), u64::MAX);
+        assert_eq!(progress.finished(), u64::MAX);
+    }
+
+    #[test]
+    fn session_inherits_system_guidance_default() {
+        let cfg = RecMgConfig::tiny();
+        let caching = CachingModel::new(&cfg);
+        let trace = SyntheticConfig::tiny(5).generate();
+        let codec = FrequencyRankCodec::from_accesses(&trace.accesses()[..200]);
+        // Inline set on the *system* builder: the session without an
+        // explicit mode spawns no plane threads.
+        let session = SessionBuilder::new().build_system(
+            ShardedRecMgSystem::builder(&caching, None, codec)
+                .shards(2)
+                .capacity(64)
+                .guidance(GuidanceMode::Inline),
+        );
+        assert_eq!(session.plane_threads.len(), 0);
+        session.ingest(&mut BatchSource::new(&trace.batches(10)));
+        let (_sys, report) = session.drain();
+        assert_eq!(report.engine.stats.total(), trace.len() as u64);
+        // Per-tier stats surfaced through the session report.
+        assert_eq!(report.engine.tiers.len(), 1);
+        assert_eq!(report.engine.tiers[0].name, "dram");
+        assert_eq!(report.engine.tiers[0].traffic.demand(), trace.len() as u64);
+        assert!(report.engine.access_cost_ns() > 0);
+        assert!(report.to_json().contains("\"tiers\""));
     }
 }

@@ -24,12 +24,15 @@ use recmg_dlrm::{BatchAccessStats, BufferManager};
 use recmg_trace::VectorKey;
 
 use crate::buffer_mgmt::RecMgBuffer;
+use crate::builder::SystemBuilder;
 use crate::caching_model::{CachingModel, FastCachingModel};
 use crate::codec::FrequencyRankCodec;
 use crate::config::RecMgConfig;
+use crate::engine::GuidanceMode;
 use crate::fast::FastScratch;
 use crate::prefetch_model::{FastPrefetchModel, PrefetchModel};
 use crate::system::{RecMgSystem, TrainedRecMg};
+use crate::tier::{PlacementPolicy, ShardPlacement, TierTopology, TierUsage};
 
 /// Maps embedding-vector keys onto shards.
 ///
@@ -62,24 +65,49 @@ impl ShardRouter {
         if self.num_shards == 1 {
             return 0;
         }
-        // Fibonacci-style multiplicative hash with an extra fold so both
-        // table and row bits spread across shards.
-        let h = key.as_u64().wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        ((h ^ (h >> 32)) % self.num_shards as u64) as usize
+        // Fibonacci-style multiplicative hash with a two-round
+        // fold-multiply finalizer (splitmix64-style). A single
+        // `h ^ (h >> 32)` fold is not enough here: the table id lives in
+        // bits 48–63 of the packed key, so after one multiply it only
+        // influences bits ≥ 48, the fold moves those to bits ≥ 16, and a
+        // power-of-two `num_shards` (which reads the low bits) would
+        // ignore the table entirely — every same-row key of every table
+        // piled onto one shard. The second multiply spreads the folded
+        // high bits across the whole word.
+        let mut h = key.as_u64().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 32;
+        h = h.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+        h ^= h >> 32;
+        (h % self.num_shards as u64) as usize
     }
 
     /// Splits a batch into per-shard key sequences, preserving the relative
-    /// order of keys within each shard.
+    /// order of keys within each shard. Allocates a fresh `Vec<Vec<_>>`
+    /// per call — hot paths should hold a scratch vector and use
+    /// [`ShardRouter::split_into`] instead.
     pub fn split(&self, batch: &[VectorKey]) -> Vec<Vec<VectorKey>> {
-        let mut parts: Vec<Vec<VectorKey>> = vec![Vec::new(); self.num_shards];
+        let mut parts = Vec::new();
+        self.split_into(batch, &mut parts);
+        parts
+    }
+
+    /// Allocation-reusing [`ShardRouter::split`]: clears and refills
+    /// `parts` (resizing it to the shard count), so a caller that serves
+    /// many batches re-uses the per-shard vectors' capacity instead of
+    /// allocating `1 + num_shards` vectors per call — the serving
+    /// session's per-request path.
+    pub fn split_into(&self, batch: &[VectorKey], parts: &mut Vec<Vec<VectorKey>>) {
+        parts.resize_with(self.num_shards, Vec::new);
+        for part in parts.iter_mut() {
+            part.clear();
+        }
         if self.num_shards == 1 {
             parts[0].extend_from_slice(batch);
-            return parts;
+            return;
         }
         for &key in batch {
             parts[self.shard_of(key)].push(key);
         }
-        parts
     }
 }
 
@@ -102,6 +130,14 @@ pub(crate) struct GuidanceCtx {
     /// system — and the guidance plane paying the prefetch model on every
     /// chunk for the duration.
     pub(crate) prefetch_warmup: u64,
+    /// The memory hierarchy the shards are placed onto.
+    pub(crate) topology: Arc<TierTopology>,
+    /// The placement policy that sized/routed the shards — kept so
+    /// [`ShardedRecMgSystem::rebalance`] can re-apply it against live
+    /// per-shard stats.
+    pub(crate) placement: Arc<dyn PlacementPolicy>,
+    /// Default guidance scheduling for sessions over this system.
+    pub(crate) guidance_default: GuidanceMode,
 }
 
 /// Guidance computed for one chunk: the caching model's keep bits plus the
@@ -115,6 +151,8 @@ pub(crate) type ChunkGuidance = (Vec<bool>, Vec<VectorKey>);
 #[derive(Debug)]
 pub(crate) struct Shard {
     pub(crate) id: usize,
+    /// Index of the memory tier currently backing this shard's buffer.
+    pub(crate) tier: usize,
     pub(crate) buffer: RecMgBuffer,
     pub(crate) pending: Vec<VectorKey>,
     pub(crate) chunk_counter: usize,
@@ -135,6 +173,7 @@ impl Shard {
     pub(crate) fn new(id: usize, capacity: usize, eviction_speed: u64) -> Self {
         Shard {
             id,
+            tier: 0,
             buffer: RecMgBuffer::new(capacity, eviction_speed),
             pending: Vec::new(),
             chunk_counter: 0,
@@ -144,6 +183,45 @@ impl Shard {
             unguided_chunks: 0,
             scratch: FastScratch::default(),
         }
+    }
+
+    /// A shard whose buffer lives in the placement's assigned tier,
+    /// accounting under that tier's cost model.
+    pub(crate) fn placed(
+        id: usize,
+        eviction_speed: u64,
+        placement: &ShardPlacement,
+        topology: &TierTopology,
+    ) -> Self {
+        let mut shard = Shard::new(id, placement.capacity.max(1), eviction_speed);
+        shard.tier = placement.tier;
+        shard.buffer.set_cost(topology.tier(placement.tier).cost);
+        shard
+    }
+
+    /// Applies a new placement in place: re-sizes the buffer (shrinking
+    /// evicts coldest entries first) and/or moves it to another tier
+    /// (charging the migration of the resident working set to the
+    /// destination tier's cost). Returns whether anything changed.
+    pub(crate) fn apply_placement(
+        &mut self,
+        placement: &ShardPlacement,
+        topology: &TierTopology,
+    ) -> bool {
+        let mut changed = false;
+        let capacity = placement.capacity.max(1);
+        if capacity != self.buffer.capacity() {
+            self.buffer.resize(capacity);
+            changed = true;
+        }
+        if placement.tier != self.tier {
+            let cost = topology.tier(placement.tier).cost;
+            self.buffer.charge_migration(cost);
+            self.buffer.set_cost(cost);
+            self.tier = placement.tier;
+            changed = true;
+        }
+        changed
     }
 
     /// Demand access bookkeeping shared by the inline and background paths.
@@ -318,13 +396,30 @@ pub struct ShardedRecMgSystem {
 }
 
 impl ShardedRecMgSystem {
+    /// Starts a [`SystemBuilder`] over the given model parts — the
+    /// construction API: explicit shards, [`TierTopology`], placement
+    /// policy, and default guidance. Pass `prefetch: None` for the
+    /// caching-model-only configuration.
+    pub fn builder<'a>(
+        caching: &'a CachingModel,
+        prefetch: Option<&'a PrefetchModel>,
+        codec: FrequencyRankCodec,
+    ) -> SystemBuilder<'a> {
+        SystemBuilder::new(caching, prefetch, codec)
+    }
+
     /// Assembles the sharded system from trained parts; total buffer
-    /// `capacity` is split evenly across `num_shards`. Pass
-    /// `prefetch: None` for the caching-model-only configuration.
+    /// `capacity` is split evenly across `num_shards` in a flat
+    /// single-tier layout.
     ///
     /// # Panics
     ///
     /// Panics if `capacity` or `num_shards` is zero.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use ShardedRecMgSystem::builder(..) / SystemBuilder with an explicit \
+                TierTopology and PlacementPolicy"
+    )]
     pub fn new(
         caching: &CachingModel,
         prefetch: Option<&PrefetchModel>,
@@ -332,37 +427,118 @@ impl ShardedRecMgSystem {
         capacity: usize,
         num_shards: usize,
     ) -> Self {
-        assert!(capacity > 0, "capacity must be positive");
-        let router = ShardRouter::new(num_shards);
-        let cfg = caching.config().clone();
-        let per_shard = capacity.div_ceil(num_shards).max(1);
-        let shards = (0..num_shards)
-            .map(|id| Shard::new(id, per_shard, cfg.eviction_speed))
-            .collect();
-        ShardedRecMgSystem {
-            ctx: GuidanceCtx {
-                caching: Arc::new(caching.compile()),
-                prefetch: prefetch.map(|p| Arc::new(p.compile())),
-                codec: Arc::new(codec),
-                cfg,
-                guidance_stride: 1,
-                prefetch_gate: 0.10,
-                prefetch_warmup: RecMgSystem::PREFETCH_WARMUP.div_ceil(num_shards as u64),
-            },
-            router,
-            shards,
-        }
+        SystemBuilder::new(caching, prefetch, codec)
+            .shards(num_shards)
+            .capacity(capacity)
+            .build()
     }
 
-    /// Assembles the full sharded system from training artifacts.
+    /// Assembles the full sharded system from training artifacts in a
+    /// flat single-tier layout.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use SystemBuilder::from_trained(..) with an explicit TierTopology \
+                and PlacementPolicy"
+    )]
     pub fn from_trained(trained: &TrainedRecMg, capacity: usize, num_shards: usize) -> Self {
-        Self::new(
-            &trained.caching,
-            Some(&trained.prefetch),
-            trained.codec.clone(),
-            capacity,
-            num_shards,
-        )
+        SystemBuilder::from_trained(trained)
+            .shards(num_shards)
+            .capacity(capacity)
+            .build()
+    }
+
+    /// The memory hierarchy the shards are placed onto.
+    pub fn topology(&self) -> &TierTopology {
+        &self.ctx.topology
+    }
+
+    /// The tier index backing shard `i`'s buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn shard_tier(&self, i: usize) -> usize {
+        self.shards[i].tier
+    }
+
+    /// Name of the placement policy that sized/routed the shards.
+    pub fn placement_name(&self) -> &'static str {
+        self.ctx.placement.name()
+    }
+
+    /// Default guidance scheduling configured at build time (sessions
+    /// without an explicit mode inherit it).
+    pub fn default_guidance(&self) -> GuidanceMode {
+        self.ctx.guidance_default
+    }
+
+    /// Cumulative tier traffic of shard `i`'s buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn shard_traffic(&self, i: usize) -> crate::buffer_mgmt::TierTraffic {
+        self.shards[i].buffer.traffic()
+    }
+
+    /// Cumulative demand accesses (hits + misses) observed across all
+    /// shard buffers — the mass signal rebalancing runs on.
+    pub fn demand_accesses(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.buffer.traffic().demand())
+            .sum()
+    }
+
+    /// Per-tier occupancy and cumulative traffic: which shards live
+    /// where, how full each tier is, and what its traffic cost under the
+    /// tier's cost model. Reports subtract snapshots of this to show
+    /// per-run deltas.
+    pub fn tier_usage(&self) -> Vec<TierUsage> {
+        let mut usages: Vec<TierUsage> = self
+            .ctx
+            .topology
+            .tiers()
+            .iter()
+            .map(|t| TierUsage {
+                name: t.name.clone(),
+                shards: 0,
+                capacity: 0,
+                resident: 0,
+                traffic: Default::default(),
+            })
+            .collect();
+        for shard in &self.shards {
+            let u = &mut usages[shard.tier];
+            u.shards += 1;
+            u.capacity += shard.buffer.capacity();
+            u.resident += shard.buffer.len();
+            u.traffic.accumulate(shard.buffer.traffic());
+        }
+        usages
+    }
+
+    /// Re-places every shard by running the system's placement policy
+    /// against the observed per-shard demand mass, re-sizing buffers in
+    /// place (shrinking evicts coldest entries; tier moves charge the
+    /// migration to the destination tier). Returns whether anything
+    /// moved. Call between serves/drains — the system must be quiescent.
+    pub fn rebalance(&mut self) -> bool {
+        let stats: Vec<_> = self.shards.iter().map(|s| s.buffer.traffic()).collect();
+        let placements = self
+            .ctx
+            .placement
+            .place(self.shards.len(), &self.ctx.topology, &stats);
+        assert_eq!(
+            placements.len(),
+            self.shards.len(),
+            "placement policy must return one placement per shard"
+        );
+        let mut changed = false;
+        for (shard, placement) in self.shards.iter_mut().zip(&placements) {
+            changed |= shard.apply_placement(placement, &self.ctx.topology);
+        }
+        changed
     }
 
     /// The shard router.
@@ -547,7 +723,10 @@ mod tests {
         let caching = CachingModel::new(&cfg);
         let prefetch = PrefetchModel::new(&cfg);
         let codec = FrequencyRankCodec::from_accesses(&[key(0, 1), key(0, 2), key(1, 3)]);
-        ShardedRecMgSystem::new(&caching, Some(&prefetch), codec, capacity, num_shards)
+        ShardedRecMgSystem::builder(&caching, Some(&prefetch), codec)
+            .shards(num_shards)
+            .capacity(capacity)
+            .build()
     }
 
     #[test]
@@ -630,8 +809,77 @@ mod tests {
         // ceil(10 / 4) = 3 per shard.
         for i in 0..4 {
             assert_eq!(sys.shard_buffer(i).capacity(), 3);
+            assert_eq!(sys.shard_tier(i), 0);
         }
         assert_eq!(sys.capacity(), 12);
         assert!(sys.is_empty());
+        assert_eq!(sys.placement_name(), "even_split");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_match_builder_layout() {
+        let cfg = RecMgConfig::tiny();
+        let caching = CachingModel::new(&cfg);
+        let prefetch = PrefetchModel::new(&cfg);
+        let codec = FrequencyRankCodec::from_accesses(&[key(0, 1), key(0, 2)]);
+        let shim = ShardedRecMgSystem::new(&caching, Some(&prefetch), codec.clone(), 10, 4);
+        let built = ShardedRecMgSystem::builder(&caching, Some(&prefetch), codec)
+            .shards(4)
+            .capacity(10)
+            .build();
+        assert_eq!(shim.capacity(), built.capacity());
+        assert_eq!(shim.num_shards(), built.num_shards());
+        for i in 0..4 {
+            assert_eq!(
+                shim.shard_buffer(i).capacity(),
+                built.shard_buffer(i).capacity()
+            );
+            assert_eq!(shim.shard_tier(i), built.shard_tier(i));
+        }
+        assert_eq!(shim.topology().num_tiers(), 1);
+    }
+
+    #[test]
+    fn split_into_reuses_and_matches_split() {
+        let router = ShardRouter::new(3);
+        let a: Vec<VectorKey> = (0..60).map(|i| key(i % 4, i as u64)).collect();
+        let b: Vec<VectorKey> = (0..10).map(|i| key(i % 2, 99 + i as u64)).collect();
+        let mut parts = Vec::new();
+        router.split_into(&a, &mut parts);
+        assert_eq!(parts, router.split(&a));
+        // Second call over the same scratch: fully refilled, no stale keys.
+        router.split_into(&b, &mut parts);
+        assert_eq!(parts, router.split(&b));
+        let total: usize = parts.iter().map(Vec::len).sum();
+        assert_eq!(total, b.len());
+    }
+
+    #[test]
+    fn rebalance_grows_hot_shard_under_working_set() {
+        use crate::tier::WorkingSet;
+        let cfg = RecMgConfig::tiny();
+        let caching = CachingModel::new(&cfg);
+        let codec = FrequencyRankCodec::from_accesses(&[key(0, 1)]);
+        let mut sys = ShardedRecMgSystem::builder(&caching, None, codec)
+            .shards(2)
+            .capacity(64)
+            .placement(WorkingSet::with_floor(4))
+            .build();
+        // Drive all traffic to one shard's key space.
+        let hot_shard = sys.router().shard_of(key(0, 7));
+        let stream: Vec<VectorKey> = (0..400)
+            .map(|i| key(0, 7 + 1000 * (i % 3) as u64))
+            .filter(|&k| sys.router().shard_of(k) == hot_shard)
+            .collect();
+        assert!(!stream.is_empty());
+        sys.process_batch(&stream);
+        assert!(sys.demand_accesses() > 0);
+        let before = sys.shard_buffer(hot_shard).capacity();
+        assert!(sys.rebalance(), "skewed mass must move capacity");
+        let after = sys.shard_buffer(hot_shard).capacity();
+        assert!(after > before, "hot shard grew: {before} -> {after}");
+        // Total capacity is conserved exactly under WorkingSet.
+        assert_eq!(sys.capacity(), 64);
     }
 }

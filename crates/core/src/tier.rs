@@ -1,0 +1,671 @@
+//! Tiered-memory topology and working-set-driven shard placement.
+//!
+//! The paper's premise is DLRM inference on *tiered* memory, and the
+//! RecShard line of work (Sethi et al., 2022) shows the big lever is
+//! statistical, working-set-driven placement of embedding state across
+//! tiers; Meta's Software Defined Memory work (Ardestani et al., 2021)
+//! adds tier-cost-aware serving. This module makes the hierarchy explicit:
+//!
+//! * a [`MemoryTier`] describes one tier (name, capacity in vectors, and a
+//!   [`TierCost`] access-latency model with an optional injected
+//!   bandwidth penalty);
+//! * a [`TierTopology`] is the ordered fast → slow tier list a system is
+//!   built against;
+//! * a [`PlacementPolicy`] maps shard count + topology + observed
+//!   per-shard access mass to per-shard [`ShardPlacement`]s (capacity
+//!   share and home tier): [`EvenSplit`] (the historical behaviour),
+//!   [`WorkingSet`] (RecShard-style capacity shares proportional to
+//!   observed mass, with a floor), and [`HotFirst`] (even capacities, but
+//!   the hottest shards' buffers routed to the fastest tier);
+//! * a [`Rebalancer`] periodically re-places a live system from its
+//!   cumulative per-shard demand stats between session drains.
+//!
+//! Placement changes capacity shares and tier routing — never the serving
+//! *semantics*: with one shard every policy yields the identical system
+//! (the parity property `tests/integration_tiering.rs` pins), and with
+//! many shards the hash router still owns key → shard; placement only
+//! decides how big each shard's buffer is and which tier pays for it.
+
+use crate::config::TierCost;
+use crate::sharding::ShardedRecMgSystem;
+
+use crate::buffer_mgmt::TierTraffic;
+
+/// One memory tier: a name for reports, a capacity budget in embedding
+/// vectors, and the access-cost model buffers placed here account under.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryTier {
+    /// Tier name as it appears in reports/bench JSON (e.g. `"dram"`).
+    pub name: String,
+    /// Capacity budget of this tier, in embedding vectors.
+    pub capacity: usize,
+    /// Access-latency cost model (and optional injected penalty).
+    pub cost: TierCost,
+}
+
+impl MemoryTier {
+    /// A tier with an explicit cost model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(name: impl Into<String>, capacity: usize, cost: TierCost) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        MemoryTier {
+            name: name.into(),
+            capacity,
+            cost,
+        }
+    }
+
+    /// A local-DRAM-like fast tier.
+    pub fn dram(capacity: usize) -> Self {
+        Self::new("dram", capacity, TierCost::dram())
+    }
+
+    /// A CXL-/far-NUMA-like slow tier.
+    pub fn cxl(capacity: usize) -> Self {
+        Self::new("cxl", capacity, TierCost::cxl_like())
+    }
+}
+
+/// The ordered memory hierarchy a system is built against: index 0 is the
+/// fastest tier, later indices slower (placement fills fast tiers first).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TierTopology {
+    tiers: Vec<MemoryTier>,
+}
+
+impl TierTopology {
+    /// Builds a topology from an ordered (fast → slow) tier list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tiers` is empty.
+    pub fn new(tiers: Vec<MemoryTier>) -> Self {
+        assert!(!tiers.is_empty(), "topology needs at least one tier");
+        TierTopology { tiers }
+    }
+
+    /// The single-tier topology every pre-topology constructor implied:
+    /// one DRAM tier holding the whole capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn uniform(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self::new(vec![MemoryTier::dram(capacity)])
+    }
+
+    /// A DRAM + slow-tier topology with the given capacities.
+    pub fn two_tier(fast_capacity: usize, slow_capacity: usize) -> Self {
+        Self::new(vec![
+            MemoryTier::dram(fast_capacity),
+            MemoryTier::cxl(slow_capacity),
+        ])
+    }
+
+    /// The ordered tier list.
+    pub fn tiers(&self) -> &[MemoryTier] {
+        &self.tiers
+    }
+
+    /// Number of tiers.
+    pub fn num_tiers(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// Tier `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn tier(&self, i: usize) -> &MemoryTier {
+        &self.tiers[i]
+    }
+
+    /// Total capacity across tiers.
+    pub fn total_capacity(&self) -> usize {
+        self.tiers.iter().map(|t| t.capacity).sum()
+    }
+}
+
+/// Where one shard's buffer lives: its capacity share and home tier index
+/// into the [`TierTopology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlacement {
+    /// Buffer capacity of the shard, in vectors.
+    pub capacity: usize,
+    /// Index of the tier backing the shard's buffer.
+    pub tier: usize,
+}
+
+/// Maps shard count + topology + observed per-shard traffic to per-shard
+/// placements.
+///
+/// `stats[i]` is shard `i`'s cumulative [`TierTraffic`] (hit/miss/fill
+/// counts); an empty or all-zero slice means "no observations yet" and
+/// every policy must degrade to a deterministic, observation-free
+/// placement. Implementations must return exactly `num_shards` placements
+/// with positive capacities and in-range tier indices — placement changes
+/// capacity and tier routing, never correctness.
+pub trait PlacementPolicy: std::fmt::Debug + Send + Sync {
+    /// Short policy name for reports/bench JSON (e.g. `"working_set"`).
+    fn name(&self) -> &'static str;
+
+    /// Computes the placement.
+    fn place(
+        &self,
+        num_shards: usize,
+        topology: &TierTopology,
+        stats: &[TierTraffic],
+    ) -> Vec<ShardPlacement>;
+}
+
+/// Assigns shards (visited in `order`) to tiers greedily fast → slow:
+/// each shard lands in the first tier whose remaining capacity fits its
+/// buffer, and a shard that fits *no* tier spills into the last one (the
+/// topology's backstop). The backstop means the last tier's allocated
+/// capacity can exceed its declared budget — from ceil rounding (exactly
+/// like the historical even split), or when shares don't bin-pack (a
+/// single share larger than any tier, e.g. one shard over a multi-tier
+/// topology). Capacity conservation is the invariant placement must keep
+/// — shrinking a share to fit would change serving results — so the
+/// over-commit is deliberate and visible in [`TierUsage::capacity`]
+/// (reported allocation vs the topology's declared budget).
+fn assign_tiers(
+    capacities: &[usize],
+    order: &[usize],
+    topology: &TierTopology,
+) -> Vec<ShardPlacement> {
+    let mut remaining: Vec<isize> = topology
+        .tiers()
+        .iter()
+        .map(|t| t.capacity as isize)
+        .collect();
+    let last = topology.num_tiers() - 1;
+    let mut out = vec![
+        ShardPlacement {
+            capacity: 0,
+            tier: last,
+        };
+        capacities.len()
+    ];
+    for &shard in order {
+        let cap = capacities[shard];
+        let tier = remaining
+            .iter()
+            .position(|&r| r >= cap as isize)
+            .unwrap_or(last);
+        remaining[tier] -= cap as isize;
+        out[shard] = ShardPlacement {
+            capacity: cap,
+            tier,
+        };
+    }
+    out
+}
+
+/// Even per-shard capacities: `ceil(total / n)` each, minimum 1 — exactly
+/// the historical constructor split.
+fn even_capacities(num_shards: usize, total: usize) -> Vec<usize> {
+    vec![total.div_ceil(num_shards).max(1); num_shards]
+}
+
+/// How much cheaper a shard's observed traffic becomes when served from
+/// the topology's fastest tier instead of its slowest: each event counts
+/// the per-event cost difference, so shards are ranked by what fast-tier
+/// residency actually saves — a miss-heavy shard outranks a hit-heavy one
+/// of equal demand, because misses carry the larger tier penalty.
+fn fast_tier_benefit(traffic: &TierTraffic, topology: &TierTopology) -> u128 {
+    let fast = &topology.tiers()[0].cost;
+    let slow = &topology.tiers()[topology.num_tiers() - 1].cost;
+    traffic.hits as u128 * slow.hit_ns.saturating_sub(fast.hit_ns) as u128
+        + traffic.misses as u128 * slow.miss_ns.saturating_sub(fast.miss_ns) as u128
+        + traffic.prefetch_fills as u128 * slow.fill_ns.saturating_sub(fast.fill_ns) as u128
+}
+
+/// Shard ids sorted by descending fast-tier benefit (stable: ties keep id
+/// order; with a one-tier topology or no observations this is the
+/// identity order). For equal-size shards on a two-tier topology, filling
+/// the fast tier in this order is the cost-minimizing assignment — the
+/// property the `tier_placement` bench holds `HotFirst` to.
+fn hotness_order(num_shards: usize, stats: &[TierTraffic], topology: &TierTopology) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..num_shards).collect();
+    if stats.len() == num_shards && stats.iter().any(|t| t.demand() > 0) {
+        order.sort_by_key(|&i| std::cmp::Reverse(fast_tier_benefit(&stats[i], topology)));
+    }
+    order
+}
+
+/// The historical placement: even capacity shares, tiers filled in shard-id
+/// order. Mass-oblivious, so rebalancing under it is a no-op — this is the
+/// back-compat policy behind the deprecated positional constructors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvenSplit;
+
+impl PlacementPolicy for EvenSplit {
+    fn name(&self) -> &'static str {
+        "even_split"
+    }
+
+    fn place(
+        &self,
+        num_shards: usize,
+        topology: &TierTopology,
+        _stats: &[TierTraffic],
+    ) -> Vec<ShardPlacement> {
+        let caps = even_capacities(num_shards, topology.total_capacity());
+        let order: Vec<usize> = (0..num_shards).collect();
+        assign_tiers(&caps, &order, topology)
+    }
+}
+
+/// RecShard-style working-set placement: each shard's capacity share is
+/// apportioned from its observed *miss* mass (subject to a per-shard
+/// `floor`), and tiers are then assigned first-fit in hotness order.
+/// Shares sum *exactly* to the topology's total capacity
+/// (largest-remainder apportionment). Without observations it degrades to
+/// [`EvenSplit`] capacities in hotness order (= id order).
+///
+/// Because shares are sized before tiers are assigned, a hot shard whose
+/// grown share exceeds the fast tier's capacity falls through to a slower
+/// tier, and smaller (colder) shards take the fast tier instead — which
+/// is the best assignment *given those shares* (an un-splittable buffer
+/// bigger than the tier cannot live there, and leaving the fast tier
+/// empty would be strictly worse), but it does mean capacity growth
+/// trades against tier placement. Size the fast tier to hold at least one
+/// grown share (e.g. the half-DRAM/half-CXL split the serving bench uses)
+/// when both effects should cooperate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkingSet {
+    /// Minimum capacity any shard keeps, however cold it looks — a shard
+    /// sized to zero could never re-warm and its keys would miss forever.
+    pub floor: usize,
+}
+
+impl WorkingSet {
+    /// Working-set placement with the given per-shard floor (clamped to at
+    /// least 1).
+    pub fn with_floor(floor: usize) -> Self {
+        WorkingSet {
+            floor: floor.max(1),
+        }
+    }
+}
+
+impl Default for WorkingSet {
+    /// Floor of 8 vectors: small enough to matter on toy buffers, large
+    /// enough that a cold shard can still form a working set.
+    fn default() -> Self {
+        WorkingSet { floor: 8 }
+    }
+}
+
+impl PlacementPolicy for WorkingSet {
+    fn name(&self) -> &'static str {
+        "working_set"
+    }
+
+    fn place(
+        &self,
+        num_shards: usize,
+        topology: &TierTopology,
+        stats: &[TierTraffic],
+    ) -> Vec<ShardPlacement> {
+        let total = topology.total_capacity();
+        let floor = self.floor.max(1);
+        let order = hotness_order(num_shards, stats, topology);
+        // Capacity shares follow *miss* mass, not raw demand: misses are
+        // the signal that a shard's working set exceeds its share (a
+        // shard hammering three hot keys hits forever in three slots —
+        // handing it capacity for its demand would starve the shards
+        // whose working sets genuinely don't fit). Falling back to demand
+        // keeps the policy defined on miss-free observations.
+        let misses: u64 = stats.iter().map(|t| t.misses).sum();
+        let mass: Vec<u64> = if misses > 0 {
+            stats.iter().map(|t| t.misses).collect()
+        } else {
+            stats.iter().map(TierTraffic::demand).collect()
+        };
+        let total_mass: u128 = mass.iter().map(|&m| m as u128).sum();
+        // Degenerate cases fall back to even shares (still hottest-first
+        // into the fast tier, which is the identity order here).
+        if mass.len() != num_shards || total_mass == 0 || total < num_shards * floor {
+            let caps = even_capacities(num_shards, total);
+            return assign_tiers(&caps, &order, topology);
+        }
+        // Largest-remainder apportionment of (total - n×floor) by demand
+        // mass.
+        let available = (total - num_shards * floor) as u128;
+        let mut caps = vec![floor; num_shards];
+        let mut remainders: Vec<(u128, usize)> = Vec::with_capacity(num_shards);
+        let mut assigned: u128 = 0;
+        for i in 0..num_shards {
+            let exact = available * mass[i] as u128;
+            caps[i] += (exact / total_mass) as usize;
+            assigned += exact / total_mass;
+            remainders.push((exact % total_mass, i));
+        }
+        // Hand the rounding residue to the largest remainders (ties to the
+        // lower shard id), so Σ capacity == total exactly.
+        let mut residue = (available - assigned) as usize;
+        remainders.sort_by_key(|&(rem, i)| (std::cmp::Reverse(rem), i));
+        for &(_, i) in remainders.iter().take(residue.min(num_shards)) {
+            caps[i] += 1;
+            residue -= 1;
+        }
+        debug_assert_eq!(residue, 0, "largest-remainder residue fits one pass");
+        debug_assert_eq!(caps.iter().sum::<usize>(), total);
+        assign_tiers(&caps, &order, topology)
+    }
+}
+
+/// Hot-first tier routing: capacities stay even (identical hit/miss
+/// behaviour to [`EvenSplit`] — only the cost accounting moves), but the
+/// shards with the highest observed fast-tier benefit are routed to the
+/// fastest tier. With equal-size shards on a two-tier topology, the
+/// benefit-ordered greedy assignment minimizes total access cost *for
+/// traffic distributed like the observations*: on a replayed or
+/// stationary workload it never places worse than the id-order split.
+/// (If the observation window's mix diverges from steady state — e.g. it
+/// is dominated by one-time cold-start misses — the ranking can be off;
+/// re-observe and rebalance again.)
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HotFirst;
+
+impl PlacementPolicy for HotFirst {
+    fn name(&self) -> &'static str {
+        "hot_first"
+    }
+
+    fn place(
+        &self,
+        num_shards: usize,
+        topology: &TierTopology,
+        stats: &[TierTraffic],
+    ) -> Vec<ShardPlacement> {
+        let caps = even_capacities(num_shards, topology.total_capacity());
+        assign_tiers(&caps, &hotness_order(num_shards, stats, topology), topology)
+    }
+}
+
+/// Per-tier usage and traffic of one system (or the delta over one run):
+/// which shards live where, how full the tier is, and what its traffic
+/// cost under the tier's [`TierCost`] model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TierUsage {
+    /// Tier name (from [`MemoryTier::name`]).
+    pub name: String,
+    /// Shards whose buffers live in this tier.
+    pub shards: usize,
+    /// Capacity allocated to those shards, in vectors.
+    pub capacity: usize,
+    /// Vectors currently resident.
+    pub resident: usize,
+    /// Merged traffic of the tier's shard buffers.
+    pub traffic: TierTraffic,
+}
+
+impl TierUsage {
+    /// Hit-weighted access cost of this tier's traffic, in nanoseconds.
+    pub fn access_cost_ns(&self) -> u64 {
+        self.traffic.cost_ns
+    }
+
+    /// Machine-readable summary with fixed field names.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"tier\": \"{}\", \"shards\": {}, \"capacity\": {}, ",
+                "\"resident\": {}, \"hits\": {}, \"misses\": {}, ",
+                "\"prefetch_fills\": {}, \"cost_ns\": {}}}"
+            ),
+            self.name,
+            self.shards,
+            self.capacity,
+            self.resident,
+            self.traffic.hits,
+            self.traffic.misses,
+            self.traffic.prefetch_fills,
+            self.traffic.cost_ns,
+        )
+    }
+
+    /// Counter-wise traffic delta against an earlier snapshot of the same
+    /// tier (occupancy fields stay point-in-time).
+    pub fn delta_since(&self, before: &TierUsage) -> TierUsage {
+        TierUsage {
+            name: self.name.clone(),
+            shards: self.shards,
+            capacity: self.capacity,
+            resident: self.resident,
+            traffic: self.traffic.delta_since(&before.traffic),
+        }
+    }
+
+    /// Total hit-weighted cost across a set of tier usages.
+    pub fn total_cost_ns(usages: &[TierUsage]) -> u64 {
+        usages.iter().map(TierUsage::access_cost_ns).sum()
+    }
+}
+
+/// Periodically re-places a live system from its cumulative per-shard
+/// demand stats — RecShard-style capacity rebalancing driven by the same
+/// signals PR 3's plane observability made trustworthy.
+///
+/// Call [`Rebalancer::maybe_rebalance`] between session drains (the system
+/// must be quiescent: rebalancing resizes buffers in place). The
+/// rebalancer fires only after at least `min_new_accesses` fresh demand
+/// accesses since the last attempt, so placement follows the workload
+/// instead of chasing noise.
+#[derive(Debug, Clone)]
+pub struct Rebalancer {
+    min_new_accesses: u64,
+    last_total: u64,
+    rebalances: u64,
+}
+
+impl Rebalancer {
+    /// A rebalancer that re-places after every `min_new_accesses` observed
+    /// demand accesses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_new_accesses` is zero.
+    pub fn new(min_new_accesses: u64) -> Self {
+        assert!(min_new_accesses > 0, "need a positive rebalance period");
+        Rebalancer {
+            min_new_accesses,
+            last_total: 0,
+            rebalances: 0,
+        }
+    }
+
+    /// Re-places `system` if enough fresh accesses accumulated; returns
+    /// whether anything actually moved.
+    pub fn maybe_rebalance(&mut self, system: &mut ShardedRecMgSystem) -> bool {
+        let total = system.demand_accesses();
+        if total.saturating_sub(self.last_total) < self.min_new_accesses {
+            return false;
+        }
+        self.last_total = total;
+        let changed = system.rebalance();
+        if changed {
+            self.rebalances += 1;
+        }
+        changed
+    }
+
+    /// Rebalances that moved at least one shard.
+    pub fn rebalances(&self) -> u64 {
+        self.rebalances
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo_2tier(fast: usize, slow: usize) -> TierTopology {
+        TierTopology::two_tier(fast, slow)
+    }
+
+    /// Traffic with the given demand mass (all hits).
+    fn mass(demands: &[u64]) -> Vec<TierTraffic> {
+        demands
+            .iter()
+            .map(|&hits| TierTraffic {
+                hits,
+                ..Default::default()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn uniform_topology_is_one_dram_tier() {
+        let t = TierTopology::uniform(64);
+        assert_eq!(t.num_tiers(), 1);
+        assert_eq!(t.total_capacity(), 64);
+        assert_eq!(t.tier(0).name, "dram");
+        assert_eq!(t.tier(0).cost, TierCost::dram());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tier")]
+    fn empty_topology_panics() {
+        let _ = TierTopology::new(vec![]);
+    }
+
+    #[test]
+    fn even_split_matches_historical_shares() {
+        let t = TierTopology::uniform(10);
+        let p = EvenSplit.place(4, &t, &[]);
+        assert_eq!(p.len(), 4);
+        for s in &p {
+            assert_eq!(s.capacity, 3); // ceil(10/4)
+            assert_eq!(s.tier, 0);
+        }
+    }
+
+    #[test]
+    fn even_split_fills_tiers_in_id_order() {
+        let t = topo_2tier(8, 24);
+        let p = EvenSplit.place(4, &t, &[]);
+        // 8 vectors each: shard 0 fits in the fast tier, 1–3 spill slow.
+        assert_eq!(
+            p[0],
+            ShardPlacement {
+                capacity: 8,
+                tier: 0
+            }
+        );
+        for s in &p[1..] {
+            assert_eq!(s.tier, 1);
+        }
+    }
+
+    #[test]
+    fn hot_first_routes_hottest_to_fast_tier() {
+        let t = topo_2tier(8, 24);
+        let stats = mass(&[1, 100, 3, 7]);
+        let p = HotFirst.place(4, &t, &stats);
+        // Capacities identical to EvenSplit…
+        for s in &p {
+            assert_eq!(s.capacity, 8);
+        }
+        // …but the hottest shard (1) owns the fast tier.
+        assert_eq!(p[1].tier, 0);
+        assert_eq!(p[0].tier, 1);
+        assert_eq!(p[2].tier, 1);
+        assert_eq!(p[3].tier, 1);
+    }
+
+    #[test]
+    fn hot_first_without_mass_equals_even_split() {
+        let t = topo_2tier(16, 16);
+        assert_eq!(HotFirst.place(4, &t, &[]), EvenSplit.place(4, &t, &[]));
+        assert_eq!(
+            HotFirst.place(4, &t, &mass(&[0, 0, 0, 0])),
+            EvenSplit.place(4, &t, &[])
+        );
+    }
+
+    #[test]
+    fn working_set_sums_exactly_and_respects_floor() {
+        let t = TierTopology::uniform(100);
+        let policy = WorkingSet::with_floor(5);
+        let stats = mass(&[1000, 10, 10, 1]);
+        let p = policy.place(4, &t, &stats);
+        let total: usize = p.iter().map(|s| s.capacity).sum();
+        assert_eq!(total, 100, "shares must sum exactly to total capacity");
+        for s in &p {
+            assert!(s.capacity >= 5, "floor respected: {:?}", p);
+        }
+        // The dominant shard takes the lion's share.
+        assert!(p[0].capacity > 80, "hot shard share: {:?}", p);
+        assert!(p[3].capacity >= 5 && p[3].capacity < 10);
+    }
+
+    #[test]
+    fn working_set_degrades_to_even_without_mass() {
+        let t = TierTopology::uniform(64);
+        let p = WorkingSet::default().place(4, &t, &[]);
+        for s in &p {
+            assert_eq!(s.capacity, 16);
+            assert_eq!(s.tier, 0);
+        }
+    }
+
+    #[test]
+    fn working_set_infeasible_floor_falls_back_to_even() {
+        let t = TierTopology::uniform(10);
+        let p = WorkingSet::with_floor(100).place(4, &t, &mass(&[5, 5, 5, 5]));
+        for s in &p {
+            assert_eq!(s.capacity, 3);
+        }
+    }
+
+    #[test]
+    fn assign_tiers_overflow_lands_in_last_tier() {
+        let t = topo_2tier(4, 4);
+        // One shard bigger than any tier: backstopped by the last tier.
+        let p = assign_tiers(&[16], &[0], &t);
+        assert_eq!(p[0].tier, 1);
+        assert_eq!(p[0].capacity, 16);
+    }
+
+    #[test]
+    fn tier_usage_json_and_totals() {
+        let u = TierUsage {
+            name: "dram".into(),
+            shards: 2,
+            capacity: 32,
+            resident: 10,
+            traffic: TierTraffic {
+                hits: 7,
+                misses: 3,
+                prefetch_fills: 1,
+                cost_ns: 1234,
+            },
+        };
+        let json = u.to_json();
+        for field in [
+            "\"tier\": \"dram\"",
+            "\"shards\": 2",
+            "\"hits\": 7",
+            "\"cost_ns\": 1234",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+        assert_eq!(TierUsage::total_cost_ns(&[u.clone(), u.clone()]), 2468);
+        let mut later = u.clone();
+        later.traffic.hits += 5;
+        later.traffic.cost_ns += 100;
+        let d = later.delta_since(&u);
+        assert_eq!(d.traffic.hits, 5);
+        assert_eq!(d.traffic.cost_ns, 100);
+        assert_eq!(d.capacity, 32);
+    }
+}

@@ -9,8 +9,7 @@
 //! Run with: `cargo run --release --example sharded_serving`
 
 use recmg_repro::core::{
-    train_recmg, GuidanceMode, RecMgConfig, RecMgSystem, ServeOptions, ShardedRecMgSystem,
-    TrainOptions,
+    train_recmg, GuidanceMode, RecMgConfig, RecMgSystem, ServeOptions, SystemBuilder, TrainOptions,
 };
 use recmg_repro::dlrm::{BatchAccessStats, BufferManager};
 use recmg_repro::trace::{SyntheticConfig, TraceStats};
@@ -44,7 +43,9 @@ fn main() {
     let ref_kps = trace.len() as f64 / start.elapsed().as_secs_f64();
 
     // One shard, inline guidance: must match the reference exactly.
-    let mut one = ShardedRecMgSystem::from_trained(&trained, capacity, 1);
+    let mut one = SystemBuilder::from_trained(&trained)
+        .capacity(capacity)
+        .build();
     let one_report = one.serve(
         &batches,
         &ServeOptions {
@@ -77,7 +78,10 @@ fn main() {
     );
 
     for shards in [2usize, 4, 8] {
-        let mut sys = ShardedRecMgSystem::from_trained(&trained, capacity, shards);
+        let mut sys = SystemBuilder::from_trained(&trained)
+            .shards(shards)
+            .capacity(capacity)
+            .build();
         let report = sys.serve(
             &batches,
             &ServeOptions {

@@ -15,7 +15,7 @@ use std::time::Duration;
 use recmg_repro::core::serving::WorkloadSpec;
 use recmg_repro::core::{
     train_recmg, AdmissionPolicy, ArrivalProcess, BatchSource, GuidanceMode, RecMgConfig,
-    SessionBuilder, ShardedRecMgSystem, SlaBudget, SyntheticSource, TrainOptions,
+    SessionBuilder, SlaBudget, SyntheticSource, SystemBuilder, TrainOptions,
 };
 use recmg_repro::trace::{SyntheticConfig, TraceStats};
 
@@ -52,7 +52,11 @@ fn main() {
             max_batch: 16,
         })
         .admission(AdmissionPolicy::unbounded())
-        .build(ShardedRecMgSystem::from_trained(&trained, capacity, 4));
+        .build_system(
+            SystemBuilder::from_trained(&trained)
+                .shards(4)
+                .capacity(capacity),
+        );
     session.ingest(&mut BatchSource::from_vecs(
         spec.requests(requests, cfg.input_len),
     ));
@@ -86,7 +90,11 @@ fn main() {
                 ..AdmissionPolicy::default()
             })
             .sla(sla)
-            .build(ShardedRecMgSystem::from_trained(&trained, capacity, 4));
+            .build_system(
+                SystemBuilder::from_trained(&trained)
+                    .shards(4)
+                    .capacity(capacity),
+            );
         let mut source = SyntheticSource::new(
             spec,
             cfg.input_len,

@@ -37,7 +37,9 @@ fn trained_setup() -> (
 fn one_shard_matches_recmg_system_exactly() {
     let (trace, trained, capacity) = trained_setup();
     let mut reference = RecMgSystem::from_trained(&trained, capacity);
-    let mut sharded = ShardedRecMgSystem::from_trained(&trained, capacity, 1);
+    let mut sharded = recmg_repro::core::SystemBuilder::from_trained(&trained)
+        .capacity(capacity)
+        .build();
     assert_eq!(sharded.name(), reference.name());
     let mut a = BatchAccessStats::default();
     let mut b = BatchAccessStats::default();
@@ -57,8 +59,9 @@ fn one_shard_matches_recmg_system_exactly() {
 fn one_shard_cm_only_matches_reference() {
     let (trace, trained, capacity) = trained_setup();
     let mut reference = RecMgSystem::new(&trained.caching, None, trained.codec.clone(), capacity);
-    let mut sharded =
-        ShardedRecMgSystem::new(&trained.caching, None, trained.codec.clone(), capacity, 1);
+    let mut sharded = ShardedRecMgSystem::builder(&trained.caching, None, trained.codec.clone())
+        .capacity(capacity)
+        .build();
     let mut a = BatchAccessStats::default();
     let mut b = BatchAccessStats::default();
     for batch in trace.batches(10) {
@@ -74,8 +77,13 @@ fn one_shard_cm_only_matches_reference() {
 #[test]
 fn multi_shard_covers_trace_and_stays_competitive() {
     let (trace, trained, capacity) = trained_setup();
-    let mut single = ShardedRecMgSystem::from_trained(&trained, capacity, 1);
-    let mut sharded = ShardedRecMgSystem::from_trained(&trained, capacity, 4);
+    let mut single = recmg_repro::core::SystemBuilder::from_trained(&trained)
+        .capacity(capacity)
+        .build();
+    let mut sharded = recmg_repro::core::SystemBuilder::from_trained(&trained)
+        .shards(4)
+        .capacity(capacity)
+        .build();
     let mut s1 = BatchAccessStats::default();
     let mut s4 = BatchAccessStats::default();
     for batch in trace.batches(10) {
@@ -101,7 +109,10 @@ fn multi_shard_covers_trace_and_stays_competitive() {
 fn concurrent_engine_matches_totals_and_reports_guidance() {
     let (trace, trained, capacity) = trained_setup();
     let batches = trace.batches(10);
-    let mut sys = ShardedRecMgSystem::from_trained(&trained, capacity, 4);
+    let mut sys = recmg_repro::core::SystemBuilder::from_trained(&trained)
+        .shards(4)
+        .capacity(capacity)
+        .build();
     let report = sys.serve(
         &batches,
         &ServeOptions {

@@ -51,7 +51,11 @@ fn one_shard_batch_backed_session_matches_recmg_system_exactly() {
         .workers(1)
         .guidance(GuidanceMode::Inline)
         .admission(AdmissionPolicy::unbounded())
-        .build(ShardedRecMgSystem::from_trained(&trained, capacity, 1));
+        .build(
+            recmg_repro::core::SystemBuilder::from_trained(&trained)
+                .capacity(capacity)
+                .build(),
+        );
     let batches = trace.batches(10);
     session.ingest(&mut BatchSource::new(&batches));
     let (sharded, report) = session.drain();
@@ -82,7 +86,9 @@ fn batched_background_session_matches_inline_counts_on_one_shard() {
     let (trace, trained, capacity) = trained_setup();
     let input_len = trained.caching.config().input_len;
 
-    let mut reference = ShardedRecMgSystem::from_trained(&trained, capacity, 1);
+    let mut reference = recmg_repro::core::SystemBuilder::from_trained(&trained)
+        .capacity(capacity)
+        .build();
     let mut ref_stats = BatchAccessStats::default();
     for chunk in trace.accesses().chunks(input_len) {
         ref_stats.accumulate(reference.process_batch(chunk));
@@ -96,7 +102,11 @@ fn batched_background_session_matches_inline_counts_on_one_shard() {
             max_batch: 16,
         })
         .admission(AdmissionPolicy::unbounded())
-        .build(ShardedRecMgSystem::from_trained(&trained, capacity, 1));
+        .build(
+            recmg_repro::core::SystemBuilder::from_trained(&trained)
+                .capacity(capacity)
+                .build(),
+        );
     for (i, chunk) in trace.accesses().chunks(input_len).enumerate() {
         session
             .submit(Request {
@@ -136,7 +146,12 @@ fn trace_replay_session_covers_the_trace() {
         })
         .admission(AdmissionPolicy::unbounded())
         .sla(SlaBudget::new(Duration::from_secs(30)))
-        .build(ShardedRecMgSystem::from_trained(&trained, capacity, 4));
+        .build(
+            recmg_repro::core::SystemBuilder::from_trained(&trained)
+                .shards(4)
+                .capacity(capacity)
+                .build(),
+        );
     let mut source = TraceReplaySource::new(&trace, 10, ArrivalProcess::Immediate, 7);
     let pulled = session.ingest(&mut source);
     let (sys, report) = session.drain();
@@ -173,7 +188,10 @@ proptest! {
         let codec = recmg_repro::core::FrequencyRankCodec::from_accesses(
             &[VectorKey::new(TableId(0), RowId(1))],
         );
-        let system = ShardedRecMgSystem::new(&caching, None, codec, 64, num_shards);
+        let system = ShardedRecMgSystem::builder(&caching, None, codec)
+            .shards(num_shards)
+            .capacity(64)
+            .build();
         let session = SessionBuilder::new()
             .workers(1)
             .guidance(GuidanceMode::Inline)
