@@ -38,12 +38,13 @@ use std::time::Duration;
 
 use recmg_core::serving::{measure_throughput, measure_throughput_with, WorkloadSpec};
 use recmg_core::{
-    AdmissionPolicy, ArrivalProcess, CachingModel, ClosedLoopSource, EvenSplit, FrequencyRankCodec,
-    GuidanceMode, HotFirst, MemoryTier, PrefetchModel, RecMgConfig, ServeOptions, SessionBuilder,
-    ShardedRecMgSystem, SlaBudget, SystemBuilder, TierCost, TierTopology, TraceReplaySource,
-    WorkingSet,
+    AdmissionPolicy, ArrivalProcess, CachingModel, CardinalityWorkingSet, ClosedLoopSource,
+    EvenSplit, FrequencyRankCodec, GuidanceMode, HotFirst, MemoryTier, PrefetchModel, Rebalancer,
+    RecMgConfig, ServeOptions, SessionBuilder, ShardedRecMgSystem, SketchConfig, SlaBudget,
+    SystemBuilder, TierCost, TierTopology, TraceReplaySource, WorkingSet,
 };
-use recmg_trace::SyntheticConfig;
+use recmg_dlrm::BufferManager;
+use recmg_trace::{RowId, SyntheticConfig, VectorKey};
 
 /// `RECMG_SMOKE=1` shrinks every measured section (and skips the
 /// Criterion timing loops) so CI can validate the bench JSON — including
@@ -245,6 +246,157 @@ fn tier_placement_rows(cfg: &RecMgConfig) -> (f64, usize, Vec<String>) {
     (skew, requests, rows)
 }
 
+/// Working-set estimation sweep: a *phase-flipping* skewed workload over
+/// an 8-shard, 2-tier system, served under two placement/rebalancing
+/// strategies:
+///
+/// * `miss_mass_periodic` — PR 4's [`WorkingSet`] (capacity from miss
+///   counts), rebalanced on the count trigger alone;
+/// * `cardinality_phase_reactive` — [`CardinalityWorkingSet`] (capacity
+///   from the sketched unique-key footprint) with the phase trigger armed
+///   on top of the same count trigger.
+///
+/// Halfway through, the 300-key hot set (two thirds of all traffic)
+/// moves from shards `{0,1,2}` to shards `{5,6,7}` — the hash image of a
+/// popularity shift onto differently-hashed rows. The phase-reactive
+/// strategy re-places within a sketch epoch or two of the flip; the
+/// periodic one serves the new phase on stale placement until its count
+/// trigger comes around. Serving is deterministic (sequential
+/// `process_batch`, inline guidance), so the per-tier cost counters —
+/// including the rebalance migration charges — are exact, and the CI
+/// assertion (`cardinality_phase_reactive` total cost ≤
+/// `miss_mass_periodic`) is noise-free.
+fn working_set_estimation_rows(cfg: &RecMgConfig) -> (usize, u64, Vec<String>) {
+    let shards = 8usize;
+    let batches_per_phase = if smoke() { 60 } else { 300 };
+    let router = recmg_core::ShardRouter::new(shards);
+    // Distinct keys homed on a given shard set, found by walking row ids
+    // (deterministic — the hash router decides, exactly as serving will).
+    let keys_on_shards = |targets: &[usize], n: usize, salt: u64| -> Vec<VectorKey> {
+        (0..)
+            .map(|i| VectorKey::new(recmg_trace::TableId(1), RowId(salt + i as u64)))
+            .filter(|&k| targets.contains(&router.shard_of(k)))
+            .take(n)
+            .collect()
+    };
+    // The paper's regime: a stable hot embedding set dominating traffic,
+    // over a long cold tail. Hot phase A lives on shards {0,1,2}; at the
+    // flip the hot set moves to shards {5,6,7} (a table/popularity shift
+    // concentrating on differently-hashed rows); 100 background keys keep
+    // every shard's sketch window warm throughout. 2/3 of each batch
+    // cycles the 300-key hot set, 1/3 cycles the background.
+    let hot_a = keys_on_shards(&[0, 1, 2], 300, 0);
+    let hot_b = keys_on_shards(&[5, 6, 7], 300, 1_000_000);
+    let bg: Vec<VectorKey> = (0..100)
+        .map(|i| VectorKey::new(recmg_trace::TableId(2), RowId(i)))
+        .collect();
+    let batch_of = |hot: &[VectorKey], round: usize| -> Vec<VectorKey> {
+        let mut keys = Vec::with_capacity(60);
+        for i in 0..40 {
+            keys.push(hot[(round * 40 + i) % hot.len()]);
+        }
+        for i in 0..20 {
+            keys.push(bg[(round * 20 + i) % bg.len()]);
+        }
+        keys
+    };
+    let phase_a: Vec<Vec<VectorKey>> = (0..batches_per_phase)
+        .map(|r| batch_of(&hot_a, r))
+        .collect();
+    let phase_b: Vec<Vec<VectorKey>> = (0..batches_per_phase)
+        .map(|r| batch_of(&hot_b, r))
+        .collect();
+    let accesses_per_phase = (batches_per_phase * 60) as u64;
+    // Sketch epochs small enough that a hot shard rotates a few batches
+    // after the flip; the shared count trigger fires twice per phase.
+    let epoch = 128u64;
+    let period = accesses_per_phase / 2;
+    let capacity = 256usize;
+    let fast = capacity / 2;
+    let topology = || {
+        TierTopology::new(vec![
+            MemoryTier::dram(fast),
+            MemoryTier::new(
+                "cxl",
+                capacity - fast,
+                TierCost::cxl_like().with_penalty(Duration::from_nanos(400)),
+            ),
+        ])
+    };
+    let keys = phase_a.concat();
+    let rows = [
+        ("miss_mass_periodic", false),
+        ("cardinality_phase_reactive", true),
+    ]
+    .iter()
+    .map(|&(strategy, reactive)| {
+        let caching = CachingModel::new(cfg);
+        let prefetch = PrefetchModel::new(cfg);
+        let codec = FrequencyRankCodec::from_accesses(&keys[..2_000.min(keys.len())]);
+        let builder = SystemBuilder::new(&caching, Some(&prefetch), codec)
+            .shards(shards)
+            .topology(topology())
+            .sketch(SketchConfig {
+                epoch_len: epoch,
+                window_epochs: 4,
+                ..SketchConfig::default()
+            });
+        let mut sys = if reactive {
+            builder.placement(CardinalityWorkingSet::default()).build()
+        } else {
+            builder.placement(WorkingSet::default()).build()
+        };
+        let mut rb = if reactive {
+            Rebalancer::new(period).with_phase_trigger(0.5, epoch)
+        } else {
+            Rebalancer::new(period)
+        };
+        // Deterministic serving: one request at a time, rebalance check
+        // between requests (the system is quiescent there).
+        let mut flip_snapshot = 0u64;
+        for (phase, batches) in [&phase_a, &phase_b].iter().enumerate() {
+            if phase == 1 {
+                flip_snapshot = (0..shards).map(|i| sys.shard_traffic(i).cost_ns).sum();
+            }
+            for batch in batches.iter() {
+                sys.process_batch(batch);
+                rb.maybe_rebalance(&mut sys);
+            }
+        }
+        let total_cost_ns: u64 = (0..shards).map(|i| sys.shard_traffic(i).cost_ns).sum();
+        let post_flip_cost_ns = total_cost_ns - flip_snapshot;
+        println!(
+            "working_set_estimation/{strategy}: total {:.3}ms, post-flip {:.3}ms, \
+             fires {} (phase {}), rebalances {}, footprint {}",
+            total_cost_ns as f64 / 1e6,
+            post_flip_cost_ns as f64 / 1e6,
+            rb.fires(),
+            rb.phase_fires(),
+            rb.rebalances(),
+            sys.unique_keys(),
+        );
+        format!(
+            concat!(
+                "    {{\"strategy\": \"{}\", \"policy\": \"{}\", ",
+                "\"phase_reactive\": {}, \"fires\": {}, \"phase_fires\": {}, ",
+                "\"rebalances\": {}, \"unique_keys\": {}, ",
+                "\"hit_weighted_cost_ns\": {}, \"post_flip_cost_ns\": {}}}"
+            ),
+            strategy,
+            sys.placement_name(),
+            reactive,
+            rb.fires(),
+            rb.phase_fires(),
+            rb.rebalances(),
+            sys.unique_keys(),
+            total_cost_ns,
+            post_flip_cost_ns,
+        )
+    })
+    .collect();
+    (batches_per_phase, epoch, rows)
+}
+
 /// Streaming rows: a Poisson replay of the same trace the systems are
 /// built from (so the buffer actually hits, like the `sharded` section),
 /// offered at ~70% of the measured 1-shard batch service rate, served
@@ -362,9 +514,15 @@ fn merge_reports(a: &mut recmg_core::EngineReport, b: &recmg_core::EngineReport)
     a.plane.chunks += b.plane.chunks;
     a.plane.max_batch = a.plane.max_batch.max(b.plane.max_batch);
     a.plane.late_chunks += b.plane.late_chunks;
+    // Working-set fields are point-in-time: keep the latest pass's view.
+    a.unique_keys = b.unique_keys;
+    a.max_phase_score = b.max_phase_score;
     for (ta, tb) in a.tiers.iter_mut().zip(&b.tiers) {
         ta.traffic.accumulate(tb.traffic);
-        // Occupancy is point-in-time: keep the latest pass's view.
+        // Occupancy and the sketched footprint are point-in-time: keep
+        // the latest pass's view (accumulate() would sum the same shards'
+        // footprint once per pass).
+        ta.traffic.unique_keys = tb.traffic.unique_keys;
         ta.resident = tb.resident;
         ta.capacity = tb.capacity;
     }
@@ -479,6 +637,7 @@ fn bench_serving_sharded(c: &mut Criterion) {
     let batching_rows = guidance_batching_rows(&cfg, &trace, capacity);
     let grid_rows = workload_grid_rows(&cfg);
     let (tier_skew, tier_requests, tier_rows) = tier_placement_rows(&cfg);
+    let (ws_requests, ws_epoch, ws_rows) = working_set_estimation_rows(&cfg);
     let (rate_hz, stream_requests, queries_per_request, stream_rows) =
         streaming_rows(&cfg, &trace, capacity);
 
@@ -499,6 +658,15 @@ fn bench_serving_sharded(c: &mut Criterion) {
             "cost of the measured pass (serving only); migration_cost_ns = one-time rebalance ",
             "churn, reported separately\",\n",
             "    \"results\": [\n{}\n    ]\n  }},\n",
+            "  \"working_set_estimation\": {{\n    \"shards\": 8, \"batches_per_phase\": {}, ",
+            "\"sketch_epoch\": {}, ",
+            "\"workload\": \"300-key hot set (2/3 of traffic) moves shards {{0,1,2}} -> {{5,6,7}} at halftime; ",
+            "100-key background\",\n",
+            "    \"methodology\": \"deterministic sequential serving; both strategies share the ",
+            "same count-trigger period; the reactive row adds the sketch phase trigger; ",
+            "hit_weighted_cost_ns is cumulative over both phases including migration charges; ",
+            "post_flip_cost_ns covers the second phase only\",\n",
+            "    \"results\": [\n{}\n    ]\n  }},\n",
             "  \"streaming\": {{\n    \"arrival_process\": \"poisson\", \"rate_hz\": {:.1}, ",
             "\"requests\": {}, \"queries_per_request\": {},\n    \"results\": [\n{}\n    ]\n  }}\n}}\n"
         ),
@@ -510,6 +678,9 @@ fn bench_serving_sharded(c: &mut Criterion) {
         tier_skew,
         tier_requests,
         tier_rows.join(",\n"),
+        ws_requests,
+        ws_epoch,
+        ws_rows.join(",\n"),
         rate_hz,
         stream_requests,
         queries_per_request,

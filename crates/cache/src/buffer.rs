@@ -72,6 +72,10 @@ pub struct GpuBuffer {
     decay: u64,
     /// Evictions per decay unit (one "pass" of Algorithm 2).
     decay_period: u64,
+    /// Whether `decay_period` was set explicitly (via
+    /// [`GpuBuffer::with_decay_period`]) rather than derived from the
+    /// capacity — explicit periods survive [`GpuBuffer::set_capacity`].
+    explicit_period: bool,
     populate_calls: u64,
     entries: HashMap<VectorKey, Entry>,
     /// stamp → keys at that stamp. Within a bucket, eviction is FIFO
@@ -87,11 +91,15 @@ impl GpuBuffer {
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
-        Self::with_decay_period(capacity, ((capacity / 8) as u64).max(1))
+        let mut buf = Self::with_decay_period(capacity, ((capacity / 8) as u64).max(1));
+        buf.explicit_period = false;
+        buf
     }
 
     /// Creates a buffer with an explicit decay period (evictions per decay
-    /// unit). `1` reproduces strict per-eviction decay.
+    /// unit). `1` reproduces strict per-eviction decay. An explicit period
+    /// is a semantic choice, not a derived default, so it is preserved
+    /// across [`GpuBuffer::set_capacity`] resizes.
     ///
     /// # Panics
     ///
@@ -103,10 +111,16 @@ impl GpuBuffer {
             capacity,
             decay: 0,
             decay_period,
+            explicit_period: true,
             populate_calls: 0,
             entries: HashMap::with_capacity(capacity),
             by_stamp: BTreeMap::new(),
         }
+    }
+
+    /// Evictions per decay unit currently in effect.
+    pub fn decay_period(&self) -> u64 {
+        self.decay_period
     }
 
     /// Maximum residency.
@@ -250,11 +264,15 @@ impl GpuBuffer {
 
     /// Changes the buffer's capacity in place, evicting minimum-priority
     /// entries (without charging decay passes — this is a management
-    /// operation, not a demand fill) until the residency fits. The decay
-    /// period is re-derived from the new capacity exactly as
-    /// [`GpuBuffer::new`] would, so a resized buffer decays like a
-    /// fresh buffer of the same size. Used by tier rebalancing, which
-    /// re-sizes per-shard buffer shares from observed working sets.
+    /// operation, not a demand fill) until the residency fits. A derived
+    /// decay period is re-derived from the new capacity exactly as
+    /// [`GpuBuffer::new`] would, so a resized buffer decays like a fresh
+    /// buffer of the same size; a period set explicitly via
+    /// [`GpuBuffer::with_decay_period`] is kept — phase-reactive
+    /// rebalancing resizes buffers often, and a deliberate per-eviction
+    /// decay choice must not silently revert to the derived default on
+    /// the first resize. Used by tier rebalancing, which re-sizes
+    /// per-shard buffer shares from observed working sets.
     ///
     /// # Panics
     ///
@@ -265,7 +283,9 @@ impl GpuBuffer {
             self.evict_min();
         }
         self.capacity = capacity;
-        self.decay_period = ((capacity / 8) as u64).max(1);
+        if !self.explicit_period {
+            self.decay_period = ((capacity / 8) as u64).max(1);
+        }
     }
 
     /// Removes a specific key (used by tests and ablations). Returns true
@@ -398,6 +418,22 @@ mod tests {
         assert_eq!(b.capacity(), 8);
         assert_eq!(b.len(), 2);
         assert!(!b.is_full());
+    }
+
+    #[test]
+    fn set_capacity_rederives_only_derived_decay_periods() {
+        // Derived period: tracks the capacity across resizes.
+        let mut derived = GpuBuffer::new(64);
+        assert_eq!(derived.decay_period(), 8);
+        derived.set_capacity(256);
+        assert_eq!(derived.decay_period(), 32);
+        // Explicit period: a semantic choice, survives resizes (the
+        // rebalancer resizes buffers routinely).
+        let mut strict = GpuBuffer::with_decay_period(64, 1);
+        strict.set_capacity(256);
+        assert_eq!(strict.decay_period(), 1, "explicit period clobbered");
+        strict.set_capacity(16);
+        assert_eq!(strict.decay_period(), 1);
     }
 
     #[test]

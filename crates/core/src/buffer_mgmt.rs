@@ -18,7 +18,8 @@ use std::time::{Duration, Instant};
 use recmg_cache::{BufferAccess, GpuBuffer};
 use recmg_trace::VectorKey;
 
-use crate::config::TierCost;
+use crate::config::{SketchConfig, TierCost};
+use crate::sketch::{WorkingSetStats, WorkingSetTracker};
 
 /// Cumulative tier-traffic accounting of one [`RecMgBuffer`]: how many
 /// buffer events the backing memory tier served and what they cost under
@@ -37,6 +38,15 @@ pub struct TierTraffic {
     /// (`hits × hit_ns + misses × miss_ns + fills × fill_ns`, plus any
     /// rebalance migration charges).
     pub cost_ns: u64,
+    /// Sketched working-set footprint: estimated distinct keys demanded
+    /// over the buffer's sliding sketch window ([`crate::sketch`]).
+    /// Unlike the counters above this is a *point-in-time estimate*, not
+    /// a cumulative count: [`TierTraffic::accumulate`] sums it (shard key
+    /// spaces are disjoint, so per-shard footprints add losslessly into a
+    /// tier footprint) and [`TierTraffic::delta_since`] keeps the current
+    /// value (a "delta of cardinalities" has no meaning — reports show
+    /// the live footprint, exactly like `TierUsage`'s occupancy fields).
+    pub unique_keys: u64,
 }
 
 impl TierTraffic {
@@ -46,22 +56,28 @@ impl TierTraffic {
         self.hits + self.misses
     }
 
-    /// Adds `other` into `self` (lossless merge across shards).
+    /// Adds `other` into `self` (lossless merge across shards — the shard
+    /// router is a partition, so even the sketched `unique_keys`
+    /// footprints add without double counting).
     pub fn accumulate(&mut self, other: TierTraffic) {
         self.hits += other.hits;
         self.misses += other.misses;
         self.prefetch_fills += other.prefetch_fills;
         self.cost_ns += other.cost_ns;
+        self.unique_keys += other.unique_keys;
     }
 
     /// Counter-wise `self - before` (both cumulative snapshots of the same
     /// buffers; saturating so a rebalanced/rebuilt shard never underflows).
+    /// `unique_keys` is point-in-time, not a counter: the delta keeps the
+    /// later snapshot's value.
     pub fn delta_since(&self, before: &TierTraffic) -> TierTraffic {
         TierTraffic {
             hits: self.hits.saturating_sub(before.hits),
             misses: self.misses.saturating_sub(before.misses),
             prefetch_fills: self.prefetch_fills.saturating_sub(before.prefetch_fills),
             cost_ns: self.cost_ns.saturating_sub(before.cost_ns),
+            unique_keys: self.unique_keys,
         }
     }
 }
@@ -87,6 +103,9 @@ pub struct RecMgBuffer {
     /// Access-cost model of the memory tier backing this buffer.
     cost: TierCost,
     traffic: TierTraffic,
+    /// Sliding-window unique-key sketch over the demand stream — the
+    /// working-set footprint and phase-change signal placement reacts to.
+    tracker: WorkingSetTracker,
 }
 
 impl RecMgBuffer {
@@ -109,11 +128,28 @@ impl RecMgBuffer {
     ///
     /// Panics if `capacity` is zero.
     pub fn with_cost(capacity: usize, eviction_speed: u64, cost: TierCost) -> Self {
+        Self::with_sketch(capacity, eviction_speed, cost, SketchConfig::default())
+    }
+
+    /// Creates a buffer with an explicit working-set sketch shape
+    /// ([`SystemBuilder::sketch`](crate::SystemBuilder::sketch) routes
+    /// every shard buffer through here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or `sketch` is invalid.
+    pub fn with_sketch(
+        capacity: usize,
+        eviction_speed: u64,
+        cost: TierCost,
+        sketch: SketchConfig,
+    ) -> Self {
         RecMgBuffer {
             buffer: GpuBuffer::new(capacity),
             eviction_speed,
             cost,
             traffic: TierTraffic::default(),
+            tracker: WorkingSetTracker::new(sketch),
         }
     }
 
@@ -127,9 +163,41 @@ impl RecMgBuffer {
         self.cost
     }
 
-    /// Cumulative tier traffic of this buffer.
+    /// Cumulative tier traffic of this buffer, with the sketched
+    /// working-set footprint filled in (`unique_keys` is the tracker's
+    /// current windowed estimate, computed at call time — an `O(m)`
+    /// register scan, cheap at reporting/rebalancing frequency and free
+    /// on the per-access path).
     pub fn traffic(&self) -> TierTraffic {
-        self.traffic
+        let mut t = self.traffic;
+        t.unique_keys = self.tracker.unique_keys();
+        t
+    }
+
+    /// Point-in-time working-set statistics of the demand stream: windowed
+    /// unique keys, last epoch's footprint, and the phase score the
+    /// rebalancer's phase trigger fires on.
+    pub fn working_set(&self) -> WorkingSetStats {
+        self.tracker.stats()
+    }
+
+    /// Cumulative demand accesses (hits + misses) from the raw counters —
+    /// unlike [`RecMgBuffer::traffic`] this never touches the sketch, so
+    /// it is safe to poll on every batch (the rebalancer's trigger check).
+    pub fn demand_count(&self) -> u64 {
+        self.traffic.demand()
+    }
+
+    /// Phase score of the last completed sketch epoch — cached on the
+    /// tracker, `O(1)` (no window merge), safe to poll on every batch.
+    pub fn phase_score(&self) -> f64 {
+        self.tracker.phase_score()
+    }
+
+    /// Demand accesses per sketch epoch (phase scores update at this
+    /// granularity).
+    pub fn sketch_epoch_len(&self) -> u64 {
+        self.tracker.epoch_len()
     }
 
     /// Swaps the tier cost model (a rebalance moved this buffer to another
@@ -175,6 +243,12 @@ impl RecMgBuffer {
     /// suffer the tier's injected penalty (the on-demand fetch crosses the
     /// slow tier's bandwidth bottleneck).
     pub fn access(&mut self, key: VectorKey) -> BufferAccess {
+        // Every demand access feeds the working-set sketch (hits and
+        // misses alike — the footprint is about reuse, not residency);
+        // speculative prefetch fills deliberately do not, so a
+        // mispredicting prefetcher cannot inflate the footprint signal
+        // placement sizes capacity from.
+        self.tracker.observe(key.as_u64());
         let outcome = self.buffer.lookup(key);
         if outcome == BufferAccess::Miss {
             self.traffic.misses += 1;
@@ -383,6 +457,41 @@ mod tests {
         assert_eq!(t.prefetch_fills, 1);
         assert_eq!(t.cost_ns, 100 + 2 * 10 + 40);
         assert_eq!(t.demand(), 3);
+        // Two distinct keys demanded (the prefetch fill of key 2 does not
+        // count until its demand touch).
+        assert_eq!(t.unique_keys, 2);
+    }
+
+    #[test]
+    fn working_set_tracks_distinct_demand_keys() {
+        let mut b = RecMgBuffer::new(8, 4);
+        for r in 0..5 {
+            b.access(key(r));
+            b.access(key(r)); // repeats are free
+        }
+        let ws = b.working_set();
+        assert_eq!(ws.unique_keys, 5);
+        assert_eq!(b.traffic().unique_keys, 5);
+        assert_eq!(ws.epochs, 0, "default epoch length not reached");
+        assert!(b.sketch_epoch_len() > 0);
+        // Prefetch fills do not inflate the footprint.
+        b.load_embeddings(&[], &[], &[key(77)]);
+        assert_eq!(b.working_set().unique_keys, 5);
+    }
+
+    #[test]
+    fn sketch_config_shapes_the_tracker() {
+        let sketch = crate::config::SketchConfig {
+            epoch_len: 4,
+            window_epochs: 2,
+            ..crate::config::SketchConfig::tiny()
+        };
+        let mut b = RecMgBuffer::with_sketch(8, 4, TierCost::FREE, sketch);
+        assert_eq!(b.sketch_epoch_len(), 4);
+        for r in 0..8 {
+            b.access(key(r));
+        }
+        assert_eq!(b.working_set().epochs, 2);
     }
 
     #[test]
@@ -403,6 +512,7 @@ mod tests {
             misses: 2,
             prefetch_fills: 1,
             cost_ns: 70,
+            unique_keys: 4,
         };
         let mut m = a;
         m.accumulate(TierTraffic {
@@ -410,15 +520,22 @@ mod tests {
             misses: 1,
             prefetch_fills: 0,
             cost_ns: 30,
+            unique_keys: 3,
         });
         assert_eq!(m.hits, 6);
         assert_eq!(m.cost_ns, 100);
+        // Disjoint shard footprints add.
+        assert_eq!(m.unique_keys, 7);
         let d = m.delta_since(&a);
         assert_eq!(d.hits, 1);
         assert_eq!(d.misses, 1);
         assert_eq!(d.cost_ns, 30);
-        // Saturation guard.
-        assert_eq!(a.delta_since(&m), TierTraffic::default());
+        // Point-in-time field: the delta carries the later snapshot.
+        assert_eq!(d.unique_keys, 7);
+        // Saturation guard (counters zero; unique_keys stays `a`'s view).
+        let sat = a.delta_since(&m);
+        assert_eq!((sat.hits, sat.misses, sat.cost_ns), (0, 0, 0));
+        assert_eq!(sat.unique_keys, 4);
     }
 
     #[test]

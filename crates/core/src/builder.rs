@@ -29,6 +29,7 @@ use std::sync::Arc;
 
 use crate::caching_model::CachingModel;
 use crate::codec::FrequencyRankCodec;
+use crate::config::SketchConfig;
 use crate::engine::GuidanceMode;
 use crate::prefetch_model::PrefetchModel;
 use crate::sharding::{GuidanceCtx, Shard, ShardRouter, ShardedRecMgSystem};
@@ -52,6 +53,7 @@ pub struct SystemBuilder<'a> {
     topology: Option<TierTopology>,
     placement: Arc<dyn PlacementPolicy>,
     guidance: GuidanceMode,
+    sketch: SketchConfig,
 }
 
 impl<'a> SystemBuilder<'a> {
@@ -70,6 +72,7 @@ impl<'a> SystemBuilder<'a> {
             topology: None,
             placement: Arc::new(EvenSplit),
             guidance: GuidanceMode::default(),
+            sketch: SketchConfig::default(),
         }
     }
 
@@ -126,6 +129,15 @@ impl<'a> SystemBuilder<'a> {
         self.guidance
     }
 
+    /// Shape of the per-shard working-set sketches (default
+    /// [`SketchConfig::default`]): HLL register count, exact-mode
+    /// threshold, and the sliding epoch window the phase-change trigger
+    /// reads. Validated at build.
+    pub fn sketch(mut self, sketch: SketchConfig) -> Self {
+        self.sketch = sketch;
+        self
+    }
+
     /// Assembles the system: the placement policy runs once with no
     /// observed mass (its deterministic cold-start placement), and each
     /// shard's buffer is created in its assigned tier with that tier's
@@ -133,11 +145,13 @@ impl<'a> SystemBuilder<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if no topology was set, or `shards` is zero.
+    /// Panics if no topology was set, `shards` is zero, or the sketch
+    /// configuration is invalid.
     pub fn build(self) -> ShardedRecMgSystem {
         let topology = self
             .topology
             .expect("SystemBuilder needs a topology: call .topology(..) or .capacity(..)");
+        self.sketch.validate();
         let router = ShardRouter::new(self.shards);
         let cfg = self.caching.config().clone();
         let placements = self.placement.place(self.shards, &topology, &[]);
@@ -150,7 +164,7 @@ impl<'a> SystemBuilder<'a> {
         let shards = placements
             .iter()
             .enumerate()
-            .map(|(id, p)| Shard::placed(id, cfg.eviction_speed, p, &topology))
+            .map(|(id, p)| Shard::placed(id, cfg.eviction_speed, p, &topology, self.sketch))
             .collect();
         ShardedRecMgSystem {
             ctx: GuidanceCtx {

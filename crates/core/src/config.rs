@@ -188,6 +188,68 @@ impl Default for TierCost {
     }
 }
 
+/// Shape of the working-set sketches every [`crate::RecMgBuffer`] keeps on
+/// its demand path ([`crate::sketch`]): HyperLogLog register count, the
+/// exact-mode threshold, and the sliding epoch window.
+///
+/// The defaults size the sketch for serving buffers: 256 registers
+/// (~6.5% standard error, 256 bytes per epoch sketch), exact counting up
+/// to 64 distinct keys (toy/test buffers pay zero estimation error), and
+/// a four-epoch window of 1024 demand accesses each — long enough to
+/// smooth per-batch noise, short enough that a skew flip dominates the
+/// window within a few thousand accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SketchConfig {
+    /// HyperLogLog registers `m` (power of two in `[16, 65536]`); the
+    /// relative standard error is `1.04/√m`.
+    pub registers: usize,
+    /// Distinct-key count up to which the sketch counts exactly before
+    /// upgrading to HLL registers.
+    pub exact_threshold: usize,
+    /// Demand accesses per epoch (epoch boundaries are access-counted,
+    /// never wall-clock, so sketch behaviour is deterministic).
+    pub epoch_len: u64,
+    /// Epochs in the sliding window (current epoch included).
+    pub window_epochs: usize,
+}
+
+impl Default for SketchConfig {
+    fn default() -> Self {
+        SketchConfig {
+            registers: 256,
+            exact_threshold: 64,
+            epoch_len: 1024,
+            window_epochs: 4,
+        }
+    }
+}
+
+impl SketchConfig {
+    /// A small configuration for unit tests: short epochs so phase changes
+    /// surface after tens of accesses instead of thousands.
+    pub fn tiny() -> Self {
+        SketchConfig {
+            epoch_len: 64,
+            ..Self::default()
+        }
+    }
+
+    /// Validates invariant relationships.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `registers` is not a power of two in `[16, 65536]`, or a
+    /// window/epoch dimension is zero.
+    pub fn validate(&self) {
+        assert!(
+            self.registers.is_power_of_two() && (16..=65536).contains(&self.registers),
+            "registers must be a power of two in [16, 65536]"
+        );
+        assert!(self.epoch_len > 0, "epoch_len must be positive");
+        assert!(self.window_epochs > 0, "window_epochs must be positive");
+    }
+}
+
 /// Admission control for a [`crate::session::ServingSession`]'s request
 /// queue: how many requests may wait, and what happens to requests whose
 /// deadline cannot be met.

@@ -153,6 +153,14 @@ pub struct EngineReport {
     /// Per-tier occupancy (end of run) and traffic/cost (delta over this
     /// run), one entry per [`crate::MemoryTier`] of the system's topology.
     pub tiers: Vec<TierUsage>,
+    /// Sketched working-set footprint across shards at end of run
+    /// (point-in-time windowed estimate, not a per-run delta — see
+    /// [`crate::TierTraffic::unique_keys`]).
+    pub unique_keys: u64,
+    /// Largest per-shard sketch phase score at end of run (`[0, 1]`; high
+    /// values mean a shard's working set flipped within the last epoch —
+    /// the signal the phase-reactive [`crate::Rebalancer`] fires on).
+    pub max_phase_score: f64,
 }
 
 impl EngineReport {
@@ -187,7 +195,8 @@ impl EngineReport {
                 "{{\"batches\": {}, \"keys\": {}, \"hit_rate\": {:.4}, ",
                 "\"guided_fraction\": {:.4}, \"keys_per_sec\": {:.1}, ",
                 "\"elapsed_secs\": {:.4}, \"plane\": {}, ",
-                "\"access_cost_ns\": {}, \"tiers\": [{}]}}"
+                "\"access_cost_ns\": {}, \"unique_keys\": {}, ",
+                "\"max_phase_score\": {:.4}, \"tiers\": [{}]}}"
             ),
             self.batches,
             self.stats.total(),
@@ -197,6 +206,8 @@ impl EngineReport {
             self.elapsed_secs,
             self.plane.to_json(),
             self.access_cost_ns(),
+            self.unique_keys,
+            self.max_phase_score,
             tiers.join(", "),
         )
     }
@@ -384,6 +395,8 @@ mod tests {
             "\"mean_batch\"",
             "\"late_chunks\"",
             "\"access_cost_ns\"",
+            "\"unique_keys\"",
+            "\"max_phase_score\"",
             "\"tiers\"",
             "\"tier\": \"dram\"",
         ] {

@@ -38,6 +38,14 @@
 //!    shares and routes them to tiers, a [`Rebalancer`] re-places live
 //!    systems from observed per-shard mass, and per-tier occupancy /
 //!    traffic / hit-weighted cost surfaces in every report.
+//! 7. **Working-set sketches** ([`sketch`]): every shard buffer keeps an
+//!    allocation-light HyperLogLog working-set tracker on its demand path
+//!    (windowed epochs, exact small-set mode), reporting a unique-key
+//!    footprint alongside its tier traffic; [`CardinalityWorkingSet`]
+//!    apportions capacity by that sketched footprint instead of miss
+//!    mass, and the [`Rebalancer`]'s phase-change trigger re-places a
+//!    live system within one sketch epoch of a skew flip (placement runs
+//!    on per-epoch traffic deltas, never cumulative history).
 //!
 //! # Examples
 //!
@@ -72,6 +80,7 @@ mod prefetch_model;
 pub mod serving;
 pub mod session;
 mod sharding;
+pub mod sketch;
 mod system;
 pub mod tier;
 
@@ -79,7 +88,7 @@ pub use buffer_mgmt::{RecMgBuffer, TierTraffic};
 pub use builder::SystemBuilder;
 pub use caching_model::{CachingModel, FastCachingModel, TrainingReport};
 pub use codec::{FrequencyRankCodec, GlobalIdCodec, IndexCodec};
-pub use config::{AdmissionPolicy, DegradeLevel, RecMgConfig, SlaBudget, TierCost};
+pub use config::{AdmissionPolicy, DegradeLevel, RecMgConfig, SketchConfig, SlaBudget, TierCost};
 pub use engine::{EngineReport, GuidanceMode, ServeOptions};
 pub use fast::FastScratch;
 pub use labeling::{build_training_data, Chunk, PrefetchExample, TrainingData};
@@ -92,8 +101,9 @@ pub use session::{
     SlaOutcome, SyntheticSource, TraceReplaySource,
 };
 pub use sharding::{ShardRouter, ShardedRecMgSystem};
+pub use sketch::{CardinalitySketch, WorkingSetStats, WorkingSetTracker};
 pub use system::{train_recmg, CmPolicy, PmPrefetcher, RecMgSystem, TrainOptions, TrainedRecMg};
 pub use tier::{
-    EvenSplit, HotFirst, MemoryTier, PlacementPolicy, Rebalancer, ShardPlacement, TierTopology,
-    TierUsage, WorkingSet,
+    CardinalityWorkingSet, EvenSplit, HotFirst, MemoryTier, PlacementPolicy, Rebalancer,
+    ShardPlacement, TierTopology, TierUsage, WorkingSet,
 };

@@ -1143,6 +1143,8 @@ impl ServingSession {
                 elapsed_secs,
                 plane: plane_report,
                 tiers,
+                unique_keys: system.unique_keys(),
+                max_phase_score: system.max_phase_score(),
             },
             submitted: submitted.into_inner(),
             rejected_queue_full: rejected_queue_full.into_inner(),

@@ -170,11 +170,26 @@ pub(crate) struct Shard {
 }
 
 impl Shard {
-    pub(crate) fn new(id: usize, capacity: usize, eviction_speed: u64) -> Self {
+    /// A shard whose buffer lives in the placement's assigned tier,
+    /// accounting under that tier's cost model, with the system's
+    /// working-set sketch shape.
+    pub(crate) fn placed(
+        id: usize,
+        eviction_speed: u64,
+        placement: &ShardPlacement,
+        topology: &TierTopology,
+        sketch: crate::config::SketchConfig,
+    ) -> Self {
+        let cost = topology.tier(placement.tier).cost;
         Shard {
             id,
-            tier: 0,
-            buffer: RecMgBuffer::new(capacity, eviction_speed),
+            tier: placement.tier,
+            buffer: RecMgBuffer::with_sketch(
+                placement.capacity.max(1),
+                eviction_speed,
+                cost,
+                sketch,
+            ),
             pending: Vec::new(),
             chunk_counter: 0,
             prefetches_issued: 0,
@@ -183,20 +198,6 @@ impl Shard {
             unguided_chunks: 0,
             scratch: FastScratch::default(),
         }
-    }
-
-    /// A shard whose buffer lives in the placement's assigned tier,
-    /// accounting under that tier's cost model.
-    pub(crate) fn placed(
-        id: usize,
-        eviction_speed: u64,
-        placement: &ShardPlacement,
-        topology: &TierTopology,
-    ) -> Self {
-        let mut shard = Shard::new(id, placement.capacity.max(1), eviction_speed);
-        shard.tier = placement.tier;
-        shard.buffer.set_cost(topology.tier(placement.tier).cost);
-        shard
     }
 
     /// Applies a new placement in place: re-sizes the buffer (shrinking
@@ -481,13 +482,62 @@ impl ShardedRecMgSystem {
         self.shards[i].buffer.traffic()
     }
 
-    /// Cumulative demand accesses (hits + misses) observed across all
-    /// shard buffers — the mass signal rebalancing runs on.
-    pub fn demand_accesses(&self) -> u64 {
+    /// Cumulative tier traffic of every shard buffer, in shard order —
+    /// the stat vector the [`crate::Rebalancer`] snapshots and deltas.
+    pub fn shard_traffics(&self) -> Vec<crate::buffer_mgmt::TierTraffic> {
+        self.shards.iter().map(|s| s.buffer.traffic()).collect()
+    }
+
+    /// Point-in-time working-set statistics of shard `i`'s demand stream
+    /// (sketched unique keys, last epoch footprint, phase score).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn shard_working_set(&self, i: usize) -> crate::sketch::WorkingSetStats {
+        self.shards[i].buffer.working_set()
+    }
+
+    /// Cumulative demand accesses of every shard buffer, in shard order —
+    /// raw counters only (no sketch work), cheap enough to poll on every
+    /// batch.
+    pub fn shard_demands(&self) -> Vec<u64> {
         self.shards
             .iter()
-            .map(|s| s.buffer.traffic().demand())
+            .map(|s| s.buffer.demand_count())
+            .collect()
+    }
+
+    /// Cached per-shard phase scores, in shard order — `O(shards)`, no
+    /// sketch merges; the vector the phase trigger scans on every check.
+    pub fn shard_phase_scores(&self) -> Vec<f64> {
+        self.shards.iter().map(|s| s.buffer.phase_score()).collect()
+    }
+
+    /// The largest phase score across shards — the "did any shard's
+    /// working set just flip?" signal the phase-reactive
+    /// [`crate::Rebalancer`] trigger reads.
+    pub fn max_phase_score(&self) -> f64 {
+        self.shards
+            .iter()
+            .map(|s| s.buffer.phase_score())
+            .fold(0.0, f64::max)
+    }
+
+    /// Sketched unique-key footprint summed across shards (lossless: the
+    /// router is a partition, so shard footprints are disjoint).
+    pub fn unique_keys(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.buffer.working_set().unique_keys)
             .sum()
+    }
+
+    /// Cumulative demand accesses (hits + misses) observed across all
+    /// shard buffers — the mass signal rebalancing runs on. Raw counters
+    /// only: polling this never pays for sketch estimation.
+    pub fn demand_accesses(&self) -> u64 {
+        self.shards.iter().map(|s| s.buffer.demand_count()).sum()
     }
 
     /// Per-tier occupancy and cumulative traffic: which shards live
@@ -519,16 +569,37 @@ impl ShardedRecMgSystem {
     }
 
     /// Re-places every shard by running the system's placement policy
-    /// against the observed per-shard demand mass, re-sizing buffers in
+    /// against the observed *cumulative* per-shard demand mass — see
+    /// [`ShardedRecMgSystem::rebalance_from`] for the stat-vector form the
+    /// [`crate::Rebalancer`] uses to feed epoch deltas instead. Returns
+    /// whether anything moved. Call between serves/drains — the system
+    /// must be quiescent.
+    pub fn rebalance(&mut self) -> bool {
+        let stats = self.shard_traffics();
+        self.rebalance_from(&stats)
+    }
+
+    /// Re-places every shard by running the system's placement policy
+    /// against a caller-supplied per-shard stat vector (typically the
+    /// traffic observed since the last rebalance, so placement tracks the
+    /// current phase instead of cumulative history), re-sizing buffers in
     /// place (shrinking evicts coldest entries; tier moves charge the
     /// migration to the destination tier). Returns whether anything
     /// moved. Call between serves/drains — the system must be quiescent.
-    pub fn rebalance(&mut self) -> bool {
-        let stats: Vec<_> = self.shards.iter().map(|s| s.buffer.traffic()).collect();
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stats` does not hold one entry per shard.
+    pub fn rebalance_from(&mut self, stats: &[crate::buffer_mgmt::TierTraffic]) -> bool {
+        assert_eq!(
+            stats.len(),
+            self.shards.len(),
+            "need one stat entry per shard"
+        );
         let placements = self
             .ctx
             .placement
-            .place(self.shards.len(), &self.ctx.topology, &stats);
+            .place(self.shards.len(), &self.ctx.topology, stats);
         assert_eq!(
             placements.len(),
             self.shards.len(),
@@ -853,6 +924,92 @@ mod tests {
         assert_eq!(parts, router.split(&b));
         let total: usize = parts.iter().map(Vec::len).sum();
         assert_eq!(total, b.len());
+    }
+
+    /// Distinct keys routed to one shard (forcing misses, since every key
+    /// is fresh).
+    fn fresh_keys_for_shard(
+        router: &ShardRouter,
+        shard: usize,
+        n: usize,
+        salt: u64,
+    ) -> Vec<VectorKey> {
+        (0..)
+            .map(|i| key(1, salt + i as u64))
+            .filter(|&k| router.shard_of(k) == shard)
+            .take(n)
+            .collect()
+    }
+
+    /// Regression (PR 5): the rebalancer must feed the placement policy
+    /// per-epoch traffic *deltas*, not cumulative history. Before the fix
+    /// it re-placed from cumulative counters, so a shard that dominated
+    /// an old phase kept its oversized share forever — and the stale mass
+    /// was re-acted on at every subsequent fire.
+    fn delta_rebalancer_system() -> ShardedRecMgSystem {
+        use crate::tier::WorkingSet;
+        let cfg = RecMgConfig::tiny();
+        let caching = CachingModel::new(&cfg);
+        let codec = FrequencyRankCodec::from_accesses(&[key(0, 1)]);
+        ShardedRecMgSystem::builder(&caching, None, codec)
+            .shards(2)
+            .capacity(64)
+            .placement(WorkingSet::with_floor(4))
+            .build()
+    }
+
+    #[test]
+    fn rebalancer_snapshots_and_deltas_per_epoch() {
+        use crate::tier::Rebalancer;
+        let mut sys = delta_rebalancer_system();
+        let router = sys.router();
+        let mut rb = Rebalancer::new(1);
+        // Phase A: 400 fresh keys (all misses) into shard 0's key space.
+        let a = fresh_keys_for_shard(&router, 0, 400, 0);
+        sys.process_batch(&a);
+        assert!(rb.maybe_rebalance(&mut sys), "phase A mass moves capacity");
+        assert!(
+            sys.shard_buffer(0).capacity() > sys.shard_buffer(1).capacity(),
+            "phase A: shard 0 dominates"
+        );
+        // Quiescent: no fresh traffic, no fire — stale counters must not
+        // keep re-triggering.
+        let fires_before = rb.fires();
+        for _ in 0..5 {
+            assert!(!rb.maybe_rebalance(&mut sys), "quiescent system refired");
+        }
+        assert_eq!(rb.fires(), fires_before);
+        // Phase B: *less* traffic than phase A, but all of it on shard 1.
+        // Cumulative mass still favors shard 0 (400 vs 200); the epoch
+        // delta favors shard 1 (0 vs 200) — placement must track the
+        // current phase.
+        let b = fresh_keys_for_shard(&router, 1, 200, 1_000_000);
+        sys.process_batch(&b);
+        assert!(rb.maybe_rebalance(&mut sys), "phase B delta moves capacity");
+        assert!(
+            sys.shard_buffer(1).capacity() > sys.shard_buffer(0).capacity(),
+            "delta-driven placement follows the new phase: {} vs {}",
+            sys.shard_buffer(0).capacity(),
+            sys.shard_buffer(1).capacity()
+        );
+        assert_eq!(sys.capacity(), 64, "working-set shares conserve capacity");
+        assert_eq!(rb.rebalances(), 2);
+        assert_eq!(rb.phase_fires(), 0, "no phase trigger configured");
+    }
+
+    #[test]
+    fn working_set_stats_flow_through_system_accessors() {
+        let mut sys = delta_rebalancer_system();
+        let router = sys.router();
+        let batch = fresh_keys_for_shard(&router, 0, 50, 0);
+        sys.process_batch(&batch);
+        let ws = sys.shard_working_set(0);
+        assert_eq!(ws.unique_keys, 50, "exact below the sketch threshold");
+        assert_eq!(sys.shard_working_set(1).unique_keys, 0);
+        assert_eq!(sys.unique_keys(), 50);
+        assert_eq!(sys.shard_traffics()[0].unique_keys, 50);
+        // No epoch completed yet at default epoch length: no phase signal.
+        assert_eq!(sys.max_phase_score(), 0.0);
     }
 
     #[test]

@@ -17,8 +17,10 @@
 //!   [`WorkingSet`] (RecShard-style capacity shares proportional to
 //!   observed mass, with a floor), and [`HotFirst`] (even capacities, but
 //!   the hottest shards' buffers routed to the fastest tier);
-//! * a [`Rebalancer`] periodically re-places a live system from its
-//!   cumulative per-shard demand stats between session drains.
+//! * a [`Rebalancer`] re-places a live system between session drains from
+//!   per-epoch traffic deltas (snapshot-and-delta, never cumulative
+//!   history), on an access-count trigger and, optionally, a sketch-based
+//!   phase-change trigger ([`crate::sketch`]).
 //!
 //! Placement changes capacity shares and tier routing — never the serving
 //! *semantics*: with one shard every policy yields the identical system
@@ -314,9 +316,6 @@ impl PlacementPolicy for WorkingSet {
         topology: &TierTopology,
         stats: &[TierTraffic],
     ) -> Vec<ShardPlacement> {
-        let total = topology.total_capacity();
-        let floor = self.floor.max(1);
-        let order = hotness_order(num_shards, stats, topology);
         // Capacity shares follow *miss* mass, not raw demand: misses are
         // the signal that a shard's working set exceeds its share (a
         // shard hammering three hot keys hits forever in three slots —
@@ -329,36 +328,116 @@ impl PlacementPolicy for WorkingSet {
         } else {
             stats.iter().map(TierTraffic::demand).collect()
         };
-        let total_mass: u128 = mass.iter().map(|&m| m as u128).sum();
-        // Degenerate cases fall back to even shares (still hottest-first
-        // into the fast tier, which is the identity order here).
-        if mass.len() != num_shards || total_mass == 0 || total < num_shards * floor {
-            let caps = even_capacities(num_shards, total);
-            return assign_tiers(&caps, &order, topology);
+        apportion_by_mass(num_shards, topology, stats, &mass, self.floor)
+    }
+}
+
+/// Largest-remainder apportionment of the topology's capacity to per-shard
+/// `mass`, with a per-shard `floor`, assigned to tiers in hotness order —
+/// the sizing machinery shared by [`WorkingSet`] (miss mass) and
+/// [`CardinalityWorkingSet`] (sketched footprint). Shares sum *exactly* to
+/// the topology total; degenerate inputs (no mass, infeasible floor, wrong
+/// stat arity) fall back to [`EvenSplit`] capacities in hotness order.
+fn apportion_by_mass(
+    num_shards: usize,
+    topology: &TierTopology,
+    stats: &[TierTraffic],
+    mass: &[u64],
+    floor: usize,
+) -> Vec<ShardPlacement> {
+    let total = topology.total_capacity();
+    let floor = floor.max(1);
+    let order = hotness_order(num_shards, stats, topology);
+    let total_mass: u128 = mass.iter().map(|&m| m as u128).sum();
+    // Degenerate cases fall back to even shares (still hottest-first
+    // into the fast tier, which is the identity order here).
+    if mass.len() != num_shards || total_mass == 0 || total < num_shards * floor {
+        let caps = even_capacities(num_shards, total);
+        return assign_tiers(&caps, &order, topology);
+    }
+    // Largest-remainder apportionment of (total - n×floor) by mass.
+    let available = (total - num_shards * floor) as u128;
+    let mut caps = vec![floor; num_shards];
+    let mut remainders: Vec<(u128, usize)> = Vec::with_capacity(num_shards);
+    let mut assigned: u128 = 0;
+    for i in 0..num_shards {
+        let exact = available * mass[i] as u128;
+        caps[i] += (exact / total_mass) as usize;
+        assigned += exact / total_mass;
+        remainders.push((exact % total_mass, i));
+    }
+    // Hand the rounding residue to the largest remainders (ties to the
+    // lower shard id), so Σ capacity == total exactly.
+    let mut residue = (available - assigned) as usize;
+    remainders.sort_by_key(|&(rem, i)| (std::cmp::Reverse(rem), i));
+    for &(_, i) in remainders.iter().take(residue.min(num_shards)) {
+        caps[i] += 1;
+        residue -= 1;
+    }
+    debug_assert_eq!(residue, 0, "largest-remainder residue fits one pass");
+    debug_assert_eq!(caps.iter().sum::<usize>(), total);
+    assign_tiers(&caps, &order, topology)
+}
+
+/// Footprint-driven working-set placement: capacity shares are apportioned
+/// from each shard's *sketched unique-key cardinality*
+/// ([`TierTraffic::unique_keys`], maintained by the per-buffer
+/// [`WorkingSetTracker`](crate::sketch::WorkingSetTracker) over a sliding
+/// epoch window) instead of miss counts. Misses conflate capacity pressure
+/// with pure access volume — a shard thrashing three cold keys looks as
+/// hungry as one whose reuse footprint genuinely exceeds its share; the
+/// footprint measures what RecShard actually sizes placements from, the
+/// number of distinct vectors a shard needs resident. Same invariants as
+/// [`WorkingSet`]: shares sum exactly to the topology capacity
+/// (largest-remainder), every shard keeps at least `floor`, tiers are
+/// assigned first-fit in hotness order. Falls back to miss mass, then
+/// demand, then even shares when footprint observations are missing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CardinalityWorkingSet {
+    /// Minimum capacity any shard keeps, however small it sketches — a
+    /// shard sized to zero could never re-warm.
+    pub floor: usize,
+}
+
+impl CardinalityWorkingSet {
+    /// Footprint placement with the given per-shard floor (clamped to at
+    /// least 1).
+    pub fn with_floor(floor: usize) -> Self {
+        CardinalityWorkingSet {
+            floor: floor.max(1),
         }
-        // Largest-remainder apportionment of (total - n×floor) by demand
-        // mass.
-        let available = (total - num_shards * floor) as u128;
-        let mut caps = vec![floor; num_shards];
-        let mut remainders: Vec<(u128, usize)> = Vec::with_capacity(num_shards);
-        let mut assigned: u128 = 0;
-        for i in 0..num_shards {
-            let exact = available * mass[i] as u128;
-            caps[i] += (exact / total_mass) as usize;
-            assigned += exact / total_mass;
-            remainders.push((exact % total_mass, i));
-        }
-        // Hand the rounding residue to the largest remainders (ties to the
-        // lower shard id), so Σ capacity == total exactly.
-        let mut residue = (available - assigned) as usize;
-        remainders.sort_by_key(|&(rem, i)| (std::cmp::Reverse(rem), i));
-        for &(_, i) in remainders.iter().take(residue.min(num_shards)) {
-            caps[i] += 1;
-            residue -= 1;
-        }
-        debug_assert_eq!(residue, 0, "largest-remainder residue fits one pass");
-        debug_assert_eq!(caps.iter().sum::<usize>(), total);
-        assign_tiers(&caps, &order, topology)
+    }
+}
+
+impl Default for CardinalityWorkingSet {
+    /// The same 8-vector floor as [`WorkingSet`], for like-for-like policy
+    /// comparisons.
+    fn default() -> Self {
+        CardinalityWorkingSet { floor: 8 }
+    }
+}
+
+impl PlacementPolicy for CardinalityWorkingSet {
+    fn name(&self) -> &'static str {
+        "cardinality_working_set"
+    }
+
+    fn place(
+        &self,
+        num_shards: usize,
+        topology: &TierTopology,
+        stats: &[TierTraffic],
+    ) -> Vec<ShardPlacement> {
+        let footprint: u64 = stats.iter().map(|t| t.unique_keys).sum();
+        let misses: u64 = stats.iter().map(|t| t.misses).sum();
+        let mass: Vec<u64> = if footprint > 0 {
+            stats.iter().map(|t| t.unique_keys).collect()
+        } else if misses > 0 {
+            stats.iter().map(|t| t.misses).collect()
+        } else {
+            stats.iter().map(TierTraffic::demand).collect()
+        };
+        apportion_by_mass(num_shards, topology, stats, &mass, self.floor)
     }
 }
 
@@ -420,7 +499,7 @@ impl TierUsage {
             concat!(
                 "{{\"tier\": \"{}\", \"shards\": {}, \"capacity\": {}, ",
                 "\"resident\": {}, \"hits\": {}, \"misses\": {}, ",
-                "\"prefetch_fills\": {}, \"cost_ns\": {}}}"
+                "\"prefetch_fills\": {}, \"cost_ns\": {}, \"unique_keys\": {}}}"
             ),
             self.name,
             self.shards,
@@ -430,6 +509,7 @@ impl TierUsage {
             self.traffic.misses,
             self.traffic.prefetch_fills,
             self.traffic.cost_ns,
+            self.traffic.unique_keys,
         )
     }
 
@@ -451,25 +531,63 @@ impl TierUsage {
     }
 }
 
-/// Periodically re-places a live system from its cumulative per-shard
-/// demand stats — RecShard-style capacity rebalancing driven by the same
-/// signals PR 3's plane observability made trustworthy.
+/// Re-places a live system from its per-shard demand stats — RecShard-style
+/// capacity rebalancing driven by the same signals PR 3's plane
+/// observability made trustworthy.
 ///
 /// Call [`Rebalancer::maybe_rebalance`] between session drains (the system
-/// must be quiescent: rebalancing resizes buffers in place). The
-/// rebalancer fires only after at least `min_new_accesses` fresh demand
-/// accesses since the last attempt, so placement follows the workload
-/// instead of chasing noise.
+/// must be quiescent: rebalancing resizes buffers in place). Two triggers:
+///
+/// * **Access count** — fires after at least `min_new_accesses` fresh
+///   demand accesses since the last fire, so placement follows the
+///   workload instead of chasing noise.
+/// * **Phase change** (opt-in via
+///   [`Rebalancer::with_phase_trigger`]) — fires as soon as any shard's
+///   sketch [`phase score`](crate::sketch::WorkingSetStats::phase_score)
+///   crosses a threshold, i.e. within one sketch epoch of a working-set
+///   flip, without waiting out the access count. A cooldown (in fresh
+///   accesses) bounds re-fire churn while the flip is still draining out
+///   of the sketch window.
+///
+/// Placement always runs on **epoch deltas**, not cumulative history: the
+/// rebalancer snapshots every shard's [`TierTraffic`] at each fire and
+/// hands the policy only the traffic observed *since the previous fire*
+/// (the point-in-time `unique_keys` footprint rides along unchanged).
+/// Cumulative counters would let months of stale history outvote the
+/// current phase — and, on a quiescent system, would re-trigger the count
+/// condition forever off traffic that was already acted on.
 #[derive(Debug, Clone)]
 pub struct Rebalancer {
     min_new_accesses: u64,
+    /// Phase-change trigger: fire when any shard's phase score reaches
+    /// `threshold`, at most once per `cooldown` fresh accesses.
+    phase: Option<PhaseTrigger>,
+    /// Per-shard hysteresis for the phase trigger: a shard fires once per
+    /// excursion of its score above the threshold and re-arms only after
+    /// the score falls back below it — one flip, one reactive
+    /// re-placement, however many epochs the flip takes to drain out of
+    /// the sketch window. Empty until the first phase-armed check.
+    phase_armed: Vec<bool>,
+    /// Per-shard traffic snapshots at the last fire (empty before the
+    /// first fire).
+    last_traffic: Vec<TierTraffic>,
     last_total: u64,
+    fires: u64,
     rebalances: u64,
+    phase_fires: u64,
+}
+
+/// Phase-change trigger configuration (see
+/// [`Rebalancer::with_phase_trigger`]).
+#[derive(Debug, Clone, Copy)]
+struct PhaseTrigger {
+    threshold: f64,
+    cooldown: u64,
 }
 
 impl Rebalancer {
     /// A rebalancer that re-places after every `min_new_accesses` observed
-    /// demand accesses.
+    /// demand accesses (count trigger only).
     ///
     /// # Panics
     ///
@@ -478,24 +596,149 @@ impl Rebalancer {
         assert!(min_new_accesses > 0, "need a positive rebalance period");
         Rebalancer {
             min_new_accesses,
+            phase: None,
+            phase_armed: Vec::new(),
+            last_traffic: Vec::new(),
             last_total: 0,
+            fires: 0,
             rebalances: 0,
+            phase_fires: 0,
         }
     }
 
-    /// Re-places `system` if enough fresh accesses accumulated; returns
-    /// whether anything actually moved.
+    /// Adds the phase-change trigger: fire as soon as any
+    /// significant-traffic shard's sketch phase score reaches `threshold`
+    /// (a fraction in `(0, 1]`; scores near 1 mean the latest epoch's
+    /// working set is almost entirely new), with at least `cooldown`
+    /// fresh demand accesses between phase fires — one sketch epoch is a
+    /// sensible floor. The trigger is edge-sensitive: each shard fires
+    /// once per excursion of its score above the threshold and re-arms
+    /// only after the score falls back below, so a single flip causes a
+    /// single reactive re-placement even though the score stays elevated
+    /// until the flip drains out of the sketch window (the count trigger
+    /// owns steady-state follow-up).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is not in `(0, 1]` or `cooldown` is zero.
+    pub fn with_phase_trigger(mut self, threshold: f64, cooldown: u64) -> Self {
+        assert!(
+            threshold > 0.0 && threshold <= 1.0,
+            "phase threshold must be in (0, 1]"
+        );
+        assert!(cooldown > 0, "need a positive phase cooldown");
+        self.phase = Some(PhaseTrigger {
+            threshold,
+            cooldown,
+        });
+        self
+    }
+
+    /// Re-places `system` if a trigger fired; returns whether anything
+    /// actually moved. Placement sees only the per-shard traffic deltas
+    /// since the previous fire.
+    ///
+    /// The no-fire path is cheap by construction — raw demand counters
+    /// and cached phase scores only; the full per-shard traffic (whose
+    /// `unique_keys` estimate merges each shard's sketch window) is
+    /// materialized only when a trigger actually fires. This is what
+    /// makes "call it after every batch" a reasonable contract.
     pub fn maybe_rebalance(&mut self, system: &mut ShardedRecMgSystem) -> bool {
-        let total = system.demand_accesses();
-        if total.saturating_sub(self.last_total) < self.min_new_accesses {
+        let demands = system.shard_demands();
+        let total: u64 = demands.iter().sum();
+        let fresh = total.saturating_sub(self.last_total);
+        let count_fire = fresh >= self.min_new_accesses;
+        // Hysteresis bookkeeping runs on *every* check (re-arm) and any
+        // fire consumes the currently-flipped shards (disarm) — a flip
+        // that happens to be handled by a count fire must not phase-fire
+        // again one cooldown later.
+        let qualified = self.phase_qualified(system, &demands, fresh);
+        let phase_fire =
+            !count_fire && !qualified.is_empty() && self.phase.is_some_and(|p| fresh >= p.cooldown);
+        if !count_fire && !phase_fire {
             return false;
         }
+        for &i in &qualified {
+            self.phase_armed[i] = false;
+        }
+        // Snapshot-and-delta: the policy reacts to this epoch's traffic,
+        // not to cumulative history (first fire: deltas == cumulative).
+        let stats = system.shard_traffics();
+        let deltas: Vec<TierTraffic> = if self.last_traffic.len() == stats.len() {
+            stats
+                .iter()
+                .zip(&self.last_traffic)
+                .map(|(now, before)| now.delta_since(before))
+                .collect()
+        } else {
+            stats.clone()
+        };
+        self.last_traffic = stats;
         self.last_total = total;
-        let changed = system.rebalance();
+        self.fires += 1;
+        if phase_fire {
+            self.phase_fires += 1;
+        }
+        let changed = system.rebalance_from(&deltas);
         if changed {
             self.rebalances += 1;
         }
         changed
+    }
+
+    /// Shards whose phase event is live right now: armed, carrying a
+    /// meaningful share of the fresh traffic, and scoring at or above the
+    /// threshold. Also updates the hysteresis re-arm side.
+    ///
+    /// Significance: a shard's sketch score only counts while the shard
+    /// carries at least half an even split of the fresh traffic. A
+    /// near-idle shard rotates its sketch rarely, so a single tail-key
+    /// epoch would otherwise pin a stale high score that re-fires the
+    /// trigger on every cooldown (placement churn with no workload
+    /// change). Hysteresis: a consumed (fired-on) shard stays disarmed
+    /// until its score falls back below the threshold, so one flip is
+    /// acted on once even though the score stays high for a full sketch
+    /// window.
+    fn phase_qualified(
+        &mut self,
+        system: &ShardedRecMgSystem,
+        demands: &[u64],
+        fresh: u64,
+    ) -> Vec<usize> {
+        let Some(p) = self.phase else {
+            return Vec::new();
+        };
+        let scores = system.shard_phase_scores();
+        self.phase_armed.resize(scores.len(), true);
+        // Re-arm every shard whose score dropped back below the
+        // threshold (cheap, runs on every check so re-arming is not
+        // delayed until the next fire).
+        for (armed, &score) in self.phase_armed.iter_mut().zip(&scores) {
+            if score < p.threshold {
+                *armed = true;
+            }
+        }
+        let significant = (fresh / (2 * demands.len().max(1) as u64)).max(1);
+        scores
+            .iter()
+            .enumerate()
+            .filter(|&(i, &score)| {
+                let delta = demands[i]
+                    .saturating_sub(self.last_traffic.get(i).map_or(0, TierTraffic::demand));
+                score >= p.threshold && delta >= significant && self.phase_armed[i]
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Trigger firings (whether or not placement moved anything).
+    pub fn fires(&self) -> u64 {
+        self.fires
+    }
+
+    /// Firings caused by the phase trigger rather than the access count.
+    pub fn phase_fires(&self) -> u64 {
+        self.phase_fires
     }
 
     /// Rebalances that moved at least one shard.
@@ -627,6 +870,101 @@ mod tests {
         }
     }
 
+    /// Traffic with the given sketched footprints (hits equal so hotness
+    /// order alone cannot explain sizing differences).
+    fn footprints(unique: &[u64]) -> Vec<TierTraffic> {
+        unique
+            .iter()
+            .map(|&unique_keys| TierTraffic {
+                hits: 10,
+                unique_keys,
+                ..Default::default()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cardinality_working_set_sizes_by_footprint_not_volume() {
+        let t = TierTopology::uniform(100);
+        // Shard 0 hammers few keys with huge volume; shard 1 touches many
+        // distinct keys with modest volume. Miss-mass sizing would feed
+        // shard 0; footprint sizing must feed shard 1.
+        let stats = vec![
+            TierTraffic {
+                hits: 90_000,
+                misses: 9_000,
+                unique_keys: 10,
+                ..Default::default()
+            },
+            TierTraffic {
+                hits: 1_000,
+                misses: 900,
+                unique_keys: 90,
+                ..Default::default()
+            },
+        ];
+        let policy = CardinalityWorkingSet::with_floor(5);
+        let p = policy.place(2, &t, &stats);
+        assert_eq!(p.iter().map(|s| s.capacity).sum::<usize>(), 100);
+        assert!(
+            p[1].capacity > p[0].capacity,
+            "footprint-heavy shard gets the larger share: {p:?}"
+        );
+        // Under miss mass the order flips — the two policies genuinely
+        // disagree on this workload.
+        let miss = WorkingSet::with_floor(5).place(2, &t, &stats);
+        assert!(miss[0].capacity > miss[1].capacity);
+    }
+
+    #[test]
+    fn cardinality_working_set_invariants_and_fallbacks() {
+        let t = topo_2tier(32, 96);
+        let policy = CardinalityWorkingSet::default();
+        // With footprints: exact sum + floor.
+        let p = policy.place(4, &t, &footprints(&[500, 50, 5, 0]));
+        assert_eq!(p.iter().map(|s| s.capacity).sum::<usize>(), 128);
+        for s in &p {
+            assert!(s.capacity >= 8);
+        }
+        // No footprints: falls back to miss mass.
+        let stats = mass(&[0, 0, 0, 0])
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut t)| {
+                t.misses = [100, 10, 1, 1][i];
+                t
+            })
+            .collect::<Vec<_>>();
+        let p = policy.place(4, &t, &stats);
+        assert!(p[0].capacity > p[1].capacity, "miss-mass fallback: {p:?}");
+        // No observations at all: even shares.
+        let p = policy.place(4, &t, &[]);
+        for s in &p {
+            assert_eq!(s.capacity, 32);
+        }
+        assert_eq!(policy.name(), "cardinality_working_set");
+    }
+
+    #[test]
+    fn cardinality_working_set_one_shard_takes_everything() {
+        let t = topo_2tier(16, 48);
+        let p = CardinalityWorkingSet::default().place(1, &t, &footprints(&[123]));
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].capacity, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "phase threshold must be in (0, 1]")]
+    fn phase_trigger_threshold_validated() {
+        let _ = Rebalancer::new(10).with_phase_trigger(1.5, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive phase cooldown")]
+    fn phase_trigger_cooldown_validated() {
+        let _ = Rebalancer::new(10).with_phase_trigger(0.5, 0);
+    }
+
     #[test]
     fn assign_tiers_overflow_lands_in_last_tier() {
         let t = topo_2tier(4, 4);
@@ -648,6 +986,7 @@ mod tests {
                 misses: 3,
                 prefetch_fills: 1,
                 cost_ns: 1234,
+                unique_keys: 5,
             },
         };
         let json = u.to_json();

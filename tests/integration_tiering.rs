@@ -13,8 +13,9 @@
 use proptest::prelude::*;
 
 use recmg_repro::core::{
-    train_recmg, CachingModel, EvenSplit, FrequencyRankCodec, GuidanceMode, HotFirst, MemoryTier,
-    PlacementPolicy, Rebalancer, RecMgConfig, ShardedRecMgSystem, SystemBuilder, TierCost,
+    train_recmg, CachingModel, CardinalitySketch, CardinalityWorkingSet, EvenSplit,
+    FrequencyRankCodec, GuidanceMode, HotFirst, MemoryTier, PlacementPolicy, Rebalancer,
+    RecMgConfig, ShardRouter, ShardedRecMgSystem, SketchConfig, SystemBuilder, TierCost,
     TierTopology, TierTraffic, TierUsage, TrainOptions, WorkingSet,
 };
 use recmg_repro::dlrm::{BatchAccessStats, BufferManager};
@@ -47,7 +48,7 @@ proptest! {
     #[test]
     fn placement_policies_preserve_one_shard_serving(
         keys in prop::collection::vec(key_strategy(), 1..400),
-        policy_idx in 0usize..3,
+        policy_idx in 0usize..4,
     ) {
         let cfg = RecMgConfig::tiny();
         let caching = CachingModel::new(&cfg);
@@ -58,6 +59,7 @@ proptest! {
         let mut other: ShardedRecMgSystem = match policy_idx {
             0 => one_shard_system(&caching, codec, EvenSplit),
             1 => one_shard_system(&caching, codec, WorkingSet::default()),
+            2 => one_shard_system(&caching, codec, CardinalityWorkingSet::default()),
             _ => one_shard_system(&caching, codec, HotFirst),
         };
         let mut a = BatchAccessStats::default();
@@ -74,6 +76,114 @@ proptest! {
         let cap_before = other.capacity();
         other.rebalance();
         prop_assert_eq!(other.capacity(), cap_before);
+    }
+
+    /// CardinalityWorkingSet mirrors the WorkingSet invariants with the
+    /// sketched footprint as mass: shares sum *exactly* to the topology
+    /// capacity, every shard keeps the floor, tier indices stay in range,
+    /// and on one shard it degenerates to the same whole-capacity
+    /// placement as EvenSplit (the policy-parity oracle).
+    #[test]
+    fn cardinality_working_set_apportionment_invariants(
+        footprints in prop::collection::vec(0u64..1_000_000, 1..17),
+        floor in 1usize..8,
+        fast in 8usize..64,
+        slow in 8usize..192,
+    ) {
+        let n = footprints.len();
+        let topology = TierTopology::two_tier(fast, slow);
+        let total = topology.total_capacity();
+        let policy = CardinalityWorkingSet::with_floor(floor);
+        let stats: Vec<TierTraffic> = footprints
+            .iter()
+            .map(|&unique_keys| TierTraffic {
+                hits: unique_keys, // give hotness order something too
+                unique_keys,
+                ..Default::default()
+            })
+            .collect();
+        let placements = policy.place(n, &topology, &stats);
+        prop_assert_eq!(placements.len(), n);
+        let sum: usize = placements.iter().map(|p| p.capacity).sum();
+        let total_mass: u64 = footprints.iter().sum();
+        if total_mass > 0 && total >= n * floor {
+            prop_assert_eq!(sum, total, "shares sum exactly to total capacity");
+            for p in &placements {
+                prop_assert!(p.capacity >= floor, "floor violated: {:?}", placements);
+            }
+        } else {
+            for p in &placements {
+                prop_assert_eq!(p.capacity, total.div_ceil(n).max(1));
+            }
+        }
+        for p in &placements {
+            prop_assert!(p.tier < topology.num_tiers());
+        }
+        // 1-shard parity: whatever the footprint, a single shard owns the
+        // whole topology capacity — exactly EvenSplit's placement.
+        let single = policy.place(1, &topology, &stats[..1]);
+        prop_assert_eq!(single, EvenSplit.place(1, &topology, &[]));
+    }
+
+    /// The HLL error bound at m=256 registers, end to end through the
+    /// demand path: feed an arbitrary key stream through a RecMG buffer
+    /// and compare its sketched footprint against the true distinct count
+    /// (exact below the sketch threshold, within the estimator's hard
+    /// error cap above it — the distributional ≤3σ assertion lives in the
+    /// sketch's own unit suite, where the case count is controlled).
+    #[test]
+    fn sketched_footprint_tracks_true_distinct_count(
+        keys in prop::collection::vec(key_strategy(), 1..600),
+    ) {
+        use recmg_repro::core::RecMgBuffer;
+        let mut buffer = RecMgBuffer::new(32, 4);
+        let mut truth = std::collections::HashSet::new();
+        for &k in &keys {
+            buffer.access(k);
+            truth.insert(k);
+        }
+        let n = truth.len() as f64;
+        let est = buffer.working_set().unique_keys as f64;
+        if truth.len() <= 64 {
+            prop_assert_eq!(est, n, "exact below the sketch threshold");
+        } else {
+            let cap = 4.5 * (1.04 / (256f64).sqrt()) * n;
+            prop_assert!(
+                (est - n).abs() <= cap,
+                "footprint {est} vs true {n} (cap ±{cap:.0})"
+            );
+        }
+        // The traffic snapshot carries the same footprint placement sees.
+        prop_assert_eq!(buffer.traffic().unique_keys, est as u64);
+    }
+
+    /// Sketch merge laws hold for the sketches the shards actually build:
+    /// merging per-shard sketches of a partitioned stream in any order
+    /// equals sketching the whole stream.
+    #[test]
+    fn partitioned_sketches_merge_to_the_whole(
+        keys in prop::collection::vec(key_strategy(), 1..500),
+        shards in 2usize..5,
+    ) {
+        let router = ShardRouter::new(shards);
+        let mut parts: Vec<CardinalitySketch> =
+            (0..shards).map(|_| CardinalitySketch::new(256, 64)).collect();
+        let mut whole = CardinalitySketch::new(256, 64);
+        for &k in &keys {
+            parts[router.shard_of(k)].insert(k.as_u64());
+            whole.insert(k.as_u64());
+        }
+        // Left fold and right fold agree with each other and the whole.
+        let mut left = CardinalitySketch::new(256, 64);
+        for p in &parts {
+            left.merge(p);
+        }
+        let mut right = CardinalitySketch::new(256, 64);
+        for p in parts.iter().rev() {
+            right.merge(p);
+        }
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(&left, &whole);
     }
 
     /// WorkingSet shares always sum exactly to the topology capacity and
@@ -138,6 +248,132 @@ fn working_set_sizing_tracks_mass_and_floor() {
     // floor lands the dominant shard at 92.
     assert!(caps[0] >= 90, "dominant shard takes the bulk: {caps:?}");
     assert_eq!(caps[3], 6, "coldest shard pinned at the floor: {caps:?}");
+}
+
+/// Distinct keys routed to one shard: row ids walk upward from `salt`
+/// until `n` keys of the right home shard are found (deterministic).
+fn shard_keys(router: &ShardRouter, shard: usize, n: usize, salt: u64) -> Vec<VectorKey> {
+    (0..)
+        .map(|i| VectorKey::new(TableId(3), RowId(salt + i as u64)))
+        .filter(|&k| router.shard_of(k) == shard)
+        .take(n)
+        .collect()
+}
+
+/// Deterministic phase-change reaction: a skewed stream flips its hot
+/// shard mid-session; the phase-triggered rebalancer must fire within two
+/// sketch epochs of the flip (the score can only update at the first
+/// epoch rotation that *completes after* the flip, and the flip may land
+/// mid-epoch — so "within one epoch of the flip becoming observable"),
+/// and the post-rebalance fast-tier assignment must follow the new hot
+/// shard. No wall-clock anywhere: sequential serving, access-counted
+/// epochs, fixed key streams.
+#[test]
+fn phase_change_rebalances_within_one_epoch() {
+    const EPOCH: u64 = 64;
+    const BATCH: usize = 64;
+    let cfg = RecMgConfig::tiny();
+    let caching = CachingModel::new(&cfg);
+    let codec = FrequencyRankCodec::from_accesses(&[VectorKey::new(TableId(0), RowId(1))]);
+    // Fast tier sized to hold a footprint-grown hot share (shares are
+    // sized before tiers are assigned — see the WorkingSet docs).
+    let mut sys = SystemBuilder::new(&caching, None, codec)
+        .shards(2)
+        .topology(TierTopology::two_tier(112, 16))
+        .placement(CardinalityWorkingSet::with_floor(8))
+        .guidance(GuidanceMode::Inline)
+        .sketch(SketchConfig {
+            epoch_len: EPOCH,
+            window_epochs: 4,
+            ..SketchConfig::default()
+        })
+        .build();
+    let router = sys.router();
+    // Hot sets: 40 distinct keys each, homed on opposite shards; each
+    // shard also keeps a small stationary background set so its tracker
+    // always has window history to score new epochs against.
+    let hot_a = shard_keys(&router, 0, 40, 0);
+    let hot_b = shard_keys(&router, 1, 40, 10_000);
+    let bg_a = shard_keys(&router, 0, 10, 20_000);
+    let bg_b = shard_keys(&router, 1, 10, 30_000);
+    // One batch: 44 hot keys (cycling the hot set) + 10 background keys
+    // for each shard.
+    let batch = |hot: &[VectorKey], round: usize| -> Vec<VectorKey> {
+        let mut keys = Vec::with_capacity(BATCH);
+        for i in 0..44 {
+            keys.push(hot[(round * 44 + i) % hot.len()]);
+        }
+        keys.extend_from_slice(&bg_a);
+        keys.extend_from_slice(&bg_b);
+        keys
+    };
+    // Count trigger sized so it fires during phase A (establishing the
+    // pre-flip snapshot) but cannot beat the phase trigger after the
+    // flip; phase trigger: score ≥ 0.5, at most once per epoch.
+    let mut rb = Rebalancer::new(8 * EPOCH).with_phase_trigger(0.5, EPOCH);
+    // Phase A: shard 0 hot, long enough for one count fire (8 epochs of
+    // accesses = 8 batches) plus stationary follow-up.
+    for round in 0..9 {
+        sys.process_batch(&batch(&hot_a, round));
+        rb.maybe_rebalance(&mut sys);
+    }
+    assert!(rb.fires() >= 1, "count trigger establishes the baseline");
+    assert_eq!(rb.phase_fires(), 0, "stationary phase must not phase-fire");
+    assert_eq!(
+        sys.shard_tier(0),
+        0,
+        "phase A: hot shard 0 owns the fast tier"
+    );
+    let fires_before = rb.fires();
+    // Flip: shard 1 becomes hot. The phase trigger must fire within two
+    // epochs' worth of accesses (128 = 2 batches).
+    let mut fired_after_batches = None;
+    for round in 0..6 {
+        sys.process_batch(&batch(&hot_b, round));
+        if rb.maybe_rebalance(&mut sys) && fired_after_batches.is_none() {
+            fired_after_batches = Some(round + 1);
+            break;
+        }
+    }
+    let fired_after = fired_after_batches.expect("phase trigger never fired after the flip");
+    assert!(
+        fired_after as u64 * (BATCH as u64) <= 2 * EPOCH,
+        "fired only after {fired_after} batches (> 2 epochs of accesses)"
+    );
+    assert!(
+        rb.phase_fires() >= 1,
+        "the fire came from the phase trigger"
+    );
+    assert_eq!(rb.fires(), fires_before + 1);
+    // Post-rebalance placement follows the new hot shard immediately:
+    // shard 1 owns the fast tier within one epoch of the flip.
+    assert_eq!(
+        sys.shard_tier(1),
+        0,
+        "new hot shard routed to the fast tier"
+    );
+    assert_eq!(
+        sys.shard_tier(0),
+        1,
+        "old hot shard demoted to the slow tier"
+    );
+    assert_eq!(sys.capacity(), 128, "shares still sum to the topology");
+    // Keep serving the flipped workload: once the old hot set ages out of
+    // shard 0's sketch window, the periodic fires hand the capacity share
+    // to the new hot shard too (tier routing reacted within an epoch; the
+    // sizing signal follows at window speed, by design).
+    for round in 6..38 {
+        sys.process_batch(&batch(&hot_b, round));
+        rb.maybe_rebalance(&mut sys);
+    }
+    assert_eq!(sys.shard_tier(1), 0, "fast-tier routing is stable");
+    assert!(
+        sys.shard_buffer(1).capacity() > sys.shard_buffer(0).capacity(),
+        "capacity follows the flip: {} vs {}",
+        sys.shard_buffer(0).capacity(),
+        sys.shard_buffer(1).capacity()
+    );
+    assert_eq!(sys.capacity(), 128, "shares still sum to the topology");
 }
 
 /// The two equal-share policies the end-to-end test compares.
