@@ -1,25 +1,31 @@
 //! Criterion microbench for the guidance-plane model forwards: per-item
-//! versus batched inference for both guidance models at B ∈ {1, 4, 16}.
+//! versus batched inference for both guidance models at B ∈ {1, 4, 16},
+//! in f32 and int8-quantized weight precision.
 //!
 //! This is the kernel-level evidence behind the coalescing guidance plane
 //! (`ServingSession` in background mode): the batched kernels read each
-//! weight matrix once per batch instead of once per chunk and keep every
-//! intermediate in a reused [`FastScratch`], so the per-chunk cost of
-//! guidance falls as the plane drains deeper backlogs.
+//! weight matrix once per batch instead of once per chunk, run the
+//! runtime-dispatched SIMD lane across the interleaved batch axis, and
+//! keep every intermediate in a reused [`FastScratch`], so the per-chunk
+//! cost of guidance falls as the plane drains deeper backlogs.
 //!
 //! Besides the Criterion timings, a single-shot measured sweep writes
 //! `BENCH_guidance.json` (workspace root, or under `RECMG_OUT`) with
-//! per-chunk microseconds for the single and batched paths and the
-//! resulting speedup, per model and batch size. Set `RECMG_SMOKE=1` to run
-//! a reduced-repetition smoke pass (CI uses this to keep the bench target
-//! exercised without burning minutes).
+//! per-chunk microseconds (min and mean over the repetitions) for the
+//! single and batched paths and the resulting min-over-min speedup, per
+//! model, precision, and batch size, plus the kernel lane the run
+//! dispatched to. Set `RECMG_SMOKE=1` to run a reduced-repetition smoke
+//! pass (CI uses this to keep the bench target exercised without burning
+//! minutes); the committed artifact is generated without `RECMG_SMOKE`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use std::path::PathBuf;
 use std::time::Instant;
 
-use recmg_core::{CachingModel, FastScratch, PrefetchModel, RecMgConfig};
+use recmg_core::{
+    active_lane, CachingModel, FastScratch, GuidancePrecision, PrefetchModel, RecMgConfig,
+};
 use recmg_trace::{RowId, TableId, VectorKey};
 
 /// Deterministic chunks of `input_len` keys each.
@@ -38,100 +44,173 @@ fn chunks(cfg: &RecMgConfig, n: usize) -> Vec<Vec<VectorKey>> {
         .collect()
 }
 
-/// Mean microseconds per chunk over `reps` runs of `f` (which processes
-/// `batch` chunks per run).
-fn us_per_chunk<F: FnMut()>(reps: usize, batch: usize, mut f: F) -> f64 {
-    f(); // warmup
-    let start = Instant::now();
+/// (min, mean) microseconds per chunk for two alternatives over `reps`
+/// paired timed runs (each run processes `batch` chunks). The two
+/// closures are measured back to back within each repetition so slow
+/// clock/thermal drift on a shared box hits both sides equally; the min
+/// is the noise-resistant statistic the speedup is computed from, the
+/// mean is reported alongside for context.
+fn paired_us_per_chunk<A: FnMut(), B: FnMut()>(
+    reps: usize,
+    batch: usize,
+    mut a: A,
+    mut b: B,
+) -> ((f64, f64), (f64, f64)) {
+    a(); // warmup
+    b();
+    let mut mins = (f64::INFINITY, f64::INFINITY);
+    let mut sums = (0.0, 0.0);
     for _ in 0..reps {
-        f();
+        let start = Instant::now();
+        a();
+        let us = start.elapsed().as_secs_f64() * 1e6 / batch as f64;
+        mins.0 = mins.0.min(us);
+        sums.0 += us;
+        let start = Instant::now();
+        b();
+        let us = start.elapsed().as_secs_f64() * 1e6 / batch as f64;
+        mins.1 = mins.1.min(us);
+        sums.1 += us;
     }
-    start.elapsed().as_secs_f64() * 1e6 / (reps * batch) as f64
+    let n = reps as f64;
+    ((mins.0, sums.0 / n), (mins.1, sums.1 / n))
+}
+
+struct Row {
+    model: &'static str,
+    precision: &'static str,
+    batch: usize,
+    single: (f64, f64),
+    batched: (f64, f64),
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.single.0 / self.batched.0.max(1e-9)
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\"model\": \"{}\", \"precision\": \"{}\", \"batch\": {}, ",
+                "\"single_us_per_chunk_min\": {:.2}, \"single_us_per_chunk_mean\": {:.2}, ",
+                "\"batched_us_per_chunk_min\": {:.2}, \"batched_us_per_chunk_mean\": {:.2}, ",
+                "\"speedup\": {:.3}}}"
+            ),
+            self.model,
+            self.precision,
+            self.batch,
+            self.single.0,
+            self.single.1,
+            self.batched.0,
+            self.batched.1,
+            self.speedup(),
+        )
+    }
 }
 
 fn bench_guidance_forward(c: &mut Criterion) {
     let smoke = std::env::var("RECMG_SMOKE").is_ok();
-    let reps = if smoke { 3 } else { 40 };
+    let reps = if smoke { 3 } else { 120 };
     let cfg = RecMgConfig::default();
-    let cm = CachingModel::new(&cfg).compile();
-    let pm = PrefetchModel::new(&cfg).compile();
+    let lane = active_lane().name();
     let mut scratch = FastScratch::default();
 
-    let mut rows = Vec::new();
+    let cm_model = CachingModel::new(&cfg);
+    let pm_model = PrefetchModel::new(&cfg);
+    let precisions = [GuidancePrecision::F32, GuidancePrecision::Int8];
+
+    let mut rows: Vec<Row> = Vec::new();
     let mut group = c.benchmark_group("guidance_forward");
     group.sample_size(if smoke { 2 } else { 10 });
-    for &batch in &[1usize, 4, 16] {
-        let data = chunks(&cfg, batch);
-        let refs: Vec<&[VectorKey]> = data.iter().map(Vec::as_slice).collect();
-        group.throughput(Throughput::Elements((batch * cfg.input_len) as u64));
+    for precision in precisions {
+        let cm = cm_model.compile_with(precision);
+        let pm = pm_model.compile_with(precision);
+        let pname = precision.name();
+        for &batch in &[1usize, 4, 16] {
+            let data = chunks(&cfg, batch);
+            let refs: Vec<&[VectorKey]> = data.iter().map(Vec::as_slice).collect();
+            group.throughput(Throughput::Elements((batch * cfg.input_len) as u64));
 
-        group.bench_with_input(BenchmarkId::new("caching_single", batch), &batch, |b, _| {
-            b.iter(|| {
-                for chunk in &refs {
-                    black_box(cm.probs(chunk));
-                }
-            })
-        });
-        group.bench_with_input(
-            BenchmarkId::new("caching_batched", batch),
-            &batch,
-            |b, _| b.iter(|| black_box(cm.probs_batch_with(&refs, &mut scratch))),
-        );
-        let cm_single = us_per_chunk(reps, batch, || {
-            for chunk in &refs {
-                black_box(cm.probs(chunk));
-            }
-        });
-        let cm_batched = us_per_chunk(reps, batch, || {
-            black_box(cm.probs_batch_with(&refs, &mut scratch));
-        });
+            group.bench_with_input(
+                BenchmarkId::new(format!("caching_single_{pname}"), batch),
+                &batch,
+                |b, _| {
+                    b.iter(|| {
+                        for chunk in &refs {
+                            black_box(cm.probs(chunk));
+                        }
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("caching_batched_{pname}"), batch),
+                &batch,
+                |b, _| b.iter(|| black_box(cm.probs_batch_with(&refs, &mut scratch))),
+            );
+            let (cm_single, cm_batched) = paired_us_per_chunk(
+                reps,
+                batch,
+                || {
+                    for chunk in &refs {
+                        black_box(cm.probs(chunk));
+                    }
+                },
+                || {
+                    black_box(cm.probs_batch_with(&refs, &mut scratch));
+                },
+            );
 
-        group.bench_with_input(
-            BenchmarkId::new("prefetch_single", batch),
-            &batch,
-            |b, _| {
-                b.iter(|| {
+            group.bench_with_input(
+                BenchmarkId::new(format!("prefetch_single_{pname}"), batch),
+                &batch,
+                |b, _| {
+                    b.iter(|| {
+                        for chunk in &refs {
+                            black_box(pm.codes(chunk));
+                        }
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("prefetch_batched_{pname}"), batch),
+                &batch,
+                |b, _| b.iter(|| black_box(pm.codes_batch_with(&refs, &mut scratch))),
+            );
+            let (pm_single, pm_batched) = paired_us_per_chunk(
+                reps,
+                batch,
+                || {
                     for chunk in &refs {
                         black_box(pm.codes(chunk));
                     }
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("prefetch_batched", batch),
-            &batch,
-            |b, _| b.iter(|| black_box(pm.codes_batch_with(&refs, &mut scratch))),
-        );
-        let pm_single = us_per_chunk(reps, batch, || {
-            for chunk in &refs {
-                black_box(pm.codes(chunk));
-            }
-        });
-        let pm_batched = us_per_chunk(reps, batch, || {
-            black_box(pm.codes_batch_with(&refs, &mut scratch));
-        });
-
-        for (model, single, batched) in [
-            ("caching", cm_single, cm_batched),
-            ("prefetch", pm_single, pm_batched),
-        ] {
-            println!(
-                "guidance_forward/{model}/B{batch}: single {single:.1} us/chunk, \
-                 batched {batched:.1} us/chunk ({:.2}x)",
-                single / batched.max(1e-9)
+                },
+                || {
+                    black_box(pm.codes_batch_with(&refs, &mut scratch));
+                },
             );
-            rows.push(format!(
-                concat!(
-                    "    {{\"model\": \"{}\", \"batch\": {}, ",
-                    "\"single_us_per_chunk\": {:.2}, \"batched_us_per_chunk\": {:.2}, ",
-                    "\"speedup\": {:.3}}}"
-                ),
-                model,
-                batch,
-                single,
-                batched,
-                single / batched.max(1e-9),
-            ));
+
+            for (model, single, batched) in [
+                ("caching", cm_single, cm_batched),
+                ("prefetch", pm_single, pm_batched),
+            ] {
+                let row = Row {
+                    model,
+                    precision: pname,
+                    batch,
+                    single,
+                    batched,
+                };
+                println!(
+                    "guidance_forward/{model}/{pname}/B{batch}: \
+                     single {:.1} us/chunk (min), batched {:.1} us/chunk (min), \
+                     {:.2}x on {lane}",
+                    row.single.0,
+                    row.batched.0,
+                    row.speedup(),
+                );
+                rows.push(row);
+            }
         }
     }
     group.finish();
@@ -139,13 +218,19 @@ fn bench_guidance_forward(c: &mut Criterion) {
     let json = format!(
         concat!(
             "{{\n  \"bench\": \"guidance_forward\",\n",
-            "  \"input_len\": {}, \"output_len\": {}, \"smoke\": {},\n",
+            "  \"input_len\": {}, \"output_len\": {}, \"reps\": {}, ",
+            "\"kernel_lane\": \"{}\", \"smoke\": {},\n",
             "  \"results\": [\n{}\n  ]\n}}\n"
         ),
         cfg.input_len,
         cfg.output_len,
+        reps,
+        lane,
         smoke,
-        rows.join(",\n"),
+        rows.iter()
+            .map(Row::to_json)
+            .collect::<Vec<_>>()
+            .join(",\n"),
     );
     let out_dir = std::env::var("RECMG_OUT")
         .map(PathBuf::from)

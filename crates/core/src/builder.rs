@@ -29,7 +29,7 @@ use std::sync::Arc;
 
 use crate::caching_model::CachingModel;
 use crate::codec::FrequencyRankCodec;
-use crate::config::SketchConfig;
+use crate::config::{GuidancePrecision, SketchConfig};
 use crate::engine::GuidanceMode;
 use crate::prefetch_model::PrefetchModel;
 use crate::sharding::{GuidanceCtx, Shard, ShardRouter, ShardedRecMgSystem};
@@ -54,6 +54,7 @@ pub struct SystemBuilder<'a> {
     placement: Arc<dyn PlacementPolicy>,
     guidance: GuidanceMode,
     sketch: SketchConfig,
+    precision: GuidancePrecision,
 }
 
 impl<'a> SystemBuilder<'a> {
@@ -73,6 +74,7 @@ impl<'a> SystemBuilder<'a> {
             placement: Arc::new(EvenSplit),
             guidance: GuidanceMode::default(),
             sketch: SketchConfig::default(),
+            precision: GuidancePrecision::default(),
         }
     }
 
@@ -129,6 +131,21 @@ impl<'a> SystemBuilder<'a> {
         self.guidance
     }
 
+    /// Weight precision of the compiled guidance models (default
+    /// [`GuidancePrecision::F32`]). [`GuidancePrecision::Int8`] quantizes
+    /// every weight matrix at build time — §VI-C's quantization
+    /// optimization — shrinking guidance weight traffic ~4× at a bounded
+    /// hit-rate delta.
+    pub fn precision(mut self, precision: GuidancePrecision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// The configured guidance-model precision.
+    pub fn guidance_precision(&self) -> GuidancePrecision {
+        self.precision
+    }
+
     /// Shape of the per-shard working-set sketches (default
     /// [`SketchConfig::default`]): HLL register count, exact-mode
     /// threshold, and the sliding epoch window the phase-change trigger
@@ -168,8 +185,10 @@ impl<'a> SystemBuilder<'a> {
             .collect();
         ShardedRecMgSystem {
             ctx: GuidanceCtx {
-                caching: Arc::new(self.caching.compile()),
-                prefetch: self.prefetch.map(|p| Arc::new(p.compile())),
+                caching: Arc::new(self.caching.compile_with(self.precision)),
+                prefetch: self
+                    .prefetch
+                    .map(|p| Arc::new(p.compile_with(self.precision))),
                 codec: Arc::new(self.codec),
                 prefetch_warmup: RecMgSystem::PREFETCH_WARMUP.div_ceil(self.shards as u64),
                 cfg,
@@ -266,5 +285,14 @@ mod tests {
     fn builder_without_topology_panics() {
         let (cm, _pm, codec) = parts();
         let _ = SystemBuilder::new(&cm, None, codec).shards(2).build();
+    }
+
+    #[test]
+    fn builder_threads_precision_into_compiled_models() {
+        let (cm, pm, codec) = parts();
+        let b = SystemBuilder::new(&cm, Some(&pm), codec).capacity(8);
+        assert_eq!(b.guidance_precision(), GuidancePrecision::F32);
+        let sys = b.precision(GuidancePrecision::Int8).build();
+        assert!(sys.guidance_models_quantized());
     }
 }

@@ -16,8 +16,8 @@ use recmg_tensor::optim::{Adam, Optimizer};
 use recmg_tensor::{ParamStore, Tape, Tensor, Var};
 use recmg_trace::VectorKey;
 
-use crate::config::RecMgConfig;
-use crate::fast::{FastLstm, FastScratch, FastStack};
+use crate::config::{GuidancePrecision, RecMgConfig};
+use crate::fast::{FastLstm, FastMat, FastScratch, FastStack};
 use crate::labeling::Chunk;
 
 /// Outcome of a training run.
@@ -252,18 +252,27 @@ impl CachingModel {
     }
 
     /// Compiles a fast, tape-free inference snapshot of the current
-    /// weights for online serving (§VI-C).
+    /// weights for online serving (§VI-C), at exact `f32` precision.
     pub fn compile(&self) -> FastCachingModel {
+        self.compile_with(GuidancePrecision::default())
+    }
+
+    /// Compiles with an explicit weight precision:
+    /// [`GuidancePrecision::Int8`] quantizes every weight matrix at build
+    /// time (§VI-C's quantization optimization), shrinking weight traffic
+    /// ~4× at a bounded output divergence.
+    pub fn compile_with(&self, precision: GuidancePrecision) -> FastCachingModel {
         let emb = self.store.value(self.emb.params()[0]).clone();
         let sids = self.stacks.params();
         let stacks = (0..self.stacks.n_stacks())
             .map(|s| {
                 let w = |i: usize| self.store.value(sids[8 * s + i]).clone();
                 FastStack::new(
-                    FastLstm::new(w(0), w(1), w(2)),
-                    FastLstm::new(w(3), w(4), w(5)),
+                    FastLstm::new(w(0), w(1), w(2), precision),
+                    FastLstm::new(w(3), w(4), w(5), precision),
                     w(6),
                     w(7),
+                    precision,
                 )
             })
             .collect();
@@ -271,9 +280,10 @@ impl CachingModel {
             vocab: self.cfg.vocab,
             emb,
             stacks,
-            head_w: self.store.value(self.head.weight_id()).clone(),
+            head_w: FastMat::compile(self.store.value(self.head.weight_id()).clone(), precision),
             head_b: self.store.value(self.head.bias_id()).clone(),
             threshold: self.threshold,
+            precision,
         }
     }
 
@@ -306,12 +316,31 @@ pub struct FastCachingModel {
     vocab: usize,
     emb: Tensor,
     stacks: Vec<FastStack>,
-    head_w: Tensor,
+    head_w: FastMat,
     head_b: Tensor,
     threshold: f32,
+    precision: GuidancePrecision,
 }
 
 impl FastCachingModel {
+    /// The weight precision this snapshot was compiled at.
+    pub fn precision(&self) -> GuidancePrecision {
+        self.precision
+    }
+
+    /// Whether the weights are int8-quantized.
+    pub fn is_quantized(&self) -> bool {
+        self.precision == GuidancePrecision::Int8
+    }
+
+    /// Weight footprint in bytes (embedding table included).
+    pub fn size_bytes(&self) -> usize {
+        self.emb.len() * std::mem::size_of::<f32>()
+            + self.stacks.iter().map(FastStack::size_bytes).sum::<usize>()
+            + self.head_w.size_bytes()
+            + self.head_b.len() * std::mem::size_of::<f32>()
+    }
+
     /// Per-position keep probabilities (matches
     /// [`CachingModel::predict_probs`] to ≤1e-5) — the batch-of-one case
     /// of [`FastCachingModel::probs_batch`].
@@ -335,11 +364,12 @@ impl FastCachingModel {
 
     /// Per-position keep probabilities for many chunks, batched and
     /// allocation-light: chunks are bucketed by length, each bucket runs
-    /// one time-major `[t, bsz, d]` forward through the LSTM stacks (one
-    /// pass over the weights per bucket, not per chunk), and the head runs
-    /// as a single `[t·bsz]`-row dense batch. Per chunk, the result is
+    /// one batch-interleaved time-major `[t, d, bsz]` forward through the
+    /// LSTM stacks (one pass over the weights per bucket, not per chunk)
+    /// on the runtime-selected kernel lane, and the head runs one
+    /// interleaved dense batch per step. Per chunk, the result is
     /// bit-identical to [`FastCachingModel::probs`]: lanes are independent
-    /// and each lane's f32 operation sequence matches the single-item
+    /// and each item's f32 operation sequence matches the single-item
     /// path.
     pub fn probs_batch_with(
         &self,
@@ -347,18 +377,32 @@ impl FastCachingModel {
         scratch: &mut FastScratch,
     ) -> Vec<Vec<f32>> {
         let mut out: Vec<Vec<f32>> = chunks.iter().map(|c| vec![0.0f32; c.len()]).collect();
+        let lane = crate::fast::active_lane();
+        let h = self.head_w.rows();
         crate::fast::forward_buckets(
+            lane,
             &self.emb,
             self.vocab,
             &self.stacks,
             None,
             chunks,
             scratch,
-            |bucket, t, bsz, cur, spare| {
-                // Head over all positions at once: [t·bsz, h] → [t·bsz, 1].
+            |bucket, t, bsz, cur, spare, qs| {
+                // Head per step group: [h, bsz] → [1, bsz]; `spare`
+                // collects the interleaved [t, bsz] logits.
                 spare.clear();
                 spare.resize(t * bsz, 0.0);
-                crate::fast::fast_linear_batch(&self.head_w, &self.head_b, t * bsz, cur, spare);
+                for ti in 0..t {
+                    crate::fast::fast_linear_batch(
+                        lane,
+                        &self.head_w,
+                        &self.head_b,
+                        bsz,
+                        &cur[ti * h * bsz..(ti + 1) * h * bsz],
+                        &mut spare[ti * bsz..(ti + 1) * bsz],
+                        qs,
+                    );
+                }
                 for (b, &ci) in bucket.iter().enumerate() {
                     for ti in 0..t {
                         out[ci][ti] = recmg_tensor::stable_sigmoid(spare[ti * bsz + b]);
@@ -468,6 +512,32 @@ mod tests {
             assert!((x - y).abs() < 1e-5, "tape {x} vs fast {y}");
         }
         assert_eq!(m.predict(&keys), fast.predict(&keys));
+    }
+
+    #[test]
+    fn quantized_compile_shrinks_and_tracks_f32() {
+        let cfg = RecMgConfig::tiny();
+        let m = CachingModel::new(&cfg);
+        let f = m.compile();
+        let q = m.compile_with(GuidancePrecision::Int8);
+        assert!(!f.is_quantized());
+        assert!(q.is_quantized());
+        assert_eq!(q.precision(), GuidancePrecision::Int8);
+        // Embedding + biases stay f32, so the shrink is below 4× but must
+        // be substantial (> 1.5× even at tiny dims).
+        assert!(
+            q.size_bytes() * 3 < f.size_bytes() * 2,
+            "{} vs {}",
+            q.size_bytes(),
+            f.size_bytes()
+        );
+        let keys: Vec<VectorKey> = (0..cfg.input_len as u64).map(|r| key(r * 3 % 29)).collect();
+        let pf = f.probs(&keys);
+        let pq = q.probs(&keys);
+        assert_eq!(pf.len(), pq.len());
+        for (a, b) in pf.iter().zip(&pq) {
+            assert!((a - b).abs() < 0.25, "f32 {a} vs int8 {b}");
+        }
     }
 
     #[test]

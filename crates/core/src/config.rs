@@ -14,6 +14,35 @@
 
 use std::time::Duration;
 
+/// Numeric precision of the compiled guidance-model weights (§VI-C lists
+/// quantization among the serving-path optimizations).
+///
+/// Selected at compile time via
+/// [`SystemBuilder::precision`](crate::SystemBuilder::precision); `F32`
+/// keeps the exact training weights, `Int8` stores every weight matrix as
+/// a symmetric per-tensor [`QuantizedMatrix`](recmg_tensor::quant::QuantizedMatrix)
+/// (biases and the embedding table stay `f32`), trading a bounded output
+/// divergence for ~4× smaller weight traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum GuidancePrecision {
+    /// Exact `f32` weights (the default).
+    #[default]
+    F32,
+    /// Symmetric per-tensor int8 weights with dynamic per-lane activation
+    /// quantization.
+    Int8,
+}
+
+impl GuidancePrecision {
+    /// Stable lower-case name used in reports and bench JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            GuidancePrecision::F32 => "f32",
+            GuidancePrecision::Int8 => "int8",
+        }
+    }
+}
+
 /// Configuration shared by both models and the buffer manager.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RecMgConfig {

@@ -88,6 +88,11 @@ pub struct GuidancePlaneReport {
     /// holds this near `shards × max_lag` or below — it is the lag signal
     /// a capacity planner should watch.
     pub late_chunks: u64,
+    /// Kernel lane the guidance forwards ran on: the runtime-dispatched
+    /// SIMD lane plus a `+int8` suffix when the compiled models are
+    /// quantized (`"scalar"`, `"avx2"`, `"scalar+int8"`, `"avx2+int8"`).
+    /// Empty in a default report that never touched a system.
+    pub kernel_lane: &'static str,
 }
 
 impl GuidancePlaneReport {
@@ -104,7 +109,8 @@ impl GuidancePlaneReport {
         format!(
             concat!(
                 "{{\"model_forwards\": {}, \"drains\": {}, \"chunks\": {}, ",
-                "\"mean_batch\": {:.2}, \"max_batch\": {}, \"late_chunks\": {}}}"
+                "\"mean_batch\": {:.2}, \"max_batch\": {}, \"late_chunks\": {}, ",
+                "\"kernel_lane\": \"{}\"}}"
             ),
             self.model_forwards,
             self.drains,
@@ -112,6 +118,7 @@ impl GuidancePlaneReport {
             self.mean_batch(),
             self.max_batch,
             self.late_chunks,
+            self.kernel_lane,
         )
     }
 }
@@ -394,6 +401,7 @@ mod tests {
             "\"model_forwards\"",
             "\"mean_batch\"",
             "\"late_chunks\"",
+            "\"kernel_lane\"",
             "\"access_cost_ns\"",
             "\"unique_keys\"",
             "\"max_phase_score\"",

@@ -6,8 +6,11 @@
 //! performance improvement, compared with no optimization" (§VI-C). This
 //! module is the analogous optimization in the reproduction: a forward pass
 //! over raw `f32` slices with preallocated scratch buffers, bypassing the
-//! autograd tape entirely. Tests assert bit-for-bit-practical equivalence
-//! (≤1e-5) with the tape forward.
+//! autograd tape entirely, with two kernel lanes selected at runtime
+//! ([`KernelLane`]): a portable scalar lane that doubles as the correctness
+//! oracle, and an AVX2+FMA lane whose vector loads are unit-stride across
+//! the batch axis. Tests assert bit-for-bit-practical equivalence (≤1e-5)
+//! with the tape forward and between the lanes.
 //!
 //! Every kernel is *batched*: it advances `bsz` independent sequences per
 //! pass over the weights, so a guidance plane serving many shards reads
@@ -16,18 +19,271 @@
 //! embedding tiers). The single-item entry points are the `bsz == 1` case
 //! of the same code path, which is what makes batched-vs-single parity a
 //! structural property rather than a numerical accident: per item, the
-//! sequence of f32 operations is identical regardless of batch size.
+//! sequence of f32 operations is identical regardless of batch size — the
+//! scalar lane accumulates with plain multiply-add, the AVX2 lane with FMA,
+//! each uniformly across every batch size.
 //!
-//! Batched tensors are flat row-major slices. Sequence inputs/outputs are
-//! *time-major*: `[t, bsz, dim]`, so one step's lanes are contiguous and a
-//! step kernel can walk `bsz` lanes per weight row.
+//! Batched tensors are flat row-major slices in *batch-interleaved*
+//! time-major layout: `[t, dim, bsz]`, element `(t, b, j)` at
+//! `(t·dim + j)·bsz + b`. The `bsz` lanes of one feature are contiguous, so
+//! an 8-wide SIMD load advances 8 lanes of the same feature at once; at
+//! `bsz == 1` the layout coincides with a plain `[t, dim]` sequence.
 //!
 //! Weight layout is taken from the owning model's parameter order, which is
 //! fixed by construction: embedding table, then per stack
 //! `(enc.wx, enc.wh, enc.b, dec.wx, dec.wh, dec.b, attn.w, attn.b)`, then
-//! the head layers.
+//! the head layers. Weight matrices are wrapped in [`FastMat`], which is
+//! either the exact `f32` tensor or its int8 quantization
+//! ([`GuidancePrecision::Int8`]); biases and the embedding table stay
+//! `f32` in both modes.
 
+use recmg_tensor::align::AlignedVec;
+use recmg_tensor::quant::{QuantScratch, QuantizedMatrix};
+use recmg_tensor::simd::avx2_fma_available;
 use recmg_tensor::{stable_sigmoid, Tensor};
+
+pub use recmg_tensor::simd::{active_lane, KernelLane};
+
+use crate::config::GuidancePrecision;
+
+/// A compiled weight matrix: exact `f32` or symmetric int8.
+///
+/// Both variants expose the same batch-interleaved accumulating matmul, so
+/// every kernel in this module is precision-agnostic.
+#[derive(Debug, Clone)]
+pub(crate) enum FastMat {
+    F32(Tensor),
+    Int8(QuantizedMatrix),
+}
+
+impl FastMat {
+    pub(crate) fn compile(w: Tensor, precision: GuidancePrecision) -> Self {
+        match precision {
+            GuidancePrecision::F32 => FastMat::F32(w),
+            GuidancePrecision::Int8 => FastMat::Int8(QuantizedMatrix::quantize(&w)),
+        }
+    }
+
+    pub(crate) fn rows(&self) -> usize {
+        match self {
+            FastMat::F32(w) => w.rows(),
+            FastMat::Int8(q) => q.rows(),
+        }
+    }
+
+    pub(crate) fn cols(&self) -> usize {
+        match self {
+            FastMat::F32(w) => w.cols(),
+            FastMat::Int8(q) => q.cols(),
+        }
+    }
+
+    /// Weight footprint in bytes.
+    pub(crate) fn size_bytes(&self) -> usize {
+        match self {
+            FastMat::F32(w) => w.len() * std::mem::size_of::<f32>(),
+            FastMat::Int8(q) => q.size_bytes(),
+        }
+    }
+
+    /// `out[c·bsz + b] += (x_b @ W)[c]` over the interleaved batch.
+    fn accumulate(
+        &self,
+        lane: KernelLane,
+        bsz: usize,
+        xs: &[f32],
+        out: &mut [f32],
+        qs: &mut QuantScratch,
+    ) {
+        match self {
+            FastMat::F32(w) => matacc(lane, w.data(), w.rows(), w.cols(), bsz, xs, out),
+            FastMat::Int8(q) => q.vecmul_batch(lane, bsz, xs, out, qs),
+        }
+    }
+}
+
+/// Batch-interleaved accumulating f32 matmul:
+/// `out[g·bsz + b] += Σ_i xs[i·bsz + b] · w[i·out_dim + g]`.
+///
+/// Both lanes accumulate every output element in input-feature order — the
+/// scalar lane with plain multiply-add, the AVX2 lane with FMA — uniformly
+/// across batch sizes, so per-item results within a lane are independent of
+/// `bsz` (the structural batched-vs-single parity the session tests pin
+/// down bit-exactly). The lanes differ only at rounding level (FMA skips
+/// the intermediate rounding), which the 1e-5 lane-parity suite bounds.
+pub(crate) fn matacc(
+    lane: KernelLane,
+    w: &[f32],
+    in_dim: usize,
+    out_dim: usize,
+    bsz: usize,
+    xs: &[f32],
+    out: &mut [f32],
+) {
+    debug_assert_eq!(w.len(), in_dim * out_dim);
+    debug_assert_eq!(xs.len(), in_dim * bsz);
+    debug_assert_eq!(out.len(), out_dim * bsz);
+    match lane {
+        KernelLane::Avx2 if avx2_fma_available() => {
+            #[cfg(target_arch = "x86_64")]
+            unsafe {
+                matacc_avx2(w, in_dim, out_dim, bsz, xs, out)
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            matacc_scalar(w, in_dim, out_dim, bsz, xs, out)
+        }
+        _ => matacc_scalar(w, in_dim, out_dim, bsz, xs, out),
+    }
+}
+
+fn matacc_scalar(
+    w: &[f32],
+    in_dim: usize,
+    out_dim: usize,
+    bsz: usize,
+    xs: &[f32],
+    out: &mut [f32],
+) {
+    if bsz == 1 {
+        for (i, row) in w.chunks_exact(out_dim).enumerate().take(in_dim) {
+            let xv = xs[i];
+            if xv == 0.0 {
+                continue;
+            }
+            for (o, &wv) in out.iter_mut().zip(row) {
+                *o += xv * wv;
+            }
+        }
+    } else {
+        for (i, row) in w.chunks_exact(out_dim).enumerate().take(in_dim) {
+            let x = &xs[i * bsz..(i + 1) * bsz];
+            if x.iter().all(|&v| v == 0.0) {
+                continue;
+            }
+            for (g, &wv) in row.iter().enumerate() {
+                let o = &mut out[g * bsz..(g + 1) * bsz];
+                for (ov, &xv) in o.iter_mut().zip(x) {
+                    *ov += xv * wv;
+                }
+            }
+        }
+    }
+}
+
+/// The AVX2+FMA lane: at `bsz == 1` vectorizes 8-wide over the output
+/// axis; at `bsz > 1` the interleaved layout makes the batch axis
+/// unit-stride, so it vectorizes 8-wide (then 4-wide, then scalar `fma`)
+/// over the lanes of each `(input, output)` weight element. Every element
+/// accumulates in input-feature order with FMA in all paths.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn matacc_avx2(
+    w: &[f32],
+    in_dim: usize,
+    out_dim: usize,
+    bsz: usize,
+    xs: &[f32],
+    out: &mut [f32],
+) {
+    use std::arch::x86_64::*;
+    if bsz == 1 {
+        for i in 0..in_dim {
+            let xv = xs[i];
+            if xv == 0.0 {
+                continue;
+            }
+            let row = &w[i * out_dim..(i + 1) * out_dim];
+            let xvv = _mm256_set1_ps(xv);
+            let mut g = 0;
+            while g + 8 <= out_dim {
+                let o = _mm256_loadu_ps(out.as_ptr().add(g));
+                let wv = _mm256_loadu_ps(row.as_ptr().add(g));
+                _mm256_storeu_ps(out.as_mut_ptr().add(g), _mm256_fmadd_ps(xvv, wv, o));
+                g += 8;
+            }
+            while g < out_dim {
+                out[g] = xv.mul_add(row[g], out[g]);
+                g += 1;
+            }
+        }
+    } else {
+        for i in 0..in_dim {
+            let x = &xs[i * bsz..(i + 1) * bsz];
+            let row = &w[i * out_dim..(i + 1) * out_dim];
+            for (g, &wv) in row.iter().enumerate() {
+                let o = &mut out[g * bsz..(g + 1) * bsz];
+                let wvv = _mm256_set1_ps(wv);
+                let mut b = 0;
+                while b + 8 <= bsz {
+                    let ov = _mm256_loadu_ps(o.as_ptr().add(b));
+                    let xv = _mm256_loadu_ps(x.as_ptr().add(b));
+                    _mm256_storeu_ps(o.as_mut_ptr().add(b), _mm256_fmadd_ps(xv, wvv, ov));
+                    b += 8;
+                }
+                if b + 4 <= bsz {
+                    let ov = _mm_loadu_ps(o.as_ptr().add(b));
+                    let xv = _mm_loadu_ps(x.as_ptr().add(b));
+                    _mm_storeu_ps(
+                        o.as_mut_ptr().add(b),
+                        _mm_fmadd_ps(xv, _mm256_castps256_ps128(wvv), ov),
+                    );
+                    b += 4;
+                }
+                while b < bsz {
+                    o[b] = x[b].mul_add(wv, o[b]);
+                    b += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Elementwise stripe multiply-accumulate: `acc[b] += a[b] · x[b]` over one
+/// batch stripe (the attention dot/context inner loop).
+fn mul_acc(lane: KernelLane, bsz: usize, a: &[f32], x: &[f32], acc: &mut [f32]) {
+    match lane {
+        KernelLane::Avx2 if avx2_fma_available() => {
+            #[cfg(target_arch = "x86_64")]
+            unsafe {
+                mul_acc_avx2(bsz, a, x, acc)
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            mul_acc_scalar(bsz, a, x, acc)
+        }
+        _ => mul_acc_scalar(bsz, a, x, acc),
+    }
+}
+
+fn mul_acc_scalar(bsz: usize, a: &[f32], x: &[f32], acc: &mut [f32]) {
+    for b in 0..bsz {
+        acc[b] += a[b] * x[b];
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn mul_acc_avx2(bsz: usize, a: &[f32], x: &[f32], acc: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let mut b = 0;
+    while b + 8 <= bsz {
+        let av = _mm256_loadu_ps(a.as_ptr().add(b));
+        let xv = _mm256_loadu_ps(x.as_ptr().add(b));
+        let cv = _mm256_loadu_ps(acc.as_ptr().add(b));
+        _mm256_storeu_ps(acc.as_mut_ptr().add(b), _mm256_fmadd_ps(av, xv, cv));
+        b += 8;
+    }
+    if b + 4 <= bsz {
+        let av = _mm_loadu_ps(a.as_ptr().add(b));
+        let xv = _mm_loadu_ps(x.as_ptr().add(b));
+        let cv = _mm_loadu_ps(acc.as_ptr().add(b));
+        _mm_storeu_ps(acc.as_mut_ptr().add(b), _mm_fmadd_ps(av, xv, cv));
+        b += 4;
+    }
+    while b < bsz {
+        acc[b] = a[b].mul_add(x[b], acc[b]);
+        b += 1;
+    }
+}
 
 /// Reusable buffers for batched fast-model forwards
 /// ([`FastCachingModel::probs_batch_with`] /
@@ -35,97 +291,95 @@ use recmg_tensor::{stable_sigmoid, Tensor};
 ///
 /// One `FastScratch` per serving thread removes every per-forward heap
 /// allocation from the guidance hot loop: the stack-level scratch
-/// (`gates`/`enc`/`scores`/`cat`) plus the two ping-pong sequence buffers
-/// that carry activations between LSTM stacks. Buffers grow to the largest
-/// batch seen and are reused verbatim afterwards.
+/// (`gates`/`enc`/`scores`/`cat` plus the int8 activation buffers) and the
+/// two ping-pong sequence buffers that carry activations between LSTM
+/// stacks. Buffers grow to the largest batch seen and are reused verbatim
+/// afterwards.
 ///
 /// [`FastCachingModel::probs_batch_with`]: crate::FastCachingModel::probs_batch_with
 /// [`FastPrefetchModel::codes_batch_with`]: crate::FastPrefetchModel::codes_batch_with
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct FastScratch {
     pub(crate) stack: Scratch,
-    pub(crate) seq_a: Vec<f32>,
-    pub(crate) seq_b: Vec<f32>,
+    pub(crate) seq_a: AlignedVec<f32>,
+    pub(crate) seq_b: AlignedVec<f32>,
+}
+
+impl Default for FastScratch {
+    fn default() -> Self {
+        FastScratch {
+            stack: Scratch::default(),
+            seq_a: AlignedVec::with_stagger(1920),
+            seq_b: AlignedVec::with_stagger(2112),
+        }
+    }
 }
 
 /// One LSTM cell's weights.
 #[derive(Debug, Clone)]
 pub(crate) struct FastLstm {
-    wx: Tensor, // [e, 4h]
-    wh: Tensor, // [h, 4h]
-    b: Tensor,  // [4h]
+    wx: FastMat, // [e, 4h]
+    wh: FastMat, // [h, 4h]
+    b: Tensor,   // [4h]
     e: usize,
     h: usize,
 }
 
 impl FastLstm {
-    pub(crate) fn new(wx: Tensor, wh: Tensor, b: Tensor) -> Self {
+    pub(crate) fn new(wx: Tensor, wh: Tensor, b: Tensor, precision: GuidancePrecision) -> Self {
         let e = wx.rows();
         let h = wh.rows();
         debug_assert_eq!(wx.cols(), 4 * h);
         debug_assert_eq!(b.len(), 4 * h);
-        FastLstm { wx, wh, b, e, h }
+        FastLstm {
+            wx: FastMat::compile(wx, precision),
+            wh: FastMat::compile(wh, precision),
+            b,
+            e,
+            h,
+        }
     }
 
-    /// One step over `bsz` independent lanes: consumes `x` (`[bsz, e]`),
-    /// updates `h`/`c` (`[bsz, h]`) in place, using `gates` (`[bsz, 4h]`)
-    /// as scratch. Each weight row is read once and applied to every lane,
-    /// so the weight traffic of a step is independent of `bsz`.
+    pub(crate) fn size_bytes(&self) -> usize {
+        self.wx.size_bytes() + self.wh.size_bytes() + self.b.len() * std::mem::size_of::<f32>()
+    }
+
+    /// One step over `bsz` independent lanes: consumes `x` (`[e, bsz]`
+    /// interleaved), updates `h`/`c` (`[h, bsz]`) in place, using `gates`
+    /// (`[4h, bsz]`) as scratch. Each weight row is read once and applied
+    /// to every lane, so the weight traffic of a step is independent of
+    /// `bsz`.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn step_batch(
         &self,
+        lane: KernelLane,
         bsz: usize,
         x: &[f32],
         h: &mut [f32],
         c: &mut [f32],
         gates: &mut [f32],
+        qs: &mut QuantScratch,
     ) {
         let hd = self.h;
-        let e = self.e;
         let g4 = 4 * hd;
-        debug_assert_eq!(x.len(), bsz * e);
+        debug_assert_eq!(x.len(), bsz * self.e);
         debug_assert_eq!(h.len(), bsz * hd);
         debug_assert_eq!(c.len(), bsz * hd);
         debug_assert_eq!(gates.len(), bsz * g4);
-        for lane in gates.chunks_exact_mut(g4) {
-            lane.copy_from_slice(self.b.data());
+        for (g, stripe) in gates.chunks_exact_mut(bsz).enumerate().take(g4) {
+            stripe.fill(self.b.data()[g]);
         }
-        let wx = self.wx.data();
-        for (e_i, row) in wx.chunks_exact(g4).enumerate().take(e) {
+        self.wx.accumulate(lane, bsz, x, gates, qs);
+        self.wh.accumulate(lane, bsz, h, gates, qs);
+        for j in 0..hd {
             for b in 0..bsz {
-                let xv = x[b * e + e_i];
-                if xv == 0.0 {
-                    continue;
-                }
-                let lane = &mut gates[b * g4..(b + 1) * g4];
-                for (g, &w) in lane.iter_mut().zip(row) {
-                    *g += xv * w;
-                }
-            }
-        }
-        let wh = self.wh.data();
-        for (h_i, row) in wh.chunks_exact(g4).enumerate().take(hd) {
-            for b in 0..bsz {
-                let hv = h[b * hd + h_i];
-                if hv == 0.0 {
-                    continue;
-                }
-                let lane = &mut gates[b * g4..(b + 1) * g4];
-                for (g, &w) in lane.iter_mut().zip(row) {
-                    *g += hv * w;
-                }
-            }
-        }
-        for b in 0..bsz {
-            let lane = &gates[b * g4..(b + 1) * g4];
-            let h = &mut h[b * hd..(b + 1) * hd];
-            let c = &mut c[b * hd..(b + 1) * hd];
-            for j in 0..hd {
-                let i = stable_sigmoid(lane[j]);
-                let f = stable_sigmoid(lane[hd + j]);
-                let g = lane[2 * hd + j].tanh();
-                let o = stable_sigmoid(lane[3 * hd + j]);
-                c[j] = f * c[j] + i * g;
-                h[j] = o * c[j].tanh();
+                let i = stable_sigmoid(gates[j * bsz + b]);
+                let f = stable_sigmoid(gates[(hd + j) * bsz + b]);
+                let g = gates[(2 * hd + j) * bsz + b].tanh();
+                let o = stable_sigmoid(gates[(3 * hd + j) * bsz + b]);
+                let cv = &mut c[j * bsz + b];
+                *cv = f * *cv + i * g;
+                h[j * bsz + b] = o * cv.tanh();
             }
         }
     }
@@ -135,8 +389,16 @@ impl FastLstm {
     /// parity proptests (production code always goes through the batched
     /// entry points).
     #[cfg(test)]
-    pub(crate) fn step(&self, x: &[f32], h: &mut [f32], c: &mut [f32], gates: &mut [f32]) {
-        self.step_batch(1, x, h, c, gates);
+    pub(crate) fn step(
+        &self,
+        lane: KernelLane,
+        x: &[f32],
+        h: &mut [f32],
+        c: &mut [f32],
+        gates: &mut [f32],
+    ) {
+        let mut qs = QuantScratch::default();
+        self.step_batch(lane, 1, x, h, c, gates, &mut qs);
     }
 
     pub(crate) fn hidden(&self) -> usize {
@@ -144,56 +406,64 @@ impl FastLstm {
     }
 }
 
-/// Batched dense layer `Y = X W + b`: `xs` is `[bsz, in]`, `out` is
-/// `[bsz, out]`. One pass over the weight matrix serves all `bsz` rows.
-pub(crate) fn fast_linear_batch(w: &Tensor, b: &Tensor, bsz: usize, xs: &[f32], out: &mut [f32]) {
-    let (in_dim, out_dim) = (w.rows(), w.cols());
-    debug_assert_eq!(xs.len(), bsz * in_dim);
+/// Batched dense layer `Y = X W + b` in interleaved layout: `xs` is
+/// `[in, bsz]`, `out` is `[out, bsz]`. One pass over the weight matrix
+/// serves all `bsz` lanes.
+pub(crate) fn fast_linear_batch(
+    lane: KernelLane,
+    w: &FastMat,
+    b: &Tensor,
+    bsz: usize,
+    xs: &[f32],
+    out: &mut [f32],
+    qs: &mut QuantScratch,
+) {
+    let out_dim = w.cols();
+    debug_assert_eq!(xs.len(), bsz * w.rows());
     debug_assert_eq!(out.len(), bsz * out_dim);
-    for row in out.chunks_exact_mut(out_dim) {
-        row.copy_from_slice(&b.data()[..out_dim]);
+    for (g, stripe) in out.chunks_exact_mut(bsz).enumerate().take(out_dim) {
+        stripe.fill(b.data()[g]);
     }
-    let wd = w.data();
-    for (i, row) in wd.chunks_exact(out_dim).enumerate().take(in_dim) {
-        for bi in 0..bsz {
-            let xv = xs[bi * in_dim + i];
-            if xv == 0.0 {
-                continue;
-            }
-            let lane = &mut out[bi * out_dim..(bi + 1) * out_dim];
-            for (o, &wv) in lane.iter_mut().zip(row) {
-                *o += xv * wv;
-            }
-        }
-    }
+    w.accumulate(lane, bsz, xs, out, qs);
 }
 
 /// Dense layer `y = x W + b` over slices — the `bsz == 1` case of
 /// [`fast_linear_batch`], kept as the per-item reference for the parity
 /// tests.
 #[cfg(test)]
-pub(crate) fn fast_linear(w: &Tensor, b: &Tensor, x: &[f32], out: &mut [f32]) {
-    fast_linear_batch(w, b, 1, x, out);
+pub(crate) fn fast_linear(lane: KernelLane, w: &FastMat, b: &Tensor, x: &[f32], out: &mut [f32]) {
+    let mut qs = QuantScratch::default();
+    fast_linear_batch(lane, w, b, 1, x, out, &mut qs);
 }
 
 /// Shared driver for the batched model forwards: buckets non-empty
-/// `chunks` by length, and per bucket gathers the time-major
-/// `[t, bsz, d]` embedding batch from `emb`/`vocab` and runs it through
+/// `chunks` by length, and per bucket gathers the interleaved time-major
+/// `[t, d, bsz]` embedding batch from `emb`/`vocab` and runs it through
 /// `stacks` (all aligned when `out_len` is `None`; the final stack
 /// autoregressive for `Some(n)`). For each finished bucket, `emit`
-/// receives `(bucket chunk indices, t, bsz, activations, spare)` — the
-/// final time-major activations plus a reusable spare buffer for the head
-/// computation — and scatters into the model's output. Both fast models
-/// run their forwards through this one path, so bucketing, gathering, and
-/// stack chaining cannot drift apart between them.
+/// receives `(bucket chunk indices, t, bsz, activations, spare, quant
+/// scratch)` — the final interleaved activations plus a reusable spare
+/// buffer for the head computation — and scatters into the model's output.
+/// Both fast models run their forwards through this one path, so
+/// bucketing, gathering, and stack chaining cannot drift apart between
+/// them.
+#[allow(clippy::type_complexity, clippy::too_many_arguments)]
 pub(crate) fn forward_buckets(
+    lane: KernelLane,
     emb: &Tensor,
     vocab: usize,
     stacks: &[FastStack],
     out_len: Option<usize>,
     chunks: &[&[recmg_trace::VectorKey]],
     scratch: &mut FastScratch,
-    mut emit: impl FnMut(&[usize], usize, usize, &mut Vec<f32>, &mut Vec<f32>),
+    mut emit: impl FnMut(
+        &[usize],
+        usize,
+        usize,
+        &mut AlignedVec<f32>,
+        &mut AlignedVec<f32>,
+        &mut QuantScratch,
+    ),
 ) {
     let d = emb.cols();
     let mut by_len: std::collections::BTreeMap<usize, Vec<usize>> =
@@ -215,36 +485,63 @@ pub(crate) fn forward_buckets(
         for (b, &ci) in bucket.iter().enumerate() {
             for (ti, key) in chunks[ci].iter().enumerate() {
                 let row = key.bucket(vocab);
-                seq_a[(ti * bsz + b) * d..(ti * bsz + b + 1) * d]
-                    .copy_from_slice(&emb.data()[row * d..(row + 1) * d]);
+                let src = &emb.data()[row * d..(row + 1) * d];
+                let dst = &mut seq_a[ti * d * bsz..(ti + 1) * d * bsz];
+                for (j, &v) in src.iter().enumerate() {
+                    dst[j * bsz + b] = v;
+                }
             }
         }
         let (mut cur, mut next) = (&mut *seq_a, &mut *seq_b);
         let last = stacks.len() - 1;
         for (i, s) in stacks.iter().enumerate() {
             let mode = if i == last { out_len } else { None };
-            s.forward_batch(bsz, t, cur, mode, stack, next);
+            s.forward_batch(lane, bsz, t, cur, mode, stack, next);
             std::mem::swap(&mut cur, &mut next);
         }
-        emit(&bucket, t, bsz, cur, next);
+        emit(&bucket, t, bsz, cur, next, &mut stack.quant);
     }
 }
 
 /// Stack-level scratch for [`FastStack::forward_batch`]: encoder/decoder
-/// state, gate buffers, the time-major encoder-state tape, and the
-/// attention workspace. Reused across forwards so the hot loop allocates
-/// nothing.
-#[derive(Debug, Clone, Default)]
+/// state, gate buffers, the interleaved encoder-state tape, the attention
+/// workspace, and the int8 activation buffers. Reused across forwards so
+/// the hot loop allocates nothing.
+#[derive(Debug, Clone)]
 pub(crate) struct Scratch {
-    gates: Vec<f32>,  // [bsz, 4h]
-    hs: Vec<f32>,     // [bsz, h] encoder hidden
-    cs: Vec<f32>,     // [bsz, h] encoder cell
-    dh: Vec<f32>,     // [bsz, h] decoder hidden
-    dc: Vec<f32>,     // [bsz, h] decoder cell
-    enc: Vec<f32>,    // [t_in, bsz, h] encoder states
-    scores: Vec<f32>, // [bsz, t_in] attention scores
-    cat: Vec<f32>,    // [bsz, 2h] context ++ query
-    feed: Vec<f32>,   // [bsz, h] autoregressive feed
+    gates: AlignedVec<f32>,  // [4h, bsz]
+    hs: AlignedVec<f32>,     // [h, bsz] encoder hidden
+    cs: AlignedVec<f32>,     // [h, bsz] encoder cell
+    dh: AlignedVec<f32>,     // [h, bsz] decoder hidden
+    dc: AlignedVec<f32>,     // [h, bsz] decoder cell
+    enc: AlignedVec<f32>,    // [t_in, h, bsz] encoder states
+    scores: AlignedVec<f32>, // [t_in, bsz] attention scores
+    denom: AlignedVec<f32>,  // [bsz] softmax denominators
+    cat: AlignedVec<f32>,    // [2h, bsz] context ++ query
+    feed: AlignedVec<f32>,   // [h, bsz] autoregressive feed
+    pub(crate) quant: QuantScratch,
+}
+
+impl Default for Scratch {
+    fn default() -> Self {
+        // Distinct 4 KiB-page staggers per buffer (see `AlignedVec`):
+        // kernel throughput is then independent of which scratch instance
+        // a thread happens to own. `FastScratch`'s sequence buffers take
+        // 1920/2112 and `QuantScratch` takes 2496..3264.
+        Scratch {
+            gates: AlignedVec::with_stagger(0),
+            hs: AlignedVec::with_stagger(192),
+            cs: AlignedVec::with_stagger(384),
+            dh: AlignedVec::with_stagger(576),
+            dc: AlignedVec::with_stagger(768),
+            enc: AlignedVec::with_stagger(960),
+            scores: AlignedVec::with_stagger(1152),
+            denom: AlignedVec::with_stagger(1344),
+            cat: AlignedVec::with_stagger(1536),
+            feed: AlignedVec::with_stagger(1728),
+            quant: QuantScratch::default(),
+        }
+    }
 }
 
 impl Scratch {
@@ -254,12 +551,13 @@ impl Scratch {
         // plain resize — which zeroes growth only — keeps the lengths
         // exact without re-memsetting the (large) tape and gate buffers
         // on every forward.
-        let fit = |v: &mut Vec<f32>, n: usize| v.resize(n, 0.0);
+        let fit = |v: &mut AlignedVec<f32>, n: usize| v.resize(n, 0.0);
         fit(&mut self.gates, bsz * 4 * h);
         fit(&mut self.dh, bsz * h);
         fit(&mut self.dc, bsz * h);
         fit(&mut self.enc, t_in * bsz * h);
         fit(&mut self.scores, bsz * t_in);
+        fit(&mut self.denom, bsz);
         fit(&mut self.cat, bsz * 2 * h);
         fit(&mut self.feed, bsz * h);
         self.hs.clear();
@@ -274,84 +572,132 @@ impl Scratch {
 pub(crate) struct FastStack {
     pub(crate) enc: FastLstm,
     pub(crate) dec: FastLstm,
-    attn_w: Tensor, // [2h, h]
-    attn_b: Tensor, // [h]
+    attn_w: FastMat, // [2h, h]
+    attn_b: Tensor,  // [h]
 }
 
 impl FastStack {
-    pub(crate) fn new(enc: FastLstm, dec: FastLstm, attn_w: Tensor, attn_b: Tensor) -> Self {
+    pub(crate) fn new(
+        enc: FastLstm,
+        dec: FastLstm,
+        attn_w: Tensor,
+        attn_b: Tensor,
+        precision: GuidancePrecision,
+    ) -> Self {
         debug_assert_eq!(attn_w.rows(), 2 * enc.hidden());
         debug_assert_eq!(attn_w.cols(), enc.hidden());
         FastStack {
             enc,
             dec,
-            attn_w,
+            attn_w: FastMat::compile(attn_w, precision),
             attn_b,
         }
     }
 
-    /// Batched Luong attention: for every lane `b`, scores `query[b]`
+    pub(crate) fn size_bytes(&self) -> usize {
+        self.enc.size_bytes()
+            + self.dec.size_bytes()
+            + self.attn_w.size_bytes()
+            + self.attn_b.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Batched Luong attention: for every lane `b`, scores `query[·, b]`
     /// against the `t_in` encoder states of that lane (`enc` is
-    /// `[t_in, bsz, h]` time-major), softmaxes, builds the context ++
+    /// `[t_in, h, bsz]` interleaved), softmaxes, builds the context ++
     /// query concatenation in `cat`, and writes the combined tanh output
-    /// into `out` (`[bsz, h]`). Per lane the operation order matches the
+    /// into `out` (`[h, bsz]`). Per lane the operation order matches the
     /// historical single-item path exactly.
     #[allow(clippy::too_many_arguments)]
     fn attend_batch(
         &self,
+        lane: KernelLane,
         bsz: usize,
         t_in: usize,
         query: &[f32],
         enc: &[f32],
         scores: &mut [f32],
+        denom: &mut [f32],
         cat: &mut [f32],
         out: &mut [f32],
+        qs: &mut QuantScratch,
     ) {
         let h = self.enc.hidden();
-        for b in 0..bsz {
-            let q = &query[b * h..(b + 1) * h];
-            let sc = &mut scores[b * t_in..(b + 1) * t_in];
-            for (t, s) in sc.iter_mut().enumerate() {
-                let state = &enc[(t * bsz + b) * h..(t * bsz + b + 1) * h];
-                *s = state.iter().zip(q).map(|(a, b)| a * b).sum::<f32>();
+        for t in 0..t_in {
+            let (sc, state) = (
+                &mut scores[t * bsz..(t + 1) * bsz],
+                &enc[t * h * bsz..(t + 1) * h * bsz],
+            );
+            sc.fill(0.0);
+            for j in 0..h {
+                mul_acc(
+                    lane,
+                    bsz,
+                    &query[j * bsz..(j + 1) * bsz],
+                    &state[j * bsz..(j + 1) * bsz],
+                    sc,
+                );
             }
-            let mx = sc.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-            let mut denom = 0.0;
-            for s in sc.iter_mut() {
-                *s = (*s - mx).exp();
-                denom += *s;
-            }
-            let lane = &mut cat[b * 2 * h..(b + 1) * 2 * h];
-            lane[..h].fill(0.0);
-            for t in 0..t_in {
-                let w = sc[t] / denom;
-                let state = &enc[(t * bsz + b) * h..(t * bsz + b + 1) * h];
-                for j in 0..h {
-                    lane[j] += w * state[j];
-                }
-            }
-            lane[h..2 * h].copy_from_slice(q);
         }
-        fast_linear_batch(&self.attn_w, &self.attn_b, bsz, cat, out);
+        // Softmax per lane (strided walks over the interleaved scores),
+        // then fold the denominator into the scores so the context loop
+        // reads ready-made attention weights.
+        for b in 0..bsz {
+            let mut mx = f32::NEG_INFINITY;
+            for t in 0..t_in {
+                mx = mx.max(scores[t * bsz + b]);
+            }
+            let mut dn = 0.0;
+            for t in 0..t_in {
+                let s = (scores[t * bsz + b] - mx).exp();
+                scores[t * bsz + b] = s;
+                dn += s;
+            }
+            denom[b] = dn;
+        }
+        for t in 0..t_in {
+            for b in 0..bsz {
+                scores[t * bsz + b] /= denom[b];
+            }
+        }
+        cat[..h * bsz].fill(0.0);
+        for t in 0..t_in {
+            let (w, state) = (
+                &scores[t * bsz..(t + 1) * bsz],
+                &enc[t * h * bsz..(t + 1) * h * bsz],
+            );
+            for j in 0..h {
+                mul_acc(
+                    lane,
+                    bsz,
+                    w,
+                    &state[j * bsz..(j + 1) * bsz],
+                    &mut cat[j * bsz..(j + 1) * bsz],
+                );
+            }
+        }
+        cat[h * bsz..2 * h * bsz].copy_from_slice(&query[..h * bsz]);
+        fast_linear_batch(lane, &self.attn_w, &self.attn_b, bsz, cat, out, qs);
         for o in out.iter_mut() {
             *o = o.tanh();
         }
     }
 
     /// Runs the stack over `bsz` same-length sequences. `inputs` is
-    /// time-major `[t_in, bsz, e]`; the output written to `out` is
-    /// time-major `[t_out, bsz, h]`. `out_len = None` runs aligned (one
-    /// output per input); `Some(n)` runs autoregressive. All intermediate
-    /// state lives in `s` — the forward allocates nothing beyond growing
-    /// `out`/`s` on first use.
+    /// interleaved time-major `[t_in, e, bsz]`; the output written to
+    /// `out` is interleaved time-major `[t_out, h, bsz]`. `out_len = None`
+    /// runs aligned (one output per input); `Some(n)` runs autoregressive.
+    /// All intermediate state lives in `s` — the forward allocates nothing
+    /// beyond growing `out`/`s` on first use.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn forward_batch(
         &self,
+        lane: KernelLane,
         bsz: usize,
         t_in: usize,
         inputs: &[f32],
         out_len: Option<usize>,
         s: &mut Scratch,
-        out: &mut Vec<f32>,
+        out: &mut AlignedVec<f32>,
     ) {
         let h = self.enc.hidden();
         let e = self.enc.e;
@@ -359,11 +705,13 @@ impl FastStack {
         s.prepare(bsz, t_in, h);
         for t in 0..t_in {
             self.enc.step_batch(
+                lane,
                 bsz,
                 &inputs[t * bsz * e..(t + 1) * bsz * e],
                 &mut s.hs,
                 &mut s.cs,
                 &mut s.gates,
+                &mut s.quant,
             );
             s.enc[t * bsz * h..(t + 1) * bsz * h].copy_from_slice(&s.hs);
         }
@@ -376,30 +724,53 @@ impl FastStack {
             None => {
                 for t in 0..t_in {
                     self.dec.step_batch(
+                        lane,
                         bsz,
                         &s.enc[t * bsz * h..(t + 1) * bsz * h],
                         &mut s.dh,
                         &mut s.dc,
                         &mut s.gates,
+                        &mut s.quant,
                     );
                     self.attend_batch(
+                        lane,
                         bsz,
                         t_in,
                         &s.dh,
                         &s.enc,
                         &mut s.scores,
+                        &mut s.denom,
                         &mut s.cat,
                         &mut out[t * bsz * h..(t + 1) * bsz * h],
+                        &mut s.quant,
                     );
                 }
             }
             Some(n) => {
                 s.feed.copy_from_slice(&s.hs);
                 for t in 0..n {
-                    self.dec
-                        .step_batch(bsz, &s.feed, &mut s.dh, &mut s.dc, &mut s.gates);
+                    self.dec.step_batch(
+                        lane,
+                        bsz,
+                        &s.feed,
+                        &mut s.dh,
+                        &mut s.dc,
+                        &mut s.gates,
+                        &mut s.quant,
+                    );
                     let slot = &mut out[t * bsz * h..(t + 1) * bsz * h];
-                    self.attend_batch(bsz, t_in, &s.dh, &s.enc, &mut s.scores, &mut s.cat, slot);
+                    self.attend_batch(
+                        lane,
+                        bsz,
+                        t_in,
+                        &s.dh,
+                        &s.enc,
+                        &mut s.scores,
+                        &mut s.denom,
+                        &mut s.cat,
+                        slot,
+                        &mut s.quant,
+                    );
                     s.feed.copy_from_slice(slot);
                 }
             }
@@ -410,15 +781,28 @@ impl FastStack {
     /// [`FastStack::forward_batch`], kept as the per-item reference for
     /// the parity proptests and tape-equivalence tests.
     #[cfg(test)]
-    pub(crate) fn forward(&self, inputs: &[Vec<f32>], out_len: Option<usize>) -> Vec<Vec<f32>> {
+    pub(crate) fn forward(
+        &self,
+        lane: KernelLane,
+        inputs: &[Vec<f32>],
+        out_len: Option<usize>,
+    ) -> Vec<Vec<f32>> {
         let h = self.enc.hidden();
         let mut flat = Vec::with_capacity(inputs.len() * self.enc.e);
         for x in inputs {
             flat.extend_from_slice(x);
         }
         let mut scratch = Scratch::default();
-        let mut out = Vec::new();
-        self.forward_batch(1, inputs.len(), &flat, out_len, &mut scratch, &mut out);
+        let mut out = AlignedVec::new();
+        self.forward_batch(
+            lane,
+            1,
+            inputs.len(),
+            &flat,
+            out_len,
+            &mut scratch,
+            &mut out,
+        );
         out.chunks(h).map(|c| c.to_vec()).collect()
     }
 }
@@ -432,6 +816,17 @@ mod tests {
     use recmg_tensor::nn::{DecoderFeed, Module, Seq2SeqStack};
     use recmg_tensor::{ParamStore, Tape, Tensor};
 
+    /// The lanes the host can execute: scalar always, AVX2 when available
+    /// (both CI legs run on AVX2-capable hosts, so the SIMD kernels are
+    /// exercised explicitly even when dispatch is forced to scalar).
+    fn lanes() -> Vec<KernelLane> {
+        let mut v = vec![KernelLane::Scalar];
+        if KernelLane::Avx2.available() {
+            v.push(KernelLane::Avx2);
+        }
+        v
+    }
+
     /// Builds a tape stack and its fast mirror from the same weights.
     fn paired_stack(seed: u64, e: usize, h: usize) -> (ParamStore, Seq2SeqStack, FastStack) {
         let mut store = ParamStore::new();
@@ -439,11 +834,13 @@ mod tests {
         let stack = Seq2SeqStack::new(&mut store, &mut rng, "s", e, h);
         let ids = stack.params(); // enc(wx,wh,b), dec(wx,wh,b), attn(w,b)
         let w = |i: usize| store.value(ids[i]).clone();
+        let p = GuidancePrecision::F32;
         let fast = FastStack::new(
-            FastLstm::new(w(0), w(1), w(2)),
-            FastLstm::new(w(3), w(4), w(5)),
+            FastLstm::new(w(0), w(1), w(2), p),
+            FastLstm::new(w(3), w(4), w(5), p),
             w(6),
             w(7),
+            p,
         );
         (store, stack, fast)
     }
@@ -476,29 +873,33 @@ mod tests {
     }
 
     #[test]
-    fn aligned_matches_tape() {
+    fn aligned_matches_tape_on_every_lane() {
         let (store, stack, fast) = paired_stack(5, 6, 8);
         let xs = inputs(6, 7);
         let a = tape_forward(&store, &stack, &xs, DecoderFeed::Aligned);
-        let b = fast.forward(&xs, None);
-        assert_eq!(a.len(), b.len());
-        for (ra, rb) in a.iter().zip(&b) {
-            for (x, y) in ra.iter().zip(rb) {
-                assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+        for lane in lanes() {
+            let b = fast.forward(lane, &xs, None);
+            assert_eq!(a.len(), b.len());
+            for (ra, rb) in a.iter().zip(&b) {
+                for (x, y) in ra.iter().zip(rb) {
+                    assert!((x - y).abs() < 1e-5, "lane {}: {x} vs {y}", lane.name());
+                }
             }
         }
     }
 
     #[test]
-    fn autoregressive_matches_tape() {
+    fn autoregressive_matches_tape_on_every_lane() {
         let (store, stack, fast) = paired_stack(9, 5, 7);
         let xs = inputs(5, 10);
         let a = tape_forward(&store, &stack, &xs, DecoderFeed::Autoregressive(4));
-        let b = fast.forward(&xs, Some(4));
-        assert_eq!(b.len(), 4);
-        for (ra, rb) in a.iter().zip(&b) {
-            for (x, y) in ra.iter().zip(rb) {
-                assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+        for lane in lanes() {
+            let b = fast.forward(lane, &xs, Some(4));
+            assert_eq!(b.len(), 4);
+            for (ra, rb) in a.iter().zip(&b) {
+                for (x, y) in ra.iter().zip(rb) {
+                    assert!((x - y).abs() < 1e-5, "lane {}: {x} vs {y}", lane.name());
+                }
             }
         }
     }
@@ -509,58 +910,120 @@ mod tests {
         let w = Tensor::rand_uniform(&mut rng, &[5, 3], -1.0, 1.0);
         let b = Tensor::rand_uniform(&mut rng, &[3], -1.0, 1.0);
         let x = vec![0.1, -0.2, 0.3, 0.0, 0.5];
-        let mut out = vec![0.0; 3];
-        fast_linear(&w, &b, &x, &mut out);
-        let exact = Tensor::from_vec(x, &[1, 5]).matmul(&w);
-        for (j, &o) in out.iter().enumerate() {
-            assert!((o - (exact.at(0, j) + b.data()[j])).abs() < 1e-6);
+        let exact = Tensor::from_vec(x.clone(), &[1, 5]).matmul(&w);
+        let wm = FastMat::compile(w, GuidancePrecision::F32);
+        for lane in lanes() {
+            let mut out = vec![0.0; 3];
+            fast_linear(lane, &wm, &b, &x, &mut out);
+            for (j, &o) in out.iter().enumerate() {
+                assert!((o - (exact.at(0, j) + b.data()[j])).abs() < 1e-5);
+            }
         }
     }
 
-    /// Random batched input, time-major `[t, bsz, e]`.
+    #[test]
+    fn quantized_stack_sizes_shrink() {
+        let (_s, _t, f32_stack) = paired_stack(11, 6, 8);
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        let stack = Seq2SeqStack::new(&mut store, &mut rng, "s", 6, 8);
+        let ids = stack.params();
+        let w = |i: usize| store.value(ids[i]).clone();
+        let p = GuidancePrecision::Int8;
+        let q_stack = FastStack::new(
+            FastLstm::new(w(0), w(1), w(2), p),
+            FastLstm::new(w(3), w(4), w(5), p),
+            w(6),
+            w(7),
+            p,
+        );
+        assert!(q_stack.size_bytes() * 3 < f32_stack.size_bytes());
+    }
+
+    /// Random batched input, interleaved time-major `[t, e, bsz]`.
     fn batch_inputs(rng: &mut StdRng, t: usize, bsz: usize, e: usize) -> Vec<f32> {
         (0..t * bsz * e).map(|_| rng.gen_range(-1.0..1.0)).collect()
     }
 
-    /// Lane `b` of a time-major batch, as the per-item `Vec<Vec<f32>>`.
-    fn lane(flat: &[f32], t: usize, bsz: usize, dim: usize, b: usize) -> Vec<Vec<f32>> {
+    /// Lane `b` of an interleaved batch, as the per-item `Vec<Vec<f32>>`.
+    fn item(flat: &[f32], t: usize, bsz: usize, dim: usize, b: usize) -> Vec<Vec<f32>> {
         (0..t)
-            .map(|ti| flat[(ti * bsz + b) * dim..(ti * bsz + b + 1) * dim].to_vec())
+            .map(|ti| (0..dim).map(|j| flat[(ti * dim + j) * bsz + b]).collect())
             .collect()
     }
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(24))]
 
-        /// `fast_linear_batch` over B rows matches B single-row calls.
+        /// `fast_linear_batch` over B lanes matches B single-item calls on
+        /// every lane, f32 and int8.
         #[test]
         fn fast_linear_batch_matches_single(
             seed in 0u64..1_000,
-            bsz in 1usize..9,
+            bsz in 1usize..12,
             in_dim in 1usize..12,
             out_dim in 1usize..10,
+            quantized in 0u32..2,
         ) {
             let mut rng = StdRng::seed_from_u64(seed);
             let w = Tensor::rand_uniform(&mut rng, &[in_dim, out_dim], -1.0, 1.0);
             let b = Tensor::rand_uniform(&mut rng, &[out_dim], -1.0, 1.0);
+            let p = if quantized == 0 { GuidancePrecision::F32 } else { GuidancePrecision::Int8 };
+            let wm = FastMat::compile(w, p);
+            // Interleaved input [in_dim, bsz].
             let xs: Vec<f32> = (0..bsz * in_dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
-            let mut batched = vec![0.0f32; bsz * out_dim];
-            fast_linear_batch(&w, &b, bsz, &xs, &mut batched);
-            let mut single = vec![0.0f32; out_dim];
-            for bi in 0..bsz {
-                fast_linear(&w, &b, &xs[bi * in_dim..(bi + 1) * in_dim], &mut single);
-                for (j, &y) in single.iter().enumerate() {
-                    let x = batched[bi * out_dim + j];
-                    prop_assert!((x - y).abs() < 1e-5, "lane {} col {}: {} vs {}", bi, j, x, y);
+            for lane in lanes() {
+                let mut batched = vec![0.0f32; bsz * out_dim];
+                let mut qs = recmg_tensor::quant::QuantScratch::default();
+                fast_linear_batch(lane, &wm, &b, bsz, &xs, &mut batched, &mut qs);
+                let mut single = vec![0.0f32; out_dim];
+                for bi in 0..bsz {
+                    let x: Vec<f32> = (0..in_dim).map(|i| xs[i * bsz + bi]).collect();
+                    fast_linear(lane, &wm, &b, &x, &mut single);
+                    for (j, &y) in single.iter().enumerate() {
+                        let x = batched[j * bsz + bi];
+                        prop_assert!(
+                            (x - y).abs() < 1e-5,
+                            "lane {} item {} col {}: {} vs {}", lane.name(), bi, j, x, y
+                        );
+                    }
                 }
             }
         }
 
-        /// `step_batch` over B lanes matches B single-lane steps.
+        /// SIMD-vs-scalar lane parity on `fast_linear_batch`: both lanes
+        /// run explicitly and agree to 1e-5.
+        #[test]
+        fn lane_parity_fast_linear_batch(
+            seed in 0u64..1_000,
+            bsz in 1usize..17,
+            in_dim in 1usize..16,
+            out_dim in 1usize..12,
+        ) {
+            if !KernelLane::Avx2.available() {
+                return;
+            }
+            let mut rng = StdRng::seed_from_u64(seed);
+            let w = Tensor::rand_uniform(&mut rng, &[in_dim, out_dim], -1.0, 1.0);
+            let b = Tensor::rand_uniform(&mut rng, &[out_dim], -1.0, 1.0);
+            let wm = FastMat::compile(w, GuidancePrecision::F32);
+            let xs: Vec<f32> = (0..bsz * in_dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let mut qs = recmg_tensor::quant::QuantScratch::default();
+            let mut scalar = vec![0.0f32; bsz * out_dim];
+            fast_linear_batch(KernelLane::Scalar, &wm, &b, bsz, &xs, &mut scalar, &mut qs);
+            let mut avx2 = vec![0.0f32; bsz * out_dim];
+            fast_linear_batch(KernelLane::Avx2, &wm, &b, bsz, &xs, &mut avx2, &mut qs);
+            for (i, (s, v)) in scalar.iter().zip(&avx2).enumerate() {
+                prop_assert!((s - v).abs() < 1e-5, "elem {}: scalar {} vs avx2 {}", i, s, v);
+            }
+        }
+
+        /// `step_batch` over B lanes matches B single-lane steps on every
+        /// lane.
         #[test]
         fn step_batch_matches_single(
             seed in 0u64..1_000,
-            bsz in 1usize..9,
+            bsz in 1usize..12,
             e in 1usize..8,
             h in 1usize..8,
             steps in 1usize..5,
@@ -570,34 +1033,78 @@ mod tests {
                 Tensor::rand_uniform(&mut rng, &[e, 4 * h], -0.5, 0.5),
                 Tensor::rand_uniform(&mut rng, &[h, 4 * h], -0.5, 0.5),
                 Tensor::rand_uniform(&mut rng, &[4 * h], -0.5, 0.5),
+                GuidancePrecision::F32,
             );
-            let mut bh = vec![0.0f32; bsz * h];
-            let mut bc = vec![0.0f32; bsz * h];
-            let mut bg = vec![0.0f32; bsz * 4 * h];
-            let mut sh = vec![vec![0.0f32; h]; bsz];
-            let mut sc = vec![vec![0.0f32; h]; bsz];
-            let mut sg = vec![0.0f32; 4 * h];
-            for _ in 0..steps {
-                let x = batch_inputs(&mut rng, 1, bsz, e);
-                cell.step_batch(bsz, &x, &mut bh, &mut bc, &mut bg);
-                for b in 0..bsz {
-                    cell.step(&x[b * e..(b + 1) * e], &mut sh[b], &mut sc[b], &mut sg);
+            let xs: Vec<Vec<f32>> = (0..steps).map(|_| batch_inputs(&mut rng, 1, bsz, e)).collect();
+            for lane in lanes() {
+                let mut bh = vec![0.0f32; bsz * h];
+                let mut bc = vec![0.0f32; bsz * h];
+                let mut bg = vec![0.0f32; bsz * 4 * h];
+                let mut qs = recmg_tensor::quant::QuantScratch::default();
+                let mut sh = vec![vec![0.0f32; h]; bsz];
+                let mut sc = vec![vec![0.0f32; h]; bsz];
+                let mut sg = vec![0.0f32; 4 * h];
+                for x in &xs {
+                    cell.step_batch(lane, bsz, x, &mut bh, &mut bc, &mut bg, &mut qs);
+                    for b in 0..bsz {
+                        let xi: Vec<f32> = (0..e).map(|i| x[i * bsz + b]).collect();
+                        cell.step(lane, &xi, &mut sh[b], &mut sc[b], &mut sg);
+                    }
                 }
-            }
-            for b in 0..bsz {
-                for j in 0..h {
-                    prop_assert!((bh[b * h + j] - sh[b][j]).abs() < 1e-5);
-                    prop_assert!((bc[b * h + j] - sc[b][j]).abs() < 1e-5);
+                for b in 0..bsz {
+                    for j in 0..h {
+                        prop_assert!((bh[j * bsz + b] - sh[b][j]).abs() < 1e-5);
+                        prop_assert!((bc[j * bsz + b] - sc[b][j]).abs() < 1e-5);
+                    }
                 }
             }
         }
 
+        /// SIMD-vs-scalar lane parity on `step_batch`: both lanes run the
+        /// same multi-step recurrence explicitly and agree to 1e-5.
+        #[test]
+        fn lane_parity_step_batch(
+            seed in 0u64..1_000,
+            bsz in 1usize..17,
+            e in 1usize..8,
+            h in 1usize..8,
+            steps in 1usize..5,
+        ) {
+            if !KernelLane::Avx2.available() {
+                return;
+            }
+            let mut rng = StdRng::seed_from_u64(seed);
+            let cell = FastLstm::new(
+                Tensor::rand_uniform(&mut rng, &[e, 4 * h], -0.5, 0.5),
+                Tensor::rand_uniform(&mut rng, &[h, 4 * h], -0.5, 0.5),
+                Tensor::rand_uniform(&mut rng, &[4 * h], -0.5, 0.5),
+                GuidancePrecision::F32,
+            );
+            let xs: Vec<Vec<f32>> = (0..steps).map(|_| batch_inputs(&mut rng, 1, bsz, e)).collect();
+            let mut results = Vec::new();
+            for lane in [KernelLane::Scalar, KernelLane::Avx2] {
+                let mut bh = vec![0.0f32; bsz * h];
+                let mut bc = vec![0.0f32; bsz * h];
+                let mut bg = vec![0.0f32; bsz * 4 * h];
+                let mut qs = recmg_tensor::quant::QuantScratch::default();
+                for x in &xs {
+                    cell.step_batch(lane, bsz, x, &mut bh, &mut bc, &mut bg, &mut qs);
+                }
+                results.push((bh, bc));
+            }
+            for i in 0..bsz * h {
+                prop_assert!((results[0].0[i] - results[1].0[i]).abs() < 1e-5);
+                prop_assert!((results[0].1[i] - results[1].1[i]).abs() < 1e-5);
+            }
+        }
+
         /// `forward_batch` over B same-length sequences matches B per-item
-        /// forwards, aligned and autoregressive, with a reused scratch.
+        /// forwards, aligned and autoregressive, with a reused scratch, on
+        /// every lane.
         #[test]
         fn forward_batch_matches_per_item(
             seed in 0u64..1_000,
-            bsz in 1usize..7,
+            bsz in 1usize..10,
             t in 1usize..9,
             out_n in 1usize..5,
             aligned in 0u32..2,
@@ -607,26 +1114,59 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(seed ^ 0xBA7C);
             let flat = batch_inputs(&mut rng, t, bsz, 5);
             let out_len = if aligned == 0 { None } else { Some(out_n) };
-            let mut scratch = Scratch::default();
-            let mut out = Vec::new();
-            // Run twice through the same scratch: reuse must not change
-            // results.
-            fast.forward_batch(bsz, t, &flat, out_len, &mut scratch, &mut out);
-            fast.forward_batch(bsz, t, &flat, out_len, &mut scratch, &mut out);
-            let t_out = out_len.unwrap_or(t);
-            prop_assert_eq!(out.len(), t_out * bsz * h);
-            for b in 0..bsz {
-                let single = fast.forward(&lane(&flat, t, bsz, 5, b), out_len);
-                prop_assert_eq!(single.len(), t_out);
-                for (ti, row) in single.iter().enumerate() {
-                    for (j, &y) in row.iter().enumerate() {
-                        let x = out[(ti * bsz + b) * h + j];
-                        prop_assert!(
-                            (x - y).abs() < 1e-5,
-                            "lane {} t {} j {}: {} vs {}", b, ti, j, x, y
-                        );
+            for lane in lanes() {
+                let mut scratch = Scratch::default();
+                let mut out = AlignedVec::new();
+                // Run twice through the same scratch: reuse must not change
+                // results.
+                fast.forward_batch(lane, bsz, t, &flat, out_len, &mut scratch, &mut out);
+                fast.forward_batch(lane, bsz, t, &flat, out_len, &mut scratch, &mut out);
+                let t_out = out_len.unwrap_or(t);
+                prop_assert_eq!(out.len(), t_out * bsz * h);
+                for b in 0..bsz {
+                    let single = fast.forward(lane, &item(&flat, t, bsz, 5, b), out_len);
+                    prop_assert_eq!(single.len(), t_out);
+                    for (ti, row) in single.iter().enumerate() {
+                        for (j, &y) in row.iter().enumerate() {
+                            let x = out[(ti * h + j) * bsz + b];
+                            prop_assert!(
+                                (x - y).abs() < 1e-5,
+                                "lane {} item {} t {} j {}: {} vs {}",
+                                lane.name(), b, ti, j, x, y
+                            );
+                        }
                     }
                 }
+            }
+        }
+
+        /// SIMD-vs-scalar lane parity on `forward_batch` (the full stack:
+        /// LSTM steps, attention, dense head) to 1e-5.
+        #[test]
+        fn lane_parity_forward_batch(
+            seed in 0u64..1_000,
+            bsz in 1usize..10,
+            t in 1usize..9,
+            out_n in 1usize..5,
+            aligned in 0u32..2,
+        ) {
+            if !KernelLane::Avx2.available() {
+                return;
+            }
+            let (_store, _stack, fast) = paired_stack(seed, 5, 6);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x51D);
+            let flat = batch_inputs(&mut rng, t, bsz, 5);
+            let out_len = if aligned == 0 { None } else { Some(out_n) };
+            let mut outs = Vec::new();
+            for lane in [KernelLane::Scalar, KernelLane::Avx2] {
+                let mut scratch = Scratch::default();
+                let mut out = AlignedVec::new();
+                fast.forward_batch(lane, bsz, t, &flat, out_len, &mut scratch, &mut out);
+                outs.push(out);
+            }
+            prop_assert_eq!(outs[0].len(), outs[1].len());
+            for (i, (s, v)) in outs[0].iter().zip(outs[1].iter()).enumerate() {
+                prop_assert!((s - v).abs() < 1e-5, "elem {}: scalar {} vs avx2 {}", i, s, v);
             }
         }
     }

@@ -88,9 +88,12 @@ pub use buffer_mgmt::{RecMgBuffer, TierTraffic};
 pub use builder::SystemBuilder;
 pub use caching_model::{CachingModel, FastCachingModel, TrainingReport};
 pub use codec::{FrequencyRankCodec, GlobalIdCodec, IndexCodec};
-pub use config::{AdmissionPolicy, DegradeLevel, RecMgConfig, SketchConfig, SlaBudget, TierCost};
-pub use engine::{EngineReport, GuidanceMode, ServeOptions};
-pub use fast::FastScratch;
+pub use config::{
+    AdmissionPolicy, DegradeLevel, GuidancePrecision, RecMgConfig, SketchConfig, SlaBudget,
+    TierCost,
+};
+pub use engine::{EngineReport, GuidanceMode, GuidancePlaneReport, ServeOptions};
+pub use fast::{active_lane, FastScratch, KernelLane};
 pub use labeling::{build_training_data, Chunk, PrefetchExample, TrainingData};
 pub use prefetch_model::{
     FastPrefetchModel, PrefetchEval, PrefetchLoss, PrefetchModel, PrefetchTrainingReport,

@@ -21,8 +21,8 @@ use recmg_tensor::{ParamStore, Tape, Tensor, Var};
 use recmg_trace::VectorKey;
 
 use crate::codec::IndexCodec;
-use crate::config::RecMgConfig;
-use crate::fast::{fast_linear_batch, FastLstm, FastScratch, FastStack};
+use crate::config::{GuidancePrecision, RecMgConfig};
+use crate::fast::{fast_linear_batch, FastLstm, FastMat, FastScratch, FastStack};
 use crate::labeling::PrefetchExample;
 
 /// Loss used for prefetch training.
@@ -285,18 +285,26 @@ impl PrefetchModel {
     }
 
     /// Compiles a fast, tape-free inference snapshot for online serving
-    /// (§VI-C).
+    /// (§VI-C), at exact `f32` precision.
     pub fn compile(&self) -> FastPrefetchModel {
+        self.compile_with(GuidancePrecision::default())
+    }
+
+    /// Compiles with an explicit weight precision:
+    /// [`GuidancePrecision::Int8`] quantizes every weight matrix at build
+    /// time (§VI-C's quantization optimization).
+    pub fn compile_with(&self, precision: GuidancePrecision) -> FastPrefetchModel {
         let emb = self.store.value(self.emb.params()[0]).clone();
         let sids = self.stacks.params();
         let stacks = (0..self.stacks.n_stacks())
             .map(|s| {
                 let w = |i: usize| self.store.value(sids[8 * s + i]).clone();
                 FastStack::new(
-                    FastLstm::new(w(0), w(1), w(2)),
-                    FastLstm::new(w(3), w(4), w(5)),
+                    FastLstm::new(w(0), w(1), w(2), precision),
+                    FastLstm::new(w(3), w(4), w(5), precision),
                     w(6),
                     w(7),
+                    precision,
                 )
             })
             .collect();
@@ -305,10 +313,17 @@ impl PrefetchModel {
             output_len: self.cfg.output_len,
             emb,
             stacks,
-            fc_w: self.store.value(self.proj_hidden.weight_id()).clone(),
+            fc_w: FastMat::compile(
+                self.store.value(self.proj_hidden.weight_id()).clone(),
+                precision,
+            ),
             fc_b: self.store.value(self.proj_hidden.bias_id()).clone(),
-            proj_w: self.store.value(self.proj_out.weight_id()).clone(),
+            proj_w: FastMat::compile(
+                self.store.value(self.proj_out.weight_id()).clone(),
+                precision,
+            ),
             proj_b: self.store.value(self.proj_out.bias_id()).clone(),
+            precision,
         }
     }
 
@@ -349,13 +364,33 @@ pub struct FastPrefetchModel {
     output_len: usize,
     emb: Tensor,
     stacks: Vec<FastStack>,
-    fc_w: Tensor,
+    fc_w: FastMat,
     fc_b: Tensor,
-    proj_w: Tensor,
+    proj_w: FastMat,
     proj_b: Tensor,
+    precision: GuidancePrecision,
 }
 
 impl FastPrefetchModel {
+    /// The weight precision this snapshot was compiled at.
+    pub fn precision(&self) -> GuidancePrecision {
+        self.precision
+    }
+
+    /// Whether the weights are int8-quantized.
+    pub fn is_quantized(&self) -> bool {
+        self.precision == GuidancePrecision::Int8
+    }
+
+    /// Weight footprint in bytes (embedding table included).
+    pub fn size_bytes(&self) -> usize {
+        self.emb.len() * std::mem::size_of::<f32>()
+            + self.stacks.iter().map(FastStack::size_bytes).sum::<usize>()
+            + self.fc_w.size_bytes()
+            + self.proj_w.size_bytes()
+            + (self.fc_b.len() + self.proj_b.len()) * std::mem::size_of::<f32>()
+    }
+
     /// Raw predicted codes (matches [`PrefetchModel::predict_codes`] to
     /// ≤1e-5) — the batch-of-one case of
     /// [`FastPrefetchModel::codes_batch`].
@@ -386,11 +421,11 @@ impl FastPrefetchModel {
 
     /// Raw predicted codes for many chunks, batched and allocation-light:
     /// chunks are bucketed by input length, each bucket runs the aligned
-    /// stacks plus the final autoregressive stack as one time-major
-    /// forward (one pass over the weights per bucket), and the
-    /// fully-connected + projection head runs as a single
-    /// `[|PO|·bsz]`-row dense batch. Per chunk, the result is
-    /// bit-identical to [`FastPrefetchModel::codes`].
+    /// stacks plus the final autoregressive stack as one batch-interleaved
+    /// time-major forward (one pass over the weights per bucket) on the
+    /// runtime-selected kernel lane, and the fully-connected + projection
+    /// head runs one interleaved dense batch per output step. Per chunk,
+    /// the result is bit-identical to [`FastPrefetchModel::codes`].
     pub fn codes_batch_with(
         &self,
         chunks: &[&[VectorKey]],
@@ -407,26 +442,48 @@ impl FastPrefetchModel {
             })
             .collect();
         let n = self.output_len;
+        let lane = crate::fast::active_lane();
+        let h = self.fc_w.cols();
         crate::fast::forward_buckets(
+            lane,
             &self.emb,
             self.vocab,
             &self.stacks,
             Some(n),
             chunks,
             scratch,
-            |bucket, _t, bsz, cur, spare| {
-                // Output head over all |PO|·bsz positions at once: fc +
-                // tanh, then the scalar projection.
-                let h = self.fc_w.cols();
+            |bucket, _t, bsz, cur, spare, qs| {
+                // Output head per step group: fc + tanh into `spare`
+                // ([n, h, bsz]), then the scalar projection back into the
+                // head of `cur` ([n, bsz]) — all fc reads finish before
+                // the projection overwrites `cur`'s prefix.
                 spare.clear();
                 spare.resize(n * bsz * h, 0.0);
-                fast_linear_batch(&self.fc_w, &self.fc_b, n * bsz, cur, spare);
+                for ti in 0..n {
+                    fast_linear_batch(
+                        lane,
+                        &self.fc_w,
+                        &self.fc_b,
+                        bsz,
+                        &cur[ti * h * bsz..(ti + 1) * h * bsz],
+                        &mut spare[ti * h * bsz..(ti + 1) * h * bsz],
+                        qs,
+                    );
+                }
                 for v in spare.iter_mut() {
                     *v = v.tanh();
                 }
-                cur.clear();
-                cur.resize(n * bsz, 0.0);
-                fast_linear_batch(&self.proj_w, &self.proj_b, n * bsz, spare, cur);
+                for ti in 0..n {
+                    fast_linear_batch(
+                        lane,
+                        &self.proj_w,
+                        &self.proj_b,
+                        bsz,
+                        &spare[ti * h * bsz..(ti + 1) * h * bsz],
+                        &mut cur[ti * bsz..(ti + 1) * bsz],
+                        qs,
+                    );
+                }
                 for (b, &ci) in bucket.iter().enumerate() {
                     for oi in 0..n {
                         out[ci][oi] = recmg_tensor::stable_sigmoid(cur[oi * bsz + b]);
@@ -615,6 +672,29 @@ mod tests {
         }
         let codec = ring_codec();
         assert_eq!(m.predict(&keys, &codec), fast.predict(&keys, &codec));
+    }
+
+    #[test]
+    fn quantized_compile_shrinks_and_tracks_f32() {
+        let cfg = RecMgConfig::tiny();
+        let m = PrefetchModel::new(&cfg);
+        let f = m.compile();
+        let q = m.compile_with(GuidancePrecision::Int8);
+        assert!(!f.is_quantized());
+        assert!(q.is_quantized());
+        assert!(
+            q.size_bytes() * 2 < f.size_bytes(),
+            "{} vs {}",
+            q.size_bytes(),
+            f.size_bytes()
+        );
+        let keys: Vec<VectorKey> = (0..cfg.input_len as u64).map(|r| key(r * 5 % 19)).collect();
+        let cf = f.codes(&keys);
+        let cq = q.codes(&keys);
+        assert_eq!(cf.len(), cq.len());
+        for (a, b) in cf.iter().zip(&cq) {
+            assert!((a - b).abs() < 0.25, "f32 {a} vs int8 {b}");
+        }
     }
 
     #[test]

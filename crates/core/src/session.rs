@@ -1082,7 +1082,10 @@ impl ServingSession {
         // *also* tallied as plane lag (`late_chunks`: it landed after the
         // last access of this session), which is the metric a capacity
         // planner should watch.
-        let mut plane_report = GuidancePlaneReport::default();
+        let mut plane_report = GuidancePlaneReport {
+            kernel_lane: ctx.kernel_label(),
+            ..GuidancePlaneReport::default()
+        };
         if let Some(plane) = plane {
             plane_report = GuidancePlaneReport {
                 model_forwards: plane.model_forwards.into_inner(),
@@ -1090,6 +1093,7 @@ impl ServingSession {
                 chunks: plane.chunks.into_inner(),
                 max_batch: plane.max_batch_seen.into_inner(),
                 late_chunks: 0,
+                kernel_lane: ctx.kernel_label(),
             };
             for (sid, slot) in plane.completed.into_iter().enumerate() {
                 for u in slot.updates.into_inner().expect("completed lock") {

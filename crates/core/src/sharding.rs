@@ -140,6 +140,22 @@ pub(crate) struct GuidanceCtx {
     pub(crate) guidance_default: GuidanceMode,
 }
 
+impl GuidanceCtx {
+    /// The kernel-lane label reported by sessions over this context:
+    /// the runtime-dispatched lane name plus an `+int8` suffix when the
+    /// compiled models are quantized (`scalar`, `avx2`, `scalar+int8`,
+    /// `avx2+int8`).
+    pub(crate) fn kernel_label(&self) -> &'static str {
+        use crate::fast::{active_lane, KernelLane};
+        match (active_lane(), self.caching.is_quantized()) {
+            (KernelLane::Scalar, false) => "scalar",
+            (KernelLane::Scalar, true) => "scalar+int8",
+            (KernelLane::Avx2, false) => "avx2",
+            (KernelLane::Avx2, true) => "avx2+int8",
+        }
+    }
+}
+
 /// Guidance computed for one chunk: the caching model's keep bits plus the
 /// shard-filtered prefetch predictions.
 pub(crate) type ChunkGuidance = (Vec<bool>, Vec<VectorKey>);
@@ -625,6 +641,19 @@ impl ShardedRecMgSystem {
     /// Whether the prefetch model is active.
     pub fn has_prefetch(&self) -> bool {
         self.ctx.prefetch.is_some()
+    }
+
+    /// Whether the compiled guidance models carry int8-quantized weights
+    /// (built with [`GuidancePrecision::Int8`](crate::GuidancePrecision)).
+    pub fn guidance_models_quantized(&self) -> bool {
+        self.ctx.caching.is_quantized()
+    }
+
+    /// The kernel lane label sessions over this system will report:
+    /// the runtime-dispatched SIMD lane plus a `+int8` suffix when the
+    /// guidance models are quantized.
+    pub fn kernel_label(&self) -> &'static str {
+        self.ctx.kernel_label()
     }
 
     /// Runs inline guidance only on every `stride`-th chunk per shard

@@ -1,0 +1,184 @@
+//! Deterministically-placed scratch buffers for the SIMD kernels.
+//!
+//! A plain `Vec`'s base address is allocator luck: two identical scratch
+//! instances can differ by a few percent in kernel throughput depending on
+//! where their buffers land relative to cache-line and 4 KiB boundaries
+//! (32-byte loads that straddle lines, store→load 4K aliasing between
+//! same-index streams). [`AlignedVec`] removes that luck: the data window
+//! always starts at a fixed distance from a 4 KiB boundary — page-aligned
+//! by default, or offset by a caller-chosen *stagger* so that the hot
+//! buffers of one scratch never sit an exact multiple of 4 KiB apart.
+//!
+//! The container is deliberately minimal: `resize`/`clear`/`len` plus
+//! `Deref`/`DerefMut` to a slice, which is all the kernel scratch needs.
+//! It is implemented safely by over-allocating a `Vec<T>` and sliding the
+//! logical window to the requested placement after every reallocation.
+
+const PAGE: usize = 4096;
+
+/// A growable buffer whose data always starts `stagger` bytes past a
+/// 4 KiB boundary.
+///
+/// # Examples
+///
+/// ```
+/// use recmg_tensor::align::AlignedVec;
+///
+/// let mut v: AlignedVec<f32> = AlignedVec::with_stagger(128);
+/// v.resize(100, 1.0);
+/// assert_eq!(v.len(), 100);
+/// assert_eq!(v.as_ptr() as usize % 4096, 128);
+/// v[0] = 2.0;
+/// assert_eq!(v.iter().sum::<f32>(), 101.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AlignedVec<T: Copy + Default> {
+    buf: Vec<T>,
+    off: usize,
+    len: usize,
+    stagger: usize,
+}
+
+impl<T: Copy + Default> AlignedVec<T> {
+    /// An empty page-aligned buffer.
+    pub fn new() -> Self {
+        Self::with_stagger(0)
+    }
+
+    /// An empty buffer whose data will start `stagger` bytes past a 4 KiB
+    /// boundary. Distinct staggers (in cache-line multiples) for the
+    /// buffers of one scratch keep their same-index elements from sitting
+    /// an exact multiple of 4 KiB apart.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stagger` is not a multiple of `size_of::<T>()` or is
+    /// `>= 4096`.
+    pub fn with_stagger(stagger: usize) -> Self {
+        let sz = std::mem::size_of::<T>();
+        assert!(
+            sz > 0 && PAGE.is_multiple_of(sz),
+            "element size must divide 4096"
+        );
+        assert!(
+            stagger.is_multiple_of(sz),
+            "stagger must be element-aligned"
+        );
+        assert!(stagger < PAGE, "stagger must be below 4096");
+        AlignedVec {
+            buf: Vec::new(),
+            off: 0,
+            len: 0,
+            stagger: stagger / sz,
+        }
+    }
+
+    /// Number of live elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Drops all elements (keeps the allocation).
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Resizes to `n` elements, filling growth with `v` — `Vec::resize`
+    /// semantics, with the data window re-anchored to the configured
+    /// placement after any reallocation.
+    pub fn resize(&mut self, n: usize, v: T) {
+        let sz = std::mem::size_of::<T>();
+        let slack = PAGE / sz;
+        if self.off + n > self.buf.len() {
+            let old_off = self.off;
+            let old_len = self.len;
+            // Two pages of slack: up to one page to reach the next 4 KiB
+            // boundary, plus up to one page of stagger past it.
+            self.buf.resize(n + 2 * slack, T::default());
+            let base = self.buf.as_ptr() as usize;
+            let pad = (PAGE - base % PAGE) % PAGE / sz;
+            let new_off = pad + self.stagger;
+            debug_assert!(new_off + n <= self.buf.len());
+            if new_off != old_off && old_len > 0 {
+                self.buf.copy_within(old_off..old_off + old_len, new_off);
+            }
+            self.off = new_off;
+            for i in old_len..n {
+                self.buf[self.off + i] = v;
+            }
+        } else {
+            for i in self.len..n {
+                self.buf[self.off + i] = v;
+            }
+        }
+        self.len = n;
+    }
+}
+
+impl<T: Copy + Default> std::ops::Deref for AlignedVec<T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        &self.buf[self.off..self.off + self.len]
+    }
+}
+
+impl<T: Copy + Default> std::ops::DerefMut for AlignedVec<T> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        &mut self.buf[self.off..self.off + self.len]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_is_deterministic_across_instances_and_growth() {
+        for stagger in [0usize, 64, 128, 4032] {
+            let mut a: AlignedVec<f32> = AlignedVec::with_stagger(stagger);
+            let mut b: AlignedVec<f32> = AlignedVec::with_stagger(stagger);
+            for n in [1usize, 7, 100, 5000, 70000] {
+                a.resize(n, 0.0);
+                b.resize(n, 0.0);
+                assert_eq!(a.as_ptr() as usize % PAGE, stagger);
+                assert_eq!(b.as_ptr() as usize % PAGE, stagger);
+                assert_eq!(a.len(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn resize_preserves_data_and_fills_growth() {
+        let mut v: AlignedVec<i32> = AlignedVec::with_stagger(64);
+        v.resize(3, 7);
+        v[1] = -1;
+        v.resize(50000, 9); // forces reallocation + window move
+        assert_eq!(&v[..3], &[7, -1, 7]);
+        assert!(v[3..].iter().all(|&x| x == 9));
+        v.resize(2, 0); // shrink keeps prefix
+        assert_eq!(&v[..], &[7, -1]);
+        v.resize(4, 5); // regrow within capacity refills the tail
+        assert_eq!(&v[..], &[7, -1, 5, 5]);
+        v.clear();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn works_for_i8_elements() {
+        let mut v: AlignedVec<i8> = AlignedVec::with_stagger(192);
+        v.resize(10000, 3);
+        assert_eq!(v.as_ptr() as usize % PAGE, 192);
+        assert!(v.iter().all(|&x| x == 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "element-aligned")]
+    fn misaligned_stagger_panics() {
+        let _: AlignedVec<f32> = AlignedVec::with_stagger(2);
+    }
+}

@@ -20,6 +20,8 @@
 //!   available both as tape ops and as free functions
 //!   ([`chamfer_forward`], [`chamfer_backward`]).
 //! * [`quant`] — int8 weight quantization used by the CPU serving path.
+//! * [`simd`] — runtime kernel-lane detection (scalar vs AVX2+FMA) shared
+//!   by the quantized and `f32` serving kernels.
 //! * [`gradcheck`] — finite-difference gradient checking.
 //!
 //! # Examples
@@ -47,10 +49,12 @@
 
 #![allow(clippy::needless_range_loop)] // index-heavy numeric kernels
 
+pub mod align;
 pub mod gradcheck;
 pub mod nn;
 pub mod optim;
 pub mod quant;
+pub mod simd;
 mod tape;
 mod tensor;
 

@@ -14,9 +14,9 @@ use std::time::Duration;
 use proptest::prelude::*;
 
 use recmg_repro::core::{
-    train_recmg, AdmissionPolicy, ArrivalProcess, BatchSource, GuidanceMode, RecMgConfig,
-    RecMgSystem, Request, RequestSource, SessionBuilder, ShardedRecMgSystem, SlaBudget,
-    TraceReplaySource, TrainOptions,
+    train_recmg, AdmissionPolicy, ArrivalProcess, BatchSource, GuidanceMode, GuidancePrecision,
+    RecMgConfig, RecMgSystem, Request, RequestSource, SessionBuilder, ShardedRecMgSystem,
+    SlaBudget, TraceReplaySource, TrainOptions,
 };
 use recmg_repro::dlrm::{BatchAccessStats, BufferManager};
 use recmg_repro::trace::{RowId, SyntheticConfig, TableId, TraceStats, VectorKey};
@@ -132,6 +132,90 @@ fn batched_background_session_matches_inline_counts_on_one_shard() {
     assert_eq!(report.engine.plane.chunks, report.engine.guided_chunks);
     assert!(report.engine.plane.late_chunks <= 1);
     assert!(report.engine.plane.model_forwards > 0);
+}
+
+/// An int8-quantized guidance plane drives the buffer within a small
+/// tolerance of the f32 plane on the same trace.
+///
+/// Both sessions run the lockstep schedule of
+/// `batched_background_session_matches_inline_counts_on_one_shard`, so the
+/// only difference is the weight precision of the compiled models.
+/// Quantization shifts keep/prefetch probabilities by at most the
+/// per-matrix `quantization_error` bound, so only near-threshold decisions
+/// can flip: totals must match exactly and hit/prefetch counts must stay
+/// within a few percent of the f32 plane's.
+#[test]
+fn quantized_background_session_tracks_f32_counts() {
+    let (trace, trained, capacity) = trained_setup();
+    let input_len = trained.caching.config().input_len;
+
+    let run = |precision: GuidancePrecision| {
+        let session = SessionBuilder::new()
+            .workers(1)
+            .guidance(GuidanceMode::Background {
+                threads: 1,
+                max_lag: 64,
+                max_batch: 16,
+            })
+            .admission(AdmissionPolicy::unbounded())
+            .build(
+                recmg_repro::core::SystemBuilder::from_trained(&trained)
+                    .capacity(capacity)
+                    .precision(precision)
+                    .build(),
+            );
+        for (i, chunk) in trace.accesses().chunks(input_len).enumerate() {
+            session
+                .submit(Request {
+                    id: i as u64,
+                    keys: chunk.to_vec(),
+                    arrival: Duration::ZERO,
+                    deadline: None,
+                })
+                .expect("unbounded admission");
+            while session.completed_requests() < (i + 1) as u64 || session.plane_pending() > 0 {
+                std::thread::yield_now();
+            }
+        }
+        session.drain()
+    };
+    let (fsys, f) = run(GuidancePrecision::F32);
+    let (qsys, q) = run(GuidancePrecision::Int8);
+
+    assert!(!fsys.guidance_models_quantized());
+    assert!(qsys.guidance_models_quantized());
+    assert!(
+        !f.engine.plane.kernel_lane.ends_with("+int8"),
+        "f32 lane: {}",
+        f.engine.plane.kernel_lane
+    );
+    assert!(
+        q.engine.plane.kernel_lane.ends_with("+int8"),
+        "int8 lane: {}",
+        q.engine.plane.kernel_lane
+    );
+
+    // Identical traffic and guidance coverage; only decision quality may
+    // drift, and only by a little.
+    assert_eq!(f.engine.stats.total(), q.engine.stats.total());
+    assert_eq!(f.engine.guided_chunks, q.engine.guided_chunks);
+    assert_eq!(f.engine.plane.chunks, q.engine.plane.chunks);
+    let total = f.engine.stats.total() as f64;
+    let hit_gap = (f.engine.stats.hits() as f64 - q.engine.stats.hits() as f64).abs();
+    assert!(
+        hit_gap <= (0.05 * total).max(8.0),
+        "hit gap {hit_gap} over {total} keys (f32 {} vs int8 {})",
+        f.engine.stats.hits(),
+        q.engine.stats.hits()
+    );
+    let pf_gap = (fsys.prefetches_issued() as f64 - qsys.prefetches_issued() as f64).abs();
+    let pf_base = fsys.prefetches_issued().max(1) as f64;
+    assert!(
+        pf_gap <= (0.10 * pf_base).max(8.0),
+        "prefetch gap {pf_gap} (f32 {} vs int8 {})",
+        fsys.prefetches_issued(),
+        qsys.prefetches_issued()
+    );
 }
 
 #[test]
