@@ -5,7 +5,7 @@
 //!
 //! Besides the Criterion timings, the sharded bench writes a JSON summary
 //! (`BENCH_serving.json` at the workspace root, or under `RECMG_OUT`) with
-//! five sections, so the perf trajectory is machine-readable:
+//! seven sections, so the perf trajectory is machine-readable:
 //!
 //! * `sharded` — keys/sec, speedup over the single-thread inline engine,
 //!   and the full [`EngineReport`] per shard count (one warmup pass, then
@@ -22,6 +22,14 @@
 //!   on a skewed workload over a DRAM + penalized-CXL topology, compared
 //!   on per-tier hit-weighted access cost (CI asserts hot-first never
 //!   costs more than even-split);
+//! * `online_rebalance` — the same phase-flip workload served through
+//!   streaming sessions that are never drained mid-phase: `steady` (no
+//!   flip, the latency floor), `quiescent_reactive` (stop-the-world
+//!   drains + [`Rebalancer::try_rebalance`] re-placement), and `live`
+//!   (zero-quiescence migration plus sketch-driven read-hot replication),
+//!   compared on cumulative hit-weighted cost and closed-loop p99; a
+//!   `move_only` vs `replicated` pair isolates what a fast-tier replica
+//!   buys a read-hot shard that cannot fit in the fast tier;
 //! * `streaming` — `SessionReport::to_json` rows for shards {1, 4} under
 //!   a Poisson arrival source calibrated to ~70% of the measured batch
 //!   service rate (p50/p95/p99 latency, shed rate, SLA attainment), plus
@@ -38,10 +46,11 @@ use std::time::Duration;
 
 use recmg_core::serving::{measure_throughput, measure_throughput_with, WorkloadSpec};
 use recmg_core::{
-    AdmissionPolicy, ArrivalProcess, CachingModel, CardinalityWorkingSet, ClosedLoopSource,
-    EvenSplit, FrequencyRankCodec, GuidanceMode, HotFirst, MemoryTier, PrefetchModel, Rebalancer,
-    RecMgConfig, ServeOptions, SessionBuilder, ShardedRecMgSystem, SketchConfig, SlaBudget,
-    SystemBuilder, TierCost, TierTopology, TraceReplaySource, WorkingSet,
+    AdmissionPolicy, ArrivalProcess, BatchSource, CachingModel, CardinalityWorkingSet,
+    ClosedLoopSource, EvenSplit, FrequencyRankCodec, GuidanceMode, HotFirst, LiveRebalanceConfig,
+    MemoryTier, PrefetchModel, Rebalancer, RecMgConfig, ReplicationPolicy, ServeOptions,
+    SessionBuilder, ShardedRecMgSystem, SketchConfig, SlaBudget, SystemBuilder, TierCost,
+    TierTopology, TraceReplaySource, WorkingSet,
 };
 use recmg_dlrm::BufferManager;
 use recmg_trace::{RowId, SyntheticConfig, VectorKey};
@@ -246,6 +255,78 @@ fn tier_placement_rows(cfg: &RecMgConfig) -> (f64, usize, Vec<String>) {
     (skew, requests, rows)
 }
 
+/// The phase-flip workload shared by the `working_set_estimation` and
+/// `online_rebalance` sections — the paper's regime: a stable hot
+/// embedding set dominating traffic, over a long cold tail. Hot phase A
+/// lives on shards `{0,1,2}`; at the flip the hot set moves to shards
+/// `{5,6,7}` (a table/popularity shift concentrating on differently-
+/// hashed rows); 100 background keys keep every shard's sketch window
+/// warm throughout. 2/3 of each 60-key batch cycles the `hot_keys`-sized
+/// hot set, 1/3 cycles the background. The hot-set size picks the regime:
+/// 300 keys out-sizes every shard buffer (miss-dominated, the sketch
+/// stress case), 90 keys fits them (hit-dominated, where tier pricing
+/// and replication carry the cost). With `skew`, the hot keys split
+/// 3:2:1 across the trio instead of evenly — embedding-table popularity
+/// is never flat, and the gradient makes the fast-tier benefit ranking
+/// unambiguous: the lightest hot shard is *always* the one squeezed out
+/// of the fast tier, instead of the three trading places on sampling
+/// noise at every rebalance.
+fn phase_flip_phases(
+    shards: usize,
+    batches_per_phase: usize,
+    hot_keys: usize,
+    skew: bool,
+) -> (Vec<Vec<VectorKey>>, Vec<Vec<VectorKey>>) {
+    let router = recmg_core::ShardRouter::new(shards);
+    // Distinct keys homed on a given shard set, found by walking row ids
+    // (deterministic — the hash router decides, exactly as serving will).
+    let keys_on_shards = |targets: &[usize], n: usize, salt: u64| -> Vec<VectorKey> {
+        (0..)
+            .map(|i| VectorKey::new(recmg_trace::TableId(1), RowId(salt + i as u64)))
+            .filter(|&k| targets.contains(&router.shard_of(k)))
+            .take(n)
+            .collect()
+    };
+    let hot_set = |targets: &[usize; 3], salt: u64| -> Vec<VectorKey> {
+        if skew {
+            let counts = [
+                hot_keys / 2,
+                hot_keys / 3,
+                hot_keys - hot_keys / 2 - hot_keys / 3,
+            ];
+            targets
+                .iter()
+                .zip(counts)
+                .flat_map(|(&t, n)| keys_on_shards(&[t], n, salt))
+                .collect()
+        } else {
+            keys_on_shards(targets, hot_keys, salt)
+        }
+    };
+    let hot_a = hot_set(&[0, 1, 2], 0);
+    let hot_b = hot_set(&[5, 6, 7], 1_000_000);
+    let bg: Vec<VectorKey> = (0..100)
+        .map(|i| VectorKey::new(recmg_trace::TableId(2), RowId(i)))
+        .collect();
+    let batch_of = |hot: &[VectorKey], round: usize| -> Vec<VectorKey> {
+        let mut keys = Vec::with_capacity(60);
+        for i in 0..40 {
+            keys.push(hot[(round * 40 + i) % hot.len()]);
+        }
+        for i in 0..20 {
+            keys.push(bg[(round * 20 + i) % bg.len()]);
+        }
+        keys
+    };
+    let phase_a = (0..batches_per_phase)
+        .map(|r| batch_of(&hot_a, r))
+        .collect();
+    let phase_b = (0..batches_per_phase)
+        .map(|r| batch_of(&hot_b, r))
+        .collect();
+    (phase_a, phase_b)
+}
+
 /// Working-set estimation sweep: a *phase-flipping* skewed workload over
 /// an 8-shard, 2-tier system, served under two placement/rebalancing
 /// strategies:
@@ -269,43 +350,7 @@ fn tier_placement_rows(cfg: &RecMgConfig) -> (f64, usize, Vec<String>) {
 fn working_set_estimation_rows(cfg: &RecMgConfig) -> (usize, u64, Vec<String>) {
     let shards = 8usize;
     let batches_per_phase = if smoke() { 60 } else { 300 };
-    let router = recmg_core::ShardRouter::new(shards);
-    // Distinct keys homed on a given shard set, found by walking row ids
-    // (deterministic — the hash router decides, exactly as serving will).
-    let keys_on_shards = |targets: &[usize], n: usize, salt: u64| -> Vec<VectorKey> {
-        (0..)
-            .map(|i| VectorKey::new(recmg_trace::TableId(1), RowId(salt + i as u64)))
-            .filter(|&k| targets.contains(&router.shard_of(k)))
-            .take(n)
-            .collect()
-    };
-    // The paper's regime: a stable hot embedding set dominating traffic,
-    // over a long cold tail. Hot phase A lives on shards {0,1,2}; at the
-    // flip the hot set moves to shards {5,6,7} (a table/popularity shift
-    // concentrating on differently-hashed rows); 100 background keys keep
-    // every shard's sketch window warm throughout. 2/3 of each batch
-    // cycles the 300-key hot set, 1/3 cycles the background.
-    let hot_a = keys_on_shards(&[0, 1, 2], 300, 0);
-    let hot_b = keys_on_shards(&[5, 6, 7], 300, 1_000_000);
-    let bg: Vec<VectorKey> = (0..100)
-        .map(|i| VectorKey::new(recmg_trace::TableId(2), RowId(i)))
-        .collect();
-    let batch_of = |hot: &[VectorKey], round: usize| -> Vec<VectorKey> {
-        let mut keys = Vec::with_capacity(60);
-        for i in 0..40 {
-            keys.push(hot[(round * 40 + i) % hot.len()]);
-        }
-        for i in 0..20 {
-            keys.push(bg[(round * 20 + i) % bg.len()]);
-        }
-        keys
-    };
-    let phase_a: Vec<Vec<VectorKey>> = (0..batches_per_phase)
-        .map(|r| batch_of(&hot_a, r))
-        .collect();
-    let phase_b: Vec<Vec<VectorKey>> = (0..batches_per_phase)
-        .map(|r| batch_of(&hot_b, r))
-        .collect();
+    let (phase_a, phase_b) = phase_flip_phases(shards, batches_per_phase, 300, false);
     let accesses_per_phase = (batches_per_phase * 60) as u64;
     // Sketch epochs small enough that a hot shard rotates a few batches
     // after the flip; the shared count trigger fires twice per phase.
@@ -395,6 +440,270 @@ fn working_set_estimation_rows(cfg: &RecMgConfig) -> (usize, u64, Vec<String>) {
     })
     .collect();
     (batches_per_phase, epoch, rows)
+}
+
+/// Online-rebalance rows: the `working_set_estimation` phase-flip
+/// workload, but served through streaming sessions and compared on what
+/// quiescence actually costs. Three strategies over identical key
+/// streams (closed loop, 2 outstanding, 2 workers):
+///
+/// * `steady` — the flip never happens (phase A twice) and no rebalancer
+///   runs: the clean latency/cost floor the CI p99 bound anchors to;
+/// * `quiescent_reactive` — the flip served by a system that can only
+///   re-place while drained: one stop-the-world drain at the flip to
+///   snapshot traffic, a second one 8 batches into phase B (charitably,
+///   about when a sketch window could have detected the flip) where
+///   [`Rebalancer::try_rebalance`] re-places on the pure phase-B delta;
+/// * `live` — one session with a [`LiveRebalanceConfig`]: the background
+///   rebalancer detects the flip by phase trigger and re-places under
+///   load (double-buffered staging, copy-on-access + paced fill, one
+///   route publish), with sketch-driven read-hot replication on top.
+///
+/// `hit_weighted_cost_ns` is the cumulative per-tier access cost
+/// including migration fills and replica charges/refunds, so live vs
+/// quiescent is an honest total-cost comparison; `p99_ns` is closed-loop
+/// per-request latency, which never sees the quiescent drains (those
+/// cost throughput, not in-flight latency).
+///
+/// The second row pair isolates replication on a single read-hot shard
+/// homed on the slow tier and too big for the fast one — migration has
+/// nothing to offer, so `move_only` (live config, no replication) pays
+/// the slow-tier hit cost forever while `replicated` (identical plus the
+/// default [`ReplicationPolicy`]) serves its celebrity keys from a
+/// fast-tier replica after paying the fill charges.
+fn online_rebalance_rows(cfg: &RecMgConfig) -> (usize, Vec<String>, Vec<String>) {
+    let shards = 8usize;
+    let batches_per_phase = if smoke() { 60 } else { 300 };
+    // The hit-dominated regime: 60 hot keys fit the hot shards' buffers,
+    // so per-access cost is dominated by which tier prices the hits. The
+    // 3:2:1 skew pins which hot shard loses the fast-tier squeeze.
+    let (phase_a, phase_b) = phase_flip_phases(shards, batches_per_phase, 60, true);
+    let epoch = 128u64;
+    let capacity = 256usize;
+    // Deliberately tighter than the working-set section's 50/50 split:
+    // the three hot shards cannot all fit the fast tier, so whoever is
+    // left on the slow tier is exactly the shard a read-hot replica can
+    // rescue — a structural edge move-only re-placement cannot match.
+    let fast = 96usize;
+    let topology = || {
+        TierTopology::new(vec![
+            MemoryTier::dram(fast),
+            MemoryTier::new(
+                "cxl",
+                capacity - fast,
+                TierCost::cxl_like().with_penalty(Duration::from_nanos(400)),
+            ),
+        ])
+    };
+    let caching = CachingModel::new(cfg);
+    let prefetch = PrefetchModel::new(cfg);
+    let codec_keys = phase_a.concat();
+    let build_system = |topology: TierTopology| {
+        let codec = FrequencyRankCodec::from_accesses(&codec_keys[..2_000.min(codec_keys.len())]);
+        SystemBuilder::new(&caching, Some(&prefetch), codec)
+            .shards(shards)
+            .topology(topology)
+            // The floor keeps a phase-cold shard large enough to re-warm
+            // quickly when the hot set lands on it — placement reacts to
+            // a flip, the floor bounds how hard the flip can hurt before
+            // it does (both strategies get the same policy).
+            .placement(CardinalityWorkingSet::with_floor(20))
+            .guidance(GuidanceMode::Inline)
+            .sketch(SketchConfig {
+                epoch_len: epoch,
+                window_epochs: 4,
+                ..SketchConfig::default()
+            })
+            .build()
+    };
+    let serve = |sys: ShardedRecMgSystem,
+                 live: Option<LiveRebalanceConfig>,
+                 batches: Vec<Vec<VectorKey>>| {
+        let mut builder = SessionBuilder::new()
+            .workers(2)
+            .guidance(GuidanceMode::Inline)
+            .admission(AdmissionPolicy::unbounded());
+        if let Some(cfg) = live {
+            builder = builder.live(cfg);
+        }
+        let session = builder.build(sys);
+        let mut source =
+            ClosedLoopSource::new(BatchSource::from_vecs(batches), 2, session.progress());
+        session.ingest(&mut source);
+        session.drain()
+    };
+    let total_cost = |sys: &ShardedRecMgSystem| -> u64 {
+        (0..sys.num_shards())
+            .map(|i| sys.shard_traffic(i).cost_ns)
+            .sum()
+    };
+    let row = |strategy: &str,
+               flip: bool,
+               drains: usize,
+               completed: u64,
+               p99: Duration,
+               cost: u64,
+               report: &recmg_core::EngineReport| {
+        println!(
+            "online_rebalance/{strategy}: p99 {:.3}ms, cost {:.3}ms, {} migrations, {} replica hits",
+            p99.as_secs_f64() * 1e3,
+            cost as f64 / 1e6,
+            report.migration.migrations,
+            report.replication.replica_hits,
+        );
+        format!(
+            concat!(
+                "    {{\"strategy\": \"{}\", \"flip\": {}, \"drains\": {}, ",
+                "\"completed\": {}, \"p99_ns\": {}, \"hit_weighted_cost_ns\": {}, ",
+                "\"migration\": {}, \"replication\": {}}}"
+            ),
+            strategy,
+            flip,
+            drains,
+            completed,
+            p99.as_nanos(),
+            cost,
+            report.migration.to_json(),
+            report.replication.to_json(),
+        )
+    };
+
+    let mut rows = Vec::new();
+
+    // steady: same load, no flip, no rebalancer.
+    let steady_stream: Vec<Vec<VectorKey>> =
+        phase_a.iter().chain(phase_a.iter()).cloned().collect();
+    let (sys, report) = serve(build_system(topology()), None, steady_stream);
+    rows.push(row(
+        "steady",
+        false,
+        0,
+        report.completed,
+        report.latency.p99,
+        total_cost(&sys),
+        &report.engine,
+    ));
+
+    // quiescent_reactive: re-placement requires a drained system, so the
+    // flip costs two stop-the-worlds — one to snapshot phase-A traffic,
+    // one at the (charitable) reaction point where the pure phase-B
+    // delta drives the re-placement.
+    let react_after = 8usize;
+    let mut rb = Rebalancer::new((react_after * 60) as u64);
+    let (mut sys, r1) = serve(build_system(topology()), None, phase_a.clone());
+    rb.try_rebalance(&mut sys, 0)
+        .expect("drained session has no queue");
+    let (mut sys, r2) = serve(sys, None, phase_b[..react_after].to_vec());
+    rb.try_rebalance(&mut sys, 0)
+        .expect("drained session has no queue");
+    let (sys, r3) = serve(sys, None, phase_b[react_after..].to_vec());
+    rows.push(row(
+        "quiescent_reactive",
+        true,
+        2,
+        r1.completed + r2.completed + r3.completed,
+        r1.latency.p99.max(r2.latency.p99).max(r3.latency.p99),
+        total_cost(&sys),
+        &r3.engine,
+    ));
+
+    // live: one session, zero drains, with the same trigger recipe as
+    // the quiescent-bench reactive strategy — a once-per-phase count
+    // fire keeps the snapshot deltas pure (so the phase fire that
+    // follows the flip ranks on phase-B traffic, not a mixed history),
+    // the phase trigger owns the flip edge, and a two-epoch cooldown
+    // stops back-to-back fires from churning residency the workload
+    // just paid to warm. Replication thresholds admit the hot shards
+    // (~0.22 of fresh demand each) once their post-flip hit fractions
+    // recover; the dedicated replication rows below isolate that
+    // effect on a workload shaped for it.
+    let accesses_per_phase = (batches_per_phase * 60) as u64;
+    let live_cfg = LiveRebalanceConfig {
+        // Commit only fully-warm staging, with no fill pacing: the
+        // copy is still charged at tier fill cost, but the window in
+        // which live traffic races a half-built buffer is minimal —
+        // migration disruption should show up as charged fill work,
+        // not as nondeterministic miss storms.
+        fill_pause: Duration::ZERO,
+        warm_fraction: 1.0,
+        ..LiveRebalanceConfig::default()
+    }
+    .with_min_new_accesses(accesses_per_phase / 2)
+    .with_cooldown(2 * epoch)
+    .with_replication(ReplicationPolicy {
+        unit: 64,
+        hot_share: 0.10,
+        read_dominance: 0.5,
+        ..ReplicationPolicy::default()
+    });
+    let flip_stream: Vec<Vec<VectorKey>> = phase_a.iter().chain(phase_b.iter()).cloned().collect();
+    let (sys, report) = serve(build_system(topology()), Some(live_cfg), flip_stream);
+    rows.push(row(
+        "live",
+        true,
+        0,
+        report.completed,
+        report.latency.p99,
+        total_cost(&sys),
+        &report.engine,
+    ));
+
+    // Replication isolate: 24 celebrity keys (plus a cold tail) on a
+    // single shard whose 256-vector buffer can never fit the 32-slot
+    // fast tier. The count trigger fires every 256 fresh accesses; only
+    // the second row lets the replication policy act on them.
+    let hot: Vec<VectorKey> = (0..24)
+        .map(|r| VectorKey::new(recmg_trace::TableId(3), RowId(r)))
+        .collect();
+    let cold: Vec<VectorKey> = (0..60)
+        .map(|r| VectorKey::new(recmg_trace::TableId(4), RowId(r)))
+        .collect();
+    let rounds = if smoke() { 100 } else { 400 };
+    let rep_batches: Vec<Vec<VectorKey>> = (0..rounds)
+        .map(|r| {
+            let mut keys = hot.clone();
+            for i in 0..6 {
+                keys.push(cold[(r * 6 + i) % cold.len()]);
+            }
+            keys
+        })
+        .collect();
+    let rep_rows = [("move_only", false), ("replicated", true)]
+        .iter()
+        .map(|&(name, replicate)| {
+            let codec = FrequencyRankCodec::from_accesses(&hot);
+            let sys = SystemBuilder::new(&caching, Some(&prefetch), codec)
+                .shards(1)
+                .topology(TierTopology::two_tier(32, 224))
+                .guidance(GuidanceMode::Inline)
+                .build();
+            let mut live = LiveRebalanceConfig::default()
+                .with_min_new_accesses(256)
+                .with_phase_threshold(None);
+            if replicate {
+                live = live.with_replication(ReplicationPolicy::default());
+            }
+            let (sys, report) = serve(sys, Some(live), rep_batches.clone());
+            let cost = total_cost(&sys);
+            println!(
+                "online_rebalance/replication/{name}: cost {:.3}ms, {} replica hits, {} fills",
+                cost as f64 / 1e6,
+                report.engine.replication.replica_hits,
+                report.engine.replication.replica_fills,
+            );
+            format!(
+                concat!(
+                    "      {{\"mode\": \"{}\", \"completed\": {}, ",
+                    "\"hit_weighted_cost_ns\": {}, \"replication\": {}}}"
+                ),
+                name,
+                report.completed,
+                cost,
+                report.engine.replication.to_json(),
+            )
+        })
+        .collect();
+    (batches_per_phase, rows, rep_rows)
 }
 
 /// Streaming rows: a Poisson replay of the same trace the systems are
@@ -638,6 +947,7 @@ fn bench_serving_sharded(c: &mut Criterion) {
     let grid_rows = workload_grid_rows(&cfg);
     let (tier_skew, tier_requests, tier_rows) = tier_placement_rows(&cfg);
     let (ws_requests, ws_epoch, ws_rows) = working_set_estimation_rows(&cfg);
+    let (or_batches_per_phase, or_rows, rep_rows) = online_rebalance_rows(&cfg);
     let (rate_hz, stream_requests, queries_per_request, stream_rows) =
         streaming_rows(&cfg, &trace, capacity);
 
@@ -667,6 +977,18 @@ fn bench_serving_sharded(c: &mut Criterion) {
             "hit_weighted_cost_ns is cumulative over both phases including migration charges; ",
             "post_flip_cost_ns covers the second phase only\",\n",
             "    \"results\": [\n{}\n    ]\n  }},\n",
+            "  \"online_rebalance\": {{\n    \"shards\": 8, \"batches_per_phase\": {}, ",
+            "\"smoke\": {},\n",
+            "    \"methodology\": \"phase-flip stream served closed-loop (2 outstanding, ",
+            "2 workers); the live row never drains (background phase-triggered migration + ",
+            "read-hot replication); quiescent_reactive stops the world twice (flip snapshot, ",
+            "then try_rebalance 8 batches into phase B); hit_weighted_cost_ns is cumulative ",
+            "per-tier access cost including migration fills and replica charges; p99_ns is ",
+            "closed-loop per-request latency\",\n",
+            "    \"results\": [\n{}\n    ],\n",
+            "    \"replication\": {{\n      \"workload\": \"24-key read-hot set + cold tail ",
+            "on one slow-tier shard too big for the fast tier\",\n",
+            "      \"results\": [\n{}\n      ]\n    }}\n  }},\n",
             "  \"streaming\": {{\n    \"arrival_process\": \"poisson\", \"rate_hz\": {:.1}, ",
             "\"requests\": {}, \"queries_per_request\": {},\n    \"results\": [\n{}\n    ]\n  }}\n}}\n"
         ),
@@ -681,6 +1003,10 @@ fn bench_serving_sharded(c: &mut Criterion) {
         ws_requests,
         ws_epoch,
         ws_rows.join(",\n"),
+        or_batches_per_phase,
+        smoke(),
+        or_rows.join(",\n"),
+        rep_rows.join(",\n"),
         rate_hz,
         stream_requests,
         queries_per_request,

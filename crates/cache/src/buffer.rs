@@ -300,6 +300,24 @@ impl GpuBuffer {
         }
     }
 
+    /// Iterates over resident entries as `(key, effective_priority,
+    /// prefetched)`, hottest (highest-stamp) first; within a stamp bucket,
+    /// newest placement first. Live migration uses this to warm a staging
+    /// buffer top-down so a smaller destination keeps the hottest mass,
+    /// and the `prefetched` flag lets the copy preserve first-touch
+    /// prefetch-hit classification across the swap.
+    pub fn iter_hot_first(&self) -> impl Iterator<Item = (VectorKey, u64, bool)> + '_ {
+        self.by_stamp
+            .iter()
+            .rev()
+            .flat_map(move |(&stamp, bucket)| {
+                bucket.iter().rev().map(move |&k| {
+                    let e = &self.entries[&k];
+                    (k, stamp.saturating_sub(self.decay), e.prefetched)
+                })
+            })
+    }
+
     /// Iterates over resident keys (arbitrary order).
     pub fn keys(&self) -> impl Iterator<Item = VectorKey> + '_ {
         self.entries.keys().copied()
@@ -441,6 +459,24 @@ mod tests {
     fn set_capacity_zero_panics() {
         let mut b = GpuBuffer::new(2);
         b.set_capacity(0);
+    }
+
+    #[test]
+    fn iter_hot_first_orders_by_effective_priority() {
+        let mut b = GpuBuffer::with_decay_period(4, 1);
+        b.insert(key(1), 2, false);
+        b.insert(key(2), 9, false);
+        b.insert_prefetch(key(3), 5);
+        let got: Vec<(u64, u64, bool)> = b
+            .iter_hot_first()
+            .map(|(k, p, f)| (k.row().0, p, f))
+            .collect();
+        assert_eq!(got, vec![(2, 9, false), (3, 5, true), (1, 2, false)]);
+        // Decay lowers every reported priority identically.
+        b.insert(key(4), 0, false);
+        b.populate(); // evicts key(4) @0, decay = 1
+        let got: Vec<u64> = b.iter_hot_first().map(|(_, p, _)| p).collect();
+        assert_eq!(got, vec![8, 4, 1]);
     }
 
     #[test]

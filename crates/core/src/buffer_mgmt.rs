@@ -233,6 +233,38 @@ impl RecMgBuffer {
         self.buffer.set_capacity(capacity);
     }
 
+    /// Adds an auxiliary charge to the cumulative cost counter: live
+    /// migration staging fills and replica fills are real tier traffic
+    /// that did not pass through [`RecMgBuffer::access`] /
+    /// [`RecMgBuffer::load_embeddings`]. Hit/miss/fill *counts* never move
+    /// here — only cost — so demand conservation is unaffected.
+    pub fn charge_cost_ns(&mut self, ns: u64) {
+        self.traffic.cost_ns += ns;
+    }
+
+    /// Re-prices the most recent hit as served from a fast-tier replica:
+    /// refunds `hit_ns − served_hit_ns` from the cumulative cost (the hit
+    /// was already charged at this buffer's home-tier rate by
+    /// [`RecMgBuffer::access`]). Returns the nanoseconds saved (0 when the
+    /// replica tier is not cheaper). Counts stay canonical on the home
+    /// shard: replication only modulates *cost*, never hits/misses.
+    pub fn refund_hit(&mut self, served_hit_ns: u64) -> u64 {
+        let saved = self.cost.hit_ns.saturating_sub(served_hit_ns);
+        self.traffic.cost_ns = self.traffic.cost_ns.saturating_sub(saved);
+        saved
+    }
+
+    /// Swaps in a fully warmed replacement storage (live migration's
+    /// double-buffer commit) and re-prices the buffer at the destination
+    /// tier's cost model, returning the retired storage. Traffic counters,
+    /// the working-set tracker, and the eviction speed all stay — the
+    /// shard's identity and demand history are continuous across the
+    /// migration; only where its vectors live changes.
+    pub(crate) fn replace_storage(&mut self, buffer: GpuBuffer, cost: TierCost) -> GpuBuffer {
+        self.cost = cost;
+        std::mem::replace(&mut self.buffer, buffer)
+    }
+
     /// Demand access on the critical path: classifies the access and, on a
     /// miss, fetches the vector on demand (evicting via Algorithm 2 if
     /// full). Newly fetched vectors enter at neutral priority
@@ -536,6 +568,47 @@ mod tests {
         let sat = a.delta_since(&m);
         assert_eq!((sat.hits, sat.misses, sat.cost_ns), (0, 0, 0));
         assert_eq!(sat.unique_keys, 4);
+    }
+
+    #[test]
+    fn refund_reprices_hit_without_touching_counts() {
+        let slow = TierCost::cxl_like();
+        let fast = TierCost::dram();
+        let mut b = RecMgBuffer::with_cost(4, 4, slow);
+        b.access(key(1)); // miss
+        b.access(key(1)); // hit at slow rate
+        let before = b.traffic();
+        let saved = b.refund_hit(fast.hit_ns);
+        assert_eq!(saved, slow.hit_ns - fast.hit_ns);
+        let after = b.traffic();
+        assert_eq!(after.cost_ns, before.cost_ns - saved);
+        assert_eq!((after.hits, after.misses), (before.hits, before.misses));
+        // A replica no cheaper than home refunds nothing.
+        assert_eq!(b.refund_hit(slow.hit_ns + 5), 0);
+        b.charge_cost_ns(17);
+        assert_eq!(b.traffic().cost_ns, after.cost_ns + 17);
+    }
+
+    #[test]
+    fn replace_storage_keeps_history_and_reprices() {
+        let slow = TierCost::cxl_like();
+        let fast = TierCost::dram();
+        let mut b = RecMgBuffer::with_cost(4, 4, slow);
+        for r in 1..=3 {
+            b.access(key(r));
+        }
+        let counts_before = (b.traffic().hits, b.traffic().misses);
+        let footprint = b.working_set().unique_keys;
+        let mut staged = GpuBuffer::new(8);
+        staged.insert(key(1), 4, false);
+        let old = b.replace_storage(staged, fast);
+        assert_eq!(old.len(), 3, "retired storage returned intact");
+        assert_eq!(b.capacity(), 8);
+        assert_eq!(b.cost(), fast);
+        let t = b.traffic();
+        assert_eq!((t.hits, t.misses), counts_before, "counters continuous");
+        assert_eq!(b.working_set().unique_keys, footprint, "sketch continuous");
+        assert_eq!(b.access(key(1)), BufferAccess::CacheHit);
     }
 
     #[test]

@@ -1,10 +1,10 @@
 //! Fluent construction of tier-aware sharded systems.
 //!
-//! [`SystemBuilder`] replaces the positional
-//! `ShardedRecMgSystem::new(caching, prefetch, codec, capacity, shards)`
-//! constructors: the memory hierarchy ([`TierTopology`]), the shard
-//! placement ([`PlacementPolicy`]), and the default guidance scheduling
-//! ([`GuidanceMode`]) are explicit, named, and individually defaultable.
+//! [`SystemBuilder`] is the one construction path for
+//! [`ShardedRecMgSystem`]s: the memory hierarchy ([`TierTopology`]), the
+//! shard placement ([`PlacementPolicy`]), and the default guidance
+//! scheduling ([`GuidanceMode`]) are explicit, named, and individually
+//! defaultable.
 //!
 //! ```
 //! use recmg_core::{

@@ -20,6 +20,7 @@ use recmg_dlrm::BatchAccessStats;
 use recmg_trace::VectorKey;
 
 use crate::config::AdmissionPolicy;
+use crate::migrate::{MigrationReport, ReplicationReport};
 use crate::session::{BatchSource, SessionBuilder};
 use crate::sharding::ShardedRecMgSystem;
 use crate::tier::TierUsage;
@@ -168,6 +169,12 @@ pub struct EngineReport {
     /// values mean a shard's working set flipped within the last epoch —
     /// the signal the phase-reactive [`crate::Rebalancer`] fires on).
     pub max_phase_score: f64,
+    /// Live-migration accounting (all zeros when the run had no
+    /// [`crate::LiveRebalanceConfig`] attached).
+    pub migration: MigrationReport,
+    /// Hot-shard replication accounting (all zeros without a
+    /// [`crate::ReplicationPolicy`]).
+    pub replication: ReplicationReport,
 }
 
 impl EngineReport {
@@ -203,7 +210,8 @@ impl EngineReport {
                 "\"guided_fraction\": {:.4}, \"keys_per_sec\": {:.1}, ",
                 "\"elapsed_secs\": {:.4}, \"plane\": {}, ",
                 "\"access_cost_ns\": {}, \"unique_keys\": {}, ",
-                "\"max_phase_score\": {:.4}, \"tiers\": [{}]}}"
+                "\"max_phase_score\": {:.4}, \"migration\": {}, ",
+                "\"replication\": {}, \"tiers\": [{}]}}"
             ),
             self.batches,
             self.stats.total(),
@@ -215,6 +223,8 @@ impl EngineReport {
             self.access_cost_ns(),
             self.unique_keys,
             self.max_phase_score,
+            self.migration.to_json(),
+            self.replication.to_json(),
             tiers.join(", "),
         )
     }
@@ -405,6 +415,11 @@ mod tests {
             "\"access_cost_ns\"",
             "\"unique_keys\"",
             "\"max_phase_score\"",
+            "\"migration\"",
+            "\"migrations\"",
+            "\"route_epoch\"",
+            "\"replication\"",
+            "\"replica_hits\"",
             "\"tiers\"",
             "\"tier\": \"dram\"",
         ] {

@@ -46,6 +46,13 @@
 //!    mass, and the [`Rebalancer`]'s phase-change trigger re-places a
 //!    live system within one sketch epoch of a skew flip (placement runs
 //!    on per-epoch traffic deltas, never cumulative history).
+//! 8. **Live migration** ([`migrate`]): sessions built with
+//!    [`SessionBuilder::live`] re-place shards with zero quiescence — an
+//!    epoch-versioned [`RouteTable`] routes every request wait-free, a
+//!    background rebalancer double-buffers the affected shard (copy-on-
+//!    access plus a paced fill) and commits with one route publish, and a
+//!    sketch-driven [`ReplicationPolicy`] gives read-hot slow-tier shards
+//!    fast-tier replicas that invalidate through the same epoch fence.
 //!
 //! # Examples
 //!
@@ -76,6 +83,7 @@ mod config;
 pub mod engine;
 mod fast;
 pub mod labeling;
+pub mod migrate;
 mod prefetch_model;
 pub mod serving;
 pub mod session;
@@ -95,6 +103,10 @@ pub use config::{
 pub use engine::{EngineReport, GuidanceMode, GuidancePlaneReport, ServeOptions};
 pub use fast::{active_lane, FastScratch, KernelLane};
 pub use labeling::{build_training_data, Chunk, PrefetchExample, TrainingData};
+pub use migrate::{
+    LiveRebalanceConfig, MigrationReport, ReplicationPolicy, ReplicationReport, RouteEpoch,
+    RouteTable, ShardRoute,
+};
 pub use prefetch_model::{
     FastPrefetchModel, PrefetchEval, PrefetchLoss, PrefetchModel, PrefetchTrainingReport,
 };
@@ -107,6 +119,6 @@ pub use sharding::{ShardRouter, ShardedRecMgSystem};
 pub use sketch::{CardinalitySketch, WorkingSetStats, WorkingSetTracker};
 pub use system::{train_recmg, CmPolicy, PmPrefetcher, RecMgSystem, TrainOptions, TrainedRecMg};
 pub use tier::{
-    CardinalityWorkingSet, EvenSplit, HotFirst, MemoryTier, PlacementPolicy, Rebalancer,
-    ShardPlacement, TierTopology, TierUsage, WorkingSet,
+    CardinalityWorkingSet, EvenSplit, HotFirst, MemoryTier, PlacementPolicy, RebalanceDeferred,
+    Rebalancer, ShardPlacement, TierTopology, TierUsage, WorkingSet,
 };

@@ -1,0 +1,1208 @@
+//! Live migration: zero-quiescence rebalancing and hot-shard replication.
+//!
+//! The quiescent [`Rebalancer`](crate::Rebalancer) detects a hot-set flip
+//! within ~1 sketch epoch and then has to wait for a session drain before
+//! it may act — in production the system never drains. This module lets a
+//! [`ServingSession`](crate::ServingSession) re-place shards **while
+//! requests flow**:
+//!
+//! * **Epoch-versioned routing** ([`RouteTable`] / [`RouteEpoch`]): the
+//!   per-shard route (serve directly, mirror into a staging buffer, or
+//!   replica-accelerated) lives behind an arc-swap-style atomic pointer.
+//!   Workers [`pin`](RouteTable::pin) the current epoch wait-free on every
+//!   request; a single writer publishes a new epoch with one pointer
+//!   store and retires the old one only after every pinned reader has
+//!   drained past the epoch fence.
+//! * **Double-buffered placement** ([`LiveState`] + the background
+//!   rebalancer loop): on a phase-trigger or access-count fire, the
+//!   affected shard's new buffer is built at its new capacity/tier while
+//!   the old one keeps serving. It warms by *copy-on-access* (workers
+//!   mirror the keys they demand) plus a *paced background fill* of the
+//!   hottest resident entries; once warm the route is CASed back to
+//!   direct, in-flight requests drain past the fence, and the old buffer
+//!   is swapped out under the shard lock and retired. Fill charges land
+//!   in the shard's cumulative cost through the existing
+//!   `migration_cost_ns` accounting ([`MigrationReport`]).
+//! * **Read-hot replication** ([`ReplicationPolicy`] / `ReplicaState`):
+//!   the working-set sketch decides
+//!   replication degree — shards that are hot *and* read-dominant get a
+//!   fast-tier replica of their celebrity keys, the way consistent-hash
+//!   fleets replicate celebrity keys. Replica entries are stamped with
+//!   the route epoch and invalidate through the same fence: a primary
+//!   miss (the "write") evicts the entry immediately, and entries older
+//!   than the policy's TTL in epochs decay to absent. Counts stay
+//!   canonical on the home shard; replication only re-prices hits
+//!   ([`ReplicationReport`]).
+//!
+//! Demand conservation is the load-bearing invariant: every demand access
+//! is recorded exactly once on whatever buffer is primary under the shard
+//! mutex, staging/replica fills never count as demand, and the
+//! double-buffer swap replaces only the storage — traffic counters and
+//! the sketch stay on the shard. A migration is therefore invisible to
+//! hit/miss totals (pinned by the 1-shard parity oracle in
+//! `tests/integration_migration.rs`).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use recmg_cache::GpuBuffer;
+use recmg_trace::VectorKey;
+
+use crate::buffer_mgmt::TierTraffic;
+use crate::config::TierCost;
+use crate::sharding::{GuidanceCtx, Shard};
+use crate::tier::{ShardPlacement, TierTopology};
+
+/// Per-shard serving route within one [`RouteEpoch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardRoute {
+    /// Serve the primary buffer only.
+    Direct,
+    /// Primary stays authoritative; workers additionally mirror demanded
+    /// keys into the shard's staging buffer (copy-on-access warming).
+    Migrating,
+    /// Primary is authoritative and a fast-tier replica re-prices hits of
+    /// replica-resident keys (informational in the route — the replica
+    /// itself lives under the shard mutex).
+    Replicated,
+}
+
+/// One immutable routing snapshot: the route of every shard, versioned by
+/// a monotonically increasing epoch. Workers read a whole epoch at once,
+/// so a request can never observe a torn route update.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteEpoch {
+    epoch: u64,
+    routes: Vec<ShardRoute>,
+}
+
+impl RouteEpoch {
+    /// The epoch number of this snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The route of shard `shard` ([`ShardRoute::Direct`] out of range).
+    pub fn route(&self, shard: usize) -> ShardRoute {
+        self.routes
+            .get(shard)
+            .copied()
+            .unwrap_or(ShardRoute::Direct)
+    }
+
+    /// Shards currently marked [`ShardRoute::Replicated`].
+    pub fn replicated(&self) -> usize {
+        self.routes
+            .iter()
+            .filter(|&&r| r == ShardRoute::Replicated)
+            .count()
+    }
+}
+
+/// An arc-swap-style epoch-versioned pointer to the current
+/// [`RouteEpoch`].
+///
+/// Readers are wait-free in the absence of a concurrent publish (two
+/// atomic loads + two counter RMWs, no locks); the single writer swaps
+/// the pointer, bumps the epoch, then spins until every reader pinned in
+/// the *previous* epoch's slot has dropped its guard — the epoch fence —
+/// before freeing the retired snapshot. Slots alternate by epoch parity,
+/// so readers of the new epoch never delay retirement of the old one.
+///
+/// ```
+/// use recmg_core::migrate::{RouteTable, ShardRoute};
+///
+/// let table = RouteTable::new(2);
+/// assert_eq!(table.pin().route(0), ShardRoute::Direct);
+/// table.publish_with(|routes| routes[1] = ShardRoute::Migrating);
+/// let pinned = table.pin();
+/// assert_eq!(pinned.epoch(), 1);
+/// assert_eq!(pinned.route(1), ShardRoute::Migrating);
+/// ```
+#[derive(Debug)]
+pub struct RouteTable {
+    ptr: AtomicPtr<RouteEpoch>,
+    /// Shared with replica buffers so decay-TTL checks read the live
+    /// epoch without reaching back into the table.
+    epoch: Arc<AtomicU64>,
+    /// Reader pin counts, indexed by epoch parity.
+    pins: [AtomicUsize; 2],
+    /// Serializes publishers (the rebalancer thread plus any manual
+    /// migration/replication calls).
+    writer: Mutex<()>,
+}
+
+/// A pinned, immutably borrowed [`RouteEpoch`]. Holding the guard keeps
+/// the snapshot alive; the writer's fence waits for it.
+#[derive(Debug)]
+pub struct RouteGuard<'a> {
+    table: &'a RouteTable,
+    slot: usize,
+    epoch: &'a RouteEpoch,
+}
+
+impl std::ops::Deref for RouteGuard<'_> {
+    type Target = RouteEpoch;
+
+    fn deref(&self) -> &RouteEpoch {
+        self.epoch
+    }
+}
+
+impl Drop for RouteGuard<'_> {
+    fn drop(&mut self) {
+        self.table.pins[self.slot].fetch_sub(1, Ordering::Release);
+    }
+}
+
+impl RouteTable {
+    /// A table over `num_shards` shards, all [`ShardRoute::Direct`], at
+    /// epoch 0.
+    pub fn new(num_shards: usize) -> Self {
+        let first = Box::new(RouteEpoch {
+            epoch: 0,
+            routes: vec![ShardRoute::Direct; num_shards],
+        });
+        RouteTable {
+            ptr: AtomicPtr::new(Box::into_raw(first)),
+            epoch: Arc::new(AtomicU64::new(0)),
+            pins: [AtomicUsize::new(0), AtomicUsize::new(0)],
+            writer: Mutex::new(()),
+        }
+    }
+
+    /// The current epoch number (monotonic).
+    pub fn current_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Handle to the live epoch counter (replica TTL checks read it).
+    pub(crate) fn epoch_handle(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.epoch)
+    }
+
+    /// Pins and returns the current route snapshot. Lock-free: retries
+    /// only if a publish lands between the pin and its validation.
+    pub fn pin(&self) -> RouteGuard<'_> {
+        loop {
+            let e = self.epoch.load(Ordering::Acquire);
+            let slot = (e & 1) as usize;
+            self.pins[slot].fetch_add(1, Ordering::AcqRel);
+            if self.epoch.load(Ordering::Acquire) == e {
+                // The pin is visible to any writer that will retire the
+                // snapshot this slot guards, so the pointer is stable
+                // until the guard drops.
+                let ptr = self.ptr.load(Ordering::Acquire);
+                // SAFETY: `ptr` was published by a `Box::into_raw` and is
+                // only freed by a writer after it observes this slot's
+                // pin count at zero; we hold a pin in the slot of the
+                // epoch we validated, and validation-after-pin means the
+                // writer that retires this snapshot has not passed its
+                // fence yet.
+                let epoch = unsafe { &*ptr };
+                return RouteGuard {
+                    table: self,
+                    slot,
+                    epoch,
+                };
+            }
+            // A publish raced us: unpin the stale slot and retry against
+            // the new epoch.
+            self.pins[slot].fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Publishes a new epoch derived from the current routes, waits for
+    /// readers of the previous epoch to drain past the fence, and retires
+    /// the old snapshot. Returns the new epoch number.
+    pub fn publish_with(&self, f: impl FnOnce(&mut Vec<ShardRoute>)) -> u64 {
+        let _writer = self.writer.lock().expect("route writer lock poisoned");
+        let cur = self.epoch.load(Ordering::Acquire);
+        let old = self.ptr.load(Ordering::Acquire);
+        // SAFETY: only the (serialized) writer frees snapshots, and this
+        // writer has not freed `old` yet.
+        let mut routes = unsafe { (*old).routes.clone() };
+        f(&mut routes);
+        let next = Box::new(RouteEpoch {
+            epoch: cur + 1,
+            routes,
+        });
+        // Order matters: the pointer store must be visible before the
+        // epoch bump, so a reader that validates the new epoch always
+        // loads the new pointer (release on `epoch`, acquire in `pin`).
+        self.ptr.store(Box::into_raw(next), Ordering::Release);
+        self.epoch.store(cur + 1, Ordering::Release);
+        // Epoch fence: readers still pinned in the old parity slot hold
+        // the retiring snapshot (or raced the bump and will unpin); spin
+        // until they drain, then the old snapshot is unreachable.
+        let old_slot = (cur & 1) as usize;
+        while self.pins[old_slot].load(Ordering::Acquire) != 0 {
+            std::hint::spin_loop();
+        }
+        // SAFETY: the pointer was replaced above and every reader that
+        // could hold it has unpinned; no new reader can validate the old
+        // epoch.
+        drop(unsafe { Box::from_raw(old) });
+        cur + 1
+    }
+}
+
+impl Drop for RouteTable {
+    fn drop(&mut self) {
+        // SAFETY: exclusive access; the only remaining snapshot is the
+        // current one.
+        drop(unsafe { Box::from_raw(*self.ptr.get_mut()) });
+    }
+}
+
+// SAFETY: the pointee is immutable after publication and retirement is
+// fenced on reader pin counts; all other fields are atomics/locks.
+unsafe impl Send for RouteTable {}
+unsafe impl Sync for RouteTable {}
+
+/// Sketch-driven replication policy: how many fast-tier replica slots a
+/// hot, read-dominant shard earns.
+///
+/// Degree scales with the shard's share of fresh demand the way
+/// consistent-hash fleets scale celebrity-key replication with observed
+/// request share; the sketched per-window footprint caps the replica so
+/// it never out-sizes the keys it could usefully hold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicationPolicy {
+    /// Replica slots granted per degree.
+    pub unit: usize,
+    /// Maximum replication degree per shard.
+    pub max_degree: usize,
+    /// Minimum share of fresh demand (0..1] for a shard to qualify.
+    pub hot_share: f64,
+    /// Minimum hit fraction of fresh demand — replicas accelerate reads;
+    /// a miss-heavy (write-like) stream invalidates faster than it
+    /// serves.
+    pub read_dominance: f64,
+    /// Replica entries older than this many route epochs decay to absent
+    /// (lease-style freshness through the epoch fence).
+    pub ttl_epochs: u64,
+}
+
+impl Default for ReplicationPolicy {
+    fn default() -> Self {
+        ReplicationPolicy {
+            unit: 32,
+            max_degree: 4,
+            hot_share: 0.25,
+            read_dominance: 0.7,
+            ttl_epochs: 8,
+        }
+    }
+}
+
+impl ReplicationPolicy {
+    /// Replication degree for a shard with the given share of fresh
+    /// demand and hit fraction: 0 unless both thresholds qualify, then
+    /// `ceil(share × max_degree)` clamped to `[1, max_degree]`.
+    pub fn degree_for(&self, share: f64, hit_fraction: f64) -> usize {
+        if share < self.hot_share || hit_fraction < self.read_dominance {
+            return 0;
+        }
+        ((share * self.max_degree as f64).ceil() as usize).clamp(1, self.max_degree)
+    }
+
+    /// Replica capacity for a shard: `degree × unit`, capped by the
+    /// shard's sketched window footprint (replicating more slots than
+    /// distinct demanded keys is dead weight).
+    pub fn capacity_for(&self, share: f64, hit_fraction: f64, sketched_keys: u64) -> usize {
+        let degree = self.degree_for(share, hit_fraction);
+        (degree * self.unit).min(sketched_keys as usize)
+    }
+}
+
+/// Configuration of the session-embedded live rebalancer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LiveRebalanceConfig {
+    /// Trigger-poll interval of the background thread.
+    pub check_every: Duration,
+    /// Access-count trigger: fire when this many fresh demand accesses
+    /// accumulated since the last fire (0 disables the count trigger).
+    pub min_new_accesses: u64,
+    /// Phase trigger: fire when any shard's sketch phase score reaches
+    /// the threshold (with the quiescent trigger's hysteresis and
+    /// per-shard significance gate).
+    pub phase_threshold: Option<f64>,
+    /// Minimum fresh accesses between any two fires — the cooldown that
+    /// keeps a noisy phase score from thrashing placements.
+    pub cooldown: u64,
+    /// Entries copied per background-fill step (under brief shard locks).
+    pub fill_batch: usize,
+    /// Pause between background-fill steps — the pacing that keeps
+    /// warming from starving serving.
+    pub fill_pause: Duration,
+    /// Staging is warm enough to commit once it holds this fraction of
+    /// `min(primary residency, staging capacity)`.
+    pub warm_fraction: f64,
+    /// Optional read-hot replication on top of migration.
+    pub replication: Option<ReplicationPolicy>,
+}
+
+impl Default for LiveRebalanceConfig {
+    fn default() -> Self {
+        LiveRebalanceConfig {
+            check_every: Duration::from_micros(500),
+            min_new_accesses: 0,
+            phase_threshold: Some(0.5),
+            cooldown: 256,
+            fill_batch: 64,
+            fill_pause: Duration::from_micros(50),
+            warm_fraction: 0.9,
+            replication: None,
+        }
+    }
+}
+
+impl LiveRebalanceConfig {
+    /// Enables the access-count trigger.
+    pub fn with_min_new_accesses(mut self, min: u64) -> Self {
+        self.min_new_accesses = min;
+        self
+    }
+
+    /// Sets (or disables, with `None`) the phase trigger.
+    pub fn with_phase_threshold(mut self, threshold: Option<f64>) -> Self {
+        self.phase_threshold = threshold;
+        self
+    }
+
+    /// Sets the fresh-access cooldown between fires.
+    pub fn with_cooldown(mut self, cooldown: u64) -> Self {
+        self.cooldown = cooldown;
+        self
+    }
+
+    /// Enables sketch-driven read-hot replication.
+    pub fn with_replication(mut self, policy: ReplicationPolicy) -> Self {
+        self.replication = Some(policy);
+        self
+    }
+}
+
+/// Migration activity of one session, reported in
+/// [`EngineReport`](crate::EngineReport) and all bench JSON. All zero when
+/// the session ran without a live rebalancer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MigrationReport {
+    /// Completed double-buffered tier migrations.
+    pub migrations: u64,
+    /// In-place capacity-only re-sizes (no tier change, no staging).
+    pub resizes: u64,
+    /// Staging entries warmed by copy-on-access mirroring.
+    pub copy_fills: u64,
+    /// Staging entries warmed by the paced background filler.
+    pub background_fills: u64,
+    /// Fill charges of committed migrations (`fills × destination
+    /// fill_ns`), also added to the migrated shard's cumulative cost.
+    pub migration_cost_ns: u64,
+    /// Route epochs published (0 = the route never changed).
+    pub route_epoch: u64,
+}
+
+impl MigrationReport {
+    /// JSON object (stable field names, asserted in CI).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"migrations\": {}, \"resizes\": {}, \"copy_fills\": {}, \
+             \"background_fills\": {}, \"migration_cost_ns\": {}, \"route_epoch\": {}}}",
+            self.migrations,
+            self.resizes,
+            self.copy_fills,
+            self.background_fills,
+            self.migration_cost_ns,
+            self.route_epoch
+        )
+    }
+}
+
+/// Replication activity of one session, reported alongside
+/// [`MigrationReport`]. All zero when replication was not enabled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicationReport {
+    /// Shards holding a replica at session end.
+    pub replicated_shards: u64,
+    /// Hits re-priced at the replica tier's cost.
+    pub replica_hits: u64,
+    /// Copy-on-access fills into replicas.
+    pub replica_fills: u64,
+    /// Replica entries invalidated (primary-miss writes plus TTL decay).
+    pub invalidations: u64,
+    /// Total cost refunded by replica-served hits.
+    pub saved_cost_ns: u64,
+    /// Total fill cost charged for replica warming.
+    pub replica_cost_ns: u64,
+}
+
+impl ReplicationReport {
+    /// JSON object (stable field names, asserted in CI).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"replicated_shards\": {}, \"replica_hits\": {}, \"replica_fills\": {}, \
+             \"invalidations\": {}, \"saved_cost_ns\": {}, \"replica_cost_ns\": {}}}",
+            self.replicated_shards,
+            self.replica_hits,
+            self.replica_fills,
+            self.invalidations,
+            self.saved_cost_ns,
+            self.replica_cost_ns
+        )
+    }
+}
+
+/// The double-buffered destination of one in-flight shard migration:
+/// a fresh buffer at the new capacity, priced at the destination tier.
+#[derive(Debug)]
+pub(crate) struct StagingBuffer {
+    pub(crate) buffer: GpuBuffer,
+    pub(crate) tier: usize,
+    pub(crate) cost: TierCost,
+    pub(crate) copy_fills: u64,
+    pub(crate) background_fills: u64,
+}
+
+impl StagingBuffer {
+    fn new(placement: &ShardPlacement, cost: TierCost) -> Self {
+        StagingBuffer {
+            buffer: GpuBuffer::new(placement.capacity.max(1)),
+            tier: placement.tier,
+            cost,
+            copy_fills: 0,
+            background_fills: 0,
+        }
+    }
+
+    /// Copy-on-access admission: mirrors a just-demanded key. A full
+    /// staging buffer only displaces a colder entry.
+    pub(crate) fn admit(&mut self, key: VectorKey, priority: u64, prefetched: bool) -> bool {
+        if self.buffer.contains(key) {
+            return false;
+        }
+        if self.buffer.is_full() {
+            if self.buffer.min_priority().unwrap_or(0) >= priority {
+                return false;
+            }
+            self.buffer.evict_min();
+        }
+        self.buffer.insert(key, priority, prefetched);
+        true
+    }
+
+    /// One paced background-fill step: copies up to `batch` of the
+    /// primary's hottest entries (priority and prefetch flag preserved,
+    /// so first-touch classification survives the swap). Returns how many
+    /// were copied — 0 means there is nothing left worth copying.
+    fn fill_step(&mut self, primary: &GpuBuffer, batch: usize) -> usize {
+        let mut filled = 0;
+        for (key, priority, prefetched) in primary.iter_hot_first() {
+            if filled >= batch || self.buffer.is_full() {
+                break;
+            }
+            if self.buffer.contains(key) {
+                continue;
+            }
+            self.buffer.insert(key, priority, prefetched);
+            self.background_fills += 1;
+            filled += 1;
+        }
+        filled
+    }
+
+    fn warm_enough(&self, primary_len: usize, warm_fraction: f64) -> bool {
+        let target = primary_len.min(self.buffer.capacity());
+        self.buffer.len() as f64 >= target as f64 * warm_fraction
+    }
+}
+
+/// Running totals the live subsystem accumulates across migrations and
+/// retired replicas.
+#[derive(Debug, Default)]
+pub(crate) struct LiveCounters {
+    pub(crate) migrations: AtomicU64,
+    pub(crate) resizes: AtomicU64,
+    pub(crate) copy_fills: AtomicU64,
+    pub(crate) background_fills: AtomicU64,
+    pub(crate) migration_cost_ns: AtomicU64,
+    pub(crate) replica_hits: AtomicU64,
+    pub(crate) replica_fills: AtomicU64,
+    pub(crate) invalidations: AtomicU64,
+    pub(crate) saved_cost_ns: AtomicU64,
+    pub(crate) replica_cost_ns: AtomicU64,
+}
+
+/// Shared state of a live-migration-enabled session: the route table,
+/// one staging slot per shard, counters, and the rebalancer's stop flag.
+#[derive(Debug)]
+pub(crate) struct LiveState {
+    pub(crate) cfg: LiveRebalanceConfig,
+    pub(crate) routes: RouteTable,
+    staging: Vec<Mutex<Option<StagingBuffer>>>,
+    /// Serializes whole-migration critical sections (the background loop
+    /// plus manual [`ServingSession::migrate_shard`]
+    /// (crate::ServingSession::migrate_shard) calls).
+    migrating: Mutex<()>,
+    pub(crate) counters: LiveCounters,
+    pub(crate) stop: AtomicBool,
+}
+
+impl LiveState {
+    pub(crate) fn new(num_shards: usize, cfg: LiveRebalanceConfig) -> Self {
+        LiveState {
+            cfg,
+            routes: RouteTable::new(num_shards),
+            staging: (0..num_shards).map(|_| Mutex::new(None)).collect(),
+            migrating: Mutex::new(()),
+            counters: LiveCounters::default(),
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    /// Copy-on-access mirroring, called by workers for shards routed
+    /// [`ShardRoute::Migrating`] — under the shard mutex, after the part
+    /// was served against the (authoritative) primary.
+    pub(crate) fn mirror(&self, shard: &mut Shard, keys: &[VectorKey]) {
+        let mut slot = self.staging[shard.id]
+            .lock()
+            .expect("staging lock poisoned");
+        let Some(staging) = slot.as_mut() else {
+            // The migration committed (or was abandoned) after this
+            // request pinned its route: the primary already is the new
+            // buffer, nothing to mirror.
+            return;
+        };
+        for &key in keys {
+            // Served keys are resident in the primary (a miss inserts);
+            // copy at the primary's current priority so the staged copy
+            // preserves relative eviction order.
+            let priority = shard
+                .buffer
+                .buffer()
+                .priority(key)
+                .unwrap_or(shard.buffer.eviction_speed());
+            if staging.admit(key, priority, false) {
+                staging.copy_fills += 1;
+            }
+        }
+    }
+
+    /// Snapshot of the migration counters as a report.
+    pub(crate) fn migration_report(&self) -> MigrationReport {
+        MigrationReport {
+            migrations: self.counters.migrations.load(Ordering::Acquire),
+            resizes: self.counters.resizes.load(Ordering::Acquire),
+            copy_fills: self.counters.copy_fills.load(Ordering::Acquire),
+            background_fills: self.counters.background_fills.load(Ordering::Acquire),
+            migration_cost_ns: self.counters.migration_cost_ns.load(Ordering::Acquire),
+            route_epoch: self.routes.current_epoch(),
+        }
+    }
+
+    /// Snapshot of the replication counters (retired replicas only — the
+    /// session folds still-installed replicas in at drain).
+    pub(crate) fn replication_report(&self) -> ReplicationReport {
+        ReplicationReport {
+            replicated_shards: 0,
+            replica_hits: self.counters.replica_hits.load(Ordering::Acquire),
+            replica_fills: self.counters.replica_fills.load(Ordering::Acquire),
+            invalidations: self.counters.invalidations.load(Ordering::Acquire),
+            saved_cost_ns: self.counters.saved_cost_ns.load(Ordering::Acquire),
+            replica_cost_ns: self.counters.replica_cost_ns.load(Ordering::Acquire),
+        }
+    }
+
+    /// Folds a retired (or drained) replica's counters into the totals.
+    pub(crate) fn fold_replica(&self, replica: &ReplicaState) {
+        let c = &self.counters;
+        c.replica_hits.fetch_add(replica.hits, Ordering::AcqRel);
+        c.replica_fills.fetch_add(replica.fills, Ordering::AcqRel);
+        c.invalidations
+            .fetch_add(replica.invalidations, Ordering::AcqRel);
+        c.saved_cost_ns
+            .fetch_add(replica.saved_cost_ns, Ordering::AcqRel);
+        c.replica_cost_ns
+            .fetch_add(replica.fill_cost_ns, Ordering::AcqRel);
+    }
+}
+
+/// Runs one full double-buffered migration of shard `sid` to `placement`:
+/// install staging, publish [`ShardRoute::Migrating`], paced warm-up,
+/// publish [`ShardRoute::Direct`] (the route CAS + epoch fence), then
+/// swap storage under the shard lock and retire the old buffer. Returns
+/// `false` if the migration was abandoned by a session stop.
+pub(crate) fn migrate_shard(
+    live: &LiveState,
+    shards: &[Mutex<Shard>],
+    topology: &TierTopology,
+    sid: usize,
+    placement: &ShardPlacement,
+) -> bool {
+    let _serial = live.migrating.lock().expect("migration lock poisoned");
+    let cost = topology.tier(placement.tier).cost;
+    {
+        let mut slot = live.staging[sid].lock().expect("staging lock poisoned");
+        *slot = Some(StagingBuffer::new(placement, cost));
+    }
+    live.routes
+        .publish_with(|routes| routes[sid] = ShardRoute::Migrating);
+    // Paced warm-up: brief shard+staging critical sections, sleeping
+    // between steps so serving traffic keeps the locks most of the time.
+    loop {
+        let warm = {
+            let shard = shards[sid].lock().expect("shard mutex poisoned");
+            let mut slot = live.staging[sid].lock().expect("staging lock poisoned");
+            let staging = slot.as_mut().expect("staging installed above");
+            let filled = staging.fill_step(shard.buffer.buffer(), live.cfg.fill_batch);
+            filled == 0 || staging.warm_enough(shard.buffer.len(), live.cfg.warm_fraction)
+        };
+        if warm {
+            break;
+        }
+        if live.stop.load(Ordering::Acquire) {
+            // Session is draining: abandon the migration. The primary
+            // never stopped being authoritative, so nothing is lost.
+            let staging = live.staging[sid]
+                .lock()
+                .expect("staging lock poisoned")
+                .take();
+            live.routes
+                .publish_with(|routes| routes[sid] = ShardRoute::Direct);
+            if let Some(s) = staging {
+                let c = &live.counters;
+                c.copy_fills.fetch_add(s.copy_fills, Ordering::AcqRel);
+                c.background_fills
+                    .fetch_add(s.background_fills, Ordering::AcqRel);
+            }
+            return false;
+        }
+        std::thread::sleep(live.cfg.fill_pause);
+    }
+    // The route CAS: after this publish returns, the epoch fence has
+    // drained every request that could still mirror into staging.
+    live.routes
+        .publish_with(|routes| routes[sid] = ShardRoute::Direct);
+    let mut shard = shards[sid].lock().expect("shard mutex poisoned");
+    let staging = live.staging[sid]
+        .lock()
+        .expect("staging lock poisoned")
+        .take()
+        .expect("staging survives until commit");
+    let fills = staging.copy_fills + staging.background_fills;
+    let fill_cost = fills * staging.cost.fill_ns;
+    let retired = shard.buffer.replace_storage(staging.buffer, staging.cost);
+    shard.buffer.charge_cost_ns(fill_cost);
+    shard.tier = staging.tier;
+    let c = &live.counters;
+    c.migrations.fetch_add(1, Ordering::AcqRel);
+    c.copy_fills.fetch_add(staging.copy_fills, Ordering::AcqRel);
+    c.background_fills
+        .fetch_add(staging.background_fills, Ordering::AcqRel);
+    c.migration_cost_ns.fetch_add(fill_cost, Ordering::AcqRel);
+    drop(retired);
+    true
+}
+
+/// Installs, re-sizes, or removes shard `sid`'s fast-tier replica under
+/// the shard mutex (`capacity == 0` removes; retired counters fold into
+/// the session totals), then publishes the route mark. Returns whether
+/// anything changed.
+pub(crate) fn set_replica(
+    live: &LiveState,
+    shards: &[Mutex<Shard>],
+    topology: &TierTopology,
+    sid: usize,
+    capacity: usize,
+    ttl_epochs: u64,
+) -> bool {
+    let fast = topology.tier(0).cost;
+    let changed = {
+        let mut shard = shards[sid].lock().expect("shard mutex poisoned");
+        match (&mut shard.replica, capacity) {
+            (None, 0) => false,
+            (Some(_), 0) => {
+                let replica = shard.replica.take().expect("checked above");
+                live.fold_replica(&replica);
+                true
+            }
+            (Some(replica), cap) => replica.set_capacity(cap),
+            (None, cap) => {
+                shard.replica = Some(ReplicaState::new(
+                    cap,
+                    fast.hit_ns,
+                    fast.fill_ns,
+                    live.routes.epoch_handle(),
+                    ttl_epochs,
+                ));
+                true
+            }
+        }
+    };
+    if changed {
+        let mark = if capacity > 0 {
+            ShardRoute::Replicated
+        } else {
+            ShardRoute::Direct
+        };
+        live.routes.publish_with(|routes| {
+            if routes[sid] != ShardRoute::Migrating {
+                routes[sid] = mark;
+            }
+        });
+    }
+    changed
+}
+
+/// Snapshot-and-delta trigger of the live rebalancer: the quiescent
+/// [`Rebalancer`](crate::Rebalancer)'s access-count + significance-gated
+/// phase trigger, evaluated against the shard slice under brief locks.
+struct LiveTrigger {
+    min_new: u64,
+    phase_threshold: Option<f64>,
+    cooldown: u64,
+    armed: Vec<bool>,
+    last_traffic: Vec<TierTraffic>,
+    last_total: u64,
+}
+
+impl LiveTrigger {
+    fn new(cfg: &LiveRebalanceConfig, num_shards: usize) -> Self {
+        LiveTrigger {
+            min_new: cfg.min_new_accesses,
+            phase_threshold: cfg.phase_threshold,
+            cooldown: cfg.cooldown.max(1),
+            armed: vec![true; num_shards],
+            last_traffic: vec![TierTraffic::default(); num_shards],
+            last_total: 0,
+        }
+    }
+
+    /// Returns per-shard fresh-traffic deltas when a trigger fires.
+    fn check(&mut self, shards: &[Mutex<Shard>]) -> Option<Vec<TierTraffic>> {
+        let n = shards.len();
+        let mut demands = vec![0u64; n];
+        let mut scores = vec![0.0f64; n];
+        for (i, m) in shards.iter().enumerate() {
+            let s = m.lock().expect("shard mutex poisoned");
+            demands[i] = s.buffer.demand_count();
+            scores[i] = s.buffer.phase_score();
+        }
+        let total: u64 = demands.iter().sum();
+        let fresh = total.saturating_sub(self.last_total);
+        let count_fire = self.min_new > 0 && fresh >= self.min_new;
+        // A score below threshold re-arms its shard; an armed shard
+        // at/above threshold *qualifies* only if it also saw a
+        // significant share of the fresh mass (edge-sensitive
+        // hysteresis, as in the quiescent trigger). Only qualified
+        // shards are disarmed on a fire — an idle shard whose cold
+        // sketch scores high must stay armed, or a later real flip on
+        // it would pass undetected.
+        let mut qualified = Vec::new();
+        if let Some(threshold) = self.phase_threshold {
+            let significant = (fresh / (2 * n as u64)).max(1);
+            for i in 0..n {
+                if scores[i] < threshold {
+                    self.armed[i] = true;
+                } else if self.armed[i]
+                    && demands[i].saturating_sub(self.last_traffic[i].demand()) >= significant
+                {
+                    qualified.push(i);
+                }
+            }
+        }
+        if (!count_fire && qualified.is_empty()) || fresh < self.cooldown {
+            return None;
+        }
+        // Fire: snapshot full traffic, compute the per-shard deltas that
+        // placement acts on, disarm the shards that fired.
+        let mut deltas = Vec::with_capacity(n);
+        let mut snapshot = Vec::with_capacity(n);
+        for (i, m) in shards.iter().enumerate() {
+            let s = m.lock().expect("shard mutex poisoned");
+            let t = s.buffer.traffic();
+            deltas.push(t.delta_since(&self.last_traffic[i]));
+            snapshot.push(t);
+        }
+        for i in qualified {
+            self.armed[i] = false;
+        }
+        self.last_traffic = snapshot;
+        self.last_total = total;
+        Some(deltas)
+    }
+}
+
+/// The background live-rebalancer loop, run on its own thread for the
+/// lifetime of a live-enabled [`ServingSession`](crate::ServingSession):
+/// poll the trigger, re-run the system's placement policy on fresh
+/// traffic deltas, migrate/resize shards whose placement changed, and
+/// apply the replication policy.
+pub(crate) fn live_loop(live: &LiveState, shards: &[Mutex<Shard>], ctx: &GuidanceCtx) {
+    let mut trigger = LiveTrigger::new(&live.cfg, shards.len());
+    while !live.stop.load(Ordering::Acquire) {
+        std::thread::sleep(live.cfg.check_every);
+        if live.stop.load(Ordering::Acquire) {
+            break;
+        }
+        let Some(deltas) = trigger.check(shards) else {
+            continue;
+        };
+        let placements = ctx.placement.place(shards.len(), &ctx.topology, &deltas);
+        for (sid, placement) in placements.iter().enumerate() {
+            if live.stop.load(Ordering::Acquire) {
+                return;
+            }
+            let (cur_tier, cur_cap) = {
+                let s = shards[sid].lock().expect("shard mutex poisoned");
+                (s.tier, s.buffer.capacity())
+            };
+            if placement.tier != cur_tier {
+                migrate_shard(live, shards, &ctx.topology, sid, placement);
+            } else if placement.capacity.max(1) != cur_cap {
+                let mut s = shards[sid].lock().expect("shard mutex poisoned");
+                s.buffer.resize(placement.capacity.max(1));
+                live.counters.resizes.fetch_add(1, Ordering::AcqRel);
+            }
+        }
+        if let Some(policy) = live.cfg.replication {
+            replication_pass(live, shards, ctx, &policy, &deltas);
+        }
+    }
+}
+
+/// One replication-policy evaluation over fresh traffic deltas.
+fn replication_pass(
+    live: &LiveState,
+    shards: &[Mutex<Shard>],
+    ctx: &GuidanceCtx,
+    policy: &ReplicationPolicy,
+    deltas: &[TierTraffic],
+) {
+    let total: u64 = deltas.iter().map(TierTraffic::demand).sum();
+    if total == 0 {
+        return;
+    }
+    for (sid, delta) in deltas.iter().enumerate() {
+        if live.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let demand = delta.demand();
+        let share = demand as f64 / total as f64;
+        let hit_fraction = if demand == 0 {
+            0.0
+        } else {
+            delta.hits as f64 / demand as f64
+        };
+        let in_fast_tier = {
+            let s = shards[sid].lock().expect("shard mutex poisoned");
+            s.tier == 0
+        };
+        // A shard already living in the fast tier gains nothing from a
+        // same-tier replica.
+        let capacity = if in_fast_tier {
+            0
+        } else {
+            policy.capacity_for(share, hit_fraction, delta.unique_keys)
+        };
+        set_replica(
+            live,
+            shards,
+            &ctx.topology,
+            sid,
+            capacity,
+            policy.ttl_epochs,
+        );
+    }
+}
+
+/// Read-hot fast-tier replica of a shard's celebrity keys. Lives under
+/// the shard mutex; consulted by `Shard::record_access` after the primary
+/// classifies each demand access.
+///
+/// Entries are epoch-stamped against the session's route epoch: a primary
+/// miss (the write signal) invalidates immediately; an entry older than
+/// `ttl_epochs` route epochs decays to absent (lease-style freshness —
+/// hammered keys get cheaply re-filled, abandoned ones age out).
+#[derive(Debug)]
+pub(crate) struct ReplicaState {
+    capacity: usize,
+    ttl_epochs: u64,
+    hit_ns: u64,
+    fill_ns: u64,
+    epoch: Arc<AtomicU64>,
+    entries: HashMap<VectorKey, u64>,
+    pub(crate) hits: u64,
+    pub(crate) fills: u64,
+    pub(crate) invalidations: u64,
+    pub(crate) saved_cost_ns: u64,
+    pub(crate) fill_cost_ns: u64,
+}
+
+impl ReplicaState {
+    pub(crate) fn new(
+        capacity: usize,
+        hit_ns: u64,
+        fill_ns: u64,
+        epoch: Arc<AtomicU64>,
+        ttl_epochs: u64,
+    ) -> Self {
+        ReplicaState {
+            capacity: capacity.max(1),
+            ttl_epochs: ttl_epochs.max(1),
+            hit_ns,
+            fill_ns,
+            epoch,
+            entries: HashMap::new(),
+            hits: 0,
+            fills: 0,
+            invalidations: 0,
+            saved_cost_ns: 0,
+            fill_cost_ns: 0,
+        }
+    }
+
+    fn now(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// The replica tier's hit cost (what a replica-served hit is
+    /// re-priced to).
+    pub(crate) fn hit_ns(&self) -> u64 {
+        self.hit_ns
+    }
+
+    /// The replica tier's fill cost (charged per copy-on-access fill).
+    pub(crate) fn fill_ns(&self) -> u64 {
+        self.fill_ns
+    }
+
+    /// Current replica residency.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether `key` is replica-resident and fresh. A stale (decayed)
+    /// entry is removed and counted as an invalidation.
+    pub(crate) fn probe(&mut self, key: VectorKey) -> bool {
+        let now = self.now();
+        match self.entries.get(&key) {
+            Some(&stamp) if now.saturating_sub(stamp) < self.ttl_epochs => true,
+            Some(_) => {
+                self.entries.remove(&key);
+                self.invalidations += 1;
+                false
+            }
+            None => false,
+        }
+    }
+
+    /// Copy-on-access fill of a hit key, displacing the stalest entry
+    /// when full. Charges `fill_ns`.
+    pub(crate) fn fill(&mut self, key: VectorKey) {
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|&(_, &stamp)| stamp)
+                .map(|(&k, _)| k);
+            if let Some(v) = victim {
+                self.entries.remove(&v);
+            }
+        }
+        self.entries.insert(key, self.now());
+        self.fills += 1;
+        self.fill_cost_ns += self.fill_ns;
+    }
+
+    /// Write invalidation: a primary miss means the replica copy (if any)
+    /// is no longer trustworthy.
+    pub(crate) fn invalidate(&mut self, key: VectorKey) {
+        if self.entries.remove(&key).is_some() {
+            self.invalidations += 1;
+        }
+    }
+
+    /// Re-sizes the replica, evicting stalest entries first. Returns
+    /// whether the capacity changed.
+    pub(crate) fn set_capacity(&mut self, capacity: usize) -> bool {
+        let capacity = capacity.max(1);
+        if capacity == self.capacity {
+            return false;
+        }
+        while self.entries.len() > capacity {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|&(_, &stamp)| stamp)
+                .map(|(&k, _)| k);
+            match victim {
+                Some(v) => {
+                    self.entries.remove(&v);
+                    self.invalidations += 1;
+                }
+                None => break,
+            }
+        }
+        self.capacity = capacity;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recmg_trace::{RowId, TableId};
+
+    fn key(r: u64) -> VectorKey {
+        VectorKey::new(TableId(0), RowId(r))
+    }
+
+    #[test]
+    fn route_table_publishes_and_reads_consistently() {
+        let table = RouteTable::new(3);
+        assert_eq!(table.current_epoch(), 0);
+        let e = table.publish_with(|r| r[2] = ShardRoute::Migrating);
+        assert_eq!(e, 1);
+        {
+            let pinned = table.pin();
+            assert_eq!(pinned.epoch(), 1);
+            assert_eq!(pinned.route(0), ShardRoute::Direct);
+            assert_eq!(pinned.route(2), ShardRoute::Migrating);
+            assert_eq!(pinned.route(99), ShardRoute::Direct);
+        }
+        table.publish_with(|r| {
+            r[2] = ShardRoute::Direct;
+            r[0] = ShardRoute::Replicated;
+        });
+        let pinned = table.pin();
+        assert_eq!(pinned.epoch(), 2);
+        assert_eq!(pinned.route(2), ShardRoute::Direct);
+        assert_eq!(pinned.replicated(), 1);
+    }
+
+    #[test]
+    fn route_table_fence_under_concurrent_readers() {
+        use std::sync::atomic::{AtomicBool, AtomicU64};
+        let table = Arc::new(RouteTable::new(4));
+        let stop = Arc::new(AtomicBool::new(false));
+        let pin_counts: Vec<Arc<AtomicU64>> = (0..4).map(|_| Arc::new(AtomicU64::new(0))).collect();
+        let readers: Vec<_> = pin_counts
+            .iter()
+            .map(|pins| {
+                let table = Arc::clone(&table);
+                let stop = Arc::clone(&stop);
+                let pins = Arc::clone(pins);
+                std::thread::spawn(move || {
+                    let mut last_epoch = 0u64;
+                    while !stop.load(Ordering::Acquire) {
+                        let pinned = table.pin();
+                        // Epochs are monotone per reader, and the routes
+                        // vec is never torn (always full length).
+                        assert!(pinned.epoch() >= last_epoch);
+                        assert_eq!(pinned.routes.len(), 4);
+                        last_epoch = pinned.epoch();
+                        pins.fetch_add(1, Ordering::Release);
+                    }
+                })
+            })
+            .collect();
+        for i in 0..500u64 {
+            let sid = (i % 4) as usize;
+            table.publish_with(|r| {
+                r[sid] = if r[sid] == ShardRoute::Direct {
+                    ShardRoute::Migrating
+                } else {
+                    ShardRoute::Direct
+                };
+            });
+        }
+        // Don't stop until every reader has raced the publishes at least
+        // once: under a loaded test host a reader may not have been
+        // scheduled yet, and stopping early would prove nothing.
+        while pin_counts.iter().any(|p| p.load(Ordering::Acquire) == 0) {
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::Release);
+        for h in readers {
+            h.join().expect("reader panicked");
+        }
+        assert!(pin_counts.iter().all(|p| p.load(Ordering::Acquire) > 0));
+        assert_eq!(table.current_epoch(), 500);
+    }
+
+    #[test]
+    fn replication_policy_degree_scales_with_share() {
+        let p = ReplicationPolicy::default();
+        // Below either threshold: no replica.
+        assert_eq!(p.degree_for(0.1, 0.99), 0);
+        assert_eq!(p.degree_for(0.9, 0.3), 0);
+        // Qualifying shards scale with demand share.
+        assert_eq!(p.degree_for(0.25, 0.9), 1);
+        assert_eq!(p.degree_for(0.5, 0.9), 2);
+        assert_eq!(p.degree_for(1.0, 1.0), 4);
+        // Capacity is sketch-capped.
+        assert_eq!(p.capacity_for(1.0, 1.0, 1_000), 4 * 32);
+        assert_eq!(p.capacity_for(1.0, 1.0, 10), 10);
+        assert_eq!(p.capacity_for(0.05, 1.0, 1_000), 0);
+    }
+
+    #[test]
+    fn replica_probe_fill_and_write_invalidation() {
+        let epoch = Arc::new(AtomicU64::new(0));
+        let mut rep = ReplicaState::new(2, 80, 300, Arc::clone(&epoch), 4);
+        assert!(!rep.probe(key(1)));
+        rep.fill(key(1));
+        assert!(rep.probe(key(1)));
+        assert_eq!(rep.fill_cost_ns, 300);
+        // Capacity bound: filling a third key displaces the stalest.
+        rep.fill(key(2));
+        epoch.store(1, Ordering::Release);
+        rep.fill(key(3));
+        assert_eq!(rep.len(), 2);
+        assert!(!rep.probe(key(1)), "stalest entry displaced");
+        // Write invalidation.
+        rep.invalidate(key(3));
+        assert!(!rep.probe(key(3)));
+        assert!(rep.invalidations >= 1);
+    }
+
+    #[test]
+    fn replica_entries_decay_past_ttl_epochs() {
+        let epoch = Arc::new(AtomicU64::new(0));
+        let mut rep = ReplicaState::new(4, 80, 300, Arc::clone(&epoch), 3);
+        rep.fill(key(7));
+        epoch.store(2, Ordering::Release);
+        assert!(rep.probe(key(7)), "within TTL");
+        epoch.store(3, Ordering::Release);
+        let inval_before = rep.invalidations;
+        assert!(!rep.probe(key(7)), "decayed past the epoch fence");
+        assert_eq!(rep.invalidations, inval_before + 1);
+        // A refill restores service at the new epoch.
+        rep.fill(key(7));
+        assert!(rep.probe(key(7)));
+    }
+
+    #[test]
+    fn staging_admission_keeps_hottest() {
+        let placement = ShardPlacement {
+            capacity: 2,
+            tier: 0,
+        };
+        let mut s = StagingBuffer::new(&placement, TierCost::FREE);
+        assert!(s.admit(key(1), 5, false));
+        assert!(!s.admit(key(1), 5, false), "already staged");
+        assert!(s.admit(key(2), 3, false));
+        // Full: colder entries are refused, hotter displace the minimum.
+        assert!(!s.admit(key(3), 2, false));
+        assert!(s.admit(key(4), 9, true));
+        assert!(s.buffer.contains(key(4)));
+        assert!(!s.buffer.contains(key(2)));
+        assert!(s.warm_enough(2, 0.9));
+        assert!(!StagingBuffer::new(&placement, TierCost::FREE).warm_enough(2, 0.5));
+    }
+}

@@ -48,9 +48,12 @@ use crate::builder::SystemBuilder;
 use crate::config::{AdmissionPolicy, DegradeLevel, SlaBudget};
 use crate::engine::{EngineReport, GuidanceMode, GuidancePlaneReport};
 use crate::fast::FastScratch;
+use crate::migrate::{
+    self, LiveRebalanceConfig, LiveState, MigrationReport, ReplicationReport, ShardRoute,
+};
 use crate::serving::WorkloadSpec;
 use crate::sharding::{GuidanceCtx, Shard, ShardRouter, ShardedRecMgSystem};
-use crate::tier::TierUsage;
+use crate::tier::{ShardPlacement, TierUsage};
 
 // ---------------------------------------------------------------------------
 // Requests and sources
@@ -535,6 +538,10 @@ struct SessionShared {
     admission: AdmissionPolicy,
     sla: Option<SlaBudget>,
     plane: Option<PlaneState>,
+    /// Live-migration state when the session was built with
+    /// [`SessionBuilder::live`]; `None` keeps the serving path free of
+    /// route pins entirely.
+    live: Option<LiveState>,
     submitted: AtomicU64,
     rejected_queue_full: AtomicU64,
     rejected_deadline: AtomicU64,
@@ -758,6 +765,7 @@ pub struct SessionBuilder {
     guidance: Option<GuidanceMode>,
     admission: AdmissionPolicy,
     sla: Option<SlaBudget>,
+    live: Option<LiveRebalanceConfig>,
 }
 
 impl Default for SessionBuilder {
@@ -775,6 +783,7 @@ impl SessionBuilder {
             guidance: None,
             admission: AdmissionPolicy::default(),
             sla: None,
+            live: None,
         }
     }
 
@@ -801,6 +810,14 @@ impl SessionBuilder {
     /// pressure degradation.
     pub fn sla(mut self, sla: SlaBudget) -> Self {
         self.sla = Some(sla);
+        self
+    }
+
+    /// Enables zero-quiescence live rebalancing: a background thread
+    /// watches the shards' sketches and re-places / replicates them while
+    /// requests flow ([`crate::migrate`]).
+    pub fn live(mut self, cfg: LiveRebalanceConfig) -> Self {
+        self.live = Some(cfg);
         self
     }
 
@@ -878,6 +895,7 @@ impl SessionBuilder {
             admission: self.admission,
             sla: self.sla,
             plane,
+            live: self.live.map(|cfg| LiveState::new(num_shards, cfg)),
             submitted: AtomicU64::new(0),
             rejected_queue_full: AtomicU64::new(0),
             rejected_deadline: AtomicU64::new(0),
@@ -904,10 +922,19 @@ impl SessionBuilder {
             })
             .collect();
 
+        let rebalancer = shared.live.is_some().then(|| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                let live = shared.live.as_ref().expect("live state checked above");
+                migrate::live_loop(live, &shared.shards, &shared.ctx);
+            })
+        });
+
         ServingSession {
             shared,
             workers,
             plane_threads,
+            rebalancer,
             proto_tx,
             epoch: Instant::now(),
             guided_before,
@@ -924,6 +951,7 @@ pub struct ServingSession {
     shared: Arc<SessionShared>,
     workers: Vec<JoinHandle<WorkerLog>>,
     plane_threads: Vec<JoinHandle<()>>,
+    rebalancer: Option<JoinHandle<()>>,
     proto_tx: Option<mpsc::Sender<GuidanceJob>>,
     epoch: Instant,
     guided_before: u64,
@@ -1027,10 +1055,85 @@ impl ServingSession {
         self.shared.plane.as_ref().map_or(0, PlaneState::pending)
     }
 
+    /// Manually live-migrates shard `shard` to `placement` while requests
+    /// flow — the same double-buffered dance the background rebalancer
+    /// runs, blocking until the migration commits (or is abandoned by a
+    /// concurrent drain). Returns whether the migration committed; `false`
+    /// also when the session was built without [`SessionBuilder::live`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` or `placement.tier` is out of range.
+    pub fn migrate_shard(&self, shard: usize, placement: ShardPlacement) -> bool {
+        let Some(live) = &self.shared.live else {
+            return false;
+        };
+        assert!(shard < self.shared.shards.len(), "shard out of range");
+        migrate::migrate_shard(
+            live,
+            &self.shared.shards,
+            &self.shared.ctx.topology,
+            shard,
+            &placement,
+        )
+    }
+
+    /// Manually installs (or, with `capacity == 0`, removes) a fast-tier
+    /// replica on shard `shard`. Returns whether anything changed; `false`
+    /// also when the session was built without [`SessionBuilder::live`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn replicate_shard(&self, shard: usize, capacity: usize) -> bool {
+        let Some(live) = &self.shared.live else {
+            return false;
+        };
+        assert!(shard < self.shared.shards.len(), "shard out of range");
+        let ttl_epochs = live.cfg.replication.unwrap_or_default().ttl_epochs;
+        migrate::set_replica(
+            live,
+            &self.shared.shards,
+            &self.shared.ctx.topology,
+            shard,
+            capacity,
+            ttl_epochs,
+        )
+    }
+
+    /// The current route epoch (0 when live rebalancing is off or the
+    /// route never changed).
+    pub fn route_epoch(&self) -> u64 {
+        self.shared
+            .live
+            .as_ref()
+            .map_or(0, |live| live.routes.current_epoch())
+    }
+
+    /// Publishes a no-op route epoch — advances the epoch clock that
+    /// replica-entry TTLs are measured against (useful for tests pinning
+    /// decay behaviour). Returns the new epoch; 0 when live rebalancing
+    /// is off.
+    pub fn refresh_routes(&self) -> u64 {
+        self.shared
+            .live
+            .as_ref()
+            .map_or(0, |live| live.routes.publish_with(|_| {}))
+    }
+
     /// Closes the queue, serves everything already admitted, joins all
     /// threads, and returns the (warm) system together with the session
     /// report.
     pub fn drain(mut self) -> (ShardedRecMgSystem, SessionReport) {
+        // Stop the live rebalancer before anything else: a warm-up loop
+        // mid-flight abandons its staging (the primary never stopped being
+        // authoritative), so teardown never waits on a fill schedule.
+        if let Some(live) = &self.shared.live {
+            live.stop.store(true, Ordering::Release);
+        }
+        if let Some(handle) = self.rebalancer.take() {
+            handle.join().expect("live rebalancer does not panic");
+        }
         {
             // Set `closed` under the queue lock: a worker holds that lock
             // from its empty-check to its condvar wait, so the flag cannot
@@ -1064,6 +1167,7 @@ impl ServingSession {
             router,
             shards,
             plane,
+            live,
             submitted,
             rejected_queue_full,
             rejected_deadline,
@@ -1075,6 +1179,23 @@ impl ServingSession {
             .into_iter()
             .map(|m| m.into_inner().expect("shard lock"))
             .collect();
+        // Strip replicas before handing the system back: replicas are a
+        // session-lifetime accelerator, not part of the durable placement.
+        // Their counters fold into the replication report.
+        let mut migration = MigrationReport::default();
+        let mut replication = ReplicationReport::default();
+        if let Some(live) = &live {
+            let mut replicated_shards = 0u64;
+            for shard in &mut shards {
+                if let Some(replica) = shard.replica.take() {
+                    replicated_shards += 1;
+                    live.fold_replica(&replica);
+                }
+            }
+            migration = live.migration_report();
+            replication = live.replication_report();
+            replication.replicated_shards = replicated_shards;
+        }
         // Guidance computed after its shard went idle is still valid
         // buffer reprioritization — apply it so the returned system starts
         // warm. The model ran and the update lands exactly as an inline
@@ -1149,6 +1270,8 @@ impl ServingSession {
                 tiers,
                 unique_keys: system.unique_keys(),
                 max_phase_score: system.max_phase_score(),
+                migration,
+                replication,
             },
             submitted: submitted.into_inner(),
             rejected_queue_full: rejected_queue_full.into_inner(),
@@ -1237,6 +1360,10 @@ fn serve_request(
     parts: &mut Vec<Vec<VectorKey>>,
 ) {
     shared.router.split_into(keys, parts);
+    // One route pin covers the whole request: the snapshot cannot tear,
+    // and a concurrent migration commit waits at its epoch fence until
+    // this guard drops (so a mirror below never races the buffer swap).
+    let route = shared.live.as_ref().map(|live| live.routes.pin());
     for (sid, part) in parts.iter().enumerate() {
         if part.is_empty() {
             continue;
@@ -1261,6 +1388,18 @@ fn serve_request(
                     }
                 }
                 shard.process_keys_unguided(part, shared.ctx.cfg.input_len, stats);
+            }
+        }
+        // Copy-on-access warming: a shard mid-migration gets the keys this
+        // request just demanded mirrored into its staging buffer, still
+        // under the shard mutex (the primary stayed authoritative above).
+        if let Some(route) = &route {
+            if route.route(sid) == ShardRoute::Migrating {
+                shared
+                    .live
+                    .as_ref()
+                    .expect("route pin implies live state")
+                    .mirror(&mut shard, part);
             }
         }
     }

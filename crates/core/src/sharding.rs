@@ -31,7 +31,7 @@ use crate::config::RecMgConfig;
 use crate::engine::GuidanceMode;
 use crate::fast::FastScratch;
 use crate::prefetch_model::{FastPrefetchModel, PrefetchModel};
-use crate::system::{RecMgSystem, TrainedRecMg};
+use crate::system::RecMgSystem;
 use crate::tier::{PlacementPolicy, ShardPlacement, TierTopology, TierUsage};
 
 /// Maps embedding-vector keys onto shards.
@@ -183,6 +183,12 @@ pub(crate) struct Shard {
     /// the inline hot path allocates nothing per chunk (the background
     /// plane holds its own per-thread scratch).
     scratch: FastScratch,
+    /// Fast-tier replica of this shard's read-hot keys, installed by a
+    /// live session's [`ReplicationPolicy`](crate::ReplicationPolicy).
+    /// Lives under the same mutex as the shard, so replica bookkeeping is
+    /// exact with respect to the demand stream; stripped (and its
+    /// counters folded into the replication report) at session drain.
+    pub(crate) replica: Option<crate::migrate::ReplicaState>,
 }
 
 impl Shard {
@@ -213,6 +219,7 @@ impl Shard {
             guided_chunks: 0,
             unguided_chunks: 0,
             scratch: FastScratch::default(),
+            replica: None,
         }
     }
 
@@ -242,14 +249,34 @@ impl Shard {
     }
 
     /// Demand access bookkeeping shared by the inline and background paths.
+    ///
+    /// When a fast-tier replica is installed, a hit on a fresh
+    /// replica-resident key is re-priced at the replica tier's cost
+    /// (counts stay canonical on the home shard — replication never
+    /// changes hit/miss totals), other hits copy-on-access into the
+    /// replica, and a miss write-invalidates the replica entry.
     pub(crate) fn record_access(&mut self, key: VectorKey, stats: &mut BatchAccessStats) {
-        match self.buffer.access(key) {
+        let outcome = self.buffer.access(key);
+        match outcome {
             BufferAccess::CacheHit => stats.cache_hits += 1,
             BufferAccess::PrefetchHit => {
                 stats.prefetch_hits += 1;
                 self.prefetch_hits_seen += 1;
             }
             BufferAccess::Miss => stats.misses += 1,
+        }
+        if let Some(replica) = self.replica.as_mut() {
+            if outcome == BufferAccess::Miss {
+                replica.invalidate(key);
+            } else if replica.probe(key) {
+                let saved = self.buffer.refund_hit(replica.hit_ns());
+                replica.hits += 1;
+                replica.saved_cost_ns += saved;
+            } else {
+                let fill_ns = replica.fill_ns();
+                replica.fill(key);
+                self.buffer.charge_cost_ns(fill_ns);
+            }
         }
     }
 
@@ -423,45 +450,6 @@ impl ShardedRecMgSystem {
         codec: FrequencyRankCodec,
     ) -> SystemBuilder<'a> {
         SystemBuilder::new(caching, prefetch, codec)
-    }
-
-    /// Assembles the sharded system from trained parts; total buffer
-    /// `capacity` is split evenly across `num_shards` in a flat
-    /// single-tier layout.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `capacity` or `num_shards` is zero.
-    #[deprecated(
-        since = "0.4.0",
-        note = "use ShardedRecMgSystem::builder(..) / SystemBuilder with an explicit \
-                TierTopology and PlacementPolicy"
-    )]
-    pub fn new(
-        caching: &CachingModel,
-        prefetch: Option<&PrefetchModel>,
-        codec: FrequencyRankCodec,
-        capacity: usize,
-        num_shards: usize,
-    ) -> Self {
-        SystemBuilder::new(caching, prefetch, codec)
-            .shards(num_shards)
-            .capacity(capacity)
-            .build()
-    }
-
-    /// Assembles the full sharded system from training artifacts in a
-    /// flat single-tier layout.
-    #[deprecated(
-        since = "0.4.0",
-        note = "use SystemBuilder::from_trained(..) with an explicit TierTopology \
-                and PlacementPolicy"
-    )]
-    pub fn from_trained(trained: &TrainedRecMg, capacity: usize, num_shards: usize) -> Self {
-        SystemBuilder::from_trained(trained)
-            .shards(num_shards)
-            .capacity(capacity)
-            .build()
     }
 
     /// The memory hierarchy the shards are placed onto.
@@ -917,30 +905,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructors_match_builder_layout() {
-        let cfg = RecMgConfig::tiny();
-        let caching = CachingModel::new(&cfg);
-        let prefetch = PrefetchModel::new(&cfg);
-        let codec = FrequencyRankCodec::from_accesses(&[key(0, 1), key(0, 2)]);
-        let shim = ShardedRecMgSystem::new(&caching, Some(&prefetch), codec.clone(), 10, 4);
-        let built = ShardedRecMgSystem::builder(&caching, Some(&prefetch), codec)
-            .shards(4)
-            .capacity(10)
-            .build();
-        assert_eq!(shim.capacity(), built.capacity());
-        assert_eq!(shim.num_shards(), built.num_shards());
-        for i in 0..4 {
-            assert_eq!(
-                shim.shard_buffer(i).capacity(),
-                built.shard_buffer(i).capacity()
-            );
-            assert_eq!(shim.shard_tier(i), built.shard_tier(i));
-        }
-        assert_eq!(shim.topology().num_tiers(), 1);
-    }
-
-    #[test]
     fn split_into_reuses_and_matches_split() {
         let router = ShardRouter::new(3);
         let a: Vec<VectorKey> = (0..60).map(|i| key(i % 4, i as u64)).collect();
@@ -1024,6 +988,30 @@ mod tests {
         assert_eq!(sys.capacity(), 64, "working-set shares conserve capacity");
         assert_eq!(rb.rebalances(), 2);
         assert_eq!(rb.phase_fires(), 0, "no phase trigger configured");
+    }
+
+    #[test]
+    fn rebalance_fire_defers_while_queue_nonempty() {
+        use crate::tier::Rebalancer;
+        let mut sys = delta_rebalancer_system();
+        let router = sys.router();
+        let mut rb = Rebalancer::new(1);
+        let a = fresh_keys_for_shard(&router, 0, 400, 0);
+        sys.process_batch(&a);
+        let before = sys.shard_buffer(0).capacity();
+        // A fire during nonzero queue depth is a typed deferral that
+        // neither acts nor consumes the trigger.
+        let err = rb.try_rebalance(&mut sys, 3).unwrap_err();
+        assert_eq!(err.queue_depth, 3);
+        assert_eq!(sys.shard_buffer(0).capacity(), before, "did not act");
+        assert_eq!((rb.fires(), rb.deferrals()), (0, 1));
+        assert!(err.to_string().contains("queue depth 3"));
+        // The same fire re-raises on the next quiescent check.
+        assert!(rb.try_rebalance(&mut sys, 0).expect("quiescent"));
+        assert_eq!((rb.fires(), rb.rebalances()), (1, 1));
+        // No pending fire: Ok(false) regardless of queue depth.
+        assert!(!rb.try_rebalance(&mut sys, 9).expect("no fire pending"));
+        assert_eq!(rb.deferrals(), 1);
     }
 
     #[test]

@@ -243,7 +243,7 @@ fn hotness_order(num_shards: usize, stats: &[TierTraffic], topology: &TierTopolo
 
 /// The historical placement: even capacity shares, tiers filled in shard-id
 /// order. Mass-oblivious, so rebalancing under it is a no-op — this is the
-/// back-compat policy behind the deprecated positional constructors.
+/// [`SystemBuilder`](crate::SystemBuilder) default.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EvenSplit;
 
@@ -575,6 +575,7 @@ pub struct Rebalancer {
     fires: u64,
     rebalances: u64,
     phase_fires: u64,
+    deferrals: u64,
 }
 
 /// Phase-change trigger configuration (see
@@ -584,6 +585,30 @@ struct PhaseTrigger {
     threshold: f64,
     cooldown: u64,
 }
+
+/// A rebalance trigger fired while the system was **not quiescent**
+/// (nonzero serving queue depth), so acting would have resized buffers
+/// under in-flight load. The fire is *not* consumed: trigger state is
+/// untouched and the same fire re-raises on the next quiescent check.
+/// Sessions that cannot drain should use the live subsystem
+/// ([`SessionBuilder::live`](crate::SessionBuilder::live)) instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RebalanceDeferred {
+    /// The serving queue depth observed at the fire.
+    pub queue_depth: usize,
+}
+
+impl std::fmt::Display for RebalanceDeferred {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rebalance deferred: system not quiescent (queue depth {})",
+            self.queue_depth
+        )
+    }
+}
+
+impl std::error::Error for RebalanceDeferred {}
 
 impl Rebalancer {
     /// A rebalancer that re-places after every `min_new_accesses` observed
@@ -603,6 +628,7 @@ impl Rebalancer {
             fires: 0,
             rebalances: 0,
             phase_fires: 0,
+            deferrals: 0,
         }
     }
 
@@ -644,6 +670,25 @@ impl Rebalancer {
     /// materialized only when a trigger actually fires. This is what
     /// makes "call it after every batch" a reasonable contract.
     pub fn maybe_rebalance(&mut self, system: &mut ShardedRecMgSystem) -> bool {
+        match self.try_rebalance(system, 0) {
+            Ok(changed) => changed,
+            Err(_) => unreachable!("zero queue depth never defers"),
+        }
+    }
+
+    /// Quiescence-checked [`Rebalancer::maybe_rebalance`]: the caller
+    /// passes the serving queue depth it observes (e.g.
+    /// [`ServingSession::queue_len`](crate::ServingSession::queue_len)),
+    /// and a trigger that fires while the depth is nonzero returns
+    /// [`RebalanceDeferred`] instead of silently resizing a non-quiescent
+    /// system. A deferred fire consumes **no** trigger state — snapshots,
+    /// hysteresis, and counters are untouched, so the same fire re-raises
+    /// as soon as the queue drains.
+    pub fn try_rebalance(
+        &mut self,
+        system: &mut ShardedRecMgSystem,
+        queue_depth: usize,
+    ) -> Result<bool, RebalanceDeferred> {
         let demands = system.shard_demands();
         let total: u64 = demands.iter().sum();
         let fresh = total.saturating_sub(self.last_total);
@@ -656,7 +701,11 @@ impl Rebalancer {
         let phase_fire =
             !count_fire && !qualified.is_empty() && self.phase.is_some_and(|p| fresh >= p.cooldown);
         if !count_fire && !phase_fire {
-            return false;
+            return Ok(false);
+        }
+        if queue_depth > 0 {
+            self.deferrals += 1;
+            return Err(RebalanceDeferred { queue_depth });
         }
         for &i in &qualified {
             self.phase_armed[i] = false;
@@ -683,7 +732,7 @@ impl Rebalancer {
         if changed {
             self.rebalances += 1;
         }
-        changed
+        Ok(changed)
     }
 
     /// Shards whose phase event is live right now: armed, carrying a
@@ -744,6 +793,12 @@ impl Rebalancer {
     /// Rebalances that moved at least one shard.
     pub fn rebalances(&self) -> u64 {
         self.rebalances
+    }
+
+    /// Fires deferred because the system was not quiescent
+    /// ([`Rebalancer::try_rebalance`] with nonzero queue depth).
+    pub fn deferrals(&self) -> u64 {
+        self.deferrals
     }
 }
 

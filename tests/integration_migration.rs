@@ -1,0 +1,329 @@
+//! Live-migration correctness: zero-quiescence rebalancing is invisible
+//! to serving results, and demand counts are conserved exactly while
+//! routes flip under concurrent load.
+//!
+//! Three oracles pin the subsystem:
+//!
+//! * **1-shard parity**: a session that live-migrates its only shard
+//!   between tiers after every batch (full double-buffered warm-up, route
+//!   publish, storage swap) produces byte-identical hit/miss/prefetch
+//!   counts to the sequential system — migration moves vectors, never
+//!   results. The capacity is sized to the trace's unique-key footprint
+//!   so residency membership (which the staged copy preserves exactly) is
+//!   the only thing that matters, independent of eviction tie-breaking.
+//! * **Conservation under concurrency**: workers hammer all shards while
+//!   the main thread flips tiers and toggles replicas mid-flight; every
+//!   submitted key is served exactly once (no lost or duplicated hits),
+//!   pinned both as a stress test and as a property over random key
+//!   streams.
+//! * **Replica freshness**: a fast-tier replica re-prices hits of a
+//!   slow-tier shard (cost refund, counts untouched), and its entries
+//!   decay once the route-epoch clock outruns the TTL — decayed entries
+//!   count as invalidations and must be re-filled before serving again.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use recmg_repro::core::{
+    train_recmg, AdmissionPolicy, CachingModel, FrequencyRankCodec, GuidanceMode,
+    LiveRebalanceConfig, RecMgConfig, Request, SessionBuilder, ShardPlacement, ShardedRecMgSystem,
+    SystemBuilder, TierTopology, TrainOptions,
+};
+use recmg_repro::dlrm::{BatchAccessStats, BufferManager};
+use recmg_repro::trace::{RowId, SyntheticConfig, TableId, TraceStats, VectorKey};
+
+/// A live config with every automatic trigger disabled: migrations and
+/// replicas move only when a test says so, and warm-up copies the whole
+/// resident set before committing.
+fn manual_live() -> LiveRebalanceConfig {
+    LiveRebalanceConfig {
+        min_new_accesses: 0,
+        phase_threshold: None,
+        fill_batch: 4096,
+        fill_pause: Duration::ZERO,
+        warm_fraction: 1.0,
+        ..LiveRebalanceConfig::default()
+    }
+}
+
+fn untrained_system(shards: usize, fast: usize, slow: usize) -> ShardedRecMgSystem {
+    let cfg = RecMgConfig::tiny();
+    let caching = CachingModel::new(&cfg);
+    let codec = FrequencyRankCodec::from_accesses(&[VectorKey::new(TableId(0), RowId(1))]);
+    SystemBuilder::new(&caching, None, codec)
+        .shards(shards)
+        .topology(TierTopology::two_tier(fast, slow))
+        .guidance(GuidanceMode::Inline)
+        .build()
+}
+
+fn request(id: u64, keys: Vec<VectorKey>) -> Request {
+    Request {
+        id,
+        keys,
+        arrival: Duration::ZERO,
+        deadline: None,
+    }
+}
+
+/// Live tier migration after every batch is invisible to results: the
+/// session matches the sequential system's counts exactly, while the
+/// migration report proves the shard really moved.
+#[test]
+fn one_shard_live_migration_matches_sequential_results_exactly() {
+    let cfg = RecMgConfig::tiny();
+    let trace = SyntheticConfig::tiny(211).generate();
+    // Capacity covers the whole key space: residency membership (which
+    // the staged copy preserves exactly) fully determines hit/miss.
+    let capacity = TraceStats::compute(&trace).buffer_capacity(100.0);
+    let trained = train_recmg(
+        &trace.accesses()[..trace.len() / 2],
+        &cfg,
+        capacity,
+        &TrainOptions::tiny(),
+    );
+    let topology = TierTopology::two_tier(capacity, capacity);
+
+    let mut reference = SystemBuilder::from_trained(&trained)
+        .topology(topology.clone())
+        .build();
+    let mut ref_stats = BatchAccessStats::default();
+    for batch in trace.batches(10) {
+        ref_stats.accumulate(reference.process_batch(batch));
+    }
+
+    let subject = SystemBuilder::from_trained(&trained)
+        .topology(topology)
+        .build();
+    let shard_capacity = subject.capacity();
+    let session = SessionBuilder::new()
+        .workers(1)
+        .guidance(GuidanceMode::Inline)
+        .admission(AdmissionPolicy::unbounded())
+        .live(manual_live())
+        .build(subject);
+
+    let mut flips = 0u64;
+    for (i, batch) in trace.batches(10).iter().enumerate() {
+        session
+            .submit(request(i as u64, batch.to_vec()))
+            .expect("unbounded admission");
+        while session.completed_requests() < (i + 1) as u64 {
+            std::thread::yield_now();
+        }
+        // Quiesced between batches: bounce the shard to the other tier.
+        let committed = session.migrate_shard(
+            0,
+            ShardPlacement {
+                capacity: shard_capacity,
+                tier: (flips as usize + 1) % 2,
+            },
+        );
+        assert!(committed, "manual migration commits");
+        flips += 1;
+    }
+    let (system, report) = session.drain();
+
+    assert_eq!(report.engine.stats, ref_stats, "migration changed results");
+    assert_eq!(system.prefetches_issued(), reference.prefetches_issued());
+    assert_eq!(report.engine.migration.migrations, flips);
+    assert!(report.engine.migration.route_epoch >= 2 * flips);
+    assert!(report.engine.migration.background_fills > 0);
+    assert!(report.engine.migration.migration_cost_ns > 0);
+    // Odd number of batches left the shard wherever the last flip put it.
+    assert_eq!(system.shard_tier(0), (flips as usize) % 2);
+}
+
+/// Workers hammer every shard while the main thread flips tiers and
+/// toggles replicas mid-flight: every submitted key is served exactly
+/// once — totals conserve with zero lost or duplicated hits.
+#[test]
+fn concurrent_migrations_and_replicas_conserve_every_access() {
+    const REQUESTS: u64 = 200;
+    const KEYS_PER_REQUEST: usize = 32;
+
+    let system = untrained_system(4, 64, 192);
+    let shard_caps: Vec<usize> = (0..4).map(|i| system.shard_buffer(i).capacity()).collect();
+    let session = SessionBuilder::new()
+        .workers(4)
+        .guidance(GuidanceMode::Inline)
+        .admission(AdmissionPolicy::unbounded())
+        .live(manual_live())
+        .build(system);
+
+    for id in 0..REQUESTS {
+        let keys = (0..KEYS_PER_REQUEST)
+            .map(|i| {
+                VectorKey::new(
+                    TableId((id as u32 + i as u32) % 8),
+                    RowId((id * 37 + i as u64 * 11) % 96),
+                )
+            })
+            .collect();
+        session
+            .submit(request(id, keys))
+            .expect("unbounded admission");
+    }
+
+    // Flip routes while the workers chew through the queue.
+    let mut flips = 0u64;
+    let mut replica_on = false;
+    while session.completed_requests() < REQUESTS {
+        let sid = (flips % 4) as usize;
+        session.migrate_shard(
+            sid,
+            ShardPlacement {
+                capacity: shard_caps[sid],
+                tier: (flips / 4).is_multiple_of(2) as usize,
+            },
+        );
+        session.replicate_shard(2, if replica_on { 0 } else { 16 });
+        replica_on = !replica_on;
+        flips += 1;
+    }
+    let (system, report) = session.drain();
+
+    let total = REQUESTS * KEYS_PER_REQUEST as u64;
+    assert_eq!(report.completed, REQUESTS);
+    assert_eq!(
+        report.engine.stats.total(),
+        total,
+        "lost or duplicated accesses under route flips"
+    );
+    assert_eq!(
+        system.demand_accesses(),
+        total,
+        "shard demand counters drifted from served totals"
+    );
+    assert_eq!(report.engine.migration.migrations, flips);
+    assert!(report.engine.migration.route_epoch > 0);
+}
+
+/// A fast-tier replica on a slow-tier shard re-prices hits without
+/// touching counts, and its entries decay once the route-epoch clock
+/// outruns the TTL: decayed probes count as invalidations and force a
+/// re-fill before the replica serves again.
+#[test]
+fn replica_hits_save_cost_and_decay_past_ttl() {
+    let system = untrained_system(1, 16, 240);
+    let shard_capacity = system.capacity();
+    let session = SessionBuilder::new()
+        .workers(1)
+        .guidance(GuidanceMode::Inline)
+        .admission(AdmissionPolicy::unbounded())
+        .live(manual_live())
+        .build(system);
+
+    // Home the shard on the slow tier, then give it a small fast-tier
+    // replica for its celebrity keys.
+    assert!(session.migrate_shard(
+        0,
+        ShardPlacement {
+            capacity: shard_capacity,
+            tier: 1,
+        }
+    ));
+    assert!(session.replicate_shard(0, 8));
+
+    let hot: Vec<VectorKey> = (0..8)
+        .map(|r| VectorKey::new(TableId(0), RowId(r)))
+        .collect();
+    let mut next_id = 0u64;
+    let mut serve_hot = |rounds: u64| {
+        for _ in 0..rounds {
+            session
+                .submit(request(next_id, hot.clone()))
+                .expect("unbounded admission");
+            next_id += 1;
+            while session.completed_requests() < next_id {
+                std::thread::yield_now();
+            }
+        }
+    };
+
+    // Round 1 faults the keys in (replica untouched); rounds 2.. fill the
+    // replica on first re-hit, then serve from it.
+    serve_hot(4);
+
+    // Advance the epoch clock past the replica TTL (default policy: 8
+    // epochs): every replica entry is now stale.
+    for _ in 0..9 {
+        session.refresh_routes();
+    }
+    // First post-decay round invalidates + re-fills; the next hits again.
+    serve_hot(3);
+
+    let (_, report) = session.drain();
+    let replication = report.engine.replication;
+    assert_eq!(replication.replicated_shards, 1);
+    assert!(
+        replication.replica_fills >= 16,
+        "initial fill + post-decay re-fill: {replication:?}"
+    );
+    assert!(
+        replication.invalidations >= 8,
+        "decayed entries must count as invalidations: {replication:?}"
+    );
+    assert!(replication.replica_hits > 0);
+    assert!(replication.saved_cost_ns > 0, "fast-tier refund missing");
+    assert!(replication.replica_cost_ns > 0, "fills are not free");
+    // Counts stay canonical: every access of every round is accounted.
+    assert_eq!(report.engine.stats.total(), next_id * hot.len() as u64);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Demand-count conservation is exact for any key stream and shard
+    /// count, with tier migrations racing the serving workers.
+    #[test]
+    fn demand_counts_conserve_under_live_migration(
+        keys in prop::collection::vec(
+            (0u32..8, 0u64..256).prop_map(|(t, r)| VectorKey::new(TableId(t), RowId(r))),
+            20..400,
+        ),
+        shards in 1usize..4,
+    ) {
+        let system = untrained_system(shards, 32, 96);
+        let shard_caps: Vec<usize> =
+            (0..shards).map(|i| system.shard_buffer(i).capacity()).collect();
+        let session = SessionBuilder::new()
+            .workers(2)
+            .guidance(GuidanceMode::Inline)
+            .admission(AdmissionPolicy::unbounded())
+            .live(manual_live())
+            .build(system);
+
+        let mut submitted = 0u64;
+        let mut total_keys = 0u64;
+        for chunk in keys.chunks(20) {
+            session
+                .submit(request(submitted, chunk.to_vec()))
+                .expect("unbounded admission");
+            submitted += 1;
+            total_keys += chunk.len() as u64;
+        }
+        let mut flips = 0u64;
+        loop {
+            let done = session.completed_requests() >= submitted;
+            let sid = (flips % shards as u64) as usize;
+            session.migrate_shard(
+                sid,
+                ShardPlacement {
+                    capacity: shard_caps[sid],
+                    tier: (flips / shards as u64).is_multiple_of(2) as usize,
+                },
+            );
+            flips += 1;
+            if done {
+                break;
+            }
+        }
+        let (system, report) = session.drain();
+        prop_assert_eq!(report.completed, submitted);
+        prop_assert_eq!(report.engine.stats.total(), total_keys);
+        prop_assert_eq!(system.demand_accesses(), total_keys);
+        prop_assert_eq!(report.engine.migration.migrations, flips);
+    }
+}
