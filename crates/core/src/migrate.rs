@@ -27,7 +27,10 @@
 //!   the working-set sketch decides
 //!   replication degree — shards that are hot *and* read-dominant get a
 //!   fast-tier replica of their celebrity keys, the way consistent-hash
-//!   fleets replicate celebrity keys. Replica entries are stamped with
+//!   fleets replicate celebrity keys. Admission is two-touch: a key
+//!   earns its replica slot on its second fresh primary hit, so a hot
+//!   set larger than the replica cannot churn it with one-touch fills.
+//!   Replica entries are stamped with
 //!   the route epoch and invalidate through the same fence: a primary
 //!   miss (the "write") evicts the entry immediately, and entries older
 //!   than the policy's TTL in epochs decay to absent. Counts stay
@@ -187,10 +190,21 @@ impl RouteTable {
     /// only if a publish lands between the pin and its validation.
     pub fn pin(&self) -> RouteGuard<'_> {
         loop {
-            let e = self.epoch.load(Ordering::Acquire);
+            let e = self.epoch.load(Ordering::SeqCst);
             let slot = (e & 1) as usize;
-            self.pins[slot].fetch_add(1, Ordering::AcqRel);
-            if self.epoch.load(Ordering::Acquire) == e {
+            // SeqCst handshake with `publish_with` (standard hazard-
+            // pointer protocol): reader = pin store, epoch load; writer
+            // = epoch store, pin load. All four being SeqCst puts them
+            // in one total order, so at least one side observes the
+            // other — if the writer's drain read our slot as 0, our
+            // increment came later in that order, so the validation
+            // below reads the *new* epoch and we retry. Release/Acquire
+            // is NOT enough here: it permits the store->load reordering
+            // (real even on x86 TSO) where the writer drains past a pin
+            // it never saw while the reader validates the stale epoch —
+            // a use-after-free once the writer frees the snapshot.
+            self.pins[slot].fetch_add(1, Ordering::SeqCst);
+            if self.epoch.load(Ordering::SeqCst) == e {
                 // The pin is visible to any writer that will retire the
                 // snapshot this slot guards, so the pointer is stable
                 // until the guard drops.
@@ -231,15 +245,27 @@ impl RouteTable {
         });
         // Order matters: the pointer store must be visible before the
         // epoch bump, so a reader that validates the new epoch always
-        // loads the new pointer (release on `epoch`, acquire in `pin`).
+        // loads the new pointer (release-sequenced before the SeqCst
+        // `epoch` store, acquire in `pin`).
         self.ptr.store(Box::into_raw(next), Ordering::Release);
-        self.epoch.store(cur + 1, Ordering::Release);
+        self.epoch.store(cur + 1, Ordering::SeqCst);
         // Epoch fence: readers still pinned in the old parity slot hold
-        // the retiring snapshot (or raced the bump and will unpin); spin
-        // until they drain, then the old snapshot is unreachable.
+        // the retiring snapshot (or raced the bump and will unpin); wait
+        // until they drain, then the old snapshot is unreachable. The
+        // SeqCst store above + SeqCst loads here are the writer half of
+        // the handshake documented in `pin`. Spin briefly, then yield:
+        // guards are held for whole requests, so a pinned worker that
+        // got descheduled would otherwise pin this core (and every
+        // queued publisher behind the writer lock) until it runs again.
         let old_slot = (cur & 1) as usize;
-        while self.pins[old_slot].load(Ordering::Acquire) != 0 {
-            std::hint::spin_loop();
+        let mut spins = 0u32;
+        while self.pins[old_slot].load(Ordering::SeqCst) != 0 {
+            spins += 1;
+            if spins < 128 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
         }
         // SAFETY: the pointer was replaced above and every reader that
         // could hold it has unpinned; no new reader can validate the old
@@ -630,6 +656,28 @@ impl LiveState {
     }
 }
 
+/// Publishes shard `sid`'s settled (post-migration) route:
+/// [`ShardRoute::Replicated`] when a replication pass installed a replica
+/// while the shard was routed [`ShardRoute::Migrating`] (`set_replica`
+/// deliberately preserves the `Migrating` mark, so nothing else would
+/// restore `Replicated`), [`ShardRoute::Direct`] otherwise. The replica
+/// check cannot live inside the publish closure: holding the shard mutex
+/// across the epoch fence would deadlock against a pinned reader waiting
+/// on that same mutex.
+fn publish_settled_route(live: &LiveState, shards: &[Mutex<Shard>], sid: usize) {
+    let mark = if shards[sid]
+        .lock()
+        .expect("shard mutex poisoned")
+        .replica
+        .is_some()
+    {
+        ShardRoute::Replicated
+    } else {
+        ShardRoute::Direct
+    };
+    live.routes.publish_with(|routes| routes[sid] = mark);
+}
+
 /// Runs one full double-buffered migration of shard `sid` to `placement`:
 /// install staging, publish [`ShardRoute::Migrating`], paced warm-up,
 /// publish [`ShardRoute::Direct`] (the route CAS + epoch fence), then
@@ -670,8 +718,7 @@ pub(crate) fn migrate_shard(
                 .lock()
                 .expect("staging lock poisoned")
                 .take();
-            live.routes
-                .publish_with(|routes| routes[sid] = ShardRoute::Direct);
+            publish_settled_route(live, shards, sid);
             if let Some(s) = staging {
                 let c = &live.counters;
                 c.copy_fills.fetch_add(s.copy_fills, Ordering::AcqRel);
@@ -684,8 +731,7 @@ pub(crate) fn migrate_shard(
     }
     // The route CAS: after this publish returns, the epoch fence has
     // drained every request that could still mirror into staging.
-    live.routes
-        .publish_with(|routes| routes[sid] = ShardRoute::Direct);
+    publish_settled_route(live, shards, sid);
     let mut shard = shards[sid].lock().expect("shard mutex poisoned");
     let staging = live.staging[sid]
         .lock()
@@ -927,6 +973,8 @@ fn replication_pass(
 /// miss (the write signal) invalidates immediately; an entry older than
 /// `ttl_epochs` route epochs decays to absent (lease-style freshness —
 /// hammered keys get cheaply re-filled, abandoned ones age out).
+/// Admission is two-touch ([`ReplicaState::offer`]): a key fills only on
+/// its second fresh hit, so one-touch keys never churn the replica.
 #[derive(Debug)]
 pub(crate) struct ReplicaState {
     capacity: usize,
@@ -935,6 +983,10 @@ pub(crate) struct ReplicaState {
     fill_ns: u64,
     epoch: Arc<AtomicU64>,
     entries: HashMap<VectorKey, u64>,
+    /// Two-touch admission ledger: keys a primary hit has nominated but
+    /// that have not yet earned a replica slot (see
+    /// [`ReplicaState::offer`]). Bounded like `entries`.
+    candidates: HashMap<VectorKey, u64>,
     pub(crate) hits: u64,
     pub(crate) fills: u64,
     pub(crate) invalidations: u64,
@@ -957,6 +1009,7 @@ impl ReplicaState {
             fill_ns,
             epoch,
             entries: HashMap::new(),
+            candidates: HashMap::new(),
             hits: 0,
             fills: 0,
             invalidations: 0,
@@ -1001,6 +1054,43 @@ impl ReplicaState {
         }
     }
 
+    /// Copy-on-access admission: a key earns its replica slot on its
+    /// *second* fresh primary hit. The first hit only nominates the key
+    /// into the candidate ledger; the second (within the TTL) fills.
+    /// Without the gate, a shard whose hot set dwarfs the replica
+    /// capacity churns it — most hits pay `fill_ns` and displace an
+    /// entry that would have earned a refund, so enabling replication
+    /// could *raise* modeled cost on flat intra-shard distributions.
+    /// Two touches spend replica slots only on keys with demonstrated
+    /// re-reference. Returns whether the key was filled (the caller
+    /// charges the fill against the home buffer only then).
+    pub(crate) fn offer(&mut self, key: VectorKey) -> bool {
+        let now = self.now();
+        match self.candidates.get(&key) {
+            Some(&stamp) if now.saturating_sub(stamp) < self.ttl_epochs => {
+                self.candidates.remove(&key);
+                self.fill(key);
+                true
+            }
+            _ => {
+                // First (or staled) touch: (re-)nominate, displacing the
+                // stalest candidate when the ledger is full.
+                if self.candidates.len() >= self.capacity && !self.candidates.contains_key(&key) {
+                    let victim = self
+                        .candidates
+                        .iter()
+                        .min_by_key(|&(_, &stamp)| stamp)
+                        .map(|(&k, _)| k);
+                    if let Some(v) = victim {
+                        self.candidates.remove(&v);
+                    }
+                }
+                self.candidates.insert(key, now);
+                false
+            }
+        }
+    }
+
     /// Copy-on-access fill of a hit key, displacing the stalest entry
     /// when full. Charges `fill_ns`.
     pub(crate) fn fill(&mut self, key: VectorKey) {
@@ -1020,8 +1110,11 @@ impl ReplicaState {
     }
 
     /// Write invalidation: a primary miss means the replica copy (if any)
-    /// is no longer trustworthy.
+    /// is no longer trustworthy — and neither is a pending nomination
+    /// (dropping it never counts as an invalidation; the replica never
+    /// held the key).
     pub(crate) fn invalidate(&mut self, key: VectorKey) {
+        self.candidates.remove(&key);
         if self.entries.remove(&key).is_some() {
             self.invalidations += 1;
         }
@@ -1044,6 +1137,21 @@ impl ReplicaState {
                 Some(v) => {
                     self.entries.remove(&v);
                     self.invalidations += 1;
+                }
+                None => break,
+            }
+        }
+        // The candidate ledger shares the replica's bound; trimming
+        // nominations is not an invalidation (nothing was ever served).
+        while self.candidates.len() > capacity {
+            let victim = self
+                .candidates
+                .iter()
+                .min_by_key(|&(_, &stamp)| stamp)
+                .map(|(&k, _)| k);
+            match victim {
+                Some(v) => {
+                    self.candidates.remove(&v);
                 }
                 None => break,
             }
@@ -1172,6 +1280,33 @@ mod tests {
     }
 
     #[test]
+    fn replica_two_touch_admission_gates_fills() {
+        let epoch = Arc::new(AtomicU64::new(0));
+        let mut rep = ReplicaState::new(2, 80, 300, Arc::clone(&epoch), 4);
+        // First touch nominates without filling (and without charging).
+        assert!(!rep.offer(key(1)));
+        assert_eq!((rep.fills, rep.fill_cost_ns), (0, 0));
+        assert!(!rep.probe(key(1)));
+        // Second fresh touch fills.
+        assert!(rep.offer(key(1)));
+        assert!(rep.probe(key(1)));
+        assert_eq!(rep.fills, 1);
+        // A nomination staled past the TTL does not count as a touch:
+        // the key re-nominates and must re-earn its slot.
+        assert!(!rep.offer(key(2)));
+        epoch.store(4, Ordering::Release);
+        assert!(!rep.offer(key(2)), "stale nomination re-nominates");
+        assert!(rep.offer(key(2)));
+        // A write drops the pending nomination too, without counting an
+        // invalidation (the replica never held the key).
+        assert!(!rep.offer(key(3)));
+        let inval_before = rep.invalidations;
+        rep.invalidate(key(3));
+        assert_eq!(rep.invalidations, inval_before);
+        assert!(!rep.offer(key(3)), "invalidated nomination starts over");
+    }
+
+    #[test]
     fn replica_entries_decay_past_ttl_epochs() {
         let epoch = Arc::new(AtomicU64::new(0));
         let mut rep = ReplicaState::new(4, 80, 300, Arc::clone(&epoch), 3);
@@ -1185,6 +1320,45 @@ mod tests {
         // A refill restores service at the new epoch.
         rep.fill(key(7));
         assert!(rep.probe(key(7)));
+    }
+
+    #[test]
+    fn migration_commit_preserves_replicated_mark() {
+        let topology = TierTopology::two_tier(8, 8);
+        let live = LiveState::new(
+            1,
+            LiveRebalanceConfig {
+                fill_pause: Duration::ZERO,
+                warm_fraction: 1.0,
+                ..LiveRebalanceConfig::default()
+            },
+        );
+        let placement = ShardPlacement {
+            capacity: 8,
+            tier: 0,
+        };
+        let shards = vec![Mutex::new(Shard::placed(
+            0,
+            4,
+            &placement,
+            &topology,
+            crate::config::SketchConfig::default(),
+        ))];
+        assert!(set_replica(&live, &shards, &topology, 0, 4, 8));
+        assert_eq!(live.routes.pin().route(0), ShardRoute::Replicated);
+        // Migrating the shard publishes `Migrating` over the mark; the
+        // commit must settle back to `Replicated`, not clobber it to
+        // `Direct` (the replica itself never moved).
+        let dest = ShardPlacement {
+            capacity: 8,
+            tier: 1,
+        };
+        assert!(migrate_shard(&live, &shards, &topology, 0, &dest));
+        assert_eq!(live.routes.pin().route(0), ShardRoute::Replicated);
+        assert_eq!(live.routes.pin().replicated(), 1);
+        // Removing the replica settles the route to `Direct`.
+        assert!(set_replica(&live, &shards, &topology, 0, 0, 8));
+        assert_eq!(live.routes.pin().route(0), ShardRoute::Direct);
     }
 
     #[test]

@@ -253,8 +253,9 @@ impl Shard {
     /// When a fast-tier replica is installed, a hit on a fresh
     /// replica-resident key is re-priced at the replica tier's cost
     /// (counts stay canonical on the home shard — replication never
-    /// changes hit/miss totals), other hits copy-on-access into the
-    /// replica, and a miss write-invalidates the replica entry.
+    /// changes hit/miss totals), other hits are offered to the replica's
+    /// two-touch admission (the second fresh hit copies the key in and
+    /// charges the fill), and a miss write-invalidates the replica entry.
     pub(crate) fn record_access(&mut self, key: VectorKey, stats: &mut BatchAccessStats) {
         let outcome = self.buffer.access(key);
         match outcome {
@@ -272,10 +273,8 @@ impl Shard {
                 let saved = self.buffer.refund_hit(replica.hit_ns());
                 replica.hits += 1;
                 replica.saved_cost_ns += saved;
-            } else {
-                let fill_ns = replica.fill_ns();
-                replica.fill(key);
-                self.buffer.charge_cost_ns(fill_ns);
+            } else if replica.offer(key) {
+                self.buffer.charge_cost_ns(replica.fill_ns());
             }
         }
     }

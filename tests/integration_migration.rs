@@ -242,8 +242,9 @@ fn replica_hits_save_cost_and_decay_past_ttl() {
         }
     };
 
-    // Round 1 faults the keys in (replica untouched); rounds 2.. fill the
-    // replica on first re-hit, then serve from it.
+    // Round 1 faults the keys in (replica untouched); round 2 nominates
+    // them (two-touch admission), round 3 fills, round 4 serves from the
+    // replica.
     serve_hot(4);
 
     // Advance the epoch clock past the replica TTL (default policy: 8
@@ -251,7 +252,8 @@ fn replica_hits_save_cost_and_decay_past_ttl() {
     for _ in 0..9 {
         session.refresh_routes();
     }
-    // First post-decay round invalidates + re-fills; the next hits again.
+    // First post-decay round invalidates + re-nominates, the second
+    // re-fills, the third hits again.
     serve_hot(3);
 
     let (_, report) = session.drain();
