@@ -5,7 +5,7 @@
 //!
 //! Besides the Criterion timings, the sharded bench writes a JSON summary
 //! (`BENCH_serving.json` at the workspace root, or under `RECMG_OUT`) with
-//! seven sections, so the perf trajectory is machine-readable:
+//! nine sections, so the perf trajectory is machine-readable:
 //!
 //! * `sharded` — keys/sec, speedup over the single-thread inline engine,
 //!   and the full [`EngineReport`] per shard count (one warmup pass, then
@@ -22,6 +22,16 @@
 //!   on a skewed workload over a DRAM + penalized-CXL topology, compared
 //!   on per-tier hit-weighted access cost (CI asserts hot-first never
 //!   costs more than even-split);
+//! * `statistical_placement` — hash-even vs the RecShard-style
+//!   [`StatisticalPlacement`] policy on heterogeneous 26-table workloads
+//!   (a mild geometric size spread and the libai DLRM `table_size_array`
+//!   spanning 7 orders of magnitude), compared on hit-weighted access
+//!   cost; each variant row records the pinned/split table counts and the
+//!   cost margin over hash-even, which must grow with the size spread (CI
+//!   asserts both);
+//! * `router_fast_path` — ns/key through [`ShardRouter::shard_of`] for a
+//!   hash-routed table vs a pinned table resolved by the direct
+//!   table-id directory lookup;
 //! * `online_rebalance` — the same phase-flip workload served through
 //!   streaming sessions that are never drained mid-phase: `steady` (no
 //!   flip, the latency floor), `quiescent_reactive` (stop-the-world
@@ -49,8 +59,8 @@ use recmg_core::{
     AdmissionPolicy, ArrivalProcess, BatchSource, CachingModel, CardinalityWorkingSet,
     ClosedLoopSource, EvenSplit, FrequencyRankCodec, GuidanceMode, HotFirst, LiveRebalanceConfig,
     MemoryTier, PrefetchModel, Rebalancer, RecMgConfig, ReplicationPolicy, ServeOptions,
-    SessionBuilder, ShardedRecMgSystem, SketchConfig, SlaBudget, SystemBuilder, TierCost,
-    TierTopology, TraceReplaySource, WorkingSet,
+    SessionBuilder, ShardRouter, ShardedRecMgSystem, SketchConfig, SlaBudget, StatisticalPlacement,
+    SystemBuilder, TableArraySpec, TierCost, TierTopology, TraceReplaySource, WorkingSet,
 };
 use recmg_dlrm::BufferManager;
 use recmg_trace::{RowId, SyntheticConfig, VectorKey};
@@ -253,6 +263,168 @@ fn tier_placement_rows(cfg: &RecMgConfig) -> (f64, usize, Vec<String>) {
         })
         .collect();
     (skew, requests, rows)
+}
+
+/// Statistical per-table placement at DLRM scale: a heterogeneous-table
+/// workload (26 tables, per-table skews) over an 8-shard DRAM +
+/// penalized-CXL system, served under hash-even routing ([`EvenSplit`])
+/// versus RecShard-style [`StatisticalPlacement`] (tiny tables pinned
+/// whole to one fast-tier shard, large skewed tables hot/cold split for
+/// capacity sizing). Two table-size spreads make the scaling claim
+/// testable: a mild geometric spread (3 orders of magnitude) and the
+/// libai production size array (7 orders, 3 to ~40M rows) — the
+/// statistical policy's cost margin over hash-even must *grow* with the
+/// spread, because the wider the size range, the more demand tiny tables
+/// carry per row and the more an even split wastes capacity on cold
+/// giants. Serving is deterministic (inline, 1 worker), so the per-tier
+/// cost counters the margin is computed from are exact.
+fn statistical_placement_rows(cfg: &RecMgConfig) -> (usize, Vec<String>) {
+    let shards = 8usize;
+    let requests = if smoke() { 300 } else { 1500 };
+    let capacity = 256usize;
+    let fast = capacity / 2;
+    let topology = || {
+        TierTopology::new(vec![
+            MemoryTier::dram(fast),
+            MemoryTier::new(
+                "cxl",
+                capacity - fast,
+                TierCost::cxl_like().with_penalty(Duration::from_nanos(400)),
+            ),
+        ])
+    };
+    let opts = ServeOptions {
+        workers: 1,
+        guidance: GuidanceMode::Inline,
+    };
+    let variants: [(&str, TableArraySpec); 2] = [
+        ("mild_spread", TableArraySpec::geometric(26, 50, 50_000)),
+        ("libai_dlrm", TableArraySpec::libai()),
+    ];
+    let rows = variants
+        .iter()
+        .map(|(variant, spec)| {
+            let min_rows = *spec.sizes.iter().min().expect("non-empty") as f64;
+            let max_rows = *spec.sizes.iter().max().expect("non-empty") as f64;
+            let orders = (max_rows / min_rows).log10();
+            let batches = spec.requests(requests, cfg.input_len);
+            let refs: Vec<&[VectorKey]> = batches.iter().map(Vec::as_slice).collect();
+            let keys = batches.concat();
+            let mut costs = Vec::new();
+            let mut pinned = 0usize;
+            let mut split = 0usize;
+            let policy_rows: Vec<String> = ["hash_even", "statistical"]
+                .iter()
+                .map(|&policy| {
+                    let caching = CachingModel::new(cfg);
+                    let prefetch = PrefetchModel::new(cfg);
+                    let codec =
+                        FrequencyRankCodec::from_accesses(&keys[..2_000.min(keys.len())]);
+                    let builder = SystemBuilder::new(&caching, Some(&prefetch), codec)
+                        .shards(shards)
+                        .topology(topology());
+                    let mut sys = match policy {
+                        "hash_even" => builder.placement(EvenSplit).build(),
+                        _ => builder.placement(StatisticalPlacement::default()).build(),
+                    };
+                    sys.serve(&refs, &opts); // observation pass
+                    let rebalanced = sys.rebalance();
+                    sys.serve(&refs, &opts); // post-rebalance warmup (re-homed pins re-admit)
+                    let report = sys.serve(&refs, &opts); // measured pass
+                    if policy == "statistical" {
+                        pinned = report
+                            .tables
+                            .iter()
+                            .filter(|t| t.pinned_shard.is_some())
+                            .count();
+                        split = report.tables.iter().filter(|t| t.hot_rows > 0).count();
+                    }
+                    costs.push(report.access_cost_ns());
+                    println!(
+                        "statistical_placement/{variant}/{policy}: {:.2}% hits, cost {:.3}ms",
+                        report.stats.hit_rate() * 100.0,
+                        report.access_cost_ns() as f64 / 1e6,
+                    );
+                    format!(
+                        concat!(
+                            "      {{\"policy\": \"{}\", \"rebalanced\": {}, ",
+                            "\"hit_weighted_cost_ns\": {}, \"report\": {}}}"
+                        ),
+                        policy,
+                        rebalanced,
+                        report.access_cost_ns(),
+                        report.to_json(),
+                    )
+                })
+                .collect();
+            let margin = 1.0 - costs[1] as f64 / costs[0].max(1) as f64;
+            println!(
+                "statistical_placement/{variant}: margin {:.2}% ({} pinned, {} split, {:.1} orders)",
+                margin * 100.0,
+                pinned,
+                split,
+                orders,
+            );
+            format!(
+                concat!(
+                    "    {{\"variant\": \"{}\", \"num_tables\": {}, ",
+                    "\"size_orders_of_magnitude\": {:.2}, \"pinned_tables\": {}, ",
+                    "\"split_tables\": {}, \"cost_margin_vs_hash_even\": {:.4},\n",
+                    "     \"policies\": [\n{}\n     ]}}"
+                ),
+                variant,
+                spec.num_tables(),
+                orders,
+                pinned,
+                split,
+                margin,
+                policy_rows.join(",\n"),
+            )
+        })
+        .collect();
+    (requests, rows)
+}
+
+/// Router fast-path microbench: `shard_of` over a hash-routed table
+/// versus a pinned one (direct table-id lookup, no multiply-fold rounds,
+/// no `%`). Counter-free wall-clock over a few million calls; the JSON
+/// records ns/key for both modes so the saving is visible in the
+/// committed artifact (CI checks presence, not the ratio — single-digit
+/// nanoseconds are scheduler-sensitive).
+fn router_fast_path_rows() -> (usize, Vec<String>) {
+    let iters = if smoke() { 400_000usize } else { 4_000_000 };
+    let shards = 8usize;
+    let hash_router = ShardRouter::new(shards);
+    let pinned_router = ShardRouter::with_pin_capacity(shards, 64);
+    pinned_router.pin_table(0, 3);
+    let keys: Vec<VectorKey> = (0..4096u64)
+        .map(|r| VectorKey::new(recmg_trace::TableId(0), RowId(r)))
+        .collect();
+    let time = |router: &ShardRouter| -> f64 {
+        let mut acc = 0usize;
+        // Warmup pass, then the measured pass.
+        for &k in &keys {
+            acc = acc.wrapping_add(router.shard_of(k));
+        }
+        let start = std::time::Instant::now();
+        for i in 0..iters {
+            acc = acc.wrapping_add(router.shard_of(keys[i & 4095]));
+        }
+        let elapsed = start.elapsed();
+        black_box(acc);
+        elapsed.as_nanos() as f64 / iters as f64
+    };
+    let hash_ns = time(&hash_router);
+    let pinned_ns = time(&pinned_router);
+    println!(
+        "router_fast_path: hash {hash_ns:.2} ns/key, pinned {pinned_ns:.2} ns/key ({:.2}x)",
+        hash_ns / pinned_ns.max(1e-9),
+    );
+    let rows = vec![
+        format!("    {{\"mode\": \"hash\", \"ns_per_key\": {hash_ns:.3}}}"),
+        format!("    {{\"mode\": \"pinned\", \"ns_per_key\": {pinned_ns:.3}}}"),
+    ];
+    (iters, rows)
 }
 
 /// The phase-flip workload shared by the `working_set_estimation` and
@@ -946,6 +1118,8 @@ fn bench_serving_sharded(c: &mut Criterion) {
     let batching_rows = guidance_batching_rows(&cfg, &trace, capacity);
     let grid_rows = workload_grid_rows(&cfg);
     let (tier_skew, tier_requests, tier_rows) = tier_placement_rows(&cfg);
+    let (sp_requests, sp_rows) = statistical_placement_rows(&cfg);
+    let (router_iters, router_rows) = router_fast_path_rows();
     let (ws_requests, ws_epoch, ws_rows) = working_set_estimation_rows(&cfg);
     let (or_batches_per_phase, or_rows, rep_rows) = online_rebalance_rows(&cfg);
     let (rate_hz, stream_requests, queries_per_request, stream_rows) =
@@ -968,6 +1142,16 @@ fn bench_serving_sharded(c: &mut Criterion) {
             "cost of the measured pass (serving only); migration_cost_ns = one-time rebalance ",
             "churn, reported separately\",\n",
             "    \"results\": [\n{}\n    ]\n  }},\n",
+            "  \"statistical_placement\": {{\n    \"shards\": 8, \"requests\": {}, ",
+            "\"topology\": \"dram + penalized cxl\",\n",
+            "    \"methodology\": \"heterogeneous 26-table workload with per-table skews; per ",
+            "variant and policy: observation pass, one rebalance (installs pins/splits for the ",
+            "statistical policy), post-rebalance warmup pass, measured pass; ",
+            "cost_margin_vs_hash_even = 1 - ",
+            "statistical_cost / hash_even_cost on the measured pass's hit-weighted per-tier ",
+            "access cost; the margin must grow from mild_spread to libai_dlrm\",\n",
+            "    \"results\": [\n{}\n    ]\n  }},\n",
+            "  \"router_fast_path\": {{\n    \"iters\": {},\n    \"results\": [\n{}\n    ]\n  }},\n",
             "  \"working_set_estimation\": {{\n    \"shards\": 8, \"batches_per_phase\": {}, ",
             "\"sketch_epoch\": {}, ",
             "\"workload\": \"300-key hot set (2/3 of traffic) moves shards {{0,1,2}} -> {{5,6,7}} at halftime; ",
@@ -1000,6 +1184,10 @@ fn bench_serving_sharded(c: &mut Criterion) {
         tier_skew,
         tier_requests,
         tier_rows.join(",\n"),
+        sp_requests,
+        sp_rows.join(",\n"),
+        router_iters,
+        router_rows.join(",\n"),
         ws_requests,
         ws_epoch,
         ws_rows.join(",\n"),

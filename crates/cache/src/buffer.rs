@@ -82,6 +82,12 @@ pub struct GpuBuffer {
     /// (oldest placement first), so vectors the caching model demoted
     /// earlier leave before freshly prefetched ones at the same priority.
     by_stamp: BTreeMap<u64, VecDeque<VectorKey>>,
+    /// Sorted table ids whose resident vectors are skipped by victim
+    /// selection (RecShard-style pinned tables: a pinned table's whole
+    /// footprint stays resident regardless of priority churn). Empty for
+    /// every buffer that never installed pins, keeping the historical
+    /// eviction path untouched.
+    pinned_tables: Vec<u32>,
 }
 
 impl GpuBuffer {
@@ -115,7 +121,58 @@ impl GpuBuffer {
             populate_calls: 0,
             entries: HashMap::with_capacity(capacity),
             by_stamp: BTreeMap::new(),
+            pinned_tables: Vec::new(),
         }
+    }
+
+    /// Declares which tables' resident vectors are exempt from victim
+    /// selection (replacing any previous pin set; an empty slice clears
+    /// it). Pinned vectors still insert, hit, and reprioritize normally —
+    /// they are only never *chosen* for eviction, so a pinned table's
+    /// footprint stays resident under arbitrary miss churn. If every
+    /// resident vector is pinned, victim selection falls back to the raw
+    /// minimum so capacity invariants (and `insert`'s free-slot
+    /// precondition) always hold.
+    pub fn set_pinned_tables(&mut self, tables: &[u32]) {
+        self.pinned_tables = tables.to_vec();
+        self.pinned_tables.sort_unstable();
+        self.pinned_tables.dedup();
+    }
+
+    /// Sorted table ids currently pinned in this buffer.
+    pub fn pinned_tables(&self) -> &[u32] {
+        &self.pinned_tables
+    }
+
+    fn is_pinned(&self, key: VectorKey) -> bool {
+        !self.pinned_tables.is_empty() && self.pinned_tables.binary_search(&key.table().0).is_ok()
+    }
+
+    /// Removes and returns the minimum-stamp *non-pinned* resident, or —
+    /// when everything resident is pinned — the raw minimum.
+    fn pop_victim(&mut self) -> Option<VectorKey> {
+        let victim = if self.pinned_tables.is_empty() {
+            let (&stamp, bucket) = self.by_stamp.iter().next()?;
+            (stamp, *bucket.front().expect("bucket non-empty"))
+        } else {
+            let unpinned = self.by_stamp.iter().find_map(|(&stamp, bucket)| {
+                bucket
+                    .iter()
+                    .find(|&&k| !self.is_pinned(k))
+                    .map(|&k| (stamp, k))
+            });
+            match unpinned {
+                Some(v) => v,
+                None => {
+                    let (&stamp, bucket) = self.by_stamp.iter().next()?;
+                    (stamp, *bucket.front().expect("bucket non-empty"))
+                }
+            }
+        };
+        let (stamp, key) = victim;
+        self.unlink(key, stamp);
+        self.entries.remove(&key);
+        Some(key)
     }
 
     /// Evictions per decay unit currently in effect.
@@ -231,35 +288,23 @@ impl GpuBuffer {
     }
 
     /// Algorithm 2 (`gpu_buffer_populate`): decays every resident entry's
-    /// priority by one (lazily) and evicts the minimum-priority entry.
+    /// priority by one (lazily) and evicts the minimum-priority entry
+    /// (skipping pinned tables — see [`GpuBuffer::set_pinned_tables`]).
     /// Returns the evicted key, or `None` if the buffer is empty.
     pub fn populate(&mut self) -> Option<VectorKey> {
         self.populate_calls += 1;
         if self.populate_calls.is_multiple_of(self.decay_period) {
             self.decay += 1;
         }
-        let (&stamp, _) = self.by_stamp.iter().next()?;
-        let bucket = self.by_stamp.get_mut(&stamp).expect("bucket exists");
-        let key = bucket.pop_front().expect("bucket non-empty");
-        if bucket.is_empty() {
-            self.by_stamp.remove(&stamp);
-        }
-        self.entries.remove(&key);
-        Some(key)
+        self.pop_victim()
     }
 
-    /// Evicts the current minimum-priority entry **without** charging a
-    /// decay pass — used for speculative (prefetch) fills, which reuse the
-    /// most recent demand pass's scan rather than triggering one.
+    /// Evicts the current minimum-priority entry (skipping pinned tables)
+    /// **without** charging a decay pass — used for speculative (prefetch)
+    /// fills, which reuse the most recent demand pass's scan rather than
+    /// triggering one.
     pub fn evict_min(&mut self) -> Option<VectorKey> {
-        let (&stamp, _) = self.by_stamp.iter().next()?;
-        let bucket = self.by_stamp.get_mut(&stamp).expect("bucket exists");
-        let key = bucket.pop_front().expect("bucket non-empty");
-        if bucket.is_empty() {
-            self.by_stamp.remove(&stamp);
-        }
-        self.entries.remove(&key);
-        Some(key)
+        self.pop_victim()
     }
 
     /// Changes the buffer's capacity in place, evicting minimum-priority
@@ -477,6 +522,42 @@ mod tests {
         b.populate(); // evicts key(4) @0, decay = 1
         let got: Vec<u64> = b.iter_hot_first().map(|(_, p, _)| p).collect();
         assert_eq!(got, vec![8, 4, 1]);
+    }
+
+    #[test]
+    fn pinned_tables_survive_eviction_churn() {
+        let tkey = |t: u32, r: u64| VectorKey::new(TableId(t), RowId(r));
+        let mut b = GpuBuffer::new(4);
+        b.set_pinned_tables(&[7]);
+        b.insert(tkey(7, 1), 0, false);
+        b.insert(tkey(7, 2), 0, false);
+        b.insert(tkey(0, 1), 9, false);
+        b.insert(tkey(0, 2), 9, false);
+        // The pinned entries sit at the minimum stamp, yet victim
+        // selection walks past them to table 0.
+        assert_eq!(b.populate(), Some(tkey(0, 1)));
+        assert_eq!(b.populate(), Some(tkey(0, 2)));
+        assert!(b.contains(tkey(7, 1)) && b.contains(tkey(7, 2)));
+        // All-pinned fallback: the raw minimum leaves so capacity
+        // invariants (and insert's free-slot precondition) still hold.
+        assert_eq!(b.populate(), Some(tkey(7, 1)));
+        // Clearing the pin set restores the historical path.
+        b.set_pinned_tables(&[]);
+        b.insert(tkey(7, 3), 50, false);
+        assert_eq!(b.evict_min(), Some(tkey(7, 2)));
+    }
+
+    #[test]
+    fn set_capacity_shrink_prefers_unpinned_victims() {
+        let tkey = |t: u32, r: u64| VectorKey::new(TableId(t), RowId(r));
+        let mut b = GpuBuffer::new(4);
+        b.set_pinned_tables(&[3]);
+        b.insert(tkey(3, 1), 0, false);
+        b.insert(tkey(0, 1), 9, false);
+        b.insert(tkey(0, 2), 9, false);
+        b.set_capacity(1);
+        assert!(b.contains(tkey(3, 1)), "shrink must not displace a pin");
+        assert_eq!(b.len(), 1);
     }
 
     #[test]

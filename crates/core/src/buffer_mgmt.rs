@@ -233,6 +233,13 @@ impl RecMgBuffer {
         self.buffer.set_capacity(capacity);
     }
 
+    /// Declares which tables' vectors are exempt from victim selection in
+    /// this buffer (RecShard-style pins — see
+    /// [`GpuBuffer::set_pinned_tables`]); an empty slice clears the set.
+    pub fn set_pinned_tables(&mut self, tables: &[u32]) {
+        self.buffer.set_pinned_tables(tables);
+    }
+
     /// Adds an auxiliary charge to the cumulative cost counter: live
     /// migration staging fills and replica fills are real tier traffic
     /// that did not pass through [`RecMgBuffer::access`] /
@@ -260,7 +267,11 @@ impl RecMgBuffer {
     /// the working-set tracker, and the eviction speed all stay — the
     /// shard's identity and demand history are continuous across the
     /// migration; only where its vectors live changes.
-    pub(crate) fn replace_storage(&mut self, buffer: GpuBuffer, cost: TierCost) -> GpuBuffer {
+    pub(crate) fn replace_storage(&mut self, mut buffer: GpuBuffer, cost: TierCost) -> GpuBuffer {
+        // Pins follow the shard, not the storage: a freshly staged buffer
+        // inherits the pin set so a live migration cannot silently strip
+        // a pinned table's residency guarantee.
+        buffer.set_pinned_tables(self.buffer.pinned_tables());
         self.cost = cost;
         std::mem::replace(&mut self.buffer, buffer)
     }

@@ -169,7 +169,11 @@ impl<'a> SystemBuilder<'a> {
             .topology
             .expect("SystemBuilder needs a topology: call .topology(..) or .capacity(..)");
         self.sketch.validate();
-        let router = ShardRouter::new(self.shards);
+        // A table-aware policy (table_capacity > 0) gets a pin-capable
+        // router plus a per-shard demand profiler; every other policy pays
+        // nothing — no pin directory, no profiling on the demand path.
+        let table_capacity = self.placement.table_capacity();
+        let router = ShardRouter::with_pin_capacity(self.shards, table_capacity);
         let cfg = self.caching.config().clone();
         let placements = self.placement.place(self.shards, &topology, &[]);
         assert_eq!(
@@ -181,7 +185,13 @@ impl<'a> SystemBuilder<'a> {
         let shards = placements
             .iter()
             .enumerate()
-            .map(|(id, p)| Shard::placed(id, cfg.eviction_speed, p, &topology, self.sketch))
+            .map(|(id, p)| {
+                let mut shard = Shard::placed(id, cfg.eviction_speed, p, &topology, self.sketch);
+                if table_capacity > 0 {
+                    shard.profiler = Some(crate::table_profile::TableProfiler::new(table_capacity));
+                }
+                shard
+            })
             .collect();
         ShardedRecMgSystem {
             ctx: GuidanceCtx {
@@ -278,6 +288,27 @@ mod tests {
             .placement(WorkingSet::default())
             .build();
         assert_eq!(sys.placement_name(), "working_set");
+    }
+
+    #[test]
+    fn builder_enables_profiling_only_for_table_aware_placement() {
+        let (cm, _pm, codec) = parts();
+        let sys = SystemBuilder::new(&cm, None, codec)
+            .shards(4)
+            .topology(TierTopology::two_tier(64, 64))
+            .placement(crate::table_profile::StatisticalPlacement::default())
+            .build();
+        assert_eq!(sys.placement_name(), "statistical");
+        assert!(sys.router().pin_capacity() > 0);
+        // Nothing observed yet → no profiles, no pins.
+        assert!(sys.table_profiles().is_empty());
+        let (cm2, _pm2, codec2) = parts();
+        let plain = SystemBuilder::new(&cm2, None, codec2)
+            .shards(4)
+            .capacity(64)
+            .build();
+        assert_eq!(plain.router().pin_capacity(), 0);
+        assert!(plain.table_profiles().is_empty());
     }
 
     #[test]

@@ -263,6 +263,22 @@ impl SketchConfig {
         }
     }
 
+    /// Sketch preset for DLRM-scale footprints: 4096 registers (~1.6%
+    /// standard error, `1.04/√4096`, at 4 KiB per sketch) and a 256-key
+    /// exact threshold. The default 256-register shape is sized for serving
+    /// buffers with hundreds of distinct keys; per-table footprint profiles
+    /// ([`crate::TableProfile`]) see millions of unique rows, where the
+    /// default's ~6.5% error would blur the pin-threshold decision between
+    /// adjacent table sizes. This is the preset
+    /// [`crate::TableProfiler`] selects automatically.
+    pub fn high_cardinality() -> Self {
+        SketchConfig {
+            registers: 4096,
+            exact_threshold: 256,
+            ..Self::default()
+        }
+    }
+
     /// Validates invariant relationships.
     ///
     /// # Panics
@@ -456,6 +472,18 @@ mod tests {
             prefetch_off_at: 0.5,
         };
         sla.validate();
+    }
+
+    #[test]
+    fn high_cardinality_sketch_preset_is_valid_and_tighter() {
+        let hc = SketchConfig::high_cardinality();
+        hc.validate();
+        let def = SketchConfig::default();
+        assert!(hc.registers > def.registers);
+        assert!(hc.exact_threshold > def.exact_threshold);
+        // σ = 1.04/√m: the preset's documented ~1.6% error.
+        let sigma = 1.04 / (hc.registers as f64).sqrt();
+        assert!(sigma < 0.017, "expected ~1.6% error, got {sigma}");
     }
 
     #[test]

@@ -23,6 +23,7 @@ use crate::config::AdmissionPolicy;
 use crate::migrate::{MigrationReport, ReplicationReport};
 use crate::session::{BatchSource, SessionBuilder};
 use crate::sharding::ShardedRecMgSystem;
+use crate::table_profile::TableReport;
 use crate::tier::TierUsage;
 
 /// How model guidance is scheduled during serving.
@@ -175,6 +176,10 @@ pub struct EngineReport {
     /// Hot-shard replication accounting (all zeros without a
     /// [`crate::ReplicationPolicy`]).
     pub replication: ReplicationReport,
+    /// Per-table demand profiles and placement decisions at end of run,
+    /// sorted by table id — empty unless the system's placement policy
+    /// profiles tables ([`crate::StatisticalPlacement`]).
+    pub tables: Vec<TableReport>,
 }
 
 impl EngineReport {
@@ -204,6 +209,7 @@ impl EngineReport {
     /// `guided_fraction` / `keys_per_sec` are never re-derived ad hoc.
     pub fn to_json(&self) -> String {
         let tiers: Vec<String> = self.tiers.iter().map(TierUsage::to_json).collect();
+        let tables: Vec<String> = self.tables.iter().map(TableReport::to_json).collect();
         format!(
             concat!(
                 "{{\"batches\": {}, \"keys\": {}, \"hit_rate\": {:.4}, ",
@@ -211,7 +217,7 @@ impl EngineReport {
                 "\"elapsed_secs\": {:.4}, \"plane\": {}, ",
                 "\"access_cost_ns\": {}, \"unique_keys\": {}, ",
                 "\"max_phase_score\": {:.4}, \"migration\": {}, ",
-                "\"replication\": {}, \"tiers\": [{}]}}"
+                "\"replication\": {}, \"tiers\": [{}], \"tables\": [{}]}}"
             ),
             self.batches,
             self.stats.total(),
@@ -226,6 +232,7 @@ impl EngineReport {
             self.migration.to_json(),
             self.replication.to_json(),
             tiers.join(", "),
+            tables.join(", "),
         )
     }
 }
@@ -259,7 +266,7 @@ impl ShardedRecMgSystem {
         }
         let system = ShardedRecMgSystem {
             ctx: self.ctx.clone(),
-            router: self.router,
+            router: self.router.clone(),
             shards: std::mem::take(&mut self.shards),
         };
         let session = SessionBuilder::new()
@@ -422,6 +429,55 @@ mod tests {
             "\"replica_hits\"",
             "\"tiers\"",
             "\"tier\": \"dram\"",
+            "\"tables\"",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+    }
+
+    #[test]
+    fn statistical_system_reports_per_table_profiles() {
+        use crate::table_profile::StatisticalPlacement;
+        use crate::tier::TierTopology;
+        use recmg_trace::{RowId, TableId, VectorKey};
+
+        let cfg = RecMgConfig::tiny();
+        let caching = CachingModel::new(&cfg);
+        let codec = FrequencyRankCodec::from_accesses(&[VectorKey::new(TableId(0), RowId(0))]);
+        let mut sys = ShardedRecMgSystem::builder(&caching, None, codec)
+            .shards(2)
+            .topology(TierTopology::two_tier(64, 64))
+            .placement(StatisticalPlacement::default())
+            .build();
+        // Two tables: tiny (4 rows, hammered) and large-ish (round-robin).
+        let keys: Vec<VectorKey> = (0..2000)
+            .map(|i| {
+                if i % 2 == 0 {
+                    VectorKey::new(TableId(0), RowId((i / 2) as u64 % 4))
+                } else {
+                    VectorKey::new(TableId(1), RowId(i as u64))
+                }
+            })
+            .collect();
+        let report = sys.serve(
+            &[&keys],
+            &ServeOptions {
+                workers: 1,
+                guidance: GuidanceMode::Inline,
+            },
+        );
+        assert_eq!(report.tables.len(), 2);
+        let t0 = &report.tables[0];
+        assert_eq!(t0.profile.table, 0);
+        assert_eq!(t0.profile.unique_rows, 4);
+        assert!((t0.profile.demand_share - 0.5).abs() < 0.05);
+        let json = report.to_json();
+        for field in [
+            "\"demand_share\"",
+            "\"skew\"",
+            "\"unique_rows\"",
+            "\"pinned_shard\"",
+            "\"hot_rows\"",
         ] {
             assert!(json.contains(field), "missing {field} in {json}");
         }

@@ -53,6 +53,16 @@
 //!    access plus a paced fill) and commits with one route publish, and a
 //!    sketch-driven [`ReplicationPolicy`] gives read-hot slow-tier shards
 //!    fast-tier replicas that invalidate through the same epoch fence.
+//! 9. **Statistical per-table placement** ([`table_profile`]): a
+//!    [`TableProfiler`] on the demand path builds per-table
+//!    [`TableProfile`]s (size, demand share, fitted power-law skew,
+//!    high-cardinality-sketched unique-row footprint);
+//!    [`StatisticalPlacement`] pins tiny tables whole in the fastest
+//!    tier — direct-routed, eviction-exempt, floors and tier-fill order
+//!    pin-adjusted — and splits big skewed tables at the closed-form
+//!    [`hot_boundary`] so only the hot prefix earns buffer capacity.
+//!    [`TableArraySpec`] generates the heterogeneous libai-style
+//!    table-size-array workloads this placement is built for.
 //!
 //! # Examples
 //!
@@ -90,6 +100,7 @@ pub mod session;
 mod sharding;
 pub mod sketch;
 mod system;
+pub mod table_profile;
 pub mod tier;
 
 pub use buffer_mgmt::{RecMgBuffer, TierTraffic};
@@ -110,6 +121,7 @@ pub use migrate::{
 pub use prefetch_model::{
     FastPrefetchModel, PrefetchEval, PrefetchLoss, PrefetchModel, PrefetchTrainingReport,
 };
+pub use serving::{TableArraySpec, WorkloadSpec};
 pub use session::{
     ArrivalProcess, BatchSource, ClosedLoopSource, LatencySummary, Rejection, Request,
     RequestSample, RequestSource, ServingSession, SessionBuilder, SessionProgress, SessionReport,
@@ -118,6 +130,10 @@ pub use session::{
 pub use sharding::{ShardRouter, ShardedRecMgSystem};
 pub use sketch::{CardinalitySketch, WorkingSetStats, WorkingSetTracker};
 pub use system::{train_recmg, CmPolicy, PmPrefetcher, RecMgSystem, TrainOptions, TrainedRecMg};
+pub use table_profile::{
+    hot_boundary, StatisticalPlacement, TableDecision, TablePlacement, TableProfile, TableProfiler,
+    TableReport,
+};
 pub use tier::{
     CardinalityWorkingSet, EvenSplit, HotFirst, MemoryTier, PlacementPolicy, RebalanceDeferred,
     Rebalancer, ShardPlacement, TierTopology, TierUsage, WorkingSet,

@@ -887,7 +887,17 @@ impl LiveTrigger {
 /// poll the trigger, re-run the system's placement policy on fresh
 /// traffic deltas, migrate/resize shards whose placement changed, and
 /// apply the replication policy.
-pub(crate) fn live_loop(live: &LiveState, shards: &[Mutex<Shard>], ctx: &GuidanceCtx) {
+///
+/// A table-aware placement re-runs its pin/split analysis on each firing
+/// (merged per-table profiles across shards) and republishes the router's
+/// pin directory *before* any shard migrates/resizes, so drifted tables
+/// re-home under the new routing first — the live re-split path.
+pub(crate) fn live_loop(
+    live: &LiveState,
+    shards: &[Mutex<Shard>],
+    ctx: &GuidanceCtx,
+    router: &crate::ShardRouter,
+) {
     let mut trigger = LiveTrigger::new(&live.cfg, shards.len());
     while !live.stop.load(Ordering::Acquire) {
         std::thread::sleep(live.cfg.check_every);
@@ -897,7 +907,32 @@ pub(crate) fn live_loop(live: &LiveState, shards: &[Mutex<Shard>], ctx: &Guidanc
         let Some(deltas) = trigger.check(shards) else {
             continue;
         };
-        let placements = ctx.placement.place(shards.len(), &ctx.topology, &deltas);
+        let tables = crate::table_profile::TableProfiler::merge(
+            shards
+                .iter()
+                .map(|s| {
+                    let shard = s.lock().expect("shard mutex poisoned");
+                    shard.profiler.clone()
+                })
+                .collect::<Vec<_>>()
+                .iter()
+                .filter_map(|p| p.as_ref()),
+        );
+        let table_placement =
+            ctx.placement
+                .place_with_tables(shards.len(), &ctx.topology, &deltas, &tables);
+        router.install(&table_placement.tables);
+        // Buffer pin sets follow the routing install (before any shrink or
+        // staged migration below, so neither can displace a freshly
+        // pinned footprint; `replace_storage` carries pins across the
+        // double-buffer commit).
+        let pins =
+            crate::table_profile::pinned_tables_per_shard(&table_placement.tables, shards.len());
+        for (shard, shard_pins) in shards.iter().zip(&pins) {
+            let mut s = shard.lock().expect("shard mutex poisoned");
+            s.set_pinned_tables(shard_pins);
+        }
+        let placements = table_placement.placements;
         for (sid, placement) in placements.iter().enumerate() {
             if live.stop.load(Ordering::Acquire) {
                 return;
@@ -1079,7 +1114,7 @@ impl ReplicaState {
                     let victim = self
                         .candidates
                         .iter()
-                        .min_by_key(|&(_, &stamp)| stamp)
+                        .min_by_key(|&(&k, &stamp)| (stamp, k.as_u64()))
                         .map(|(&k, _)| k);
                     if let Some(v) = victim {
                         self.candidates.remove(&v);
@@ -1098,7 +1133,7 @@ impl ReplicaState {
             let victim = self
                 .entries
                 .iter()
-                .min_by_key(|&(_, &stamp)| stamp)
+                .min_by_key(|&(&k, &stamp)| (stamp, k.as_u64()))
                 .map(|(&k, _)| k);
             if let Some(v) = victim {
                 self.entries.remove(&v);
@@ -1131,7 +1166,7 @@ impl ReplicaState {
             let victim = self
                 .entries
                 .iter()
-                .min_by_key(|&(_, &stamp)| stamp)
+                .min_by_key(|&(&k, &stamp)| (stamp, k.as_u64()))
                 .map(|(&k, _)| k);
             match victim {
                 Some(v) => {
@@ -1147,7 +1182,7 @@ impl ReplicaState {
             let victim = self
                 .candidates
                 .iter()
-                .min_by_key(|&(_, &stamp)| stamp)
+                .min_by_key(|&(&k, &stamp)| (stamp, k.as_u64()))
                 .map(|(&k, _)| k);
             match victim {
                 Some(v) => {

@@ -926,7 +926,7 @@ impl SessionBuilder {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || {
                 let live = shared.live.as_ref().expect("live state checked above");
-                migrate::live_loop(live, &shared.shards, &shared.ctx);
+                migrate::live_loop(live, &shared.shards, &shared.ctx, &shared.router);
             })
         });
 
@@ -1272,6 +1272,7 @@ impl ServingSession {
                 max_phase_score: system.max_phase_score(),
                 migration,
                 replication,
+                tables: system.table_report(),
             },
             submitted: submitted.into_inner(),
             rejected_queue_full: rejected_queue_full.into_inner(),

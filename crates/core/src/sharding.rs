@@ -17,6 +17,7 @@
 //!
 //! [`RecMgSystem`]: crate::RecMgSystem
 
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use recmg_cache::{BufferAccess, GpuBuffer};
@@ -32,27 +33,56 @@ use crate::engine::GuidanceMode;
 use crate::fast::FastScratch;
 use crate::prefetch_model::{FastPrefetchModel, PrefetchModel};
 use crate::system::RecMgSystem;
+use crate::table_profile::{TableDecision, TableProfile, TableProfiler};
 use crate::tier::{PlacementPolicy, ShardPlacement, TierTopology, TierUsage};
 
 /// Maps embedding-vector keys onto shards.
 ///
-/// The mapping is a pure function of the key (multiplicative hashing over
-/// the packed `u64`), so every key has exactly one home shard and routing
-/// needs no shared state.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// The mapping is a pure function of the key plus the router's *pin
+/// directory*: by default every key is multiplicatively hashed over the
+/// packed `u64`, but a table pinned by a statistical placement
+/// ([`crate::StatisticalPlacement`]) resolves by one direct table-id
+/// lookup instead — no hash rounds at all, the RecShard fast path for
+/// tiny tables. Routing is still a partition: every key has exactly one
+/// home shard at any instant. Clones share the pin directory, so a pin
+/// installed through any clone is visible to all of them.
+#[derive(Debug, Clone)]
 pub struct ShardRouter {
     num_shards: usize,
+    /// Pin directory, indexed by table id: the pinned home shard, or −1
+    /// for hash-routed. Empty (the default) disables pinning entirely —
+    /// `shard_of` then never even branches on the table id beyond one
+    /// always-false length check.
+    pins: Arc<[AtomicI64]>,
+    /// Per-table hot/cold row boundaries installed alongside pins
+    /// (0 = unsplit). Reporting only — routing ignores it; placement
+    /// uses it to size fast-tier capacity and reports surface it.
+    hot_rows: Arc<[AtomicU64]>,
 }
 
 impl ShardRouter {
-    /// Creates a router over `num_shards` shards.
+    /// Creates a router over `num_shards` shards (pinning disabled).
     ///
     /// # Panics
     ///
     /// Panics if `num_shards` is zero.
     pub fn new(num_shards: usize) -> Self {
+        Self::with_pin_capacity(num_shards, 0)
+    }
+
+    /// Creates a router with a pin directory covering table ids
+    /// `0..pin_capacity` (0 disables pinning).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards` is zero.
+    pub fn with_pin_capacity(num_shards: usize, pin_capacity: usize) -> Self {
         assert!(num_shards > 0, "need at least one shard");
-        ShardRouter { num_shards }
+        ShardRouter {
+            num_shards,
+            pins: (0..pin_capacity).map(|_| AtomicI64::new(-1)).collect(),
+            hot_rows: (0..pin_capacity).map(|_| AtomicU64::new(0)).collect(),
+        }
     }
 
     /// Number of shards.
@@ -60,8 +90,113 @@ impl ShardRouter {
         self.num_shards
     }
 
+    /// Table-id capacity of the pin directory (0 = pinning disabled).
+    pub fn pin_capacity(&self) -> usize {
+        self.pins.len()
+    }
+
+    /// Pins every key of `table` to `shard` (direct-lookup routing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` is outside the pin directory or `shard` is out
+    /// of range.
+    pub fn pin_table(&self, table: u32, shard: usize) {
+        assert!(
+            (table as usize) < self.pins.len(),
+            "table outside the pin directory"
+        );
+        assert!(shard < self.num_shards, "shard out of range");
+        self.pins[table as usize].store(shard as i64, Ordering::Relaxed);
+    }
+
+    /// The shard `table` is pinned to, if any.
+    pub fn pinned_shard(&self, table: u32) -> Option<usize> {
+        let slot = self.pins.get(table as usize)?;
+        let p = slot.load(Ordering::Relaxed);
+        (p >= 0).then_some(p as usize)
+    }
+
+    /// Clears every pin and hot-row mark (back to pure hash routing).
+    pub fn clear_pins(&self) {
+        for slot in self.pins.iter() {
+            slot.store(-1, Ordering::Relaxed);
+        }
+        for slot in self.hot_rows.iter() {
+            slot.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Records `table`'s hot/cold row boundary (0 = unsplit). No routing
+    /// effect; out-of-directory tables are ignored.
+    pub fn set_hot_rows(&self, table: u32, rows: u64) {
+        if let Some(slot) = self.hot_rows.get(table as usize) {
+            slot.store(rows, Ordering::Relaxed);
+        }
+    }
+
+    /// The recorded hot/cold boundary of `table` (0 = unsplit/unknown).
+    pub fn hot_rows(&self, table: u32) -> u64 {
+        self.hot_rows
+            .get(table as usize)
+            .map_or(0, |s| s.load(Ordering::Relaxed))
+    }
+
+    /// Installs a placement's table decisions atomically enough for the
+    /// demand path (per-slot atomics; a request split mid-install may mix
+    /// old and new homes for *different* tables, never for one key).
+    /// Returns whether any slot changed. Decisions for tables outside the
+    /// directory are ignored.
+    pub(crate) fn install(&self, decisions: &[TableDecision]) -> bool {
+        let mut changed = false;
+        // Reset-and-apply: a table pinned by the previous placement but
+        // absent from this one reverts to hash routing.
+        let mut new_pins: Vec<i64> = vec![-1; self.pins.len()];
+        let mut new_hot: Vec<u64> = vec![0; self.hot_rows.len()];
+        for d in decisions {
+            let t = d.table as usize;
+            if t >= new_pins.len() {
+                continue;
+            }
+            if let Some(shard) = d.pinned_shard {
+                assert!(shard < self.num_shards, "pin decision shard out of range");
+                new_pins[t] = shard as i64;
+            }
+            new_hot[t] = d.hot_rows;
+        }
+        for (slot, pin) in self.pins.iter().zip(&new_pins) {
+            changed |= slot.swap(*pin, Ordering::Relaxed) != *pin;
+        }
+        for (slot, hot) in self.hot_rows.iter().zip(&new_hot) {
+            changed |= slot.swap(*hot, Ordering::Relaxed) != *hot;
+        }
+        changed
+    }
+
     /// The home shard of `key`.
     pub fn shard_of(&self, key: VectorKey) -> usize {
+        if self.num_shards == 1 {
+            return 0;
+        }
+        // Pinned-table fast path: one bounds check + one relaxed load
+        // instead of the two multiply-fold rounds below. The check lives
+        // *here*, not in a caller, so every routing consumer — request
+        // splitting, the guidance plane's prediction filter, parity
+        // tests — sees the same partition.
+        let t = key.table().0 as usize;
+        if t < self.pins.len() {
+            let p = self.pins[t].load(Ordering::Relaxed);
+            if p >= 0 {
+                return p as usize;
+            }
+        }
+        self.hash_shard_of(key)
+    }
+
+    /// The hash half of [`ShardRouter::shard_of`], ignoring pins — what
+    /// routing resolves to for every unpinned table (and the reference
+    /// the pinned-bypass parity test compares against).
+    pub fn hash_shard_of(&self, key: VectorKey) -> usize {
         if self.num_shards == 1 {
             return 0;
         }
@@ -189,6 +324,12 @@ pub(crate) struct Shard {
     /// exact with respect to the demand stream; stripped (and its
     /// counters folded into the replication report) at session drain.
     pub(crate) replica: Option<crate::migrate::ReplicaState>,
+    /// Per-table demand profiler, installed by the builder when the
+    /// placement policy asks for table profiles
+    /// ([`PlacementPolicy::table_capacity`] > 0). Observes every demand
+    /// access under the shard's existing synchronization; merged across
+    /// shards at rebalance/report time.
+    pub(crate) profiler: Option<TableProfiler>,
 }
 
 impl Shard {
@@ -220,6 +361,7 @@ impl Shard {
             unguided_chunks: 0,
             scratch: FastScratch::default(),
             replica: None,
+            profiler: None,
         }
     }
 
@@ -248,6 +390,14 @@ impl Shard {
         changed
     }
 
+    /// Installs the RecShard pin set for this shard's buffer: vectors of
+    /// these tables are exempt from victim selection, so a pinned table's
+    /// whole footprint stays resident under miss churn (an empty slice
+    /// clears the set).
+    pub(crate) fn set_pinned_tables(&mut self, tables: &[u32]) {
+        self.buffer.set_pinned_tables(tables);
+    }
+
     /// Demand access bookkeeping shared by the inline and background paths.
     ///
     /// When a fast-tier replica is installed, a hit on a fresh
@@ -257,6 +407,9 @@ impl Shard {
     /// two-touch admission (the second fresh hit copies the key in and
     /// charges the fill), and a miss write-invalidates the replica entry.
     pub(crate) fn record_access(&mut self, key: VectorKey, stats: &mut BatchAccessStats) {
+        if let Some(profiler) = self.profiler.as_mut() {
+            profiler.observe(key);
+        }
         let outcome = self.buffer.access(key);
         match outcome {
             BufferAccess::CacheHit => stats.cache_hits += 1,
@@ -599,25 +752,64 @@ impl ShardedRecMgSystem {
             self.shards.len(),
             "need one stat entry per shard"
         );
-        let placements = self
-            .ctx
-            .placement
-            .place(self.shards.len(), &self.ctx.topology, stats);
+        let tables = self.table_profiles();
+        let placement = self.ctx.placement.place_with_tables(
+            self.shards.len(),
+            &self.ctx.topology,
+            stats,
+            &tables,
+        );
         assert_eq!(
-            placements.len(),
+            placement.placements.len(),
             self.shards.len(),
             "placement policy must return one placement per shard"
         );
-        let mut changed = false;
-        for (shard, placement) in self.shards.iter_mut().zip(&placements) {
-            changed |= shard.apply_placement(placement, &self.ctx.topology);
+        // Publish routing decisions before shrinking any buffer, so a key
+        // re-homed by a new pin stops landing on (and refilling) the shard
+        // that is about to lose capacity. Copies stranded under the old
+        // routing simply go cold and evict. Buffer pin sets install in the
+        // same step (before any shrink) so a resize never displaces a
+        // freshly pinned footprint.
+        let mut changed = self.router.install(&placement.tables);
+        let pins =
+            crate::table_profile::pinned_tables_per_shard(&placement.tables, self.shards.len());
+        for ((shard, shard_placement), shard_pins) in
+            self.shards.iter_mut().zip(&placement.placements).zip(&pins)
+        {
+            shard.set_pinned_tables(shard_pins);
+            changed |= shard.apply_placement(shard_placement, &self.ctx.topology);
         }
         changed
     }
 
-    /// The shard router.
+    /// Merged per-table demand profiles across shards, sorted by table id
+    /// — empty unless the placement policy enabled profiling
+    /// ([`PlacementPolicy::table_capacity`] > 0).
+    pub fn table_profiles(&self) -> Vec<TableProfile> {
+        TableProfiler::merge(self.shards.iter().filter_map(|s| s.profiler.as_ref()))
+    }
+
+    /// Per-table report rows: each merged profile joined with the routing
+    /// decision currently installed for it in the router's pin directory
+    /// — what [`crate::EngineReport`] serializes.
+    pub fn table_report(&self) -> Vec<crate::table_profile::TableReport> {
+        self.table_profiles()
+            .into_iter()
+            .map(|p| {
+                let pinned = self.router.pinned_shard(p.table);
+                let hot = self.router.hot_rows(p.table);
+                crate::table_profile::TableReport {
+                    profile: p,
+                    pinned_shard: pinned,
+                    hot_rows: hot,
+                }
+            })
+            .collect()
+    }
+
+    /// The shard router (a handle — clones share the pin directory).
     pub fn router(&self) -> ShardRouter {
-        self.router
+        self.router.clone()
     }
 
     /// Number of shards.
@@ -742,7 +934,7 @@ impl ShardedRecMgSystem {
         }
         let parts = self.router.split(batch);
         let ctx = &self.ctx;
-        let router = self.router;
+        let router = &self.router;
         let mut stats = BatchAccessStats::default();
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
@@ -750,7 +942,7 @@ impl ShardedRecMgSystem {
                 if keys.is_empty() {
                     continue;
                 }
-                handles.push(scope.spawn(move || shard.process_keys(keys, ctx, &router)));
+                handles.push(scope.spawn(move || shard.process_keys(keys, ctx, router)));
             }
             for h in handles {
                 stats.accumulate(h.join().expect("shard worker does not panic"));
@@ -827,6 +1019,93 @@ mod tests {
                 assert_eq!(s, router.shard_of(key(t, r)));
             }
         }
+    }
+
+    #[test]
+    fn unpinned_routing_is_hash_routing_exactly() {
+        // Parity: a router with a pin directory but nothing pinned must
+        // route every key exactly like the plain hash router — the fast
+        // path is a bypass, not a different partition.
+        let plain = ShardRouter::new(8);
+        let pinnable = ShardRouter::with_pin_capacity(8, 64);
+        for t in 0..128u32 {
+            for r in 0..256u64 {
+                let k = key(t, r);
+                assert_eq!(plain.shard_of(k), pinnable.shard_of(k));
+                assert_eq!(pinnable.shard_of(k), pinnable.hash_shard_of(k));
+            }
+        }
+    }
+
+    #[test]
+    fn pins_override_hash_and_preserve_the_partition() {
+        let router = ShardRouter::with_pin_capacity(4, 8);
+        router.pin_table(2, 3);
+        router.pin_table(5, 0);
+        assert_eq!(router.pinned_shard(2), Some(3));
+        assert_eq!(router.pinned_shard(5), Some(0));
+        assert_eq!(router.pinned_shard(0), None);
+        // Out-of-directory tables have no pin slot and hash-route.
+        assert_eq!(router.pinned_shard(100), None);
+        for r in 0..512u64 {
+            // Every key of a pinned table lands on the pinned shard...
+            assert_eq!(router.shard_of(key(2, r)), 3);
+            assert_eq!(router.shard_of(key(5, r)), 0);
+            // ...while unpinned tables keep their hash homes.
+            assert_eq!(router.shard_of(key(0, r)), router.hash_shard_of(key(0, r)));
+            assert_eq!(
+                router.shard_of(key(100, r)),
+                router.hash_shard_of(key(100, r))
+            );
+        }
+        // split() still places each key on exactly its shard_of home.
+        let batch: Vec<VectorKey> = (0..400).map(|i| key(i % 7, i as u64)).collect();
+        for (sid, part) in router.split(&batch).iter().enumerate() {
+            for &k in part {
+                assert_eq!(router.shard_of(k), sid);
+            }
+        }
+        router.clear_pins();
+        assert_eq!(router.pinned_shard(2), None);
+        assert_eq!(router.shard_of(key(2, 9)), router.hash_shard_of(key(2, 9)));
+    }
+
+    #[test]
+    fn install_replaces_the_whole_directory() {
+        use crate::table_profile::TableDecision;
+        let router = ShardRouter::with_pin_capacity(4, 8);
+        let first = vec![
+            TableDecision {
+                table: 1,
+                pinned_shard: Some(2),
+                hot_rows: 0,
+            },
+            TableDecision {
+                table: 3,
+                pinned_shard: None,
+                hot_rows: 77,
+            },
+        ];
+        assert!(router.install(&first));
+        assert_eq!(router.pinned_shard(1), Some(2));
+        assert_eq!(router.hot_rows(3), 77);
+        // Re-installing the same decisions changes nothing.
+        assert!(!router.install(&first));
+        // A new placement that drops table 1 reverts it to hash routing.
+        let second = vec![TableDecision {
+            table: 3,
+            pinned_shard: Some(0),
+            hot_rows: 50,
+        }];
+        assert!(router.install(&second));
+        assert_eq!(router.pinned_shard(1), None);
+        assert_eq!(router.pinned_shard(3), Some(0));
+        assert_eq!(router.hot_rows(3), 50);
+        // Clones share the directory.
+        let clone = router.clone();
+        assert_eq!(clone.pinned_shard(3), Some(0));
+        clone.clear_pins();
+        assert_eq!(router.pinned_shard(3), None);
     }
 
     #[test]

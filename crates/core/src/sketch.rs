@@ -755,6 +755,51 @@ mod tests {
         }
     }
 
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(3))]
+
+        /// The same ladder discipline at DLRM-scale cardinalities with the
+        /// `high_cardinality` preset (m = 4096, σ ≈ 1.6%): libai-style
+        /// tables have millions of unique rows, and the table-profile
+        /// sketches must stay inside the error bound there, not just at
+        /// the toy footprints of the default shape. Three cases only —
+        /// each streams ~1.7M inserts — but the ladder tops out past 1M
+        /// unique keys, the regime the pin/split decisions read.
+        #[test]
+        fn high_cardinality_estimate_within_bound_at_millions(
+            base in 0u64..1_000,
+            offset in 0usize..100_000,
+        ) {
+            let cfg = SketchConfig::high_cardinality();
+            let sigma = 1.04 / (cfg.registers as f64).sqrt();
+            let ladder = [100usize, 1_000, 60_000, 250_000, 1_100_000];
+            let mut beyond_3 = 0usize;
+            for (step, &lo) in ladder.iter().enumerate() {
+                let n = lo + if lo > cfg.exact_threshold { offset.min(lo) } else { 0 };
+                let seed = base.wrapping_mul(0x9E37).wrapping_add(step as u64) << 24;
+                let s = sketch_of(&keys(seed, n), cfg.registers, cfg.exact_threshold);
+                let est = s.estimate();
+                let rel = (est - n as f64).abs() / n as f64;
+                if n <= cfg.exact_threshold {
+                    prop_assert_eq!(est as usize, n, "exact below the threshold");
+                } else {
+                    prop_assert!(
+                        rel <= 4.5 * sigma,
+                        "estimate {est:.0} vs true {n}: {rel:.4} breaches the hard cap"
+                    );
+                    if rel > 3.0 * sigma {
+                        beyond_3 += 1;
+                    }
+                }
+            }
+            prop_assert!(
+                beyond_3 <= 1,
+                "{beyond_3}/{} ladder points beyond 3σ — estimator is biased",
+                ladder.len()
+            );
+        }
+    }
+
     /// Distributional form of the error bound: over a deterministic
     /// 200-case sweep of cardinalities across 10..100k, the empirical
     /// RMSE matches the theoretical σ = 1.04/√m (within 25%), at least

@@ -30,6 +30,7 @@
 
 use crate::config::TierCost;
 use crate::sharding::ShardedRecMgSystem;
+use crate::table_profile::{TablePlacement, TableProfile};
 
 use crate::buffer_mgmt::TierTraffic;
 
@@ -163,6 +164,35 @@ pub trait PlacementPolicy: std::fmt::Debug + Send + Sync {
         topology: &TierTopology,
         stats: &[TierTraffic],
     ) -> Vec<ShardPlacement>;
+
+    /// Table-aware placement: like [`PlacementPolicy::place`], but the
+    /// caller additionally hands over merged per-table profiles
+    /// ([`TableProfile`]), and the policy may return per-table routing
+    /// decisions (pins and hot/cold splits) alongside the per-shard
+    /// placements. The default ignores the profiles — every existing
+    /// policy is table-oblivious — so only statistical policies override
+    /// this.
+    fn place_with_tables(
+        &self,
+        num_shards: usize,
+        topology: &TierTopology,
+        stats: &[TierTraffic],
+        tables: &[TableProfile],
+    ) -> TablePlacement {
+        let _ = tables;
+        TablePlacement {
+            placements: self.place(num_shards, topology, stats),
+            tables: Vec::new(),
+        }
+    }
+
+    /// How many table ids this policy wants profiled and routable via the
+    /// router's pin directory; 0 (the default) disables per-table
+    /// profiling entirely, so table-oblivious systems pay nothing on the
+    /// demand path.
+    fn table_capacity(&self) -> usize {
+        0
+    }
 }
 
 /// Assigns shards (visited in `order`) to tiers greedily fast → slow:
@@ -176,7 +206,7 @@ pub trait PlacementPolicy: std::fmt::Debug + Send + Sync {
 /// — shrinking a share to fit would change serving results — so the
 /// over-commit is deliberate and visible in [`TierUsage::capacity`]
 /// (reported allocation vs the topology's declared budget).
-fn assign_tiers(
+pub(crate) fn assign_tiers(
     capacities: &[usize],
     order: &[usize],
     topology: &TierTopology,
@@ -211,7 +241,7 @@ fn assign_tiers(
 
 /// Even per-shard capacities: `ceil(total / n)` each, minimum 1 — exactly
 /// the historical constructor split.
-fn even_capacities(num_shards: usize, total: usize) -> Vec<usize> {
+pub(crate) fn even_capacities(num_shards: usize, total: usize) -> Vec<usize> {
     vec![total.div_ceil(num_shards).max(1); num_shards]
 }
 
@@ -220,7 +250,7 @@ fn even_capacities(num_shards: usize, total: usize) -> Vec<usize> {
 /// the per-event cost difference, so shards are ranked by what fast-tier
 /// residency actually saves — a miss-heavy shard outranks a hit-heavy one
 /// of equal demand, because misses carry the larger tier penalty.
-fn fast_tier_benefit(traffic: &TierTraffic, topology: &TierTopology) -> u128 {
+pub(crate) fn fast_tier_benefit(traffic: &TierTraffic, topology: &TierTopology) -> u128 {
     let fast = &topology.tiers()[0].cost;
     let slow = &topology.tiers()[topology.num_tiers() - 1].cost;
     traffic.hits as u128 * slow.hit_ns.saturating_sub(fast.hit_ns) as u128
@@ -233,7 +263,11 @@ fn fast_tier_benefit(traffic: &TierTraffic, topology: &TierTopology) -> u128 {
 /// identity order). For equal-size shards on a two-tier topology, filling
 /// the fast tier in this order is the cost-minimizing assignment — the
 /// property the `tier_placement` bench holds `HotFirst` to.
-fn hotness_order(num_shards: usize, stats: &[TierTraffic], topology: &TierTopology) -> Vec<usize> {
+pub(crate) fn hotness_order(
+    num_shards: usize,
+    stats: &[TierTraffic],
+    topology: &TierTopology,
+) -> Vec<usize> {
     let mut order: Vec<usize> = (0..num_shards).collect();
     if stats.len() == num_shards && stats.iter().any(|t| t.demand() > 0) {
         order.sort_by_key(|&i| std::cmp::Reverse(fast_tier_benefit(&stats[i], topology)));
@@ -377,6 +411,65 @@ fn apportion_by_mass(
     debug_assert_eq!(residue, 0, "largest-remainder residue fits one pass");
     debug_assert_eq!(caps.iter().sum::<usize>(), total);
     assign_tiers(&caps, &order, topology)
+}
+
+/// [`apportion_by_mass`] with *per-shard* floors instead of one uniform
+/// floor, and an explicit tier-fill order instead of the traffic-derived
+/// [`hotness_order`] — the variant [`crate::StatisticalPlacement`] needs:
+/// a shard hosting pinned tables must keep at least its hosted pinned
+/// footprint while its siblings only keep the base floor, and the policy
+/// front-loads host shards in `order` so their whole pinned footprint
+/// lands in the fastest tier (a host carries a non-host's hash traffic
+/// *plus* its pinned tables' near-resident hit traffic, so hosts-first is
+/// the cost-minimizing fill for any demand mix). Shares still sum exactly
+/// to the topology total (largest-remainder over `total − Σ floors`);
+/// zero floors are clamped to 1 so no shard is ever sized away entirely.
+/// Degenerate inputs (floor arity mismatch, infeasible floor sum) fall
+/// back to even shares; a missing/zero mass spreads the above-floor
+/// remainder evenly.
+pub(crate) fn apportion_with_floors_in_order(
+    num_shards: usize,
+    topology: &TierTopology,
+    order: &[usize],
+    mass: &[u64],
+    floors: &[usize],
+) -> Vec<ShardPlacement> {
+    let total = topology.total_capacity();
+    let floors: Vec<usize> = floors.iter().map(|&f| f.max(1)).collect();
+    let floor_sum: usize = floors.iter().sum();
+    if floors.len() != num_shards || total < floor_sum {
+        let caps = even_capacities(num_shards, total);
+        return assign_tiers(&caps, order, topology);
+    }
+    let available = total - floor_sum;
+    let total_mass: u128 = mass.iter().map(|&m| m as u128).sum();
+    let mut caps = floors;
+    if mass.len() != num_shards || total_mass == 0 {
+        // No sizing signal: spread the above-floor remainder evenly.
+        for (i, c) in caps.iter_mut().enumerate() {
+            *c += available / num_shards + usize::from(i < available % num_shards);
+        }
+        debug_assert_eq!(caps.iter().sum::<usize>(), total);
+        return assign_tiers(&caps, order, topology);
+    }
+    let available = available as u128;
+    let mut remainders: Vec<(u128, usize)> = Vec::with_capacity(num_shards);
+    let mut assigned: u128 = 0;
+    for i in 0..num_shards {
+        let exact = available * mass[i] as u128;
+        caps[i] += (exact / total_mass) as usize;
+        assigned += exact / total_mass;
+        remainders.push((exact % total_mass, i));
+    }
+    let mut residue = (available - assigned) as usize;
+    remainders.sort_by_key(|&(rem, i)| (std::cmp::Reverse(rem), i));
+    for &(_, i) in remainders.iter().take(residue.min(num_shards)) {
+        caps[i] += 1;
+        residue -= 1;
+    }
+    debug_assert_eq!(residue, 0, "largest-remainder residue fits one pass");
+    debug_assert_eq!(caps.iter().sum::<usize>(), total);
+    assign_tiers(&caps, order, topology)
 }
 
 /// Footprint-driven working-set placement: capacity shares are apportioned

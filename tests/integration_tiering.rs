@@ -13,10 +13,11 @@
 use proptest::prelude::*;
 
 use recmg_repro::core::{
-    train_recmg, CachingModel, CardinalitySketch, CardinalityWorkingSet, EvenSplit,
+    hot_boundary, train_recmg, CachingModel, CardinalitySketch, CardinalityWorkingSet, EvenSplit,
     FrequencyRankCodec, GuidanceMode, HotFirst, MemoryTier, PlacementPolicy, Rebalancer,
-    RecMgConfig, ShardRouter, ShardedRecMgSystem, SketchConfig, SystemBuilder, TierCost,
-    TierTopology, TierTraffic, TierUsage, TrainOptions, WorkingSet,
+    RecMgConfig, ShardRouter, ShardedRecMgSystem, SketchConfig, StatisticalPlacement,
+    SystemBuilder, TableProfile, TierCost, TierTopology, TierTraffic, TierUsage, TrainOptions,
+    WorkingSet,
 };
 use recmg_repro::dlrm::{BatchAccessStats, BufferManager};
 use recmg_repro::trace::{RowId, SyntheticConfig, TableId, TraceStats, VectorKey};
@@ -184,6 +185,110 @@ proptest! {
         }
         prop_assert_eq!(&left, &right);
         prop_assert_eq!(&left, &whole);
+    }
+
+    /// RecShard-style statistical placement invariants, for arbitrary
+    /// table populations: capacities sum exactly to the topology total,
+    /// every shard keeps the base floor, pinned tables respect the pin
+    /// threshold and their host's capacity covers the hosted pinned
+    /// footprint (a pinned table is never resized below residency), and
+    /// the cold-start placement is exactly EvenSplit's.
+    #[test]
+    fn statistical_placement_invariants(
+        specs in prop::collection::vec(
+            (1u64..1_000_000, 1u64..1_000, 0.0f64..4.0, 0.0f64..1.0),
+            1..24,
+        ),
+        shards in 1usize..9,
+        floor in 1usize..8,
+        fast in 16usize..96,
+        slow in 16usize..256,
+    ) {
+        let total_accesses: u64 = specs.iter().map(|&(_, a, _, _)| a).sum();
+        let profiles: Vec<TableProfile> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(size, accesses, skew, unique_frac))| TableProfile {
+                table: i as u32,
+                size,
+                accesses,
+                demand_share: accesses as f64 / total_accesses as f64,
+                skew,
+                unique_rows: ((size as f64 * unique_frac) as u64).clamp(1, size),
+            })
+            .collect();
+        let policy = StatisticalPlacement { floor, ..Default::default() };
+        let topology = TierTopology::two_tier(fast, slow);
+        let total = topology.total_capacity();
+        let tp = policy.place_with_tables(shards, &topology, &[], &profiles);
+        prop_assert_eq!(tp.placements.len(), shards);
+        for p in &tp.placements {
+            prop_assert!(p.tier < topology.num_tiers());
+        }
+        let sum: usize = tp.placements.iter().map(|p| p.capacity).sum();
+        if total >= shards * floor {
+            prop_assert_eq!(sum, total, "shares sum exactly to total capacity");
+        }
+        // Decisions are unique, sorted, and well-formed.
+        let mut seen = std::collections::HashSet::new();
+        let mut hosted = vec![0u64; shards];
+        for pair in tp.tables.windows(2) {
+            prop_assert!(pair[0].table < pair[1].table, "decisions sorted by table");
+        }
+        for d in &tp.tables {
+            prop_assert!(seen.insert(d.table), "one decision per table");
+            let profile = &profiles[d.table as usize];
+            match d.pinned_shard {
+                Some(host) => {
+                    prop_assert!(host < shards);
+                    prop_assert!(
+                        profile.unique_rows <= policy.pin_threshold,
+                        "pinned table exceeds the pin threshold"
+                    );
+                    prop_assert_eq!(d.hot_rows, 0, "pinned tables are never split");
+                    hosted[host] += profile.unique_rows.max(1);
+                }
+                None => {
+                    // Split decision: a learned, in-range boundary.
+                    prop_assert!(d.hot_rows >= 1 && d.hot_rows <= profile.size);
+                }
+            }
+        }
+        if total >= shards * floor {
+            for (host, p) in tp.placements.iter().enumerate() {
+                prop_assert!(p.capacity >= floor, "base floor violated");
+                prop_assert!(
+                    p.capacity as u64 >= hosted[host],
+                    "host capacity {} below hosted pinned footprint {}",
+                    p.capacity,
+                    hosted[host]
+                );
+            }
+        }
+        // Cold start (no profiles) is exactly the even split.
+        prop_assert_eq!(
+            policy.place(shards, &topology, &[]),
+            EvenSplit.place(shards, &topology, &[])
+        );
+    }
+
+    /// The learned hot/cold boundary is monotone non-increasing in the
+    /// fitted skew — more skew means a smaller hot prefix — and always in
+    /// `[1, rows]`.
+    #[test]
+    fn hot_boundary_monotone_in_skew_for_any_table(
+        rows in 1u64..100_000_000,
+        q in 0.05f64..1.0,
+        steps in 2usize..24,
+    ) {
+        let mut prev = u64::MAX;
+        for i in 0..steps {
+            let alpha = i as f64 * 4.0 / steps as f64;
+            let b = hot_boundary(rows, alpha, q);
+            prop_assert!(b >= 1 && b <= rows);
+            prop_assert!(b <= prev, "boundary grew at α={}: {} > {}", alpha, b, prev);
+            prev = b;
+        }
     }
 
     /// WorkingSet shares always sum exactly to the topology capacity and
@@ -374,6 +479,68 @@ fn phase_change_rebalances_within_one_epoch() {
         sys.shard_buffer(1).capacity()
     );
     assert_eq!(sys.capacity(), 128, "shares still sum to the topology");
+}
+
+/// End-to-end statistical placement: serve a two-table workload (one tiny
+/// hammered table, one large skewed one) on a 4-shard statistical system,
+/// rebalance, and check the routing consequences — the tiny table is
+/// pinned whole (direct-lookup routing), the large table carries a split
+/// mark, serving stays total-conserving, and the table report surfaces
+/// the decisions.
+#[test]
+fn statistical_rebalance_pins_and_splits_through_the_system() {
+    use recmg_repro::core::TableArraySpec;
+    let cfg = RecMgConfig::tiny();
+    let caching = CachingModel::new(&cfg);
+    let codec = FrequencyRankCodec::from_accesses(&[VectorKey::new(TableId(0), RowId(1))]);
+    let mut sys = SystemBuilder::new(&caching, None, codec)
+        .shards(4)
+        .topology(TierTopology::two_tier(128, 128))
+        .placement(StatisticalPlacement::default())
+        .guidance(GuidanceMode::Inline)
+        .build();
+    let spec = TableArraySpec {
+        sizes: vec![4, 100_000],
+        skews: vec![0.0, 2.0],
+    };
+    let batches = spec.requests(60, 64);
+    let mut first = BatchAccessStats::default();
+    for b in &batches {
+        first.accumulate(sys.process_batch(b));
+    }
+    assert_eq!(first.total(), (60 * 64) as u64);
+    assert!(sys.rebalance(), "pin install counts as a change");
+    let router = sys.router();
+    let host = router
+        .pinned_shard(0)
+        .expect("the 4-row table must be pinned");
+    for r in 0..4u64 {
+        assert_eq!(
+            router.shard_of(VectorKey::new(TableId(0), RowId(r))),
+            host,
+            "pinned table routes whole to its host"
+        );
+    }
+    let hot = router.hot_rows(1);
+    assert!(
+        hot > 0 && hot < 100_000,
+        "large skewed table carries an interior split mark, got {hot}"
+    );
+    // The report joins profiles with the installed decisions.
+    let tables = sys.table_report();
+    assert_eq!(tables.len(), 2);
+    assert_eq!(tables[0].pinned_shard, Some(host));
+    assert_eq!(tables[0].profile.unique_rows, 4);
+    assert_eq!(tables[1].pinned_shard, None);
+    assert_eq!(tables[1].hot_rows, hot);
+    assert!(tables[1].profile.skew > 0.0, "skew fit sees the power law");
+    // Serving under the new routing still covers every key exactly once.
+    let mut second = BatchAccessStats::default();
+    for b in &batches {
+        second.accumulate(sys.process_batch(b));
+    }
+    assert_eq!(second.total(), first.total());
+    assert_eq!(sys.capacity(), 256, "capacities still sum to the topology");
 }
 
 /// The two equal-share policies the end-to-end test compares.
