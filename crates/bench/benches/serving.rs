@@ -5,7 +5,7 @@
 //!
 //! Besides the Criterion timings, the sharded bench writes a JSON summary
 //! (`BENCH_serving.json` at the workspace root, or under `RECMG_OUT`) with
-//! nine sections, so the perf trajectory is machine-readable:
+//! ten sections, so the perf trajectory is machine-readable:
 //!
 //! * `sharded` — keys/sec, speedup over the single-thread inline engine,
 //!   and the full [`EngineReport`] per shard count (one warmup pass, then
@@ -29,6 +29,12 @@
 //!   cost; each variant row records the pinned/split table counts and the
 //!   cost margin over hash-even, which must grow with the size spread (CI
 //!   asserts both);
+//! * `sdm_ladder` — a calibrated DRAM → mapped-file → file stack serving
+//!   a skewed stream whose footprint is 4× the fast tier, blocking vs
+//!   async slow-tier fills; one bind-time probe prices the tiers for
+//!   both rows, and CI asserts the async row's hit-weighted cost never
+//!   exceeds the blocking row's (coalesced/dropped fills are installs
+//!   the async plane never pays for);
 //! * `router_fast_path` — ns/key through [`ShardRouter::shard_of`] for a
 //!   hash-routed table vs a pinned table resolved by the direct
 //!   table-id directory lookup;
@@ -57,10 +63,11 @@ use std::time::Duration;
 use recmg_core::serving::{measure_throughput, measure_throughput_with, WorkloadSpec};
 use recmg_core::{
     AdmissionPolicy, ArrivalProcess, BatchSource, CachingModel, CardinalityWorkingSet,
-    ClosedLoopSource, EvenSplit, FrequencyRankCodec, GuidanceMode, HotFirst, LiveRebalanceConfig,
-    MemoryTier, PrefetchModel, Rebalancer, RecMgConfig, ReplicationPolicy, ServeOptions,
-    SessionBuilder, ShardRouter, ShardedRecMgSystem, SketchConfig, SlaBudget, StatisticalPlacement,
-    SystemBuilder, TableArraySpec, TierCost, TierTopology, TraceReplaySource, WorkingSet,
+    ClosedLoopSource, EvenSplit, FillMode, FrequencyRankCodec, GuidanceMode, HotFirst,
+    LiveRebalanceConfig, MemoryTier, PrefetchModel, Rebalancer, RecMgConfig, ReplicationPolicy,
+    ServeOptions, SessionBuilder, ShardRouter, ShardedRecMgSystem, SketchConfig, SlaBudget,
+    StatisticalPlacement, SystemBuilder, TableArraySpec, TierCost, TierTopology, TraceReplaySource,
+    WorkingSet,
 };
 use recmg_dlrm::BufferManager;
 use recmg_trace::{RowId, SyntheticConfig, VectorKey};
@@ -383,6 +390,104 @@ fn statistical_placement_rows(cfg: &RecMgConfig) -> (usize, Vec<String>) {
         })
         .collect();
     (requests, rows)
+}
+
+/// Software-defined memory ladder: a DRAM → mapped-file → file stack
+/// serving a skewed stream whose footprint is 4× the fast tier, under
+/// blocking versus async slow-tier fills. One bind-time calibration probe
+/// prices the tiers for *both* rows (re-probing per system would make the
+/// cost comparison measure probe noise, not the fill plane); serving then
+/// multiplies exact per-tier counters by those measured costs, so the
+/// only difference between the rows is how misses are charged: blocking
+/// pays the full read-through inline, async pays the slow read on-path
+/// and the install only when a queued, coalesced fill actually lands —
+/// every coalesced or dropped fill is an install the async plane never
+/// paid for.
+fn sdm_ladder_rows(cfg: &RecMgConfig) -> (usize, usize, usize, Vec<String>, String) {
+    let shards = 4usize;
+    let fast = 128usize;
+    let requests = if smoke() { 150 } else { 800 };
+    // One shared calibration for both rows.
+    let mut topology = TierTopology::sdm_ladder(fast, fast, 2 * fast);
+    let calibration = topology.calibrate();
+    for cal in &calibration.tiers {
+        println!(
+            "sdm_ladder/calibration: {} ({}) hit {} ns, miss {} ns, fill {} ns",
+            cal.tier, cal.backend, cal.hit_ns, cal.miss_ns, cal.fill_ns
+        );
+    }
+    // 2/3 of accesses cycle a hot set that fits in DRAM; 1/3 walk the
+    // cold tail only the file rungs can hold. Footprint = 4× fast tier =
+    // the ladder's exact total capacity.
+    let footprint = 4 * fast as u64;
+    let hot = (fast / 2) as u64;
+    let batches: Vec<Vec<VectorKey>> = (0..requests)
+        .map(|r| {
+            (0..cfg.input_len)
+                .map(|i| {
+                    let n = (r * cfg.input_len + i) as u64;
+                    let row = if n % 3 < 2 {
+                        (n * 17) % hot
+                    } else {
+                        hot + (n * 101) % (footprint - hot)
+                    };
+                    VectorKey::new(recmg_trace::TableId(0), RowId(row))
+                })
+                .collect()
+        })
+        .collect();
+    let refs: Vec<&[VectorKey]> = batches.iter().map(Vec::as_slice).collect();
+    let keys = batches.concat();
+
+    let rows = [
+        ("blocking", FillMode::Blocking),
+        (
+            "async",
+            FillMode::Async {
+                threads: 2,
+                queue_depth: 256,
+            },
+        ),
+    ]
+    .into_iter()
+    .map(|(mode, fill)| {
+        let caching = CachingModel::new(cfg);
+        let codec = FrequencyRankCodec::from_accesses(&keys[..2_000.min(keys.len())]);
+        let system = SystemBuilder::new(&caching, None, codec)
+            .shards(shards)
+            .topology(topology.clone())
+            .placement(HotFirst)
+            .guidance(GuidanceMode::Inline)
+            .fill_mode(fill)
+            .build();
+        let session = SessionBuilder::new()
+            .workers(2)
+            .admission(AdmissionPolicy::unbounded())
+            .build(system);
+        session.ingest(&mut BatchSource::new(&refs));
+        let (_system, report) = session.drain();
+        let fills = &report.engine.fills;
+        println!(
+            "sdm_ladder/{mode}: {:.2}% hits, cost {:.3}ms, fills queued {} coalesced {} dropped {} promoted {}",
+            report.engine.stats.hit_rate() * 100.0,
+            report.engine.access_cost_ns() as f64 / 1e6,
+            fills.queued,
+            fills.coalesced,
+            fills.dropped,
+            fills.promoted,
+        );
+        format!(
+            concat!(
+                "    {{\"fill_mode\": \"{}\", \"hit_weighted_cost_ns\": {}, ",
+                "\"report\": {}}}"
+            ),
+            mode,
+            report.engine.access_cost_ns(),
+            report.engine.to_json(),
+        )
+    })
+    .collect();
+    (fast, 4 * fast, requests, rows, calibration.to_json())
 }
 
 /// Router fast-path microbench: `shard_of` over a hash-routed table
@@ -1119,6 +1224,7 @@ fn bench_serving_sharded(c: &mut Criterion) {
     let grid_rows = workload_grid_rows(&cfg);
     let (tier_skew, tier_requests, tier_rows) = tier_placement_rows(&cfg);
     let (sp_requests, sp_rows) = statistical_placement_rows(&cfg);
+    let (sdm_fast, sdm_footprint, sdm_requests, sdm_rows, sdm_calibration) = sdm_ladder_rows(&cfg);
     let (router_iters, router_rows) = router_fast_path_rows();
     let (ws_requests, ws_epoch, ws_rows) = working_set_estimation_rows(&cfg);
     let (or_batches_per_phase, or_rows, rep_rows) = online_rebalance_rows(&cfg);
@@ -1150,6 +1256,16 @@ fn bench_serving_sharded(c: &mut Criterion) {
             "cost_margin_vs_hash_even = 1 - ",
             "statistical_cost / hash_even_cost on the measured pass's hit-weighted per-tier ",
             "access cost; the margin must grow from mild_spread to libai_dlrm\",\n",
+            "    \"results\": [\n{}\n    ]\n  }},\n",
+            "  \"sdm_ladder\": {{\n    \"shards\": 4, \"fast_rows\": {}, \"footprint_rows\": {}, ",
+            "\"requests\": {},\n",
+            "    \"topology\": \"dram -> mapped_file -> file (calibrated)\",\n",
+            "    \"methodology\": \"one bind-time calibration probe prices all three tiers for ",
+            "both rows (measured hit/miss/fill ns, not injected); the stream's footprint is 4x ",
+            "the fast tier; rows differ only in fill mode: blocking pays full read-through per ",
+            "miss, async pays the slow read on-path and the install only when a queued, ",
+            "coalesced background fill lands\",\n",
+            "    \"calibration\": {},\n",
             "    \"results\": [\n{}\n    ]\n  }},\n",
             "  \"router_fast_path\": {{\n    \"iters\": {},\n    \"results\": [\n{}\n    ]\n  }},\n",
             "  \"working_set_estimation\": {{\n    \"shards\": 8, \"batches_per_phase\": {}, ",
@@ -1186,6 +1302,11 @@ fn bench_serving_sharded(c: &mut Criterion) {
         tier_rows.join(",\n"),
         sp_requests,
         sp_rows.join(",\n"),
+        sdm_fast,
+        sdm_footprint,
+        sdm_requests,
+        sdm_calibration,
+        sdm_rows.join(",\n"),
         router_iters,
         router_rows.join(",\n"),
         ws_requests,

@@ -18,8 +18,11 @@ use std::time::{Duration, Instant};
 use recmg_cache::{BufferAccess, GpuBuffer};
 use recmg_trace::VectorKey;
 
+use crate::backend::{BackendSpec, RowStore, ROW_BYTES};
 use crate::config::{SketchConfig, TierCost};
 use crate::sketch::{WorkingSetStats, WorkingSetTracker};
+
+pub(crate) use crate::backend::FillHandle;
 
 /// Cumulative tier-traffic accounting of one [`RecMgBuffer`]: how many
 /// buffer events the backing memory tier served and what they cost under
@@ -34,6 +37,11 @@ pub struct TierTraffic {
     pub misses: u64,
     /// Speculative (prefetch) fills into the tier.
     pub prefetch_fills: u64,
+    /// Demand fills that landed asynchronously: a missed key promoted by
+    /// a background fill thread after the miss was already served at slow
+    /// cost ([`crate::FillMode::Async`]). Always 0 in blocking mode,
+    /// where the fill is folded into the miss itself.
+    pub demand_fills: u64,
     /// Accumulated hit-weighted access cost in nanoseconds
     /// (`hits × hit_ns + misses × miss_ns + fills × fill_ns`, plus any
     /// rebalance migration charges).
@@ -63,6 +71,7 @@ impl TierTraffic {
         self.hits += other.hits;
         self.misses += other.misses;
         self.prefetch_fills += other.prefetch_fills;
+        self.demand_fills += other.demand_fills;
         self.cost_ns += other.cost_ns;
         self.unique_keys += other.unique_keys;
     }
@@ -76,6 +85,7 @@ impl TierTraffic {
             hits: self.hits.saturating_sub(before.hits),
             misses: self.misses.saturating_sub(before.misses),
             prefetch_fills: self.prefetch_fills.saturating_sub(before.prefetch_fills),
+            demand_fills: self.demand_fills.saturating_sub(before.demand_fills),
             cost_ns: self.cost_ns.saturating_sub(before.cost_ns),
             unique_keys: self.unique_keys,
         }
@@ -95,10 +105,19 @@ fn inject_penalty(penalty: Duration) {
     }
 }
 
-/// The RecMG-managed GPU buffer.
+/// The RecMG-managed GPU buffer: eviction metadata ([`GpuBuffer`]) plus
+/// the actual row bytes on this tier's storage backend
+/// ([`crate::backend`]). The two stay in lockstep — a row exists exactly
+/// for the keys the metadata says are resident.
 #[derive(Debug, Clone)]
 pub struct RecMgBuffer {
     buffer: GpuBuffer,
+    /// Row bytes behind this tier's [`BackendSpec`] (heap, mapped file,
+    /// or plain file).
+    rows: RowStore,
+    /// When present, demand misses queue here instead of filling inline
+    /// ([`crate::FillMode::Async`]).
+    fill: Option<FillHandle>,
     eviction_speed: u64,
     /// Access-cost model of the memory tier backing this buffer.
     cost: TierCost,
@@ -144,13 +163,57 @@ impl RecMgBuffer {
         cost: TierCost,
         sketch: SketchConfig,
     ) -> Self {
+        Self::with_backend_spec(capacity, eviction_speed, cost, sketch, BackendSpec::Dram)
+    }
+
+    /// Creates a buffer whose row bytes live on an explicit storage
+    /// backend — the software-defined-memory path
+    /// ([`SystemBuilder::build`](crate::SystemBuilder::build) routes every
+    /// shard buffer through here with its tier's [`BackendSpec`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or `sketch` is invalid.
+    pub fn with_backend_spec(
+        capacity: usize,
+        eviction_speed: u64,
+        cost: TierCost,
+        sketch: SketchConfig,
+        backend: BackendSpec,
+    ) -> Self {
         RecMgBuffer {
             buffer: GpuBuffer::new(capacity),
+            rows: RowStore::new(backend, capacity),
+            fill: None,
             eviction_speed,
             cost,
             traffic: TierTraffic::default(),
             tracker: WorkingSetTracker::new(sketch),
         }
+    }
+
+    /// The storage backend holding this buffer's row bytes.
+    pub fn backend_spec(&self) -> BackendSpec {
+        self.rows.spec()
+    }
+
+    /// Attaches (or detaches, with `None`) the async fill handle — set by
+    /// the builder for every shard of a [`crate::FillMode::Async`] system.
+    pub(crate) fn set_fill_handle(&mut self, fill: Option<FillHandle>) {
+        self.fill = fill;
+    }
+
+    /// Whether misses route through an async fill queue.
+    pub fn has_fill_handle(&self) -> bool {
+        self.fill.is_some()
+    }
+
+    /// Copies `key`'s row bytes out of the backend, `None` when the key
+    /// is not resident. This is the parity oracle's read path: identical
+    /// bytes across backends for the same key.
+    pub fn read_row(&self, key: VectorKey) -> Option<[u8; ROW_BYTES]> {
+        let mut row = [0u8; ROW_BYTES];
+        self.rows.read(key, &mut row).then_some(row)
     }
 
     /// The configured eviction speed.
@@ -231,6 +294,23 @@ impl RecMgBuffer {
     /// Panics if `capacity` is zero.
     pub fn resize(&mut self, capacity: usize) {
         self.buffer.set_capacity(capacity);
+        // Rebuild the row store at the new slot count, keeping exactly
+        // the metadata survivors (a shrink evicted the coldest inside
+        // `set_capacity`).
+        let resident: Vec<VectorKey> = self.buffer.keys().collect();
+        self.rows.rebind(self.rows.spec(), capacity, &resident);
+    }
+
+    /// Moves the row bytes onto a different storage backend at the
+    /// current capacity (a rebalance changed this shard's home tier).
+    /// Rows are re-synthesized on the destination; the old backend —
+    /// and any temp file it held — is dropped here.
+    pub(crate) fn rebind_backend(&mut self, backend: BackendSpec) {
+        if backend == self.rows.spec() {
+            return;
+        }
+        let resident: Vec<VectorKey> = self.buffer.keys().collect();
+        self.rows.rebind(backend, self.buffer.capacity(), &resident);
     }
 
     /// Declares which tables' vectors are exempt from victim selection in
@@ -267,13 +347,26 @@ impl RecMgBuffer {
     /// the working-set tracker, and the eviction speed all stay — the
     /// shard's identity and demand history are continuous across the
     /// migration; only where its vectors live changes.
-    pub(crate) fn replace_storage(&mut self, mut buffer: GpuBuffer, cost: TierCost) -> GpuBuffer {
+    pub(crate) fn replace_storage(
+        &mut self,
+        mut buffer: GpuBuffer,
+        cost: TierCost,
+        backend: BackendSpec,
+    ) -> GpuBuffer {
         // Pins follow the shard, not the storage: a freshly staged buffer
         // inherits the pin set so a live migration cannot silently strip
         // a pinned table's residency guarantee.
         buffer.set_pinned_tables(self.buffer.pinned_tables());
         self.cost = cost;
-        std::mem::replace(&mut self.buffer, buffer)
+        let retired = std::mem::replace(&mut self.buffer, buffer);
+        // Row bytes for the staged residents materialize on the
+        // destination backend; the old store (and its temp file, for
+        // file-backed tiers) is dropped before the retired metadata is
+        // returned — Drop order the migration stress test pins via
+        // `live_backend_files`.
+        let resident: Vec<VectorKey> = self.buffer.keys().collect();
+        self.rows.rebind(backend, self.buffer.capacity(), &resident);
+        retired
     }
 
     /// Demand access on the critical path: classifies the access and, on a
@@ -293,19 +386,63 @@ impl RecMgBuffer {
         // placement sizes capacity from.
         self.tracker.observe(key.as_u64());
         let outcome = self.buffer.lookup(key);
+        let mut row = [0u8; ROW_BYTES];
         if outcome == BufferAccess::Miss {
             self.traffic.misses += 1;
-            self.traffic.cost_ns += self.cost.miss_ns;
             inject_penalty(self.cost.miss_penalty);
-            if self.buffer.is_full() {
-                self.buffer.populate();
+            match &self.fill {
+                // Async: serve the miss from the slow side now (the fill
+                // portion of the miss cost is deferred to the promotion
+                // that a background thread lands later) and queue the key.
+                // Residency is untouched until then, so accesses in
+                // between are honest misses.
+                Some(handle) => {
+                    self.traffic.cost_ns += self.cost.miss_ns.saturating_sub(self.cost.fill_ns);
+                    handle.queue.push(handle.shard, key);
+                }
+                // Blocking: the historical read-through — install the row
+                // and serve it inline, one miss_ns covering both.
+                None => {
+                    self.traffic.cost_ns += self.cost.miss_ns;
+                    if self.buffer.is_full() {
+                        if let Some(victim) = self.buffer.populate() {
+                            self.rows.remove(victim);
+                        }
+                    }
+                    self.buffer.insert(key, self.eviction_speed, false);
+                    self.rows.read_through(key, &mut row);
+                }
             }
-            self.buffer.insert(key, self.eviction_speed, false);
         } else {
             self.traffic.hits += 1;
             self.traffic.cost_ns += self.cost.hit_ns;
+            // The serve itself: a resident access really reads the row
+            // off this tier's storage.
+            let resident = self.rows.read(key, &mut row);
+            debug_assert!(resident, "resident metadata implies a stored row");
         }
         outcome
+    }
+
+    /// Lands one asynchronous demand fill (called by a background fill
+    /// thread under the shard lock): installs the row, promotes the key
+    /// into residency at neutral priority, and charges the deferred fill
+    /// cost. Returns `false` — and changes nothing — when the key is
+    /// already resident (a prefetch or an earlier fill won the race).
+    pub(crate) fn promote_fill(&mut self, key: VectorKey) -> bool {
+        if self.buffer.contains(key) {
+            return false;
+        }
+        if self.buffer.is_full() {
+            if let Some(victim) = self.buffer.populate() {
+                self.rows.remove(victim);
+            }
+        }
+        self.buffer.insert(key, self.eviction_speed, false);
+        self.rows.insert(key);
+        self.traffic.demand_fills += 1;
+        self.traffic.cost_ns += self.cost.fill_ns;
+        true
     }
 
     /// Algorithm 1: applies the caching model's bits `c` to the trunk `t`
@@ -349,7 +486,9 @@ impl RecMgBuffer {
                 if self.buffer.min_priority().unwrap_or(0) >= self.eviction_speed {
                     continue;
                 }
-                self.buffer.evict_min();
+                if let Some(victim) = self.buffer.evict_min() {
+                    self.rows.remove(victim);
+                }
             }
             // Speculative entries start with one decay period of
             // protection; a prefetch hit upgrades them through the normal
@@ -357,6 +496,7 @@ impl RecMgBuffer {
             // full `eviction_speed` protection would let mispredictions
             // occupy ~eviction_speed passes of capacity.
             self.buffer.insert_prefetch(key, 1);
+            self.rows.insert(key);
             // A real fill into the tier: charge it and pay the tier's
             // bandwidth penalty (speculative traffic competes for the same
             // slow-tier bandwidth as demand fetches).
@@ -482,12 +622,7 @@ mod tests {
 
     #[test]
     fn tier_traffic_accounts_hits_misses_and_fills() {
-        let cost = TierCost {
-            hit_ns: 10,
-            miss_ns: 100,
-            fill_ns: 40,
-            miss_penalty: std::time::Duration::ZERO,
-        };
+        let cost = TierCost::synthetic(10, 100, 40);
         let mut b = RecMgBuffer::with_cost(8, 4, cost);
         assert_eq!(b.cost(), cost);
         b.access(key(1)); // miss
@@ -554,6 +689,7 @@ mod tests {
             hits: 5,
             misses: 2,
             prefetch_fills: 1,
+            demand_fills: 1,
             cost_ns: 70,
             unique_keys: 4,
         };
@@ -562,10 +698,12 @@ mod tests {
             hits: 1,
             misses: 1,
             prefetch_fills: 0,
+            demand_fills: 2,
             cost_ns: 30,
             unique_keys: 3,
         });
         assert_eq!(m.hits, 6);
+        assert_eq!(m.demand_fills, 3);
         assert_eq!(m.cost_ns, 100);
         // Disjoint shard footprints add.
         assert_eq!(m.unique_keys, 7);
@@ -612,10 +750,13 @@ mod tests {
         let footprint = b.working_set().unique_keys;
         let mut staged = GpuBuffer::new(8);
         staged.insert(key(1), 4, false);
-        let old = b.replace_storage(staged, fast);
+        let old = b.replace_storage(staged, fast, BackendSpec::Dram);
         assert_eq!(old.len(), 3, "retired storage returned intact");
         assert_eq!(b.capacity(), 8);
         assert_eq!(b.cost(), fast);
+        // The staged resident's row materialized on the new backend.
+        assert!(b.read_row(key(1)).is_some());
+        assert!(b.read_row(key(2)).is_none());
         let t = b.traffic();
         assert_eq!((t.hits, t.misses), counts_before, "counters continuous");
         assert_eq!(b.working_set().unique_keys, footprint, "sketch continuous");
@@ -624,16 +765,7 @@ mod tests {
 
     #[test]
     fn resize_and_migration_charge() {
-        let mut b = RecMgBuffer::with_cost(
-            4,
-            4,
-            TierCost {
-                hit_ns: 0,
-                miss_ns: 0,
-                fill_ns: 0,
-                miss_penalty: std::time::Duration::ZERO,
-            },
-        );
+        let mut b = RecMgBuffer::with_cost(4, 4, TierCost::synthetic(0, 0, 0));
         for r in 1..=4 {
             b.access(key(r));
         }
@@ -646,5 +778,103 @@ mod tests {
         b.set_cost(slow);
         assert_eq!(b.traffic().cost_ns, 2 * slow.fill_ns);
         assert_eq!(b.cost(), slow);
+    }
+
+    #[test]
+    fn rows_track_residency_across_demand_prefetch_and_resize() {
+        let mut b = RecMgBuffer::new(3, 4);
+        assert_eq!(b.backend_spec(), crate::backend::BackendSpec::Dram);
+        b.access(key(1));
+        b.load_embeddings(&[], &[], &[key(2)]);
+        let mut expect = [0u8; ROW_BYTES];
+        crate::backend::synth_row(key(1), &mut expect);
+        assert_eq!(b.read_row(key(1)), Some(expect));
+        assert!(b.read_row(key(2)).is_some());
+        assert!(b.read_row(key(9)).is_none());
+        // Evictions free rows: demote everything, then miss twice.
+        b.load_embeddings(&[key(1), key(2)], &[false, false], &[]);
+        b.access(key(3));
+        b.access(key(4));
+        for r in 1..=4 {
+            assert_eq!(
+                b.read_row(key(r)).is_some(),
+                b.buffer().contains(key(r)),
+                "row {r} out of lockstep"
+            );
+        }
+        // A shrink keeps rows only for the metadata survivors.
+        b.resize(2);
+        assert_eq!(b.len(), 2);
+        for r in 1..=4 {
+            assert_eq!(b.read_row(key(r)).is_some(), b.buffer().contains(key(r)));
+        }
+        // Rebinding to a file backend preserves the exact bytes.
+        let survivors: Vec<_> = b.buffer().keys().collect();
+        b.rebind_backend(crate::backend::BackendSpec::File);
+        assert_eq!(b.backend_spec(), crate::backend::BackendSpec::File);
+        for k in survivors {
+            let mut expect = [0u8; ROW_BYTES];
+            crate::backend::synth_row(k, &mut expect);
+            assert_eq!(b.read_row(k), Some(expect));
+        }
+    }
+
+    #[test]
+    fn async_misses_defer_fill_and_promotion_lands_it() {
+        use crate::backend::{FillHandle, FillQueue};
+        use std::sync::Arc;
+        let cost = TierCost::synthetic(10, 100, 40);
+        let queue = Arc::new(FillQueue::new(8));
+        let mut b = RecMgBuffer::with_cost(4, 4, cost);
+        b.set_fill_handle(Some(FillHandle {
+            queue: Arc::clone(&queue),
+            shard: 0,
+        }));
+        // Miss: served at miss − fill, nothing resident yet.
+        assert_eq!(b.access(key(1)), BufferAccess::Miss);
+        assert_eq!(b.len(), 0);
+        assert_eq!(b.traffic().cost_ns, 100 - 40);
+        // Missing again before the fill lands is an honest miss; the
+        // queue coalesces the duplicate.
+        assert_eq!(b.access(key(1)), BufferAccess::Miss);
+        let r = queue.report();
+        assert_eq!((r.queued, r.coalesced), (1, 1));
+        // The fill lands: row installed, fill cost charged.
+        let (shard, k) = queue.pop_now().expect("queued fill");
+        assert_eq!(shard, 0);
+        assert!(b.promote_fill(k));
+        assert_eq!(b.traffic().demand_fills, 1);
+        assert_eq!(b.traffic().cost_ns, 2 * (100 - 40) + 40);
+        assert!(b.read_row(key(1)).is_some());
+        assert_eq!(b.access(key(1)), BufferAccess::CacheHit);
+        // A duplicate promotion is refused and charges nothing.
+        let before = b.traffic();
+        assert!(!b.promote_fill(key(1)));
+        assert_eq!(b.traffic(), before);
+        // Conservation: every access was exactly one hit or one miss.
+        let t = b.traffic();
+        assert_eq!(t.hits + t.misses, 3);
+        assert!(t.demand_fills <= t.misses);
+    }
+
+    #[test]
+    fn promote_fill_evicts_when_full_and_frees_the_victim_row() {
+        let mut b = RecMgBuffer::new(2, 4);
+        b.access(key(1));
+        b.access(key(2));
+        b.load_embeddings(&[key(1), key(2)], &[false, false], &[]);
+        assert!(b.promote_fill(key(3)));
+        assert_eq!(b.len(), 2);
+        assert!(b.read_row(key(3)).is_some());
+        // Exactly one of the demoted residents was displaced, and its row
+        // slot was freed alongside the metadata.
+        let survivors = [key(1), key(2)]
+            .iter()
+            .filter(|&&k| b.buffer().contains(k))
+            .count();
+        assert_eq!(survivors, 1);
+        for k in [key(1), key(2)] {
+            assert_eq!(b.read_row(k).is_some(), b.buffer().contains(k));
+        }
     }
 }

@@ -27,6 +27,7 @@
 
 use std::sync::Arc;
 
+use crate::backend::{FillHandle, FillMode, FillQueue};
 use crate::caching_model::CachingModel;
 use crate::codec::FrequencyRankCodec;
 use crate::config::{GuidancePrecision, SketchConfig};
@@ -55,6 +56,7 @@ pub struct SystemBuilder<'a> {
     guidance: GuidanceMode,
     sketch: SketchConfig,
     precision: GuidancePrecision,
+    fill: FillMode,
 }
 
 impl<'a> SystemBuilder<'a> {
@@ -75,6 +77,7 @@ impl<'a> SystemBuilder<'a> {
             guidance: GuidanceMode::default(),
             sketch: SketchConfig::default(),
             precision: GuidancePrecision::default(),
+            fill: FillMode::default(),
         }
     }
 
@@ -146,6 +149,21 @@ impl<'a> SystemBuilder<'a> {
         self.precision
     }
 
+    /// How slow-tier misses are filled (default [`FillMode::Blocking`]).
+    /// [`FillMode::Async`] routes every miss through a bounded,
+    /// coalescing queue drained by background fill threads (spawned by
+    /// the serving session): the miss itself pays only the slow-read
+    /// cost, and the install cost lands later when the fill promotes.
+    pub fn fill_mode(mut self, fill: FillMode) -> Self {
+        self.fill = fill;
+        self
+    }
+
+    /// The configured fill mode.
+    pub fn fill(&self) -> FillMode {
+        self.fill
+    }
+
     /// Shape of the per-shard working-set sketches (default
     /// [`SketchConfig::default`]): HLL register count, exact-mode
     /// threshold, and the sliding epoch window the phase-change trigger
@@ -165,10 +183,15 @@ impl<'a> SystemBuilder<'a> {
     /// Panics if no topology was set, `shards` is zero, or the sketch
     /// configuration is invalid.
     pub fn build(self) -> ShardedRecMgSystem {
-        let topology = self
+        let mut topology = self
             .topology
             .expect("SystemBuilder needs a topology: call .topology(..) or .capacity(..)");
         self.sketch.validate();
+        // Bind-time calibration: probe every tier marked `.calibrated()`
+        // against its real backend and overwrite the injected cost with
+        // measured numbers BEFORE placement runs, so policies compare
+        // tiers by what the hardware actually does.
+        let calibration = topology.calibrate();
         // A table-aware policy (table_capacity > 0) gets a pin-capable
         // router plus a per-shard demand profiler; every other policy pays
         // nothing — no pin directory, no profiling on the demand path.
@@ -182,13 +205,23 @@ impl<'a> SystemBuilder<'a> {
             "placement policy must return one placement per shard"
         );
         let topology = Arc::new(topology);
-        let shards = placements
+        let fill_queue = match self.fill {
+            FillMode::Async { queue_depth, .. } => Some(Arc::new(FillQueue::new(queue_depth))),
+            FillMode::Blocking => None,
+        };
+        let shards: Vec<Shard> = placements
             .iter()
             .enumerate()
             .map(|(id, p)| {
                 let mut shard = Shard::placed(id, cfg.eviction_speed, p, &topology, self.sketch);
                 if table_capacity > 0 {
                     shard.profiler = Some(crate::table_profile::TableProfiler::new(table_capacity));
+                }
+                if let Some(queue) = &fill_queue {
+                    shard.buffer.set_fill_handle(Some(FillHandle {
+                        queue: Arc::clone(queue),
+                        shard: id,
+                    }));
                 }
                 shard
             })
@@ -207,6 +240,9 @@ impl<'a> SystemBuilder<'a> {
                 topology,
                 placement: self.placement,
                 guidance_default: self.guidance,
+                calibration: Arc::new(calibration),
+                fill_mode: self.fill,
+                fill_queue,
             },
             router,
             shards,
@@ -316,6 +352,50 @@ mod tests {
     fn builder_without_topology_panics() {
         let (cm, _pm, codec) = parts();
         let _ = SystemBuilder::new(&cm, None, codec).shards(2).build();
+    }
+
+    #[test]
+    fn builder_calibrates_marked_tiers_before_placement() {
+        let (cm, _pm, codec) = parts();
+        let sys = SystemBuilder::new(&cm, None, codec)
+            .shards(2)
+            .topology(TierTopology::sdm_ladder(16, 32, 64))
+            .build();
+        let report = sys.calibration_report();
+        assert_eq!(report.tiers.len(), 3);
+        for cal in &report.tiers {
+            assert!(cal.hit_ns > 0 && cal.fill_ns > 0);
+            assert!(cal.miss_ns >= cal.hit_ns.max(cal.fill_ns));
+        }
+        // The measured costs are the live tier costs placement saw.
+        for (i, cal) in report.tiers.iter().enumerate() {
+            assert_eq!(sys.topology().tier(i).cost, cal.cost());
+            assert!(!sys.topology().tier(i).calibrate, "flag must clear");
+        }
+    }
+
+    #[test]
+    fn builder_wires_async_fill_queue_to_every_shard() {
+        use crate::backend::FillMode;
+        let (cm, _pm, codec) = parts();
+        let sys = SystemBuilder::new(&cm, None, codec)
+            .shards(3)
+            .capacity(12)
+            .fill_mode(FillMode::Async {
+                threads: 1,
+                queue_depth: 8,
+            })
+            .build();
+        assert!(matches!(sys.fill_mode(), FillMode::Async { .. }));
+        for i in 0..3 {
+            assert!(sys.shard_recmg_buffer(i).has_fill_handle());
+        }
+        let blocking = {
+            let (cm2, _pm2, codec2) = parts();
+            SystemBuilder::new(&cm2, None, codec2).capacity(8).build()
+        };
+        assert!(matches!(blocking.fill_mode(), FillMode::Blocking));
+        assert!(!blocking.shard_recmg_buffer(0).has_fill_handle());
     }
 
     #[test]

@@ -154,10 +154,22 @@ impl RecMgConfig {
 /// compete on — RecShard-style placement wins exactly when it moves access
 /// mass onto cheaper tiers.
 ///
-/// `miss_penalty` is *injected*, not just accounted: a non-zero penalty
-/// spin-waits on every demand miss and prefetch fill, emulating a
-/// bandwidth-constrained slow tier (CXL / far NUMA) in wall-clock terms so
-/// throughput benches feel tier placement, not only the cost counters.
+/// Costs come from one of two places, explicit at every call site:
+///
+/// * **Synthetic** — [`TierCost::synthetic`] injects deterministic
+///   numbers (tests, repeatable benches).
+/// * **Calibrated** — tiers marked
+///   [`MemoryTier::calibrated`](crate::MemoryTier::calibrated) get their
+///   numbers *measured* against their storage backend at
+///   [`SystemBuilder::build`](crate::SystemBuilder::build)
+///   ([`crate::backend::calibrate`]), reported via
+///   [`CalibrationReport`](crate::CalibrationReport).
+///
+/// Constructing the struct literally (and the spin-wait `miss_penalty`
+/// field) is deprecated at the public surface in favour of the two paths
+/// above; `with_penalty` remains for benches that want wall-clock tier
+/// pressure, where a non-zero penalty spin-waits on every demand miss and
+/// prefetch fill.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TierCost {
     /// Cost of serving one resident access from this tier.
@@ -167,7 +179,10 @@ pub struct TierCost {
     /// Cost of one speculative (prefetch) fill into this tier.
     pub fill_ns: u64,
     /// Wall-clock delay injected on each miss/fill (zero = accounting
-    /// only).
+    /// only). Deprecated surface: prefer [`TierCost::synthetic`] (no
+    /// injection) or a calibrated tier (measured, nothing to inject);
+    /// set via [`TierCost::with_penalty`] when a bench really wants
+    /// spin-wait pressure.
     pub miss_penalty: Duration,
 }
 
@@ -184,22 +199,24 @@ impl TierCost {
     /// Local-DRAM-like tier: fast access, on-demand fetches dominated by
     /// the host-side copy.
     pub fn dram() -> Self {
-        TierCost {
-            hit_ns: 80,
-            miss_ns: 900,
-            fill_ns: 300,
-            miss_penalty: Duration::ZERO,
-        }
+        TierCost::synthetic(80, 900, 300)
     }
 
     /// CXL-/far-NUMA-like slow tier: ~4× the load latency of local DRAM
     /// and costlier fills (the regime of the Software-Defined-Memory
     /// measurements).
     pub fn cxl_like() -> Self {
+        TierCost::synthetic(350, 1800, 900)
+    }
+
+    /// Explicitly injected (made-up) costs — the deterministic model for
+    /// tests and repeatable benches, as opposed to the measured numbers a
+    /// calibrated tier gets at build. No spin-wait penalty.
+    pub const fn synthetic(hit_ns: u64, miss_ns: u64, fill_ns: u64) -> Self {
         TierCost {
-            hit_ns: 350,
-            miss_ns: 1800,
-            fill_ns: 900,
+            hit_ns,
+            miss_ns,
+            fill_ns,
             miss_penalty: Duration::ZERO,
         }
     }
@@ -497,6 +514,9 @@ mod tests {
         let pen = cxl.with_penalty(Duration::from_nanos(500));
         assert_eq!(pen.miss_penalty, Duration::from_nanos(500));
         assert_eq!(pen.hit_ns, cxl.hit_ns);
+        let synth = TierCost::synthetic(10, 100, 40);
+        assert_eq!((synth.hit_ns, synth.miss_ns, synth.fill_ns), (10, 100, 40));
+        assert_eq!(synth.miss_penalty, Duration::ZERO);
     }
 
     #[test]

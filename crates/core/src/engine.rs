@@ -19,6 +19,7 @@
 use recmg_dlrm::BatchAccessStats;
 use recmg_trace::VectorKey;
 
+use crate::backend::{CalibrationReport, FillPlaneReport};
 use crate::config::AdmissionPolicy;
 use crate::migrate::{MigrationReport, ReplicationReport};
 use crate::session::{BatchSource, SessionBuilder};
@@ -180,6 +181,14 @@ pub struct EngineReport {
     /// sorted by table id — empty unless the system's placement policy
     /// profiles tables ([`crate::StatisticalPlacement`]).
     pub tables: Vec<TableReport>,
+    /// Bind-time tier-cost calibration: one entry per tier built with
+    /// [`crate::MemoryTier::calibrated`] (measured hit/miss/fill ns
+    /// against the tier's real backend); empty when every tier kept its
+    /// injected [`crate::TierCost::synthetic`] cost.
+    pub calibration: CalibrationReport,
+    /// Async fill-plane accounting for this run (all zeros under
+    /// [`crate::FillMode::Blocking`]).
+    pub fills: FillPlaneReport,
 }
 
 impl EngineReport {
@@ -217,7 +226,8 @@ impl EngineReport {
                 "\"elapsed_secs\": {:.4}, \"plane\": {}, ",
                 "\"access_cost_ns\": {}, \"unique_keys\": {}, ",
                 "\"max_phase_score\": {:.4}, \"migration\": {}, ",
-                "\"replication\": {}, \"tiers\": [{}], \"tables\": [{}]}}"
+                "\"replication\": {}, \"calibration\": {}, \"fills\": {}, ",
+                "\"tiers\": [{}], \"tables\": [{}]}}"
             ),
             self.batches,
             self.stats.total(),
@@ -231,6 +241,8 @@ impl EngineReport {
             self.max_phase_score,
             self.migration.to_json(),
             self.replication.to_json(),
+            self.calibration.to_json(),
+            self.fills.to_json(),
             tiers.join(", "),
             tables.join(", "),
         )
@@ -427,6 +439,11 @@ mod tests {
             "\"route_epoch\"",
             "\"replication\"",
             "\"replica_hits\"",
+            "\"calibration\"",
+            "\"fills\"",
+            "\"queued\"",
+            "\"coalesced\"",
+            "\"promoted\"",
             "\"tiers\"",
             "\"tier\": \"dram\"",
             "\"tables\"",

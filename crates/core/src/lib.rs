@@ -63,6 +63,15 @@
 //!    [`hot_boundary`] so only the hot prefix earns buffer capacity.
 //!    [`TableArraySpec`] generates the heterogeneous libai-style
 //!    table-size-array workloads this placement is built for.
+//! 10. **Software-defined memory** ([`backend`]): every buffer's row
+//!     bytes live on a real storage backend behind the [`TierBackend`]
+//!     trait — heap ([`DramBackend`]), an `mmap`'d temp file, or a
+//!     `pread`/`pwrite` file — so [`TierTopology::sdm_ladder`] builds a
+//!     three-rung DRAM → mapped-file → file stack whose costs are
+//!     *measured* by a bind-time calibration probe
+//!     ([`CalibrationReport`]) instead of injected, and an async fill
+//!     plane ([`FillMode::Async`]) turns slow-tier misses into queued,
+//!     coalesced background fills that promote when they land.
 //!
 //! # Examples
 //!
@@ -85,6 +94,7 @@
 //! assert!(stats.hits() > 0);
 //! ```
 
+pub mod backend;
 mod buffer_mgmt;
 mod builder;
 mod caching_model;
@@ -103,6 +113,12 @@ mod system;
 pub mod table_profile;
 pub mod tier;
 
+pub use backend::{
+    calibrate, live_backend_files, synth_row, BackendAdvice, BackendSpec, CalibrationReport,
+    DramBackend, FillMode, FillPlaneReport, TierBackend, TierCalibration, ROW_BYTES,
+};
+#[cfg(unix)]
+pub use backend::{FileBackend, MappedFileBackend};
 pub use buffer_mgmt::{RecMgBuffer, TierTraffic};
 pub use builder::SystemBuilder;
 pub use caching_model::{CachingModel, FastCachingModel, TrainingReport};

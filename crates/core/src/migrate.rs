@@ -489,16 +489,22 @@ pub(crate) struct StagingBuffer {
     pub(crate) buffer: GpuBuffer,
     pub(crate) tier: usize,
     pub(crate) cost: TierCost,
+    pub(crate) backend: crate::backend::BackendSpec,
     pub(crate) copy_fills: u64,
     pub(crate) background_fills: u64,
 }
 
 impl StagingBuffer {
-    fn new(placement: &ShardPlacement, cost: TierCost) -> Self {
+    fn new(
+        placement: &ShardPlacement,
+        cost: TierCost,
+        backend: crate::backend::BackendSpec,
+    ) -> Self {
         StagingBuffer {
             buffer: GpuBuffer::new(placement.capacity.max(1)),
             tier: placement.tier,
             cost,
+            backend,
             copy_fills: 0,
             background_fills: 0,
         }
@@ -691,10 +697,11 @@ pub(crate) fn migrate_shard(
     placement: &ShardPlacement,
 ) -> bool {
     let _serial = live.migrating.lock().expect("migration lock poisoned");
-    let cost = topology.tier(placement.tier).cost;
+    let dest = topology.tier(placement.tier);
+    let (cost, backend) = (dest.cost, dest.backend);
     {
         let mut slot = live.staging[sid].lock().expect("staging lock poisoned");
-        *slot = Some(StagingBuffer::new(placement, cost));
+        *slot = Some(StagingBuffer::new(placement, cost, backend));
     }
     live.routes
         .publish_with(|routes| routes[sid] = ShardRoute::Migrating);
@@ -740,7 +747,9 @@ pub(crate) fn migrate_shard(
         .expect("staging survives until commit");
     let fills = staging.copy_fills + staging.background_fills;
     let fill_cost = fills * staging.cost.fill_ns;
-    let retired = shard.buffer.replace_storage(staging.buffer, staging.cost);
+    let retired = shard
+        .buffer
+        .replace_storage(staging.buffer, staging.cost, staging.backend);
     shard.buffer.charge_cost_ns(fill_cost);
     shard.tier = staging.tier;
     let c = &live.counters;
@@ -1402,7 +1411,7 @@ mod tests {
             capacity: 2,
             tier: 0,
         };
-        let mut s = StagingBuffer::new(&placement, TierCost::FREE);
+        let mut s = StagingBuffer::new(&placement, TierCost::FREE, Default::default());
         assert!(s.admit(key(1), 5, false));
         assert!(!s.admit(key(1), 5, false), "already staged");
         assert!(s.admit(key(2), 3, false));
@@ -1412,6 +1421,8 @@ mod tests {
         assert!(s.buffer.contains(key(4)));
         assert!(!s.buffer.contains(key(2)));
         assert!(s.warm_enough(2, 0.9));
-        assert!(!StagingBuffer::new(&placement, TierCost::FREE).warm_enough(2, 0.5));
+        assert!(
+            !StagingBuffer::new(&placement, TierCost::FREE, Default::default()).warm_enough(2, 0.5)
+        );
     }
 }

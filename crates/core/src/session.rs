@@ -44,6 +44,7 @@ use rand::{Rng, SeedableRng};
 use recmg_dlrm::BatchAccessStats;
 use recmg_trace::{Trace, VectorKey};
 
+use crate::backend::{FillMode, FillPlaneReport};
 use crate::builder::SystemBuilder;
 use crate::config::{AdmissionPolicy, DegradeLevel, SlaBudget};
 use crate::engine::{EngineReport, GuidanceMode, GuidancePlaneReport};
@@ -849,6 +850,7 @@ impl SessionBuilder {
         }
         let guidance = self.guidance.unwrap_or(system.default_guidance());
         let tiers_before = system.tier_usage();
+        let fills_before = system.fill_report();
         let ShardedRecMgSystem {
             ctx,
             router,
@@ -930,16 +932,34 @@ impl SessionBuilder {
             })
         });
 
+        // Async fill plane: re-arm the queue (a prior session's drain
+        // closed it) and spawn the fill threads that promote queued
+        // slow-tier misses into residency.
+        let fill_threads = match (&shared.ctx.fill_queue, shared.ctx.fill_mode) {
+            (Some(queue), FillMode::Async { threads, .. }) => {
+                queue.open();
+                (0..threads.max(1))
+                    .map(|_| {
+                        let shared = Arc::clone(&shared);
+                        std::thread::spawn(move || fill_loop(&shared))
+                    })
+                    .collect()
+            }
+            _ => Vec::new(),
+        };
+
         ServingSession {
             shared,
             workers,
             plane_threads,
             rebalancer,
+            fill_threads,
             proto_tx,
             epoch: Instant::now(),
             guided_before,
             chunks_before,
             tiers_before,
+            fills_before,
         }
     }
 }
@@ -952,11 +972,13 @@ pub struct ServingSession {
     workers: Vec<JoinHandle<WorkerLog>>,
     plane_threads: Vec<JoinHandle<()>>,
     rebalancer: Option<JoinHandle<()>>,
+    fill_threads: Vec<JoinHandle<()>>,
     proto_tx: Option<mpsc::Sender<GuidanceJob>>,
     epoch: Instant,
     guided_before: u64,
     chunks_before: u64,
     tiers_before: Vec<TierUsage>,
+    fills_before: FillPlaneReport,
 }
 
 impl std::fmt::Debug for ServingSession {
@@ -1156,6 +1178,15 @@ impl ServingSession {
         for handle in self.plane_threads.drain(..) {
             handle.join().expect("guidance plane does not panic");
         }
+        // Close the fill queue last among the planes: `close` lets the
+        // fill threads drain the backlog, so every queued fill either
+        // lands as a promotion or stays counted in the report.
+        if let Some(queue) = &self.shared.ctx.fill_queue {
+            queue.close();
+        }
+        for handle in self.fill_threads.drain(..) {
+            handle.join().expect("fill plane does not panic");
+        }
         let elapsed_secs = self.epoch.elapsed().as_secs_f64();
 
         let shared = match Arc::try_unwrap(self.shared) {
@@ -1273,6 +1304,8 @@ impl ServingSession {
                 migration,
                 replication,
                 tables: system.table_report(),
+                calibration: system.calibration_report().clone(),
+                fills: system.fill_report().delta_since(&self.fills_before),
             },
             submitted: submitted.into_inner(),
             rejected_queue_full: rejected_queue_full.into_inner(),
@@ -1402,6 +1435,26 @@ fn serve_request(
                     .expect("route pin implies live state")
                     .mirror(&mut shard, part);
             }
+        }
+    }
+}
+
+/// Fill-plane thread body: pops coalesced slow-tier misses off the
+/// bounded queue and installs each row into its shard at fill cost
+/// ([`crate::RecMgBuffer`]`::promote_fill`). Exits once `drain` closes
+/// the queue and the backlog is dry, so every queued fill either lands
+/// as a promotion or stays counted (`coalesced`/`dropped`) in the
+/// [`FillPlaneReport`].
+fn fill_loop(shared: &SessionShared) {
+    let queue = shared
+        .ctx
+        .fill_queue
+        .as_ref()
+        .expect("fill threads only run in async fill mode");
+    while let Some((sid, key)) = queue.pop_wait() {
+        let mut shard = shared.shards[sid].lock().expect("shard mutex poisoned");
+        if shard.buffer.promote_fill(key) {
+            queue.note_promoted();
         }
     }
 }

@@ -273,6 +273,15 @@ pub(crate) struct GuidanceCtx {
     pub(crate) placement: Arc<dyn PlacementPolicy>,
     /// Default guidance scheduling for sessions over this system.
     pub(crate) guidance_default: GuidanceMode,
+    /// Bind-time calibration results of the topology's probed tiers
+    /// (empty when nothing was marked calibrated).
+    pub(crate) calibration: Arc<crate::backend::CalibrationReport>,
+    /// How demand misses reach slow storage (blocking read-through or the
+    /// async fill plane).
+    pub(crate) fill_mode: crate::backend::FillMode,
+    /// The shared miss queue of an async-fill system (`None` in blocking
+    /// mode). Sessions spawn the fill threads that drain it.
+    pub(crate) fill_queue: Option<Arc<crate::backend::FillQueue>>,
 }
 
 impl GuidanceCtx {
@@ -343,15 +352,16 @@ impl Shard {
         topology: &TierTopology,
         sketch: crate::config::SketchConfig,
     ) -> Self {
-        let cost = topology.tier(placement.tier).cost;
+        let tier = topology.tier(placement.tier);
         Shard {
             id,
             tier: placement.tier,
-            buffer: RecMgBuffer::with_sketch(
+            buffer: RecMgBuffer::with_backend_spec(
                 placement.capacity.max(1),
                 eviction_speed,
-                cost,
+                tier.cost,
                 sketch,
+                tier.backend,
             ),
             pending: Vec::new(),
             chunk_counter: 0,
@@ -381,9 +391,12 @@ impl Shard {
             changed = true;
         }
         if placement.tier != self.tier {
-            let cost = topology.tier(placement.tier).cost;
-            self.buffer.charge_migration(cost);
-            self.buffer.set_cost(cost);
+            let tier = topology.tier(placement.tier);
+            self.buffer.charge_migration(tier.cost);
+            self.buffer.set_cost(tier.cost);
+            // The row bytes move too: rebuild the store on the
+            // destination tier's storage backend.
+            self.buffer.rebind_backend(tier.backend);
             self.tier = placement.tier;
             changed = true;
         }
@@ -629,6 +642,48 @@ impl ShardedRecMgSystem {
         self.ctx.guidance_default
     }
 
+    /// Bind-time calibration results of the topology's probed tiers
+    /// (empty when no tier was marked
+    /// [`MemoryTier::calibrated`](crate::MemoryTier::calibrated)).
+    pub fn calibration_report(&self) -> &crate::backend::CalibrationReport {
+        &self.ctx.calibration
+    }
+
+    /// How demand misses reach slow storage (set at build via
+    /// [`SystemBuilder::fill_mode`](crate::SystemBuilder::fill_mode)).
+    pub fn fill_mode(&self) -> crate::backend::FillMode {
+        self.ctx.fill_mode
+    }
+
+    /// Cumulative async-fill-plane counters (all zero in blocking mode).
+    /// Reports snapshot-and-delta this per run.
+    pub fn fill_report(&self) -> crate::backend::FillPlaneReport {
+        self.ctx
+            .fill_queue
+            .as_ref()
+            .map(|q| q.report())
+            .unwrap_or_default()
+    }
+
+    /// Synchronously drains the async fill queue, promoting every queued
+    /// key into its shard (the in-session equivalent runs on background
+    /// fill threads). Returns the number of fills that landed. A no-op
+    /// (0) in blocking mode — and for batch callers between sessions,
+    /// since a drained session already fenced the queue.
+    pub fn drain_fills(&mut self) -> u64 {
+        let Some(queue) = self.ctx.fill_queue.clone() else {
+            return 0;
+        };
+        let mut landed = 0;
+        while let Some((sid, key)) = queue.pop_now() {
+            if self.shards[sid].buffer.promote_fill(key) {
+                queue.note_promoted();
+                landed += 1;
+            }
+        }
+        landed
+    }
+
     /// Cumulative tier traffic of shard `i`'s buffer.
     ///
     /// # Panics
@@ -867,6 +922,16 @@ impl ShardedRecMgSystem {
     /// Panics if `i` is out of range.
     pub fn shard_buffer(&self, i: usize) -> &GpuBuffer {
         self.shards[i].buffer.buffer()
+    }
+
+    /// Read access to shard `i`'s full tier-aware buffer (row storage,
+    /// backend spec, traffic counters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn shard_recmg_buffer(&self, i: usize) -> &RecMgBuffer {
+        &self.shards[i].buffer
     }
 
     /// Total resident vectors across shards.

@@ -28,6 +28,7 @@
 //! many shards the hash router still owns key → shard; placement only
 //! decides how big each shard's buffer is and which tier pays for it.
 
+use crate::backend::{calibrate, BackendSpec, CalibrationReport};
 use crate::config::TierCost;
 use crate::sharding::ShardedRecMgSystem;
 use crate::table_profile::{TablePlacement, TableProfile};
@@ -35,7 +36,9 @@ use crate::table_profile::{TablePlacement, TableProfile};
 use crate::buffer_mgmt::TierTraffic;
 
 /// One memory tier: a name for reports, a capacity budget in embedding
-/// vectors, and the access-cost model buffers placed here account under.
+/// vectors, the storage backend realizing it, and the access-cost model
+/// buffers placed here account under (declared synthetic numbers, or
+/// measured at build when [`MemoryTier::calibrated`] is set).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MemoryTier {
     /// Tier name as it appears in reports/bench JSON (e.g. `"dram"`).
@@ -44,10 +47,17 @@ pub struct MemoryTier {
     pub capacity: usize,
     /// Access-latency cost model (and optional injected penalty).
     pub cost: TierCost,
+    /// Storage medium backing buffers placed in this tier (default
+    /// [`BackendSpec::Dram`] — the historical behaviour).
+    pub backend: BackendSpec,
+    /// When set, [`SystemBuilder::build`](crate::SystemBuilder::build)
+    /// replaces `cost` with numbers measured against `backend`
+    /// ([`crate::backend::calibrate`]).
+    pub calibrate: bool,
 }
 
 impl MemoryTier {
-    /// A tier with an explicit cost model.
+    /// A tier with an explicit cost model (DRAM-backed, not calibrated).
     ///
     /// # Panics
     ///
@@ -58,6 +68,8 @@ impl MemoryTier {
             name: name.into(),
             capacity,
             cost,
+            backend: BackendSpec::Dram,
+            calibrate: false,
         }
     }
 
@@ -69,6 +81,19 @@ impl MemoryTier {
     /// A CXL-/far-NUMA-like slow tier.
     pub fn cxl(capacity: usize) -> Self {
         Self::new("cxl", capacity, TierCost::cxl_like())
+    }
+
+    /// Routes buffers placed here onto `backend` storage.
+    pub fn with_backend(mut self, backend: BackendSpec) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Marks the tier's costs as measured-at-build: the declared `cost`
+    /// becomes a placeholder the calibration probe overwrites.
+    pub fn calibrated(mut self) -> Self {
+        self.calibrate = true;
+        self
     }
 }
 
@@ -109,6 +134,27 @@ impl TierTopology {
         ])
     }
 
+    /// The software-defined-memory ladder (Meta SDM's device memory →
+    /// cached host memory → cached SSD, realized here as heap → mapped
+    /// file → plain file): all three tiers are
+    /// [`calibrated`](MemoryTier::calibrated), so the declared costs are
+    /// placeholders the build-time probe replaces with measured numbers.
+    /// Embedding stores far larger than the fast-tier budget become
+    /// expressible — the slow rungs are files, not RAM.
+    pub fn sdm_ladder(fast: usize, mapped: usize, file: usize) -> Self {
+        Self::new(vec![
+            MemoryTier::dram(fast)
+                .with_backend(BackendSpec::Dram)
+                .calibrated(),
+            MemoryTier::new("mapped_file", mapped, TierCost::cxl_like())
+                .with_backend(BackendSpec::MappedFile)
+                .calibrated(),
+            MemoryTier::new("file", file, TierCost::synthetic(2_000, 12_000, 5_000))
+                .with_backend(BackendSpec::File)
+                .calibrated(),
+        ])
+    }
+
     /// The ordered tier list.
     pub fn tiers(&self) -> &[MemoryTier] {
         &self.tiers
@@ -131,6 +177,26 @@ impl TierTopology {
     /// Total capacity across tiers.
     pub fn total_capacity(&self) -> usize {
         self.tiers.iter().map(|t| t.capacity).sum()
+    }
+
+    /// Runs the bind-time probe on every tier marked
+    /// [`MemoryTier::calibrated`], overwriting its declared cost with the
+    /// measured numbers ([`SystemBuilder::build`](crate::SystemBuilder::build)
+    /// calls this before placement, so policies compare measured costs).
+    /// Returns one [`CalibrationReport`] entry per probed tier; empty
+    /// when nothing was marked.
+    pub fn calibrate(&mut self) -> CalibrationReport {
+        let mut report = CalibrationReport::default();
+        for tier in &mut self.tiers {
+            if !tier.calibrate {
+                continue;
+            }
+            let cal = calibrate(tier.backend, tier.capacity, &tier.name);
+            tier.cost = cal.cost();
+            tier.calibrate = false;
+            report.tiers.push(cal);
+        }
+        report
     }
 }
 
@@ -592,7 +658,8 @@ impl TierUsage {
             concat!(
                 "{{\"tier\": \"{}\", \"shards\": {}, \"capacity\": {}, ",
                 "\"resident\": {}, \"hits\": {}, \"misses\": {}, ",
-                "\"prefetch_fills\": {}, \"cost_ns\": {}, \"unique_keys\": {}}}"
+                "\"prefetch_fills\": {}, \"demand_fills\": {}, \"cost_ns\": {}, ",
+                "\"unique_keys\": {}}}"
             ),
             self.name,
             self.shards,
@@ -601,6 +668,7 @@ impl TierUsage {
             self.traffic.hits,
             self.traffic.misses,
             self.traffic.prefetch_fills,
+            self.traffic.demand_fills,
             self.traffic.cost_ns,
             self.traffic.unique_keys,
         )
@@ -1133,6 +1201,7 @@ mod tests {
                 hits: 7,
                 misses: 3,
                 prefetch_fills: 1,
+                demand_fills: 2,
                 cost_ns: 1234,
                 unique_keys: 5,
             },
@@ -1142,6 +1211,7 @@ mod tests {
             "\"tier\": \"dram\"",
             "\"shards\": 2",
             "\"hits\": 7",
+            "\"demand_fills\": 2",
             "\"cost_ns\": 1234",
         ] {
             assert!(json.contains(field), "missing {field} in {json}");
@@ -1154,5 +1224,39 @@ mod tests {
         assert_eq!(d.traffic.hits, 5);
         assert_eq!(d.traffic.cost_ns, 100);
         assert_eq!(d.capacity, 32);
+    }
+
+    #[test]
+    fn sdm_ladder_builds_three_calibrated_rungs() {
+        let t = TierTopology::sdm_ladder(16, 32, 64);
+        assert_eq!(t.num_tiers(), 3);
+        assert_eq!(t.total_capacity(), 112);
+        let names: Vec<&str> = t.tiers().iter().map(|tier| tier.name.as_str()).collect();
+        assert_eq!(names, ["dram", "mapped_file", "file"]);
+        let backends: Vec<&str> = t.tiers().iter().map(|tier| tier.backend.name()).collect();
+        assert_eq!(backends, ["dram", "mapped_file", "file"]);
+        assert!(t.tiers().iter().all(|tier| tier.calibrate));
+    }
+
+    #[test]
+    fn topology_calibrate_overwrites_marked_costs_only() {
+        let injected = TierCost::synthetic(123, 456, 234);
+        let mut t = TierTopology::new(vec![
+            MemoryTier::new("fixed", 8, injected),
+            MemoryTier::new("probed", 8, TierCost::FREE)
+                .with_backend(BackendSpec::Dram)
+                .calibrated(),
+        ]);
+        let report = t.calibrate();
+        assert_eq!(report.tiers.len(), 1, "only the marked tier is probed");
+        let cal = &report.tiers[0];
+        assert_eq!(cal.tier, "probed");
+        assert_eq!(cal.backend, "dram");
+        assert!(cal.hit_ns > 0 && cal.miss_ns > 0 && cal.fill_ns > 0);
+        assert_eq!(t.tier(0).cost, injected, "unmarked tier keeps its cost");
+        assert_eq!(t.tier(1).cost, cal.cost());
+        assert!(!t.tier(1).calibrate, "probe is once per bind");
+        // A second pass finds nothing left to probe.
+        assert!(t.calibrate().tiers.is_empty());
     }
 }

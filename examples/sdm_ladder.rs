@@ -1,0 +1,152 @@
+//! Software-defined memory: a three-rung DRAM → mapped-file → file ladder
+//! serving an embedding store four times bigger than the fast tier.
+//!
+//! The ladder is the point: instead of pretending all of memory is RAM,
+//! each tier's row bytes live on a real storage backend (heap, an
+//! `mmap`'d temp file, a plain `pread`/`pwrite` file), and each tier's
+//! access cost is *measured* by a bind-time calibration probe instead of
+//! injected. Two sessions then serve the same skewed stream:
+//!
+//! * `blocking` — every slow-tier miss pays the full read-through cost
+//!   inline;
+//! * `async`   — misses enqueue onto a bounded, coalescing fill queue
+//!   drained by background fill threads; the miss itself pays only the
+//!   slow read, and the install cost lands when the fill promotes.
+//!
+//! Run with: `cargo run --release --example sdm_ladder`
+
+use recmg_repro::core::{
+    AdmissionPolicy, BatchSource, CachingModel, CalibrationReport, FillMode, FrequencyRankCodec,
+    GuidanceMode, HotFirst, RecMgConfig, SessionBuilder, SessionReport, ShardedRecMgSystem,
+    SystemBuilder, TierTopology,
+};
+use recmg_repro::trace::{RowId, TableId, VectorKey};
+
+const SHARDS: usize = 4;
+const FAST_ROWS: usize = 256;
+const BATCHES: usize = 400;
+const BATCH: usize = 48;
+
+/// A skewed stream over a footprint 4× the fast tier: 2/3 of accesses
+/// cycle a hot set that fits in DRAM, 1/3 walk the cold tail that only
+/// the slow rungs can hold.
+fn workload() -> Vec<Vec<VectorKey>> {
+    let footprint = 4 * FAST_ROWS as u64;
+    let hot = FAST_ROWS as u64 / 2;
+    (0..BATCHES)
+        .map(|b| {
+            (0..BATCH)
+                .map(|i| {
+                    let n = (b * BATCH + i) as u64;
+                    let row = if n % 3 < 2 {
+                        (n * 17) % hot
+                    } else {
+                        hot + (n * 101) % (footprint - hot)
+                    };
+                    VectorKey::new(TableId(0), RowId(row))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn ladder_system(
+    caching: &CachingModel,
+    topology: TierTopology,
+    fill: FillMode,
+) -> ShardedRecMgSystem {
+    let codec = FrequencyRankCodec::from_accesses(&[VectorKey::new(TableId(0), RowId(1))]);
+    SystemBuilder::new(caching, None, codec)
+        .shards(SHARDS)
+        .topology(topology)
+        .placement(HotFirst)
+        .guidance(GuidanceMode::Inline)
+        .fill_mode(fill)
+        .build()
+}
+
+fn serve(caching: &CachingModel, topology: TierTopology, fill: FillMode) -> SessionReport {
+    let session = SessionBuilder::new()
+        .workers(SHARDS)
+        .admission(AdmissionPolicy::unbounded())
+        .build(ladder_system(caching, topology, fill));
+    let batches = workload();
+    let refs: Vec<&[VectorKey]> = batches.iter().map(|b| b.as_slice()).collect();
+    session.ingest(&mut BatchSource::new(&refs));
+    let (_system, report) = session.drain();
+    report
+}
+
+fn main() {
+    let cfg = RecMgConfig::tiny();
+    let caching = CachingModel::new(&cfg);
+
+    // One bind-time probe prices the tiers for BOTH rows: re-probing per
+    // system would make the blocking/async comparison measure probe
+    // noise, not the fill plane.
+    let mut topology = TierTopology::sdm_ladder(FAST_ROWS, FAST_ROWS, 2 * FAST_ROWS);
+    let calibration: CalibrationReport = topology.calibrate();
+
+    let blocking = serve(&caching, topology.clone(), FillMode::Blocking);
+    let async_report = serve(
+        &caching,
+        topology,
+        FillMode::Async {
+            threads: 2,
+            queue_depth: 256,
+        },
+    );
+
+    println!("software-defined memory ladder ({SHARDS} shards, {FAST_ROWS} fast rows,");
+    println!("footprint 4x the fast tier, measured costs)\n");
+
+    println!("calibrated tier costs (bind-time probe, ns/op):");
+    println!(
+        "{:<14} {:>12} {:>10} {:>10} {:>10}",
+        "tier", "backend", "hit", "miss", "fill"
+    );
+    for cal in &calibration.tiers {
+        println!(
+            "{:<14} {:>12} {:>10} {:>10} {:>10}",
+            cal.tier, cal.backend, cal.hit_ns, cal.miss_ns, cal.fill_ns
+        );
+    }
+
+    for (label, report) in [("blocking", &blocking), ("async", &async_report)] {
+        println!("\nper-tier traffic ({label} fills):");
+        println!(
+            "{:<14} {:>8} {:>8} {:>8} {:>14}",
+            "tier", "hits", "misses", "fills", "cost_ns"
+        );
+        for usage in &report.engine.tiers {
+            println!(
+                "{:<14} {:>8} {:>8} {:>8} {:>14}",
+                usage.name,
+                usage.traffic.hits,
+                usage.traffic.misses,
+                usage.traffic.demand_fills,
+                usage.traffic.cost_ns
+            );
+        }
+    }
+
+    let b_cost = blocking.engine.access_cost_ns();
+    let a_cost = async_report.engine.access_cost_ns();
+    let fills = &async_report.engine.fills;
+    println!("\nfill plane:");
+    println!(
+        "  blocking: hit rate {:.3}, access cost {} ns",
+        blocking.engine.stats.hit_rate(),
+        b_cost
+    );
+    println!(
+        "  async:    hit rate {:.3}, access cost {} ns ({:.2}x of blocking)",
+        async_report.engine.stats.hit_rate(),
+        a_cost,
+        a_cost as f64 / b_cost.max(1) as f64
+    );
+    println!(
+        "  async queue: {} queued, {} coalesced, {} dropped, {} promoted",
+        fills.queued, fills.coalesced, fills.dropped, fills.promoted
+    );
+}

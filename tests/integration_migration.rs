@@ -20,15 +20,20 @@
 //!   slow-tier shard (cost refund, counts untouched), and its entries
 //!   decay once the route-epoch clock outruns the TTL — decayed entries
 //!   count as invalidations and must be re-filled before serving again.
+//! * **Storage hygiene**: a migration stress over file-backed tiers swaps
+//!   shard storage (`replace_storage`) on every route flip; once the
+//!   session drains and the system drops, every `mmap`/file backing
+//!   object must be gone — no leaked fds or temp files.
 
 use std::time::Duration;
 
 use proptest::prelude::*;
 
 use recmg_repro::core::{
-    train_recmg, AdmissionPolicy, CachingModel, FrequencyRankCodec, GuidanceMode,
-    LiveRebalanceConfig, RecMgConfig, Request, SessionBuilder, ShardPlacement, ShardedRecMgSystem,
-    SystemBuilder, TierTopology, TrainOptions,
+    live_backend_files, train_recmg, AdmissionPolicy, BackendSpec, CachingModel,
+    FrequencyRankCodec, GuidanceMode, LiveRebalanceConfig, MemoryTier, RecMgConfig, Request,
+    SessionBuilder, ShardPlacement, ShardedRecMgSystem, SystemBuilder, TierCost, TierTopology,
+    TrainOptions,
 };
 use recmg_repro::dlrm::{BatchAccessStats, BufferManager};
 use recmg_repro::trace::{RowId, SyntheticConfig, TableId, TraceStats, VectorKey};
@@ -198,6 +203,98 @@ fn concurrent_migrations_and_replicas_conserve_every_access() {
     );
     assert_eq!(report.engine.migration.migrations, flips);
     assert!(report.engine.migration.route_epoch > 0);
+}
+
+/// Migration stress over file-backed tiers: every route flip swaps the
+/// shard's storage onto the destination tier's backend via
+/// `replace_storage`. Conservation still holds, the surviving storage is
+/// readable, and — once the session drains and the system drops — every
+/// backing file is gone.
+#[test]
+fn file_backed_migration_stress_leaks_no_backing_files() {
+    const REQUESTS: u64 = 120;
+    const KEYS_PER_REQUEST: usize = 24;
+
+    let baseline = live_backend_files();
+    {
+        let cfg = RecMgConfig::tiny();
+        let caching = CachingModel::new(&cfg);
+        let codec = FrequencyRankCodec::from_accesses(&[VectorKey::new(TableId(0), RowId(1))]);
+        // DRAM + mapped-file + file rungs with injected costs (no
+        // calibration: this test is about storage lifetime, not timing).
+        let topology = TierTopology::new(vec![
+            MemoryTier::dram(48),
+            MemoryTier::new("mapped_file", 96, TierCost::cxl_like())
+                .with_backend(BackendSpec::MappedFile),
+            MemoryTier::new("file", 144, TierCost::synthetic(2_000, 12_000, 5_000))
+                .with_backend(BackendSpec::File),
+        ]);
+        let system = SystemBuilder::new(&caching, None, codec)
+            .shards(3)
+            .topology(topology)
+            .guidance(GuidanceMode::Inline)
+            .build();
+        let shard_caps: Vec<usize> = (0..3).map(|i| system.shard_buffer(i).capacity()).collect();
+        let session = SessionBuilder::new()
+            .workers(3)
+            .guidance(GuidanceMode::Inline)
+            .admission(AdmissionPolicy::unbounded())
+            .live(manual_live())
+            .build(system);
+
+        for id in 0..REQUESTS {
+            let keys = (0..KEYS_PER_REQUEST)
+                .map(|i| {
+                    VectorKey::new(
+                        TableId((id as u32 + i as u32) % 6),
+                        RowId((id * 31 + i as u64 * 7) % 80),
+                    )
+                })
+                .collect();
+            session
+                .submit(request(id, keys))
+                .expect("unbounded admission");
+        }
+
+        // Walk every shard through every rung while workers serve.
+        let mut flips = 0u64;
+        while session.completed_requests() < REQUESTS {
+            let sid = (flips % 3) as usize;
+            session.migrate_shard(
+                sid,
+                ShardPlacement {
+                    capacity: shard_caps[sid],
+                    tier: ((flips / 3) % 3) as usize,
+                },
+            );
+            flips += 1;
+        }
+        let (system, report) = session.drain();
+
+        assert_eq!(report.completed, REQUESTS);
+        assert_eq!(
+            report.engine.stats.total(),
+            REQUESTS * KEYS_PER_REQUEST as u64,
+            "lost or duplicated accesses under file-backed route flips"
+        );
+        assert_eq!(report.engine.migration.migrations, flips);
+        // Surviving storage is live and readable on whatever backend each
+        // shard landed on.
+        for sid in 0..3 {
+            let buffer = system.shard_recmg_buffer(sid);
+            for key in buffer.buffer().keys() {
+                assert!(
+                    buffer.read_row(key).is_some(),
+                    "shard {sid}: resident key lost its row after migrations"
+                );
+            }
+        }
+    }
+    assert_eq!(
+        live_backend_files(),
+        baseline,
+        "migration storage swaps leaked backing files"
+    );
 }
 
 /// A fast-tier replica on a slow-tier shard re-prices hits without
