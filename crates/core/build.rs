@@ -1,0 +1,16 @@
+//! Decides whether the hand-rolled mmap FFI in `src/backend.rs` is sound
+//! on the compile target. The declarations there hardcode PROT/MAP/MADV
+//! constants and a 64-bit `off_t`, which is only guaranteed on macOS (all
+//! targets) and 64-bit Linux — not on every `cfg(unix)` platform (32-bit
+//! glibc has a 32-bit `off_t`, and the BSDs number the constants
+//! differently). Elsewhere the mapped-file spec degrades to heap storage.
+
+fn main() {
+    println!("cargo:rerun-if-changed=build.rs");
+    println!("cargo:rustc-check-cfg=cfg(recmg_mmap)");
+    let os = std::env::var("CARGO_CFG_TARGET_OS").unwrap_or_default();
+    let width = std::env::var("CARGO_CFG_TARGET_POINTER_WIDTH").unwrap_or_default();
+    if os == "macos" || (os == "linux" && width == "64") {
+        println!("cargo:rustc-cfg=recmg_mmap");
+    }
+}

@@ -25,11 +25,13 @@
 //! §VI-C non-blocking philosophy applied to the storage layer.
 //!
 //! On non-Unix targets the file-backed specs degrade to heap storage so
-//! the crate still builds; the ladder is then uniform DRAM.
+//! the crate still builds; the ladder is then uniform DRAM. The mapped
+//! file is further gated (build.rs `recmg_mmap`) to targets where the
+//! hand-rolled mmap FFI is ABI-sound — macOS and 64-bit Linux.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
@@ -114,17 +116,21 @@ impl BackendSpec {
     }
 
     /// Instantiates a backend with `rows` row slots. File-backed specs
-    /// fall back to heap storage where the platform APIs are missing.
+    /// fall back to heap storage where the platform APIs are missing (or,
+    /// for the mapped file, where the mmap FFI is not ABI-sound — see
+    /// build.rs).
     pub(crate) fn create(&self, rows: usize) -> Box<dyn TierBackend> {
         let rows = rows.max(1);
         match self {
             BackendSpec::Dram => Box::new(DramBackend::new(rows)),
-            #[cfg(unix)]
+            #[cfg(recmg_mmap)]
             BackendSpec::MappedFile => Box::new(MappedFileBackend::new(rows)),
+            #[cfg(not(recmg_mmap))]
+            BackendSpec::MappedFile => Box::new(DramBackend::new(rows)),
             #[cfg(unix)]
             BackendSpec::File => Box::new(FileBackend::new(rows)),
             #[cfg(not(unix))]
-            BackendSpec::MappedFile | BackendSpec::File => Box::new(DramBackend::new(rows)),
+            BackendSpec::File => Box::new(DramBackend::new(rows)),
         }
     }
 }
@@ -152,7 +158,7 @@ pub trait TierBackend: fmt::Debug + Send + Sync {
     fn write_row(&mut self, slot: usize, data: &[u8]);
 
     /// Installs a batch of synthesized rows (the default loops
-    /// [`write_row`](TierBackend::read_row); backends may override with a
+    /// [`write_row`](TierBackend::write_row); backends may override with a
     /// coalesced write path).
     fn fill_batch(&mut self, fills: &[(usize, VectorKey)]) {
         let mut row = [0u8; ROW_BYTES];
@@ -204,9 +210,18 @@ impl TierBackend for DramBackend {
     }
 }
 
-#[cfg(unix)]
+// `recmg_mmap` (set by build.rs) limits this FFI to macOS and 64-bit
+// Linux: the only targets where the constants below hold AND `off_t` is
+// guaranteed 64 bits, so the `offset: OffT = i64` declaration matches the
+// real ABI. Other Unix platforms fall back to heap storage rather than
+// risk an undefined call.
+#[cfg(recmg_mmap)]
 mod sys {
     use std::ffi::c_void;
+
+    /// `off_t` on the gated targets (macOS always; Linux with 64-bit
+    /// pointers under both glibc and musl).
+    pub type OffT = i64;
 
     pub const PROT_READ: i32 = 1;
     pub const PROT_WRITE: i32 = 2;
@@ -225,7 +240,7 @@ mod sys {
             prot: i32,
             flags: i32,
             fd: i32,
-            offset: i64,
+            offset: OffT,
         ) -> *mut c_void;
         pub fn munmap(addr: *mut c_void, len: usize) -> i32;
         pub fn madvise(addr: *mut c_void, len: usize, advice: i32) -> i32;
@@ -245,8 +260,10 @@ fn temp_backend_path(tag: &str) -> std::path::PathBuf {
 
 /// Rows in an `mmap`'d temp file: byte-addressable loads/stores with
 /// page-cache (cached host memory) semantics. The mapping and the file
-/// are released in `Drop`.
-#[cfg(unix)]
+/// are released in `Drop`. Only built on targets where the hand-rolled
+/// mmap FFI is ABI-sound (see build.rs); elsewhere
+/// [`BackendSpec::MappedFile`] degrades to heap storage.
+#[cfg(recmg_mmap)]
 pub struct MappedFileBackend {
     ptr: *mut u8,
     len: usize,
@@ -259,12 +276,12 @@ pub struct MappedFileBackend {
 // SAFETY: the mapping is private to this backend; all writes go through
 // `&mut self` and reads through `&self`, so the usual borrow rules give
 // the same guarantees a `Vec<u8>` would have.
-#[cfg(unix)]
+#[cfg(recmg_mmap)]
 unsafe impl Send for MappedFileBackend {}
-#[cfg(unix)]
+#[cfg(recmg_mmap)]
 unsafe impl Sync for MappedFileBackend {}
 
-#[cfg(unix)]
+#[cfg(recmg_mmap)]
 impl fmt::Debug for MappedFileBackend {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("MappedFileBackend")
@@ -274,7 +291,7 @@ impl fmt::Debug for MappedFileBackend {
     }
 }
 
-#[cfg(unix)]
+#[cfg(recmg_mmap)]
 impl MappedFileBackend {
     /// Creates, sizes, and maps a fresh temp file of `rows` row slots.
     ///
@@ -322,7 +339,7 @@ impl MappedFileBackend {
     }
 }
 
-#[cfg(unix)]
+#[cfg(recmg_mmap)]
 impl TierBackend for MappedFileBackend {
     fn spec(&self) -> BackendSpec {
         BackendSpec::MappedFile
@@ -369,7 +386,7 @@ impl TierBackend for MappedFileBackend {
     }
 }
 
-#[cfg(unix)]
+#[cfg(recmg_mmap)]
 impl Drop for MappedFileBackend {
     fn drop(&mut self) {
         // SAFETY: mapping created in `new` with exactly this ptr/len and
@@ -778,8 +795,17 @@ pub(crate) struct FillHandle {
 
 #[derive(Debug, Default)]
 struct FillInner {
-    queue: VecDeque<(usize, VectorKey)>,
+    /// `(shard, key, fill_ns)`: the deferred fill cost travels with the
+    /// entry so the promotion charges the *origin* tier's fill cost even
+    /// if the shard migrates (re-prices) before the fill lands — the
+    /// miss's `miss − fill` charge and the promotion's `fill` charge then
+    /// always sum to the origin tier's `miss_ns`.
+    queue: VecDeque<(usize, VectorKey, u64)>,
     pending: HashSet<(usize, VectorKey)>,
+    /// Lives under the mutex — not an atomic — so `close()` cannot flip
+    /// it between a waiter's empty-queue check and its `Condvar::wait`;
+    /// an atomic flag here loses that wakeup and hangs session drain.
+    closed: bool,
 }
 
 /// The bounded, duplicate-coalescing miss queue shared by every shard of
@@ -790,7 +816,6 @@ pub(crate) struct FillQueue {
     inner: Mutex<FillInner>,
     available: Condvar,
     capacity: usize,
-    closed: AtomicBool,
     queued: AtomicU64,
     coalesced: AtomicU64,
     dropped: AtomicU64,
@@ -803,7 +828,6 @@ impl FillQueue {
             inner: Mutex::new(FillInner::default()),
             available: Condvar::new(),
             capacity: capacity.max(1),
-            closed: AtomicBool::new(false),
             queued: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
@@ -811,10 +835,11 @@ impl FillQueue {
         }
     }
 
-    /// Enqueues a missed key for shard `shard`. Duplicates of an
-    /// in-flight fill coalesce; a full queue drops (the key will miss
-    /// again and retry).
-    pub(crate) fn push(&self, shard: usize, key: VectorKey) {
+    /// Enqueues a missed key for shard `shard`, carrying the fill cost
+    /// the miss deferred (`fill_ns` at the tier the miss was served on).
+    /// Duplicates of an in-flight fill coalesce; a full queue drops (the
+    /// key will miss again and retry).
+    pub(crate) fn push(&self, shard: usize, key: VectorKey, fill_ns: u64) {
         let mut inner = self.inner.lock().expect("fill queue lock");
         if inner.pending.contains(&(shard, key)) {
             self.coalesced.fetch_add(1, Ordering::Relaxed);
@@ -825,7 +850,7 @@ impl FillQueue {
             return;
         }
         inner.pending.insert((shard, key));
-        inner.queue.push_back((shard, key));
+        inner.queue.push_back((shard, key, fill_ns));
         self.queued.fetch_add(1, Ordering::Relaxed);
         drop(inner);
         self.available.notify_one();
@@ -833,14 +858,14 @@ impl FillQueue {
 
     /// Blocks for the next fill; `None` once the queue is closed *and*
     /// empty (a close drains the backlog before fill threads exit).
-    pub(crate) fn pop_wait(&self) -> Option<(usize, VectorKey)> {
+    pub(crate) fn pop_wait(&self) -> Option<(usize, VectorKey, u64)> {
         let mut inner = self.inner.lock().expect("fill queue lock");
         loop {
             if let Some(entry) = inner.queue.pop_front() {
-                inner.pending.remove(&entry);
+                inner.pending.remove(&(entry.0, entry.1));
                 return Some(entry);
             }
-            if self.closed.load(Ordering::Acquire) {
+            if inner.closed {
                 return None;
             }
             inner = self.available.wait(inner).expect("fill queue wait");
@@ -848,11 +873,11 @@ impl FillQueue {
     }
 
     /// Non-blocking pop (synchronous drains outside a session).
-    pub(crate) fn pop_now(&self) -> Option<(usize, VectorKey)> {
+    pub(crate) fn pop_now(&self) -> Option<(usize, VectorKey, u64)> {
         let mut inner = self.inner.lock().expect("fill queue lock");
         let entry = inner.queue.pop_front();
         if let Some(e) = entry {
-            inner.pending.remove(&e);
+            inner.pending.remove(&(e.0, e.1));
         }
         entry
     }
@@ -860,12 +885,15 @@ impl FillQueue {
     /// Re-arms the queue for a new session (a drained session leaves it
     /// closed).
     pub(crate) fn open(&self) {
-        self.closed.store(false, Ordering::Release);
+        self.inner.lock().expect("fill queue lock").closed = false;
     }
 
-    /// Wakes every fill thread to drain the backlog and exit.
+    /// Wakes every fill thread to drain the backlog and exit. The flag
+    /// flips under the `inner` lock: a fill thread is either before its
+    /// predicate check (it will observe `closed`) or parked in `wait`
+    /// (the notify reaches it) — never in between.
     pub(crate) fn close(&self) {
-        self.closed.store(true, Ordering::Release);
+        self.inner.lock().expect("fill queue lock").closed = true;
         self.available.notify_all();
     }
 
@@ -935,7 +963,7 @@ mod tests {
         }
     }
 
-    #[cfg(unix)]
+    #[cfg(recmg_mmap)]
     #[test]
     fn file_backends_clean_up_temp_files() {
         let before = live_backend_files();
@@ -1025,26 +1053,55 @@ mod tests {
     #[test]
     fn fill_queue_coalesces_bounds_and_drains() {
         let q = FillQueue::new(2);
-        q.push(0, key(1));
-        q.push(0, key(1)); // coalesced
-        q.push(1, key(1)); // distinct shard: queued
-        q.push(0, key(2)); // over capacity: dropped
+        q.push(0, key(1), 40);
+        q.push(0, key(1), 40); // coalesced
+        q.push(1, key(1), 70); // distinct shard: queued
+        q.push(0, key(2), 40); // over capacity: dropped
         let r = q.report();
         assert_eq!((r.queued, r.coalesced, r.dropped), (2, 1, 1));
-        assert_eq!(q.pop_now(), Some((0, key(1))));
+        // Entries carry the fill cost the miss deferred.
+        assert_eq!(q.pop_now(), Some((0, key(1), 40)));
         // Popping clears pending: the same key may queue again.
-        q.push(0, key(1));
+        q.push(0, key(1), 40);
         assert_eq!(q.report().queued, 3);
         q.close();
         // Closed but non-empty: backlog still drains.
-        assert_eq!(q.pop_wait(), Some((1, key(1))));
-        assert_eq!(q.pop_wait(), Some((0, key(1))));
+        assert_eq!(q.pop_wait(), Some((1, key(1), 70)));
+        assert_eq!(q.pop_wait(), Some((0, key(1), 40)));
         assert_eq!(q.pop_wait(), None);
         q.open();
-        q.push(2, key(5));
-        assert_eq!(q.pop_now(), Some((2, key(5))));
+        q.push(2, key(5), 15);
+        assert_eq!(q.pop_now(), Some((2, key(5), 15)));
         q.note_promoted();
         assert_eq!(q.report().promoted, 1);
+    }
+
+    #[test]
+    fn fill_queue_close_always_wakes_a_parked_waiter() {
+        // Regression for the lost-wakeup race: `close()` used to flip an
+        // atomic flag outside the `inner` mutex, so it could land between
+        // a waiter's empty-queue check and its `Condvar::wait`, leaving
+        // the waiter parked forever. With the flag under the mutex this
+        // loop can never hang.
+        for round in 0u64..200 {
+            let q = std::sync::Arc::new(FillQueue::new(4));
+            let waiter = {
+                let q = std::sync::Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut drained = 0;
+                    while q.pop_wait().is_some() {
+                        drained += 1;
+                    }
+                    drained
+                })
+            };
+            if round % 2 == 0 {
+                q.push(0, key(round), 10);
+            }
+            q.close();
+            let drained = waiter.join().expect("fill waiter exits");
+            assert!(drained <= 1);
+        }
     }
 
     #[test]

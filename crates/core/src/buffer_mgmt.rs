@@ -394,11 +394,15 @@ impl RecMgBuffer {
                 // Async: serve the miss from the slow side now (the fill
                 // portion of the miss cost is deferred to the promotion
                 // that a background thread lands later) and queue the key.
+                // The deferred fill cost travels with the queue entry so
+                // the promotion charges *this* tier's fill_ns even if the
+                // shard migrates (re-prices) before the fill lands.
                 // Residency is untouched until then, so accesses in
                 // between are honest misses.
                 Some(handle) => {
-                    self.traffic.cost_ns += self.cost.miss_ns.saturating_sub(self.cost.fill_ns);
-                    handle.queue.push(handle.shard, key);
+                    let fill_ns = self.cost.fill_ns;
+                    self.traffic.cost_ns += self.cost.miss_ns.saturating_sub(fill_ns);
+                    handle.queue.push(handle.shard, key, fill_ns);
                 }
                 // Blocking: the historical read-through — install the row
                 // and serve it inline, one miss_ns covering both.
@@ -426,10 +430,13 @@ impl RecMgBuffer {
 
     /// Lands one asynchronous demand fill (called by a background fill
     /// thread under the shard lock): installs the row, promotes the key
-    /// into residency at neutral priority, and charges the deferred fill
-    /// cost. Returns `false` — and changes nothing — when the key is
-    /// already resident (a prefetch or an earlier fill won the race).
-    pub(crate) fn promote_fill(&mut self, key: VectorKey) -> bool {
+    /// into residency at neutral priority, and charges `fill_ns` — the
+    /// deferred fill cost carried on the queue entry from the miss, so
+    /// the miss/promotion pair always sums to the *origin* tier's
+    /// `miss_ns` even when the shard migrated in between. Returns `false`
+    /// — and changes nothing — when the key is already resident (a
+    /// prefetch or an earlier fill won the race).
+    pub(crate) fn promote_fill(&mut self, key: VectorKey, fill_ns: u64) -> bool {
         if self.buffer.contains(key) {
             return false;
         }
@@ -441,7 +448,7 @@ impl RecMgBuffer {
         self.buffer.insert(key, self.eviction_speed, false);
         self.rows.insert(key);
         self.traffic.demand_fills += 1;
-        self.traffic.cost_ns += self.cost.fill_ns;
+        self.traffic.cost_ns += fill_ns;
         true
     }
 
@@ -839,17 +846,18 @@ mod tests {
         assert_eq!(b.access(key(1)), BufferAccess::Miss);
         let r = queue.report();
         assert_eq!((r.queued, r.coalesced), (1, 1));
-        // The fill lands: row installed, fill cost charged.
-        let (shard, k) = queue.pop_now().expect("queued fill");
-        assert_eq!(shard, 0);
-        assert!(b.promote_fill(k));
+        // The fill lands: row installed, the fill cost the queue entry
+        // carried from the miss is charged.
+        let (shard, k, fill_ns) = queue.pop_now().expect("queued fill");
+        assert_eq!((shard, fill_ns), (0, 40));
+        assert!(b.promote_fill(k, fill_ns));
         assert_eq!(b.traffic().demand_fills, 1);
         assert_eq!(b.traffic().cost_ns, 2 * (100 - 40) + 40);
         assert!(b.read_row(key(1)).is_some());
         assert_eq!(b.access(key(1)), BufferAccess::CacheHit);
         // A duplicate promotion is refused and charges nothing.
         let before = b.traffic();
-        assert!(!b.promote_fill(key(1)));
+        assert!(!b.promote_fill(key(1), fill_ns));
         assert_eq!(b.traffic(), before);
         // Conservation: every access was exactly one hit or one miss.
         let t = b.traffic();
@@ -858,12 +866,24 @@ mod tests {
     }
 
     #[test]
+    fn promote_fill_charges_the_carried_cost_not_the_current_tier() {
+        // A shard can migrate (be re-priced) between the miss and the
+        // fill landing; the promotion must charge the origin tier's fill
+        // cost carried on the queue entry, not the destination's, so the
+        // deferred pair still sums to the origin miss_ns.
+        let mut b = RecMgBuffer::with_cost(4, 4, TierCost::synthetic(10, 100, 40));
+        let before = b.traffic().cost_ns;
+        assert!(b.promote_fill(key(1), 25));
+        assert_eq!(b.traffic().cost_ns - before, 25);
+    }
+
+    #[test]
     fn promote_fill_evicts_when_full_and_frees_the_victim_row() {
         let mut b = RecMgBuffer::new(2, 4);
         b.access(key(1));
         b.access(key(2));
         b.load_embeddings(&[key(1), key(2)], &[false, false], &[]);
-        assert!(b.promote_fill(key(3)));
+        assert!(b.promote_fill(key(3), 5));
         assert_eq!(b.len(), 2);
         assert!(b.read_row(key(3)).is_some());
         // Exactly one of the demoted residents was displaced, and its row

@@ -113,12 +113,14 @@ mod system;
 pub mod table_profile;
 pub mod tier;
 
+#[cfg(unix)]
+pub use backend::FileBackend;
+#[cfg(recmg_mmap)]
+pub use backend::MappedFileBackend;
 pub use backend::{
     calibrate, live_backend_files, synth_row, BackendAdvice, BackendSpec, CalibrationReport,
     DramBackend, FillMode, FillPlaneReport, TierBackend, TierCalibration, ROW_BYTES,
 };
-#[cfg(unix)]
-pub use backend::{FileBackend, MappedFileBackend};
 pub use buffer_mgmt::{RecMgBuffer, TierTraffic};
 pub use builder::SystemBuilder;
 pub use caching_model::{CachingModel, FastCachingModel, TrainingReport};

@@ -1440,7 +1440,8 @@ fn serve_request(
 }
 
 /// Fill-plane thread body: pops coalesced slow-tier misses off the
-/// bounded queue and installs each row into its shard at fill cost
+/// bounded queue and installs each row into its shard at the fill cost
+/// the entry carried from its origin miss
 /// ([`crate::RecMgBuffer`]`::promote_fill`). Exits once `drain` closes
 /// the queue and the backlog is dry, so every queued fill either lands
 /// as a promotion or stays counted (`coalesced`/`dropped`) in the
@@ -1451,9 +1452,9 @@ fn fill_loop(shared: &SessionShared) {
         .fill_queue
         .as_ref()
         .expect("fill threads only run in async fill mode");
-    while let Some((sid, key)) = queue.pop_wait() {
+    while let Some((sid, key, fill_ns)) = queue.pop_wait() {
         let mut shard = shared.shards[sid].lock().expect("shard mutex poisoned");
-        if shard.buffer.promote_fill(key) {
+        if shard.buffer.promote_fill(key, fill_ns) {
             queue.note_promoted();
         }
     }

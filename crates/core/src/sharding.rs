@@ -675,8 +675,8 @@ impl ShardedRecMgSystem {
             return 0;
         };
         let mut landed = 0;
-        while let Some((sid, key)) = queue.pop_now() {
-            if self.shards[sid].buffer.promote_fill(key) {
+        while let Some((sid, key, fill_ns)) = queue.pop_now() {
+            if self.shards[sid].buffer.promote_fill(key, fill_ns) {
                 queue.note_promoted();
                 landed += 1;
             }
