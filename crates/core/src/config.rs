@@ -433,6 +433,77 @@ impl SlaBudget {
     }
 }
 
+/// One tenant of a multi-tenant [`crate::session::ServingSession`]
+/// ([`SessionBuilder::tenants`](crate::SessionBuilder::tenants)).
+///
+/// A tenant owns a dequeue weight (workers pick the nonempty tenant queue
+/// with the smallest served/weight ratio, so capacity divides in weight
+/// proportion under contention), an optional per-tenant [`SlaBudget`]
+/// overriding the session-wide one, and an optional queue quota capping
+/// how much of the shared queue depth the tenant's burst may occupy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    /// Tenant name, echoed in its [`crate::session::TenantReport`].
+    pub name: String,
+    /// Weighted-fair dequeue share; must be positive and finite.
+    pub weight: f64,
+    /// Per-tenant latency budget; `None` inherits the session SLA.
+    pub sla: Option<SlaBudget>,
+    /// Maximum requests this tenant may have waiting in the queue; a
+    /// submit beyond the quota is rejected as
+    /// [`Rejection::QueueFull`](crate::Rejection::QueueFull) even when
+    /// the global [`AdmissionPolicy::queue_depth`] has room. `None`
+    /// leaves the tenant bounded only by the global depth.
+    pub queue_quota: Option<usize>,
+}
+
+impl TenantSpec {
+    /// A tenant with weight 1, no private SLA, and no quota.
+    pub fn new(name: &str) -> Self {
+        TenantSpec {
+            name: name.to_string(),
+            weight: 1.0,
+            sla: None,
+            queue_quota: None,
+        }
+    }
+
+    /// Sets the weighted-fair dequeue share.
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Sets a per-tenant latency budget overriding the session SLA.
+    pub fn with_sla(mut self, sla: SlaBudget) -> Self {
+        self.sla = Some(sla);
+        self
+    }
+
+    /// Caps this tenant's share of the request queue.
+    pub fn with_quota(mut self, quota: usize) -> Self {
+        self.queue_quota = Some(quota);
+        self
+    }
+
+    /// Validates the spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is empty, the weight is not positive and
+    /// finite, or the tenant SLA is invalid.
+    pub fn validate(&self) {
+        assert!(!self.name.is_empty(), "tenant name must be non-empty");
+        assert!(
+            self.weight > 0.0 && self.weight.is_finite(),
+            "tenant weight must be positive and finite"
+        );
+        if let Some(sla) = &self.sla {
+            sla.validate();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

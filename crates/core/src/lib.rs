@@ -112,6 +112,7 @@ pub mod sketch;
 mod system;
 pub mod table_profile;
 pub mod tier;
+pub mod trace;
 
 #[cfg(unix)]
 pub use backend::FileBackend;
@@ -127,7 +128,7 @@ pub use caching_model::{CachingModel, FastCachingModel, TrainingReport};
 pub use codec::{FrequencyRankCodec, GlobalIdCodec, IndexCodec};
 pub use config::{
     AdmissionPolicy, DegradeLevel, GuidancePrecision, RecMgConfig, SketchConfig, SlaBudget,
-    TierCost,
+    TenantSpec, TierCost,
 };
 pub use engine::{EngineReport, GuidanceMode, GuidancePlaneReport, ServeOptions};
 pub use fast::{active_lane, FastScratch, KernelLane};
@@ -141,9 +142,9 @@ pub use prefetch_model::{
 };
 pub use serving::{TableArraySpec, WorkloadSpec};
 pub use session::{
-    ArrivalProcess, BatchSource, ClosedLoopSource, LatencySummary, Rejection, Request,
-    RequestSample, RequestSource, ServingSession, SessionBuilder, SessionProgress, SessionReport,
-    SlaOutcome, SyntheticSource, TraceReplaySource,
+    ArrivalProcess, BatchSource, ClosedLoopSource, LatencySummary, MarkovArrivals, Rejection,
+    Request, RequestSample, RequestSource, ServingSession, SessionBuilder, SessionProgress,
+    SessionReport, SlaOutcome, SyntheticSource, TenantReport, TraceReplaySource,
 };
 pub use sharding::{ShardRouter, ShardedRecMgSystem};
 pub use sketch::{CardinalitySketch, WorkingSetStats, WorkingSetTracker};
@@ -155,4 +156,8 @@ pub use table_profile::{
 pub use tier::{
     CardinalityWorkingSet, EvenSplit, HotFirst, MemoryTier, PlacementPolicy, RebalanceDeferred,
     Rebalancer, ShardPlacement, TierTopology, TierUsage, WorkingSet,
+};
+pub use trace::{
+    parse_criteo_line, parse_indices_line, profile_trace, read_trace, FileTraceSource, TraceFormat,
+    TraceProfile, CRITEO_TABLES,
 };

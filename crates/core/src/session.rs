@@ -46,7 +46,7 @@ use recmg_trace::{Trace, VectorKey};
 
 use crate::backend::{FillMode, FillPlaneReport};
 use crate::builder::SystemBuilder;
-use crate::config::{AdmissionPolicy, DegradeLevel, SlaBudget};
+use crate::config::{AdmissionPolicy, DegradeLevel, SlaBudget, TenantSpec};
 use crate::engine::{EngineReport, GuidanceMode, GuidancePlaneReport};
 use crate::fast::FastScratch;
 use crate::migrate::{
@@ -74,6 +74,11 @@ pub struct Request {
     pub arrival: Duration,
     /// Latency budget relative to arrival; `None` means best-effort.
     pub deadline: Option<Duration>,
+    /// Index into the session's tenant table
+    /// ([`SessionBuilder::tenants`]). Sessions built without tenants have
+    /// exactly one (index 0, the default every source emits), so
+    /// single-tenant callers never touch this field.
+    pub tenant: usize,
 }
 
 /// A stream of timestamped requests.
@@ -92,7 +97,7 @@ pub trait RequestSource {
 }
 
 /// Inter-arrival process of a synthetic or replayed request stream.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ArrivalProcess {
     /// Memoryless arrivals at `rate_hz` requests per second (exponential
     /// inter-arrival gaps — a Poisson process).
@@ -108,43 +113,235 @@ pub enum ArrivalProcess {
     /// All requests arrive immediately (no pacing) — an offered load far
     /// above capacity, useful for exercising admission control.
     Immediate,
+    /// Markov-modulated arrivals ([`MarkovArrivals`]): a discrete state
+    /// chain where each state carries its own simple arrival process and
+    /// the chain steps after every arrival — the MMPP-style model behind
+    /// flash-crowd and diurnal load shapes
+    /// ([`ArrivalProcess::flash_crowd`], [`ArrivalProcess::diurnal`]).
+    MarkovModulated(MarkovArrivals),
 }
 
 impl ArrivalProcess {
     fn validate(&self) {
-        if let ArrivalProcess::Poisson { rate_hz } = *self {
+        match self {
+            ArrivalProcess::Poisson { rate_hz } => {
+                assert!(
+                    *rate_hz > 0.0 && rate_hz.is_finite(),
+                    "Poisson rate must be positive and finite"
+                );
+            }
+            ArrivalProcess::MarkovModulated(chain) => chain.validate(),
+            ArrivalProcess::Uniform { .. } | ArrivalProcess::Immediate => {}
+        }
+    }
+
+    fn next_gap(&mut self, rng: &mut StdRng) -> Duration {
+        match self {
+            ArrivalProcess::Poisson { rate_hz } => {
+                // Inverse-CDF sample of Exp(rate). The unit sample is
+                // clamped away from both endpoints: at u → 1 the ln
+                // argument hits zero and the gap diverges to infinity (a
+                // permanently stalled source); at u → 0 the gap collapses
+                // to zero and defeats pacing. The 1 ns floor keeps the
+                // virtual clock strictly monotone even at rates where the
+                // exponential gap rounds below timer resolution.
+                let u: f64 = rng.gen_range(0.0..1.0);
+                let u = u.clamp(1e-12, 1.0 - 1e-12);
+                Duration::from_secs_f64(-(1.0 - u).ln() / *rate_hz).max(Duration::from_nanos(1))
+            }
+            ArrivalProcess::Uniform { interval } => *interval,
+            ArrivalProcess::Immediate => Duration::ZERO,
+            ArrivalProcess::MarkovModulated(chain) => chain.next_gap(rng),
+        }
+    }
+
+    /// Two-state flash-crowd preset: a `steady` state at `steady_hz` and a
+    /// `flash` state at `spike_factor × steady_hz`, with geometric dwell
+    /// times of `steady_arrivals` and `spike_arrivals` requests
+    /// respectively (the chain steps once per arrival).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a rate, factor, or dwell length is not positive.
+    pub fn flash_crowd(
+        steady_hz: f64,
+        spike_factor: f64,
+        steady_arrivals: u64,
+        spike_arrivals: u64,
+    ) -> Self {
+        assert!(
+            spike_factor > 1.0 && spike_factor.is_finite(),
+            "spike factor must exceed 1"
+        );
+        assert!(
+            steady_arrivals > 0 && spike_arrivals > 0,
+            "dwell lengths must be positive"
+        );
+        let leave_steady = 1.0 / steady_arrivals as f64;
+        let leave_spike = 1.0 / spike_arrivals as f64;
+        ArrivalProcess::MarkovModulated(MarkovArrivals::new(
+            vec![
+                ("steady", ArrivalProcess::Poisson { rate_hz: steady_hz }),
+                (
+                    "flash",
+                    ArrivalProcess::Poisson {
+                        rate_hz: steady_hz * spike_factor,
+                    },
+                ),
+            ],
+            vec![
+                vec![1.0 - leave_steady, leave_steady],
+                vec![leave_spike, 1.0 - leave_spike],
+            ],
+        ))
+    }
+
+    /// Four-state diurnal preset: a trough → ramp → peak → ramp cycle
+    /// between `trough_hz` and `peak_hz` (the ramp runs at the geometric
+    /// mean), advancing with probability `1 / dwell_arrivals` per arrival.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a rate or the dwell length is not positive.
+    pub fn diurnal(trough_hz: f64, peak_hz: f64, dwell_arrivals: u64) -> Self {
+        assert!(dwell_arrivals > 0, "dwell length must be positive");
+        assert!(
+            trough_hz > 0.0 && peak_hz > trough_hz,
+            "need peak_hz > trough_hz > 0"
+        );
+        let ramp_hz = (trough_hz * peak_hz).sqrt();
+        let advance = 1.0 / dwell_arrivals as f64;
+        let stay = 1.0 - advance;
+        let p = |rate_hz: f64| ArrivalProcess::Poisson { rate_hz };
+        ArrivalProcess::MarkovModulated(MarkovArrivals::new(
+            vec![
+                ("trough", p(trough_hz)),
+                ("rise", p(ramp_hz)),
+                ("peak", p(peak_hz)),
+                ("fall", p(ramp_hz)),
+            ],
+            vec![
+                vec![stay, advance, 0.0, 0.0],
+                vec![0.0, stay, advance, 0.0],
+                vec![0.0, 0.0, stay, advance],
+                vec![advance, 0.0, 0.0, stay],
+            ],
+        ))
+    }
+}
+
+/// A Markov-modulated arrival chain: named states each holding a *simple*
+/// [`ArrivalProcess`] (Poisson / Uniform / Immediate — nesting another
+/// chain is rejected), plus a row-stochastic transition matrix sampled
+/// once per emitted arrival. The state is exposed
+/// ([`MarkovArrivals::state`]) so a workload generator can couple key
+/// choice to the regime — a flash crowd that also flips the hot set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarkovArrivals {
+    states: Vec<(String, ArrivalProcess)>,
+    transitions: Vec<Vec<f64>>,
+    current: usize,
+}
+
+impl MarkovArrivals {
+    /// Builds the chain, starting in state 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics (via [`MarkovArrivals::validate`]) if there are no states, a
+    /// state nests another chain, the matrix is not square over the
+    /// states, or a row is not a probability distribution.
+    pub fn new(states: Vec<(&str, ArrivalProcess)>, transitions: Vec<Vec<f64>>) -> Self {
+        let chain = MarkovArrivals {
+            states: states
+                .into_iter()
+                .map(|(name, p)| (name.to_string(), p))
+                .collect(),
+            transitions,
+            current: 0,
+        };
+        chain.validate();
+        chain
+    }
+
+    /// Validates the chain shape.
+    ///
+    /// # Panics
+    ///
+    /// See [`MarkovArrivals::new`].
+    pub fn validate(&self) {
+        let n = self.states.len();
+        assert!(n > 0, "Markov chain needs at least one state");
+        for (name, process) in &self.states {
             assert!(
-                rate_hz > 0.0 && rate_hz.is_finite(),
-                "Poisson rate must be positive and finite"
+                !matches!(process, ArrivalProcess::MarkovModulated(_)),
+                "state {name:?} nests a Markov chain"
+            );
+            process.validate();
+        }
+        assert_eq!(self.transitions.len(), n, "transition matrix must be n×n");
+        for (i, row) in self.transitions.iter().enumerate() {
+            assert_eq!(row.len(), n, "transition row {i} must have {n} entries");
+            let mut sum = 0.0;
+            for &p in row {
+                assert!(
+                    (0.0..=1.0).contains(&p) && p.is_finite(),
+                    "transition probabilities must be in [0, 1]"
+                );
+                sum += p;
+            }
+            assert!(
+                (sum - 1.0).abs() < 1e-9,
+                "transition row {i} must sum to 1 (got {sum})"
             );
         }
     }
 
-    fn next_gap(&self, rng: &mut StdRng) -> Duration {
-        match *self {
-            ArrivalProcess::Poisson { rate_hz } => {
-                // Inverse-CDF sample of Exp(rate): u ∈ [0, 1) keeps the
-                // argument of ln strictly positive.
-                let u: f64 = rng.gen_range(0.0..1.0);
-                Duration::from_secs_f64(-(1.0 - u).ln() / rate_hz)
+    /// Index of the current state.
+    pub fn state(&self) -> usize {
+        self.current
+    }
+
+    /// Name of the current state.
+    pub fn state_name(&self) -> &str {
+        &self.states[self.current].0
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Samples one inter-arrival gap from the current state's process,
+    /// then steps the chain. Public so a workload generator can drive the
+    /// chain itself and read [`MarkovArrivals::state`] between arrivals.
+    pub fn next_gap(&mut self, rng: &mut StdRng) -> Duration {
+        let gap = self.states[self.current].1.next_gap(rng);
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let row = &self.transitions[self.current];
+        let mut acc = 0.0;
+        for (next, &p) in row.iter().enumerate() {
+            acc += p;
+            if u < acc {
+                self.current = next;
+                break;
             }
-            ArrivalProcess::Uniform { interval } => interval,
-            ArrivalProcess::Immediate => Duration::ZERO,
         }
+        gap
     }
 }
 
 /// Shared pacing state of the generated sources: a virtual clock advanced
 /// by the arrival process.
 #[derive(Debug)]
-struct Pacer {
+pub(crate) struct Pacer {
     clock: Duration,
     arrivals: ArrivalProcess,
     rng: StdRng,
 }
 
 impl Pacer {
-    fn new(arrivals: ArrivalProcess, seed: u64) -> Self {
+    pub(crate) fn new(arrivals: ArrivalProcess, seed: u64) -> Self {
         arrivals.validate();
         Pacer {
             clock: Duration::ZERO,
@@ -153,7 +350,7 @@ impl Pacer {
         }
     }
 
-    fn next_arrival(&mut self) -> Duration {
+    pub(crate) fn next_arrival(&mut self) -> Duration {
         self.clock += self.arrivals.next_gap(&mut self.rng);
         self.clock
     }
@@ -167,6 +364,7 @@ pub struct BatchSource {
     batches: Vec<Vec<VectorKey>>,
     next: usize,
     deadline: Option<Duration>,
+    tenant: usize,
 }
 
 impl BatchSource {
@@ -181,12 +379,19 @@ impl BatchSource {
             batches,
             next: 0,
             deadline: None,
+            tenant: 0,
         }
     }
 
     /// Attaches a deadline (relative to arrival) to every batch.
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Tags every request with a tenant index ([`SessionBuilder::tenants`]).
+    pub fn for_tenant(mut self, tenant: usize) -> Self {
+        self.tenant = tenant;
         self
     }
 }
@@ -203,6 +408,7 @@ impl RequestSource for BatchSource {
             keys: std::mem::take(&mut self.batches[i]),
             arrival: Duration::ZERO,
             deadline: self.deadline,
+            tenant: self.tenant,
         })
     }
 
@@ -222,6 +428,7 @@ pub struct SyntheticSource {
     next_id: u64,
     pacer: Pacer,
     deadline: Option<Duration>,
+    tenant: usize,
 }
 
 impl SyntheticSource {
@@ -247,12 +454,19 @@ impl SyntheticSource {
             next_id: 0,
             pacer: Pacer::new(arrivals, seed),
             deadline: None,
+            tenant: 0,
         }
     }
 
     /// Attaches a deadline (relative to arrival) to every request.
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Tags every request with a tenant index ([`SessionBuilder::tenants`]).
+    pub fn for_tenant(mut self, tenant: usize) -> Self {
+        self.tenant = tenant;
         self
     }
 }
@@ -273,6 +487,7 @@ impl RequestSource for SyntheticSource {
             keys,
             arrival: self.pacer.next_arrival(),
             deadline: self.deadline,
+            tenant: self.tenant,
         })
     }
 
@@ -291,6 +506,7 @@ pub struct TraceReplaySource {
     next: usize,
     pacer: Pacer,
     deadline: Option<Duration>,
+    tenant: usize,
 }
 
 impl TraceReplaySource {
@@ -319,12 +535,19 @@ impl TraceReplaySource {
             next: 0,
             pacer: Pacer::new(arrivals, seed),
             deadline: None,
+            tenant: 0,
         }
     }
 
     /// Attaches a deadline (relative to arrival) to every request.
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Tags every request with a tenant index ([`SessionBuilder::tenants`]).
+    pub fn for_tenant(mut self, tenant: usize) -> Self {
+        self.tenant = tenant;
         self
     }
 }
@@ -341,6 +564,7 @@ impl RequestSource for TraceReplaySource {
             keys: std::mem::take(&mut self.requests[i]),
             arrival: self.pacer.next_arrival(),
             deadline: self.deadline,
+            tenant: self.tenant,
         })
     }
 
@@ -422,12 +646,20 @@ impl<S: RequestSource> ClosedLoopSource<S> {
 impl<S: RequestSource> RequestSource for ClosedLoopSource<S> {
     fn next_request(&mut self) -> Option<Request> {
         let epoch = *self.epoch.get_or_insert_with(Instant::now);
-        // Wait for a free slot. `finished()` saturates to u64::MAX if the
+        // Wait for a free slot on a spin → yield → sleep ladder (the
+        // migration epoch fence's backoff shape): a few pipeline-hint
+        // spins catch the common case where a worker retires a request
+        // within a service time, a yield burst hands the core to that
+        // worker on a loaded box, and past that the source parks in
+        // bounded sleep quanta — a saturated closed loop costs a timer
+        // tick, not a core. `finished()` saturates to u64::MAX if the
         // session is gone, so this cannot hang on a drained session.
         let mut spins = 0u32;
         while self.issued.saturating_sub(self.progress.finished()) >= self.outstanding {
-            spins += 1;
-            if spins < 64 {
+            spins = spins.saturating_add(1);
+            if spins < 16 {
+                std::hint::spin_loop();
+            } else if spins < 64 {
                 std::thread::yield_now();
             } else {
                 std::thread::sleep(Duration::from_micros(50));
@@ -522,9 +754,70 @@ impl PlaneState {
 /// An admitted request waiting in the session queue.
 struct Admitted {
     id: u64,
+    tenant: usize,
     keys: Vec<VectorKey>,
     arrival_at: Instant,
     deadline_at: Option<Instant>,
+}
+
+/// Per-tenant admission/shed counters, incremented alongside the session
+/// globals under the same events so the per-tenant sums always equal the
+/// global totals exactly (the conservation law the admission proptests
+/// pin).
+#[derive(Default)]
+struct TenantCounters {
+    submitted: AtomicU64,
+    rejected_queue_full: AtomicU64,
+    rejected_deadline: AtomicU64,
+    shed_in_queue: AtomicU64,
+    completed: AtomicU64,
+}
+
+/// The session's per-tenant request queues plus the weighted-fair
+/// bookkeeping, all under the one queue mutex (so `closed` and the
+/// condvar protocol are unchanged from the single-queue session).
+struct TenantQueues {
+    queues: Vec<VecDeque<Admitted>>,
+    /// Requests dequeued per tenant — the weighted-fair share history.
+    served: Vec<u64>,
+}
+
+impl TenantQueues {
+    fn new(tenants: usize) -> Self {
+        TenantQueues {
+            queues: (0..tenants).map(|_| VecDeque::new()).collect(),
+            served: vec![0; tenants],
+        }
+    }
+
+    fn total_len(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// Weighted-fair dequeue: among tenants with queued requests, pop from
+    /// the one with the smallest `served / weight` — the tenant furthest
+    /// below its weighted share. A burst from one tenant can grow only its
+    /// own queue; it cannot starve another tenant's dequeues, because the
+    /// burster's normalized share races ahead and the quiet tenant wins
+    /// every contested pop until the shares level out. With one tenant
+    /// this is exactly the old FIFO.
+    fn pop_fair(&mut self, tenants: &[TenantSpec]) -> Option<Admitted> {
+        let mut best: Option<usize> = None;
+        let mut best_score = f64::INFINITY;
+        for (t, q) in self.queues.iter().enumerate() {
+            if q.is_empty() {
+                continue;
+            }
+            let score = self.served[t] as f64 / tenants[t].weight;
+            if score < best_score {
+                best_score = score;
+                best = Some(t);
+            }
+        }
+        let t = best?;
+        self.served[t] += 1;
+        self.queues[t].pop_front()
+    }
 }
 
 /// State shared between the submitting side, serving workers, and the
@@ -533,11 +826,15 @@ struct SessionShared {
     ctx: GuidanceCtx,
     router: ShardRouter,
     shards: Vec<Mutex<Shard>>,
-    queue: Mutex<VecDeque<Admitted>>,
+    queue: Mutex<TenantQueues>,
     available: Condvar,
     closed: AtomicBool,
     admission: AdmissionPolicy,
     sla: Option<SlaBudget>,
+    /// The tenant table (always at least the one default tenant); index =
+    /// [`Request::tenant`].
+    tenants: Vec<TenantSpec>,
+    tenant_counters: Vec<TenantCounters>,
     plane: Option<PlaneState>,
     /// Live-migration state when the session was built with
     /// [`SessionBuilder::live`]; `None` keeps the serving path free of
@@ -583,6 +880,8 @@ impl std::error::Error for Rejection {}
 pub struct RequestSample {
     /// The request's caller-assigned id.
     pub id: u64,
+    /// The request's tenant index ([`Request::tenant`]).
+    pub tenant: usize,
     /// Time spent queued before a worker picked the request up.
     pub queue_wait: Duration,
     /// Time a worker spent serving the request.
@@ -673,6 +972,113 @@ impl SlaOutcome {
             self.met as f64 / total as f64
         }
     }
+
+    /// Computes the outcome of `budget` over a sample set.
+    fn over<'a>(budget: SlaBudget, samples: impl Iterator<Item = &'a RequestSample>) -> Self {
+        let mut outcome = SlaOutcome {
+            budget: budget.target,
+            met: 0,
+            missed: 0,
+            degraded_skip_ahead: 0,
+            degraded_prefetch_off: 0,
+        };
+        for s in samples {
+            if s.latency <= budget.target {
+                outcome.met += 1;
+            } else {
+                outcome.missed += 1;
+            }
+            match s.degrade {
+                DegradeLevel::SkipAhead => outcome.degraded_skip_ahead += 1,
+                DegradeLevel::PrefetchOff => outcome.degraded_prefetch_off += 1,
+                DegradeLevel::None => {}
+            }
+        }
+        outcome
+    }
+
+    /// JSON object (stable field names, asserted in CI).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"budget_ms\": {:.3}, \"met\": {}, \"missed\": {}, ",
+                "\"attainment\": {:.4}, \"degraded_skip_ahead\": {}, ",
+                "\"degraded_prefetch_off\": {}}}"
+            ),
+            self.budget.as_secs_f64() * 1e3,
+            self.met,
+            self.missed,
+            self.attainment(),
+            self.degraded_skip_ahead,
+            self.degraded_prefetch_off,
+        )
+    }
+}
+
+/// Per-tenant slice of a [`SessionReport`]: admission/shed accounting,
+/// latency percentiles, and the tenant's SLA outcome (under its own
+/// budget when its [`TenantSpec`] set one, else the session budget). The
+/// counters obey the same conservation law as the session totals —
+/// `completed + rejected_queue_full + rejected_deadline + shed_in_queue
+/// == submitted` — and summing any field across tenants reproduces the
+/// session-level value exactly.
+#[derive(Debug, Clone)]
+pub struct TenantReport {
+    /// The tenant's name ([`TenantSpec::name`]).
+    pub name: String,
+    /// The tenant's weighted-fair dequeue weight.
+    pub weight: f64,
+    /// Requests this tenant offered to [`ServingSession::submit`].
+    pub submitted: u64,
+    /// Requests served to completion.
+    pub completed: u64,
+    /// Requests rejected at submit: session queue at capacity, or this
+    /// tenant at its [`TenantSpec::queue_quota`].
+    pub rejected_queue_full: u64,
+    /// Requests rejected at submit with an already-blown deadline.
+    pub rejected_deadline: u64,
+    /// Admitted requests shed at dequeue (deadline expired while queued).
+    pub shed_in_queue: u64,
+    /// End-to-end latency percentiles over this tenant's completions.
+    pub latency: LatencySummary,
+    /// Queueing-delay percentiles over this tenant's completions.
+    pub queue_wait: LatencySummary,
+    /// SLA accounting under the tenant's effective budget, when one
+    /// applies.
+    pub sla: Option<SlaOutcome>,
+}
+
+impl TenantReport {
+    /// Requests not served: rejected at submit plus shed in queue.
+    pub fn unserved(&self) -> u64 {
+        self.rejected_queue_full + self.rejected_deadline + self.shed_in_queue
+    }
+
+    /// JSON object (stable field names, asserted in CI).
+    pub fn to_json(&self) -> String {
+        let sla = match &self.sla {
+            None => "null".to_string(),
+            Some(s) => s.to_json(),
+        };
+        format!(
+            concat!(
+                "{{\"name\": \"{}\", \"weight\": {}, \"submitted\": {}, ",
+                "\"completed\": {}, \"rejected_queue_full\": {}, ",
+                "\"rejected_deadline\": {}, \"shed_in_queue\": {}, ",
+                "\"latency\": {}, \"queue_wait\": {}, \"sla\": {}}}"
+            ),
+            self.name,
+            self.weight,
+            self.submitted,
+            self.completed,
+            self.rejected_queue_full,
+            self.rejected_deadline,
+            self.shed_in_queue,
+            self.latency.to_json_ms(),
+            self.queue_wait.to_json_ms(),
+            sla,
+        )
+    }
 }
 
 /// Outcome of a drained [`ServingSession`]: the batch-mode
@@ -700,6 +1106,9 @@ pub struct SessionReport {
     pub queue_wait: LatencySummary,
     /// SLA accounting, when the session had a budget.
     pub sla: Option<SlaOutcome>,
+    /// Per-tenant accounting, one entry per [`SessionBuilder::tenants`]
+    /// entry (a single default tenant when none were configured).
+    pub tenants: Vec<TenantReport>,
 }
 
 impl SessionReport {
@@ -719,26 +1128,16 @@ impl SessionReport {
     pub fn to_json(&self) -> String {
         let sla = match &self.sla {
             None => "null".to_string(),
-            Some(s) => format!(
-                concat!(
-                    "{{\"budget_ms\": {:.3}, \"met\": {}, \"missed\": {}, ",
-                    "\"attainment\": {:.4}, \"degraded_skip_ahead\": {}, ",
-                    "\"degraded_prefetch_off\": {}}}"
-                ),
-                s.budget.as_secs_f64() * 1e3,
-                s.met,
-                s.missed,
-                s.attainment(),
-                s.degraded_skip_ahead,
-                s.degraded_prefetch_off,
-            ),
+            Some(s) => s.to_json(),
         };
+        let tenants: Vec<String> = self.tenants.iter().map(TenantReport::to_json).collect();
         format!(
             concat!(
                 "{{\"engine\": {}, \"submitted\": {}, \"completed\": {}, ",
                 "\"rejected_queue_full\": {}, \"rejected_deadline\": {}, ",
                 "\"shed_in_queue\": {}, \"shed_rate\": {:.4}, ",
-                "\"latency\": {}, \"queue_wait\": {}, \"sla\": {}}}"
+                "\"latency\": {}, \"queue_wait\": {}, \"sla\": {}, ",
+                "\"tenants\": [{}]}}"
             ),
             self.engine.to_json(),
             self.submitted,
@@ -750,6 +1149,7 @@ impl SessionReport {
             self.latency.to_json_ms(),
             self.queue_wait.to_json_ms(),
             sla,
+            tenants.join(", "),
         )
     }
 }
@@ -760,12 +1160,13 @@ impl SessionReport {
 
 /// Configures and starts a [`ServingSession`] over a
 /// [`ShardedRecMgSystem`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SessionBuilder {
     workers: usize,
     guidance: Option<GuidanceMode>,
     admission: AdmissionPolicy,
     sla: Option<SlaBudget>,
+    tenants: Vec<TenantSpec>,
     live: Option<LiveRebalanceConfig>,
 }
 
@@ -777,13 +1178,15 @@ impl Default for SessionBuilder {
 
 impl SessionBuilder {
     /// One worker, guidance inherited from the system
-    /// ([`SystemBuilder::guidance`]), default admission, no SLA.
+    /// ([`SystemBuilder::guidance`]), default admission, no SLA, one
+    /// default tenant.
     pub fn new() -> Self {
         SessionBuilder {
             workers: 1,
             guidance: None,
             admission: AdmissionPolicy::default(),
             sla: None,
+            tenants: Vec::new(),
             live: None,
         }
     }
@@ -811,6 +1214,17 @@ impl SessionBuilder {
     /// pressure degradation.
     pub fn sla(mut self, sla: SlaBudget) -> Self {
         self.sla = Some(sla);
+        self
+    }
+
+    /// Multi-tenant mode: the session tracks admission, shed, latency
+    /// percentiles, and SLA outcomes per tenant, and dequeues
+    /// weighted-fair across tenants so one tenant's burst cannot starve
+    /// another's deadline. [`Request::tenant`] indexes into this table.
+    /// Unset (or empty) leaves the session single-tenant with one
+    /// implicit `"default"` tenant at index 0.
+    pub fn tenants(mut self, tenants: Vec<TenantSpec>) -> Self {
+        self.tenants = tenants;
         self
     }
 
@@ -847,6 +1261,14 @@ impl SessionBuilder {
         assert!(self.workers > 0, "need at least one serving worker");
         if let Some(sla) = &self.sla {
             sla.validate();
+        }
+        let tenants = if self.tenants.is_empty() {
+            vec![TenantSpec::new("default")]
+        } else {
+            self.tenants.clone()
+        };
+        for tenant in &tenants {
+            tenant.validate();
         }
         let guidance = self.guidance.unwrap_or(system.default_guidance());
         let tiers_before = system.tier_usage();
@@ -891,11 +1313,15 @@ impl SessionBuilder {
             ctx,
             router,
             shards: shards.into_iter().map(Mutex::new).collect(),
-            queue: Mutex::new(VecDeque::new()),
+            queue: Mutex::new(TenantQueues::new(tenants.len())),
             available: Condvar::new(),
             closed: AtomicBool::new(false),
             admission: self.admission,
             sla: self.sla,
+            tenant_counters: (0..tenants.len())
+                .map(|_| TenantCounters::default())
+                .collect(),
+            tenants,
             plane,
             live: self.live.map(|cfg| LiveState::new(num_shards, cfg)),
             submitted: AtomicU64::new(0),
@@ -1003,24 +1429,39 @@ impl ServingSession {
     /// request *arrived*, not from when the submission loop got to it).
     fn submit_at(&self, request: Request, arrival_at: Instant) -> Result<(), Rejection> {
         let shared = &*self.shared;
+        let tenant = request.tenant;
+        assert!(
+            tenant < shared.tenants.len(),
+            "request tenant {} out of range ({} tenants configured)",
+            tenant,
+            shared.tenants.len()
+        );
+        let counters = &shared.tenant_counters[tenant];
         shared.submitted.fetch_add(1, Ordering::Relaxed);
+        counters.submitted.fetch_add(1, Ordering::Relaxed);
         let deadline_at = request.deadline.map(|d| arrival_at + d);
         if shared.admission.reject_blown {
             if let Some(d) = deadline_at {
                 if Instant::now() > d {
                     shared.rejected_deadline.fetch_add(1, Ordering::Relaxed);
+                    counters.rejected_deadline.fetch_add(1, Ordering::Relaxed);
                     return Err(Rejection::DeadlineBlown);
                 }
             }
         }
         {
             let mut queue = shared.queue.lock().expect("queue lock");
-            if queue.len() >= shared.admission.queue_depth {
+            let over_quota = shared.tenants[tenant]
+                .queue_quota
+                .is_some_and(|quota| queue.queues[tenant].len() >= quota);
+            if over_quota || queue.total_len() >= shared.admission.queue_depth {
                 shared.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+                counters.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
                 return Err(Rejection::QueueFull);
             }
-            queue.push_back(Admitted {
+            queue.queues[tenant].push_back(Admitted {
                 id: request.id,
+                tenant,
                 keys: request.keys,
                 arrival_at,
                 deadline_at,
@@ -1049,9 +1490,40 @@ impl ServingSession {
         pulled
     }
 
-    /// Requests currently waiting in the queue.
+    /// Pulls several sources dry concurrently in arrival order: a k-way
+    /// merge on each source's next arrival offset, so interleaved tenants
+    /// share one paced submission clock. Returns the number of requests
+    /// pulled across all sources.
+    pub fn ingest_multi(&self, sources: &mut [&mut dyn RequestSource]) -> usize {
+        let start = Instant::now();
+        let mut pulled = 0usize;
+        // One lookahead head per source; refill the head we consume.
+        let mut heads: Vec<Option<Request>> =
+            sources.iter_mut().map(|s| s.next_request()).collect();
+        loop {
+            let next = heads
+                .iter()
+                .enumerate()
+                .filter_map(|(i, h)| h.as_ref().map(|r| (i, r.arrival)))
+                .min_by_key(|&(_, arrival)| arrival)
+                .map(|(i, _)| i);
+            let Some(i) = next else { break };
+            let request = heads[i].take().expect("head checked nonempty");
+            heads[i] = sources[i].next_request();
+            pulled += 1;
+            let arrival_at = start + request.arrival;
+            let now = Instant::now();
+            if arrival_at > now {
+                std::thread::sleep(arrival_at - now);
+            }
+            let _ = self.submit_at(request, arrival_at);
+        }
+        pulled
+    }
+
+    /// Requests currently waiting in the queue (all tenants).
     pub fn queue_len(&self) -> usize {
-        self.shared.queue.lock().expect("queue lock").len()
+        self.shared.queue.lock().expect("queue lock").total_len()
     }
 
     /// Requests served to completion so far.
@@ -1204,6 +1676,8 @@ impl ServingSession {
             rejected_deadline,
             shed_in_queue,
             sla,
+            tenants,
+            tenant_counters,
             ..
         } = shared;
         let mut shards: Vec<Shard> = shards
@@ -1271,25 +1745,32 @@ impl ServingSession {
         let latency = LatencySummary::from_durations(samples.iter().map(|s| s.latency).collect());
         let queue_wait =
             LatencySummary::from_durations(samples.iter().map(|s| s.queue_wait).collect());
-        let sla_outcome = sla.map(|budget| {
-            let met = samples
-                .iter()
-                .filter(|s| s.latency <= budget.target)
-                .count() as u64;
-            SlaOutcome {
-                budget: budget.target,
-                met,
-                missed: samples.len() as u64 - met,
-                degraded_skip_ahead: samples
-                    .iter()
-                    .filter(|s| s.degrade == DegradeLevel::SkipAhead)
-                    .count() as u64,
-                degraded_prefetch_off: samples
-                    .iter()
-                    .filter(|s| s.degrade == DegradeLevel::PrefetchOff)
-                    .count() as u64,
-            }
-        });
+        let sla_outcome = sla.map(|budget| SlaOutcome::over(budget, samples.iter()));
+        let tenant_reports: Vec<TenantReport> = tenants
+            .iter()
+            .zip(&tenant_counters)
+            .enumerate()
+            .map(|(t, (spec, counters))| {
+                let own: Vec<&RequestSample> = samples.iter().filter(|s| s.tenant == t).collect();
+                let budget = spec.sla.or(sla);
+                TenantReport {
+                    name: spec.name.clone(),
+                    weight: spec.weight,
+                    submitted: counters.submitted.load(Ordering::Relaxed),
+                    completed: counters.completed.load(Ordering::Relaxed),
+                    rejected_queue_full: counters.rejected_queue_full.load(Ordering::Relaxed),
+                    rejected_deadline: counters.rejected_deadline.load(Ordering::Relaxed),
+                    shed_in_queue: counters.shed_in_queue.load(Ordering::Relaxed),
+                    latency: LatencySummary::from_durations(
+                        own.iter().map(|s| s.latency).collect(),
+                    ),
+                    queue_wait: LatencySummary::from_durations(
+                        own.iter().map(|s| s.queue_wait).collect(),
+                    ),
+                    sla: budget.map(|b| SlaOutcome::over(b, own.iter().copied())),
+                }
+            })
+            .collect();
         let report = SessionReport {
             engine: EngineReport {
                 stats,
@@ -1315,6 +1796,7 @@ impl ServingSession {
             latency,
             queue_wait,
             sla: sla_outcome,
+            tenants: tenant_reports,
         };
         (system, report)
     }
@@ -1325,11 +1807,12 @@ impl ServingSession {
 // ---------------------------------------------------------------------------
 
 /// Blocks until a request is available or the session is closed and the
-/// queue is empty.
+/// queue is empty. Dequeues weighted-fair across tenants
+/// ([`TenantQueues::pop_fair`]); with one tenant this is plain FIFO.
 fn pop_request(shared: &SessionShared) -> Option<Admitted> {
     let mut queue = shared.queue.lock().expect("queue lock");
     loop {
-        if let Some(request) = queue.pop_front() {
+        if let Some(request) = queue.pop_fair(&shared.tenants) {
             return Some(request);
         }
         if shared.closed.load(Ordering::Acquire) {
@@ -1347,18 +1830,21 @@ fn worker_loop(shared: &SessionShared, tx: Option<mpsc::Sender<GuidanceJob>>) ->
     let mut parts: Vec<Vec<VectorKey>> = Vec::new();
     while let Some(request) = pop_request(shared) {
         let dequeued = Instant::now();
+        let counters = &shared.tenant_counters[request.tenant];
         if shared.admission.shed_blown {
             if let Some(d) = request.deadline_at {
                 if dequeued > d {
                     shared.shed_in_queue.fetch_add(1, Ordering::Relaxed);
+                    counters.shed_in_queue.fetch_add(1, Ordering::Relaxed);
                     continue;
                 }
             }
         }
         let queue_wait = dequeued.saturating_duration_since(request.arrival_at);
-        let degrade = shared
-            .sla
-            .map_or(DegradeLevel::None, |sla| sla.level(queue_wait));
+        // A tenant's own budget overrides the session-wide one for
+        // pressure degradation (and later, its report's SLA section).
+        let budget = shared.tenants[request.tenant].sla.or(shared.sla);
+        let degrade = budget.map_or(DegradeLevel::None, |sla| sla.level(queue_wait));
         serve_request(
             shared,
             &request.keys,
@@ -1370,12 +1856,14 @@ fn worker_loop(shared: &SessionShared, tx: Option<mpsc::Sender<GuidanceJob>>) ->
         let finished = Instant::now();
         log.samples.push(RequestSample {
             id: request.id,
+            tenant: request.tenant,
             queue_wait,
             service: finished.saturating_duration_since(dequeued),
             latency: finished.saturating_duration_since(request.arrival_at),
             deadline_met: request.deadline_at.map(|d| finished <= d),
             degrade,
         });
+        counters.completed.fetch_add(1, Ordering::Relaxed);
         shared.completed_requests.fetch_add(1, Ordering::AcqRel);
     }
     // Dropping `tx` here (worker exit) releases the plane channel.
@@ -1765,6 +2253,7 @@ mod tests {
                 keys: vec![],
                 arrival: Duration::ZERO,
                 deadline: None,
+                tenant: 0,
             });
             assert_eq!(got, Err(Rejection::QueueFull));
         }
@@ -1790,6 +2279,7 @@ mod tests {
                 keys: vec![],
                 arrival: Duration::ZERO,
                 deadline: Some(Duration::from_millis(1)),
+                tenant: 0,
             },
             past,
         );
@@ -1945,5 +2435,364 @@ mod tests {
         assert_eq!(report.engine.tiers[0].traffic.demand(), trace.len() as u64);
         assert!(report.engine.access_cost_ns() > 0);
         assert!(report.to_json().contains("\"tiers\""));
+    }
+
+    // -- Poisson gap sampler (bugfix pin) ---------------------------------
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        /// The inverse-CDF exponential sampler must never emit an
+        /// infinite gap (u → 1 stalls the source forever), a zero gap
+        /// (defeats pacing), or a NaN — at any rate and seed.
+        #[test]
+        fn poisson_gaps_are_always_finite_and_positive(
+            seed in 0u64..u64::MAX,
+            rate_exp in -3i32..9,
+        ) {
+            let rate_hz = 10f64.powi(rate_exp);
+            let mut arrivals = ArrivalProcess::Poisson { rate_hz };
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut clock = Duration::ZERO;
+            for _ in 0..256 {
+                let gap = arrivals.next_gap(&mut rng);
+                proptest::prop_assert!(gap > Duration::ZERO, "gap must be positive");
+                // ~27.7 mean gaps is the clamp ceiling: -ln(1e-12)/rate.
+                proptest::prop_assert!(
+                    gap.as_secs_f64() <= 28.0 / rate_hz,
+                    "gap {:?} exceeds the clamp ceiling at rate {rate_hz}",
+                    gap
+                );
+                let next = clock + gap;
+                proptest::prop_assert!(next > clock, "virtual clock must advance");
+                clock = next;
+            }
+        }
+    }
+
+    // -- LatencySummary nearest-rank indexing (bugfix pin) ----------------
+
+    fn summary_of_millis(ms: &[u64]) -> LatencySummary {
+        LatencySummary::from_durations(ms.iter().map(|&m| Duration::from_millis(m)).collect())
+    }
+
+    #[test]
+    fn latency_summary_empty_is_all_zero() {
+        let s = summary_of_millis(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50, Duration::ZERO);
+        assert_eq!(s.p95, Duration::ZERO);
+        assert_eq!(s.p99, Duration::ZERO);
+        assert_eq!(s.max, Duration::ZERO);
+    }
+
+    #[test]
+    fn latency_summary_single_sample_is_every_percentile() {
+        let s = summary_of_millis(&[7]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.p50, Duration::from_millis(7));
+        assert_eq!(s.p95, Duration::from_millis(7));
+        assert_eq!(s.p99, Duration::from_millis(7));
+        assert_eq!(s.max, Duration::from_millis(7));
+    }
+
+    #[test]
+    fn latency_summary_two_samples_split_at_the_median() {
+        // Nearest-rank: ceil(0.5 × 2) = rank 1 → the smaller sample;
+        // ceil(0.95 × 2) = ceil(0.99 × 2) = rank 2 → the larger. The top
+        // rank must index samples[1], not overflow to samples[2].
+        let s = summary_of_millis(&[10, 20]);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.p50, Duration::from_millis(10));
+        assert_eq!(s.p95, Duration::from_millis(20));
+        assert_eq!(s.p99, Duration::from_millis(20));
+        assert_eq!(s.max, Duration::from_millis(20));
+    }
+
+    #[test]
+    fn latency_summary_hundred_samples_hit_exact_ranks() {
+        // 1..=100 ms: nearest-rank percentile q over n=100 is exactly
+        // the ceil(q·100)-th smallest, i.e. q·100 ms.
+        let ms: Vec<u64> = (1..=100).rev().collect();
+        let s = summary_of_millis(&ms);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50, Duration::from_millis(50));
+        assert_eq!(s.p95, Duration::from_millis(95));
+        assert_eq!(s.p99, Duration::from_millis(99));
+        assert_eq!(s.max, Duration::from_millis(100));
+    }
+
+    // -- ClosedLoopSource backoff (bugfix pin) ----------------------------
+
+    #[test]
+    fn blocked_closed_loop_makes_progress_without_busy_spinning() {
+        let session = SessionBuilder::new()
+            .guidance(GuidanceMode::Inline)
+            .admission(AdmissionPolicy::unbounded())
+            .build(system(1));
+        let progress = session.progress();
+        let (tx, rx) = mpsc::channel::<Request>();
+        let puller = std::thread::spawn(move || {
+            let inner = BatchSource::from_vecs(vec![vec![], vec![]]);
+            let mut src = ClosedLoopSource::new(inner, 1, progress);
+            // Request 1 issues immediately; request 2 blocks until the
+            // session completes request 1.
+            let first = src.next_request().expect("first request");
+            tx.send(first).expect("main listening");
+            let second = src.next_request().expect("second request unblocks");
+            tx.send(second).expect("main listening");
+            assert!(src.next_request().is_none());
+        });
+        let first = rx.recv().expect("first request arrives");
+        // The puller is now blocked in the backoff loop (request 1 not
+        // finished). Give it a beat, then unblock it by serving.
+        assert!(rx.try_recv().is_err(), "second request must be blocked");
+        session.submit(first).expect("admitted");
+        let second = rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("blocked source resumed after completion");
+        session.submit(second).expect("admitted");
+        puller.join().expect("puller exits cleanly");
+        let (_sys, report) = session.drain();
+        assert_eq!(report.completed, 2);
+    }
+
+    // -- Markov-modulated arrivals ----------------------------------------
+
+    #[test]
+    fn markov_arrivals_sample_finite_monotone_gaps_and_visit_states() {
+        let mut arrivals = ArrivalProcess::flash_crowd(1000.0, 10.0, 20, 5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let ArrivalProcess::MarkovModulated(chain) = &mut arrivals else {
+            panic!("flash_crowd builds a Markov chain");
+        };
+        assert_eq!(chain.num_states(), 2);
+        assert_eq!(chain.state_name(), "steady");
+        let mut visited = [false; 2];
+        let mut clock = Duration::ZERO;
+        for _ in 0..2000 {
+            visited[chain.state()] = true;
+            let gap = chain.next_gap(&mut rng);
+            assert!(gap > Duration::ZERO);
+            clock += gap;
+        }
+        assert!(visited[0] && visited[1], "chain must visit both states");
+        assert!(clock > Duration::ZERO);
+    }
+
+    #[test]
+    fn diurnal_preset_cycles_through_four_states() {
+        let mut arrivals = ArrivalProcess::diurnal(100.0, 10_000.0, 8);
+        let mut rng = StdRng::seed_from_u64(11);
+        let ArrivalProcess::MarkovModulated(chain) = &mut arrivals else {
+            panic!("diurnal builds a Markov chain");
+        };
+        assert_eq!(chain.num_states(), 4);
+        let mut visited = [false; 4];
+        for _ in 0..500 {
+            visited[chain.state()] = true;
+            chain.next_gap(&mut rng);
+        }
+        assert!(visited.iter().all(|&v| v), "cycle must reach every state");
+    }
+
+    #[test]
+    #[should_panic(expected = "row")]
+    fn markov_rejects_non_stochastic_rows() {
+        let _ = MarkovArrivals::new(
+            vec![
+                ("a", ArrivalProcess::Immediate),
+                ("b", ArrivalProcess::Immediate),
+            ],
+            vec![vec![0.7, 0.7], vec![0.5, 0.5]],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "nests a Markov chain")]
+    fn markov_rejects_nested_chains() {
+        let inner = MarkovArrivals::new(vec![("x", ArrivalProcess::Immediate)], vec![vec![1.0]]);
+        let _ = MarkovArrivals::new(
+            vec![("outer", ArrivalProcess::MarkovModulated(inner))],
+            vec![vec![1.0]],
+        );
+    }
+
+    #[test]
+    fn markov_source_arrivals_are_monotone() {
+        let spec = WorkloadSpec::default();
+        let mut src = SyntheticSource::new(
+            spec,
+            4,
+            200,
+            ArrivalProcess::flash_crowd(10_000.0, 20.0, 30, 10),
+            5,
+        );
+        let mut last = Duration::ZERO;
+        while let Some(req) = src.next_request() {
+            assert!(req.arrival > last, "arrivals strictly increase");
+            last = req.arrival;
+        }
+    }
+
+    // -- Multi-tenant sessions --------------------------------------------
+
+    #[test]
+    fn default_session_reports_one_default_tenant() {
+        let session = SessionBuilder::new()
+            .guidance(GuidanceMode::Inline)
+            .build(system(1));
+        session.ingest(&mut BatchSource::from_vecs(vec![vec![], vec![]]));
+        let (_sys, report) = session.drain();
+        assert_eq!(report.tenants.len(), 1);
+        let t = &report.tenants[0];
+        assert_eq!(t.name, "default");
+        assert_eq!(t.submitted, 2);
+        assert_eq!(t.completed, 2);
+        assert!(report.to_json().contains("\"tenants\""));
+    }
+
+    #[test]
+    fn tenant_accounting_is_split_and_conserved() {
+        let session = SessionBuilder::new()
+            .guidance(GuidanceMode::Inline)
+            .admission(AdmissionPolicy::unbounded())
+            .tenants(vec![
+                TenantSpec::new("budgeted").with_weight(3.0),
+                TenantSpec::new("besteffort"),
+            ])
+            .build(system(2));
+        let mut a = BatchSource::from_vecs(vec![vec![]; 5]);
+        let mut b = BatchSource::from_vecs(vec![vec![]; 3]).for_tenant(1);
+        let pulled = session.ingest_multi(&mut [&mut a, &mut b]);
+        assert_eq!(pulled, 8);
+        let (_sys, report) = session.drain();
+        assert_eq!(report.tenants.len(), 2);
+        assert_eq!(report.tenants[0].submitted, 5);
+        assert_eq!(report.tenants[0].completed, 5);
+        assert_eq!(report.tenants[1].submitted, 3);
+        assert_eq!(report.tenants[1].completed, 3);
+        // Cross-tenant sums match the global counters exactly.
+        let sub: u64 = report.tenants.iter().map(|t| t.submitted).sum();
+        let comp: u64 = report.tenants.iter().map(|t| t.completed).sum();
+        assert_eq!(sub, report.submitted);
+        assert_eq!(comp, report.completed);
+        assert_eq!(report.tenants[0].latency.count, 5);
+        assert_eq!(report.tenants[1].latency.count, 3);
+    }
+
+    #[test]
+    fn tenant_quota_rejects_before_global_depth() {
+        let session = SessionBuilder::new()
+            .guidance(GuidanceMode::Inline)
+            .workers(1)
+            .admission(AdmissionPolicy {
+                queue_depth: 100,
+                reject_blown: false,
+                shed_blown: false,
+            })
+            .tenants(vec![
+                TenantSpec::new("quota").with_quota(0),
+                TenantSpec::new("free"),
+            ])
+            .build(system(1));
+        // Quota 0: every submit for tenant 0 bounces even though the
+        // global queue has room.
+        let got = session.submit(Request {
+            id: 0,
+            keys: vec![],
+            arrival: Duration::ZERO,
+            deadline: None,
+            tenant: 0,
+        });
+        assert_eq!(got, Err(Rejection::QueueFull));
+        session
+            .submit(Request {
+                id: 1,
+                keys: vec![],
+                arrival: Duration::ZERO,
+                deadline: None,
+                tenant: 1,
+            })
+            .expect("unquota'd tenant admitted");
+        let (_sys, report) = session.drain();
+        assert_eq!(report.tenants[0].rejected_queue_full, 1);
+        assert_eq!(report.tenants[0].completed, 0);
+        assert_eq!(report.tenants[1].completed, 1);
+        assert_eq!(report.rejected_queue_full, 1);
+    }
+
+    #[test]
+    fn weighted_fair_pop_divides_service_by_weight() {
+        let tenants = vec![
+            TenantSpec::new("heavy").with_weight(3.0),
+            TenantSpec::new("light"),
+        ];
+        let mut queues = TenantQueues::new(2);
+        for i in 0..8u64 {
+            let admitted = Admitted {
+                id: i,
+                tenant: (i % 2) as usize,
+                keys: vec![],
+                arrival_at: Instant::now(),
+                deadline_at: None,
+            };
+            queues.queues[admitted.tenant].push_back(admitted);
+        }
+        // First four pops at weights 3:1 serve heavy 3 times for every
+        // light serve (ratios 0/3 < 1/1 until heavy has 3 served).
+        let order: Vec<usize> = (0..4)
+            .map(|_| queues.pop_fair(&tenants).unwrap().tenant)
+            .collect();
+        assert_eq!(order.iter().filter(|&&t| t == 0).count(), 3);
+        assert_eq!(order.iter().filter(|&&t| t == 1).count(), 1);
+        // Drains completely.
+        let mut rest = 0;
+        while queues.pop_fair(&tenants).is_some() {
+            rest += 1;
+        }
+        assert_eq!(rest, 4);
+        assert!(queues.pop_fair(&tenants).is_none());
+        assert_eq!(queues.total_len(), 0);
+    }
+
+    #[test]
+    fn per_tenant_sla_overrides_session_budget_in_report() {
+        let tight = SlaBudget::new(Duration::from_nanos(1));
+        let loose = SlaBudget::new(Duration::from_secs(3600));
+        let session = SessionBuilder::new()
+            .guidance(GuidanceMode::Inline)
+            .admission(AdmissionPolicy::unbounded())
+            .sla(loose)
+            .tenants(vec![
+                TenantSpec::new("tight").with_sla(tight),
+                TenantSpec::new("inherit"),
+            ])
+            .build(system(1));
+        let mut a = BatchSource::from_vecs(vec![vec![]; 4]);
+        let mut b = BatchSource::from_vecs(vec![vec![]; 4]).for_tenant(1);
+        session.ingest_multi(&mut [&mut a, &mut b]);
+        let (_sys, report) = session.drain();
+        let tight_sla = report.tenants[0].sla.expect("tenant SLA present");
+        let inherit_sla = report.tenants[1].sla.expect("inherited SLA present");
+        assert_eq!(tight_sla.budget, Duration::from_nanos(1));
+        assert_eq!(inherit_sla.budget, Duration::from_secs(3600));
+        assert_eq!(inherit_sla.met, 4, "an hour budget is always met");
+        assert_eq!(tight_sla.met + tight_sla.missed, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_tenant_panics_at_submit() {
+        let session = SessionBuilder::new()
+            .guidance(GuidanceMode::Inline)
+            .build(system(1));
+        let _ = session.submit(Request {
+            id: 0,
+            keys: vec![],
+            arrival: Duration::ZERO,
+            deadline: None,
+            tenant: 5,
+        });
     }
 }

@@ -1,0 +1,511 @@
+//! Real-format trace loading for [`crate::session`].
+//!
+//! DLRM access traces in the wild come in two shapes: the Criteo
+//! click-log TSV (one sample per line — a label, 13 dense integer
+//! features, 26 categorical features as hex tokens) and Meta-style
+//! per-table index streams (one line per table lookup: a table id and
+//! its comma-separated row indices, as produced by the DLRM benchmark's
+//! `--arch-embedding-size`/indices dumps). Both map onto the workspace's
+//! [`VectorKey`] access model: each categorical column is an embedding
+//! table, each token a row.
+//!
+//! Everything here is **streamed, not slurped**: parsers take any
+//! [`BufRead`] and pull one line at a time, so a multi-gigabyte day of
+//! Criteo never has to fit in memory. Two consumption paths share the
+//! parsers:
+//!
+//! - [`FileTraceSource`] is a [`RequestSource`] that feeds a
+//!   [`crate::ServingSession`] straight from the reader, grouping
+//!   `queries_per_request` lines per request and pacing arrivals with an
+//!   [`ArrivalProcess`] (external traces rarely carry timestamps).
+//! - [`read_trace`] materializes a bounded prefix into a
+//!   [`Trace`] for the replay/training paths that need random access
+//!   ([`crate::TraceReplaySource`], [`crate::train_recmg`]).
+//!
+//! [`profile_trace`] makes a calibration pass over a prefix and
+//! recommends a [`SketchConfig`] sized to the observed footprint, so the
+//! working-set sketches ([`crate::sketch`]) get epoch/window defaults
+//! matched to the trace instead of the synthetic-workload defaults.
+
+use std::io::BufRead;
+use std::time::Duration;
+
+use crate::config::SketchConfig;
+use crate::session::{ArrivalProcess, Pacer, Request, RequestSource};
+use recmg_trace::{RowId, TableId, Trace, VectorKey};
+
+/// Number of categorical (embedding-table) columns in the Criteo format.
+pub const CRITEO_TABLES: usize = 26;
+/// Number of dense columns preceding the categorical block.
+const CRITEO_DENSE: usize = 13;
+
+/// On-disk layout of a trace file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// Criteo click-log TSV: `label \t d1..d13 \t c1..c26`, categorical
+    /// features as hex tokens, empty fields allowed. Each line is one
+    /// query touching up to [`CRITEO_TABLES`] tables; hex tokens hash
+    /// into `rows_per_table` rows per table.
+    Criteo {
+        /// Embedding rows per categorical table; hex tokens are hashed
+        /// modulo this. Must be positive.
+        rows_per_table: u64,
+    },
+    /// Per-table index stream: each line is `table<TAB>row[,row...]`
+    /// (a Meta/DLRM-benchmark-style indices dump); consecutive lines up
+    /// to a blank line form one query. Row ids are taken verbatim.
+    PerTableIndices,
+}
+
+impl TraceFormat {
+    fn validate(&self) {
+        if let TraceFormat::Criteo { rows_per_table } = self {
+            assert!(*rows_per_table > 0, "rows_per_table must be positive");
+        }
+    }
+}
+
+/// FNV-1a over a categorical token. Criteo's hex tokens are already
+/// hashes, but re-hashing keeps the mapping uniform for any token
+/// alphabet (and for non-Criteo TSVs with plain-string categories).
+fn fnv1a(token: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in token.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Parses one Criteo TSV line into its embedding accesses: one
+/// [`VectorKey`] per non-empty categorical column, in column order.
+/// Returns `None` for lines with no categorical block at all (blank or
+/// truncated lines), which callers should skip.
+pub fn parse_criteo_line(line: &str, rows_per_table: u64) -> Option<Vec<VectorKey>> {
+    let line = line.trim_end_matches(['\r', '\n']);
+    if line.is_empty() {
+        return None;
+    }
+    let mut keys = Vec::with_capacity(CRITEO_TABLES);
+    // Columns: 1 label + 13 dense + 26 categorical. Truncated tails are
+    // tolerated (some public dumps drop trailing empty fields).
+    for (col, field) in line.split('\t').enumerate().skip(1 + CRITEO_DENSE) {
+        let table = col - 1 - CRITEO_DENSE;
+        if table >= CRITEO_TABLES {
+            break;
+        }
+        if field.is_empty() {
+            continue;
+        }
+        keys.push(VectorKey::new(
+            TableId(table as u32),
+            RowId(fnv1a(field) % rows_per_table),
+        ));
+    }
+    if keys.is_empty() {
+        None
+    } else {
+        Some(keys)
+    }
+}
+
+/// Parses one per-table index line (`table<TAB>row[,row...]`, spaces
+/// tolerated) into its accesses. Returns `None` for blank lines (query
+/// separators) and lines that do not parse.
+pub fn parse_indices_line(line: &str) -> Option<Vec<VectorKey>> {
+    let line = line.trim();
+    if line.is_empty() {
+        return None;
+    }
+    let (table, rows) = line.split_once(['\t', ' '])?;
+    let table: u32 = table.trim().parse().ok()?;
+    let keys: Vec<VectorKey> = rows
+        .split(',')
+        .filter_map(|r| r.trim().parse::<u64>().ok())
+        .map(|row| VectorKey::new(TableId(table), RowId(row)))
+        .collect();
+    if keys.is_empty() {
+        None
+    } else {
+        Some(keys)
+    }
+}
+
+/// Pulls the next query off `reader`: for Criteo, one parseable line;
+/// for per-table indices, all lines up to the next blank line (one line
+/// per table). Returns `None` at end of stream.
+fn next_query<R: BufRead>(
+    reader: &mut R,
+    format: TraceFormat,
+    line: &mut String,
+) -> Option<Vec<VectorKey>> {
+    match format {
+        TraceFormat::Criteo { rows_per_table } => loop {
+            line.clear();
+            if reader.read_line(line).ok()? == 0 {
+                return None;
+            }
+            if let Some(keys) = parse_criteo_line(line, rows_per_table) {
+                return Some(keys);
+            }
+        },
+        TraceFormat::PerTableIndices => {
+            let mut keys: Vec<VectorKey> = Vec::new();
+            loop {
+                line.clear();
+                if reader.read_line(line).ok()? == 0 {
+                    // EOF flushes a trailing unterminated query.
+                    return if keys.is_empty() { None } else { Some(keys) };
+                }
+                match parse_indices_line(line) {
+                    Some(mut parsed) => keys.append(&mut parsed),
+                    // Blank line: query boundary (skip leading blanks).
+                    None if keys.is_empty() => continue,
+                    None => return Some(keys),
+                }
+            }
+        }
+    }
+}
+
+/// Streams a real-format trace file as a request source: each request is
+/// `queries_per_request` consecutive queries pulled lazily off the
+/// reader, paced by an [`ArrivalProcess`]. Memory use is one request's
+/// keys plus the reader's buffer, independent of file size.
+#[derive(Debug)]
+pub struct FileTraceSource<R: BufRead> {
+    reader: R,
+    format: TraceFormat,
+    queries_per_request: usize,
+    pacer: Pacer,
+    deadline: Option<Duration>,
+    tenant: usize,
+    next_id: u64,
+    line: String,
+    done: bool,
+}
+
+impl<R: BufRead> FileTraceSource<R> {
+    /// Builds the streaming source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queries_per_request` is zero, the format is invalid,
+    /// or the arrival process is invalid.
+    pub fn new(
+        reader: R,
+        format: TraceFormat,
+        queries_per_request: usize,
+        arrivals: ArrivalProcess,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            queries_per_request > 0,
+            "queries_per_request must be positive"
+        );
+        format.validate();
+        FileTraceSource {
+            reader,
+            format,
+            queries_per_request,
+            pacer: Pacer::new(arrivals, seed),
+            deadline: None,
+            tenant: 0,
+            next_id: 0,
+            line: String::new(),
+            done: false,
+        }
+    }
+
+    /// Attaches a deadline (relative to arrival) to every request.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Tags every request with a tenant index
+    /// ([`crate::SessionBuilder::tenants`]).
+    pub fn for_tenant(mut self, tenant: usize) -> Self {
+        self.tenant = tenant;
+        self
+    }
+}
+
+impl<R: BufRead> RequestSource for FileTraceSource<R> {
+    fn next_request(&mut self) -> Option<Request> {
+        if self.done {
+            return None;
+        }
+        let mut keys: Vec<VectorKey> = Vec::new();
+        for _ in 0..self.queries_per_request {
+            match next_query(&mut self.reader, self.format, &mut self.line) {
+                Some(mut q) => keys.append(&mut q),
+                None => {
+                    self.done = true;
+                    break;
+                }
+            }
+        }
+        if keys.is_empty() {
+            return None;
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        Some(Request {
+            id,
+            keys,
+            arrival: self.pacer.next_arrival(),
+            deadline: self.deadline,
+            tenant: self.tenant,
+        })
+    }
+}
+
+/// Materializes up to `max_queries` queries from a real-format stream
+/// into a [`Trace`] for the random-access paths
+/// ([`crate::TraceReplaySource`], training). `num_tables` is inferred as
+/// the highest table id seen plus one (26 for well-formed Criteo).
+///
+/// # Panics
+///
+/// Panics if the format is invalid.
+pub fn read_trace<R: BufRead>(reader: &mut R, format: TraceFormat, max_queries: usize) -> Trace {
+    format.validate();
+    let mut accesses: Vec<VectorKey> = Vec::new();
+    let mut query_ends: Vec<usize> = Vec::new();
+    let mut num_tables = 0u32;
+    let mut line = String::new();
+    while query_ends.len() < max_queries {
+        let Some(keys) = next_query(reader, format, &mut line) else {
+            break;
+        };
+        for k in &keys {
+            num_tables = num_tables.max(k.table().0 + 1);
+        }
+        accesses.extend_from_slice(&keys);
+        query_ends.push(accesses.len());
+    }
+    Trace::from_parts(accesses, query_ends, num_tables)
+}
+
+/// Footprint statistics of a trace prefix, used to calibrate sketch
+/// defaults ([`TraceProfile::sketch_config`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceProfile {
+    /// Queries profiled.
+    pub queries: usize,
+    /// Total embedding accesses across those queries.
+    pub accesses: usize,
+    /// Exact distinct-key count over the profiled prefix.
+    pub unique_keys: usize,
+    /// Distinct tables touched.
+    pub tables: usize,
+}
+
+impl TraceProfile {
+    /// A [`SketchConfig`] calibrated to the observed footprint:
+    ///
+    /// - `epoch_len` is set to ~4 accesses per observed unique key
+    ///   (clamped to `[256, 65536]`) so one epoch re-observes most of
+    ///   the working set — a skew flip then dominates the sketch window
+    ///   within a handful of epochs instead of hundreds.
+    /// - traces whose footprint exceeds the default exact-mode regime
+    ///   get the [`SketchConfig::high_cardinality`] register shape
+    ///   (unique-row estimates stay within ~1.6% instead of ~6.5%).
+    pub fn sketch_config(&self) -> SketchConfig {
+        let base = if self.unique_keys > 2048 {
+            SketchConfig::high_cardinality()
+        } else {
+            SketchConfig::default()
+        };
+        SketchConfig {
+            epoch_len: ((self.unique_keys as u64).saturating_mul(4)).clamp(256, 65536),
+            ..base
+        }
+    }
+}
+
+/// Profiles up to `max_queries` queries from a real-format stream (one
+/// streaming pass; memory is the distinct-key set, not the trace).
+///
+/// # Panics
+///
+/// Panics if the format is invalid.
+pub fn profile_trace<R: BufRead>(
+    reader: &mut R,
+    format: TraceFormat,
+    max_queries: usize,
+) -> TraceProfile {
+    format.validate();
+    let mut unique = std::collections::HashSet::new();
+    let mut tables = std::collections::HashSet::new();
+    let mut queries = 0usize;
+    let mut accesses = 0usize;
+    let mut line = String::new();
+    while queries < max_queries {
+        let Some(keys) = next_query(reader, format, &mut line) else {
+            break;
+        };
+        queries += 1;
+        accesses += keys.len();
+        for k in keys {
+            unique.insert(k);
+            tables.insert(k.table());
+        }
+    }
+    TraceProfile {
+        queries,
+        accesses,
+        unique_keys: unique.len(),
+        tables: tables.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    /// A tiny two-line Criteo-format sample (tab-separated; categorical
+    /// block starts at column 14).
+    fn criteo_sample() -> String {
+        let mut lines = String::new();
+        for i in 0..4u64 {
+            let mut fields: Vec<String> = vec!["1".to_string()];
+            fields.extend((0..13).map(|d| (d + i).to_string()));
+            fields.extend((0..26).map(|c| format!("{:08x}", c * 17 + i)));
+            lines.push_str(&fields.join("\t"));
+            lines.push('\n');
+        }
+        lines
+    }
+
+    #[test]
+    fn criteo_line_maps_each_categorical_column_to_its_table() {
+        let sample = criteo_sample();
+        let line = sample.lines().next().unwrap();
+        let keys = parse_criteo_line(line, 1000).unwrap();
+        assert_eq!(keys.len(), CRITEO_TABLES);
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(k.table(), TableId(i as u32));
+            assert!(k.row().0 < 1000);
+        }
+    }
+
+    #[test]
+    fn criteo_empty_fields_are_skipped_and_blank_lines_rejected() {
+        let mut fields: Vec<String> = vec!["0".to_string()];
+        fields.extend((0..13).map(|_| String::new()));
+        fields.extend((0..26).map(|c| {
+            if c % 2 == 0 {
+                String::new()
+            } else {
+                format!("{c:x}")
+            }
+        }));
+        let keys = parse_criteo_line(&fields.join("\t"), 50).unwrap();
+        assert_eq!(keys.len(), 13);
+        assert!(keys.iter().all(|k| k.table().0 % 2 == 1));
+        assert!(parse_criteo_line("", 50).is_none());
+        assert!(parse_criteo_line("1\t2\t3", 50).is_none());
+    }
+
+    #[test]
+    fn criteo_hashing_is_deterministic_and_bounded() {
+        let sample = criteo_sample();
+        let line = sample.lines().next().unwrap();
+        let a = parse_criteo_line(line, 7).unwrap();
+        let b = parse_criteo_line(line, 7).unwrap();
+        assert_eq!(a, b);
+        assert!(a.iter().all(|k| k.row().0 < 7));
+    }
+
+    #[test]
+    fn indices_lines_group_into_queries_at_blank_lines() {
+        let text = "0\t1,2,3\n1\t9\n\n0\t4\n2\t5,6\n";
+        let trace = read_trace(
+            &mut Cursor::new(text),
+            TraceFormat::PerTableIndices,
+            usize::MAX,
+        );
+        assert_eq!(trace.num_queries(), 2);
+        assert_eq!(trace.num_tables(), 3);
+        assert_eq!(trace.accesses().len(), 7);
+        assert_eq!(trace.accesses()[0], VectorKey::new(TableId(0), RowId(1)));
+        assert_eq!(trace.accesses()[4], VectorKey::new(TableId(0), RowId(4)));
+    }
+
+    #[test]
+    fn read_trace_bounds_queries_and_feeds_replay() {
+        let sample = criteo_sample();
+        let trace = read_trace(
+            &mut Cursor::new(&sample),
+            TraceFormat::Criteo {
+                rows_per_table: 100,
+            },
+            2,
+        );
+        assert_eq!(trace.num_queries(), 2);
+        assert_eq!(trace.num_tables(), CRITEO_TABLES as u32);
+        let mut src = crate::TraceReplaySource::new(&trace, 1, ArrivalProcess::Immediate, 7);
+        let first = src.next_request().unwrap();
+        assert_eq!(first.keys.len(), CRITEO_TABLES);
+    }
+
+    #[test]
+    fn file_source_streams_requests_with_monotone_arrivals() {
+        let sample = criteo_sample();
+        let mut src = FileTraceSource::new(
+            Cursor::new(&sample),
+            TraceFormat::Criteo {
+                rows_per_table: 100,
+            },
+            2,
+            ArrivalProcess::Uniform {
+                interval: Duration::from_micros(10),
+            },
+            1,
+        )
+        .with_deadline(Duration::from_millis(5))
+        .for_tenant(0);
+        let a = src.next_request().unwrap();
+        let b = src.next_request().unwrap();
+        assert!(src.next_request().is_none());
+        assert_eq!(a.keys.len(), 2 * CRITEO_TABLES);
+        assert!(b.arrival > a.arrival);
+        assert_eq!(a.deadline, Some(Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn profile_calibrates_sketch_to_footprint() {
+        let sample = criteo_sample();
+        let profile = profile_trace(
+            &mut Cursor::new(&sample),
+            TraceFormat::Criteo {
+                rows_per_table: 1_000_000,
+            },
+            usize::MAX,
+        );
+        assert_eq!(profile.queries, 4);
+        assert_eq!(profile.accesses, 4 * CRITEO_TABLES);
+        assert_eq!(profile.tables, CRITEO_TABLES);
+        assert!(profile.unique_keys > CRITEO_TABLES);
+        let cfg = profile.sketch_config();
+        cfg.validate();
+        // Small footprint: default registers, floor-clamped epoch.
+        assert_eq!(cfg.registers, SketchConfig::default().registers);
+        assert!(cfg.epoch_len >= 256);
+
+        // A synthetic huge-footprint profile flips to the
+        // high-cardinality shape and the epoch ceiling.
+        let big = TraceProfile {
+            queries: 1,
+            accesses: 1,
+            unique_keys: 1 << 20,
+            tables: 26,
+        };
+        let cfg = big.sketch_config();
+        assert_eq!(cfg.registers, SketchConfig::high_cardinality().registers);
+        assert_eq!(cfg.epoch_len, 65536);
+    }
+}

@@ -1,0 +1,196 @@
+//! Multi-tenant SLA serving under a Markov-modulated flash crowd.
+//!
+//! Two tenants share one live serving session: `budgeted` (dequeue
+//! weight 3, a per-tenant SLA budget) offers a steady Poisson stream,
+//! while `besteffort` (weight 1, a queue quota, deadline-carrying
+//! requests) replays a Criteo-format trace. In the `steady` scenario
+//! both tenants pace at a fraction of measured capacity; in
+//! `flash_crowd` the best-effort tenant's arrivals come from a
+//! two-state Markov chain whose spike state floods at many times the
+//! steady rate. Admission control (quota + deadline shedding) makes the
+//! best-effort tenant absorb its own burst, and weighted-fair dequeue
+//! keeps the budgeted tenant's tail latency flat — the per-tenant
+//! report rows below show exactly who paid for the overload.
+//!
+//! Run with: `cargo run --release --example multi_tenant`
+
+use std::io::Cursor;
+use std::time::Duration;
+
+use recmg_repro::core::serving::WorkloadSpec;
+use recmg_repro::core::{
+    profile_trace, train_recmg, AdmissionPolicy, ArrivalProcess, BatchSource, FileTraceSource,
+    GuidanceMode, RecMgConfig, SessionBuilder, SessionReport, SlaBudget, SyntheticSource,
+    SystemBuilder, TenantSpec, TraceFormat, TrainOptions, CRITEO_TABLES,
+};
+use recmg_repro::trace::{SyntheticConfig, TraceStats};
+
+/// Synthesizes a Criteo-style TSV (label, 13 dense, 26 categorical hex
+/// fields per line) with a skewed categorical distribution, standing in
+/// for the real kaggle/terabyte dumps the loader streams.
+fn synthetic_criteo_tsv(lines: usize) -> String {
+    let mut out = String::new();
+    let mut state = 0x2545F4914F6CDD1Du64;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for _ in 0..lines {
+        out.push('1');
+        for _ in 0..13 {
+            out.push('\t');
+            out.push('0');
+        }
+        for _ in 0..CRITEO_TABLES {
+            out.push('\t');
+            // Zipf-ish: most draws collapse onto a few hot values.
+            let r = next();
+            let v = if r % 10 < 7 { r % 8 } else { r % 4096 };
+            out.push_str(&format!("{v:08x}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn tenant_table(report: &SessionReport) {
+    println!(
+        "  {:<11} {:>6} {:>6} {:>7} {:>7} {:>9} {:>9} {:>7}",
+        "tenant", "subm", "done", "reject", "shed", "p50 ms", "p99 ms", "SLA"
+    );
+    for t in &report.tenants {
+        println!(
+            "  {:<11} {:>6} {:>6} {:>7} {:>7} {:>9.3} {:>9.3} {:>7}",
+            t.name,
+            t.submitted,
+            t.completed,
+            t.rejected_queue_full + t.rejected_deadline,
+            t.shed_in_queue,
+            t.latency.p50.as_secs_f64() * 1e3,
+            t.latency.p99.as_secs_f64() * 1e3,
+            t.sla
+                .as_ref()
+                .map(|s| format!("{:.0}%", s.attainment() * 100.0))
+                .unwrap_or_else(|| "-".into()),
+        );
+        // Per-tenant conservation is exact, not approximate.
+        assert_eq!(t.completed + t.unserved(), t.submitted);
+    }
+}
+
+fn main() {
+    let cfg = RecMgConfig::default();
+    let trace = SyntheticConfig::dataset_scaled(0, 0.01).generate();
+    let stats = TraceStats::compute(&trace);
+    let capacity = stats.buffer_capacity(20.0);
+    let half = trace.len() / 2;
+    println!("training RecMG models on {half} accesses...");
+    let trained = train_recmg(
+        &trace.accesses()[..half],
+        &cfg,
+        capacity,
+        &TrainOptions::tiny(),
+    );
+    let build = || {
+        SystemBuilder::from_trained(&trained)
+            .shards(4)
+            .capacity(capacity)
+            .build()
+    };
+
+    // The best-effort tenant replays a real-format trace; profiling its
+    // prefix calibrates the sketch epoch to the observed footprint.
+    let tsv = synthetic_criteo_tsv(2_000);
+    let profile = profile_trace(
+        &mut Cursor::new(tsv.as_str()),
+        TraceFormat::Criteo {
+            rows_per_table: 4096,
+        },
+        500,
+    );
+    println!(
+        "trace profile: {} queries, {} accesses, {} unique keys across {} tables \
+         -> sketch epoch {}",
+        profile.queries,
+        profile.accesses,
+        profile.unique_keys,
+        profile.tables,
+        profile.sketch_config().epoch_len,
+    );
+
+    // Calibrate this machine's service rate with a batch-backed session.
+    let spec = WorkloadSpec::default();
+    let session = SessionBuilder::new()
+        .workers(2)
+        .guidance(GuidanceMode::Inline)
+        .admission(AdmissionPolicy::unbounded())
+        .build(build());
+    session.ingest(&mut BatchSource::from_vecs(
+        spec.requests(300, cfg.input_len),
+    ));
+    let (_sys, calib) = session.drain();
+    let service_rate = calib.completed as f64 / calib.engine.elapsed_secs.max(1e-9);
+    let steady_hz = (service_rate * 0.15).max(50.0);
+    let mean_service = Duration::from_secs_f64(1.0 / service_rate.max(1e-9));
+    println!(
+        "calibration: {service_rate:.0} req/s batch-backed; steady rate {steady_hz:.0} req/s per tenant\n",
+    );
+
+    for (scenario, besteffort_arrivals) in [
+        ("steady", ArrivalProcess::Poisson { rate_hz: steady_hz }),
+        (
+            "flash_crowd",
+            // Two-state chain: ~80-arrival steady dwells, then a spike
+            // state offering 32x the steady rate for ~150 arrivals.
+            ArrivalProcess::flash_crowd(steady_hz, 32.0, 80, 150),
+        ),
+    ] {
+        let session = SessionBuilder::new()
+            .workers(2)
+            .guidance(GuidanceMode::Inline)
+            .admission(AdmissionPolicy {
+                queue_depth: 64,
+                ..AdmissionPolicy::default()
+            })
+            .tenants(vec![
+                TenantSpec::new("budgeted")
+                    .with_weight(3.0)
+                    .with_sla(SlaBudget::new(mean_service * 12)),
+                TenantSpec::new("besteffort").with_quota(4),
+            ])
+            .build(build());
+        let mut budgeted = SyntheticSource::new(
+            spec,
+            cfg.input_len,
+            400,
+            ArrivalProcess::Poisson { rate_hz: steady_hz },
+            0xB0D6,
+        );
+        let mut besteffort = FileTraceSource::new(
+            Cursor::new(tsv.as_str()),
+            TraceFormat::Criteo {
+                rows_per_table: 4096,
+            },
+            1,
+            besteffort_arrivals,
+            4,
+        )
+        .with_deadline(mean_service * 5)
+        .for_tenant(1);
+        session.ingest_multi(&mut [&mut budgeted, &mut besteffort]);
+        let (_sys, report) = session.drain();
+        println!("{scenario}:");
+        tenant_table(&report);
+        println!();
+    }
+
+    println!(
+        "The flash crowd is mostly the best-effort tenant's problem: its\n\
+         quota bounds how much queue it can occupy and its deadline sheds\n\
+         what the spike makes stale, so the overload shows up as its own\n\
+         rejects while the budgeted tenant completes everything and its\n\
+         SLA attainment barely moves between the two scenarios."
+    );
+}

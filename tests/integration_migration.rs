@@ -69,6 +69,7 @@ fn request(id: u64, keys: Vec<VectorKey>) -> Request {
         keys,
         arrival: Duration::ZERO,
         deadline: None,
+        tenant: 0,
     }
 }
 

@@ -16,7 +16,7 @@ use proptest::prelude::*;
 use recmg_repro::core::{
     train_recmg, AdmissionPolicy, ArrivalProcess, BatchSource, GuidanceMode, GuidancePrecision,
     RecMgConfig, RecMgSystem, Request, RequestSource, SessionBuilder, ShardedRecMgSystem,
-    SlaBudget, TraceReplaySource, TrainOptions,
+    SlaBudget, TenantSpec, TraceReplaySource, TrainOptions,
 };
 use recmg_repro::dlrm::{BatchAccessStats, BufferManager};
 use recmg_repro::trace::{RowId, SyntheticConfig, TableId, TraceStats, VectorKey};
@@ -114,6 +114,7 @@ fn batched_background_session_matches_inline_counts_on_one_shard() {
                 keys: chunk.to_vec(),
                 arrival: Duration::ZERO,
                 deadline: None,
+                tenant: 0,
             })
             .expect("unbounded admission");
         while session.completed_requests() < (i + 1) as u64 || session.plane_pending() > 0 {
@@ -171,6 +172,7 @@ fn quantized_background_session_tracks_f32_counts() {
                     keys: chunk.to_vec(),
                     arrival: Duration::ZERO,
                     deadline: None,
+                    tenant: 0,
                 })
                 .expect("unbounded admission");
             while session.completed_requests() < (i + 1) as u64 || session.plane_pending() > 0 {
@@ -291,6 +293,7 @@ proptest! {
                 keys: keys.clone(),
                 arrival: Duration::ZERO,
                 deadline: Some(Duration::from_secs(60)),
+                tenant: 0,
             });
             prop_assert_eq!(got, Ok(()), "zero-load submit {} must be admitted", i);
         }
@@ -302,6 +305,103 @@ proptest! {
         prop_assert_eq!(report.shed_in_queue, 0);
         prop_assert_eq!(report.shed_rate(), 0.0);
         prop_assert_eq!(report.engine.stats.total(), total_keys as u64);
+    }
+
+    /// Per-tenant shed accounting keeps the conservation law exact under
+    /// admission pressure: for every tenant, completed + rejected_queue +
+    /// rejected_deadline + shed_in_queue == submitted, and the per-tenant
+    /// counters sum to the global ones — no request is double-counted or
+    /// lost, whatever mix of quotas, blown deadlines, and queue pressure
+    /// the generator throws at the session.
+    #[test]
+    fn tenant_shed_accounting_is_exactly_conserved(
+        per_tenant in prop::collection::vec(
+            prop::collection::vec(
+                (prop::collection::vec(key_strategy(), 1..20), 0u32..4),
+                1..16,
+            ),
+            1..4,
+        ),
+        queue_depth in 1usize..8,
+    ) {
+        let cfg = RecMgConfig::tiny();
+        let caching = recmg_repro::core::CachingModel::new(&cfg);
+        let codec = recmg_repro::core::FrequencyRankCodec::from_accesses(
+            &[VectorKey::new(TableId(0), RowId(1))],
+        );
+        let system = ShardedRecMgSystem::builder(&caching, None, codec)
+            .shards(2)
+            .capacity(64)
+            .build();
+        let tenants: Vec<TenantSpec> = per_tenant
+            .iter()
+            .enumerate()
+            .map(|(t, _)| {
+                let spec = TenantSpec::new(&format!("tenant-{t}")).with_weight(t as f64 + 1.0);
+                // Odd tenants get a tight quota so some submits bounce off
+                // the per-tenant cap rather than the global depth.
+                if t % 2 == 1 { spec.with_quota(1) } else { spec }
+            })
+            .collect();
+        let num_tenants = tenants.len();
+        let session = SessionBuilder::new()
+            .workers(1)
+            .guidance(GuidanceMode::Inline)
+            .admission(AdmissionPolicy {
+                queue_depth,
+                ..AdmissionPolicy::default()
+            })
+            .tenants(tenants)
+            .build(system);
+        let mut id = 0u64;
+        for (t, requests) in per_tenant.iter().enumerate() {
+            for (keys, blown) in requests {
+                // blown == 0 submits an already-expired deadline (rejected
+                // at submit or shed in queue); others are satisfiable.
+                let deadline = if *blown == 0 {
+                    Some(Duration::ZERO)
+                } else {
+                    Some(Duration::from_secs(60))
+                };
+                let _ = session.submit(Request {
+                    id,
+                    keys: keys.clone(),
+                    arrival: Duration::ZERO,
+                    deadline,
+                    tenant: t,
+                });
+                id += 1;
+            }
+        }
+        let (_sys, report) = session.drain();
+        prop_assert_eq!(report.tenants.len(), num_tenants);
+        let mut sums = [0u64; 5];
+        for (t, tenant) in report.tenants.iter().enumerate() {
+            prop_assert_eq!(tenant.submitted, per_tenant[t].len() as u64);
+            prop_assert_eq!(
+                tenant.completed
+                    + tenant.rejected_queue_full
+                    + tenant.rejected_deadline
+                    + tenant.shed_in_queue,
+                tenant.submitted,
+                "tenant {} leaks requests", t
+            );
+            sums[0] += tenant.submitted;
+            sums[1] += tenant.completed;
+            sums[2] += tenant.rejected_queue_full;
+            sums[3] += tenant.rejected_deadline;
+            sums[4] += tenant.shed_in_queue;
+        }
+        prop_assert_eq!(sums[0], report.submitted);
+        prop_assert_eq!(sums[1], report.completed);
+        prop_assert_eq!(sums[2], report.rejected_queue_full);
+        prop_assert_eq!(sums[3], report.rejected_deadline);
+        prop_assert_eq!(sums[4], report.shed_in_queue);
+        prop_assert_eq!(
+            report.completed + report.rejected_queue_full + report.rejected_deadline
+                + report.shed_in_queue,
+            report.submitted
+        );
     }
 
     /// The batch-backed source is lossless: every key of every batch comes
